@@ -1,0 +1,125 @@
+//! Bootstrap confidence intervals.
+//!
+//! Lossy page-load times are heavy-tailed, so the OLS slopes of Fig. 9
+//! come with wide uncertainty; a percentile bootstrap quantifies it
+//! honestly instead of reporting a bare point estimate.
+
+use h3cdn_sim_core::SimRng;
+
+use crate::linfit::linear_fit;
+
+/// A two-sided percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Nominal coverage (e.g. 0.95).
+    pub coverage: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether the interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        (self.lo..=self.hi).contains(&x)
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Percentile-bootstrap confidence interval for the OLS slope of
+/// `(xs, ys)`.
+///
+/// Deterministic for a given seed. Resamples with replacement `iters`
+/// times; degenerate resamples (all-equal x) are skipped.
+///
+/// # Panics
+///
+/// Panics if the inputs differ in length, hold fewer than three points,
+/// or `coverage` is outside `(0, 1)`.
+pub fn bootstrap_slope_ci(
+    xs: &[f64],
+    ys: &[f64],
+    iters: usize,
+    coverage: f64,
+    seed: u64,
+) -> ConfidenceInterval {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    assert!(xs.len() >= 3, "need at least three points");
+    assert!((0.0..1.0).contains(&coverage) && coverage > 0.0);
+    let n = xs.len();
+    let mut rng = SimRng::seed_from(seed ^ 0xB007_57A9);
+    let mut slopes = Vec::with_capacity(iters);
+    while slopes.len() < iters {
+        let mut rx = Vec::with_capacity(n);
+        let mut ry = Vec::with_capacity(n);
+        for _ in 0..n {
+            let i = rng.next_below(n as u64) as usize;
+            rx.push(xs[i]);
+            ry.push(ys[i]);
+        }
+        if rx.iter().all(|&x| x == rx[0]) {
+            continue; // vertical resample; skip
+        }
+        slopes.push(linear_fit(&rx, &ry).slope);
+    }
+    slopes.sort_by(|a, b| a.partial_cmp(b).expect("finite slopes"));
+    let alpha = (1.0 - coverage) / 2.0;
+    let lo_idx = ((iters as f64) * alpha).floor() as usize;
+    let hi_idx = (((iters as f64) * (1.0 - alpha)).ceil() as usize).min(iters - 1);
+    ConfidenceInterval {
+        lo: slopes[lo_idx],
+        hi: slopes[hi_idx],
+        coverage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_line_gives_tight_interval_containing_truth() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 2.0 * x + 5.0 + if (x as u64).is_multiple_of(2) { 0.3 } else { -0.3 })
+            .collect();
+        let ci = bootstrap_slope_ci(&xs, &ys, 500, 0.95, 1);
+        assert!(ci.contains(2.0), "{ci:?}");
+        assert!(ci.width() < 0.1, "{ci:?}");
+    }
+
+    #[test]
+    fn noisy_data_widens_the_interval() {
+        let xs: Vec<f64> = (0..60).map(|i| (i % 20) as f64).collect();
+        let tight: Vec<f64> = xs.to_vec();
+        let noisy: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x + ((i * 7919) % 100) as f64)
+            .collect();
+        let ci_tight = bootstrap_slope_ci(&xs, &tight, 300, 0.95, 2);
+        let ci_noisy = bootstrap_slope_ci(&xs, &noisy, 300, 0.95, 2);
+        assert!(ci_noisy.width() > ci_tight.width() * 5.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x).collect();
+        let a = bootstrap_slope_ci(&xs, &ys, 200, 0.9, 7);
+        let b = bootstrap_slope_ci(&xs, &ys, 200, 0.9, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn rejects_tiny_inputs() {
+        let _ = bootstrap_slope_ci(&[1.0, 2.0], &[1.0, 2.0], 10, 0.9, 0);
+    }
+}

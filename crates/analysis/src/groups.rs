@@ -1,0 +1,118 @@
+//! Quartile grouping (the paper's Low / Medium-Low / Medium-High / High
+//! page groups of Fig. 6a and Fig. 7, split on the number of H3-enabled
+//! CDN resources).
+
+/// The four quartile groups, in ascending key order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QuartileGroup {
+    /// Bottom quartile.
+    Low,
+    /// Second quartile.
+    MediumLow,
+    /// Third quartile.
+    MediumHigh,
+    /// Top quartile.
+    High,
+}
+
+impl QuartileGroup {
+    /// All groups in ascending order.
+    pub const ALL: [QuartileGroup; 4] = [
+        QuartileGroup::Low,
+        QuartileGroup::MediumLow,
+        QuartileGroup::MediumHigh,
+        QuartileGroup::High,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            QuartileGroup::Low => "Low",
+            QuartileGroup::MediumLow => "Medium-Low",
+            QuartileGroup::MediumHigh => "Medium-High",
+            QuartileGroup::High => "High",
+        }
+    }
+}
+
+impl std::fmt::Display for QuartileGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Splits items into four equal-sized groups by ascending `key`, exactly
+/// as the paper constructs its page groups ("each group has an equal
+/// number of pages"). Returns, per input index, its group.
+///
+/// Ties at the boundaries are broken by input order, keeping group sizes
+/// within one of each other.
+pub fn quartile_groups(keys: &[f64]) -> Vec<QuartileGroup> {
+    let n = keys.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        keys[a]
+            .partial_cmp(&keys[b])
+            .expect("keys must not be NaN")
+            .then(a.cmp(&b))
+    });
+    let mut out = vec![QuartileGroup::Low; n];
+    for (rank, &idx) in order.iter().enumerate() {
+        let g = rank * 4 / n.max(1);
+        out[idx] = QuartileGroup::ALL[g.min(3)];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_group_sizes() {
+        let keys: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let groups = quartile_groups(&keys);
+        for g in QuartileGroup::ALL {
+            assert_eq!(groups.iter().filter(|&&x| x == g).count(), 25);
+        }
+        // Ascending key → ascending group.
+        assert_eq!(groups[0], QuartileGroup::Low);
+        assert_eq!(groups[99], QuartileGroup::High);
+        assert_eq!(groups[30], QuartileGroup::MediumLow);
+        assert_eq!(groups[60], QuartileGroup::MediumHigh);
+    }
+
+    #[test]
+    fn uneven_sizes_stay_within_one() {
+        let keys: Vec<f64> = (0..103).map(|i| (i % 7) as f64).collect();
+        let groups = quartile_groups(&keys);
+        let counts: Vec<usize> = QuartileGroup::ALL
+            .iter()
+            .map(|g| groups.iter().filter(|&&x| x == *g).count())
+            .collect();
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        assert!(max - min <= 1, "counts {counts:?}");
+    }
+
+    #[test]
+    fn order_is_by_key_not_position() {
+        let keys = [9.0, 1.0, 5.0, 3.0];
+        let groups = quartile_groups(&keys);
+        assert_eq!(groups[1], QuartileGroup::Low);
+        assert_eq!(groups[3], QuartileGroup::MediumLow);
+        assert_eq!(groups[2], QuartileGroup::MediumHigh);
+        assert_eq!(groups[0], QuartileGroup::High);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(QuartileGroup::Low.to_string(), "Low");
+        assert_eq!(QuartileGroup::High.label(), "High");
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(quartile_groups(&[]).is_empty());
+    }
+}

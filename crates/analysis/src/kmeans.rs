@@ -1,0 +1,176 @@
+//! Lloyd's k-means, as the paper applies it to binary domain vectors
+//! (Table III: 58-dimensional indicators of which shared CDN domains a
+//! page uses, k = 2).
+
+/// Runs k-means and returns each point's cluster assignment.
+///
+/// Deterministic: initial centroids are chosen by a seeded k-means++-
+/// style farthest-point heuristic, so equal inputs give equal outputs.
+///
+/// # Panics
+///
+/// Panics if `k` is zero, `points` is empty, `k > points.len()`, or the
+/// points have inconsistent dimensionality.
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> Vec<usize> {
+    assert!(k > 0, "k must be positive");
+    assert!(!points.is_empty(), "points must be non-empty");
+    assert!(k <= points.len(), "k exceeds point count");
+    let dim = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "inconsistent dimensionality"
+    );
+
+    // Farthest-point initialisation from a seed-chosen start.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[(seed as usize) % points.len()].clone());
+    while centroids.len() < k {
+        let (far_idx, _) = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let d = centroids
+                    .iter()
+                    .map(|c| dist2(p, c))
+                    .fold(f64::INFINITY, f64::min);
+                (i, d)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .expect("non-empty points");
+        centroids.push(points[far_idx].clone());
+    }
+
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..max_iters {
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist2(p, &centroids[a])
+                        .partial_cmp(&dist2(p, &centroids[b]))
+                        .expect("finite distances")
+                })
+                .expect("k > 0");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for (s, &x) in sums[assignment[i]].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = sums[c].clone();
+            }
+            // Empty clusters keep their previous centroid.
+        }
+    }
+    assignment
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_obvious_clusters() {
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.push(vec![0.0 + (i % 3) as f64 * 0.01, 0.0]);
+        }
+        for i in 0..10 {
+            points.push(vec![10.0 + (i % 3) as f64 * 0.01, 10.0]);
+        }
+        let assign = kmeans(&points, 2, 50, 7);
+        let first = assign[0];
+        assert!(assign[..10].iter().all(|&a| a == first));
+        assert!(assign[10..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn binary_domain_vectors_split_by_sharing_degree() {
+        // Pages using many shared domains vs pages using few: the
+        // Table III construction in miniature.
+        let dim = 20;
+        let mut points = Vec::new();
+        for i in 0..12 {
+            // High-sharing: the eight most popular domains, minus one
+            // page-specific omission.
+            let mut v = vec![0.0; dim];
+            v[..8].fill(1.0);
+            v[i % 8] = 0.0;
+            points.push(v);
+        }
+        for i in 0..12 {
+            // Low-sharing: two domains drawn from the popular head.
+            let mut v = vec![0.0; dim];
+            v[i % 4] = 1.0;
+            v[(i + 1) % 4] = 1.0;
+            points.push(v);
+        }
+        let assign = kmeans(&points, 2, 100, 3);
+        // Mean set-bits per cluster must differ strongly.
+        let mut sums = [0.0f64; 2];
+        let mut counts = [0usize; 2];
+        for (i, p) in points.iter().enumerate() {
+            sums[assign[i]] += p.iter().sum::<f64>();
+            counts[assign[i]] += 1;
+        }
+        assert!(counts[0] > 0 && counts[1] > 0);
+        let means = [sums[0] / counts[0] as f64, sums[1] / counts[1] as f64];
+        let (hi, lo) = if means[0] > means[1] {
+            (means[0], means[1])
+        } else {
+            (means[1], means[0])
+        };
+        assert!(hi > 6.0 && lo < 4.0, "cluster means {means:?}");
+    }
+
+    #[test]
+    fn deterministic_for_equal_seed() {
+        let points: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 5) as f64, (i % 7) as f64])
+            .collect();
+        assert_eq!(kmeans(&points, 3, 50, 1), kmeans(&points, 3, 50, 1));
+    }
+
+    #[test]
+    fn k_equals_n_assigns_distinct() {
+        let points = vec![vec![0.0], vec![5.0], vec![10.0]];
+        let assign = kmeans(&points, 3, 10, 0);
+        let mut sorted = assign.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "k exceeds point count")]
+    fn too_many_clusters_rejected() {
+        let _ = kmeans(&[vec![1.0]], 2, 10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent dimensionality")]
+    fn ragged_points_rejected() {
+        let _ = kmeans(&[vec![1.0], vec![1.0, 2.0]], 1, 10, 0);
+    }
+}

@@ -1,0 +1,18 @@
+//! Statistics used by the paper's analysis pipeline: CDF/CCDF curves,
+//! quartile grouping (Fig. 6a/7), k-means over binary domain vectors
+//! (Table III), and least-squares fits (Fig. 9's slopes).
+//!
+//! Everything is dependency-free, deterministic, and unit-tested against
+//! hand-computed values.
+
+pub mod bootstrap;
+pub mod groups;
+pub mod kmeans;
+pub mod linfit;
+pub mod stats;
+
+pub use bootstrap::{bootstrap_slope_ci, ConfidenceInterval};
+pub use groups::{quartile_groups, QuartileGroup};
+pub use kmeans::kmeans;
+pub use linfit::{linear_fit, LinearFit};
+pub use stats::{ccdf_points, cdf_points, mean, median, pearson, quantile, spearman};

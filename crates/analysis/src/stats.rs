@@ -1,0 +1,209 @@
+//! Basic descriptive statistics and distribution curves.
+
+/// Arithmetic mean; `NaN` for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Median (linear interpolation between the two middle order statistics
+/// for even lengths); `NaN` for an empty slice.
+pub fn median(values: &[f64]) -> f64 {
+    quantile(values, 0.5)
+}
+
+/// Quantile `q ∈ [0, 1]` with linear interpolation; `NaN` for an empty
+/// slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Empirical CDF as `(x, P[X ≤ x])` points, one per distinct sample,
+/// ascending in `x`.
+pub fn cdf_points(values: &[f64]) -> Vec<(f64, f64)> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+    let n = sorted.len() as f64;
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for (i, &x) in sorted.iter().enumerate() {
+        let p = (i + 1) as f64 / n;
+        match out.last_mut() {
+            Some(last) if last.0 == x => last.1 = p,
+            _ => out.push((x, p)),
+        }
+    }
+    out
+}
+
+/// Empirical CCDF as `(x, P[X > x])` points (the paper's Fig. 3/5 axes).
+pub fn ccdf_points(values: &[f64]) -> Vec<(f64, f64)> {
+    cdf_points(values)
+        .into_iter()
+        .map(|(x, p)| (x, 1.0 - p))
+        .collect()
+}
+
+/// Pearson correlation coefficient; `NaN` when either side is constant
+/// or lengths differ/are empty.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.is_empty() {
+        return f64::NAN;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return f64::NAN;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Spearman rank correlation: Pearson over ranks (average ranks for
+/// ties). `NaN` when undefined. Robust to the heavy-tailed page-load
+/// times this project deals in.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return f64::NAN;
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaN"));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        // Tie group [i, j): average rank.
+        let mut j = i + 1;
+        while j < order.len() && values[order[j]] == values[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j - 1) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            out[idx] = avg_rank;
+        }
+        i = j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_median_hand_checked() {
+        assert!((mean(&[1.0, 2.0, 6.0]) - 3.0).abs() < 1e-12);
+        assert!((median(&[5.0, 1.0, 3.0]) - 3.0).abs() < 1e-12);
+        assert!((median(&[1.0, 2.0, 3.0, 4.0]) - 2.5).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert!((quantile(&v, 0.0) - 10.0).abs() < 1e-12);
+        assert!((quantile(&v, 1.0) - 50.0).abs() < 1e-12);
+        assert!((quantile(&v, 0.25) - 20.0).abs() < 1e-12);
+        assert!((quantile(&v, 0.625) - 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_rejects_out_of_range() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let v = [3.0, 1.0, 2.0, 2.0];
+        let cdf = cdf_points(&v);
+        assert_eq!(cdf.len(), 3, "duplicates collapse");
+        assert_eq!(cdf.first().unwrap().0, 1.0);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        // P[X ≤ 2] = 3/4.
+        let at2 = cdf.iter().find(|(x, _)| *x == 2.0).unwrap().1;
+        assert!((at2 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccdf_complements_cdf() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        let ccdf = ccdf_points(&v);
+        let at2 = ccdf.iter().find(|(x, _)| *x == 2.0).unwrap().1;
+        assert!((at2 - 0.5).abs() < 1e-12, "P[X > 2] = 0.5");
+        assert!(ccdf.last().unwrap().1.abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|&x: &f64| x.exp()).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12, "monotone → 1");
+        let inv: Vec<f64> = ys.iter().map(|&y| -y).collect();
+        assert!((spearman(&xs, &inv) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 6.0, 7.0];
+        let r = spearman(&xs, &ys);
+        assert!((r - 1.0).abs() < 1e-9, "tied pairs still perfectly ranked: {r}");
+    }
+
+    #[test]
+    fn spearman_resists_outliers_better_than_pearson() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let mut ys: Vec<f64> = xs.clone();
+        ys[19] = 1e9; // absurd tail, still monotone
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let perfectly = [2.0, 4.0, 6.0, 8.0];
+        let inverse = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &perfectly) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &inverse) + 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0]).is_nan());
+        assert!(pearson(&xs, &[1.0]).is_nan());
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests of the statistics kernels.
+
+use h3cdn_analysis::{ccdf_points, cdf_points, kmeans, linear_fit, quantile, spearman};
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantile is monotone in q and bounded by the extremes.
+    #[test]
+    fn quantile_monotone_and_bounded(
+        values in prop::collection::vec(-1e6f64..1e6, 1..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&values, lo);
+        let b = quantile(&values, hi);
+        prop_assert!(a <= b + 1e-9);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
+    }
+
+    /// CDF + CCDF complement to 1 at every sample point.
+    #[test]
+    fn cdf_ccdf_complement(values in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let cdf = cdf_points(&values);
+        let ccdf = ccdf_points(&values);
+        prop_assert_eq!(cdf.len(), ccdf.len());
+        for ((x1, p), (x2, q)) in cdf.iter().zip(&ccdf) {
+            prop_assert_eq!(x1, x2);
+            prop_assert!((p + q - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// OLS on an exact line recovers it for any slope/intercept.
+    #[test]
+    fn linear_fit_recovers_exact_lines(
+        slope in -100.0f64..100.0,
+        intercept in -1e4f64..1e4,
+        n in 3usize..50,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| slope * x + intercept).collect();
+        let fit = linear_fit(&xs, &ys);
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((fit.intercept - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
+    }
+
+    /// k-means assignments are a partition: every point assigned, every
+    /// cluster id < k, deterministic for equal seeds.
+    #[test]
+    fn kmeans_is_a_deterministic_partition(
+        points in prop::collection::vec(
+            prop::collection::vec(-10.0f64..10.0, 3..4), 4..40),
+        k in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        // Make the dimensionality uniform (3 columns).
+        let pts: Vec<Vec<f64>> = points
+            .iter()
+            .map(|p| p.iter().cloned().chain(std::iter::repeat(0.0)).take(3).collect())
+            .collect();
+        prop_assume!(k <= pts.len());
+        let a = kmeans(&pts, k, 50, seed);
+        let b = kmeans(&pts, k, 50, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), pts.len());
+        prop_assert!(a.iter().all(|&c| c < k));
+    }
+
+    /// Spearman is invariant under strictly monotone transforms.
+    #[test]
+    fn spearman_monotone_invariant(
+        xs in prop::collection::vec(-1e3f64..1e3, 3..50),
+    ) {
+        // Perturb duplicates so the ranks are unique.
+        let xs: Vec<f64> = xs.iter().enumerate().map(|(i, &x)| x + i as f64 * 1e-7).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| (x / 100.0).tanh() * 5.0 + x * 1e-3).collect();
+        let r = spearman(&xs, &ys);
+        prop_assert!((r - 1.0).abs() < 1e-9, "monotone transform must give 1, got {r}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Design-choice ablations (DESIGN.md):
+//!
+//! * `cc_ablation_*` — Cubic vs NewReno under loss: how much of the
+//!   H3-vs-H2 gap could CC tuning explain (Yu & Benson's caveat)?
+//! * `loss_model_*` — IID vs bursty Gilbert–Elliott loss at equal mean:
+//!   burstiness is what makes HoL blocking expensive.
+//!
+//! The measured quantity is wall-clock of the simulation; the printed
+//! page-load outcomes (asserted relationships) are the scientific
+//! payload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h3cdn::browser::{visit_page, ProtocolMode, VisitConfig};
+use h3cdn::transport::tls::TicketStore;
+use h3cdn::transport::CcAlgorithm;
+use h3cdn::web::{generate, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_cc_ablation(c: &mut Criterion) {
+    let corpus = generate(&WorkloadSpec::default().with_pages(2).with_seed(5));
+    for (name, cc) in [
+        ("cc_ablation_cubic", CcAlgorithm::Cubic),
+        ("cc_ablation_newreno", CcAlgorithm::NewReno),
+    ] {
+        let mut cfg = VisitConfig::default()
+            .with_mode(ProtocolMode::H2Only)
+            .with_loss_percent(1.0);
+        cfg.cc = cc;
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    visit_page(&corpus.pages[0], &corpus.domains, &cfg, TicketStore::new())
+                        .har
+                        .plt_ms,
+                )
+            })
+        });
+    }
+}
+
+fn bench_loss_model_ablation(c: &mut Criterion) {
+    let corpus = generate(&WorkloadSpec::default().with_pages(2).with_seed(6));
+    for (name, bursty) in [
+        ("loss_model_iid_1pct", false),
+        ("loss_model_bursty_1pct", true),
+    ] {
+        let mut cfg = VisitConfig::default()
+            .with_mode(ProtocolMode::H2Only)
+            .with_loss_percent(1.0);
+        cfg.bursty_loss = bursty;
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    visit_page(&corpus.pages[0], &corpus.domains, &cfg, TicketStore::new())
+                        .har
+                        .plt_ms,
+                )
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cc_ablation, bench_loss_model_ablation
+}
+criterion_main!(benches);

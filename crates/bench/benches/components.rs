@@ -1,0 +1,121 @@
+//! Micro-benchmarks of the substrates: corpus generation, full page
+//! visits per protocol, raw transport transfers, and the analysis
+//! kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h3cdn::analysis::{ccdf_points, kmeans};
+use h3cdn::browser::{visit_page, ProtocolMode, VisitConfig};
+use h3cdn::http::h2::{H2Client, TcpServer};
+use h3cdn::http::h3::{H3Client, QuicServer};
+use h3cdn::http::{Catalog, RequestMeta, ResponseSpec};
+use h3cdn::netsim::NodeId;
+use h3cdn::sim_core::{SimDuration, SimTime};
+use h3cdn::transport::duplex::Duplex;
+use h3cdn::transport::quic::QuicConfig;
+use h3cdn::transport::tcp::TcpConfig;
+use h3cdn::transport::tls::{TicketStore, TlsConfig};
+use h3cdn::transport::ConnId;
+use h3cdn::web::{generate, WorkloadSpec};
+use std::hint::black_box;
+
+fn transfer_catalog(n: u64, body: u64) -> std::sync::Arc<Catalog> {
+    let mut cat = Catalog::new();
+    for id in 1..=n {
+        cat.register(
+            id,
+            ResponseSpec {
+                header_bytes: 250,
+                body_bytes: body,
+                processing: SimDuration::ZERO,
+                priority: h3cdn::http::types::priority::NORMAL,
+            },
+        );
+    }
+    cat.into_shared()
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    c.bench_function("corpus_generate_50_pages", |b| {
+        b.iter(|| black_box(generate(&WorkloadSpec::default().with_pages(50).with_seed(1))))
+    });
+}
+
+fn bench_visits(c: &mut Criterion) {
+    let corpus = generate(&WorkloadSpec::default().with_pages(3).with_seed(2));
+    for (name, mode) in [
+        ("visit_page_h2", ProtocolMode::H2Only),
+        ("visit_page_h3", ProtocolMode::H3Enabled),
+    ] {
+        let cfg = VisitConfig::default().with_mode(mode);
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(visit_page(
+                    &corpus.pages[0],
+                    &corpus.domains,
+                    &cfg,
+                    TicketStore::new(),
+                ))
+            })
+        });
+    }
+}
+
+fn bench_transports(c: &mut Criterion) {
+    let id = ConnId::new(NodeId::from_raw(0), NodeId::from_raw(1), 1);
+    let tcp = TcpConfig {
+        initial_rtt: SimDuration::from_millis(40),
+        ..TcpConfig::default()
+    };
+    let quic = QuicConfig {
+        initial_rtt: SimDuration::from_millis(40),
+        ..QuicConfig::default()
+    };
+
+    c.bench_function("h2_transfer_1mb", |b| {
+        b.iter(|| {
+            let client = H2Client::new(id, tcp.clone(), TlsConfig::default());
+            let server = TcpServer::new(id, tcp.clone(), transfer_catalog(8, 128 * 1024), SimDuration::ZERO);
+            let mut pipe = Duplex::new(client, server, SimDuration::from_millis(20));
+            pipe.a.connect(SimTime::ZERO);
+            for i in 1..=8 {
+                pipe.a.send_request(RequestMeta { id: i, header_bytes: 300 });
+            }
+            pipe.run(10_000_000);
+            black_box(pipe.b.requests_served())
+        })
+    });
+
+    c.bench_function("h3_transfer_1mb", |b| {
+        b.iter(|| {
+            let client = H3Client::new(id, quic.clone(), None, false);
+            let server = QuicServer::new(id, quic.clone(), transfer_catalog(8, 128 * 1024), SimDuration::ZERO);
+            let mut pipe = Duplex::new(client, server, SimDuration::from_millis(20));
+            pipe.a.connect(SimTime::ZERO);
+            for i in 1..=8 {
+                pipe.a.send_request(RequestMeta { id: i, header_bytes: 300 });
+            }
+            pipe.run(10_000_000);
+            black_box(pipe.b.requests_served())
+        })
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let values: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 1000) as f64).collect();
+    c.bench_function("ccdf_10k_points", |b| {
+        b.iter(|| black_box(ccdf_points(&values)))
+    });
+    let points: Vec<Vec<f64>> = (0..300)
+        .map(|i| (0..58).map(|d| f64::from(u8::from((i + d) % 7 == 0))).collect())
+        .collect();
+    c.bench_function("kmeans_300x58", |b| {
+        b.iter(|| black_box(kmeans(&points, 2, 100, 1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_corpus, bench_visits, bench_transports, bench_analysis
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! One benchmark per paper table/figure: regenerates each artifact on a
+//! small fixed corpus. Besides timing the pipeline, every benchmark is a
+//! smoke test that the regenerator still runs end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h3cdn::experiments as ex;
+use h3cdn::Vantage;
+use h3cdn_bench::{bench_campaign, BENCH_PAGES};
+use std::hint::black_box;
+
+fn bench_tables_and_figures(c: &mut Criterion) {
+    let campaign = bench_campaign();
+    let v = Vantage::Utah;
+
+    c.bench_function("table1_registry", |b| {
+        b.iter(|| black_box(ex::table1::run()))
+    });
+    c.bench_function("table2_adoption", |b| {
+        b.iter(|| black_box(ex::table2::run(&campaign, v)))
+    });
+    c.bench_function("fig2_provider_share", |b| {
+        b.iter(|| black_box(ex::fig2::run(&campaign, v)))
+    });
+    c.bench_function("fig3_ccdf", |b| {
+        b.iter(|| black_box(ex::fig3::run(&campaign)))
+    });
+    c.bench_function("fig4_sharing", |b| {
+        b.iter(|| black_box(ex::fig4::run(&campaign)))
+    });
+    c.bench_function("fig5_centralisation", |b| {
+        b.iter(|| black_box(ex::fig5::run(&campaign)))
+    });
+
+    // The paired dataset feeding Figs. 6 and 7.
+    let comparisons: Vec<_> = (0..BENCH_PAGES)
+        .map(|s| campaign.compare_page(s, v))
+        .collect();
+    c.bench_function("fig6_plt_reduction", |b| {
+        b.iter(|| black_box(ex::fig6::run(&comparisons)))
+    });
+    c.bench_function("fig7_reuse", |b| {
+        b.iter(|| black_box(ex::fig7::run(&comparisons)))
+    });
+
+    c.bench_function("fig8_resumption", |b| {
+        b.iter(|| black_box(ex::fig8::run(&campaign, v, 1)))
+    });
+    c.bench_function("table3_kmeans", |b| {
+        b.iter(|| black_box(ex::table3::run(&campaign, v, 1)))
+    });
+    c.bench_function("fig9_loss_sweep", |b| {
+        b.iter(|| black_box(ex::fig9::run(&campaign, v, &[0.0, 1.0])))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables_and_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Shared helpers for the benchmark targets.
+//!
+//! Three suites live under `benches/`:
+//!
+//! * `paper_experiments` — one benchmark per paper table/figure, each
+//!   regenerating the artifact on a small fixed corpus so regressions in
+//!   any layer show up as timing changes;
+//! * `components` — micro-benchmarks of the substrates (corpus
+//!   generation, TCP/QUIC transfers, page visits, k-means);
+//! * `ablations` — the design-choice ablations DESIGN.md calls out
+//!   (Cubic vs NewReno, IID vs bursty loss).
+
+use h3cdn::{CampaignConfig, MeasurementCampaign};
+
+/// The corpus size used by the per-figure benchmarks.
+pub const BENCH_PAGES: usize = 6;
+
+/// A small, fixed campaign shared across benchmark iterations.
+pub fn bench_campaign() -> MeasurementCampaign {
+    MeasurementCampaign::new(CampaignConfig::small(BENCH_PAGES, 0xBE_AC4))
+}

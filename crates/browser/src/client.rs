@@ -1,0 +1,546 @@
+//! The browser client host: resource scheduling, connection pooling,
+//! session resumption, and HAR emission.
+
+use std::collections::{BTreeMap, HashMap};
+
+use h3cdn_cdn::locedge;
+use h3cdn_har::{EntryTiming, HarEntry, HarPage};
+use h3cdn_http::{ClientConn, HttpEvent, HttpVersion, RequestMeta};
+use h3cdn_netsim::{NodeCtx, NodeId};
+use h3cdn_sim_core::units::ByteCount;
+use h3cdn_sim_core::{SimDuration, SimRng, SimTime};
+use h3cdn_transport::quic::QuicConfig;
+use h3cdn_transport::tcp::TcpConfig;
+use h3cdn_transport::tls::{TicketStore, TlsConfig, TlsVersion};
+use h3cdn_transport::{CcAlgorithm, ConnId, WirePacket};
+use h3cdn_web::{DomainId, Hosting, Resource};
+
+use crate::config::ProtocolMode;
+
+/// Browsers open at most this many parallel H1 connections per host.
+const H1_POOL_LIMIT: usize = 6;
+
+/// Session-ticket lifetime granted by our servers (a common production
+/// value; well beyond any consecutive-browsing session).
+const TICKET_LIFETIME: SimDuration = SimDuration::from_secs(7200);
+
+/// Nominal request serialisation time reported as HAR `send`.
+const SEND_MS: f64 = 0.1;
+
+/// Everything the client needs to know about one domain it will talk to.
+#[derive(Debug, Clone)]
+pub struct DomainInfo {
+    /// The domain id from the corpus.
+    pub domain: DomainId,
+    /// Hostname (for HAR urls and LocEdge hostname rules).
+    pub name: String,
+    /// The server node for this domain.
+    pub node: NodeId,
+    /// Expected round-trip time to that node (initial RTT hint).
+    pub rtt: SimDuration,
+    /// Whether TCP connections negotiate TLS 1.2 instead of 1.3.
+    pub tls12: bool,
+    /// Resolver round-trip for this domain's first lookup; `None` when
+    /// DNS is not modelled.
+    pub dns_delay: Option<SimDuration>,
+    /// The hosting provider; `None` for origins.
+    pub provider: Option<h3cdn_cdn::Provider>,
+}
+
+/// One planned fetch: the resource plus its place in the discovery DAG.
+#[derive(Debug, Clone)]
+pub struct PlannedRequest {
+    /// The workload resource.
+    pub resource: Resource,
+    /// Indices of resources revealed when this one completes.
+    pub children: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct ConnState {
+    conn: ClientConn,
+    domain: DomainId,
+}
+
+#[derive(Debug, Default, Clone)]
+struct EntryState {
+    dispatched_at: Option<SimTime>,
+    dns_ms: f64,
+    conn: Option<ConnId>,
+    creator: bool,
+    headers_at: Option<SimTime>,
+    done_at: Option<SimTime>,
+}
+
+/// The simulated browser for one page visit.
+#[derive(Debug)]
+pub struct ClientHost {
+    me: NodeId,
+    mode: ProtocolMode,
+    /// Cold Alt-Svc cache: H3-capable domains must be discovered via an
+    /// H2 response before H3 is used.
+    alt_svc_discovery: bool,
+    /// Domains whose `alt-svc: h3` advertisement has been seen (or the
+    /// whole H3-capable set when the cache starts warm).
+    alt_svc_known: std::collections::BTreeSet<DomainId>,
+    /// Domains that can advertise H3 at all.
+    h3_domains: std::collections::BTreeSet<DomainId>,
+    cc: CcAlgorithm,
+    plan: Vec<PlannedRequest>,
+    domain_info: HashMap<DomainId, DomainInfo>,
+    tickets: TicketStore,
+    conns: BTreeMap<ConnId, ConnState>,
+    pools: BTreeMap<(DomainId, HttpVersion), Vec<ConnId>>,
+    entries: Vec<EntryState>,
+    index_of_request: HashMap<u64, usize>,
+    next_port: u32,
+    started: bool,
+    remaining: usize,
+    page_done_at: Option<SimTime>,
+    har_rng: SimRng,
+    /// Domain → instant its name resolution completes.
+    dns_resolved_at: BTreeMap<DomainId, SimTime>,
+    /// Requests parked until their domain resolves, keyed by ready time.
+    parked: BTreeMap<SimTime, Vec<usize>>,
+}
+
+impl ClientHost {
+    /// Creates the browser for one visit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` is empty or references a domain missing from
+    /// `domain_info`.
+    pub fn new(
+        me: NodeId,
+        mode: ProtocolMode,
+        cc: CcAlgorithm,
+        plan: Vec<PlannedRequest>,
+        domain_info: HashMap<DomainId, DomainInfo>,
+        tickets: TicketStore,
+        har_seed: u64,
+    ) -> Self {
+        Self::with_alt_svc(me, mode, cc, plan, domain_info, tickets, har_seed, false)
+    }
+
+    /// As [`ClientHost::new`], optionally starting with a cold Alt-Svc
+    /// cache (Chrome's discovery behaviour).
+    #[allow(clippy::too_many_arguments)] // internal builder; the context IS the arguments
+    pub fn with_alt_svc(
+        me: NodeId,
+        mode: ProtocolMode,
+        cc: CcAlgorithm,
+        plan: Vec<PlannedRequest>,
+        domain_info: HashMap<DomainId, DomainInfo>,
+        tickets: TicketStore,
+        har_seed: u64,
+        alt_svc_discovery: bool,
+    ) -> Self {
+        assert!(!plan.is_empty(), "a page needs at least its root document");
+        for p in &plan {
+            assert!(
+                domain_info.contains_key(&p.resource.domain),
+                "no DomainInfo for {}",
+                p.resource.domain
+            );
+        }
+        let n = plan.len();
+        let index_of_request = plan
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.resource.id, i))
+            .collect();
+        let h3_domains: std::collections::BTreeSet<DomainId> = plan
+            .iter()
+            .filter(|p| p.resource.hosting.h3_available())
+            .map(|p| p.resource.domain)
+            .collect();
+        let alt_svc_known = if alt_svc_discovery {
+            std::collections::BTreeSet::new()
+        } else {
+            h3_domains.clone()
+        };
+        ClientHost {
+            me,
+            mode,
+            alt_svc_discovery,
+            alt_svc_known,
+            h3_domains,
+            cc,
+            plan,
+            domain_info,
+            tickets,
+            conns: BTreeMap::new(),
+            pools: BTreeMap::new(),
+            entries: vec![EntryState::default(); n],
+            index_of_request,
+            next_port: 1,
+            started: false,
+            remaining: n,
+            page_done_at: None,
+            har_rng: SimRng::seed_from(har_seed),
+            dns_resolved_at: BTreeMap::new(),
+            parked: BTreeMap::new(),
+        }
+    }
+
+    /// Whether every resource has completed.
+    pub fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// When the last resource completed (the onLoad instant).
+    pub fn page_done_at(&self) -> Option<SimTime> {
+        self.page_done_at
+    }
+
+    /// Called by the engine at t = 0 and for connection timers.
+    pub fn on_wakeup(&mut self, ctx: &mut NodeCtx<'_, WirePacket>) {
+        let now = ctx.now();
+        if !self.started {
+            self.started = true;
+            self.dispatch(0, now);
+        } else {
+            for st in self.conns.values_mut() {
+                if st.conn.next_timeout().is_some_and(|t| t <= now) {
+                    st.conn.on_timeout(now);
+                }
+            }
+        }
+        let due: Vec<SimTime> = self.parked.range(..=now).map(|(&t, _)| t).collect();
+        for t in due {
+            for idx in self.parked.remove(&t).expect("due batch") {
+                self.dispatch_resolved(idx, now);
+            }
+        }
+        self.pump(ctx);
+    }
+
+    /// Routes a packet to its connection.
+    pub fn on_packet(&mut self, pkt: WirePacket, ctx: &mut NodeCtx<'_, WirePacket>) {
+        let id = pkt.conn_id();
+        let now = ctx.now();
+        if let Some(st) = self.conns.get_mut(&id) {
+            st.conn.on_packet(pkt, now);
+        }
+        // Packets for dropped connections (late ACKs after teardown)
+        // cannot occur in-visit; ignore defensively.
+        self.pump(ctx);
+    }
+
+    /// Earliest pending deadline (or t = 0 before the visit starts).
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        if !self.started {
+            return Some(SimTime::ZERO);
+        }
+        let conn_deadline = self
+            .conns
+            .values()
+            .filter_map(|st| st.conn.next_timeout())
+            .min();
+        let parked = self.parked.keys().next().copied();
+        [conn_deadline, parked].into_iter().flatten().min()
+    }
+
+    fn pump(&mut self, ctx: &mut NodeCtx<'_, WirePacket>) {
+        let now = ctx.now();
+        loop {
+            let mut progressed = false;
+            let ids: Vec<ConnId> = self.conns.keys().copied().collect();
+            for id in ids {
+                // Transmit everything ready on this connection.
+                loop {
+                    let st = self.conns.get_mut(&id).expect("listed conn");
+                    let Some(pkt) = st.conn.poll_transmit(now) else {
+                        break;
+                    };
+                    progressed = true;
+                    let size = ByteCount::new(pkt.wire_bytes());
+                    ctx.send(id.server, pkt, size);
+                }
+                // Handle its events (may dispatch onto other conns).
+                loop {
+                    let st = self.conns.get_mut(&id).expect("listed conn");
+                    let Some(ev) = st.conn.poll_event() else {
+                        break;
+                    };
+                    progressed = true;
+                    self.on_http_event(id, ev, now);
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    fn on_http_event(&mut self, conn_id: ConnId, ev: HttpEvent, now: SimTime) {
+        match ev {
+            HttpEvent::Connected { .. } => {}
+            HttpEvent::ResponseHeaders { id, at } => {
+                let idx = self.index_of_request[&id];
+                self.entries[idx].headers_at = Some(at);
+                // The response's alt-svc header advertises H3 support.
+                if self.alt_svc_discovery {
+                    let domain = self.plan[idx].resource.domain;
+                    if self.h3_domains.contains(&domain) {
+                        self.alt_svc_known.insert(domain);
+                    }
+                }
+            }
+            HttpEvent::ResponseComplete { id, at } => {
+                let idx = self.index_of_request[&id];
+                if self.entries[idx].done_at.is_none() {
+                    self.entries[idx].done_at = Some(at);
+                    self.remaining -= 1;
+                    if self.remaining == 0 {
+                        self.page_done_at = Some(at);
+                    }
+                    let children = self.plan[idx].children.clone();
+                    for child in children {
+                        self.dispatch(child, now);
+                    }
+                }
+            }
+            HttpEvent::TicketIssued { at } => {
+                let domain = self.conns[&conn_id].domain;
+                self.tickets.insert(h3cdn_transport::tls::Ticket {
+                    domain: domain.0,
+                    issued_at: at,
+                    lifetime: TICKET_LIFETIME,
+                });
+            }
+        }
+    }
+
+    fn choose_version(&self, resource: &Resource) -> HttpVersion {
+        let h1_only = matches!(resource.hosting, Hosting::Origin { h1_only: true, .. });
+        match self.mode {
+            ProtocolMode::H2Only => {
+                if h1_only {
+                    HttpVersion::H1
+                } else {
+                    HttpVersion::H2
+                }
+            }
+            ProtocolMode::H3Enabled => {
+                if resource.hosting.h3_available()
+                    && self.alt_svc_known.contains(&resource.domain)
+                {
+                    HttpVersion::H3
+                } else if h1_only {
+                    HttpVersion::H1
+                } else {
+                    HttpVersion::H2
+                }
+            }
+        }
+    }
+
+    /// Entry point for fetching a resource: resolves the domain first
+    /// (parking the request until the name is known), then schedules it
+    /// onto a connection.
+    fn dispatch(&mut self, idx: usize, now: SimTime) {
+        let domain = self.plan[idx].resource.domain;
+        self.entries[idx].dispatched_at = Some(now);
+        let dns_delay = self.domain_info[&domain].dns_delay;
+        let ready = match (dns_delay, self.dns_resolved_at.get(&domain)) {
+            (None, _) => now,
+            (Some(_), Some(&done)) => done.max(now),
+            (Some(delay), None) => {
+                let done = now + delay;
+                self.dns_resolved_at.insert(domain, done);
+                done
+            }
+        };
+        if ready > now {
+            self.entries[idx].dns_ms = (ready - now).as_millis_f64();
+            self.parked.entry(ready).or_default().push(idx);
+        } else {
+            self.dispatch_resolved(idx, now);
+        }
+    }
+
+    fn dispatch_resolved(&mut self, idx: usize, now: SimTime) {
+        let resource = self.plan[idx].resource.clone();
+        let version = self.choose_version(&resource);
+        let domain = resource.domain;
+        let key = (domain, version);
+        let pool = self.pools.entry(key).or_default().clone();
+
+        let (conn_id, creator) = match version {
+            HttpVersion::H2 | HttpVersion::H3 => match pool.first() {
+                Some(&existing) => (existing, false),
+                None => (self.open_conn(domain, version, now), true),
+            },
+            HttpVersion::H1 => {
+                // Reuse an idle connection, else grow the pool to six,
+                // else queue on the least-loaded one.
+                let idle = pool.iter().copied().find(|id| {
+                    matches!(&self.conns[id].conn, ClientConn::H1(c) if !c.is_busy() && c.queued_len() == 0)
+                });
+                match idle {
+                    Some(id) => (id, false),
+                    None if pool.len() < H1_POOL_LIMIT => {
+                        (self.open_conn(domain, version, now), true)
+                    }
+                    None => {
+                        let least = pool
+                            .iter()
+                            .copied()
+                            .min_by_key(|id| match &self.conns[id].conn {
+                                ClientConn::H1(c) => c.queued_len(),
+                                _ => usize::MAX,
+                            })
+                            .expect("H1 pool non-empty");
+                        (least, false)
+                    }
+                }
+            }
+        };
+
+        self.entries[idx].conn = Some(conn_id);
+        self.entries[idx].creator = creator;
+        self.conns
+            .get_mut(&conn_id)
+            .expect("dispatch target exists")
+            .conn
+            .send_request(RequestMeta {
+                id: resource.id,
+                header_bytes: resource.request_header_bytes,
+            });
+    }
+
+    fn open_conn(&mut self, domain: DomainId, version: HttpVersion, now: SimTime) -> ConnId {
+        let info = self.domain_info[&domain].clone();
+        let port = self.next_port;
+        self.next_port += 1;
+        let id = ConnId::new(self.me, info.node, port);
+        let ticket = self.tickets.lookup(domain.0, now);
+        let tcp = TcpConfig {
+            initial_rtt: info.rtt,
+            cc: self.cc,
+            ..TcpConfig::default()
+        };
+        let mut conn = match version {
+            HttpVersion::H1 => ClientConn::H1(h3cdn_http::h1::H1Client::new(
+                id,
+                tcp,
+                TlsConfig {
+                    version: if info.tls12 {
+                        TlsVersion::Tls12
+                    } else {
+                        TlsVersion::Tls13
+                    },
+                    ticket,
+                    early_data: true,
+                },
+            )),
+            HttpVersion::H2 => ClientConn::H2(h3cdn_http::h2::H2Client::new(
+                id,
+                tcp,
+                TlsConfig {
+                    version: if info.tls12 {
+                        TlsVersion::Tls12
+                    } else {
+                        TlsVersion::Tls13
+                    },
+                    ticket,
+                    early_data: true,
+                },
+            )),
+            HttpVersion::H3 => {
+                let quic = QuicConfig {
+                    initial_rtt: info.rtt,
+                    cc: self.cc,
+                    ..QuicConfig::default()
+                };
+                ClientConn::H3(h3cdn_http::h3::H3Client::new(id, quic, ticket, true))
+            }
+        };
+        conn.connect(now);
+        self.pools
+            .entry((domain, version))
+            .or_default()
+            .push(id);
+        self.conns.insert(id, ConnState { conn, domain });
+        id
+    }
+
+    /// Finalises the visit into a HAR page plus the updated ticket store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page did not finish (a simulation bug worth failing
+    /// loudly on).
+    pub fn into_har(mut self, site: usize, vantage: &str) -> (HarPage, TicketStore) {
+        let plt = self
+            .page_done_at
+            .unwrap_or_else(|| panic!("page {site} did not finish: {} pending", self.remaining));
+        let mut entries = Vec::with_capacity(self.plan.len());
+        for (idx, planned) in self.plan.iter().enumerate() {
+            let st = &self.entries[idx];
+            let conn_id = st.conn.expect("entry was dispatched");
+            let conn = &self.conns[&conn_id].conn;
+            let info = &self.domain_info[&planned.resource.domain];
+            let dispatched = st.dispatched_at.expect("entry was dispatched");
+            let headers_at = st.headers_at.expect("response headers arrived");
+            let done_at = st.done_at.expect("response completed");
+            // The connection phase starts once the name is resolved.
+            let after_dns = dispatched + SimDuration::from_millis_f64(st.dns_ms);
+            let ready = conn
+                .send_ready_at()
+                .expect("connection completed its handshake")
+                .max(after_dns);
+
+            let setup_ms = (ready - after_dns).as_millis_f64();
+            let (connect_ms, blocked_ms) = if st.creator {
+                (setup_ms, 0.0)
+            } else {
+                (0.0, setup_ms)
+            };
+            let wait_ms =
+                (headers_at.saturating_duration_since(ready).as_millis_f64() - SEND_MS).max(0.0);
+            let receive_ms = done_at
+                .saturating_duration_since(headers_at)
+                .as_millis_f64();
+
+            let response_headers = match info.provider {
+                Some(p) => locedge::fingerprint_headers(p, &mut self.har_rng),
+                None => locedge::origin_headers(),
+            };
+            let provider =
+                locedge::classify(&response_headers, &info.name).map(|p| p.name().to_string());
+
+            entries.push(HarEntry {
+                id: planned.resource.id,
+                url: format!("https://{}/res/{}", info.name, planned.resource.id),
+                domain: info.name.clone(),
+                protocol: conn.version().to_string(),
+                provider,
+                response_headers,
+                body_bytes: planned.resource.body_bytes,
+                connection: conn_id.port as u64,
+                started_ms: dispatched.as_millis_f64(),
+                timing: EntryTiming {
+                    blocked_ms,
+                    dns_ms: st.dns_ms,
+                    connect_ms,
+                    send_ms: SEND_MS,
+                    wait_ms,
+                    receive_ms,
+                },
+                resumed: conn.was_resumed(),
+                early_data: st.creator && conn.used_early_data(),
+            });
+        }
+        let page = HarPage {
+            site,
+            vantage: vantage.to_string(),
+            protocol_mode: self.mode.label().to_string(),
+            plt_ms: plt.as_millis_f64(),
+            entries,
+        };
+        (page, self.tickets)
+    }
+}

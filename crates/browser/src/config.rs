@@ -1,0 +1,157 @@
+//! Visit configuration.
+
+use h3cdn_cdn::Vantage;
+use h3cdn_sim_core::units::DataRate;
+use h3cdn_sim_core::SimDuration;
+use h3cdn_transport::CcAlgorithm;
+
+/// Which protocols the browser is allowed to use for a visit — the
+/// paper's two Chrome instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolMode {
+    /// QUIC disabled: H2 everywhere (H1 for HTTP/1.x-only origins).
+    H2Only,
+    /// `enable-quic`: H3 wherever the resource supports it.
+    H3Enabled,
+}
+
+impl ProtocolMode {
+    /// The HAR `protocol_mode` label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolMode::H2Only => "h2",
+            ProtocolMode::H3Enabled => "h3",
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Everything that parameterises one page visit.
+///
+/// The defaults model the paper's testbed: a CloudLab probe on a
+/// gigabit campus link, warm edge caches (the measured second visit), no
+/// injected loss, Cubic congestion control, and a small H3 server
+/// compute surcharge (the cause of the paper's negative wait-reduction
+/// median, §VI-B).
+#[derive(Debug, Clone)]
+pub struct VisitConfig {
+    /// Protocol mode for this visit.
+    pub mode: ProtocolMode,
+    /// Vantage point the probe runs from.
+    pub vantage: Vantage,
+    /// Packet-loss percentage injected on the client's paths (Fig. 9's
+    /// `tc` sweep; 0.0 / 0.5 / 1.0 in the paper). Added on top of
+    /// `baseline_loss_percent`.
+    pub loss_percent: f64,
+    /// Natural path loss present even with nothing injected: the paper's
+    /// "0 %" is `tc` adding nothing to real Internet paths, which still
+    /// lose the occasional packet.
+    pub baseline_loss_percent: f64,
+    /// Use a bursty Gilbert–Elliott process at the same mean instead of
+    /// IID loss (the burstiness ablation).
+    pub bursty_loss: bool,
+    /// Model DNS resolution: the first contact with each domain pays a
+    /// resolver round trip (4–25 ms, stable per domain) before the
+    /// connection can open; later requests find the name cached.
+    pub model_dns: bool,
+    /// Model Chrome's Alt-Svc discovery with a cold cache: the first
+    /// request to each H3-capable domain goes over H2 and only
+    /// *subsequent* requests use H3 (learned from the response's
+    /// `alt-svc` header). Off by default — the paper's measured visit
+    /// follows a warm-up visit, so the Alt-Svc cache is warm and H3 is
+    /// used from the first request.
+    pub alt_svc_discovery: bool,
+    /// Client downlink rate.
+    pub downlink: DataRate,
+    /// Client uplink rate.
+    pub uplink: DataRate,
+    /// Extra server processing for H3 requests.
+    pub h3_extra_processing: SimDuration,
+    /// When `true`, edge caches are cold and every CDN response pays an
+    /// origin fetch (the paper's un-measured first visit).
+    pub cold_cache: bool,
+    /// Congestion-control algorithm for both stacks.
+    pub cc: CcAlgorithm,
+    /// Salt for path-jitter sampling. Equal salts give identical paths,
+    /// which is what makes H2/H3 visits a paired comparison.
+    pub jitter_salt: u64,
+}
+
+impl Default for VisitConfig {
+    fn default() -> Self {
+        VisitConfig {
+            mode: ProtocolMode::H3Enabled,
+            vantage: Vantage::Utah,
+            loss_percent: 0.0,
+            baseline_loss_percent: 0.04,
+            bursty_loss: false,
+            model_dns: true,
+            alt_svc_discovery: false,
+            downlink: DataRate::from_mbps(1000),
+            uplink: DataRate::from_mbps(1000),
+            h3_extra_processing: SimDuration::from_micros(1500),
+            cold_cache: false,
+            cc: CcAlgorithm::Cubic,
+            jitter_salt: 0x4A17_7E12,
+        }
+    }
+}
+
+impl VisitConfig {
+    /// Returns a copy in the given protocol mode (the paired-visit
+    /// pattern: same config, both modes).
+    pub fn with_mode(mut self, mode: ProtocolMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Returns a copy probing from the given vantage.
+    pub fn with_vantage(mut self, vantage: Vantage) -> Self {
+        self.vantage = vantage;
+        self
+    }
+
+    /// Returns a copy with the given injected loss percentage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent` is outside `[0, 100]`.
+    pub fn with_loss_percent(mut self, percent: f64) -> Self {
+        assert!((0.0..=100.0).contains(&percent), "loss percent {percent}");
+        self.loss_percent = percent;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(ProtocolMode::H2Only.to_string(), "h2");
+        assert_eq!(ProtocolMode::H3Enabled.label(), "h3");
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = VisitConfig::default()
+            .with_mode(ProtocolMode::H2Only)
+            .with_vantage(Vantage::Clemson)
+            .with_loss_percent(0.5);
+        assert_eq!(cfg.mode, ProtocolMode::H2Only);
+        assert_eq!(cfg.vantage, Vantage::Clemson);
+        assert!((cfg.loss_percent - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss percent")]
+    fn loss_range_checked() {
+        let _ = VisitConfig::default().with_loss_percent(101.0);
+    }
+}

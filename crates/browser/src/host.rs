@@ -1,0 +1,62 @@
+//! The node enum driven by the `h3cdn-netsim` engine.
+
+use h3cdn_netsim::{Node, NodeCtx};
+use h3cdn_sim_core::SimTime;
+use h3cdn_transport::WirePacket;
+
+use crate::client::ClientHost;
+use crate::server::ServerHost;
+
+/// Either side of a visit, as one engine node type. The client carries
+/// far more state than a server, so it is boxed to keep the enum (and
+/// the engine's node vector) small.
+#[derive(Debug)]
+pub enum SimHost {
+    /// The browser.
+    Client(Box<ClientHost>),
+    /// One domain's server.
+    Server(ServerHost),
+}
+
+impl SimHost {
+    /// The client, if this node is one.
+    pub fn as_client(&self) -> Option<&ClientHost> {
+        match self {
+            SimHost::Client(c) => Some(c),
+            SimHost::Server(_) => None,
+        }
+    }
+
+    /// Consumes the node, returning the client when it is one.
+    pub fn into_client(self) -> Option<ClientHost> {
+        match self {
+            SimHost::Client(c) => Some(*c),
+            SimHost::Server(_) => None,
+        }
+    }
+}
+
+impl Node for SimHost {
+    type Packet = WirePacket;
+
+    fn handle_packet(&mut self, packet: WirePacket, ctx: &mut NodeCtx<'_, WirePacket>) {
+        match self {
+            SimHost::Client(c) => c.on_packet(packet, ctx),
+            SimHost::Server(s) => s.on_packet(packet, ctx),
+        }
+    }
+
+    fn handle_wakeup(&mut self, ctx: &mut NodeCtx<'_, WirePacket>) {
+        match self {
+            SimHost::Client(c) => c.on_wakeup(ctx),
+            SimHost::Server(s) => s.on_wakeup(ctx),
+        }
+    }
+
+    fn next_wakeup(&self) -> Option<SimTime> {
+        match self {
+            SimHost::Client(c) => c.next_wakeup(),
+            SimHost::Server(s) => s.next_wakeup(),
+        }
+    }
+}

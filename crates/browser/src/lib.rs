@@ -1,0 +1,34 @@
+//! The simulated browser: page loading over the full protocol stack.
+//!
+//! This crate plays the role Chrome 108 + chrome-har-capturer play in the
+//! paper's measurement pipeline. A [`client::ClientHost`] drives one page
+//! visit: it discovers resources in waves, schedules them onto pooled
+//! H1/H2/H3 connections (per-domain pools, six-connection H1 limit,
+//! single multiplexed H2/H3 connection per domain and version), performs
+//! TLS/QUIC session resumption from a cross-visit [`TicketStore`], and
+//! emits a HAR page with Chrome-compatible per-entry phases.
+//!
+//! Protocol selection reproduces the study's measurement setup:
+//!
+//! * **H2 mode** (`--disable-quic`): everything over H2, except
+//!   HTTP/1.x-only origins.
+//! * **H3 mode** (`enable-quic`): resources whose hosting reports H3
+//!   support go over H3; the rest fall back to H2/H1. Because provider
+//!   H3 deployment is partial *within* a domain's resources, a domain can
+//!   need both an H2 and an H3 connection in H3 mode — the
+//!   connection-splitting effect behind the paper's Fig. 7 reuse gap.
+//!
+//! [`visit::visit_page`] assembles the network (per-domain edge paths
+//! from the vantage profile, client access-link rates, optional `tc`-
+//! style loss), runs the event loop to quiescence, and returns the HAR.
+//!
+//! [`TicketStore`]: h3cdn_transport::tls::TicketStore
+
+pub mod client;
+pub mod config;
+pub mod host;
+pub mod server;
+pub mod visit;
+
+pub use config::{ProtocolMode, VisitConfig};
+pub use visit::{visit_consecutively, visit_page, visit_page_traced, VisitOutcome, VisitStats};

@@ -1,0 +1,107 @@
+//! The server side of a visit: one node per domain, accepting TCP and
+//! QUIC connections and answering from its catalog.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use h3cdn_http::server::{accept, ServerConn};
+use h3cdn_http::Catalog;
+use h3cdn_netsim::NodeCtx;
+use h3cdn_sim_core::units::ByteCount;
+use h3cdn_sim_core::{SimDuration, SimTime};
+use h3cdn_transport::quic::QuicConfig;
+use h3cdn_transport::tcp::TcpConfig;
+use h3cdn_transport::{ConnId, WirePacket};
+
+/// A domain's server: accepts connections on demand, one [`ServerConn`]
+/// per client connection, all sharing the domain's response catalog.
+#[derive(Debug)]
+pub struct ServerHost {
+    catalog: Arc<Catalog>,
+    tcp_config: TcpConfig,
+    quic_config: QuicConfig,
+    /// Surcharge applied to QUIC-served (H3) requests.
+    h3_extra_processing: SimDuration,
+    conns: BTreeMap<ConnId, ServerConn>,
+}
+
+impl ServerHost {
+    /// Creates a server for one domain.
+    pub fn new(
+        catalog: Arc<Catalog>,
+        tcp_config: TcpConfig,
+        quic_config: QuicConfig,
+        h3_extra_processing: SimDuration,
+    ) -> Self {
+        ServerHost {
+            catalog,
+            tcp_config,
+            quic_config,
+            h3_extra_processing,
+            conns: BTreeMap::new(),
+        }
+    }
+
+    /// Total requests served across all connections.
+    pub fn requests_served(&self) -> u64 {
+        self.conns.values().map(ServerConn::requests_served).sum()
+    }
+
+    /// Number of connections accepted.
+    pub fn connection_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Handles an incoming packet, accepting a new connection when the
+    /// id is unknown.
+    pub fn on_packet(&mut self, pkt: WirePacket, ctx: &mut NodeCtx<'_, WirePacket>) {
+        let id = pkt.conn_id();
+        let now = ctx.now();
+        if !self.conns.contains_key(&id) {
+            let extra = match pkt {
+                WirePacket::Quic(_) => self.h3_extra_processing,
+                WirePacket::Tcp(_) => SimDuration::ZERO,
+            };
+            let conn = accept(
+                &pkt,
+                id,
+                &self.tcp_config,
+                &self.quic_config,
+                Arc::clone(&self.catalog),
+                extra,
+            );
+            self.conns.insert(id, conn);
+        }
+        self.conns
+            .get_mut(&id)
+            .expect("connection just ensured")
+            .on_packet(pkt, now);
+        self.pump(ctx);
+    }
+
+    /// Fires due timers across connections.
+    pub fn on_wakeup(&mut self, ctx: &mut NodeCtx<'_, WirePacket>) {
+        let now = ctx.now();
+        for conn in self.conns.values_mut() {
+            if conn.next_timeout().is_some_and(|t| t <= now) {
+                conn.on_timeout(now);
+            }
+        }
+        self.pump(ctx);
+    }
+
+    /// Earliest timer across connections.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        self.conns.values().filter_map(ServerConn::next_timeout).min()
+    }
+
+    fn pump(&mut self, ctx: &mut NodeCtx<'_, WirePacket>) {
+        let now = ctx.now();
+        for (id, conn) in self.conns.iter_mut() {
+            while let Some(pkt) = conn.poll_transmit(now) {
+                let size = ByteCount::new(pkt.wire_bytes());
+                ctx.send(id.client, pkt, size);
+            }
+        }
+    }
+}

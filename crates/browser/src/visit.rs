@@ -1,0 +1,606 @@
+//! Assembling and running one page visit (or a consecutive sequence).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use h3cdn_cdn::{edge, Vantage};
+use h3cdn_har::HarPage;
+use h3cdn_http::{Catalog, ResponseSpec};
+use h3cdn_netsim::{Engine, LossModel, Network, PathSpec};
+use h3cdn_sim_core::{SimDuration, SimRng, SimTime};
+use h3cdn_transport::quic::QuicConfig;
+use h3cdn_transport::tcp::TcpConfig;
+use h3cdn_transport::tls::TicketStore;
+use h3cdn_web::{DomainId, DomainTable, Webpage};
+
+use crate::client::{ClientHost, DomainInfo, PlannedRequest};
+use crate::config::VisitConfig;
+use crate::host::SimHost;
+use crate::server::ServerHost;
+
+/// Result of one visit.
+#[derive(Debug)]
+pub struct VisitOutcome {
+    /// The recorded HAR page.
+    pub har: HarPage,
+    /// The ticket store after the visit (feed it to the next visit for
+    /// consecutive browsing).
+    pub tickets: TicketStore,
+    /// Network-level statistics of the visit.
+    pub stats: VisitStats,
+}
+
+/// Packet-level statistics for one visit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VisitStats {
+    /// Packets delivered end-to-end.
+    pub packets_delivered: u64,
+    /// Packets lost (random loss or queue drop).
+    pub packets_lost: u64,
+}
+
+/// Wall-clock cap per visit; hitting it means the simulation wedged.
+const VISIT_DEADLINE: SimDuration = SimDuration::from_secs(300);
+
+fn vantage_index(v: Vantage) -> u64 {
+    match v {
+        Vantage::Utah => 1,
+        Vantage::Wisconsin => 2,
+        Vantage::Clemson => 3,
+    }
+}
+
+/// Stable per-domain RTT for this vantage: edge RTT with path jitter for
+/// CDN domains, a sampled origin distance otherwise. Equal salts give
+/// equal paths, so H2/H3 visits compare like-for-like.
+fn domain_rtt(
+    domains: &DomainTable,
+    domain: DomainId,
+    vantage: Vantage,
+    salt: u64,
+) -> SimDuration {
+    let mut rng = SimRng::seed_from(salt)
+        .fork(domain.0.wrapping_mul(0x9E37_79B9))
+        .fork(vantage_index(vantage));
+    match domains.provider(domain) {
+        Some(p) => Vantage::jitter(vantage.edge_rtt(p), &mut rng),
+        None => vantage.sample_origin_rtt(&mut rng),
+    }
+}
+
+/// Stable per-domain DNS resolver round trip: popular shared domains sit
+/// in nearby resolver caches (fast), the long tail needs recursive
+/// resolution (slower).
+fn domain_dns_delay(domains: &DomainTable, domain: DomainId, salt: u64) -> SimDuration {
+    let mut rng = SimRng::seed_from(salt ^ 0x0D25_D25D).fork(domain.0);
+    let (lo, hi) = if domains.is_shared(domain) {
+        (4.0, 12.0)
+    } else {
+        (8.0, 25.0)
+    };
+    SimDuration::from_millis_f64(rng.range_f64(lo, hi))
+}
+
+/// Stable per-domain TLS version (a property of the server deployment,
+/// so independent of vantage and protocol mode).
+fn domain_tls12(domains: &DomainTable, domain: DomainId, salt: u64) -> bool {
+    let mut rng = SimRng::seed_from(salt ^ 0x7154_1243).fork(domain.0);
+    let share = match domains.provider(domain) {
+        Some(p) => {
+            h3cdn_cdn::ProviderRegistry::paper_calibrated()
+                .profile(p)
+                .tls12_share
+        }
+        // H3-reachable sites run modern stacks: own origins are TLS 1.3.
+        None if !domains.is_service(domain) => 0.0,
+        None => h3cdn_cdn::provider::non_cdn::TLS12_SHARE,
+    };
+    rng.bernoulli(share)
+}
+
+/// Runs one visit of `page` from `cfg.vantage` in `cfg.mode`, starting
+/// from the given ticket store (pass [`TicketStore::new`] for an
+/// isolated measurement).
+///
+/// # Panics
+///
+/// Panics if the page fails to finish within the simulated deadline —
+/// that is a bug in the stack, not a measurement outcome.
+pub fn visit_page(
+    page: &Webpage,
+    domains: &DomainTable,
+    cfg: &VisitConfig,
+    tickets: TicketStore,
+) -> VisitOutcome {
+    visit_page_traced(page, domains, cfg, tickets, None)
+}
+
+/// As [`visit_page`], with an optional packet tracer installed on the
+/// engine (see [`h3cdn_netsim::engine::TraceRecord`]) — the tool for
+/// inspecting exactly what crossed the wire during a visit.
+pub fn visit_page_traced(
+    page: &Webpage,
+    domains: &DomainTable,
+    cfg: &VisitConfig,
+    tickets: TicketStore,
+    tracer: Option<h3cdn_netsim::engine::Tracer<h3cdn_transport::WirePacket>>,
+) -> VisitOutcome {
+    // 1. Collect the page's distinct domains, deterministically ordered.
+    let used: BTreeSet<DomainId> = page.resources.iter().map(|r| r.domain).collect();
+
+    // 2. Network fabric: client + one server node per domain.
+    let net_seed = cfg
+        .jitter_salt
+        .wrapping_mul(31)
+        .wrapping_add(page.site as u64)
+        .wrapping_add(vantage_index(cfg.vantage) << 32);
+    let mut net = Network::new(net_seed);
+    let client_node = net.add_node();
+    net.set_ingress_rate(client_node, cfg.downlink);
+    net.set_egress_rate(client_node, cfg.uplink);
+    let total_loss = cfg.loss_percent + cfg.baseline_loss_percent;
+    let loss = if cfg.bursty_loss {
+        LossModel::bursty_percent(total_loss)
+    } else {
+        LossModel::iid_percent(total_loss)
+    };
+
+    let mut node_of: HashMap<DomainId, h3cdn_netsim::NodeId> = HashMap::new();
+    let mut info_of: HashMap<DomainId, DomainInfo> = HashMap::new();
+    for &d in &used {
+        let node = net.add_node();
+        let rtt = domain_rtt(domains, d, cfg.vantage, cfg.jitter_salt);
+        net.set_path_symmetric(
+            client_node,
+            node,
+            PathSpec::with_delay(rtt / 2).loss(loss),
+        );
+        node_of.insert(d, node);
+        info_of.insert(
+            d,
+            DomainInfo {
+                domain: d,
+                name: domains.name(d).to_string(),
+                node,
+                rtt,
+                tls12: domain_tls12(domains, d, cfg.jitter_salt),
+                dns_delay: cfg
+                    .model_dns
+                    .then(|| domain_dns_delay(domains, d, cfg.jitter_salt)),
+                provider: domains.provider(d),
+            },
+        );
+    }
+
+    // 3. Catalogs: each domain's server knows its resources. Cold caches
+    //    pay an origin fetch per CDN resource.
+    let origin_rtt = domain_rtt(domains, page.origin_domain, cfg.vantage, cfg.jitter_salt);
+    let mut catalogs: BTreeMap<DomainId, Catalog> = BTreeMap::new();
+    for r in &page.resources {
+        let mut processing = SimDuration::from_nanos(r.processing_us * 1_000);
+        if cfg.cold_cache && r.hosting.is_cdn() {
+            processing += edge::miss_penalty(origin_rtt);
+        }
+        catalogs.entry(r.domain).or_default().register(
+            r.id,
+            ResponseSpec {
+                header_bytes: r.response_header_bytes,
+                body_bytes: r.body_bytes,
+                processing,
+                priority: priority_of(r.kind),
+            },
+        );
+    }
+
+    // 4. Hosts, index-aligned with node creation order.
+    let plan = build_plan(page);
+    let client = ClientHost::with_alt_svc(
+        client_node,
+        cfg.mode,
+        cfg.cc,
+        plan,
+        info_of,
+        tickets,
+        net_seed ^ 0x4841_5221, // HAR fingerprint tokens
+        cfg.alt_svc_discovery,
+    );
+    let mut hosts: Vec<SimHost> = vec![SimHost::Client(Box::new(client))];
+    for &d in &used {
+        let rtt = domain_rtt(domains, d, cfg.vantage, cfg.jitter_salt);
+        let tcp = TcpConfig {
+            initial_rtt: rtt,
+            cc: cfg.cc,
+            ..TcpConfig::default()
+        };
+        let quic = QuicConfig {
+            initial_rtt: rtt,
+            cc: cfg.cc,
+            ..QuicConfig::default()
+        };
+        hosts.push(SimHost::Server(ServerHost::new(
+            catalogs.remove(&d).unwrap_or_default().into_shared(),
+            tcp,
+            quic,
+            cfg.h3_extra_processing,
+        )));
+    }
+
+    // 5. Run to quiescence.
+    let mut engine = Engine::new(net, hosts);
+    if let Some(t) = tracer {
+        engine.set_tracer(t);
+    }
+    engine.run_until(SimTime::ZERO + VISIT_DEADLINE);
+    let (net, hosts) = engine.into_parts();
+    let stats = VisitStats {
+        packets_delivered: net.delivered(),
+        packets_lost: net.lost(),
+    };
+    let client = hosts
+        .into_iter()
+        .next()
+        .and_then(SimHost::into_client)
+        .expect("client is node 0");
+    assert!(
+        client.is_done(),
+        "page {} did not finish within {VISIT_DEADLINE}",
+        page.site
+    );
+    let (har, tickets) = client.into_har(page.site, cfg.vantage.name());
+    VisitOutcome {
+        har,
+        tickets,
+        stats,
+    }
+}
+
+/// Visits pages in order, carrying the ticket store forward — the
+/// paper's §VI-D consecutive-browsing methodology (connections torn
+/// down, caches cleared, session state kept).
+pub fn visit_consecutively(
+    pages: &[&Webpage],
+    domains: &DomainTable,
+    cfg: &VisitConfig,
+    mut tickets: TicketStore,
+) -> (Vec<HarPage>, TicketStore) {
+    let mut hars = Vec::with_capacity(pages.len());
+    for page in pages {
+        let outcome = visit_page(page, domains, cfg, tickets);
+        tickets = outcome.tickets;
+        hars.push(outcome.har);
+    }
+    (hars, tickets)
+}
+
+/// Chrome-style priority classes per resource kind: render-blocking
+/// content first, late visual content last.
+fn priority_of(kind: h3cdn_web::ResourceKind) -> u8 {
+    use h3cdn_http::types::priority;
+    use h3cdn_web::ResourceKind;
+    match kind {
+        ResourceKind::Html | ResourceKind::Script | ResourceKind::Stylesheet | ResourceKind::Font => {
+            priority::HIGH
+        }
+        ResourceKind::Other => priority::NORMAL,
+        ResourceKind::Image | ResourceKind::Media => priority::LOW,
+    }
+}
+
+fn build_plan(page: &Webpage) -> Vec<PlannedRequest> {
+    let mut plan: Vec<PlannedRequest> = page
+        .resources
+        .iter()
+        .map(|r| PlannedRequest {
+            resource: r.clone(),
+            children: Vec::new(),
+        })
+        .collect();
+    for (idx, r) in page.resources.iter().enumerate() {
+        if let Some(parent) = r.parent {
+            plan[parent].children.push(idx);
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolMode;
+    use h3cdn_web::{generate, WorkloadSpec};
+
+    fn small_corpus() -> h3cdn_web::Corpus {
+        generate(&WorkloadSpec::default().with_pages(6).with_seed(42))
+    }
+
+    fn visit(
+        corpus: &h3cdn_web::Corpus,
+        site: usize,
+        mode: ProtocolMode,
+    ) -> HarPage {
+        let cfg = VisitConfig::default().with_mode(mode);
+        visit_page(&corpus.pages[site], &corpus.domains, &cfg, TicketStore::new()).har
+    }
+
+    #[test]
+    fn both_modes_complete_and_pair_up() {
+        let corpus = small_corpus();
+        let h2 = visit(&corpus, 0, ProtocolMode::H2Only);
+        let h3 = visit(&corpus, 0, ProtocolMode::H3Enabled);
+        assert_eq!(h2.entries.len(), corpus.pages[0].request_count());
+        assert_eq!(h2.entries.len(), h3.entries.len());
+        assert!(h2.plt_ms > 0.0 && h3.plt_ms > 0.0);
+        // Every entry must have sane phases.
+        for e in h2.entries.iter().chain(&h3.entries) {
+            assert!(e.timing.connect_ms >= 0.0);
+            assert!(e.timing.wait_ms >= 0.0);
+            assert!(e.timing.receive_ms >= 0.0);
+            assert!(e.finished_ms() <= h2.plt_ms.max(h3.plt_ms) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn visits_are_deterministic() {
+        let corpus = small_corpus();
+        let a = visit(&corpus, 1, ProtocolMode::H3Enabled);
+        let b = visit(&corpus, 1, ProtocolMode::H3Enabled);
+        assert_eq!(a.plt_ms, b.plt_ms);
+        for (ea, eb) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(ea.timing.connect_ms, eb.timing.connect_ms);
+            assert_eq!(ea.timing.receive_ms, eb.timing.receive_ms);
+        }
+    }
+
+    #[test]
+    fn h3_mode_uses_h3_exactly_for_h3_capable_resources() {
+        let corpus = small_corpus();
+        let page = &corpus.pages[0];
+        let har = visit(&corpus, 0, ProtocolMode::H3Enabled);
+        let expected: usize = page
+            .resources
+            .iter()
+            .filter(|r| r.hosting.h3_available())
+            .count();
+        assert_eq!(har.entries_with_protocol("h3").count(), expected);
+        // And the H2-only run never uses H3.
+        let h2 = visit(&corpus, 0, ProtocolMode::H2Only);
+        assert_eq!(h2.entries_with_protocol("h3").count(), 0);
+    }
+
+    #[test]
+    fn mean_plt_reduction_is_positive() {
+        let corpus = small_corpus();
+        let mut total = 0.0;
+        for site in 0..corpus.pages.len() {
+            let h2 = visit(&corpus, site, ProtocolMode::H2Only);
+            let h3 = visit(&corpus, site, ProtocolMode::H3Enabled);
+            total += h2.plt_ms - h3.plt_ms;
+        }
+        let mean = total / corpus.pages.len() as f64;
+        assert!(
+            mean > 0.0,
+            "H3 must reduce PLT on average, got {mean:.2}ms"
+        );
+    }
+
+    #[test]
+    fn connections_are_reused_within_a_page() {
+        let corpus = small_corpus();
+        let har = visit(&corpus, 0, ProtocolMode::H2Only);
+        assert!(
+            har.reused_connection_count() > har.entries.len() / 2,
+            "most entries should reuse pooled connections: {} of {}",
+            har.reused_connection_count(),
+            har.entries.len()
+        );
+    }
+
+    #[test]
+    fn h2_mode_reuses_more_than_h3_mode() {
+        // Partial per-resource H3 availability splits domains across two
+        // connections in H3 mode — Fig. 7a's reuse gap.
+        let corpus = small_corpus();
+        let mut h2_total = 0usize;
+        let mut h3_total = 0usize;
+        for site in 0..corpus.pages.len() {
+            h2_total += visit(&corpus, site, ProtocolMode::H2Only).reused_connection_count();
+            h3_total += visit(&corpus, site, ProtocolMode::H3Enabled).reused_connection_count();
+        }
+        assert!(
+            h2_total > h3_total,
+            "H2 mode must reuse more: {h2_total} vs {h3_total}"
+        );
+    }
+
+    #[test]
+    fn consecutive_visits_resume_sessions() {
+        let corpus = small_corpus();
+        let cfg = VisitConfig::default();
+        let pages: Vec<&Webpage> = corpus.pages.iter().take(3).collect();
+        let (hars, tickets) =
+            visit_consecutively(&pages, &corpus.domains, &cfg, TicketStore::new());
+        // First page: no prior tickets, nothing resumed.
+        assert_eq!(hars[0].resumed_connection_count(), 0);
+        // Later pages share CDN domains with earlier ones → resumption.
+        let later: usize = hars[1..].iter().map(HarPage::resumed_connection_count).sum();
+        assert!(later > 0, "shared providers must trigger resumption");
+        assert!(!tickets.is_empty());
+    }
+
+    #[test]
+    fn loss_increases_plt() {
+        let corpus = small_corpus();
+        let page = &corpus.pages[2];
+        let clean = visit_page(
+            page,
+            &corpus.domains,
+            &VisitConfig::default().with_mode(ProtocolMode::H2Only),
+            TicketStore::new(),
+        )
+        .har;
+        let lossy = visit_page(
+            page,
+            &corpus.domains,
+            &VisitConfig::default()
+                .with_mode(ProtocolMode::H2Only)
+                .with_loss_percent(2.0),
+            TicketStore::new(),
+        )
+        .har;
+        assert!(
+            lossy.plt_ms > clean.plt_ms,
+            "2% loss must slow the page: {} vs {}",
+            clean.plt_ms,
+            lossy.plt_ms
+        );
+    }
+
+    #[test]
+    fn cdn_entries_are_classified_by_locedge() {
+        let corpus = small_corpus();
+        let page = &corpus.pages[0];
+        let har = visit(&corpus, 0, ProtocolMode::H3Enabled);
+        let classified = har.entries.iter().filter(|e| e.provider.is_some()).count();
+        let cdn = page.cdn_resources().count();
+        assert_eq!(classified, cdn, "every CDN entry classified, no origin");
+    }
+
+    #[test]
+    fn connection_pools_respect_protocol_rules() {
+        let corpus = small_corpus();
+        // H2/H3 use exactly one connection per (domain, version); H1-only
+        // domains are capped at six parallel connections.
+        for site in 0..corpus.pages.len() {
+            let har = visit(&corpus, site, ProtocolMode::H3Enabled);
+            let mut conns_per: std::collections::HashMap<(String, String), std::collections::BTreeSet<u64>> =
+                Default::default();
+            for e in &har.entries {
+                conns_per
+                    .entry((e.domain.clone(), e.protocol.clone()))
+                    .or_default()
+                    .insert(e.connection);
+            }
+            for ((domain, protocol), conns) in &conns_per {
+                match protocol.as_str() {
+                    "h2" | "h3" => assert_eq!(
+                        conns.len(),
+                        1,
+                        "{domain} {protocol}: multiplexed protocols pool one connection"
+                    ),
+                    _ => assert!(
+                        conns.len() <= 6,
+                        "{domain}: H1 pool capped at six, got {}",
+                        conns.len()
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alt_svc_discovery_starts_domains_on_h2() {
+        let corpus = small_corpus();
+        // Pick a page with H3-capable CDN domains.
+        let page = corpus
+            .pages
+            .iter()
+            .find(|p| p.h3_enabled_cdn_count() > 3)
+            .expect("an H3-rich page exists");
+        let cfg = VisitConfig {
+            alt_svc_discovery: true,
+            ..VisitConfig::default()
+        };
+        let har = visit_page(page, &corpus.domains, &cfg, TicketStore::new()).har;
+        // Per H3-capable domain: the earliest-dispatched entry went H2
+        // (discovery), and H3 appears only after it.
+        let mut h3_started = std::collections::HashMap::new();
+        let mut h2_first = std::collections::HashMap::new();
+        for e in &har.entries {
+            if e.protocol == "h3" {
+                let t = h3_started.entry(e.domain.clone()).or_insert(e.started_ms);
+                *t = t.min(e.started_ms);
+            }
+        }
+        for e in &har.entries {
+            if e.protocol == "h2" && h3_started.contains_key(&e.domain) {
+                let t = h2_first.entry(e.domain.clone()).or_insert(e.started_ms);
+                *t = t.min(e.started_ms);
+            }
+        }
+        assert!(!h3_started.is_empty(), "discovery still reaches H3");
+        for (domain, h3_t) in &h3_started {
+            let h2_t = h2_first
+                .get(domain)
+                .unwrap_or_else(|| panic!("{domain} has no discovery H2 request"));
+            assert!(h2_t < h3_t, "{domain}: H2 discovery must precede H3");
+        }
+        // And the warm-cache default uses H3 immediately (more H3 entries).
+        let warm = visit_page(page, &corpus.domains, &VisitConfig::default(), TicketStore::new()).har;
+        assert!(
+            warm.entries_with_protocol("h3").count()
+                > har.entries_with_protocol("h3").count(),
+            "cold discovery must cost some H3 requests"
+        );
+    }
+
+    #[test]
+    fn dns_is_paid_once_per_domain() {
+        let corpus = small_corpus();
+        let page = &corpus.pages[0];
+        let har = visit_page(page, &corpus.domains, &VisitConfig::default(), TicketStore::new()).har;
+        // Per domain, exactly the entries dispatched before resolution
+        // completes carry dns time; at least the first one does.
+        let mut per_domain: std::collections::HashMap<&str, Vec<f64>> = Default::default();
+        for e in &har.entries {
+            per_domain.entry(e.domain.as_str()).or_default().push(e.timing.dns_ms);
+        }
+        for (domain, dns) in &per_domain {
+            assert!(
+                dns.iter().any(|&d| d > 0.0),
+                "first contact with {domain} must resolve"
+            );
+        }
+        // Disabling the model zeroes the phase and shortens the page.
+        let no_dns = VisitConfig {
+            model_dns: false,
+            ..VisitConfig::default()
+        };
+        let har2 = visit_page(page, &corpus.domains, &no_dns, TicketStore::new()).har;
+        assert!(har2.entries.iter().all(|e| e.timing.dns_ms == 0.0));
+        assert!(har2.plt_ms < har.plt_ms);
+    }
+
+    #[test]
+    fn cold_cache_slows_the_visit() {
+        let corpus = small_corpus();
+        let page = &corpus.pages[3];
+        // Loss-free so the comparison is purely the cache state (under
+        // baseline loss the two runs see different loss draws).
+        let warm_cfg = VisitConfig {
+            baseline_loss_percent: 0.0,
+            ..VisitConfig::default()
+        };
+        let cold_cfg = VisitConfig {
+            cold_cache: true,
+            baseline_loss_percent: 0.0,
+            ..VisitConfig::default()
+        };
+        let warm = visit_page(page, &corpus.domains, &warm_cfg, TicketStore::new()).har;
+        let cold = visit_page(page, &corpus.domains, &cold_cfg, TicketStore::new()).har;
+        // Every CDN entry pays the origin fetch in its wait phase; the
+        // page-level PLT may or may not move (the critical path can be an
+        // origin chain, which caches don't touch).
+        let wait_sum = |har: &HarPage| -> f64 {
+            har.entries.iter().map(|e| e.timing.wait_ms).sum()
+        };
+        assert!(
+            wait_sum(&cold) > wait_sum(&warm) + 100.0,
+            "cold-edge waits must grow: {} vs {}",
+            wait_sum(&warm),
+            wait_sum(&cold)
+        );
+        // No assertion on PLT: with contention, slowing individual
+        // responses can *reschedule* the page such that the final entry
+        // lands earlier — max-completion is not monotone in per-request
+        // delay.
+    }
+}

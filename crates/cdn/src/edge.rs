@@ -1,0 +1,130 @@
+//! Edge-server caches.
+//!
+//! The paper visits each page twice: the first visit pulls resources from
+//! origin into the edge cache, the second — the measured one — is served
+//! from the warm edge. [`EdgeCache`] reproduces that: a cold lookup costs
+//! an origin fetch (added to server processing time), a warm one is free.
+
+use h3cdn_sim_core::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Per-edge cache of resource ids, with optional TTL eviction.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeCache {
+    cached: HashMap<u64, SimTime>,
+    ttl: Option<SimDuration>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EdgeCache {
+    /// Creates a cache whose entries never expire (the paper's popular
+    /// resources stay resident).
+    pub fn new() -> Self {
+        EdgeCache::default()
+    }
+
+    /// Creates a cache whose entries expire `ttl` after insertion.
+    pub fn with_ttl(ttl: SimDuration) -> Self {
+        EdgeCache {
+            ttl: Some(ttl),
+            ..EdgeCache::default()
+        }
+    }
+
+    /// Looks up `resource` at time `now`, inserting it on miss. Returns
+    /// `true` on a warm hit.
+    pub fn lookup_or_fill(&mut self, resource: u64, now: SimTime) -> bool {
+        let fresh = match self.cached.get(&resource) {
+            Some(&inserted) => match self.ttl {
+                Some(ttl) => now <= inserted + ttl,
+                None => true,
+            },
+            None => false,
+        };
+        if fresh {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            self.cached.insert(resource, now);
+        }
+        fresh
+    }
+
+    /// Pre-warms the cache with `resource` (the paper's first visit).
+    pub fn warm(&mut self, resource: u64, now: SimTime) {
+        self.cached.insert(resource, now);
+    }
+
+    /// Cache hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses observed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops all entries (but keeps hit/miss counters).
+    pub fn clear(&mut self) {
+        self.cached.clear();
+    }
+}
+
+/// Extra processing a cache miss adds: the edge fetches from origin
+/// before it can respond. One origin round trip plus origin service time.
+pub fn miss_penalty(origin_rtt: SimDuration) -> SimDuration {
+    origin_rtt + SimDuration::from_millis(5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn first_lookup_misses_second_hits() {
+        let mut cache = EdgeCache::new();
+        assert!(!cache.lookup_or_fill(1, at(0)));
+        assert!(cache.lookup_or_fill(1, at(10)));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn warm_prefills() {
+        let mut cache = EdgeCache::new();
+        cache.warm(7, at(0));
+        assert!(cache.lookup_or_fill(7, at(1)));
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let mut cache = EdgeCache::with_ttl(SimDuration::from_millis(100));
+        assert!(!cache.lookup_or_fill(1, at(0)));
+        assert!(cache.lookup_or_fill(1, at(50)));
+        assert!(!cache.lookup_or_fill(1, at(200)), "expired entry re-fills");
+        // Re-fill at 200 renews the entry.
+        assert!(cache.lookup_or_fill(1, at(250)));
+    }
+
+    #[test]
+    fn clear_evicts_everything() {
+        let mut cache = EdgeCache::new();
+        cache.warm(1, at(0));
+        cache.clear();
+        assert!(!cache.lookup_or_fill(1, at(1)));
+    }
+
+    #[test]
+    fn miss_penalty_scales_with_origin_rtt() {
+        let near = miss_penalty(SimDuration::from_millis(20));
+        let far = miss_penalty(SimDuration::from_millis(120));
+        assert_eq!(far - near, SimDuration::from_millis(100));
+    }
+}

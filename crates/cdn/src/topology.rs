@@ -1,0 +1,160 @@
+//! Vantage points and edge RTT profiles.
+//!
+//! The study probes from three CloudLab sites. Each vantage sees each
+//! provider's nearest edge at a characteristic RTT: the giants run dense
+//! anycast edges (single-digit to low-double-digit milliseconds), the
+//! aggregated tail and origin servers sit farther away. Values are
+//! representative US-interior latencies; experiments average across
+//! vantages exactly as the paper does.
+
+use h3cdn_sim_core::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+use crate::provider::Provider;
+
+/// A measurement vantage point (CloudLab site).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vantage {
+    /// University of Utah.
+    Utah,
+    /// University of Wisconsin–Madison.
+    Wisconsin,
+    /// Clemson University.
+    Clemson,
+}
+
+impl Vantage {
+    /// All three vantages, in the paper's order.
+    pub const ALL: [Vantage; 3] = [Vantage::Utah, Vantage::Wisconsin, Vantage::Clemson];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Vantage::Utah => "Utah",
+            Vantage::Wisconsin => "Wisconsin",
+            Vantage::Clemson => "Clemson",
+        }
+    }
+
+    /// Base round-trip time from this vantage to `provider`'s nearest
+    /// edge.
+    pub fn edge_rtt(self, provider: Provider) -> SimDuration {
+        let ms = match (self, provider) {
+            // Dense anycast giants: close everywhere.
+            (Vantage::Utah, Provider::Google) => 8,
+            (Vantage::Wisconsin, Provider::Google) => 10,
+            (Vantage::Clemson, Provider::Google) => 14,
+            (Vantage::Utah, Provider::Cloudflare) => 10,
+            (Vantage::Wisconsin, Provider::Cloudflare) => 9,
+            (Vantage::Clemson, Provider::Cloudflare) => 12,
+            (Vantage::Utah, Provider::Fastly) => 12,
+            (Vantage::Wisconsin, Provider::Fastly) => 11,
+            (Vantage::Clemson, Provider::Fastly) => 16,
+            (Vantage::Utah, Provider::Akamai) => 14,
+            (Vantage::Wisconsin, Provider::Akamai) => 12,
+            (Vantage::Clemson, Provider::Akamai) => 15,
+            (Vantage::Utah, Provider::Amazon) => 16,
+            (Vantage::Wisconsin, Provider::Amazon) => 14,
+            (Vantage::Clemson, Provider::Amazon) => 18,
+            (Vantage::Utah, Provider::Microsoft) => 18,
+            (Vantage::Wisconsin, Provider::Microsoft) => 16,
+            (Vantage::Clemson, Provider::Microsoft) => 20,
+            (Vantage::Utah, Provider::QuicCloud) => 24,
+            (Vantage::Wisconsin, Provider::QuicCloud) => 22,
+            (Vantage::Clemson, Provider::QuicCloud) => 26,
+            // Sparse tail providers: noticeably farther.
+            (Vantage::Utah, Provider::Other) => 42,
+            (Vantage::Wisconsin, Provider::Other) => 38,
+            (Vantage::Clemson, Provider::Other) => 46,
+        };
+        SimDuration::from_millis(ms)
+    }
+
+    /// Base round-trip time from this vantage to a website's origin
+    /// server (non-CDN resources and the root HTML). Origins are single-
+    /// homed, so they sit much farther than any edge.
+    pub fn origin_rtt_base(self) -> SimDuration {
+        SimDuration::from_millis(match self {
+            Vantage::Utah => 60,
+            Vantage::Wisconsin => 55,
+            Vantage::Clemson => 65,
+        })
+    }
+
+    /// Samples a concrete origin RTT for one website: base plus a
+    /// site-specific spread (origins are scattered across the Internet).
+    pub fn sample_origin_rtt(self, rng: &mut SimRng) -> SimDuration {
+        let extra_ms = rng.range_f64(0.0, 60.0);
+        self.origin_rtt_base() + SimDuration::from_millis_f64(extra_ms)
+    }
+
+    /// Samples per-path jitter to add to an edge RTT (±20 %).
+    pub fn jitter(rtt: SimDuration, rng: &mut SimRng) -> SimDuration {
+        rtt.mul_f64(rng.range_f64(0.8, 1.2))
+    }
+}
+
+impl std::fmt::Display for Vantage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn giants_closer_than_tail_everywhere() {
+        for v in Vantage::ALL {
+            for giant in Provider::GIANTS {
+                assert!(
+                    v.edge_rtt(giant) < v.edge_rtt(Provider::Other),
+                    "{giant} should be closer than the tail from {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn origins_farther_than_edges() {
+        for v in Vantage::ALL {
+            for p in Provider::ALL {
+                assert!(
+                    v.origin_rtt_base() > v.edge_rtt(p),
+                    "origin must be farther than {p} edge from {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn origin_sampling_is_bounded_and_deterministic() {
+        let mut a = SimRng::seed_from(5);
+        let mut b = SimRng::seed_from(5);
+        for _ in 0..100 {
+            let ra = Vantage::Utah.sample_origin_rtt(&mut a);
+            let rb = Vantage::Utah.sample_origin_rtt(&mut b);
+            assert_eq!(ra, rb);
+            assert!(ra >= Vantage::Utah.origin_rtt_base());
+            assert!(ra <= Vantage::Utah.origin_rtt_base() + SimDuration::from_millis(60));
+        }
+    }
+
+    #[test]
+    fn jitter_stays_within_twenty_percent() {
+        let mut rng = SimRng::seed_from(6);
+        let base = SimDuration::from_millis(10);
+        for _ in 0..1000 {
+            let j = Vantage::jitter(base, &mut rng);
+            assert!(j >= SimDuration::from_millis(8));
+            assert!(j <= SimDuration::from_millis(12));
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let names: Vec<&str> = Vantage::ALL.iter().map(|v| v.name()).collect();
+        assert_eq!(names, vec!["Utah", "Wisconsin", "Clemson"]);
+    }
+}

@@ -1,0 +1,236 @@
+//! The measurement campaign: corpus + visit machinery + pairing.
+
+use h3cdn_browser::{visit_consecutively, visit_page, ProtocolMode, VisitConfig};
+use h3cdn_cdn::Vantage;
+use h3cdn_har::{entry_reductions, plt_reduction_ms, HarPage, PageComparison};
+use h3cdn_transport::tls::TicketStore;
+use h3cdn_web::{generate, Corpus, Webpage, WorkloadSpec};
+
+/// Configuration of one campaign (corpus + probing setup).
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Workload specification (pages, sizes, calibration).
+    pub workload: WorkloadSpec,
+    /// Vantage points to probe from (the paper uses all three).
+    pub vantages: Vec<Vantage>,
+    /// Base visit configuration; experiments override mode/loss per run.
+    pub visit: VisitConfig,
+}
+
+impl Default for CampaignConfig {
+    /// Paper-scale: 325 pages, three vantages.
+    fn default() -> Self {
+        CampaignConfig {
+            workload: WorkloadSpec::default(),
+            vantages: Vantage::ALL.to_vec(),
+            visit: VisitConfig::default(),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A scaled-down campaign (one vantage) for tests, examples and
+    /// benches.
+    pub fn small(pages: usize, seed: u64) -> Self {
+        CampaignConfig {
+            workload: WorkloadSpec::default().with_pages(pages).with_seed(seed),
+            vantages: vec![Vantage::Utah],
+            visit: VisitConfig::default(),
+        }
+    }
+}
+
+/// A campaign: the corpus plus everything needed to measure it.
+///
+/// All visit methods are pure functions of the campaign configuration —
+/// identical campaigns produce identical HARs.
+#[derive(Debug)]
+pub struct MeasurementCampaign {
+    config: CampaignConfig,
+    corpus: Corpus,
+}
+
+impl MeasurementCampaign {
+    /// Generates the corpus and readies the campaign.
+    pub fn new(config: CampaignConfig) -> Self {
+        let corpus = generate(&config.workload);
+        MeasurementCampaign { config, corpus }
+    }
+
+    /// The generated corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// The configured vantages.
+    pub fn vantages(&self) -> &[Vantage] {
+        &self.config.vantages
+    }
+
+    /// Visits one page once, isolated (no prior session state).
+    pub fn visit(&self, site: usize, vantage: Vantage, mode: ProtocolMode) -> HarPage {
+        let cfg = self
+            .config
+            .visit
+            .clone()
+            .with_mode(mode)
+            .with_vantage(vantage);
+        visit_page(
+            &self.corpus.pages[site],
+            &self.corpus.domains,
+            &cfg,
+            TicketStore::new(),
+        )
+        .har
+    }
+
+    /// Visits one page with an explicit visit config (loss sweeps etc.).
+    pub fn visit_with(&self, site: usize, cfg: &VisitConfig) -> HarPage {
+        visit_page(
+            &self.corpus.pages[site],
+            &self.corpus.domains,
+            cfg,
+            TicketStore::new(),
+        )
+        .har
+    }
+
+    /// The paper's paired measurement of one page from one vantage: an
+    /// H2 visit and an H3 visit over identical paths, reduced to a
+    /// [`PageComparison`].
+    pub fn compare_page(&self, site: usize, vantage: Vantage) -> PageComparison {
+        let base = self.config.visit.clone().with_vantage(vantage);
+        self.compare_page_with(site, &base)
+    }
+
+    /// Paired measurement under an explicit base config (the mode field
+    /// is overridden per side).
+    pub fn compare_page_with(&self, site: usize, base: &VisitConfig) -> PageComparison {
+        let page = &self.corpus.pages[site];
+        let h2 = visit_page(
+            page,
+            &self.corpus.domains,
+            &base.clone().with_mode(ProtocolMode::H2Only),
+            TicketStore::new(),
+        )
+        .har;
+        let h3 = visit_page(
+            page,
+            &self.corpus.domains,
+            &base.clone().with_mode(ProtocolMode::H3Enabled),
+            TicketStore::new(),
+        )
+        .har;
+        self.build_comparison(page, &h2, &h3)
+    }
+
+    /// Paired measurements of every page from every configured vantage
+    /// (the full Fig. 6/7 dataset).
+    pub fn compare_all(&self) -> Vec<PageComparison> {
+        let mut out = Vec::new();
+        for &v in &self.config.vantages {
+            for site in 0..self.corpus.pages.len() {
+                out.push(self.compare_page(site, v));
+            }
+        }
+        out
+    }
+
+    /// Consecutive visits (§VI-D): pages in corpus order, session state
+    /// carried across pages, one pass per protocol mode. Returns
+    /// `(h2_pages, h3_pages)` index-aligned with the corpus.
+    pub fn consecutive_pass(&self, vantage: Vantage) -> (Vec<HarPage>, Vec<HarPage>) {
+        let pages: Vec<&Webpage> = self.corpus.pages.iter().collect();
+        let (h2, _) = visit_consecutively(
+            &pages,
+            &self.corpus.domains,
+            &self
+                .config
+                .visit
+                .clone()
+                .with_vantage(vantage)
+                .with_mode(ProtocolMode::H2Only),
+            TicketStore::new(),
+        );
+        let (h3, _) = visit_consecutively(
+            &pages,
+            &self.corpus.domains,
+            &self
+                .config
+                .visit
+                .clone()
+                .with_vantage(vantage)
+                .with_mode(ProtocolMode::H3Enabled),
+            TicketStore::new(),
+        );
+        (h2, h3)
+    }
+
+    /// Builds the [`PageComparison`] for a paired pair of HARs.
+    pub fn build_comparison(
+        &self,
+        page: &Webpage,
+        h2: &HarPage,
+        h3: &HarPage,
+    ) -> PageComparison {
+        PageComparison {
+            site: page.site,
+            vantage: h2.vantage.clone(),
+            plt_reduction_ms: plt_reduction_ms(h2, h3),
+            reused_h2: h2.reused_connection_count(),
+            reused_h3: h3.reused_connection_count(),
+            resumed_h3: h3.resumed_connection_count(),
+            h3_enabled_cdn: page.h3_enabled_cdn_count(),
+            cdn_resources: page.cdn_resources().count(),
+            providers_used: page.providers_used().len(),
+            entries: entry_reductions(h2, h3),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn campaign() -> MeasurementCampaign {
+        MeasurementCampaign::new(CampaignConfig::small(4, 11))
+    }
+
+    #[test]
+    fn comparison_has_full_pairing() {
+        let c = campaign();
+        let cmp = c.compare_page(0, Vantage::Utah);
+        assert_eq!(cmp.entries.len(), c.corpus().pages[0].request_count());
+        assert_eq!(cmp.site, 0);
+        assert_eq!(cmp.cdn_resources, c.corpus().pages[0].cdn_resources().count());
+    }
+
+    #[test]
+    fn compare_all_covers_pages_times_vantages() {
+        let mut cfg = CampaignConfig::small(3, 5);
+        cfg.vantages = vec![Vantage::Utah, Vantage::Clemson];
+        let c = MeasurementCampaign::new(cfg);
+        assert_eq!(c.compare_all().len(), 6);
+    }
+
+    #[test]
+    fn visits_are_reproducible() {
+        let c = campaign();
+        let a = c.visit(1, Vantage::Utah, ProtocolMode::H3Enabled);
+        let b = c.visit(1, Vantage::Utah, ProtocolMode::H3Enabled);
+        assert_eq!(a.plt_ms, b.plt_ms);
+    }
+
+    #[test]
+    fn consecutive_pass_resumes_later_pages() {
+        let c = campaign();
+        let (_, h3) = c.consecutive_pass(Vantage::Utah);
+        let resumed: usize = h3.iter().map(HarPage::resumed_connection_count).sum();
+        assert!(resumed > 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Fig. 3: CCDF of the percentage of CDN resources on each webpage.
+
+use std::fmt;
+
+use h3cdn_analysis::ccdf_points;
+use serde::Serialize;
+
+use crate::MeasurementCampaign;
+
+/// The reproduced Fig. 3 curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3 {
+    /// `(cdn_percentage, P[X > x])` points, ascending in x.
+    pub points: Vec<(f64, f64)>,
+    /// Fraction of pages with more than 50 % CDN resources (the paper's
+    /// headline: 75 %).
+    pub over_half: f64,
+}
+
+/// Computes the CCDF from the corpus composition.
+pub fn run(campaign: &MeasurementCampaign) -> Fig3 {
+    let fractions: Vec<f64> = campaign
+        .corpus()
+        .pages
+        .iter()
+        .map(|p| p.cdn_fraction() * 100.0)
+        .collect();
+    let over_half =
+        fractions.iter().filter(|&&x| x > 50.0).count() as f64 / fractions.len() as f64;
+    Fig3 {
+        points: ccdf_points(&fractions),
+        over_half,
+    }
+}
+
+impl Fig3 {
+    /// CCDF evaluated at `x` percent: `P[X > x]`.
+    pub fn ccdf_at(&self, x: f64) -> f64 {
+        // Points are (sample, P[X > sample]) ascending; the CCDF at x is
+        // the value at the largest sample ≤ x (1.0 before the first).
+        let mut last = 1.0_f64;
+        for &(px, p) in &self.points {
+            if px > x {
+                return last;
+            }
+            last = p;
+        }
+        last
+    }
+}
+
+impl fmt::Display for Fig3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 3: CCDF of CDN-resource percentage per page")?;
+        writeln!(f, "{:>8} {:>8}", "x (%)", "P[X>x]")?;
+        for x in [0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0] {
+            writeln!(f, "{:>8.0} {:>8.3}", x, self.ccdf_at(x))?;
+        }
+        writeln!(f, "pages with >50% CDN resources: {:.1}%", self.over_half * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CampaignConfig, MeasurementCampaign};
+
+    #[test]
+    fn paper_scale_ccdf_at_half_is_75_percent() {
+        let campaign = MeasurementCampaign::new(CampaignConfig::default());
+        let fig = run(&campaign);
+        assert!(
+            (fig.over_half - 0.75).abs() < 0.06,
+            "CCDF(50%) = {}",
+            fig.over_half
+        );
+        // Monotone non-increasing curve.
+        for w in fig.points.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Fig. 4: shared giant providers across webpages — (a) per-provider
+//! appearance probability, (b) pages by number of providers used.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use h3cdn_cdn::Provider;
+use serde::Serialize;
+
+use crate::MeasurementCampaign;
+
+/// The reproduced Fig. 4 dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4 {
+    /// (a) `(provider, P[provider appears on a page])`, descending.
+    pub appearance: Vec<(String, f64)>,
+    /// (b) `provider count → number of pages`.
+    pub pages_by_provider_count: BTreeMap<usize, usize>,
+    /// Fraction of pages using at least two providers (paper: 94.8 %).
+    pub at_least_two: f64,
+}
+
+/// Computes both panels from corpus composition.
+pub fn run(campaign: &MeasurementCampaign) -> Fig4 {
+    let pages = &campaign.corpus().pages;
+    let n = pages.len() as f64;
+    let mut appearance: Vec<(String, f64)> = Provider::ALL
+        .into_iter()
+        .map(|p| {
+            let k = pages
+                .iter()
+                .filter(|page| page.providers_used().contains(&p))
+                .count();
+            (p.name().to_string(), k as f64 / n)
+        })
+        .collect();
+    appearance.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+
+    let mut pages_by_provider_count: BTreeMap<usize, usize> = BTreeMap::new();
+    for page in pages {
+        *pages_by_provider_count
+            .entry(page.providers_used().len())
+            .or_default() += 1;
+    }
+    let at_least_two = pages
+        .iter()
+        .filter(|p| p.providers_used().len() >= 2)
+        .count() as f64
+        / n;
+    Fig4 {
+        appearance,
+        pages_by_provider_count,
+        at_least_two,
+    }
+}
+
+impl fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 4(a): probability of providers appearing on a page")?;
+        for (p, prob) in &self.appearance {
+            writeln!(f, "{:<12} {:>6.1}%", p, prob * 100.0)?;
+        }
+        writeln!(f, "Fig. 4(b): pages by number of providers used")?;
+        for (count, pages) in &self.pages_by_provider_count {
+            writeln!(f, "{:>2} providers: {:>4} pages", count, pages)?;
+        }
+        writeln!(
+            f,
+            "pages using >= 2 providers: {:.1}%",
+            self.at_least_two * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CampaignConfig;
+
+    #[test]
+    fn paper_scale_shapes() {
+        let campaign = crate::MeasurementCampaign::new(CampaignConfig::default());
+        let fig = run(&campaign);
+        // Top four providers each exceed 50 % appearance.
+        for (p, prob) in fig.appearance.iter().take(4) {
+            assert!(*prob > 0.5, "{p} at {prob}");
+        }
+        assert!((fig.at_least_two - 0.948).abs() < 0.04);
+        let total: usize = fig.pages_by_provider_count.values().sum();
+        assert_eq!(total, campaign.corpus().pages.len());
+    }
+}

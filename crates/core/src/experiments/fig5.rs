@@ -1,0 +1,115 @@
+//! Fig. 5: CCDF of the number of CDN resources each giant provider
+//! hosts per webpage (Amazon, Cloudflare, Google, Fastly).
+
+use std::fmt;
+
+use h3cdn_analysis::ccdf_points;
+use h3cdn_cdn::Provider;
+use serde::Serialize;
+
+use crate::MeasurementCampaign;
+
+/// One provider's CCDF curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Series {
+    /// Provider name.
+    pub provider: String,
+    /// `(resource count, P[X > x])` over pages using the provider.
+    pub points: Vec<(f64, f64)>,
+    /// Fraction of its pages hosting more than 10 resources.
+    pub over_ten: f64,
+}
+
+/// The reproduced Fig. 5 dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5 {
+    /// One series per giant provider.
+    pub series: Vec<Fig5Series>,
+}
+
+/// Computes the per-giant CCDFs from corpus composition.
+pub fn run(campaign: &MeasurementCampaign) -> Fig5 {
+    let pages = &campaign.corpus().pages;
+    let series = Provider::GIANTS
+        .into_iter()
+        .map(|p| {
+            let counts: Vec<f64> = pages
+                .iter()
+                .map(|page| page.cdn_count_for(p) as f64)
+                .filter(|&c| c > 0.0)
+                .collect();
+            let over_ten = if counts.is_empty() {
+                0.0
+            } else {
+                counts.iter().filter(|&&c| c > 10.0).count() as f64 / counts.len() as f64
+            };
+            Fig5Series {
+                provider: p.name().to_string(),
+                points: ccdf_points(&counts),
+                over_ten,
+            }
+        })
+        .collect();
+    Fig5 { series }
+}
+
+impl Fig5 {
+    /// A provider's series, if present.
+    pub fn series_for(&self, provider: &str) -> Option<&Fig5Series> {
+        self.series.iter().find(|s| s.provider == provider)
+    }
+}
+
+impl fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 5: CCDF of per-page CDN resource count, per giant provider"
+        )?;
+        writeln!(f, "{:<12} {:>14} {:>14}", "provider", "median count", ">10 resources")?;
+        for s in &self.series {
+            // Median from the CCDF: first x with P[X > x] <= 0.5.
+            let median = s
+                .points
+                .iter()
+                .find(|(_, p)| *p <= 0.5)
+                .map(|(x, _)| *x)
+                .unwrap_or(0.0);
+            writeln!(
+                f,
+                "{:<12} {:>14.0} {:>13.1}%",
+                s.provider,
+                median,
+                s.over_ten * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CampaignConfig;
+
+    #[test]
+    fn cloudflare_and_google_pages_often_exceed_ten() {
+        let campaign = crate::MeasurementCampaign::new(CampaignConfig::default());
+        let fig = run(&campaign);
+        assert_eq!(fig.series.len(), 4);
+        for name in ["Cloudflare", "Google"] {
+            let s = fig.series_for(name).expect("giant present");
+            assert!(
+                (0.35..=0.85).contains(&s.over_ten),
+                "{name}: over_ten {}",
+                s.over_ten
+            );
+        }
+        // Curves are valid CCDFs.
+        for s in &fig.series {
+            for w in s.points.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Fig. 7: reused HTTP connections under H2 and H3, their difference per
+//! group, and the relationship between reuse difference and PLT
+//! reduction.
+
+use std::fmt;
+
+use h3cdn_analysis::{mean, quartile_groups, QuartileGroup};
+use h3cdn_har::PageComparison;
+use serde::Serialize;
+
+/// One group's reuse summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct GroupReuse {
+    /// Group label.
+    pub group: String,
+    /// Mean reused connections in the H2 visit.
+    pub mean_reused_h2: f64,
+    /// Mean reused connections in the H3 visit.
+    pub mean_reused_h3: f64,
+    /// Mean reused-connection difference (H2 − H3).
+    pub mean_difference: f64,
+}
+
+/// One bin of panel (c): reuse difference → PLT reduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct DifferenceBin {
+    /// Lower edge of the reuse-difference bin.
+    pub difference_from: i64,
+    /// Upper edge (exclusive).
+    pub difference_to: i64,
+    /// Pages in the bin.
+    pub pages: usize,
+    /// Mean PLT reduction in the bin.
+    pub mean_plt_reduction_ms: f64,
+}
+
+/// The reproduced Fig. 7 dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7 {
+    /// (a)+(b) per quartile group, Low → High.
+    pub groups: Vec<GroupReuse>,
+    /// (c) binned reuse difference vs PLT reduction.
+    pub bins: Vec<DifferenceBin>,
+}
+
+/// Analyses the paired-comparison dataset.
+pub fn run(comparisons: &[PageComparison]) -> Fig7 {
+    let keys: Vec<f64> = comparisons.iter().map(|c| c.h3_enabled_cdn as f64).collect();
+    let groups = quartile_groups(&keys);
+    let group_rows = QuartileGroup::ALL
+        .into_iter()
+        .map(|g| {
+            let members: Vec<&PageComparison> = comparisons
+                .iter()
+                .zip(&groups)
+                .filter(|(_, &gg)| gg == g)
+                .map(|(c, _)| c)
+                .collect();
+            let h2: Vec<f64> = members.iter().map(|c| c.reused_h2 as f64).collect();
+            let h3: Vec<f64> = members.iter().map(|c| c.reused_h3 as f64).collect();
+            let diff: Vec<f64> = members
+                .iter()
+                .map(|c| c.reused_difference() as f64)
+                .collect();
+            GroupReuse {
+                group: g.label().to_string(),
+                mean_reused_h2: mean(&h2),
+                mean_reused_h3: mean(&h3),
+                mean_difference: mean(&diff),
+            }
+        })
+        .collect();
+
+    // Panel (c): bin by reuse difference.
+    let edges: [i64; 6] = [i64::MIN, 0, 2, 4, 8, i64::MAX];
+    let mut bins = Vec::new();
+    for w in edges.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let members: Vec<f64> = comparisons
+            .iter()
+            .filter(|c| {
+                let d = c.reused_difference();
+                d >= lo && d < hi
+            })
+            .map(|c| c.plt_reduction_ms)
+            .collect();
+        bins.push(DifferenceBin {
+            difference_from: lo,
+            difference_to: hi,
+            pages: members.len(),
+            mean_plt_reduction_ms: mean(&members),
+        });
+    }
+    Fig7 {
+        groups: group_rows,
+        bins,
+    }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 7(a/b): reused connections per group")?;
+        writeln!(
+            f,
+            "{:<12} {:>10} {:>10} {:>12}",
+            "group", "H2 reused", "H3 reused", "difference"
+        )?;
+        for g in &self.groups {
+            writeln!(
+                f,
+                "{:<12} {:>10.1} {:>10.1} {:>12.1}",
+                g.group, g.mean_reused_h2, g.mean_reused_h3, g.mean_difference
+            )?;
+        }
+        writeln!(f, "Fig. 7(c): PLT reduction vs reuse difference")?;
+        for b in &self.bins {
+            if b.pages == 0 {
+                continue;
+            }
+            let lo = if b.difference_from == i64::MIN {
+                "-inf".to_string()
+            } else {
+                b.difference_from.to_string()
+            };
+            let hi = if b.difference_to == i64::MAX {
+                "+inf".to_string()
+            } else {
+                b.difference_to.to_string()
+            };
+            writeln!(
+                f,
+                "diff [{lo}, {hi}): {:>4} pages, mean reduction {:>8.1}ms",
+                b.pages, b.mean_plt_reduction_ms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CampaignConfig, MeasurementCampaign, Vantage};
+
+    #[test]
+    fn reuse_grows_with_group_and_h2_exceeds_h3() {
+        let campaign = MeasurementCampaign::new(CampaignConfig::small(20, 33));
+        let cmps: Vec<PageComparison> = (0..20)
+            .map(|site| campaign.compare_page(site, Vantage::Utah))
+            .collect();
+        let fig = run(&cmps);
+        // Fig. 7(a)'s direction, robust to small-sample grouping noise:
+        // the upper half out-reuses the lower half.
+        let low_half = (fig.groups[0].mean_reused_h2 + fig.groups[1].mean_reused_h2) / 2.0;
+        let high_half = (fig.groups[2].mean_reused_h2 + fig.groups[3].mean_reused_h2) / 2.0;
+        assert!(
+            high_half > low_half,
+            "higher groups must reuse more: {low_half} vs {high_half}"
+        );
+        // H2 triggers at least as much reuse overall (Fig. 7(a)'s gap).
+        let total_h2: f64 = fig.groups.iter().map(|g| g.mean_reused_h2).sum();
+        let total_h3: f64 = fig.groups.iter().map(|g| g.mean_reused_h3).sum();
+        assert!(total_h2 > total_h3, "H2 {total_h2} vs H3 {total_h3}");
+        // Bin metadata is sane.
+        let total_pages: usize = fig.bins.iter().map(|b| b.pages).sum();
+        assert_eq!(total_pages, cmps.len());
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerators for every table and figure in the paper's evaluation.
+//!
+//! Each submodule owns one artifact: it consumes a
+//! [`MeasurementCampaign`](crate::MeasurementCampaign), runs exactly the
+//! analysis the paper describes, and returns a serialisable result whose
+//! `Display` prints the same rows/series the paper reports. The
+//! `h3cdn-experiments` binaries are thin wrappers over these functions;
+//! EXPERIMENTS.md records paper-vs-measured for each.
+
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;

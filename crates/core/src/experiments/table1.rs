@@ -1,0 +1,99 @@
+//! Table I: release year of H3 support per CDN provider and the
+//! provider's own performance report.
+
+use std::fmt;
+
+use h3cdn_cdn::{Provider, ProviderRegistry};
+use serde::Serialize;
+
+/// One row of Table I.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Provider name.
+    pub provider: String,
+    /// Release year of H3 support, if public.
+    pub release_year: Option<u16>,
+    /// The provider's published performance report.
+    pub performance_report: String,
+}
+
+/// The reproduced Table I.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1 {
+    /// Rows in the paper's order (by release year, giants first).
+    pub rows: Vec<Table1Row>,
+}
+
+/// Builds Table I from the calibrated provider registry.
+pub fn run() -> Table1 {
+    let registry = ProviderRegistry::paper_calibrated();
+    let order = [
+        Provider::Cloudflare,
+        Provider::Google,
+        Provider::Fastly,
+        Provider::QuicCloud,
+        Provider::Amazon,
+        Provider::Akamai,
+    ];
+    let rows = order
+        .into_iter()
+        .map(|p| {
+            let profile = registry.profile(p);
+            Table1Row {
+                provider: p.name().to_string(),
+                release_year: profile.h3_release_year,
+                performance_report: profile.performance_report.to_string(),
+            }
+        })
+        .collect();
+    Table1 { rows }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table I: release year of H3 support in various CDNs and their performance reports"
+        )?;
+        writeln!(f, "{:<12} {:<8} report", "provider", "year")?;
+        for row in &self.rows {
+            let year = row
+                .release_year
+                .map(|y| y.to_string())
+                .unwrap_or_else(|| "N/A".into());
+            writeln!(f, "{:<12} {:<8} {}", row.provider, year, row.performance_report)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_match_paper_years() {
+        let t = run();
+        assert_eq!(t.rows.len(), 6);
+        let year = |name: &str| {
+            t.rows
+                .iter()
+                .find(|r| r.provider == name)
+                .and_then(|r| r.release_year)
+        };
+        assert_eq!(year("Cloudflare"), Some(2019));
+        assert_eq!(year("Google"), Some(2021));
+        assert_eq!(year("Fastly"), Some(2021));
+        assert_eq!(year("QUIC.Cloud"), Some(2021));
+        assert_eq!(year("Amazon"), Some(2022));
+        assert_eq!(year("Akamai"), Some(2023));
+    }
+
+    #[test]
+    fn display_includes_every_provider() {
+        let text = run().to_string();
+        for name in ["Cloudflare", "Google", "Fastly", "QUIC.Cloud", "Amazon", "Akamai"] {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+}

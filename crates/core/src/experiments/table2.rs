@@ -1,0 +1,146 @@
+//! Table II: number and share of requests per HTTP version, split by
+//! CDN / non-CDN — measured from HAR entries of an H3-enabled pass, with
+//! CDN membership decided by the LocEdge classifier exactly as in the
+//! paper.
+
+use std::fmt;
+
+use h3cdn_browser::ProtocolMode;
+use h3cdn_cdn::Vantage;
+use serde::Serialize;
+
+use crate::MeasurementCampaign;
+
+/// Counts for one HTTP version row.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct VersionCounts {
+    /// CDN requests on this version.
+    pub cdn: usize,
+    /// Non-CDN requests on this version.
+    pub non_cdn: usize,
+}
+
+impl VersionCounts {
+    /// Total requests on this version.
+    pub fn total(&self) -> usize {
+        self.cdn + self.non_cdn
+    }
+}
+
+/// The reproduced Table II.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Table2 {
+    /// HTTP/2 row.
+    pub h2: VersionCounts,
+    /// HTTP/3 row.
+    pub h3: VersionCounts,
+    /// Other versions (HTTP/1.x) row.
+    pub others: VersionCounts,
+}
+
+impl Table2 {
+    /// Total requests.
+    pub fn total(&self) -> usize {
+        self.h2.total() + self.h3.total() + self.others.total()
+    }
+
+    /// Total CDN requests.
+    pub fn cdn_total(&self) -> usize {
+        self.h2.cdn + self.h3.cdn + self.others.cdn
+    }
+
+    /// Share of all requests on H3.
+    pub fn h3_share(&self) -> f64 {
+        self.h3.total() as f64 / self.total() as f64
+    }
+
+    /// Share of all requests that are CDN-served.
+    pub fn cdn_share(&self) -> f64 {
+        self.cdn_total() as f64 / self.total() as f64
+    }
+}
+
+/// Runs an H3-enabled pass over every page from `vantage` and tallies
+/// per-protocol request counts.
+pub fn run(campaign: &MeasurementCampaign, vantage: Vantage) -> Table2 {
+    let mut t = Table2::default();
+    for site in 0..campaign.corpus().pages.len() {
+        let har = campaign.visit(site, vantage, ProtocolMode::H3Enabled);
+        for e in &har.entries {
+            let is_cdn = e.provider.is_some();
+            let row = match e.protocol.as_str() {
+                "h2" => &mut t.h2,
+                "h3" => &mut t.h3,
+                _ => &mut t.others,
+            };
+            if is_cdn {
+                row.cdn += 1;
+            } else {
+                row.non_cdn += 1;
+            }
+        }
+    }
+    t
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total() as f64;
+        writeln!(
+            f,
+            "Table II: requests and share of total per HTTP version (measured, H3-enabled pass)"
+        )?;
+        writeln!(
+            f,
+            "{:<10} {:>8} {:>6}  {:>8} {:>6}  {:>8} {:>6}",
+            "protocol", "CDN", "%", "nonCDN", "%", "all", "%"
+        )?;
+        let mut row = |name: &str, c: &VersionCounts| {
+            writeln!(
+                f,
+                "{:<10} {:>8} {:>6.1}  {:>8} {:>6.1}  {:>8} {:>6.1}",
+                name,
+                c.cdn,
+                c.cdn as f64 / total * 100.0,
+                c.non_cdn,
+                c.non_cdn as f64 / total * 100.0,
+                c.total(),
+                c.total() as f64 / total * 100.0,
+            )
+        };
+        row("HTTP/2", &self.h2)?;
+        row("HTTP/3", &self.h3)?;
+        row("Others", &self.others)?;
+        writeln!(
+            f,
+            "{:<10} {:>8} {:>6.1}  {:>8} {:>6.1}  {:>8} {:>6.1}",
+            "All",
+            self.cdn_total(),
+            self.cdn_share() * 100.0,
+            self.total() - self.cdn_total(),
+            (1.0 - self.cdn_share()) * 100.0,
+            self.total(),
+            100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CampaignConfig;
+
+    #[test]
+    fn shapes_match_paper_on_a_small_campaign() {
+        let campaign = MeasurementCampaign::new(CampaignConfig::small(12, 3));
+        let t = run(&campaign, Vantage::Utah);
+        assert_eq!(t.total(), campaign.corpus().total_requests());
+        // Paper: CDN 67 %, H3 32.6 % — small-sample tolerances are loose.
+        assert!((t.cdn_share() - 0.67).abs() < 0.12, "cdn {}", t.cdn_share());
+        assert!((t.h3_share() - 0.326).abs() < 0.12, "h3 {}", t.h3_share());
+        // CDN "Others" must be (near) zero, as in the paper (<0.01 %).
+        assert_eq!(t.others.cdn, 0);
+        // H2 leads overall.
+        assert!(t.h2.total() > t.h3.total());
+    }
+}

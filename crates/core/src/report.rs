@@ -1,0 +1,222 @@
+//! One-shot campaign report: every artifact, rendered as a single
+//! markdown document, plus CSV exports of the figure series for
+//! plotting.
+
+use std::fmt::Write as _;
+
+use h3cdn_cdn::Vantage;
+
+use crate::experiments as ex;
+use crate::MeasurementCampaign;
+
+/// Options for [`generate_report`].
+#[derive(Debug, Clone)]
+pub struct ReportOptions {
+    /// Vantage for single-vantage artifacts.
+    pub vantage: Vantage,
+    /// Loss percentages for the Fig. 9 sweep.
+    pub loss_percents: Vec<f64>,
+    /// Repeats per loss rate (jitter-salt pooling).
+    pub fig9_repeats: u64,
+    /// Warm-up pages excluded from consecutive-visit statistics.
+    pub warmup: usize,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        ReportOptions {
+            vantage: Vantage::Utah,
+            loss_percents: vec![0.0, 0.5, 1.0],
+            fig9_repeats: 3,
+            warmup: 10,
+        }
+    }
+}
+
+/// Runs every experiment and renders one markdown report.
+///
+/// This is the expensive all-in-one entry point (the `report` binary);
+/// for individual artifacts use the [`crate::experiments`] modules
+/// directly.
+pub fn generate_report(campaign: &MeasurementCampaign, opts: &ReportOptions) -> String {
+    let mut out = String::new();
+    let corpus = campaign.corpus();
+    let _ = writeln!(out, "# h3cdn campaign report\n");
+    let _ = writeln!(
+        out,
+        "- corpus: **{} pages**, {} requests, seed {}",
+        corpus.pages.len(),
+        corpus.total_requests(),
+        corpus.spec.seed
+    );
+    let _ = writeln!(
+        out,
+        "- vantages: {} (paired Fig. 6/7 data uses {})",
+        opts.vantage,
+        campaign
+            .vantages()
+            .iter()
+            .map(|v| v.name())
+            .collect::<Vec<_>>()
+            .join("/")
+    );
+    let _ = writeln!(out, "- CDN share: {:.1} %\n", corpus.cdn_fraction() * 100.0);
+
+    let mut section = |title: &str, body: String| {
+        let _ = writeln!(out, "## {title}\n\n```text\n{body}```\n");
+    };
+
+    section("Table I", ex::table1::run().to_string());
+    section(
+        "Table II",
+        ex::table2::run(campaign, opts.vantage).to_string(),
+    );
+    section("Fig. 2", ex::fig2::run(campaign, opts.vantage).to_string());
+    section("Fig. 3", ex::fig3::run(campaign).to_string());
+    section("Fig. 4", ex::fig4::run(campaign).to_string());
+    section("Fig. 5", ex::fig5::run(campaign).to_string());
+
+    let comparisons = campaign.compare_all();
+    section("Fig. 6", ex::fig6::run(&comparisons).to_string());
+    section("Fig. 7", ex::fig7::run(&comparisons).to_string());
+
+    section(
+        "Fig. 8",
+        ex::fig8::run(campaign, opts.vantage, opts.warmup).to_string(),
+    );
+    section(
+        "Table III",
+        ex::table3::run(campaign, opts.vantage, opts.warmup).to_string(),
+    );
+    section(
+        "Fig. 9",
+        ex::fig9::run_with_repeats(
+            campaign,
+            opts.vantage,
+            &opts.loss_percents,
+            opts.fig9_repeats,
+        )
+        .to_string(),
+    );
+    out
+}
+
+/// Renders `(x, y)` series as a two-column CSV with a header row.
+pub fn series_csv(header: (&str, &str), points: &[(f64, f64)]) -> String {
+    let mut out = format!("{},{}\n", header.0, header.1);
+    for (x, y) in points {
+        let _ = writeln!(out, "{x},{y}");
+    }
+    out
+}
+
+/// CSV exports of the plot-ready series for each figure: name → CSV
+/// body. Covers Fig. 3 (CCDF), Fig. 5 (per-giant CCDFs), Fig. 6(b)
+/// (three reduction CDFs), and Fig. 9 (per-loss scatter).
+pub fn figure_csvs(campaign: &MeasurementCampaign, opts: &ReportOptions) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let fig3 = ex::fig3::run(campaign);
+    out.push((
+        "fig3_ccdf.csv".to_string(),
+        series_csv(("cdn_percent", "ccdf"), &fig3.points),
+    ));
+    let fig5 = ex::fig5::run(campaign);
+    for s in &fig5.series {
+        out.push((
+            format!("fig5_{}.csv", s.provider.to_lowercase().replace('.', "_")),
+            series_csv(("resources", "ccdf"), &s.points),
+        ));
+    }
+    let comparisons = campaign.compare_all();
+    let fig6 = ex::fig6::run(&comparisons);
+    out.push((
+        "fig6b_connect_cdf.csv".to_string(),
+        series_csv(("connect_reduction_ms", "cdf"), &fig6.connect_cdf),
+    ));
+    out.push((
+        "fig6b_wait_cdf.csv".to_string(),
+        series_csv(("wait_reduction_ms", "cdf"), &fig6.wait_cdf),
+    ));
+    out.push((
+        "fig6b_receive_cdf.csv".to_string(),
+        series_csv(("receive_reduction_ms", "cdf"), &fig6.receive_cdf),
+    ));
+    let fig9 = ex::fig9::run_with_repeats(
+        campaign,
+        opts.vantage,
+        &opts.loss_percents,
+        opts.fig9_repeats,
+    );
+    for s in &fig9.series {
+        out.push((
+            format!("fig9_loss_{}.csv", s.loss_percent),
+            series_csv(("cdn_resources", "plt_reduction_ms"), &s.points),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CampaignConfig;
+
+    fn small_opts() -> ReportOptions {
+        ReportOptions {
+            loss_percents: vec![0.0],
+            fig9_repeats: 1,
+            warmup: 1,
+            ..ReportOptions::default()
+        }
+    }
+
+    #[test]
+    fn report_contains_every_section() {
+        let campaign = MeasurementCampaign::new(CampaignConfig::small(6, 12));
+        let report = generate_report(&campaign, &small_opts());
+        for section in [
+            "# h3cdn campaign report",
+            "## Table I",
+            "## Table II",
+            "## Fig. 2",
+            "## Fig. 3",
+            "## Fig. 4",
+            "## Fig. 5",
+            "## Fig. 6",
+            "## Fig. 7",
+            "## Fig. 8",
+            "## Table III",
+            "## Fig. 9",
+        ] {
+            assert!(report.contains(section), "missing section {section}");
+        }
+        assert!(report.contains("6 pages"));
+    }
+
+    #[test]
+    fn csv_export_is_parseable() {
+        let campaign = MeasurementCampaign::new(CampaignConfig::small(5, 13));
+        let csvs = figure_csvs(&campaign, &small_opts());
+        assert!(csvs.iter().any(|(name, _)| name == "fig3_ccdf.csv"));
+        assert!(csvs.iter().any(|(name, _)| name.starts_with("fig9_loss_")));
+        for (name, body) in &csvs {
+            let mut lines = body.lines();
+            let header = lines.next().unwrap_or_else(|| panic!("{name} empty"));
+            assert_eq!(header.split(',').count(), 2, "{name} header");
+            for line in lines {
+                assert_eq!(line.split(',').count(), 2, "{name}: bad row {line}");
+                for field in line.split(',') {
+                    field.parse::<f64>().unwrap_or_else(|_| {
+                        panic!("{name}: non-numeric field {field}")
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn series_csv_format() {
+        let csv = series_csv(("x", "y"), &[(1.0, 2.5), (3.0, 4.0)]);
+        assert_eq!(csv, "x,y\n1,2.5\n3,4\n");
+    }
+}

@@ -1,0 +1,128 @@
+//! Adaptive protocol selection — the extension the paper's §VII
+//! recommends researchers build: "an adaptive protocol selection tool
+//! that adjusts flexibly based on different conditions".
+//!
+//! [`ProtocolSelector`] observes per-page conditions (reused-connection
+//! potential, loss, resource counts) and predicts which protocol mode
+//! will load the page faster, using the paper's own findings as rules:
+//!
+//! * Takeaway 2 — heavily reused H2 pools shrink H3's room (the Fig. 6a
+//!   turning point);
+//! * Takeaway 4 — many CDN resources + loss favour H3's multiplexing;
+//! * §VI-B — H3's fast connection favours pages with many cold domains.
+
+use h3cdn_browser::ProtocolMode;
+use h3cdn_web::Webpage;
+use serde::Serialize;
+
+/// Observable conditions for one prospective page load.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PageConditions {
+    /// CDN resources on the page.
+    pub cdn_resources: usize,
+    /// Resources that can go over H3.
+    pub h3_enabled: usize,
+    /// Distinct domains to contact (cold handshakes needed).
+    pub distinct_domains: usize,
+    /// Estimated path loss rate, percent.
+    pub loss_percent: f64,
+}
+
+impl PageConditions {
+    /// Derives conditions from a corpus page and an assumed loss rate.
+    pub fn from_page(page: &Webpage, loss_percent: f64) -> Self {
+        PageConditions {
+            cdn_resources: page.cdn_resources().count(),
+            h3_enabled: page.h3_enabled_cdn_count(),
+            distinct_domains: page.cdn_domains().len() + 1,
+            loss_percent,
+        }
+    }
+}
+
+/// A rule-based protocol selector derived from the paper's takeaways.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProtocolSelector {
+    /// Minimum H3-enabled share below which switching is not worth the
+    /// split-connection cost (Fig. 7's reuse gap).
+    pub min_h3_share: f64,
+    /// Loss (percent) beyond which H3 is chosen regardless of share
+    /// (Fig. 9's slopes).
+    pub loss_override_percent: f64,
+}
+
+impl Default for ProtocolSelector {
+    fn default() -> Self {
+        ProtocolSelector {
+            min_h3_share: 0.05,
+            loss_override_percent: 0.4,
+        }
+    }
+}
+
+impl ProtocolSelector {
+    /// Picks the mode predicted to load faster under `conditions`.
+    pub fn select(&self, conditions: &PageConditions) -> ProtocolMode {
+        if conditions.loss_percent >= self.loss_override_percent && conditions.h3_enabled > 0 {
+            // Takeaway 4: under loss, stream multiplexing dominates.
+            return ProtocolMode::H3Enabled;
+        }
+        let share = if conditions.cdn_resources == 0 {
+            0.0
+        } else {
+            conditions.h3_enabled as f64 / conditions.cdn_resources as f64
+        };
+        if share < self.min_h3_share && conditions.distinct_domains > 2 {
+            // Takeaway 2's turning point: near-zero H3 coverage on a
+            // multi-domain page only splits pools. (The root document
+            // still benefits, so the bar is deliberately low.)
+            ProtocolMode::H2Only
+        } else {
+            ProtocolMode::H3Enabled
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cond(cdn: usize, h3: usize, domains: usize, loss: f64) -> PageConditions {
+        PageConditions {
+            cdn_resources: cdn,
+            h3_enabled: h3,
+            distinct_domains: domains,
+            loss_percent: loss,
+        }
+    }
+
+    #[test]
+    fn loss_forces_h3() {
+        let s = ProtocolSelector::default();
+        assert_eq!(
+            s.select(&cond(50, 2, 8, 1.0)),
+            ProtocolMode::H3Enabled,
+            "lossy multi-resource pages take H3"
+        );
+    }
+
+    #[test]
+    fn zero_h3_coverage_on_clean_paths_stays_h2() {
+        let s = ProtocolSelector::default();
+        assert_eq!(s.select(&cond(60, 0, 9, 0.0)), ProtocolMode::H2Only);
+    }
+
+    #[test]
+    fn typical_pages_choose_h3() {
+        let s = ProtocolSelector::default();
+        assert_eq!(s.select(&cond(60, 25, 9, 0.0)), ProtocolMode::H3Enabled);
+    }
+
+    #[test]
+    fn from_page_derives_counts() {
+        let corpus = h3cdn_web::generate(&h3cdn_web::WorkloadSpec::default().with_pages(2));
+        let c = PageConditions::from_page(&corpus.pages[0], 0.5);
+        assert_eq!(c.cdn_resources, corpus.pages[0].cdn_resources().count());
+        assert!(c.distinct_domains >= 2);
+    }
+}

@@ -1,0 +1,197 @@
+//! Sensitivity analysis: how much do the headline results depend on the
+//! calibration knobs?
+//!
+//! A reproduction built on a simulator owes its reader an answer to "what
+//! if your constants are off?". [`run_sensitivity`] sweeps one knob and
+//! reports the headline metric (mean PLT reduction over paired visits)
+//! at each setting, so EXPERIMENTS.md's claims can be checked for
+//! knife-edge dependence.
+
+use std::fmt;
+
+use h3cdn_analysis::mean;
+use h3cdn_cdn::Vantage;
+use h3cdn_sim_core::units::DataRate;
+use h3cdn_sim_core::SimDuration;
+use h3cdn_transport::CcAlgorithm;
+use serde::Serialize;
+
+use crate::{MeasurementCampaign, VisitConfig};
+
+/// A calibration knob the sweep can vary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum Knob {
+    /// Extra H3 server processing, milliseconds (default 1.5).
+    H3ExtraProcessingMs,
+    /// Natural path loss, percent (default 0.04).
+    BaselineLossPercent,
+    /// Client access rate, Mbps (default 1000, symmetric).
+    AccessRateMbps,
+    /// Congestion control: 0 = Cubic (default), 1 = NewReno.
+    CongestionControl,
+}
+
+impl Knob {
+    /// A representative sweep for this knob, bracketing the default.
+    pub fn default_sweep(self) -> Vec<f64> {
+        match self {
+            Knob::H3ExtraProcessingMs => vec![0.0, 1.5, 5.0, 10.0],
+            Knob::BaselineLossPercent => vec![0.0, 0.04, 0.2, 0.5],
+            Knob::AccessRateMbps => vec![100.0, 300.0, 1000.0],
+            Knob::CongestionControl => vec![0.0, 1.0],
+        }
+    }
+
+    fn apply(self, base: &VisitConfig, value: f64) -> VisitConfig {
+        let mut cfg = base.clone();
+        match self {
+            Knob::H3ExtraProcessingMs => {
+                cfg.h3_extra_processing = SimDuration::from_millis_f64(value);
+            }
+            Knob::BaselineLossPercent => cfg.baseline_loss_percent = value,
+            Knob::AccessRateMbps => {
+                cfg.downlink = DataRate::from_mbps(value as u64);
+                cfg.uplink = DataRate::from_mbps(value as u64);
+            }
+            Knob::CongestionControl => {
+                cfg.cc = if value == 0.0 {
+                    CcAlgorithm::Cubic
+                } else {
+                    CcAlgorithm::NewReno
+                };
+            }
+        }
+        cfg
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Knob::H3ExtraProcessingMs => "h3_extra_processing_ms",
+            Knob::BaselineLossPercent => "baseline_loss_percent",
+            Knob::AccessRateMbps => "access_rate_mbps",
+            Knob::CongestionControl => "congestion_control (0=cubic, 1=newreno)",
+        }
+    }
+}
+
+/// One swept setting and its headline metric.
+#[derive(Debug, Clone, Serialize)]
+pub struct SensitivityRow {
+    /// The knob value.
+    pub value: f64,
+    /// Mean PLT reduction over the paired pages, ms.
+    pub mean_plt_reduction_ms: f64,
+    /// Fraction of pages with a positive reduction.
+    pub positive_share: f64,
+}
+
+/// The result of one knob sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Sensitivity {
+    /// Knob name.
+    pub knob: String,
+    /// Per-setting rows, in sweep order.
+    pub rows: Vec<SensitivityRow>,
+}
+
+/// Sweeps `knob` over `values`, measuring paired H2/H3 visits of every
+/// corpus page from `vantage` at each setting.
+pub fn run_sensitivity(
+    campaign: &MeasurementCampaign,
+    vantage: Vantage,
+    knob: Knob,
+    values: &[f64],
+) -> Sensitivity {
+    let base = campaign.config().visit.clone().with_vantage(vantage);
+    let rows = values
+        .iter()
+        .map(|&value| {
+            let cfg = knob.apply(&base, value);
+            let reductions: Vec<f64> = (0..campaign.corpus().pages.len())
+                .map(|site| campaign.compare_page_with(site, &cfg).plt_reduction_ms)
+                .collect();
+            SensitivityRow {
+                value,
+                mean_plt_reduction_ms: mean(&reductions),
+                positive_share: reductions.iter().filter(|&&r| r > 0.0).count() as f64
+                    / reductions.len() as f64,
+            }
+        })
+        .collect();
+    Sensitivity {
+        knob: knob.name().to_string(),
+        rows,
+    }
+}
+
+impl fmt::Display for Sensitivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Sensitivity of mean PLT reduction to {}", self.knob)?;
+        writeln!(
+            f,
+            "{:>12} {:>18} {:>16}",
+            "value", "mean reduction", "positive pages"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>12} {:>16.1}ms {:>15.0}%",
+                r.value,
+                r.mean_plt_reduction_ms,
+                r.positive_share * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CampaignConfig;
+
+    #[test]
+    fn h3_surcharge_erodes_the_reduction_monotonically() {
+        let campaign = MeasurementCampaign::new(CampaignConfig::small(6, 31));
+        let s = run_sensitivity(
+            &campaign,
+            Vantage::Utah,
+            Knob::H3ExtraProcessingMs,
+            &[0.0, 10.0],
+        );
+        assert_eq!(s.rows.len(), 2);
+        assert!(
+            s.rows[0].mean_plt_reduction_ms > s.rows[1].mean_plt_reduction_ms,
+            "a 10 ms H3 compute surcharge must hurt: {:?}",
+            s.rows
+        );
+    }
+
+    #[test]
+    fn cc_choice_does_not_flip_the_headline() {
+        let campaign = MeasurementCampaign::new(CampaignConfig::small(6, 32));
+        let s = run_sensitivity(
+            &campaign,
+            Vantage::Utah,
+            Knob::CongestionControl,
+            &Knob::CongestionControl.default_sweep(),
+        );
+        for r in &s.rows {
+            assert!(
+                r.mean_plt_reduction_ms > 0.0,
+                "H3 must win under either controller: {:?}",
+                s.rows
+            );
+        }
+    }
+
+    #[test]
+    fn display_lists_all_rows() {
+        let campaign = MeasurementCampaign::new(CampaignConfig::small(3, 33));
+        let s = run_sensitivity(&campaign, Vantage::Utah, Knob::BaselineLossPercent, &[0.0]);
+        let text = s.to_string();
+        assert!(text.contains("baseline_loss_percent"));
+        assert!(text.contains("positive pages"));
+    }
+}

@@ -1,0 +1,22 @@
+//! Exports visits as a HAR 1.2 document (viewable in any HAR viewer).
+//!
+//! ```text
+//! cargo run --release -p h3cdn-experiments --bin export_har -- --pages 3 > visits.har
+//! ```
+//!
+//! Emits one document containing the H2-only and H3-enabled visits of
+//! every page, from the selected vantage.
+
+use h3cdn::{har::to_har_json, ProtocolMode};
+
+fn main() {
+    let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
+    let campaign = h3cdn_experiments::campaign(&opts);
+    let mut pages = Vec::new();
+    for site in 0..campaign.corpus().pages.len() {
+        pages.push(campaign.visit(site, opts.vantage, ProtocolMode::H2Only));
+        pages.push(campaign.visit(site, opts.vantage, ProtocolMode::H3Enabled));
+    }
+    let doc = to_har_json(&pages);
+    println!("{}", serde_json::to_string_pretty(&doc).expect("HAR serialises"));
+}

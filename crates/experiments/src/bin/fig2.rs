@@ -1,0 +1,8 @@
+//! Regenerates Fig. 2 (per-provider H3 adoption and market share).
+
+fn main() {
+    let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
+    let campaign = h3cdn_experiments::campaign(&opts);
+    let fig = h3cdn::experiments::fig2::run(&campaign, opts.vantage);
+    h3cdn_experiments::emit(&opts, &fig);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 4 (provider appearance probability; providers per page).
+
+fn main() {
+    let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
+    let campaign = h3cdn_experiments::campaign(&opts);
+    let fig = h3cdn::experiments::fig4::run(&campaign);
+    h3cdn_experiments::emit(&opts, &fig);
+}

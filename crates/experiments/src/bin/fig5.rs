@@ -1,0 +1,8 @@
+//! Regenerates Fig. 5 (CCDF of per-page CDN resources per giant provider).
+
+fn main() {
+    let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
+    let campaign = h3cdn_experiments::campaign(&opts);
+    let fig = h3cdn::experiments::fig5::run(&campaign);
+    h3cdn_experiments::emit(&opts, &fig);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 6 (PLT reduction per group; phase-reduction CDFs).
+//! Runs paired H2/H3 visits of every page from every configured vantage.
+
+fn main() {
+    let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
+    let campaign = h3cdn_experiments::campaign(&opts);
+    let comparisons = campaign.compare_all();
+    let fig = h3cdn::experiments::fig6::run(&comparisons);
+    h3cdn_experiments::emit(&opts, &fig);
+}

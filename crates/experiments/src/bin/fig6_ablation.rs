@@ -1,0 +1,47 @@
+//! Fig. 6(a) ablation: warm vs cold Alt-Svc cache.
+//!
+//! With a warm cache (the default; the paper's measured second visit),
+//! H3-capable domains speak H3 from the first request. With a cold cache
+//! (Chrome discovery), every H3 domain's first request goes over H2 —
+//! the cost scales with the number of H3-enabled domains, which is what
+//! could bend the High group down in Fig. 6(a).
+
+use h3cdn::experiments::fig6;
+use h3cdn::{PageComparison, VisitConfig};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Ablation {
+    warm: fig6::Fig6,
+    cold_alt_svc: fig6::Fig6,
+}
+
+impl std::fmt::Display for Ablation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "--- warm Alt-Svc cache (paper's measured visit) ---")?;
+        writeln!(f, "{}", self.warm)?;
+        writeln!(f, "--- cold Alt-Svc cache (Chrome discovery) ---")?;
+        writeln!(f, "{}", self.cold_alt_svc)
+    }
+}
+
+fn main() {
+    let mut opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
+    if opts.pages == 325 {
+        opts.pages = 80;
+    }
+    let campaign = h3cdn_experiments::campaign(&opts);
+    let run = |alt_svc: bool| -> fig6::Fig6 {
+        let mut base = VisitConfig::default().with_vantage(opts.vantage);
+        base.alt_svc_discovery = alt_svc;
+        let cmps: Vec<PageComparison> = (0..campaign.corpus().pages.len())
+            .map(|site| campaign.compare_page_with(site, &base))
+            .collect();
+        fig6::run(&cmps)
+    };
+    let ablation = Ablation {
+        warm: run(false),
+        cold_alt_svc: run(true),
+    };
+    h3cdn_experiments::emit(&opts, &ablation);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 7 (reused connections per group; reuse difference vs
+//! PLT reduction). Shares the paired dataset shape with fig6.
+
+fn main() {
+    let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
+    let campaign = h3cdn_experiments::campaign(&opts);
+    let comparisons = campaign.compare_all();
+    let fig = h3cdn::experiments::fig7::run(&comparisons);
+    h3cdn_experiments::emit(&opts, &fig);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 8 (consecutive visits: PLT reduction and resumed
+//! connections vs providers used).
+
+fn main() {
+    let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
+    let campaign = h3cdn_experiments::campaign(&opts);
+    let warmup = (campaign.corpus().pages.len() / 30).max(1);
+    let fig = h3cdn::experiments::fig8::run(&campaign, opts.vantage, warmup);
+    h3cdn_experiments::emit(&opts, &fig);
+}

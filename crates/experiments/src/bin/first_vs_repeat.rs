@@ -1,0 +1,78 @@
+//! First vs Repeat visit modes (Saverimoutou et al., cited by the paper):
+//! a *First* visit hits cold edge caches, a cold Alt-Svc cache and no
+//! session tickets; a *Repeat* visit has everything warm. Prints mean PLT
+//! per protocol per mode and the H3 reduction in each.
+
+use h3cdn::browser::{visit_page, ProtocolMode, VisitConfig};
+use h3cdn::transport::tls::TicketStore;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct ModeRow {
+    mode: &'static str,
+    mean_plt_h2_ms: f64,
+    mean_plt_h3_ms: f64,
+    mean_reduction_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct FirstVsRepeat {
+    rows: Vec<ModeRow>,
+}
+
+impl std::fmt::Display for FirstVsRepeat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "First vs Repeat visit modes")?;
+        writeln!(
+            f,
+            "{:<8} {:>12} {:>12} {:>12}",
+            "mode", "H2 PLT", "H3 PLT", "reduction"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<8} {:>10.1}ms {:>10.1}ms {:>10.1}ms",
+                r.mode, r.mean_plt_h2_ms, r.mean_plt_h3_ms, r.mean_reduction_ms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn main() {
+    let mut opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
+    if opts.pages == 325 {
+        opts.pages = 60; // four visits per page; keep the default run brisk
+    }
+    let campaign = h3cdn_experiments::campaign(&opts);
+    let corpus = campaign.corpus();
+
+    let mut rows = Vec::new();
+    for (mode, cold) in [("First", true), ("Repeat", false)] {
+        let mut h2_total = 0.0;
+        let mut h3_total = 0.0;
+        for page in &corpus.pages {
+            for (proto, sink) in [
+                (ProtocolMode::H2Only, &mut h2_total),
+                (ProtocolMode::H3Enabled, &mut h3_total),
+            ] {
+                let mut cfg = VisitConfig::default()
+                    .with_mode(proto)
+                    .with_vantage(opts.vantage);
+                cfg.cold_cache = cold;
+                cfg.alt_svc_discovery = cold;
+                *sink += visit_page(page, &corpus.domains, &cfg, TicketStore::new())
+                    .har
+                    .plt_ms;
+            }
+        }
+        let n = corpus.pages.len() as f64;
+        rows.push(ModeRow {
+            mode,
+            mean_plt_h2_ms: h2_total / n,
+            mean_plt_h3_ms: h3_total / n,
+            mean_reduction_ms: (h2_total - h3_total) / n,
+        });
+    }
+    h3cdn_experiments::emit(&opts, &FirstVsRepeat { rows });
+}

@@ -1,0 +1,27 @@
+//! Generates the full markdown campaign report (all tables and figures)
+//! on stdout, and optionally writes the plot-ready CSV series.
+//!
+//! ```text
+//! cargo run --release -p h3cdn-experiments --bin report -- --pages 60 > report.md
+//! CSV_DIR=./csv cargo run --release -p h3cdn-experiments --bin report -- --pages 60
+//! ```
+
+use h3cdn::{generate_report, ReportOptions};
+
+fn main() {
+    let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
+    let campaign = h3cdn_experiments::campaign(&opts);
+    let report_opts = ReportOptions {
+        vantage: opts.vantage,
+        ..ReportOptions::default()
+    };
+    println!("{}", generate_report(&campaign, &report_opts));
+    if let Ok(dir) = std::env::var("CSV_DIR") {
+        std::fs::create_dir_all(&dir).expect("CSV_DIR creatable");
+        for (name, body) in h3cdn::report::figure_csvs(&campaign, &report_opts) {
+            let path = std::path::Path::new(&dir).join(name);
+            std::fs::write(&path, body).expect("CSV writable");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Sweeps each calibration knob and prints how the headline metric (mean
+//! PLT reduction) responds — the robustness companion to EXPERIMENTS.md.
+
+use h3cdn::sensitivity::{run_sensitivity, Knob};
+
+fn main() {
+    let mut opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
+    if opts.pages == 325 {
+        opts.pages = 40; // 4 knobs × settings × paired visits: keep brisk
+    }
+    let campaign = h3cdn_experiments::campaign(&opts);
+    for knob in [
+        Knob::H3ExtraProcessingMs,
+        Knob::BaselineLossPercent,
+        Knob::AccessRateMbps,
+        Knob::CongestionControl,
+    ] {
+        let s = run_sensitivity(&campaign, opts.vantage, knob, &knob.default_sweep());
+        h3cdn_experiments::emit(&opts, &s);
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table I (provider H3 release years and reports).
+
+fn main() {
+    let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
+    let table = h3cdn::experiments::table1::run();
+    h3cdn_experiments::emit(&opts, &table);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table II (requests per HTTP version × CDN/non-CDN).
+
+fn main() {
+    let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
+    let campaign = h3cdn_experiments::campaign(&opts);
+    let table = h3cdn::experiments::table2::run(&campaign, opts.vantage);
+    h3cdn_experiments::emit(&opts, &table);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table III (k-means sharing groups under consecutive visits).
+
+fn main() {
+    let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
+    let campaign = h3cdn_experiments::campaign(&opts);
+    let warmup = (campaign.corpus().pages.len() / 30).max(1);
+    let table = h3cdn::experiments::table3::run(&campaign, opts.vantage, warmup);
+    h3cdn_experiments::emit(&opts, &table);
+}

@@ -1,0 +1,154 @@
+//! Shared scaffolding for the experiment binaries.
+//!
+//! Every binary regenerates one table or figure of the paper. All accept
+//! the same flags:
+//!
+//! ```text
+//! --pages N      corpus size (default 325, the paper's scale)
+//! --seed S       corpus seed (default: the paper-calibrated default)
+//! --vantage V    Utah | Wisconsin | Clemson (default Utah; experiments
+//!                that average across vantages take all three regardless)
+//! --json         emit the result as JSON instead of the formatted table
+//! ```
+
+use h3cdn::{CampaignConfig, MeasurementCampaign, Vantage, WorkloadSpec};
+
+/// Parsed common flags.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Corpus size.
+    pub pages: usize,
+    /// Corpus seed.
+    pub seed: u64,
+    /// Vantage for single-vantage experiments.
+    pub vantage: Vantage,
+    /// Emit JSON instead of the formatted table.
+    pub json: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            pages: 325,
+            seed: WorkloadSpec::default().seed,
+            vantage: Vantage::Utah,
+            json: false,
+        }
+    }
+}
+
+/// Parses `std::env::args`-style flags.
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed flags — appropriate for a
+/// CLI entry point.
+pub fn parse_args(args: impl Iterator<Item = String>) -> Options {
+    let mut opts = Options::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--pages" => {
+                opts.pages = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--pages expects a positive integer"));
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed expects an integer"));
+            }
+            "--vantage" => {
+                let v = args.next().unwrap_or_default();
+                opts.vantage = match v.to_ascii_lowercase().as_str() {
+                    "utah" => Vantage::Utah,
+                    "wisconsin" => Vantage::Wisconsin,
+                    "clemson" => Vantage::Clemson,
+                    other => panic!("unknown vantage {other:?} (Utah|Wisconsin|Clemson)"),
+                };
+            }
+            "--json" => opts.json = true,
+            "--help" | "-h" => {
+                println!(
+                    "flags: --pages N   --seed S   --vantage Utah|Wisconsin|Clemson   --json"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other:?}; try --help"),
+        }
+    }
+    opts
+}
+
+/// Builds the campaign for the parsed options.
+pub fn campaign(opts: &Options) -> MeasurementCampaign {
+    let config = CampaignConfig {
+        workload: WorkloadSpec::default()
+            .with_pages(opts.pages)
+            .with_seed(opts.seed),
+        ..CampaignConfig::default()
+    };
+    MeasurementCampaign::new(config)
+}
+
+/// Prints a result either as its Display table or as JSON.
+pub fn emit<T: std::fmt::Display + serde::Serialize>(opts: &Options, value: &T) {
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(value).expect("experiment results serialise")
+        );
+    } else {
+        println!("{value}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Options {
+        parse_args(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_paper_scale() {
+        let o = parse(&[]);
+        assert_eq!(o.pages, 325);
+        assert!(!o.json);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let o = parse(&["--pages", "20", "--seed", "9", "--vantage", "clemson", "--json"]);
+        assert_eq!(o.pages, 20);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.vantage, Vantage::Clemson);
+        assert!(o.json);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_rejected() {
+        let _ = parse(&["--bogus"]);
+    }
+
+    #[test]
+    fn campaign_builds_at_requested_scale() {
+        let o = parse(&["--pages", "3"]);
+        let c = campaign(&o);
+        assert_eq!(c.corpus().pages.len(), 3);
+    }
+
+    #[test]
+    fn emit_json_serialises_results() {
+        // Any experiment result must survive the JSON path the --json
+        // flag uses.
+        let t = h3cdn::experiments::table1::run();
+        let json = serde_json::to_string_pretty(&t).expect("serialises");
+        let back: serde_json::Value = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back["rows"].as_array().expect("rows").len(), 6);
+    }
+}

@@ -1,0 +1,203 @@
+//! HAR entries and pages.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing phases of one request, in fractional milliseconds (HAR 1.2
+/// `timings` object; `ssl` is folded into `connect` as Chrome does when
+/// reporting the combined handshake).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct EntryTiming {
+    /// Queueing before the request could be dispatched (pool limits,
+    /// waiting for discovery).
+    pub blocked_ms: f64,
+    /// Name resolution (zero in-simulator; kept for HAR compatibility).
+    pub dns_ms: f64,
+    /// Transport + TLS handshake; zero for a reused connection.
+    pub connect_ms: f64,
+    /// Time to put the request on the wire.
+    pub send_ms: f64,
+    /// First request byte sent → first response byte received.
+    pub wait_ms: f64,
+    /// First response byte → last response byte.
+    pub receive_ms: f64,
+}
+
+impl EntryTiming {
+    /// Total entry time (sum of all phases).
+    pub fn total_ms(&self) -> f64 {
+        self.blocked_ms + self.dns_ms + self.connect_ms + self.send_ms + self.wait_ms
+            + self.receive_ms
+    }
+}
+
+/// One fetched resource, as recorded by the simulated browser.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HarEntry {
+    /// Globally unique request id (matches the workload resource id).
+    pub id: u64,
+    /// Request URL.
+    pub url: String,
+    /// Hostname component.
+    pub domain: String,
+    /// Negotiated protocol: `"http/1.1"`, `"h2"`, or `"h3"`.
+    pub protocol: String,
+    /// Hosting CDN provider name per LocEdge classification; `None` for
+    /// origin-served resources.
+    pub provider: Option<String>,
+    /// Response headers (the LocEdge classifier's input).
+    pub response_headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body_bytes: u64,
+    /// Identifier of the connection that served the entry (Chrome's
+    /// `connection` HAR field; unique per visit).
+    pub connection: u64,
+    /// Request start relative to navigation start, milliseconds.
+    pub started_ms: f64,
+    /// Phase timings.
+    pub timing: EntryTiming,
+    /// Whether the TLS/QUIC session was resumed with a ticket.
+    pub resumed: bool,
+    /// Whether the request left as 0-RTT early data.
+    pub early_data: bool,
+}
+
+impl HarEntry {
+    /// The paper's reused-connection rule: `connect == 0`.
+    pub fn is_reused_connection(&self) -> bool {
+        self.timing.connect_ms == 0.0
+    }
+
+    /// When the entry finished, relative to navigation start.
+    pub fn finished_ms(&self) -> f64 {
+        self.started_ms + self.timing.total_ms()
+    }
+}
+
+/// One page visit: the HAR "page" plus its entries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HarPage {
+    /// Site index within the corpus.
+    pub site: usize,
+    /// Vantage the visit ran from.
+    pub vantage: String,
+    /// Browser protocol mode for this visit: `"h2"` (H3 disabled) or
+    /// `"h3"` (H3 enabled).
+    pub protocol_mode: String,
+    /// Page load time: navigation start → `onLoad`, milliseconds.
+    pub plt_ms: f64,
+    /// All entries, in request-start order.
+    pub entries: Vec<HarEntry>,
+}
+
+impl HarPage {
+    /// Number of entries whose connection was reused (Fig. 7a's
+    /// statistic; the paper counts entries with zero connect time).
+    pub fn reused_connection_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.is_reused_connection())
+            .count()
+    }
+
+    /// Number of distinct connections that resumed a prior session
+    /// (Fig. 8b's statistic).
+    pub fn resumed_connection_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.resumed)
+            .map(|e| e.connection)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    }
+
+    /// Entries that went over the given protocol.
+    pub fn entries_with_protocol<'a>(
+        &'a self,
+        protocol: &'a str,
+    ) -> impl Iterator<Item = &'a HarEntry> + 'a {
+        self.entries.iter().filter(move |e| e.protocol == protocol)
+    }
+
+    /// The latest entry finish time — must equal `plt_ms` up to rounding
+    /// when the browser defines onLoad as all-resources-complete.
+    pub fn last_finish_ms(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(HarEntry::finished_ms)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64, connect: f64, resumed: bool) -> HarEntry {
+        HarEntry {
+            id,
+            url: format!("https://cdn.example.com/r{id}"),
+            domain: "cdn.example.com".into(),
+            protocol: "h3".into(),
+            provider: Some("Cloudflare".into()),
+            response_headers: vec![("server".into(), "cloudflare".into())],
+            body_bytes: 1000,
+            connection: id,
+            started_ms: 10.0,
+            timing: EntryTiming {
+                blocked_ms: 1.0,
+                dns_ms: 0.0,
+                connect_ms: connect,
+                send_ms: 0.5,
+                wait_ms: 8.0,
+                receive_ms: 3.0,
+                },
+            resumed,
+            early_data: false,
+        }
+    }
+
+    #[test]
+    fn timing_total_sums_phases() {
+        let e = entry(1, 12.0, false);
+        assert!((e.timing.total_ms() - 24.5).abs() < 1e-9);
+        assert!((e.finished_ms() - 34.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reused_connection_rule_is_connect_zero() {
+        assert!(entry(1, 0.0, false).is_reused_connection());
+        assert!(!entry(2, 0.1, false).is_reused_connection());
+    }
+
+    #[test]
+    fn page_counters() {
+        let page = HarPage {
+            site: 3,
+            vantage: "Utah".into(),
+            protocol_mode: "h3".into(),
+            plt_ms: 40.0,
+            entries: vec![entry(1, 10.0, true), entry(2, 0.0, false), entry(3, 0.0, true)],
+        };
+        assert_eq!(page.reused_connection_count(), 2);
+        assert_eq!(page.resumed_connection_count(), 2); // two distinct conns
+        assert_eq!(page.entries_with_protocol("h3").count(), 3);
+        assert_eq!(page.entries_with_protocol("h2").count(), 0);
+        assert!(page.last_finish_ms() > 30.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let page = HarPage {
+            site: 0,
+            vantage: "Clemson".into(),
+            protocol_mode: "h2".into(),
+            plt_ms: 123.4,
+            entries: vec![entry(9, 5.0, false)],
+        };
+        let json = serde_json::to_string(&page).expect("serialize");
+        let back: HarPage = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.entries.len(), 1);
+        assert_eq!(back.entries[0].id, 9);
+        assert!((back.plt_ms - 123.4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,182 @@
+//! Export to the HAR 1.2 JSON format.
+//!
+//! The paper's pipeline consumes Chrome HAR files; this module emits the
+//! same structure (`log.pages[]` / `log.entries[]` with the standard
+//! `timings` object), so recorded visits can be inspected with any HAR
+//! viewer or diffed against real captures. Timestamps are synthetic —
+//! offsets from the crawl epoch the paper reports (2022-10-10), since
+//! the simulation has no wall clock.
+
+use serde_json::{json, Value};
+
+use crate::entry::HarPage;
+
+/// The synthetic crawl date used for `startedDateTime` fields (the first
+/// day of the paper's measurement week).
+pub const CRAWL_EPOCH_DATE: &str = "2022-10-10";
+
+fn started_date_time(offset_ms: f64) -> String {
+    // Offsets are per-visit (seconds scale), so a fixed date plus
+    // H:M:S.mmm arithmetic suffices.
+    let total_ms = offset_ms.max(0.0) as u64;
+    let ms = total_ms % 1000;
+    let s = (total_ms / 1000) % 60;
+    let m = (total_ms / 60_000) % 60;
+    let h = (total_ms / 3_600_000) % 24;
+    format!("{CRAWL_EPOCH_DATE}T{h:02}:{m:02}:{s:02}.{ms:03}Z")
+}
+
+/// Serialises visits into one HAR 1.2 document.
+///
+/// Pages are laid out sequentially on the synthetic clock, one second of
+/// gap between visits, exactly ordered as given.
+pub fn to_har_json(pages: &[HarPage]) -> Value {
+    let mut har_pages = Vec::new();
+    let mut har_entries = Vec::new();
+    let mut clock_ms = 0.0;
+    for (i, page) in pages.iter().enumerate() {
+        let page_id = format!("page_{i}");
+        har_pages.push(json!({
+            "startedDateTime": started_date_time(clock_ms),
+            "id": page_id,
+            "title": format!("site {} ({} mode, {} vantage)",
+                page.site, page.protocol_mode, page.vantage),
+            "pageTimings": {
+                "onContentLoad": -1,
+                "onLoad": page.plt_ms,
+            }
+        }));
+        for e in &page.entries {
+            let headers: Vec<Value> = e
+                .response_headers
+                .iter()
+                .map(|(name, value)| json!({"name": name, "value": value}))
+                .collect();
+            har_entries.push(json!({
+                "pageref": page_id,
+                "startedDateTime": started_date_time(clock_ms + e.started_ms),
+                "time": e.timing.total_ms(),
+                "request": {
+                    "method": "GET",
+                    "url": e.url,
+                    "httpVersion": e.protocol,
+                    "headers": [],
+                    "queryString": [],
+                    "cookies": [],
+                    "headersSize": -1,
+                    "bodySize": 0,
+                },
+                "response": {
+                    "status": 200,
+                    "statusText": "OK",
+                    "httpVersion": e.protocol,
+                    "headers": headers,
+                    "cookies": [],
+                    "content": {
+                        "size": e.body_bytes,
+                        "mimeType": "application/octet-stream",
+                    },
+                    "redirectURL": "",
+                    "headersSize": -1,
+                    "bodySize": e.body_bytes,
+                },
+                "cache": {},
+                "timings": {
+                    "blocked": e.timing.blocked_ms,
+                    "dns": e.timing.dns_ms,
+                    "connect": e.timing.connect_ms,
+                    "send": e.timing.send_ms,
+                    "wait": e.timing.wait_ms,
+                    "receive": e.timing.receive_ms,
+                    "ssl": -1,
+                },
+                "connection": e.connection.to_string(),
+                "serverIPAddress": "",
+                "_provider": e.provider,
+                "_resumed": e.resumed,
+                "_earlyData": e.early_data,
+            }));
+        }
+        clock_ms += page.plt_ms + 1000.0;
+    }
+    json!({
+        "log": {
+            "version": "1.2",
+            "creator": { "name": "h3cdn", "version": env!("CARGO_PKG_VERSION") },
+            "pages": har_pages,
+            "entries": har_entries,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{EntryTiming, HarEntry};
+
+    fn sample_page(site: usize) -> HarPage {
+        HarPage {
+            site,
+            vantage: "Utah".into(),
+            protocol_mode: "h3".into(),
+            plt_ms: 500.0,
+            entries: vec![HarEntry {
+                id: 1,
+                url: "https://cdn.example/1".into(),
+                domain: "cdn.example".into(),
+                protocol: "h3".into(),
+                provider: Some("Cloudflare".into()),
+                response_headers: vec![("server".into(), "cloudflare".into())],
+                body_bytes: 1234,
+                connection: 7,
+                started_ms: 10.0,
+                timing: EntryTiming {
+                    blocked_ms: 0.0,
+                    dns_ms: 5.0,
+                    connect_ms: 20.0,
+                    send_ms: 0.1,
+                    wait_ms: 8.0,
+                    receive_ms: 3.0,
+                },
+                resumed: true,
+                early_data: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn document_has_har_1_2_shape() {
+        let doc = to_har_json(&[sample_page(0), sample_page(1)]);
+        assert_eq!(doc["log"]["version"], "1.2");
+        assert_eq!(doc["log"]["pages"].as_array().unwrap().len(), 2);
+        let entries = doc["log"]["entries"].as_array().unwrap();
+        assert_eq!(entries.len(), 2);
+        let e = &entries[0];
+        assert_eq!(e["pageref"], "page_0");
+        assert_eq!(e["request"]["httpVersion"], "h3");
+        assert_eq!(e["response"]["content"]["size"], 1234);
+        assert_eq!(e["timings"]["dns"], 5.0);
+        assert_eq!(e["connection"], "7");
+        assert_eq!(e["_resumed"], true);
+        // Second page starts after the first page's PLT plus the gap.
+        let t0 = doc["log"]["pages"][0]["startedDateTime"].as_str().unwrap();
+        let t1 = doc["log"]["pages"][1]["startedDateTime"].as_str().unwrap();
+        assert!(t0 < t1, "pages laid out sequentially: {t0} vs {t1}");
+        assert!(t0.starts_with(CRAWL_EPOCH_DATE));
+    }
+
+    #[test]
+    fn timestamps_format_correctly() {
+        assert_eq!(started_date_time(0.0), "2022-10-10T00:00:00.000Z");
+        assert_eq!(started_date_time(61_500.0), "2022-10-10T00:01:01.500Z");
+        assert_eq!(started_date_time(3_600_000.0), "2022-10-10T01:00:00.000Z");
+    }
+
+    #[test]
+    fn round_trips_through_serde_json_string() {
+        let doc = to_har_json(&[sample_page(0)]);
+        let s = serde_json::to_string(&doc).unwrap();
+        let back: serde_json::Value = serde_json::from_str(&s).unwrap();
+        assert_eq!(back["log"]["entries"][0]["_provider"], "Cloudflare");
+    }
+}

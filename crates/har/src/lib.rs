@@ -1,0 +1,22 @@
+//! HAR-compatible measurement records and the paper's reduction metrics.
+//!
+//! The study's entire analysis pipeline consumes Chrome HAR files: per-
+//! entry timing phases (blocked/dns/connect/send/wait/receive), page-level
+//! `onLoad`, and the derived `X_reduction = X_H2 − X_H3` metrics of
+//! §III-C. This crate is that data model. `h3cdn-browser` emits it;
+//! `h3cdn-analysis` and the experiment binaries consume it.
+//!
+//! Conventions mirror the HAR 1.2 spec where it matters:
+//! * all timings are fractional milliseconds;
+//! * `connect` covers transport + TLS handshake (`ssl` is folded in);
+//! * a *reused connection* is an entry whose `connect` is zero — exactly
+//!   the paper's §VI-C detection rule ("if the connection time is 0,
+//!   then it is a reused connection").
+
+pub mod entry;
+pub mod export;
+pub mod reduction;
+
+pub use entry::{EntryTiming, HarEntry, HarPage};
+pub use export::to_har_json;
+pub use reduction::{entry_reductions, plt_reduction_ms, EntryReduction, PageComparison};

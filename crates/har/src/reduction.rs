@@ -1,0 +1,196 @@
+//! The paper's `X_reduction = X_H2 − X_H3` metrics (§III-C).
+
+use serde::{Deserialize, Serialize};
+
+use crate::entry::HarPage;
+
+/// Per-entry reductions for one resource fetched under both protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EntryReduction {
+    /// Request id.
+    pub id: u64,
+    /// `connect_H2 − connect_H3`, milliseconds.
+    pub connect_ms: f64,
+    /// `wait_H2 − wait_H3`, milliseconds.
+    pub wait_ms: f64,
+    /// `receive_H2 − receive_H3`, milliseconds.
+    pub receive_ms: f64,
+    /// Whether the H3-mode visit actually fetched this resource over H3
+    /// (false = the resource fell back to H2/H1 in both runs).
+    pub h3_served: bool,
+}
+
+/// A paired H2/H3 measurement of one page from one vantage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PageComparison {
+    /// Site index.
+    pub site: usize,
+    /// Vantage name.
+    pub vantage: String,
+    /// PLT reduction, milliseconds (positive ⇒ H3 faster).
+    pub plt_reduction_ms: f64,
+    /// Reused connections in the H2 visit.
+    pub reused_h2: usize,
+    /// Reused connections in the H3 visit.
+    pub reused_h3: usize,
+    /// Resumed connections in the H3 visit (consecutive-visit runs).
+    pub resumed_h3: usize,
+    /// H3-enabled CDN resource count of the page (Fig. 6a grouping key).
+    pub h3_enabled_cdn: usize,
+    /// Number of CDN resources on the page.
+    pub cdn_resources: usize,
+    /// Number of distinct providers used by the page.
+    pub providers_used: usize,
+    /// Per-entry reductions.
+    pub entries: Vec<EntryReduction>,
+}
+
+impl PageComparison {
+    /// The reused-connection difference (`H2 − H3`) of §VI-C.
+    pub fn reused_difference(&self) -> i64 {
+        self.reused_h2 as i64 - self.reused_h3 as i64
+    }
+}
+
+/// PLT reduction between a paired H2 visit and H3 visit of the same page.
+///
+/// # Panics
+///
+/// Panics (debug) when the pages are not the same site.
+pub fn plt_reduction_ms(h2: &HarPage, h3: &HarPage) -> f64 {
+    debug_assert_eq!(h2.site, h3.site, "reduction requires paired visits");
+    h2.plt_ms - h3.plt_ms
+}
+
+/// Entry-level reductions, paired by request id. Entries present in only
+/// one visit (there are none in simulation, but HAR files from the field
+/// have them) are skipped.
+pub fn entry_reductions(h2: &HarPage, h3: &HarPage) -> Vec<EntryReduction> {
+    let mut out = Vec::with_capacity(h2.entries.len());
+    let by_id: std::collections::HashMap<u64, &crate::entry::HarEntry> =
+        h3.entries.iter().map(|e| (e.id, e)).collect();
+    for e2 in &h2.entries {
+        let Some(e3) = by_id.get(&e2.id) else {
+            continue;
+        };
+        out.push(EntryReduction {
+            id: e2.id,
+            connect_ms: e2.timing.connect_ms - e3.timing.connect_ms,
+            wait_ms: e2.timing.wait_ms - e3.timing.wait_ms,
+            receive_ms: e2.timing.receive_ms - e3.timing.receive_ms,
+            h3_served: e3.protocol == "h3",
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{EntryTiming, HarEntry};
+
+    fn entry(id: u64, connect: f64, wait: f64, receive: f64) -> HarEntry {
+        HarEntry {
+            id,
+            url: String::new(),
+            domain: String::new(),
+            protocol: "h2".into(),
+            provider: None,
+            response_headers: vec![],
+            body_bytes: 0,
+            connection: 1,
+            started_ms: 0.0,
+            timing: EntryTiming {
+                connect_ms: connect,
+                wait_ms: wait,
+                receive_ms: receive,
+                ..EntryTiming::default()
+            },
+            resumed: false,
+            early_data: false,
+        }
+    }
+
+    fn page(site: usize, plt: f64, entries: Vec<HarEntry>) -> HarPage {
+        HarPage {
+            site,
+            vantage: "Utah".into(),
+            protocol_mode: "h2".into(),
+            plt_ms: plt,
+            entries,
+        }
+    }
+
+    #[test]
+    fn plt_reduction_sign_convention() {
+        let h2 = page(1, 500.0, vec![]);
+        let h3 = page(1, 440.0, vec![]);
+        // Positive ⇒ H3 faster, as in the paper.
+        assert!((plt_reduction_ms(&h2, &h3) - 60.0).abs() < 1e-9);
+        assert!((plt_reduction_ms(&h3, &h2) + 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entry_reductions_pair_by_id() {
+        let h2 = page(1, 0.0, vec![entry(1, 30.0, 10.0, 5.0), entry(2, 20.0, 8.0, 4.0)]);
+        let h3 = page(1, 0.0, vec![entry(2, 10.0, 9.0, 4.0), entry(1, 10.0, 12.0, 5.0)]);
+        let reds = entry_reductions(&h2, &h3);
+        assert_eq!(reds.len(), 2);
+        let r1 = reds.iter().find(|r| r.id == 1).unwrap();
+        assert!((r1.connect_ms - 20.0).abs() < 1e-9);
+        assert!((r1.wait_ms + 2.0).abs() < 1e-9);
+        assert!(r1.receive_ms.abs() < 1e-9);
+    }
+
+    #[test]
+    fn unmatched_entries_are_skipped() {
+        let h2 = page(1, 0.0, vec![entry(1, 1.0, 1.0, 1.0), entry(9, 2.0, 2.0, 2.0)]);
+        let h3 = page(1, 0.0, vec![entry(1, 1.0, 1.0, 1.0)]);
+        assert_eq!(entry_reductions(&h2, &h3).len(), 1);
+    }
+
+    #[test]
+    fn page_comparison_serde_round_trip() {
+        let cmp = PageComparison {
+            site: 3,
+            vantage: "Wisconsin".into(),
+            plt_reduction_ms: 42.5,
+            reused_h2: 10,
+            reused_h3: 8,
+            resumed_h3: 4,
+            h3_enabled_cdn: 20,
+            cdn_resources: 60,
+            providers_used: 4,
+            entries: vec![EntryReduction {
+                id: 1,
+                connect_ms: 5.0,
+                wait_ms: -1.0,
+                receive_ms: 0.0,
+                h3_served: true,
+            }],
+        };
+        let json = serde_json::to_string(&cmp).expect("serialises");
+        let back: PageComparison = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.site, 3);
+        assert_eq!(back.entries.len(), 1);
+        assert!(back.entries[0].h3_served);
+        assert_eq!(back.reused_difference(), 2);
+    }
+
+    #[test]
+    fn reused_difference() {
+        let cmp = PageComparison {
+            site: 0,
+            vantage: "Utah".into(),
+            plt_reduction_ms: 10.0,
+            reused_h2: 40,
+            reused_h3: 33,
+            resumed_h3: 0,
+            h3_enabled_cdn: 12,
+            cdn_resources: 50,
+            providers_used: 3,
+            entries: vec![],
+        };
+        assert_eq!(cmp.reused_difference(), 7);
+    }
+}

@@ -1,0 +1,252 @@
+//! Path specifications and FIFO serialisers.
+//!
+//! A [`PathSpec`] describes one direction of a network path: propagation
+//! delay, an optional bottleneck rate, and a loss model. A [`Serializer`]
+//! models transmission onto a rate-limited link with a bounded FIFO queue —
+//! this is where queueing delay and tail-drop come from.
+
+use h3cdn_sim_core::units::{ByteCount, DataRate};
+use h3cdn_sim_core::{SimDuration, SimTime};
+
+use crate::loss::LossModel;
+
+/// One direction of a path between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathSpec {
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Maximum extra per-packet delay, drawn uniformly from
+    /// `[0, jitter]`. Non-zero jitter *reorders* packets — the stress
+    /// case for transport reassembly and loss-detection thresholds.
+    pub jitter: SimDuration,
+    /// Bottleneck rate along the path itself, or `None` for "not the
+    /// bottleneck" (node access links still apply).
+    pub rate: Option<DataRate>,
+    /// Random loss process applied per packet.
+    pub loss: LossModel,
+}
+
+impl PathSpec {
+    /// A loss-free, rate-unconstrained path with the given one-way delay.
+    pub fn with_delay(delay: SimDuration) -> Self {
+        PathSpec {
+            delay,
+            jitter: SimDuration::ZERO,
+            rate: None,
+            loss: LossModel::None,
+        }
+    }
+
+    /// Sets the maximum per-packet jitter (builder style).
+    pub fn jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the bottleneck rate (builder style).
+    pub fn rate(mut self, rate: DataRate) -> Self {
+        self.rate = Some(rate);
+        self
+    }
+
+    /// Sets the loss model (builder style).
+    pub fn loss(mut self, loss: LossModel) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// The round-trip propagation time of a symmetric path using this spec
+    /// in both directions.
+    pub fn rtt(&self) -> SimDuration {
+        self.delay * 2
+    }
+}
+
+impl Default for PathSpec {
+    /// A 1 ms, loss-free, unconstrained path.
+    fn default() -> Self {
+        PathSpec::with_delay(SimDuration::from_millis(1))
+    }
+}
+
+/// A FIFO link serialiser with a bounded queue.
+///
+/// Packets handed to [`Serializer::enqueue`] at time `t` finish
+/// transmitting at `max(t, link-free-time) + size/rate`. If accepting the
+/// packet would hold more than `capacity` bytes of backlog, the packet is
+/// tail-dropped.
+///
+/// # Example
+///
+/// ```
+/// use h3cdn_netsim::Serializer;
+/// use h3cdn_sim_core::units::{ByteCount, DataRate};
+/// use h3cdn_sim_core::{SimDuration, SimTime};
+///
+/// // 8 Mbps = 1 byte/µs.
+/// let mut s = Serializer::new(DataRate::from_mbps(8), ByteCount::from_kib(64));
+/// let t0 = SimTime::ZERO;
+/// let done1 = s.enqueue(t0, ByteCount::new(1000)).unwrap();
+/// assert_eq!(done1, t0 + SimDuration::from_micros(1000));
+/// // Second packet queues behind the first.
+/// let done2 = s.enqueue(t0, ByteCount::new(1000)).unwrap();
+/// assert_eq!(done2, t0 + SimDuration::from_micros(2000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Serializer {
+    rate: DataRate,
+    capacity: ByteCount,
+    busy_until: SimTime,
+    backlog: ByteCount,
+    backlog_as_of: SimTime,
+    dropped: u64,
+    transmitted: u64,
+}
+
+impl Serializer {
+    /// Creates a serialiser with the given rate and queue capacity.
+    pub fn new(rate: DataRate, capacity: ByteCount) -> Self {
+        Serializer {
+            rate,
+            capacity,
+            busy_until: SimTime::ZERO,
+            backlog: ByteCount::ZERO,
+            backlog_as_of: SimTime::ZERO,
+            dropped: 0,
+            transmitted: 0,
+        }
+    }
+
+    /// The configured link rate.
+    pub fn rate(&self) -> DataRate {
+        self.rate
+    }
+
+    /// Number of packets tail-dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of packets accepted so far.
+    pub fn transmitted(&self) -> u64 {
+        self.transmitted
+    }
+
+    /// Offers a packet of `size` bytes at time `now`.
+    ///
+    /// Returns the time serialisation completes, or `None` when the queue
+    /// is full and the packet is dropped.
+    pub fn enqueue(&mut self, now: SimTime, size: ByteCount) -> Option<SimTime> {
+        self.drain(now);
+        if (self.backlog + size).as_u64() > self.capacity.as_u64() {
+            self.dropped += 1;
+            return None;
+        }
+        let start = self.busy_until.max(now);
+        let done = start + self.rate.transmission_time(size);
+        self.busy_until = done;
+        self.backlog += size;
+        self.transmitted += 1;
+        Some(done)
+    }
+
+    /// Removes already-transmitted bytes from the backlog account.
+    fn drain(&mut self, now: SimTime) {
+        if now <= self.backlog_as_of {
+            return;
+        }
+        let elapsed = now - self.backlog_as_of;
+        let drained_bits = elapsed.as_secs_f64() * self.rate.as_bps() as f64;
+        let drained = ByteCount::new((drained_bits / 8.0) as u64);
+        self.backlog = self.backlog.saturating_sub(drained);
+        self.backlog_as_of = now;
+        if now >= self.busy_until {
+            self.backlog = ByteCount::ZERO;
+        }
+    }
+
+    /// Resets queue state (used between independent page visits).
+    pub fn reset(&mut self) {
+        self.busy_until = SimTime::ZERO;
+        self.backlog = ByteCount::ZERO;
+        self.backlog_as_of = SimTime::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbps8() -> Serializer {
+        // 8 Mbps = 1 byte per microsecond: easy arithmetic.
+        Serializer::new(DataRate::from_mbps(8), ByteCount::new(5_000))
+    }
+
+    #[test]
+    fn idle_link_transmits_immediately() {
+        let mut s = mbps8();
+        let done = s.enqueue(SimTime::ZERO, ByteCount::new(500)).unwrap();
+        assert_eq!(done, SimTime::ZERO + SimDuration::from_micros(500));
+    }
+
+    #[test]
+    fn back_to_back_packets_queue() {
+        let mut s = mbps8();
+        let d1 = s.enqueue(SimTime::ZERO, ByteCount::new(1000)).unwrap();
+        let d2 = s.enqueue(SimTime::ZERO, ByteCount::new(1000)).unwrap();
+        assert_eq!(d2 - d1, SimDuration::from_micros(1000));
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut s = mbps8();
+        // Capacity 5000 B: five 1000 B packets fit, the sixth drops.
+        for _ in 0..5 {
+            assert!(s.enqueue(SimTime::ZERO, ByteCount::new(1000)).is_some());
+        }
+        assert!(s.enqueue(SimTime::ZERO, ByteCount::new(1000)).is_none());
+        assert_eq!(s.dropped(), 1);
+        assert_eq!(s.transmitted(), 5);
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let mut s = mbps8();
+        for _ in 0..5 {
+            s.enqueue(SimTime::ZERO, ByteCount::new(1000));
+        }
+        // After 2 ms, 2000 B have drained; a new packet fits again.
+        let later = SimTime::ZERO + SimDuration::from_millis(2);
+        assert!(s.enqueue(later, ByteCount::new(1000)).is_some());
+    }
+
+    #[test]
+    fn idle_gap_resets_backlog() {
+        let mut s = mbps8();
+        s.enqueue(SimTime::ZERO, ByteCount::new(4000));
+        let much_later = SimTime::ZERO + SimDuration::from_secs(1);
+        let done = s.enqueue(much_later, ByteCount::new(1000)).unwrap();
+        assert_eq!(done, much_later + SimDuration::from_micros(1000));
+    }
+
+    #[test]
+    fn path_spec_builders() {
+        let spec = PathSpec::with_delay(SimDuration::from_millis(25))
+            .rate(DataRate::from_mbps(50))
+            .loss(LossModel::iid_percent(1.0));
+        assert_eq!(spec.delay, SimDuration::from_millis(25));
+        assert_eq!(spec.rtt(), SimDuration::from_millis(50));
+        assert_eq!(spec.rate, Some(DataRate::from_mbps(50)));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut s = mbps8();
+        for _ in 0..5 {
+            s.enqueue(SimTime::ZERO, ByteCount::new(1000));
+        }
+        s.reset();
+        let done = s.enqueue(SimTime::ZERO, ByteCount::new(1000)).unwrap();
+        assert_eq!(done, SimTime::ZERO + SimDuration::from_micros(1000));
+    }
+}

@@ -1,0 +1,262 @@
+//! Random packet-loss processes.
+//!
+//! The paper sweeps IID loss rates of 0 %, 0.5 % and 1 % with `tc` (Fig. 9).
+//! [`LossModel::Iid`] reproduces that; [`LossModel::GilbertElliott`] adds
+//! the bursty-loss ablation listed in DESIGN.md, since real access links
+//! lose packets in bursts and burstiness is precisely what makes
+//! head-of-line blocking expensive.
+
+use h3cdn_sim_core::SimRng;
+
+/// Configuration of a loss process. Attach one per directed path.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum LossModel {
+    /// No random loss (queue overflow can still drop packets).
+    #[default]
+    None,
+    /// Independent Bernoulli loss with probability `p` per packet.
+    Iid {
+        /// Per-packet drop probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Two-state Gilbert–Elliott chain: a *good* and a *bad* state with
+    /// separate loss probabilities and geometric sojourn times.
+    GilbertElliott {
+        /// Probability of moving good → bad at each packet.
+        p_good_to_bad: f64,
+        /// Probability of moving bad → good at each packet.
+        p_bad_to_good: f64,
+        /// Drop probability while in the good state.
+        loss_good: f64,
+        /// Drop probability while in the bad state.
+        loss_bad: f64,
+    },
+}
+
+impl LossModel {
+    /// IID loss expressed as a percentage, matching the paper's axis
+    /// labels (`LossModel::iid_percent(1.0)` is 1 % loss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent` is outside `[0, 100]`.
+    pub fn iid_percent(percent: f64) -> LossModel {
+        assert!(
+            (0.0..=100.0).contains(&percent),
+            "loss percent out of range: {percent}"
+        );
+        if percent == 0.0 {
+            LossModel::None
+        } else {
+            LossModel::Iid { p: percent / 100.0 }
+        }
+    }
+
+    /// A bursty Gilbert–Elliott model with the given long-run mean loss:
+    /// lossless good state, 20 %-loss bad state with geometric mean
+    /// sojourn of ~5 packets. Use for like-for-like comparisons against
+    /// [`LossModel::iid_percent`] at equal mean (the burstiness
+    /// ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent` is outside `[0, 15]` (beyond that the bad
+    /// state cannot be rare enough to keep the chain meaningful).
+    pub fn bursty_percent(percent: f64) -> LossModel {
+        assert!(
+            (0.0..=15.0).contains(&percent),
+            "bursty loss percent out of range: {percent}"
+        );
+        if percent == 0.0 {
+            return LossModel::None;
+        }
+        const LOSS_BAD: f64 = 0.2;
+        const P_BAD_TO_GOOD: f64 = 0.19;
+        let mean = percent / 100.0;
+        let pi_bad = mean / LOSS_BAD;
+        let p_good_to_bad = P_BAD_TO_GOOD * pi_bad / (1.0 - pi_bad);
+        LossModel::GilbertElliott {
+            p_good_to_bad,
+            p_bad_to_good: P_BAD_TO_GOOD,
+            loss_good: 0.0,
+            loss_bad: LOSS_BAD,
+        }
+    }
+
+    /// The long-run average loss probability of this model.
+    pub fn mean_loss(&self) -> f64 {
+        match *self {
+            LossModel::None => 0.0,
+            LossModel::Iid { p } => p,
+            LossModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+            } => {
+                // Stationary distribution of the two-state chain.
+                let denom = p_good_to_bad + p_bad_to_good;
+                if denom == 0.0 {
+                    loss_good
+                } else {
+                    let pi_bad = p_good_to_bad / denom;
+                    loss_good * (1.0 - pi_bad) + loss_bad * pi_bad
+                }
+            }
+        }
+    }
+}
+
+/// Per-path loss state (the Markov-chain position for Gilbert–Elliott).
+#[derive(Debug, Clone)]
+pub struct LossProcess {
+    model: LossModel,
+    in_bad_state: bool,
+    rng: SimRng,
+}
+
+impl LossProcess {
+    /// Creates a loss process with its own random stream.
+    pub fn new(model: LossModel, rng: SimRng) -> Self {
+        LossProcess {
+            model,
+            in_bad_state: false,
+            rng,
+        }
+    }
+
+    /// Returns the configured model.
+    pub fn model(&self) -> LossModel {
+        self.model
+    }
+
+    /// Advances the process one packet and reports whether that packet is
+    /// dropped.
+    pub fn should_drop(&mut self) -> bool {
+        match self.model {
+            LossModel::None => false,
+            LossModel::Iid { p } => self.rng.bernoulli(p),
+            LossModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+            } => {
+                // Transition first, then sample loss in the new state.
+                if self.in_bad_state {
+                    if self.rng.bernoulli(p_bad_to_good) {
+                        self.in_bad_state = false;
+                    }
+                } else if self.rng.bernoulli(p_good_to_bad) {
+                    self.in_bad_state = true;
+                }
+                let p = if self.in_bad_state { loss_bad } else { loss_good };
+                self.rng.bernoulli(p)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_drops() {
+        let mut lp = LossProcess::new(LossModel::None, SimRng::seed_from(1));
+        assert!((0..10_000).all(|_| !lp.should_drop()));
+    }
+
+    #[test]
+    fn iid_rate_converges() {
+        let mut lp = LossProcess::new(LossModel::iid_percent(1.0), SimRng::seed_from(2));
+        let n = 200_000;
+        let drops = (0..n).filter(|_| lp.should_drop()).count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.01).abs() < 0.002, "rate {rate}");
+    }
+
+    #[test]
+    fn iid_percent_zero_is_none() {
+        assert_eq!(LossModel::iid_percent(0.0), LossModel::None);
+        assert_eq!(LossModel::iid_percent(0.5), LossModel::Iid { p: 0.005 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn iid_percent_rejects_out_of_range() {
+        let _ = LossModel::iid_percent(150.0);
+    }
+
+    #[test]
+    fn gilbert_elliott_mean_matches_stationary() {
+        let model = LossModel::GilbertElliott {
+            p_good_to_bad: 0.01,
+            p_bad_to_good: 0.19,
+            loss_good: 0.0,
+            loss_bad: 0.2,
+        };
+        // pi_bad = 0.01 / 0.20 = 0.05 → mean loss = 0.05 * 0.2 = 0.01
+        assert!((model.mean_loss() - 0.01).abs() < 1e-12);
+        let mut lp = LossProcess::new(model, SimRng::seed_from(3));
+        let n = 400_000;
+        let drops = (0..n).filter(|_| lp.should_drop()).count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.01).abs() < 0.002, "rate {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Same mean loss as IID 1 %, but conditional loss probability after
+        // a loss should be much higher than 1 % because of the bad state.
+        let model = LossModel::GilbertElliott {
+            p_good_to_bad: 0.01,
+            p_bad_to_good: 0.19,
+            loss_good: 0.0,
+            loss_bad: 0.2,
+        };
+        let mut lp = LossProcess::new(model, SimRng::seed_from(4));
+        let n = 400_000;
+        let outcomes: Vec<bool> = (0..n).map(|_| lp.should_drop()).collect();
+        let mut after_loss = 0usize;
+        let mut after_loss_lost = 0usize;
+        for w in outcomes.windows(2) {
+            if w[0] {
+                after_loss += 1;
+                if w[1] {
+                    after_loss_lost += 1;
+                }
+            }
+        }
+        let conditional = after_loss_lost as f64 / after_loss as f64;
+        assert!(
+            conditional > 0.05,
+            "burstiness missing: conditional loss {conditional}"
+        );
+    }
+
+    #[test]
+    fn mean_loss_for_simple_models() {
+        assert_eq!(LossModel::None.mean_loss(), 0.0);
+        assert_eq!(LossModel::Iid { p: 0.25 }.mean_loss(), 0.25);
+    }
+
+    #[test]
+    fn bursty_percent_matches_requested_mean() {
+        for pct in [0.5, 1.0, 2.0] {
+            let m = LossModel::bursty_percent(pct);
+            assert!(
+                (m.mean_loss() - pct / 100.0).abs() < 1e-12,
+                "{pct}%: mean {}",
+                m.mean_loss()
+            );
+        }
+        assert_eq!(LossModel::bursty_percent(0.0), LossModel::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bursty_percent_rejects_extremes() {
+        let _ = LossModel::bursty_percent(50.0);
+    }
+}

@@ -1,0 +1,362 @@
+//! The network fabric: nodes, access links, and directed paths.
+
+use std::collections::HashMap;
+
+use h3cdn_sim_core::units::{ByteCount, DataRate};
+use h3cdn_sim_core::{SimRng, SimTime};
+
+use crate::link::{PathSpec, Serializer};
+use crate::loss::LossProcess;
+use crate::node::NodeId;
+
+/// Default queue depth for access links: several hundred full-size
+/// packets, in the spirit of a (buffer-bloated) access-router queue. Deep
+/// enough that parallel slow-starts from a page's CDN edges overflow it
+/// only under genuine overload, not on every burst.
+const DEFAULT_QUEUE_CAPACITY: ByteCount = ByteCount::new(768 * 1500);
+
+/// Connectivity and path characteristics between [`NodeId`]s.
+///
+/// Owns no protocol state — only delays, rates, queues and loss processes.
+/// The [`Engine`](crate::Engine) asks it where and when each packet lands.
+#[derive(Debug)]
+pub struct Network {
+    rng: SimRng,
+    nodes: Vec<AccessLinks>,
+    paths: HashMap<(NodeId, NodeId), Path>,
+    default_spec: PathSpec,
+    delivered: u64,
+    lost: u64,
+}
+
+#[derive(Debug, Default)]
+struct AccessLinks {
+    egress: Option<Serializer>,
+    ingress: Option<Serializer>,
+}
+
+#[derive(Debug)]
+struct Path {
+    spec: PathSpec,
+    serializer: Option<Serializer>,
+    loss: LossProcess,
+    jitter_rng: SimRng,
+}
+
+impl Network {
+    /// Creates an empty network whose loss processes derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Network {
+            rng: SimRng::seed_from(seed).fork(0x6e65_7477), // "netw"
+            nodes: Vec::new(),
+            paths: HashMap::new(),
+            default_spec: PathSpec::default(),
+            delivered: 0,
+            lost: 0,
+        }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(AccessLinks::default());
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Rate-limits everything `node` sends (e.g. a client's uplink).
+    pub fn set_egress_rate(&mut self, node: NodeId, rate: DataRate) {
+        self.nodes[node.index()].egress = Some(Serializer::new(rate, DEFAULT_QUEUE_CAPACITY));
+    }
+
+    /// Rate-limits everything `node` receives (e.g. a client's downlink —
+    /// the shared bottleneck when one page loads from many CDN edges).
+    pub fn set_ingress_rate(&mut self, node: NodeId, rate: DataRate) {
+        self.nodes[node.index()].ingress = Some(Serializer::new(rate, DEFAULT_QUEUE_CAPACITY));
+    }
+
+    /// Sets the spec for the directed path `src → dst`.
+    pub fn set_path(&mut self, src: NodeId, dst: NodeId, spec: PathSpec) {
+        let loss = LossProcess::new(
+            spec.loss,
+            self.rng
+                .fork(((src.index() as u64) << 32) | dst.index() as u64),
+        );
+        let serializer = spec
+            .rate
+            .map(|rate| Serializer::new(rate, DEFAULT_QUEUE_CAPACITY));
+        let jitter_rng = self
+            .rng
+            .fork(0x4A17 ^ (((src.index() as u64) << 32) | dst.index() as u64));
+        self.paths.insert(
+            (src, dst),
+            Path {
+                spec,
+                serializer,
+                loss,
+                jitter_rng,
+            },
+        );
+    }
+
+    /// Sets the same spec in both directions.
+    pub fn set_path_symmetric(&mut self, a: NodeId, b: NodeId, spec: PathSpec) {
+        self.set_path(a, b, spec);
+        self.set_path(b, a, spec);
+    }
+
+    /// Sets the spec used for node pairs without an explicit path.
+    pub fn set_default_path(&mut self, spec: PathSpec) {
+        self.default_spec = spec;
+    }
+
+    /// Returns the spec of the path `src → dst` (explicit or default).
+    pub fn path_spec(&self, src: NodeId, dst: NodeId) -> PathSpec {
+        self.paths
+            .get(&(src, dst))
+            .map(|p| p.spec)
+            .unwrap_or(self.default_spec)
+    }
+
+    /// Total packets delivered since construction.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Total packets lost (random loss or queue drop) since construction.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Routes one packet of `size` bytes from `src` to `dst` starting at
+    /// `now`, returning its delivery time or `None` when it is lost.
+    ///
+    /// The packet passes, in order: the sender's egress serialiser, the
+    /// path's random-loss process, the path's own bottleneck (if any),
+    /// propagation delay, and the receiver's ingress serialiser.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id was not created by this network.
+    pub fn route(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        size: ByteCount,
+        now: SimTime,
+    ) -> Option<SimTime> {
+        assert!(src.index() < self.nodes.len(), "unknown src {src}");
+        assert!(dst.index() < self.nodes.len(), "unknown dst {dst}");
+
+        let depart = match self.nodes[src.index()].egress.as_mut() {
+            Some(s) => match s.enqueue(now, size) {
+                Some(t) => t,
+                None => {
+                    self.lost += 1;
+                    return None;
+                }
+            },
+            None => now,
+        };
+
+        // Lazily create the path so its loss process has a stable stream.
+        if !self.paths.contains_key(&(src, dst)) {
+            let spec = self.default_spec;
+            self.set_path(src, dst, spec);
+        }
+        let path = self.paths.get_mut(&(src, dst)).expect("path just ensured");
+
+        if path.loss.should_drop() {
+            self.lost += 1;
+            return None;
+        }
+
+        let after_path_queue = match path.serializer.as_mut() {
+            Some(s) => match s.enqueue(depart, size) {
+                Some(t) => t,
+                None => {
+                    self.lost += 1;
+                    return None;
+                }
+            },
+            None => depart,
+        };
+
+        let mut propagated = after_path_queue + path.spec.delay;
+        if !path.spec.jitter.is_zero() {
+            let extra = path.spec.jitter.as_nanos();
+            propagated +=
+                h3cdn_sim_core::SimDuration::from_nanos(path.jitter_rng.next_below(extra + 1));
+        }
+
+        let delivered = match self.nodes[dst.index()].ingress.as_mut() {
+            Some(s) => match s.enqueue(propagated, size) {
+                Some(t) => t,
+                None => {
+                    self.lost += 1;
+                    return None;
+                }
+            },
+            None => propagated,
+        };
+
+        self.delivered += 1;
+        Some(delivered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h3cdn_sim_core::SimDuration;
+
+    fn two_node_net(spec: PathSpec) -> (Network, NodeId, NodeId) {
+        let mut net = Network::new(1);
+        let a = net.add_node();
+        let b = net.add_node();
+        net.set_path_symmetric(a, b, spec);
+        (net, a, b)
+    }
+
+    #[test]
+    fn delay_only_path() {
+        let (mut net, a, b) =
+            two_node_net(PathSpec::with_delay(SimDuration::from_millis(10)));
+        let t = net
+            .route(a, b, ByteCount::new(1200), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(t, SimTime::ZERO + SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn default_path_used_when_unset() {
+        let mut net = Network::new(2);
+        let a = net.add_node();
+        let b = net.add_node();
+        net.set_default_path(PathSpec::with_delay(SimDuration::from_millis(7)));
+        let t = net.route(a, b, ByteCount::new(100), SimTime::ZERO).unwrap();
+        assert_eq!(t, SimTime::ZERO + SimDuration::from_millis(7));
+    }
+
+    #[test]
+    fn ingress_rate_serialises_parallel_arrivals() {
+        let mut net = Network::new(3);
+        let server1 = net.add_node();
+        let server2 = net.add_node();
+        let client = net.add_node();
+        // 8 Mbps downlink: 1 byte/µs.
+        net.set_ingress_rate(client, DataRate::from_mbps(8));
+        net.set_default_path(PathSpec::with_delay(SimDuration::from_millis(1)));
+        let t1 = net
+            .route(server1, client, ByteCount::new(1000), SimTime::ZERO)
+            .unwrap();
+        let t2 = net
+            .route(server2, client, ByteCount::new(1000), SimTime::ZERO)
+            .unwrap();
+        // Both arrive at the ingress at 1 ms; the second serialises behind
+        // the first.
+        assert_eq!(t2 - t1, SimDuration::from_micros(1000));
+    }
+
+    #[test]
+    fn certain_loss_drops_everything() {
+        let (mut net, a, b) = two_node_net(
+            PathSpec::with_delay(SimDuration::from_millis(1))
+                .loss(crate::LossModel::Iid { p: 1.0 }),
+        );
+        for _ in 0..50 {
+            assert!(net.route(a, b, ByteCount::new(100), SimTime::ZERO).is_none());
+        }
+        assert_eq!(net.lost(), 50);
+        assert_eq!(net.delivered(), 0);
+    }
+
+    #[test]
+    fn loss_is_per_direction() {
+        let mut net = Network::new(4);
+        let a = net.add_node();
+        let b = net.add_node();
+        net.set_path(
+            a,
+            b,
+            PathSpec::with_delay(SimDuration::from_millis(1)).loss(crate::LossModel::Iid { p: 1.0 }),
+        );
+        net.set_path(b, a, PathSpec::with_delay(SimDuration::from_millis(1)));
+        assert!(net.route(a, b, ByteCount::new(100), SimTime::ZERO).is_none());
+        assert!(net.route(b, a, ByteCount::new(100), SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let run = |seed| {
+            let (mut net, a, b) = {
+                let mut net = Network::new(seed);
+                let a = net.add_node();
+                let b = net.add_node();
+                net.set_path_symmetric(
+                    a,
+                    b,
+                    PathSpec::with_delay(SimDuration::from_millis(1))
+                        .loss(crate::LossModel::Iid { p: 0.3 }),
+                );
+                (net, a, b)
+            };
+            (0..100)
+                .map(|i| {
+                    net.route(
+                        a,
+                        b,
+                        ByteCount::new(100),
+                        SimTime::from_nanos(i * 1_000_000),
+                    )
+                    .is_some()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn jitter_spreads_and_reorders_deliveries() {
+        let mut net = Network::new(8);
+        let a = net.add_node();
+        let b = net.add_node();
+        net.set_path(
+            a,
+            b,
+            PathSpec::with_delay(SimDuration::from_millis(10))
+                .jitter(SimDuration::from_millis(5)),
+        );
+        let mut deliveries = Vec::new();
+        for i in 0..200u64 {
+            let sent = SimTime::from_nanos(i * 10_000); // 10 µs apart
+            let t = net.route(a, b, ByteCount::new(100), sent).unwrap();
+            let flight = t.saturating_duration_since(sent);
+            assert!(flight >= SimDuration::from_millis(10));
+            assert!(flight <= SimDuration::from_millis(15));
+            deliveries.push(t);
+        }
+        // Closely spaced sends with ±5 ms jitter must reorder sometimes.
+        let reordered = deliveries.windows(2).filter(|w| w[1] < w[0]).count();
+        assert!(reordered > 10, "jitter must reorder: {reordered}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dst")]
+    fn route_rejects_unknown_node() {
+        let mut net = Network::new(5);
+        let a = net.add_node();
+        let _ = net.route(a, NodeId(7), ByteCount::new(10), SimTime::ZERO);
+    }
+
+    #[test]
+    fn path_spec_query() {
+        let (net, a, b) = two_node_net(PathSpec::with_delay(SimDuration::from_millis(42)));
+        assert_eq!(net.path_spec(a, b).delay, SimDuration::from_millis(42));
+    }
+}

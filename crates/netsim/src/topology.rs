@@ -1,0 +1,93 @@
+//! Convenience topology builders.
+//!
+//! The browser layer wires client↔edge stars by hand; these helpers cover
+//! the common shapes for tests, benches and downstream users.
+
+use crate::link::PathSpec;
+use crate::network::Network;
+use crate::node::NodeId;
+
+/// A star: one hub node connected to `leaves` leaf nodes, every spoke
+/// using `spec` in both directions. Returns `(hub, leaf_ids)`.
+pub fn star(net: &mut Network, leaves: usize, spec: PathSpec) -> (NodeId, Vec<NodeId>) {
+    let hub = net.add_node();
+    let leaf_ids: Vec<NodeId> = (0..leaves)
+        .map(|_| {
+            let leaf = net.add_node();
+            net.set_path_symmetric(hub, leaf, spec);
+            leaf
+        })
+        .collect();
+    (hub, leaf_ids)
+}
+
+/// A full mesh over `n` nodes, every pair using `spec` in both
+/// directions. Returns the node ids.
+pub fn full_mesh(net: &mut Network, n: usize, spec: PathSpec) -> Vec<NodeId> {
+    let ids: Vec<NodeId> = (0..n).map(|_| net.add_node()).collect();
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in ids.iter().skip(i + 1) {
+            net.set_path_symmetric(a, b, spec);
+        }
+    }
+    ids
+}
+
+/// A chain `n0 — n1 — … — n(k-1)` with `spec` per hop. Note that the
+/// [`Network`] routes single hops only: a chain is a set
+/// of adjacent pairs, not a routed multi-hop path.
+pub fn chain(net: &mut Network, k: usize, spec: PathSpec) -> Vec<NodeId> {
+    let ids: Vec<NodeId> = (0..k).map(|_| net.add_node()).collect();
+    for w in ids.windows(2) {
+        net.set_path_symmetric(w[0], w[1], spec);
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h3cdn_sim_core::units::ByteCount;
+    use h3cdn_sim_core::{SimDuration, SimTime};
+
+    fn spec() -> PathSpec {
+        PathSpec::with_delay(SimDuration::from_millis(3))
+    }
+
+    #[test]
+    fn star_connects_hub_to_every_leaf() {
+        let mut net = Network::new(1);
+        let (hub, leaves) = star(&mut net, 5, spec());
+        assert_eq!(leaves.len(), 5);
+        assert_eq!(net.node_count(), 6);
+        for &leaf in &leaves {
+            assert!(net.route(hub, leaf, ByteCount::new(100), SimTime::ZERO).is_some());
+            assert!(net.route(leaf, hub, ByteCount::new(100), SimTime::ZERO).is_some());
+            assert_eq!(net.path_spec(hub, leaf).delay, SimDuration::from_millis(3));
+        }
+    }
+
+    #[test]
+    fn full_mesh_covers_all_pairs() {
+        let mut net = Network::new(2);
+        let ids = full_mesh(&mut net, 4, spec());
+        for &a in &ids {
+            for &b in &ids {
+                if a != b {
+                    assert_eq!(net.path_spec(a, b).delay, SimDuration::from_millis(3));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_links_adjacent_nodes_only() {
+        let mut net = Network::new(3);
+        net.set_default_path(PathSpec::with_delay(SimDuration::from_millis(99)));
+        let ids = chain(&mut net, 4, spec());
+        assert_eq!(net.path_spec(ids[0], ids[1]).delay, SimDuration::from_millis(3));
+        assert_eq!(net.path_spec(ids[1], ids[2]).delay, SimDuration::from_millis(3));
+        // Non-adjacent pairs fall back to the default path.
+        assert_eq!(net.path_spec(ids[0], ids[3]).delay, SimDuration::from_millis(99));
+    }
+}

@@ -1,0 +1,175 @@
+//! A stable, timestamped event queue.
+//!
+//! [`EventQueue`] orders events primarily by their scheduled [`SimTime`] and
+//! secondarily by insertion order, so events scheduled for the same instant
+//! pop in FIFO order. Stability matters for determinism: without it, the
+//! relative order of simultaneous packet arrivals would depend on heap
+//! internals and reruns would diverge.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A priority queue of `(SimTime, E)` pairs popped in chronological order,
+/// FIFO among ties.
+///
+/// # Example
+///
+/// ```
+/// use h3cdn_sim_core::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let t = SimTime::from_nanos(7);
+/// q.schedule(t, "first");
+/// q.schedule(t, "second");
+/// assert_eq!(q.pop(), Some((t, "first")));
+/// assert_eq!(q.pop(), Some((t, "second")));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest (time, seq)
+        // pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the chronologically next event, or `None` when
+    /// the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Returns the timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events, keeping the sequence counter so stability
+    /// is preserved across the clear.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(at(3), 'c');
+        q.schedule(at(1), 'a');
+        q.schedule(at(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(at(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_ties_preserve_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(at(1), "early-1");
+        q.schedule(at(2), "late-1");
+        q.schedule(at(1), "early-2");
+        q.schedule(at(2), "late-2");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["early-1", "early-2", "late-1", "late-2"]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(at(9), ());
+        assert_eq!(q.peek_time(), Some(at(9)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_stability() {
+        let mut q = EventQueue::new();
+        q.schedule(at(1), 1);
+        q.clear();
+        assert!(q.is_empty());
+        q.schedule(at(1), 2);
+        q.schedule(at(1), 3);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(3));
+    }
+}

@@ -1,0 +1,365 @@
+//! Seeded, splittable pseudo-randomness for deterministic simulation.
+//!
+//! [`SimRng`] wraps a 64-bit PCG-XSH-RR style generator seeded through
+//! SplitMix64. Independent subsystem streams are derived with
+//! [`SimRng::fork`] so, e.g., the loss process on one link never perturbs
+//! the workload generator — adding a subsystem cannot silently reshuffle
+//! another's draws.
+//!
+//! The distribution helpers cover exactly what the reproduction needs:
+//! uniform ranges, Bernoulli coin flips (packet loss, adoption decisions),
+//! exponential (think-time spacing), log-normal (resource sizes, which are
+//! heavy-tailed — 75 % of CDN resources are below 20 KB in the paper), and
+//! weighted choice (CDN provider market share).
+
+/// A deterministic 64-bit pseudo-random generator.
+///
+/// # Example
+///
+/// ```
+/// use h3cdn_sim_core::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a seed. Equal seeds give identical streams.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut s = seed;
+        let state = splitmix64(&mut s);
+        let inc = splitmix64(&mut s) | 1; // stream selector must be odd
+        let mut rng = SimRng { state, inc };
+        // Decorrelate the first output from the raw seed.
+        rng.next_u64();
+        rng
+    }
+
+    /// Derives an independent stream labelled by `label`.
+    ///
+    /// Forks with distinct labels from the same parent are statistically
+    /// independent; the parent's own stream is not advanced.
+    pub fn fork(&self, label: u64) -> SimRng {
+        let mut s = self
+            .state
+            .wrapping_mul(PCG_MULT)
+            .wrapping_add(label.wrapping_mul(0xD6E8FEB86659FD93) | 1);
+        let state = splitmix64(&mut s);
+        let inc = splitmix64(&mut s) | 1;
+        let mut rng = SimRng { state, inc };
+        rng.next_u64();
+        rng
+    }
+
+    /// Returns the next 64 raw pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // PCG-XSH-RR on 64-bit state (two 32-bit halves combined); simple
+        // and fast, with quality far beyond what the simulation needs.
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        let hi = xorshifted.rotate_right(rot) as u64;
+        let old2 = self.state;
+        self.state = old2.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted2 = (((old2 >> 18) ^ old2) >> 27) as u32;
+        let rot2 = (old2 >> 59) as u32;
+        let lo = xorshifted2.rotate_right(rot2) as u64;
+        (hi << 32) | lo
+    }
+
+    /// Returns a float uniform on `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 top bits → uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns an integer uniform on `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire's multiply-shift with rejection for exact uniformity.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= low.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns an integer uniform on the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        if lo == hi {
+            return lo;
+        }
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Returns a float uniform on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi);
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Flips a coin that lands `true` with probability `p`.
+    ///
+    /// `p` outside `[0, 1]` is clamped.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+
+    /// Samples an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        let u = 1.0 - self.next_f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Samples a standard normal via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.next_f64(); // avoid ln(0)
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Samples a log-normal distribution parameterised by the mean `mu` and
+    /// standard deviation `sigma` of the underlying normal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is not finite.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0);
+        (mu + sigma * self.standard_normal()).exp()
+    }
+
+    /// Picks an index with probability proportional to `weights[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// weight, or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut target = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1 // floating-point slack lands on the last bucket
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Chooses a uniformly random element of a non-empty slice.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.next_below(items.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3, "streams should be uncorrelated, {same} collisions");
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let parent = SimRng::seed_from(99);
+        let mut c1 = parent.fork(1);
+        let mut c1_again = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        assert_eq!(c1.next_u64(), c1_again.next_u64());
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_is_bounded_and_covers() {
+        let mut rng = SimRng::seed_from(4);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let x = rng.next_below(10) as usize;
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn bernoulli_matches_probability() {
+        let mut rng = SimRng::seed_from(5);
+        let trials = 100_000;
+        let hits = (0..trials).filter(|_| rng.bernoulli(0.3)).count();
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = SimRng::seed_from(6);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SimRng::seed_from(8);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_median_is_exp_mu() {
+        let mut rng = SimRng::seed_from(9);
+        let n = 50_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| rng.log_normal(2.0, 1.0)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        let expect = 2.0f64.exp();
+        assert!(
+            (median / expect - 1.0).abs() < 0.05,
+            "median {median} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::seed_from(10);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_handles_empty_and_singleton() {
+        let mut rng = SimRng::seed_from(12);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        assert_eq!(rng.choose(&[42]), Some(&42));
+    }
+
+    #[test]
+    fn range_inclusive_hits_bounds() {
+        let mut rng = SimRng::seed_from(13);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1000 {
+            match rng.range_inclusive(3, 5) {
+                3 => lo_seen = true,
+                5 => hi_seen = true,
+                4 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+        assert_eq!(rng.range_inclusive(9, 9), 9);
+    }
+}

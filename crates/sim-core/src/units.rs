@@ -1,0 +1,259 @@
+//! Byte-count and data-rate units.
+//!
+//! [`ByteCount`] and [`DataRate`] are newtypes that keep payload sizes and
+//! link speeds from being confused with each other or with raw integers,
+//! and centralise the one conversion the network simulator performs
+//! constantly: *how long does it take to serialise N bytes at rate R?*
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+use crate::time::SimDuration;
+
+/// A number of bytes.
+///
+/// # Example
+///
+/// ```
+/// use h3cdn_sim_core::units::ByteCount;
+///
+/// let hdr = ByteCount::new(40);
+/// let body = ByteCount::from_kib(1);
+/// assert_eq!((hdr + body).as_u64(), 40 + 1024);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteCount(u64);
+
+impl ByteCount {
+    /// Zero bytes.
+    pub const ZERO: ByteCount = ByteCount(0);
+
+    /// Creates a byte count.
+    pub const fn new(bytes: u64) -> Self {
+        ByteCount(bytes)
+    }
+
+    /// Creates a byte count from binary kilobytes (1 KiB = 1024 B).
+    pub const fn from_kib(kib: u64) -> Self {
+        ByteCount(kib * 1024)
+    }
+
+    /// Creates a byte count from binary megabytes.
+    pub const fn from_mib(mib: u64) -> Self {
+        ByteCount(mib * 1024 * 1024)
+    }
+
+    /// Returns the raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the count as fractional KiB.
+    pub fn as_kib_f64(self) -> f64 {
+        self.0 as f64 / 1024.0
+    }
+
+    /// Returns `true` for an empty count.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: ByteCount) -> ByteCount {
+        ByteCount(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the smaller count.
+    pub fn min(self, other: ByteCount) -> ByteCount {
+        ByteCount(self.0.min(other.0))
+    }
+
+    /// Returns the larger count.
+    pub fn max(self, other: ByteCount) -> ByteCount {
+        ByteCount(self.0.max(other.0))
+    }
+}
+
+impl Add for ByteCount {
+    type Output = ByteCount;
+    fn add(self, rhs: ByteCount) -> ByteCount {
+        ByteCount(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for ByteCount {
+    fn add_assign(&mut self, rhs: ByteCount) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for ByteCount {
+    type Output = ByteCount;
+    fn sub(self, rhs: ByteCount) -> ByteCount {
+        debug_assert!(self.0 >= rhs.0, "ByteCount subtraction underflow");
+        ByteCount(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sum for ByteCount {
+    fn sum<I: Iterator<Item = ByteCount>>(iter: I) -> ByteCount {
+        iter.fold(ByteCount::ZERO, Add::add)
+    }
+}
+
+impl From<u64> for ByteCount {
+    fn from(bytes: u64) -> Self {
+        ByteCount(bytes)
+    }
+}
+
+impl fmt::Debug for ByteCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ByteCount({}B)", self.0)
+    }
+}
+
+impl fmt::Display for ByteCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1024 * 1024 {
+            write!(f, "{:.2}MiB", self.0 as f64 / (1024.0 * 1024.0))
+        } else if self.0 >= 1024 {
+            write!(f, "{:.2}KiB", self.as_kib_f64())
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+/// A data rate in bits per second.
+///
+/// # Example
+///
+/// ```
+/// use h3cdn_sim_core::units::{ByteCount, DataRate};
+///
+/// let rate = DataRate::from_mbps(8); // 1 MB/s
+/// let t = rate.transmission_time(ByteCount::new(1_000_000));
+/// assert_eq!(t.as_secs_f64(), 1.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DataRate(u64);
+
+impl DataRate {
+    /// Creates a rate from bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is zero; a zero-rate link cannot transmit.
+    pub fn from_bps(bps: u64) -> Self {
+        assert!(bps > 0, "data rate must be positive");
+        DataRate(bps)
+    }
+
+    /// Creates a rate from kilobits per second.
+    pub fn from_kbps(kbps: u64) -> Self {
+        DataRate::from_bps(kbps * 1_000)
+    }
+
+    /// Creates a rate from megabits per second.
+    pub fn from_mbps(mbps: u64) -> Self {
+        DataRate::from_bps(mbps * 1_000_000)
+    }
+
+    /// Creates a rate from gigabits per second.
+    pub fn from_gbps(gbps: u64) -> Self {
+        DataRate::from_bps(gbps * 1_000_000_000)
+    }
+
+    /// Returns the raw bits-per-second value.
+    pub const fn as_bps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time needed to serialise `bytes` onto a link at this
+    /// rate.
+    pub fn transmission_time(self, bytes: ByteCount) -> SimDuration {
+        let bits = bytes.as_u64() as u128 * 8;
+        let nanos = bits * 1_000_000_000 / self.0 as u128;
+        SimDuration::from_nanos(nanos.min(u64::MAX as u128) as u64)
+    }
+}
+
+impl fmt::Debug for DataRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DataRate({}bps)", self.0)
+    }
+}
+
+impl fmt::Display for DataRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.2}Gbps", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.2}Mbps", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.2}Kbps", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}bps", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_count_arithmetic() {
+        let a = ByteCount::new(100);
+        let b = ByteCount::new(28);
+        assert_eq!((a + b).as_u64(), 128);
+        assert_eq!((a - b).as_u64(), 72);
+        assert_eq!(a.saturating_sub(ByteCount::new(200)), ByteCount::ZERO);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn byte_count_units() {
+        assert_eq!(ByteCount::from_kib(2).as_u64(), 2048);
+        assert_eq!(ByteCount::from_mib(1).as_u64(), 1024 * 1024);
+        assert!((ByteCount::from_kib(3).as_kib_f64() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_count_sum() {
+        let total: ByteCount = (1..=3).map(ByteCount::new).sum();
+        assert_eq!(total.as_u64(), 6);
+    }
+
+    #[test]
+    fn transmission_time_scales_linearly() {
+        let rate = DataRate::from_mbps(100);
+        let t1 = rate.transmission_time(ByteCount::new(1250)); // 10_000 bits
+        assert_eq!(t1, SimDuration::from_micros(100));
+        let t2 = rate.transmission_time(ByteCount::new(2500));
+        assert_eq!(t2, SimDuration::from_micros(200));
+    }
+
+    #[test]
+    fn transmission_time_zero_bytes_is_zero() {
+        let rate = DataRate::from_gbps(1);
+        assert_eq!(rate.transmission_time(ByteCount::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = DataRate::from_bps(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ByteCount::new(17).to_string(), "17B");
+        assert_eq!(ByteCount::from_kib(2).to_string(), "2.00KiB");
+        assert_eq!(DataRate::from_mbps(10).to_string(), "10.00Mbps");
+        assert_eq!(DataRate::from_kbps(5).to_string(), "5.00Kbps");
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests of the simulation primitives against reference
+//! models.
+
+use h3cdn_sim_core::{EventQueue, SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue pops in exactly the order of a stable sort by
+    /// (time, insertion index) — checked against a model.
+    #[test]
+    fn event_queue_matches_stable_sort_model(
+        times in prop::collection::vec(0u64..1_000, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut model: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        model.sort_by_key(|&(t, i)| (t, i)); // stable by construction
+        let popped: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop()).map(|(t, i)| (t.as_nanos(), i)).collect();
+        prop_assert_eq!(popped, model);
+    }
+
+    /// Uniform draws stay in range and fill the space.
+    #[test]
+    fn next_below_uniformity(seed in 0u64..10_000, bound in 1u64..100) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut seen = vec![false; bound as usize];
+        for _ in 0..(bound * 60) {
+            let x = rng.next_below(bound);
+            prop_assert!(x < bound);
+            seen[x as usize] = true;
+        }
+        let coverage = seen.iter().filter(|&&b| b).count() as f64 / bound as f64;
+        prop_assert!(coverage > 0.9, "coverage {coverage}");
+    }
+
+    /// Time arithmetic round-trips and orders correctly.
+    #[test]
+    fn time_arithmetic_consistency(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let t = SimTime::from_nanos(a);
+        let d = SimDuration::from_nanos(b);
+        let forward = t + d;
+        prop_assert_eq!(forward.saturating_duration_since(t), d);
+        prop_assert_eq!(forward - d, t);
+        prop_assert!(forward >= t);
+    }
+
+    /// Forked streams are reproducible and label-distinct.
+    #[test]
+    fn forks_reproducible_and_distinct(seed in 0u64..10_000, label in 0u64..1_000) {
+        let parent = SimRng::seed_from(seed);
+        let mut a = parent.fork(label);
+        let mut b = parent.fork(label);
+        let mut c = parent.fork(label.wrapping_add(1));
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        prop_assert_eq!(&xs, &ys);
+        prop_assert_ne!(&xs, &zs);
+    }
+}

@@ -1,0 +1,223 @@
+//! CUBIC congestion control (RFC 8312 behaviour, simplified).
+
+use h3cdn_sim_core::SimTime;
+
+use super::{CongestionController, INITIAL_WINDOW, MIN_WINDOW, MSS};
+
+/// CUBIC's scaling constant `C` (windows measured in MSS, time in
+/// seconds).
+const CUBIC_C: f64 = 0.4;
+/// CUBIC's multiplicative-decrease factor `β_cubic`.
+const CUBIC_BETA: f64 = 0.7;
+
+/// The CUBIC controller used as the default by both simulated stacks, as
+/// it is in Linux TCP and in the production QUIC stacks the paper
+/// measured.
+///
+/// After a congestion event at window `W_max`, the window grows along the
+/// cubic `W(t) = C·(t − K)³ + W_max` with `K = ∛(W_max·(1−β)/C)`: a fast
+/// initial recovery, a plateau near the old maximum, then probing beyond
+/// it.
+#[derive(Debug, Clone)]
+pub struct Cubic {
+    cwnd: u64,
+    ssthresh: u64,
+    in_flight: u64,
+    /// Window (bytes) at the most recent congestion event.
+    w_max: f64,
+    /// Start of the current epoch (set at the first ACK after a loss).
+    epoch_start: Option<SimTime>,
+    /// Cubic inflection offset, in seconds.
+    k: f64,
+}
+
+impl Cubic {
+    /// Creates a controller with the standard initial window.
+    pub fn new() -> Self {
+        Cubic {
+            cwnd: INITIAL_WINDOW,
+            ssthresh: u64::MAX,
+            in_flight: 0,
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+        }
+    }
+
+    fn target_window(&self, now: SimTime) -> u64 {
+        let epoch_start = match self.epoch_start {
+            Some(t) => t,
+            None => return self.cwnd,
+        };
+        let t = now.saturating_duration_since(epoch_start).as_secs_f64();
+        // Windows in MSS units for the cubic function.
+        let w_max_mss = self.w_max / MSS as f64;
+        let w_cubic = CUBIC_C * (t - self.k).powi(3) + w_max_mss;
+        ((w_cubic * MSS as f64).max(MIN_WINDOW as f64)) as u64
+    }
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Cubic::new()
+    }
+}
+
+impl CongestionController for Cubic {
+    fn on_packet_sent(&mut self, bytes: u64, _now: SimTime) {
+        self.in_flight += bytes;
+    }
+
+    fn on_ack(&mut self, bytes: u64, now: SimTime) {
+        self.in_flight = self.in_flight.saturating_sub(bytes);
+        if self.cwnd < self.ssthresh {
+            // Slow start, as in NewReno.
+            self.cwnd += bytes;
+            return;
+        }
+        if self.epoch_start.is_none() {
+            self.epoch_start = Some(now);
+            let w_max_mss = self.w_max / MSS as f64;
+            let cwnd_mss = self.cwnd as f64 / MSS as f64;
+            self.k = if w_max_mss > cwnd_mss {
+                ((w_max_mss - cwnd_mss) / CUBIC_C).cbrt()
+            } else {
+                0.0
+            };
+        }
+        // Step at most one MSS per ACK towards the cubic target so growth
+        // stays ACK-clocked.
+        let target = self.target_window(now);
+        if target > self.cwnd {
+            let step = ((target - self.cwnd) * bytes / self.cwnd.max(1)).clamp(1, MSS);
+            self.cwnd += step;
+        }
+    }
+
+    fn on_congestion_event(&mut self, _now: SimTime) {
+        self.w_max = self.cwnd as f64;
+        self.ssthresh = ((self.cwnd as f64 * CUBIC_BETA) as u64).max(MIN_WINDOW);
+        self.cwnd = self.ssthresh;
+        self.epoch_start = None;
+    }
+
+    fn on_timeout(&mut self, _now: SimTime) {
+        self.w_max = self.cwnd as f64;
+        self.ssthresh = ((self.cwnd as f64 * CUBIC_BETA) as u64).max(MIN_WINDOW);
+        self.cwnd = MIN_WINDOW;
+        self.epoch_start = None;
+    }
+
+    fn window(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn bytes_in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h3cdn_sim_core::SimDuration;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn slow_start_matches_newreno() {
+        let mut cc = Cubic::new();
+        cc.on_packet_sent(INITIAL_WINDOW, at(0));
+        cc.on_ack(INITIAL_WINDOW, at(0));
+        assert_eq!(cc.window(), 2 * INITIAL_WINDOW);
+    }
+
+    #[test]
+    fn multiplicative_decrease_is_beta() {
+        let mut cc = Cubic::new();
+        let w = cc.window();
+        cc.on_congestion_event(at(0));
+        let expect = (w as f64 * CUBIC_BETA) as u64;
+        assert_eq!(cc.window(), expect.max(MIN_WINDOW));
+    }
+
+    #[test]
+    fn recovers_towards_w_max_over_time() {
+        let mut cc = Cubic::new();
+        // Grow, then lose.
+        for _ in 0..6 {
+            cc.on_packet_sent(cc.window(), at(0));
+            cc.on_ack(cc.window(), at(0));
+        }
+        let w_before_loss = cc.window();
+        cc.on_congestion_event(at(0));
+        let w_after_loss = cc.window();
+        assert!(w_after_loss < w_before_loss);
+        // ACK-clock through simulated time; the window should climb back
+        // towards w_max.
+        let mut now_ms = 10;
+        for _ in 0..2000 {
+            cc.on_packet_sent(MSS, at(now_ms));
+            cc.on_ack(MSS, at(now_ms));
+            now_ms += 10;
+        }
+        assert!(
+            cc.window() > w_after_loss + 2 * MSS,
+            "window failed to recover: {} -> {}",
+            w_after_loss,
+            cc.window()
+        );
+    }
+
+    #[test]
+    fn growth_is_concave_then_convex() {
+        // Near t = K growth slows (plateau), far beyond it accelerates.
+        let mut cc = Cubic::new();
+        for _ in 0..6 {
+            cc.on_packet_sent(cc.window(), at(0));
+            cc.on_ack(cc.window(), at(0));
+        }
+        cc.on_congestion_event(at(0));
+        let mut windows = Vec::new();
+        let mut now_ms = 0;
+        for _ in 0..3000 {
+            cc.on_packet_sent(MSS, at(now_ms));
+            cc.on_ack(MSS, at(now_ms));
+            windows.push(cc.window());
+            now_ms += 5;
+        }
+        // Early growth (first quarter) should exceed mid growth (around
+        // the plateau).
+        let q = windows.len() / 4;
+        let early = windows[q] - windows[0];
+        let mid = windows[2 * q] - windows[q];
+        assert!(early > mid, "no plateau: early {early} mid {mid}");
+    }
+
+    #[test]
+    fn timeout_collapses_to_min() {
+        let mut cc = Cubic::new();
+        cc.on_timeout(at(0));
+        assert_eq!(cc.window(), MIN_WINDOW);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn in_flight_accounting() {
+        let mut cc = Cubic::new();
+        cc.on_packet_sent(1000, at(0));
+        cc.on_packet_sent(500, at(1));
+        cc.on_ack(1000, at(2));
+        assert_eq!(cc.bytes_in_flight(), 500);
+    }
+}

@@ -1,0 +1,141 @@
+//! Congestion controllers shared by the TCP and QUIC stacks.
+//!
+//! The paper's H2/H3 comparison holds congestion control approximately
+//! constant (both production stacks ran CUBIC-family controllers), so both
+//! of our transports drive the same [`CongestionController`] trait. The
+//! Cubic-vs-NewReno ablation bench (`cc_ablation`) quantifies how much of
+//! an observed H3 gain could instead be explained by CC differences —
+//! mirroring Yu & Benson's warning cited in the paper.
+
+mod cubic;
+mod new_reno;
+
+pub use cubic::Cubic;
+pub use new_reno::NewReno;
+
+use h3cdn_sim_core::SimTime;
+
+/// Sender-side maximum segment/packet payload size in bytes. One value is
+/// shared by both stacks so windows are comparable.
+pub const MSS: u64 = 1460;
+
+/// Initial congestion window: 10 segments (RFC 6928).
+pub const INITIAL_WINDOW: u64 = 10 * MSS;
+
+/// Minimum congestion window after a collapse: 2 segments.
+pub const MIN_WINDOW: u64 = 2 * MSS;
+
+/// A pluggable congestion-control algorithm.
+///
+/// All byte quantities are in wire bytes. Implementations never read a
+/// clock; the caller supplies virtual time.
+pub trait CongestionController: std::fmt::Debug + Send {
+    /// Records that `bytes` left the sender at `now`.
+    fn on_packet_sent(&mut self, bytes: u64, now: SimTime);
+
+    /// Records an acknowledgement of `bytes` previously in flight.
+    fn on_ack(&mut self, bytes: u64, now: SimTime);
+
+    /// Records one congestion event (fast-retransmit-class loss). Multiple
+    /// losses in one window should be reported as a single event by the
+    /// caller.
+    fn on_congestion_event(&mut self, now: SimTime);
+
+    /// Records a retransmission-timeout-class collapse.
+    fn on_timeout(&mut self, now: SimTime);
+
+    /// Current congestion window in bytes.
+    fn window(&self) -> u64;
+
+    /// Bytes currently in flight according to this controller.
+    fn bytes_in_flight(&self) -> u64;
+
+    /// Whether the sender is still in slow start.
+    fn in_slow_start(&self) -> bool;
+
+    /// Short algorithm name for logs and experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// Algorithm selector used by configuration types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CcAlgorithm {
+    /// Loss-based AIMD (RFC 5681 + 6582 spirit).
+    NewReno,
+    /// CUBIC (RFC 8312 spirit), the default in Linux and most QUIC stacks.
+    #[default]
+    Cubic,
+}
+
+impl CcAlgorithm {
+    /// Instantiates a controller with the standard initial window.
+    pub fn build(self) -> Box<dyn CongestionController> {
+        match self {
+            CcAlgorithm::NewReno => Box::new(NewReno::new()),
+            CcAlgorithm::Cubic => Box::new(Cubic::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for CcAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CcAlgorithm::NewReno => write!(f, "newreno"),
+            CcAlgorithm::Cubic => write!(f, "cubic"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_both() {
+        assert_eq!(CcAlgorithm::NewReno.build().name(), "newreno");
+        assert_eq!(CcAlgorithm::Cubic.build().name(), "cubic");
+        assert_eq!(CcAlgorithm::default(), CcAlgorithm::Cubic);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(CcAlgorithm::NewReno.to_string(), "newreno");
+        assert_eq!(CcAlgorithm::Cubic.to_string(), "cubic");
+    }
+
+    /// Shared behavioural contract both controllers must satisfy.
+    fn check_contract(mut cc: Box<dyn CongestionController>) {
+        let t0 = SimTime::ZERO;
+        assert_eq!(cc.window(), INITIAL_WINDOW);
+        assert!(cc.in_slow_start());
+        assert_eq!(cc.bytes_in_flight(), 0);
+
+        // Slow start doubles per window's worth of ACKs.
+        cc.on_packet_sent(MSS, t0);
+        assert_eq!(cc.bytes_in_flight(), MSS);
+        cc.on_ack(MSS, t0);
+        assert_eq!(cc.bytes_in_flight(), 0);
+        assert!(cc.window() > INITIAL_WINDOW);
+
+        // A congestion event shrinks the window and exits slow start.
+        let before = cc.window();
+        cc.on_packet_sent(MSS, t0);
+        cc.on_congestion_event(t0);
+        assert!(cc.window() < before);
+        assert!(!cc.in_slow_start());
+
+        // A timeout collapses the window to the minimum.
+        cc.on_timeout(t0);
+        assert_eq!(cc.window(), MIN_WINDOW);
+    }
+
+    #[test]
+    fn new_reno_contract() {
+        check_contract(CcAlgorithm::NewReno.build());
+    }
+
+    #[test]
+    fn cubic_contract() {
+        check_contract(CcAlgorithm::Cubic.build());
+    }
+}

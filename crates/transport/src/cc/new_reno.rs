@@ -1,0 +1,157 @@
+//! NewReno: slow start plus AIMD congestion avoidance.
+
+use h3cdn_sim_core::SimTime;
+
+use super::{CongestionController, INITIAL_WINDOW, MIN_WINDOW, MSS};
+
+/// Classic loss-based AIMD controller (RFC 5681/6582 behaviour at the
+/// granularity this simulation needs).
+///
+/// * Slow start: `cwnd += acked_bytes` per ACK until `ssthresh`.
+/// * Congestion avoidance: `cwnd += MSS·acked/cwnd` per ACK
+///   (≈ one MSS per RTT).
+/// * Congestion event: `ssthresh = cwnd/2`, `cwnd = ssthresh`.
+/// * Timeout: `cwnd = MIN_WINDOW`, `ssthresh = cwnd/2`.
+#[derive(Debug, Clone)]
+pub struct NewReno {
+    cwnd: u64,
+    ssthresh: u64,
+    in_flight: u64,
+}
+
+impl NewReno {
+    /// Creates a controller with the standard initial window.
+    pub fn new() -> Self {
+        NewReno {
+            cwnd: INITIAL_WINDOW,
+            ssthresh: u64::MAX,
+            in_flight: 0,
+        }
+    }
+}
+
+impl Default for NewReno {
+    fn default() -> Self {
+        NewReno::new()
+    }
+}
+
+impl CongestionController for NewReno {
+    fn on_packet_sent(&mut self, bytes: u64, _now: SimTime) {
+        self.in_flight += bytes;
+    }
+
+    fn on_ack(&mut self, bytes: u64, _now: SimTime) {
+        self.in_flight = self.in_flight.saturating_sub(bytes);
+        if self.cwnd < self.ssthresh {
+            // Slow start: exponential growth.
+            self.cwnd += bytes;
+        } else {
+            // Congestion avoidance: ~one MSS per RTT.
+            self.cwnd += (MSS * bytes / self.cwnd).max(1);
+        }
+    }
+
+    fn on_congestion_event(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2).max(MIN_WINDOW);
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_timeout(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2).max(MIN_WINDOW);
+        self.cwnd = MIN_WINDOW;
+    }
+
+    fn window(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn bytes_in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    fn name(&self) -> &'static str {
+        "newreno"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> SimTime {
+        SimTime::ZERO
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut cc = NewReno::new();
+        let start = cc.window();
+        // ACK one full window's worth.
+        cc.on_packet_sent(start, t());
+        cc.on_ack(start, t());
+        assert_eq!(cc.window(), 2 * start);
+    }
+
+    #[test]
+    fn congestion_avoidance_is_linear() {
+        let mut cc = NewReno::new();
+        cc.on_congestion_event(t()); // forces ssthresh = cwnd/2, exits SS
+        assert!(!cc.in_slow_start());
+        let w = cc.window();
+        // ACK a full window: growth should be about one MSS, not w.
+        cc.on_packet_sent(w, t());
+        cc.on_ack(w, t());
+        let growth = cc.window() - w;
+        assert!((MSS..=MSS + MSS / 4).contains(&growth), "growth {growth}");
+    }
+
+    #[test]
+    fn halves_on_congestion_event() {
+        let mut cc = NewReno::new();
+        // Grow a bit first.
+        cc.on_packet_sent(INITIAL_WINDOW, t());
+        cc.on_ack(INITIAL_WINDOW, t());
+        let w = cc.window();
+        cc.on_congestion_event(t());
+        assert_eq!(cc.window(), w / 2);
+    }
+
+    #[test]
+    fn window_never_below_min() {
+        let mut cc = NewReno::new();
+        for _ in 0..20 {
+            cc.on_congestion_event(t());
+        }
+        assert_eq!(cc.window(), MIN_WINDOW);
+        cc.on_timeout(t());
+        assert_eq!(cc.window(), MIN_WINDOW);
+    }
+
+    #[test]
+    fn in_flight_tracks_sends_and_acks() {
+        let mut cc = NewReno::new();
+        cc.on_packet_sent(3000, t());
+        cc.on_packet_sent(2000, t());
+        assert_eq!(cc.bytes_in_flight(), 5000);
+        cc.on_ack(3000, t());
+        assert_eq!(cc.bytes_in_flight(), 2000);
+        // Over-acking saturates at zero rather than underflowing.
+        cc.on_ack(9999, t());
+        assert_eq!(cc.bytes_in_flight(), 0);
+    }
+
+    #[test]
+    fn timeout_then_slow_start_again() {
+        let mut cc = NewReno::new();
+        cc.on_packet_sent(INITIAL_WINDOW, t());
+        cc.on_ack(INITIAL_WINDOW, t());
+        cc.on_timeout(t());
+        assert!(cc.in_slow_start());
+        assert_eq!(cc.window(), MIN_WINDOW);
+    }
+}

@@ -1,0 +1,40 @@
+//! Sans-IO transport state machines for the `h3cdn` reproduction.
+//!
+//! Three protocol stacks from the paper's measurement are rebuilt here:
+//!
+//! * [`tcp`] — a segment-level TCP with a three-way handshake, cumulative
+//!   acknowledgements, fast retransmit, RTO, and strictly in-order
+//!   delivery. In-order delivery is the load-bearing property: one lost
+//!   segment stalls *every* HTTP/2 stream multiplexed on the connection,
+//!   which is the head-of-line blocking the paper's Fig. 9 quantifies.
+//! * [`tls`] — a TLS session layer whose handshake flights cross the
+//!   simulated network as real messages: 2-RTT TLS 1.2, 1-RTT TLS 1.3,
+//!   and session-ticket resumption.
+//! * [`quic`] — a QUIC connection with the combined 1-RTT handshake,
+//!   0-RTT resumption, independent ordered streams, ACK ranges,
+//!   packet-number loss detection and PTO (RFC 9002's algorithm,
+//!   simplified), and connection-level flow control.
+//!
+//! Both stacks share the [`cc`] congestion controllers (NewReno and Cubic)
+//! and the [`rtt`] estimator, so H2-vs-H3 comparisons measure protocol
+//! structure rather than tuning differences — mirroring the paper's
+//! methodology.
+//!
+//! All state machines are *sans-IO*: they consume packets and timeouts,
+//! and emit packets and events, with no clock or socket of their own. The
+//! [`wire::WirePacket`] enum is the single packet type carried by
+//! `h3cdn-netsim` nodes.
+
+pub mod cc;
+pub mod conn_id;
+pub mod duplex;
+pub mod quic;
+pub mod rtt;
+pub mod tcp;
+pub mod tls;
+pub mod wire;
+
+pub use cc::{CcAlgorithm, CongestionController};
+pub use conn_id::{ConnId, MsgTag};
+pub use rtt::RttEstimator;
+pub use wire::WirePacket;

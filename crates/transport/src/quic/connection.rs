@@ -1,0 +1,1209 @@
+//! The QUIC connection state machine: handshake, streams, ACK handling,
+//! loss detection, PTO, and connection-level flow control.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use h3cdn_sim_core::{SimDuration, SimTime};
+
+use crate::cc::{CcAlgorithm, CongestionController};
+use crate::conn_id::{ConnId, MsgTag};
+use crate::quic::streams::{RecvStream, SendStream};
+use crate::quic::{Frame, QuicPacket, CRYPTO_STREAM, MAX_PAYLOAD};
+use crate::rtt::RttEstimator;
+use crate::tls::Ticket;
+
+/// Configuration for one QUIC connection.
+#[derive(Debug, Clone)]
+pub struct QuicConfig {
+    /// RTT estimate before the first sample.
+    pub initial_rtt: SimDuration,
+    /// Congestion-control algorithm.
+    pub cc: CcAlgorithm,
+    /// Maximum delay before a solicited ACK is sent.
+    pub max_ack_delay: SimDuration,
+    /// ACK after this many ack-eliciting packets.
+    pub ack_eliciting_threshold: u32,
+    /// Connection-level flow-control window.
+    pub max_data: u64,
+    /// Per-stream flow-control window.
+    pub max_stream_data: u64,
+}
+
+impl Default for QuicConfig {
+    fn default() -> Self {
+        QuicConfig {
+            initial_rtt: SimDuration::from_millis(100),
+            cc: CcAlgorithm::default(),
+            max_ack_delay: SimDuration::from_millis(25),
+            ack_eliciting_threshold: 2,
+            max_data: 16 << 20,       // 16 MiB
+            max_stream_data: 4 << 20, // 4 MiB
+        }
+    }
+}
+
+/// Events surfaced by [`QuicConnection`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuicEvent {
+    /// The combined transport + TLS handshake finished on this side.
+    HandshakeComplete {
+        /// Completion time.
+        at: SimTime,
+    },
+    /// A peer-initiated stream carried its first frame.
+    StreamOpened {
+        /// Stream id.
+        stream: u64,
+        /// Arrival time.
+        at: SimTime,
+    },
+    /// An application message was fully delivered in order on its stream.
+    Delivered {
+        /// Stream id.
+        stream: u64,
+        /// Application tag.
+        tag: MsgTag,
+        /// Delivery time.
+        at: SimTime,
+    },
+    /// The server issued a session ticket (client side only).
+    TicketIssued {
+        /// Receipt time.
+        at: SimTime,
+    },
+}
+
+// Handshake messages are tagged messages on the crypto stream.
+const Q_TAG_BASE: u64 = 1 << 62;
+const TAG_CI_FULL: MsgTag = MsgTag(Q_TAG_BASE + 101);
+const TAG_CI_PSK: MsgTag = MsgTag(Q_TAG_BASE + 102);
+const TAG_SF_FULL: MsgTag = MsgTag(Q_TAG_BASE + 103);
+const TAG_SF_PSK: MsgTag = MsgTag(Q_TAG_BASE + 104);
+const TAG_CFIN: MsgTag = MsgTag(Q_TAG_BASE + 105);
+const TAG_NST: MsgTag = MsgTag(Q_TAG_BASE + 106);
+
+/// Handshake message sizes in bytes.
+mod hs_sizes {
+    /// Full ClientInitial (padded).
+    pub const CI_FULL: u64 = 1150;
+    /// PSK ClientInitial, leaving room for 0-RTT data in the datagram.
+    pub const CI_PSK: u64 = 650;
+    /// Server flight with certificate chain.
+    pub const SF_FULL: u64 = 4500;
+    /// Server flight under PSK.
+    pub const SF_PSK: u64 = 400;
+    /// Client Finished.
+    pub const CFIN: u64 = 80;
+    /// NewSessionTicket.
+    pub const NST: u64 = 230;
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HsState {
+    Idle,
+    AwaitServerFlight,
+    AwaitClientFinish,
+    Ready,
+}
+
+#[derive(Debug, Clone)]
+enum RtxInfo {
+    Stream { id: u64, offset: u64, len: u64 },
+    MaxData,
+    MaxStreamData { id: u64 },
+}
+
+#[derive(Debug)]
+struct SentPacket {
+    size: u64,
+    sent_at: SimTime,
+    frames: Vec<RtxInfo>,
+}
+
+/// Packet-number reordering threshold for loss declaration (RFC 9002).
+const PACKET_THRESHOLD: u64 = 3;
+/// Maximum ACK ranges carried per ACK frame.
+const MAX_ACK_RANGES: usize = 32;
+
+/// A sans-IO QUIC connection endpoint (one side).
+#[derive(Debug)]
+pub struct QuicConnection {
+    id: ConnId,
+    is_client: bool,
+    config: QuicConfig,
+
+    hs_state: HsState,
+    resumed: bool,
+    early_data_enabled: bool,
+    used_early_data: bool,
+    ready_to_send: bool,
+    handshake_complete_at: Option<SimTime>,
+    send_ready_at: Option<SimTime>,
+    connect_started_at: Option<SimTime>,
+    nst_sent: bool,
+
+    cc: Box<dyn CongestionController>,
+    rtt: RttEstimator,
+    next_pn: u64,
+    sent: BTreeMap<u64, SentPacket>,
+    bytes_in_flight: u64,
+    largest_acked: Option<u64>,
+    loss_time: Option<SimTime>,
+    pto_count: u32,
+    /// Start of the current congestion-recovery period: losses of packets
+    /// sent before this instant belong to the same congestion event
+    /// (RFC 9002 §7.3.1).
+    recovery_start: Option<SimTime>,
+    /// Packets' worth of congestion-window bypass granted for
+    /// retransmitting lost data — the QUIC analogue of TCP's
+    /// fast-retransmit exemption, so repairs are not starved by the very
+    /// window reduction the loss caused.
+    rtx_credit: u32,
+
+    send_streams: BTreeMap<u64, SendStream>,
+    recv_streams: BTreeMap<u64, RecvStream>,
+    /// Scheduling class per stream (lower first); absent means default.
+    stream_priorities: BTreeMap<u64, u8>,
+    next_stream_id: u64,
+    rr_cursor: u64,
+
+    recv_ranges: Vec<(u64, u64)>,
+    ack_eliciting_since_ack: u32,
+    ack_timer: Option<SimTime>,
+    ack_pending: bool,
+
+    peer_max_data: u64,
+    data_sent: u64,
+    local_max_data: u64,
+    data_received: u64,
+    need_max_data: bool,
+    /// Per-stream send limits granted by the peer.
+    peer_stream_limits: BTreeMap<u64, u64>,
+    /// Per-stream receive limits we granted.
+    local_stream_limits: BTreeMap<u64, u64>,
+    /// Streams whose `MAX_STREAM_DATA` update must be sent.
+    need_max_stream_data: std::collections::BTreeSet<u64>,
+
+    events: VecDeque<QuicEvent>,
+    retransmit_count: u64,
+}
+
+impl QuicConnection {
+    /// Creates the client side. `ticket` enables PSK resumption;
+    /// `early_data` additionally sends queued stream data at 0-RTT.
+    pub fn client(
+        id: ConnId,
+        config: QuicConfig,
+        ticket: Option<Ticket>,
+        early_data: bool,
+    ) -> Self {
+        let resumed = ticket.is_some();
+        Self::new(id, true, config, resumed, early_data && resumed)
+    }
+
+    /// Creates the server side.
+    pub fn server(id: ConnId, config: QuicConfig) -> Self {
+        Self::new(id, false, config, false, false)
+    }
+
+    fn new(
+        id: ConnId,
+        is_client: bool,
+        config: QuicConfig,
+        resumed: bool,
+        early_data: bool,
+    ) -> Self {
+        let cc = config.cc.build();
+        let rtt = RttEstimator::new(config.initial_rtt);
+        let max_data = config.max_data;
+        QuicConnection {
+            id,
+            is_client,
+            config,
+            hs_state: HsState::Idle,
+            resumed,
+            early_data_enabled: early_data,
+            used_early_data: false,
+            ready_to_send: false,
+            handshake_complete_at: None,
+            send_ready_at: None,
+            connect_started_at: None,
+            nst_sent: false,
+            cc,
+            rtt,
+            next_pn: 0,
+            sent: BTreeMap::new(),
+            bytes_in_flight: 0,
+            largest_acked: None,
+            loss_time: None,
+            pto_count: 0,
+            recovery_start: None,
+            rtx_credit: 0,
+            send_streams: BTreeMap::new(),
+            recv_streams: BTreeMap::new(),
+            stream_priorities: BTreeMap::new(),
+            next_stream_id: 0,
+            rr_cursor: 0,
+            recv_ranges: Vec::new(),
+            ack_eliciting_since_ack: 0,
+            ack_timer: None,
+            ack_pending: false,
+            peer_max_data: max_data,
+            data_sent: 0,
+            local_max_data: max_data,
+            data_received: 0,
+            need_max_data: false,
+            peer_stream_limits: BTreeMap::new(),
+            local_stream_limits: BTreeMap::new(),
+            need_max_stream_data: std::collections::BTreeSet::new(),
+            events: VecDeque::new(),
+            retransmit_count: 0,
+        }
+    }
+
+    /// The connection id.
+    pub fn conn_id(&self) -> ConnId {
+        self.id
+    }
+
+    /// Whether this endpoint is the client side.
+    pub fn is_client(&self) -> bool {
+        self.is_client
+    }
+
+    /// Whether the handshake is complete on this side.
+    pub fn is_handshake_complete(&self) -> bool {
+        self.handshake_complete_at.is_some()
+    }
+
+    /// When the handshake completed, if it has.
+    pub fn handshake_complete_at(&self) -> Option<SimTime> {
+        self.handshake_complete_at
+    }
+
+    /// When stream data could first leave this side: the `connect` call
+    /// itself under 0-RTT, otherwise handshake completion. This is the
+    /// HAR `connect` endpoint.
+    pub fn send_ready_at(&self) -> Option<SimTime> {
+        self.send_ready_at
+    }
+
+    /// When `connect` was called (client side).
+    pub fn connect_started_at(&self) -> Option<SimTime> {
+        self.connect_started_at
+    }
+
+    /// Whether this connection resumed with a PSK.
+    pub fn was_resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// Whether stream data was sent at 0-RTT.
+    pub fn used_early_data(&self) -> bool {
+        self.used_early_data
+    }
+
+    /// Packets declared lost and re-queued so far.
+    pub fn retransmit_count(&self) -> u64 {
+        self.retransmit_count
+    }
+
+    /// Bytes queued across all send streams (new plus retransmission),
+    /// for diagnostics and idle detection.
+    pub fn pending_send_bytes(&self) -> u64 {
+        self.send_streams.values().map(|s| s.pending_bytes()).sum()
+    }
+
+    /// Highest first-transmission offset of `stream` (diagnostics; also
+    /// the reference point for its peer flow-control limit).
+    pub fn stream_sent_watermark(&self, stream: u64) -> u64 {
+        self.send_streams
+            .get(&stream)
+            .map(|s| s.sent_watermark())
+            .unwrap_or(0)
+    }
+
+    /// The RTT estimator (diagnostics).
+    pub fn rtt(&self) -> &RttEstimator {
+        &self.rtt
+    }
+
+    /// Starts the handshake (client side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a server endpoint or twice.
+    pub fn connect(&mut self, now: SimTime) {
+        assert!(self.is_client, "connect() is client-side only");
+        assert_eq!(self.hs_state, HsState::Idle, "connect() called twice");
+        self.connect_started_at = Some(now);
+        let (tag, len) = if self.resumed {
+            (TAG_CI_PSK, hs_sizes::CI_PSK)
+        } else {
+            (TAG_CI_FULL, hs_sizes::CI_FULL)
+        };
+        self.crypto_write(len, tag);
+        self.hs_state = HsState::AwaitServerFlight;
+        if self.early_data_enabled {
+            self.ready_to_send = true;
+            self.send_ready_at = Some(now);
+            self.used_early_data = self
+                .send_streams
+                .iter()
+                .any(|(&id, s)| id != CRYPTO_STREAM && s.has_pending());
+        }
+    }
+
+    /// Opens a new client-initiated bidirectional stream.
+    pub fn open_stream(&mut self) -> u64 {
+        let id = self.next_stream_id;
+        self.next_stream_id += 4;
+        self.send_streams.entry(id).or_default();
+        id
+    }
+
+    /// Sets the scheduling class of `stream` (lower values are sent
+    /// first; unset streams default to class 1). The wire analogue is
+    /// HTTP/3's PRIORITY_UPDATE.
+    pub fn set_stream_priority(&mut self, stream: u64, priority: u8) {
+        self.stream_priorities.insert(stream, priority);
+    }
+
+    /// Writes an application message on `stream`.
+    pub fn write_stream(&mut self, stream: u64, len: u64, tag: MsgTag) {
+        debug_assert_ne!(stream, CRYPTO_STREAM, "crypto stream is internal");
+        self.send_streams.entry(stream).or_default().write(len, tag);
+        if self.is_client && self.early_data_enabled && self.hs_state == HsState::AwaitServerFlight
+        {
+            self.used_early_data = true;
+        }
+    }
+
+    /// Pops the next pending event.
+    pub fn poll_event(&mut self) -> Option<QuicEvent> {
+        self.events.pop_front()
+    }
+
+    /// Next timer deadline (loss timer, PTO, or delayed-ACK timer).
+    pub fn next_timeout(&self) -> Option<SimTime> {
+        [self.loss_time, self.pto_deadline(), self.ack_timer]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Fires expired timers.
+    pub fn on_timeout(&mut self, now: SimTime) {
+        if let Some(t) = self.ack_timer {
+            if t <= now {
+                self.ack_timer = None;
+                self.ack_pending = true;
+            }
+        }
+        if let Some(t) = self.loss_time {
+            if t <= now {
+                self.detect_lost(now);
+            }
+        }
+        if let Some(t) = self.pto_deadline() {
+            if t <= now {
+                self.on_pto(now);
+            }
+        }
+    }
+
+    /// Feeds one received packet.
+    pub fn on_packet(&mut self, pkt: QuicPacket, now: SimTime) {
+        debug_assert_eq!(pkt.conn, self.id, "packet routed to wrong connection");
+        debug_assert_ne!(
+            pkt.from_client, self.is_client,
+            "packet reflected to its sender"
+        );
+        let gap = self.record_received(pkt.pn);
+        if pkt.is_ack_eliciting() {
+            self.ack_eliciting_since_ack += 1;
+            // RFC 9000 §13.2.1: acknowledge immediately when the packet
+            // creates or follows a gap — that is the peer's loss signal.
+            if gap
+                || self.ack_eliciting_since_ack >= self.config.ack_eliciting_threshold
+                || !self.is_handshake_complete()
+            {
+                self.ack_pending = true;
+                self.ack_timer = None;
+            } else if self.ack_timer.is_none() {
+                self.ack_timer = Some(now + self.config.max_ack_delay);
+            }
+        }
+        for frame in pkt.frames {
+            match frame {
+                Frame::Stream {
+                    id,
+                    offset,
+                    len,
+                    markers,
+                } => self.on_stream_frame(id, offset, len, &markers, now),
+                Frame::Ack { ranges } => self.on_ack(&ranges, now),
+                Frame::MaxData { max } => {
+                    self.peer_max_data = self.peer_max_data.max(max);
+                }
+                Frame::MaxStreamData { id, max } => {
+                    let limit = self
+                        .peer_stream_limits
+                        .entry(id)
+                        .or_insert(self.config.max_stream_data);
+                    *limit = (*limit).max(max);
+                }
+            }
+        }
+    }
+
+    /// Produces the next packet to send, or `None` when idle. Call
+    /// repeatedly until `None`.
+    pub fn poll_transmit(&mut self, now: SimTime) -> Option<QuicPacket> {
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut budget = MAX_PAYLOAD;
+        let mut rtx_info: Vec<RtxInfo> = Vec::new();
+        let mut stream_payload = 0u64;
+
+        if self.ack_pending {
+            let ranges = self.ack_ranges_descending();
+            if !ranges.is_empty() {
+                let f = Frame::Ack { ranges };
+                budget = budget.saturating_sub(f.size());
+                frames.push(f);
+            }
+            self.ack_pending = false;
+            self.ack_eliciting_since_ack = 0;
+            self.ack_timer = None;
+        }
+        if self.need_max_data && budget >= 9 {
+            self.need_max_data = false;
+            frames.push(Frame::MaxData {
+                max: self.local_max_data,
+            });
+            budget -= 9;
+            rtx_info.push(RtxInfo::MaxData);
+        }
+        while budget >= 13 {
+            let Some(&id) = self.need_max_stream_data.iter().next() else {
+                break;
+            };
+            self.need_max_stream_data.remove(&id);
+            frames.push(Frame::MaxStreamData {
+                id,
+                max: self.local_stream_limits[&id],
+            });
+            budget -= 13;
+            rtx_info.push(RtxInfo::MaxStreamData { id });
+        }
+
+        // Crypto data is exempt from app-readiness and flow control but
+        // still paced by the congestion window. Retransmission credit
+        // bypasses the (just-halved) window so repairs go out at once.
+        let bypass = self.rtx_credit > 0;
+        let cwnd_room = if bypass {
+            MAX_PAYLOAD * 2
+        } else {
+            self.cc.window().saturating_sub(self.bytes_in_flight)
+        };
+        let mut data_room = cwnd_room;
+        if let Some(crypto) = self.send_streams.get_mut(&CRYPTO_STREAM) {
+            while budget > 12 && data_room > 12 {
+                let Some((offset, len, markers)) =
+                    crypto.take((budget - 12).min(data_room.saturating_sub(12)))
+                else {
+                    break;
+                };
+                budget -= 12 + len;
+                data_room = data_room.saturating_sub(12 + len);
+                rtx_info.push(RtxInfo::Stream {
+                    id: CRYPTO_STREAM,
+                    offset,
+                    len,
+                });
+                frames.push(Frame::Stream {
+                    id: CRYPTO_STREAM,
+                    offset,
+                    len,
+                    markers,
+                });
+            }
+        }
+
+        if self.ready_to_send {
+            let fc_room = self.peer_max_data.saturating_sub(self.data_sent);
+            let mut app_room = data_room.min(fc_room);
+            let pending: Vec<u64> = self
+                .send_streams
+                .iter()
+                .filter(|(&id, s)| id != CRYPTO_STREAM && s.has_pending())
+                .map(|(&id, _)| id)
+                .collect();
+            // Strict priority across classes, round-robin within the
+            // top class.
+            let top = pending
+                .iter()
+                .map(|id| self.stream_priorities.get(id).copied().unwrap_or(1))
+                .min();
+            let ids: Vec<u64> = pending
+                .into_iter()
+                .filter(|id| {
+                    self.stream_priorities.get(id).copied().unwrap_or(1)
+                        == top.unwrap_or(1)
+                })
+                .collect();
+            // Anti-amplification of tiny packets (the TCP world's
+            // silly-window avoidance): when congestion-limited, wait for
+            // ACKs instead of emitting sliver packets — unless what is
+            // left genuinely is a sliver.
+            let total_pending: u64 = ids
+                .iter()
+                .map(|id| self.send_streams[id].pending_bytes())
+                .sum();
+            if !bypass && app_room < total_pending.min(MAX_PAYLOAD) {
+                app_room = 0;
+            }
+            if !ids.is_empty() {
+                // Round-robin fairness across streams, one frame each per
+                // revolution, so concurrent responses interleave the way
+                // multiplexed H2/H3 transfers do.
+                let start = ids
+                    .iter()
+                    .position(|&id| id > self.rr_cursor)
+                    .unwrap_or(0);
+                let mut i = start;
+                let mut visited = 0;
+                while visited < ids.len() && budget > 12 && app_room > 12 {
+                    let id = ids[i];
+                    let flow_limit = self
+                        .peer_stream_limits
+                        .get(&id)
+                        .copied()
+                        .unwrap_or(self.config.max_stream_data);
+                    let stream = self.send_streams.get_mut(&id).expect("listed stream");
+                    if let Some((offset, len, markers)) =
+                        stream.take_limited((budget - 12).min(app_room - 12), flow_limit)
+                    {
+                        budget -= 12 + len;
+                        app_room -= (12 + len).min(app_room);
+                        stream_payload += len;
+                        self.rr_cursor = id;
+                        rtx_info.push(RtxInfo::Stream { id, offset, len });
+                        frames.push(Frame::Stream {
+                            id,
+                            offset,
+                            len,
+                            markers,
+                        });
+                    }
+                    i = (i + 1) % ids.len();
+                    visited += 1;
+                }
+            }
+        }
+
+        if frames.is_empty() {
+            return None;
+        }
+        let pn = self.next_pn;
+        self.next_pn += 1;
+        let pkt = QuicPacket {
+            conn: self.id,
+            from_client: self.is_client,
+            pn,
+            frames,
+        };
+        if pkt.is_ack_eliciting() {
+            let size = pkt.wire_bytes();
+            self.sent.insert(
+                pn,
+                SentPacket {
+                    size,
+                    sent_at: now,
+                    frames: rtx_info,
+                },
+            );
+            self.bytes_in_flight += size;
+            self.cc.on_packet_sent(size, now);
+            self.data_sent += stream_payload;
+            if bypass {
+                self.rtx_credit -= 1;
+            }
+        }
+        Some(pkt)
+    }
+
+    // ---- internals ----
+
+    fn crypto_write(&mut self, len: u64, tag: MsgTag) {
+        self.send_streams
+            .entry(CRYPTO_STREAM)
+            .or_default()
+            .write(len, tag);
+    }
+
+    fn on_stream_frame(
+        &mut self,
+        id: u64,
+        offset: u64,
+        len: u64,
+        markers: &[(u64, MsgTag)],
+        now: SimTime,
+    ) {
+        let is_new = !self.recv_streams.contains_key(&id);
+        if is_new && id != CRYPTO_STREAM {
+            self.events
+                .push_back(QuicEvent::StreamOpened { stream: id, at: now });
+        }
+        let stream = self.recv_streams.entry(id).or_default();
+        let before = stream.delivered_bytes();
+        let fired = stream.on_frame(offset, len, markers, now);
+        let advanced = stream.delivered_bytes() - before;
+        if id != CRYPTO_STREAM {
+            self.data_received += advanced;
+            if self.local_max_data - self.data_received < self.config.max_data / 2 {
+                self.local_max_data = self.data_received + self.config.max_data;
+                self.need_max_data = true;
+            }
+            let delivered = self.recv_streams[&id].delivered_bytes();
+            let limit = self
+                .local_stream_limits
+                .entry(id)
+                .or_insert(self.config.max_stream_data);
+            if *limit - delivered < self.config.max_stream_data / 2 {
+                *limit = delivered + self.config.max_stream_data;
+                self.need_max_stream_data.insert(id);
+            }
+        }
+        for (tag, at) in fired {
+            if tag.0 >= Q_TAG_BASE {
+                self.on_crypto_message(tag, at);
+            } else {
+                self.events.push_back(QuicEvent::Delivered {
+                    stream: id,
+                    tag,
+                    at,
+                });
+            }
+        }
+    }
+
+    fn on_crypto_message(&mut self, tag: MsgTag, at: SimTime) {
+        match tag {
+            TAG_CI_FULL if !self.is_client => {
+                self.crypto_write(hs_sizes::SF_FULL, TAG_SF_FULL);
+                self.ready_to_send = true;
+                self.hs_state = HsState::AwaitClientFinish;
+            }
+            TAG_CI_PSK if !self.is_client => {
+                self.resumed = true;
+                self.crypto_write(hs_sizes::SF_PSK, TAG_SF_PSK);
+                self.ready_to_send = true;
+                self.hs_state = HsState::AwaitClientFinish;
+            }
+            TAG_SF_FULL | TAG_SF_PSK if self.is_client => {
+                self.crypto_write(hs_sizes::CFIN, TAG_CFIN);
+                self.complete_handshake(at);
+            }
+            TAG_CFIN if !self.is_client => {
+                self.complete_handshake(at);
+                if !self.nst_sent {
+                    self.nst_sent = true;
+                    self.crypto_write(hs_sizes::NST, TAG_NST);
+                }
+            }
+            TAG_NST if self.is_client => {
+                self.events.push_back(QuicEvent::TicketIssued { at });
+            }
+            other => {
+                debug_assert!(
+                    false,
+                    "unexpected crypto message {other} (client={})",
+                    self.is_client
+                );
+            }
+        }
+    }
+
+    fn complete_handshake(&mut self, at: SimTime) {
+        if self.handshake_complete_at.is_none() {
+            self.handshake_complete_at = Some(at);
+            if self.send_ready_at.is_none() {
+                self.send_ready_at = Some(at);
+            }
+            self.hs_state = HsState::Ready;
+            self.ready_to_send = true;
+            self.events.push_back(QuicEvent::HandshakeComplete { at });
+        }
+    }
+
+    /// Records `pn` as received; returns `true` when the packet arrives
+    /// out of order — it opens a new gap, duplicates, or lands while
+    /// earlier packets are still missing. RFC 9000 §13.2.1: such packets
+    /// are ACKed immediately so the peer learns about losses within one
+    /// flight time (the QUIC analogue of TCP's immediate duplicate
+    /// ACKs). Handles arbitrary arrival order (jittery paths reorder).
+    fn record_received(&mut self, pn: u64) -> bool {
+        let largest_before = self.recv_ranges.last().map(|&(_, hi)| hi);
+        // Find the first range that could contain or touch pn.
+        let mut i = 0;
+        while i < self.recv_ranges.len() && self.recv_ranges[i].1 + 1 < pn {
+            i += 1;
+        }
+        if i == self.recv_ranges.len() {
+            self.recv_ranges.push((pn, pn));
+        } else {
+            let (lo, hi) = self.recv_ranges[i];
+            if pn >= lo && pn <= hi {
+                return true; // duplicate
+            }
+            if pn == hi + 1 {
+                self.recv_ranges[i].1 = pn;
+                // Merge with the next range if now contiguous.
+                if i + 1 < self.recv_ranges.len() && self.recv_ranges[i + 1].0 == pn + 1 {
+                    self.recv_ranges[i].1 = self.recv_ranges[i + 1].1;
+                    self.recv_ranges.remove(i + 1);
+                }
+            } else if pn + 1 == lo {
+                self.recv_ranges[i].0 = pn;
+            } else {
+                self.recv_ranges.insert(i, (pn, pn));
+            }
+        }
+        if self.recv_ranges.len() > 64 {
+            self.recv_ranges.remove(0);
+        }
+        // In order = extends the previous largest contiguously and leaves
+        // no holes behind.
+        let in_order = largest_before.is_none_or(|l| pn == l + 1) && self.recv_ranges.len() == 1;
+        !in_order
+    }
+
+    fn ack_ranges_descending(&self) -> Vec<(u64, u64)> {
+        self.recv_ranges
+            .iter()
+            .rev()
+            .take(MAX_ACK_RANGES)
+            .copied()
+            .collect()
+    }
+
+    fn on_ack(&mut self, ranges: &[(u64, u64)], now: SimTime) {
+        let Some(&largest) = ranges.iter().map(|(_, hi)| hi).max() else {
+            return;
+        };
+        self.largest_acked = Some(self.largest_acked.map_or(largest, |l| l.max(largest)));
+
+        let acked: Vec<u64> = self
+            .sent
+            .keys()
+            .copied()
+            .filter(|pn| ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(pn)))
+            .collect();
+        if acked.is_empty() {
+            // Still re-evaluate time-threshold losses against the (possibly
+            // new) largest acked.
+            self.detect_lost(now);
+            return;
+        }
+        let mut newly_acked_largest = 0;
+        for pn in &acked {
+            let info = self.sent.remove(pn).expect("acked packet tracked");
+            self.bytes_in_flight = self.bytes_in_flight.saturating_sub(info.size);
+            self.cc.on_ack(info.size, now);
+            if *pn >= newly_acked_largest {
+                newly_acked_largest = *pn;
+                if *pn == largest {
+                    self.rtt.on_sample(now - info.sent_at);
+                }
+            }
+        }
+        self.pto_count = 0;
+        self.detect_lost(now);
+    }
+
+    fn detect_lost(&mut self, now: SimTime) {
+        self.loss_time = None;
+        let Some(largest_acked) = self.largest_acked else {
+            return;
+        };
+        let loss_delay = self.rtt.loss_delay();
+        let mut lost: Vec<u64> = Vec::new();
+        let mut next_loss_time: Option<SimTime> = None;
+        for (&pn, info) in &self.sent {
+            if pn >= largest_acked {
+                break;
+            }
+            let by_packets = largest_acked >= pn + PACKET_THRESHOLD;
+            let lost_at = info.sent_at + loss_delay;
+            if by_packets || lost_at <= now {
+                lost.push(pn);
+            } else {
+                next_loss_time = Some(next_loss_time.map_or(lost_at, |t| t.min(lost_at)));
+            }
+        }
+        self.loss_time = next_loss_time;
+        if lost.is_empty() {
+            return;
+        }
+        let mut newest_lost_sent = SimTime::ZERO;
+        for pn in lost {
+            let info = self.sent.remove(&pn).expect("lost packet tracked");
+            self.bytes_in_flight = self.bytes_in_flight.saturating_sub(info.size);
+            newest_lost_sent = newest_lost_sent.max(info.sent_at);
+            self.requeue(info.frames);
+            self.retransmit_count += 1;
+            self.rtx_credit = self.rtx_credit.saturating_add(1);
+        }
+        // RFC 9002 §7.3.1: one congestion event per recovery period —
+        // only losses of packets sent after recovery started count as a
+        // new event.
+        let new_event = match self.recovery_start {
+            Some(start) => newest_lost_sent > start,
+            None => true,
+        };
+        if new_event {
+            self.recovery_start = Some(now);
+            self.cc.on_congestion_event(now);
+        }
+    }
+
+    fn on_pto(&mut self, now: SimTime) {
+        self.pto_count = (self.pto_count + 1).min(10);
+        if self.pto_count >= 3 {
+            self.cc.on_timeout(now);
+        }
+        // Probe by re-sending the oldest unacked packet's frames.
+        if let Some((&pn, _)) = self.sent.iter().next() {
+            let info = self.sent.remove(&pn).expect("oldest packet tracked");
+            self.bytes_in_flight = self.bytes_in_flight.saturating_sub(info.size);
+            self.requeue(info.frames);
+            self.retransmit_count += 1;
+            self.rtx_credit = self.rtx_credit.saturating_add(1);
+        }
+    }
+
+    fn requeue(&mut self, frames: Vec<RtxInfo>) {
+        for f in frames {
+            match f {
+                RtxInfo::Stream { id, offset, len } => {
+                    self.send_streams.entry(id).or_default().requeue(offset, len);
+                }
+                RtxInfo::MaxData => self.need_max_data = true,
+                RtxInfo::MaxStreamData { id } => {
+                    self.need_max_stream_data.insert(id);
+                }
+            }
+        }
+    }
+
+    fn pto_deadline(&self) -> Option<SimTime> {
+        let oldest = self.sent.values().map(|p| p.sent_at).min()?;
+        let backoff = 1u64 << self.pto_count.min(10);
+        Some(oldest + self.rtt.pto(self.config.max_ack_delay) * backoff)
+    }
+}
+
+impl crate::duplex::Driveable for QuicConnection {
+    type Wire = QuicPacket;
+
+    fn on_wire(&mut self, wire: QuicPacket, now: SimTime) {
+        self.on_packet(wire, now);
+    }
+
+    fn poll_wire(&mut self, now: SimTime) -> Option<QuicPacket> {
+        self.poll_transmit(now)
+    }
+
+    fn deadline(&self) -> Option<SimTime> {
+        self.next_timeout()
+    }
+
+    fn on_deadline(&mut self, now: SimTime) {
+        self.on_timeout(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::duplex::Duplex;
+    use h3cdn_netsim::NodeId;
+
+    const RTT_MS: u64 = 40;
+
+    fn make_pair(
+        ticket: Option<Ticket>,
+        early: bool,
+    ) -> Duplex<QuicConnection, QuicConnection> {
+        let id = ConnId::new(NodeId::from_raw(0), NodeId::from_raw(1), 1);
+        let cfg = QuicConfig {
+            initial_rtt: SimDuration::from_millis(RTT_MS),
+            ..QuicConfig::default()
+        };
+        let client = QuicConnection::client(id, cfg.clone(), ticket, early);
+        let server = QuicConnection::server(id, cfg);
+        Duplex::new(client, server, SimDuration::from_millis(RTT_MS / 2))
+    }
+
+    fn ticket() -> Ticket {
+        Ticket {
+            domain: 1,
+            issued_at: SimTime::ZERO,
+            lifetime: SimDuration::from_secs(7200),
+        }
+    }
+
+    fn drain(c: &mut QuicConnection) -> Vec<QuicEvent> {
+        std::iter::from_fn(|| c.poll_event()).collect()
+    }
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(v)
+    }
+
+    fn delivery_time(events: &[QuicEvent], want: MsgTag) -> Option<SimTime> {
+        events.iter().find_map(|e| match e {
+            QuicEvent::Delivered { tag, at, .. } if *tag == want => Some(*at),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn handshake_completes_in_one_rtt() {
+        let mut pipe = make_pair(None, false);
+        pipe.a.connect(SimTime::ZERO);
+        pipe.run(200_000);
+        let ev = drain(&mut pipe.a);
+        let at = ev
+            .iter()
+            .find_map(|e| match e {
+                QuicEvent::HandshakeComplete { at } => Some(*at),
+                _ => None,
+            })
+            .expect("handshake");
+        assert_eq!(at, ms(RTT_MS), "combined handshake is 1 RTT");
+    }
+
+    #[test]
+    fn request_reaches_server_at_one_and_a_half_rtt() {
+        let mut pipe = make_pair(None, false);
+        let stream = pipe.a.open_stream();
+        pipe.a.write_stream(stream, 400, MsgTag(1));
+        pipe.a.connect(SimTime::ZERO);
+        pipe.run(200_000);
+        let sev = drain(&mut pipe.b);
+        assert_eq!(
+            delivery_time(&sev, MsgTag(1)),
+            Some(ms(3 * RTT_MS / 2)),
+            "request waits for the 1-RTT handshake then crosses in 0.5 RTT"
+        );
+    }
+
+    #[test]
+    fn zero_rtt_request_reaches_server_in_half_rtt() {
+        let mut pipe = make_pair(Some(ticket()), true);
+        let stream = pipe.a.open_stream();
+        pipe.a.write_stream(stream, 400, MsgTag(1));
+        pipe.a.connect(SimTime::ZERO);
+        pipe.run(200_000);
+        assert!(pipe.a.used_early_data());
+        let sev = drain(&mut pipe.b);
+        assert_eq!(
+            delivery_time(&sev, MsgTag(1)),
+            Some(ms(RTT_MS / 2)),
+            "0-RTT data rides with the ClientInitial"
+        );
+        assert!(pipe.b.was_resumed());
+    }
+
+    #[test]
+    fn server_sees_stream_opened_and_can_respond() {
+        let mut pipe = make_pair(None, false);
+        let stream = pipe.a.open_stream();
+        pipe.a.write_stream(stream, 400, MsgTag(1));
+        pipe.a.connect(SimTime::ZERO);
+        pipe.run(200_000);
+        let sev = drain(&mut pipe.b);
+        assert!(sev
+            .iter()
+            .any(|e| matches!(e, QuicEvent::StreamOpened { stream: s, .. } if *s == stream)));
+        pipe.b.write_stream(stream, 20_000, MsgTag(2));
+        pipe.run(200_000);
+        let cev = drain(&mut pipe.a);
+        assert!(delivery_time(&cev, MsgTag(2)).is_some());
+    }
+
+    #[test]
+    fn ticket_issued_to_client() {
+        let mut pipe = make_pair(None, false);
+        pipe.a.connect(SimTime::ZERO);
+        pipe.run(200_000);
+        let cev = drain(&mut pipe.a);
+        assert_eq!(
+            cev.iter()
+                .filter(|e| matches!(e, QuicEvent::TicketIssued { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn loss_on_one_stream_does_not_delay_the_other() {
+        // Two 5 KB responses on separate streams (well inside the initial
+        // congestion window, so a post-loss window cut cannot slow the
+        // un-hit stream); drop one mid-transfer server packet. The un-hit
+        // stream must finish at the loss-free time — no cross-stream HoL —
+        // while the hit stream finishes late.
+        let run = |drop: Vec<u64>| {
+            let mut pipe = make_pair(None, false).drop_b_to_a(drop);
+            let s1 = pipe.a.open_stream();
+            let s2 = pipe.a.open_stream();
+            pipe.a.write_stream(s1, 100, MsgTag(1));
+            pipe.a.write_stream(s2, 100, MsgTag(2));
+            pipe.a.connect(SimTime::ZERO);
+            pipe.run(400_000);
+            pipe.b.write_stream(s1, 5_000, MsgTag(11));
+            pipe.b.write_stream(s2, 5_000, MsgTag(12));
+            pipe.run(400_000);
+            let cev = drain(&mut pipe.a);
+            (
+                delivery_time(&cev, MsgTag(11)).unwrap(),
+                delivery_time(&cev, MsgTag(12)).unwrap(),
+                pipe.b.retransmit_count(),
+            )
+        };
+        let (clean_a, clean_b, _) = run(vec![]);
+        // Drop a mid-burst data packet from the server (indices 0..4 are
+        // the handshake flight; 6 lands inside the response burst).
+        let (lossy_a, lossy_b, rtx) = run(vec![6]);
+        assert!(rtx > 0, "drop must cause retransmission");
+        let clean_min = clean_a.min(clean_b);
+        let lossy_min = lossy_a.min(lossy_b);
+        let clean_max = clean_a.max(clean_b);
+        let lossy_max = lossy_a.max(lossy_b);
+        assert_eq!(
+            lossy_min, clean_min,
+            "the stream the loss missed must be completely unaffected"
+        );
+        assert!(
+            lossy_max > clean_max,
+            "the stream the loss hit must be delayed"
+        );
+    }
+
+    #[test]
+    fn blackout_of_server_flight_recovers_via_pto() {
+        // Swallow the server's first several packets; the handshake must
+        // still complete through probes/retransmission.
+        let mut pipe = make_pair(None, false).drop_b_to_a(vec![0, 1, 2, 3]);
+        pipe.a.connect(SimTime::ZERO);
+        pipe.run(1_000_000);
+        assert!(pipe.a.is_handshake_complete(), "handshake recovered");
+        assert!(
+            pipe.a.handshake_complete_at().unwrap() > ms(3 * RTT_MS),
+            "recovery must have cost extra time"
+        );
+    }
+
+    #[test]
+    fn large_transfer_under_scripted_loss_completes() {
+        let mut pipe = make_pair(None, false).drop_b_to_a(vec![7, 13, 19, 31]);
+        let s = pipe.a.open_stream();
+        pipe.a.write_stream(s, 200, MsgTag(1));
+        pipe.a.connect(SimTime::ZERO);
+        pipe.run(400_000);
+        pipe.b.write_stream(s, 400_000, MsgTag(9));
+        pipe.run(2_000_000);
+        let cev = drain(&mut pipe.a);
+        assert!(delivery_time(&cev, MsgTag(9)).is_some());
+        assert!(pipe.b.retransmit_count() >= 4);
+    }
+
+    #[test]
+    fn stream_flow_control_paces_one_stream_without_stalling_others() {
+        let id = ConnId::new(NodeId::from_raw(0), NodeId::from_raw(1), 1);
+        let cfg = QuicConfig {
+            initial_rtt: SimDuration::from_millis(RTT_MS),
+            max_stream_data: 8_000,
+            ..QuicConfig::default()
+        };
+        let client = QuicConnection::client(id, cfg.clone(), None, false);
+        let server = QuicConnection::server(id, cfg);
+        let mut pipe = Duplex::new(client, server, SimDuration::from_millis(RTT_MS / 2));
+        let s1 = pipe.a.open_stream();
+        let s2 = pipe.a.open_stream();
+        pipe.a.write_stream(s1, 100, MsgTag(1));
+        pipe.a.write_stream(s2, 100, MsgTag(2));
+        pipe.a.connect(SimTime::ZERO);
+        pipe.run(400_000);
+        // A large response on s1 must round-trip MAX_STREAM_DATA credit;
+        // a small response on s2 is unaffected by s1's limit.
+        pipe.b.write_stream(s1, 64_000, MsgTag(11));
+        pipe.b.write_stream(s2, 4_000, MsgTag(12));
+        pipe.run(1_000_000);
+        let cev = drain(&mut pipe.a);
+        let big = delivery_time(&cev, MsgTag(11)).expect("credited stream completes");
+        let small = delivery_time(&cev, MsgTag(12)).expect("small stream completes");
+        assert!(
+            big > small + SimDuration::from_millis(2 * RTT_MS),
+            "64 KB through an 8 KB stream window needs credit round trips: {small} vs {big}"
+        );
+    }
+
+    #[test]
+    fn flow_control_paces_but_does_not_deadlock() {
+        let id = ConnId::new(NodeId::from_raw(0), NodeId::from_raw(1), 1);
+        let small = QuicConfig {
+            initial_rtt: SimDuration::from_millis(RTT_MS),
+            max_data: 10_000,
+            ..QuicConfig::default()
+        };
+        let client = QuicConnection::client(id, small.clone(), None, false);
+        let server = QuicConnection::server(id, small);
+        let mut pipe = Duplex::new(client, server, SimDuration::from_millis(RTT_MS / 2));
+        let s = pipe.a.open_stream();
+        pipe.a.write_stream(s, 100, MsgTag(1));
+        pipe.a.connect(SimTime::ZERO);
+        pipe.run(400_000);
+        pipe.b.write_stream(s, 100_000, MsgTag(2));
+        pipe.run(4_000_000);
+        let cev = drain(&mut pipe.a);
+        let at = delivery_time(&cev, MsgTag(2)).expect("must complete via MAX_DATA updates");
+        // 100 KB through a 10 KB window takes ≥ 10 credit round trips.
+        assert!(at > ms(5 * RTT_MS), "flow control must pace: {at}");
+    }
+
+    #[test]
+    fn slow_start_growth_bounds_transfer_time() {
+        let mut pipe = make_pair(None, false);
+        let s = pipe.a.open_stream();
+        pipe.a.write_stream(s, 100, MsgTag(1));
+        pipe.a.connect(SimTime::ZERO);
+        pipe.run(400_000);
+        pipe.b.write_stream(s, 500_000, MsgTag(2));
+        pipe.run(4_000_000);
+        let cev = drain(&mut pipe.a);
+        let at = delivery_time(&cev, MsgTag(2)).unwrap();
+        let elapsed = at.as_millis_f64();
+        assert!(elapsed > 3.0 * RTT_MS as f64, "too fast: {elapsed}ms");
+        assert!(elapsed < 15.0 * RTT_MS as f64, "too slow: {elapsed}ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "client-side only")]
+    fn server_cannot_connect() {
+        let id = ConnId::new(NodeId::from_raw(0), NodeId::from_raw(1), 1);
+        let mut server = QuicConnection::server(id, QuicConfig::default());
+        server.connect(SimTime::ZERO);
+    }
+
+    #[test]
+    fn stream_ids_are_client_bidi_spaced() {
+        let id = ConnId::new(NodeId::from_raw(0), NodeId::from_raw(1), 1);
+        let mut client = QuicConnection::client(id, QuicConfig::default(), None, false);
+        assert_eq!(client.open_stream(), 0);
+        assert_eq!(client.open_stream(), 4);
+        assert_eq!(client.open_stream(), 8);
+    }
+}

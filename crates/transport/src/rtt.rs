@@ -1,0 +1,211 @@
+//! Round-trip-time estimation (RFC 6298 / RFC 9002 §5).
+
+use h3cdn_sim_core::SimDuration;
+
+/// Smoothed RTT estimator shared by the TCP and QUIC stacks.
+///
+/// Maintains `smoothed_rtt`, `rttvar` and `min_rtt` with the standard
+/// EWMA gains (1/8 and 1/4) and derives retransmission/probe timeouts.
+///
+/// # Example
+///
+/// ```
+/// use h3cdn_sim_core::SimDuration;
+/// use h3cdn_transport::RttEstimator;
+///
+/// let mut rtt = RttEstimator::new(SimDuration::from_millis(100));
+/// rtt.on_sample(SimDuration::from_millis(40));
+/// assert_eq!(rtt.smoothed(), SimDuration::from_millis(40));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    smoothed: SimDuration,
+    rttvar: SimDuration,
+    min: SimDuration,
+    latest: SimDuration,
+    has_sample: bool,
+    initial: SimDuration,
+}
+
+/// Floor for the retransmission timeout, mirroring Linux's 200 ms minimum
+/// RTO; prevents spurious retransmits on short simulated paths.
+const MIN_RTO: SimDuration = SimDuration::from_millis(200);
+
+/// Granularity term added to the variance component (RFC 6298's `G`).
+const GRANULARITY: SimDuration = SimDuration::from_millis(1);
+
+impl RttEstimator {
+    /// Creates an estimator that reports `initial_rtt` until the first
+    /// sample arrives (RFC 9002 recommends 333 ms; we default per-path).
+    pub fn new(initial_rtt: SimDuration) -> Self {
+        RttEstimator {
+            smoothed: initial_rtt,
+            rttvar: initial_rtt / 2,
+            min: initial_rtt,
+            latest: initial_rtt,
+            has_sample: false,
+            initial: initial_rtt,
+        }
+    }
+
+    /// Feeds one RTT sample (ack receipt time minus send time).
+    pub fn on_sample(&mut self, sample: SimDuration) {
+        self.latest = sample;
+        if !self.has_sample {
+            self.smoothed = sample;
+            self.rttvar = sample / 2;
+            self.min = sample;
+            self.has_sample = true;
+            return;
+        }
+        self.min = self.min.min(sample);
+        let delta = if self.smoothed >= sample {
+            self.smoothed - sample
+        } else {
+            sample - self.smoothed
+        };
+        // rttvar = 3/4 rttvar + 1/4 |srtt - sample|
+        self.rttvar = (self.rttvar * 3 + delta) / 4;
+        // srtt = 7/8 srtt + 1/8 sample
+        self.smoothed = (self.smoothed * 7 + sample) / 8;
+    }
+
+    /// Whether any sample has been observed.
+    pub fn has_sample(&self) -> bool {
+        self.has_sample
+    }
+
+    /// The smoothed RTT.
+    pub fn smoothed(&self) -> SimDuration {
+        self.smoothed
+    }
+
+    /// The minimum RTT observed.
+    pub fn min(&self) -> SimDuration {
+        self.min
+    }
+
+    /// The most recent sample.
+    pub fn latest(&self) -> SimDuration {
+        self.latest
+    }
+
+    /// Retransmission timeout: `srtt + max(G, 4·rttvar)`, floored at
+    /// 200 ms (Linux-style).
+    pub fn rto(&self) -> SimDuration {
+        (self.smoothed + (self.rttvar * 4).max(GRANULARITY)).max(MIN_RTO)
+    }
+
+    /// QUIC probe timeout: `srtt + max(G, 4·rttvar) + max_ack_delay`,
+    /// floored at the granularity (RFC 9002 §6.2.1).
+    pub fn pto(&self, max_ack_delay: SimDuration) -> SimDuration {
+        self.smoothed + (self.rttvar * 4).max(GRANULARITY) + max_ack_delay
+    }
+
+    /// The loss-detection time threshold: 9/8 of `max(srtt, latest)`
+    /// (RFC 9002 §6.1.2).
+    pub fn loss_delay(&self) -> SimDuration {
+        self.smoothed.max(self.latest).mul_f64(9.0 / 8.0)
+    }
+
+    /// Resets to the initial state (used when a connection migrates or a
+    /// fresh connection reuses a cached estimator shell).
+    pub fn reset(&mut self) {
+        *self = RttEstimator::new(self.initial);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn first_sample_overwrites_initial() {
+        let mut rtt = RttEstimator::new(ms(333));
+        rtt.on_sample(ms(50));
+        assert_eq!(rtt.smoothed(), ms(50));
+        assert_eq!(rtt.rttvar_for_test(), ms(25));
+        assert_eq!(rtt.min(), ms(50));
+        assert!(rtt.has_sample());
+    }
+
+    #[test]
+    fn ewma_converges_towards_constant_samples() {
+        let mut rtt = RttEstimator::new(ms(333));
+        for _ in 0..100 {
+            rtt.on_sample(ms(20));
+        }
+        assert_eq!(rtt.smoothed(), ms(20));
+        assert_eq!(rtt.min(), ms(20));
+    }
+
+    #[test]
+    fn variance_grows_with_jitter() {
+        let mut stable = RttEstimator::new(ms(100));
+        let mut jittery = RttEstimator::new(ms(100));
+        for i in 0..50 {
+            stable.on_sample(ms(50));
+            jittery.on_sample(ms(if i % 2 == 0 { 20 } else { 80 }));
+        }
+        // Compare PTOs: unlike the RTO they are not floored at 200 ms, so
+        // the variance term is visible.
+        assert!(jittery.pto(ms(0)) > stable.pto(ms(0)));
+    }
+
+    #[test]
+    fn rto_floored_at_200ms() {
+        let mut rtt = RttEstimator::new(ms(10));
+        for _ in 0..10 {
+            rtt.on_sample(ms(10));
+        }
+        assert_eq!(rtt.rto(), ms(200));
+    }
+
+    #[test]
+    fn pto_includes_ack_delay_without_floor() {
+        let mut rtt = RttEstimator::new(ms(10));
+        for _ in 0..50 {
+            rtt.on_sample(ms(40));
+        }
+        let pto = rtt.pto(ms(25));
+        // srtt 40 + max(1, 4·rttvar≈0..) + 25 — must sit well below the RTO
+        // floor but above srtt + ack delay.
+        assert!(pto >= ms(66), "pto {pto}");
+        assert!(pto < ms(120), "pto {pto}");
+    }
+
+    #[test]
+    fn loss_delay_is_nine_eighths() {
+        let mut rtt = RttEstimator::new(ms(10));
+        rtt.on_sample(ms(80));
+        assert_eq!(rtt.loss_delay(), ms(90));
+    }
+
+    #[test]
+    fn min_tracks_smallest() {
+        let mut rtt = RttEstimator::new(ms(100));
+        rtt.on_sample(ms(60));
+        rtt.on_sample(ms(30));
+        rtt.on_sample(ms(90));
+        assert_eq!(rtt.min(), ms(30));
+    }
+
+    #[test]
+    fn reset_restores_initial() {
+        let mut rtt = RttEstimator::new(ms(77));
+        rtt.on_sample(ms(10));
+        rtt.reset();
+        assert!(!rtt.has_sample());
+        assert_eq!(rtt.smoothed(), ms(77));
+    }
+
+    impl RttEstimator {
+        fn rttvar_for_test(&self) -> SimDuration {
+            self.rttvar
+        }
+    }
+}

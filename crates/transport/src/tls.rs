@@ -1,0 +1,794 @@
+//! TLS session layer over the simulated TCP stream.
+//!
+//! Handshake flights are written through [`TcpConnection`] as tagged
+//! messages with realistic sizes, so their latency cost — the RTT counts
+//! the paper attributes H2's slower connection setup to — emerges from
+//! transmission rather than arithmetic:
+//!
+//! * **TLS 1.3 full**: ClientHello → server flight → client Finished.
+//!   First app byte leaves 1 TLS RTT after the TCP handshake (2 RTT
+//!   total).
+//! * **TLS 1.2 full**: two TLS round trips (3 RTT total) — the
+//!   `H2 + TLS/1.2` suite the paper contrasts H3 against.
+//! * **TLS 1.2 abbreviated** (session resumption): one TLS round trip.
+//! * **TLS 1.3 PSK + early data**: app data rides immediately behind the
+//!   ClientHello — TCP's 1 RTT is the only connection cost, matching the
+//!   paper's §VI-D observation that resumed H2 still pays the TCP
+//!   handshake while resumed H3 pays nothing.
+//!
+//! Servers issue a NewSessionTicket after each completed handshake;
+//! clients surface it as [`TlsEvent::TicketIssued`] and the browser layer
+//! stores it per domain in a [`TicketStore`], which is what makes
+//! cross-page resumption to shared CDN providers possible (Fig. 8 /
+//! Table III).
+
+use std::collections::{HashMap, VecDeque};
+
+use h3cdn_sim_core::{SimDuration, SimTime};
+
+use crate::conn_id::{ConnId, MsgTag};
+use crate::tcp::{TcpConfig, TcpConnection, TcpEvent, TcpSegment};
+
+/// TLS protocol version negotiated for a TCP connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TlsVersion {
+    /// TLS 1.2: 2-RTT full handshake, 1-RTT abbreviated.
+    Tls12,
+    /// TLS 1.3: 1-RTT full handshake, 0-RTT with PSK + early data.
+    Tls13,
+}
+
+/// Per-message TLS record overhead (5-byte header + AEAD tag + padding).
+pub const RECORD_OVERHEAD: u64 = 29;
+
+/// Handshake message sizes in bytes, calibrated to typical production
+/// certificate chains.
+pub mod sizes {
+    /// Full ClientHello.
+    pub const CH_FULL: u64 = 330;
+    /// ClientHello carrying a PSK / session ticket.
+    pub const CH_PSK: u64 = 560;
+    /// TLS 1.3 server flight with a certificate chain.
+    pub const SF13_FULL: u64 = 4300;
+    /// TLS 1.3 server flight under PSK (no certificate).
+    pub const SF13_PSK: u64 = 350;
+    /// Client Finished.
+    pub const CLIENT_FIN: u64 = 74;
+    /// NewSessionTicket.
+    pub const NST: u64 = 230;
+    /// TLS 1.2 ServerHello + Certificate + ServerHelloDone.
+    pub const SF12_FULL: u64 = 3900;
+    /// TLS 1.2 ClientKeyExchange + ChangeCipherSpec + Finished.
+    pub const CF12: u64 = 340;
+    /// TLS 1.2 server ChangeCipherSpec + Finished.
+    pub const SFIN12: u64 = 110;
+    /// TLS 1.2 abbreviated ServerHello + CCS + Finished.
+    pub const SF12_RESUMED: u64 = 280;
+}
+
+// TLS-internal message tags live far above any application tag.
+const TLS_TAG_BASE: u64 = 1 << 62;
+const TAG_CH_FULL13: MsgTag = MsgTag(TLS_TAG_BASE + 1);
+const TAG_CH_PSK13: MsgTag = MsgTag(TLS_TAG_BASE + 2);
+const TAG_CH_FULL12: MsgTag = MsgTag(TLS_TAG_BASE + 3);
+const TAG_CH_RESUMED12: MsgTag = MsgTag(TLS_TAG_BASE + 4);
+const TAG_SF13: MsgTag = MsgTag(TLS_TAG_BASE + 5);
+const TAG_SF13_PSK: MsgTag = MsgTag(TLS_TAG_BASE + 6);
+const TAG_SF12_1: MsgTag = MsgTag(TLS_TAG_BASE + 7);
+const TAG_SF12_RESUMED: MsgTag = MsgTag(TLS_TAG_BASE + 8);
+const TAG_CFIN: MsgTag = MsgTag(TLS_TAG_BASE + 9);
+const TAG_CF12: MsgTag = MsgTag(TLS_TAG_BASE + 10);
+const TAG_SFIN12: MsgTag = MsgTag(TLS_TAG_BASE + 11);
+const TAG_NST: MsgTag = MsgTag(TLS_TAG_BASE + 12);
+
+/// A session ticket usable for resumption with one domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ticket {
+    /// Domain the ticket was issued for.
+    pub domain: u64,
+    /// Issue time.
+    pub issued_at: SimTime,
+    /// Validity window.
+    pub lifetime: SimDuration,
+}
+
+impl Ticket {
+    /// Whether the ticket is still within its validity window at `now`.
+    pub fn is_valid(&self, now: SimTime) -> bool {
+        now <= self.issued_at + self.lifetime
+    }
+}
+
+/// Client-side store of session tickets, keyed by domain.
+///
+/// One store per simulated browser profile; it survives across page
+/// visits in consecutive-browsing mode and is cleared between independent
+/// measurements — mirroring the paper's §VI-D methodology (connections
+/// terminated, cache cleared, *tickets kept*).
+#[derive(Debug, Clone, Default)]
+pub struct TicketStore {
+    tickets: HashMap<u64, Ticket>,
+}
+
+impl TicketStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        TicketStore::default()
+    }
+
+    /// Inserts (or replaces) the ticket for its domain.
+    pub fn insert(&mut self, ticket: Ticket) {
+        self.tickets.insert(ticket.domain, ticket);
+    }
+
+    /// Returns a still-valid ticket for `domain`, if present.
+    pub fn lookup(&self, domain: u64, now: SimTime) -> Option<Ticket> {
+        self.tickets
+            .get(&domain)
+            .copied()
+            .filter(|t| t.is_valid(now))
+    }
+
+    /// Number of stored tickets (including expired ones not yet pruned).
+    pub fn len(&self) -> usize {
+        self.tickets.len()
+    }
+
+    /// Whether the store holds no tickets.
+    pub fn is_empty(&self) -> bool {
+        self.tickets.is_empty()
+    }
+
+    /// Removes every ticket.
+    pub fn clear(&mut self) {
+        self.tickets.clear();
+    }
+}
+
+/// Client-side TLS parameters for one connection.
+#[derive(Debug, Clone, Copy)]
+pub struct TlsConfig {
+    /// Version to negotiate.
+    pub version: TlsVersion,
+    /// Ticket to resume with, if the caller found one.
+    pub ticket: Option<Ticket>,
+    /// Send application data as TLS 1.3 early data when resuming.
+    pub early_data: bool,
+}
+
+impl Default for TlsConfig {
+    fn default() -> Self {
+        TlsConfig {
+            version: TlsVersion::Tls13,
+            ticket: None,
+            early_data: false,
+        }
+    }
+}
+
+/// Events surfaced by [`SecureTcp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlsEvent {
+    /// TCP is established (before TLS completes); reported for timing
+    /// breakdowns.
+    TcpEstablished {
+        /// Completion time.
+        at: SimTime,
+    },
+    /// The TLS handshake finished on this side.
+    HandshakeComplete {
+        /// Completion time.
+        at: SimTime,
+    },
+    /// An application message was fully delivered in order.
+    Delivered {
+        /// Application tag.
+        tag: MsgTag,
+        /// Delivery time.
+        at: SimTime,
+    },
+    /// The server issued a session ticket (client side only).
+    TicketIssued {
+        /// Receipt time.
+        at: SimTime,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HsState {
+    /// Waiting for the transport (client) or the ClientHello (server).
+    Idle,
+    /// Client: ClientHello sent, awaiting the server flight.
+    AwaitServerFlight,
+    /// Client (TLS 1.2 full): awaiting the server Finished.
+    AwaitServerFinished,
+    /// Server: flight sent, awaiting the client Finished / flight 2.
+    AwaitClientFinish,
+    /// Handshake complete.
+    Ready,
+}
+
+/// A TLS-protected TCP connection endpoint (sans-IO).
+///
+/// Wraps a [`TcpConnection`]; application messages written with
+/// [`SecureTcp::write_app`] are held until the handshake permits them
+/// (immediately, for 0-RTT early data) and delivered to the peer as
+/// [`TlsEvent::Delivered`].
+#[derive(Debug)]
+pub struct SecureTcp {
+    tcp: TcpConnection,
+    is_client: bool,
+    version: TlsVersion,
+    resumed: bool,
+    early_data_enabled: bool,
+    used_early_data: bool,
+    state: HsState,
+    ready_to_send: bool,
+    handshake_complete_at: Option<SimTime>,
+    send_ready_at: Option<SimTime>,
+    connect_started_at: Option<SimTime>,
+    pending_app: VecDeque<(u64, MsgTag)>,
+    events: VecDeque<TlsEvent>,
+    nst_sent: bool,
+}
+
+impl SecureTcp {
+    /// Creates the client side. Call [`SecureTcp::connect`] to start.
+    pub fn client(id: ConnId, tcp: TcpConfig, tls: TlsConfig) -> Self {
+        SecureTcp {
+            tcp: TcpConnection::client(id, tcp),
+            is_client: true,
+            version: tls.version,
+            resumed: tls.ticket.is_some(),
+            early_data_enabled: tls.early_data && tls.version == TlsVersion::Tls13,
+            used_early_data: false,
+            state: HsState::Idle,
+            ready_to_send: false,
+            handshake_complete_at: None,
+            send_ready_at: None,
+            connect_started_at: None,
+            pending_app: VecDeque::new(),
+            events: VecDeque::new(),
+            nst_sent: false,
+        }
+    }
+
+    /// Creates the server side; it follows whatever the client offers.
+    pub fn server(id: ConnId, tcp: TcpConfig) -> Self {
+        SecureTcp {
+            tcp: TcpConnection::server(id, tcp),
+            is_client: false,
+            version: TlsVersion::Tls13,
+            resumed: false,
+            early_data_enabled: false,
+            used_early_data: false,
+            state: HsState::Idle,
+            ready_to_send: false,
+            handshake_complete_at: None,
+            send_ready_at: None,
+            connect_started_at: None,
+            pending_app: VecDeque::new(),
+            events: VecDeque::new(),
+            nst_sent: false,
+        }
+    }
+
+    /// Starts the TCP + TLS handshake (client side).
+    pub fn connect(&mut self, now: SimTime) {
+        self.connect_started_at = Some(now);
+        self.tcp.connect(now);
+    }
+
+    /// Queues an application message. It is transmitted as soon as the
+    /// handshake state allows (immediately under 0-RTT early data).
+    pub fn write_app(&mut self, len: u64, tag: MsgTag) {
+        if self.ready_to_send {
+            self.tcp.write_message(len + RECORD_OVERHEAD, tag);
+        } else {
+            self.pending_app.push_back((len, tag));
+        }
+    }
+
+    /// The connection id.
+    pub fn conn_id(&self) -> ConnId {
+        self.tcp.conn_id()
+    }
+
+    /// Whether the handshake is complete on this side.
+    pub fn is_handshake_complete(&self) -> bool {
+        self.handshake_complete_at.is_some()
+    }
+
+    /// When the handshake completed, if it has.
+    pub fn handshake_complete_at(&self) -> Option<SimTime> {
+        self.handshake_complete_at
+    }
+
+    /// When application data could first leave this side: the TCP
+    /// establishment time under 0-RTT early data, otherwise the TLS
+    /// handshake completion time. This is the HAR `connect` endpoint.
+    pub fn send_ready_at(&self) -> Option<SimTime> {
+        self.send_ready_at
+    }
+
+    /// When `connect` was called (client side).
+    pub fn connect_started_at(&self) -> Option<SimTime> {
+        self.connect_started_at
+    }
+
+    /// Whether this connection resumed a previous session.
+    pub fn was_resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// Whether application data was sent as 0-RTT early data.
+    pub fn used_early_data(&self) -> bool {
+        self.used_early_data
+    }
+
+    /// The negotiated TLS version.
+    pub fn version(&self) -> TlsVersion {
+        self.version
+    }
+
+    /// The underlying TCP connection (diagnostics).
+    pub fn tcp(&self) -> &TcpConnection {
+        &self.tcp
+    }
+
+    /// Bytes queued in the TCP stream but not yet first-transmitted (see
+    /// [`TcpConnection::unsent_bytes`]).
+    pub fn unsent_bytes(&self) -> u64 {
+        self.tcp.unsent_bytes()
+    }
+
+    /// Feeds one received segment.
+    pub fn on_segment(&mut self, seg: TcpSegment, now: SimTime) {
+        self.tcp.on_segment(seg, now);
+        self.process_tcp_events();
+    }
+
+    /// Fires expired timers.
+    pub fn on_timeout(&mut self, now: SimTime) {
+        self.tcp.on_timeout(now);
+        self.process_tcp_events();
+    }
+
+    /// Next timer deadline.
+    pub fn next_timeout(&self) -> Option<SimTime> {
+        self.tcp.next_timeout()
+    }
+
+    /// Produces the next segment to send, or `None` when idle.
+    pub fn poll_transmit(&mut self, now: SimTime) -> Option<TcpSegment> {
+        self.process_tcp_events();
+        self.tcp.poll_transmit(now)
+    }
+
+    /// Pops the next TLS-level event.
+    pub fn poll_event(&mut self) -> Option<TlsEvent> {
+        self.process_tcp_events();
+        self.events.pop_front()
+    }
+
+    fn process_tcp_events(&mut self) {
+        while let Some(ev) = self.tcp.poll_event() {
+            match ev {
+                TcpEvent::Established { at } => {
+                    self.events.push_back(TlsEvent::TcpEstablished { at });
+                    if self.is_client && self.state == HsState::Idle {
+                        self.send_client_hello();
+                        if self.ready_to_send && self.send_ready_at.is_none() {
+                            // 0-RTT early data departs as soon as TCP is up.
+                            self.send_ready_at = Some(at);
+                        }
+                    }
+                }
+                TcpEvent::Delivered { tag, at } => {
+                    if tag.0 >= TLS_TAG_BASE {
+                        self.on_tls_message(tag, at);
+                    } else {
+                        self.events.push_back(TlsEvent::Delivered { tag, at });
+                    }
+                }
+            }
+        }
+    }
+
+    fn send_client_hello(&mut self) {
+        let (tag, len) = match (self.version, self.resumed) {
+            (TlsVersion::Tls13, false) => (TAG_CH_FULL13, sizes::CH_FULL),
+            (TlsVersion::Tls13, true) => (TAG_CH_PSK13, sizes::CH_PSK),
+            (TlsVersion::Tls12, false) => (TAG_CH_FULL12, sizes::CH_FULL),
+            (TlsVersion::Tls12, true) => (TAG_CH_RESUMED12, sizes::CH_PSK),
+        };
+        self.tcp.write_message(len, tag);
+        self.state = HsState::AwaitServerFlight;
+        if self.resumed && self.early_data_enabled {
+            // 0-RTT: application data rides immediately behind the hello.
+            self.ready_to_send = true;
+            self.used_early_data = !self.pending_app.is_empty();
+            self.flush_pending();
+        }
+    }
+
+    fn on_tls_message(&mut self, tag: MsgTag, at: SimTime) {
+        match tag {
+            // ---- server side: ClientHello variants ----
+            TAG_CH_FULL13 if !self.is_client => {
+                self.version = TlsVersion::Tls13;
+                self.tcp.write_message(sizes::SF13_FULL, TAG_SF13);
+                self.ready_to_send = true; // 0.5-RTT data permitted
+                self.state = HsState::AwaitClientFinish;
+            }
+            TAG_CH_PSK13 if !self.is_client => {
+                self.version = TlsVersion::Tls13;
+                self.resumed = true;
+                self.tcp.write_message(sizes::SF13_PSK, TAG_SF13_PSK);
+                self.ready_to_send = true;
+                self.state = HsState::AwaitClientFinish;
+            }
+            TAG_CH_FULL12 if !self.is_client => {
+                self.version = TlsVersion::Tls12;
+                self.tcp.write_message(sizes::SF12_FULL, TAG_SF12_1);
+                self.state = HsState::AwaitClientFinish;
+            }
+            TAG_CH_RESUMED12 if !self.is_client => {
+                self.version = TlsVersion::Tls12;
+                self.resumed = true;
+                self.tcp
+                    .write_message(sizes::SF12_RESUMED, TAG_SF12_RESUMED);
+                self.ready_to_send = true;
+                self.state = HsState::AwaitClientFinish;
+            }
+            // ---- client side: server flights ----
+            TAG_SF13 | TAG_SF13_PSK if self.is_client => {
+                self.tcp.write_message(sizes::CLIENT_FIN, TAG_CFIN);
+                self.complete_handshake(at);
+            }
+            TAG_SF12_1 if self.is_client => {
+                self.tcp.write_message(sizes::CF12, TAG_CF12);
+                self.state = HsState::AwaitServerFinished;
+            }
+            TAG_SF12_RESUMED if self.is_client => {
+                self.tcp.write_message(sizes::CLIENT_FIN, TAG_CFIN);
+                self.complete_handshake(at);
+            }
+            TAG_SFIN12 if self.is_client => {
+                self.complete_handshake(at);
+            }
+            // ---- server side: client finishes ----
+            TAG_CFIN if !self.is_client => {
+                self.complete_handshake(at);
+                self.issue_ticket();
+            }
+            TAG_CF12 if !self.is_client => {
+                self.tcp.write_message(sizes::SFIN12, TAG_SFIN12);
+                self.complete_handshake(at);
+                self.issue_ticket();
+            }
+            // ---- client side: ticket ----
+            TAG_NST if self.is_client => {
+                self.events.push_back(TlsEvent::TicketIssued { at });
+            }
+            other => {
+                debug_assert!(
+                    false,
+                    "unexpected TLS message {other} (client={})",
+                    self.is_client
+                );
+            }
+        }
+    }
+
+    fn complete_handshake(&mut self, at: SimTime) {
+        if self.handshake_complete_at.is_none() {
+            self.handshake_complete_at = Some(at);
+            if self.send_ready_at.is_none() {
+                self.send_ready_at = Some(at);
+            }
+            self.state = HsState::Ready;
+            self.ready_to_send = true;
+            self.events.push_back(TlsEvent::HandshakeComplete { at });
+            self.flush_pending();
+        }
+    }
+
+    fn issue_ticket(&mut self) {
+        if !self.nst_sent {
+            self.nst_sent = true;
+            self.tcp.write_message(sizes::NST, TAG_NST);
+        }
+    }
+
+    fn flush_pending(&mut self) {
+        while let Some((len, tag)) = self.pending_app.pop_front() {
+            self.tcp.write_message(len + RECORD_OVERHEAD, tag);
+        }
+    }
+}
+
+impl crate::duplex::Driveable for SecureTcp {
+    type Wire = TcpSegment;
+
+    fn on_wire(&mut self, wire: TcpSegment, now: SimTime) {
+        self.on_segment(wire, now);
+    }
+
+    fn poll_wire(&mut self, now: SimTime) -> Option<TcpSegment> {
+        self.poll_transmit(now)
+    }
+
+    fn deadline(&self) -> Option<SimTime> {
+        self.next_timeout()
+    }
+
+    fn on_deadline(&mut self, now: SimTime) {
+        self.on_timeout(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::duplex::Duplex;
+    use h3cdn_netsim::NodeId;
+
+    const RTT_MS: u64 = 40;
+
+    fn make_pair(tls: TlsConfig) -> Duplex<SecureTcp, SecureTcp> {
+        let id = ConnId::new(NodeId::from_raw(0), NodeId::from_raw(1), 1);
+        let tcp_cfg = TcpConfig {
+            initial_rtt: SimDuration::from_millis(RTT_MS),
+            ..TcpConfig::default()
+        };
+        let client = SecureTcp::client(id, tcp_cfg.clone(), tls);
+        let server = SecureTcp::server(id, tcp_cfg);
+        Duplex::new(client, server, SimDuration::from_millis(RTT_MS / 2))
+    }
+
+    fn drain(side: &mut SecureTcp) -> Vec<TlsEvent> {
+        std::iter::from_fn(|| side.poll_event()).collect()
+    }
+
+    fn first_app_delivery(events: &[TlsEvent]) -> Option<SimTime> {
+        events.iter().find_map(|e| match e {
+            TlsEvent::Delivered { at, .. } => Some(*at),
+            _ => None,
+        })
+    }
+
+    fn handshake_at(events: &[TlsEvent]) -> Option<SimTime> {
+        events.iter().find_map(|e| match e {
+            TlsEvent::HandshakeComplete { at } => Some(*at),
+            _ => None,
+        })
+    }
+
+    /// Runs a handshake + one small request; returns (client events,
+    /// server events).
+    fn run_scenario(tls: TlsConfig) -> (Vec<TlsEvent>, Vec<TlsEvent>) {
+        let mut pipe = make_pair(tls);
+        pipe.a.connect(SimTime::ZERO);
+        pipe.a.write_app(400, MsgTag(1));
+        pipe.run(200_000);
+        let ca = drain(&mut pipe.a);
+        let sa = drain(&mut pipe.b);
+        (ca, sa)
+    }
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn tls13_full_request_arrives_after_two_rtts() {
+        let (client_ev, server_ev) = run_scenario(TlsConfig::default());
+        // TCP: 1 RTT. TLS 1.3: 1 RTT. Request arrives at server 2.5 RTT
+        // after connect (client hs done at 2 RTT, req +0.5 RTT).
+        assert_eq!(handshake_at(&client_ev), Some(ms(2 * RTT_MS)));
+        assert_eq!(first_app_delivery(&server_ev), Some(ms(5 * RTT_MS / 2)));
+    }
+
+    #[test]
+    fn tls12_full_costs_an_extra_rtt() {
+        let (client_ev, server_ev) = run_scenario(TlsConfig {
+            version: TlsVersion::Tls12,
+            ..TlsConfig::default()
+        });
+        assert_eq!(handshake_at(&client_ev), Some(ms(3 * RTT_MS)));
+        assert_eq!(first_app_delivery(&server_ev), Some(ms(7 * RTT_MS / 2)));
+    }
+
+    fn ticket() -> Ticket {
+        Ticket {
+            domain: 7,
+            issued_at: SimTime::ZERO,
+            lifetime: SimDuration::from_secs(7200),
+        }
+    }
+
+    #[test]
+    fn tls13_psk_without_early_data_still_one_tls_rtt() {
+        let (client_ev, _) = run_scenario(TlsConfig {
+            ticket: Some(ticket()),
+            ..TlsConfig::default()
+        });
+        assert_eq!(handshake_at(&client_ev), Some(ms(2 * RTT_MS)));
+    }
+
+    #[test]
+    fn tls13_early_data_arrives_one_and_a_half_rtts_after_connect() {
+        let (_, server_ev) = run_scenario(TlsConfig {
+            ticket: Some(ticket()),
+            early_data: true,
+            ..TlsConfig::default()
+        });
+        // TCP handshake 1 RTT, CH + early data leave together, arrive at
+        // 1.5 RTT: a full RTT earlier than the non-resumed TLS 1.3 case.
+        assert_eq!(first_app_delivery(&server_ev), Some(ms(3 * RTT_MS / 2)));
+    }
+
+    #[test]
+    fn tls12_abbreviated_saves_one_rtt() {
+        let (client_ev, _) = run_scenario(TlsConfig {
+            version: TlsVersion::Tls12,
+            ticket: Some(ticket()),
+            ..TlsConfig::default()
+        });
+        assert_eq!(handshake_at(&client_ev), Some(ms(2 * RTT_MS)));
+    }
+
+    #[test]
+    fn server_issues_ticket_once() {
+        let (client_ev, _) = run_scenario(TlsConfig::default());
+        let tickets = client_ev
+            .iter()
+            .filter(|e| matches!(e, TlsEvent::TicketIssued { .. }))
+            .count();
+        assert_eq!(tickets, 1);
+    }
+
+    #[test]
+    fn server_sees_resumption_flag() {
+        let mut pipe = make_pair(TlsConfig {
+            ticket: Some(ticket()),
+            early_data: true,
+            ..TlsConfig::default()
+        });
+        pipe.a.connect(SimTime::ZERO);
+        pipe.a.write_app(100, MsgTag(1));
+        pipe.run(200_000);
+        assert!(pipe.b.was_resumed());
+        assert!(pipe.a.used_early_data());
+    }
+
+    #[test]
+    fn early_data_not_marked_without_pending_messages() {
+        let mut pipe = make_pair(TlsConfig {
+            ticket: Some(ticket()),
+            early_data: true,
+            ..TlsConfig::default()
+        });
+        pipe.a.connect(SimTime::ZERO);
+        pipe.run(200_000);
+        assert!(!pipe.a.used_early_data());
+    }
+
+    #[test]
+    fn response_after_request_round_trips() {
+        let mut pipe = make_pair(TlsConfig::default());
+        pipe.a.connect(SimTime::ZERO);
+        pipe.a.write_app(400, MsgTag(1));
+        pipe.run(200_000);
+        // Server answers with a response once the request arrived.
+        pipe.b.write_app(20_000, MsgTag(2));
+        pipe.run(200_000);
+        let client_ev = drain(&mut pipe.a);
+        assert!(
+            client_ev
+                .iter()
+                .any(|e| matches!(e, TlsEvent::Delivered { tag: MsgTag(2), .. })),
+            "response delivered to client"
+        );
+    }
+
+    #[test]
+    fn handshake_survives_server_flight_loss() {
+        let id = ConnId::new(NodeId::from_raw(0), NodeId::from_raw(1), 1);
+        let tcp_cfg = TcpConfig {
+            initial_rtt: SimDuration::from_millis(RTT_MS),
+            ..TcpConfig::default()
+        };
+        let client = SecureTcp::client(id, tcp_cfg.clone(), TlsConfig::default());
+        let server = SecureTcp::server(id, tcp_cfg);
+        // Drop the server's first data segment (index 0 is the SYN-ACK;
+        // index 1 carries the start of the TLS flight).
+        let mut pipe = Duplex::new(client, server, SimDuration::from_millis(RTT_MS / 2))
+            .drop_b_to_a(vec![1]);
+        pipe.a.connect(SimTime::ZERO);
+        pipe.a.write_app(400, MsgTag(1));
+        pipe.run(400_000);
+        let client_ev = drain(&mut pipe.a);
+        assert!(handshake_at(&client_ev).is_some(), "handshake recovered");
+        assert!(handshake_at(&client_ev).unwrap() > ms(2 * RTT_MS));
+    }
+
+    #[test]
+    fn ticket_expiry_checked() {
+        let t = Ticket {
+            domain: 1,
+            issued_at: SimTime::ZERO,
+            lifetime: SimDuration::from_secs(10),
+        };
+        assert!(t.is_valid(ms(5_000)));
+        assert!(!t.is_valid(ms(20_000)));
+    }
+
+    #[test]
+    fn ticket_store_lookup_and_clear() {
+        let mut store = TicketStore::new();
+        assert!(store.is_empty());
+        store.insert(Ticket {
+            domain: 3,
+            issued_at: SimTime::ZERO,
+            lifetime: SimDuration::from_secs(100),
+        });
+        assert_eq!(store.len(), 1);
+        assert!(store.lookup(3, ms(1)).is_some());
+        assert!(store.lookup(4, ms(1)).is_none());
+        assert!(store.lookup(3, ms(200_000)).is_none(), "expired");
+        store.clear();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn send_ready_at_marks_early_data_at_tcp_establishment() {
+        // Full handshake: ready when TLS completes (2 RTT).
+        let mut full = make_pair(TlsConfig::default());
+        full.a.connect(SimTime::ZERO);
+        full.run(200_000);
+        assert_eq!(full.a.send_ready_at(), Some(ms(2 * RTT_MS)));
+        // 0-RTT: ready at TCP establishment (1 RTT), a full RTT earlier.
+        let mut early = make_pair(TlsConfig {
+            ticket: Some(ticket()),
+            early_data: true,
+            ..TlsConfig::default()
+        });
+        early.a.connect(SimTime::ZERO);
+        early.run(200_000);
+        assert_eq!(early.a.send_ready_at(), Some(ms(RTT_MS)));
+    }
+
+    #[test]
+    fn unsent_bytes_drain_as_the_stream_flows() {
+        let mut pipe = make_pair(TlsConfig::default());
+        pipe.a.connect(SimTime::ZERO);
+        pipe.a.write_app(50_000, MsgTag(1));
+        // Pre-handshake the app message is parked at the TLS layer, not
+        // in the TCP stream.
+        assert_eq!(pipe.a.unsent_bytes(), 0, "held above TCP until ready");
+        pipe.run(400_000);
+        assert_eq!(pipe.a.unsent_bytes(), 0, "fully transmitted");
+        let delivered = std::iter::from_fn(|| pipe.b.poll_event())
+            .any(|e| matches!(e, TlsEvent::Delivered { tag: MsgTag(1), .. }));
+        assert!(delivered);
+    }
+
+    #[test]
+    fn resumption_vs_full_comparative_latency() {
+        // The paper's core claim for §VI-D: resumed beats full handshake.
+        let (_, full_server) = run_scenario(TlsConfig::default());
+        let (_, resumed_server) = run_scenario(TlsConfig {
+            ticket: Some(ticket()),
+            early_data: true,
+            ..TlsConfig::default()
+        });
+        let full = first_app_delivery(&full_server).unwrap();
+        let resumed = first_app_delivery(&resumed_server).unwrap();
+        assert!(
+            resumed + SimDuration::from_millis(RTT_MS) <= full,
+            "early data must save a full RTT: {resumed} vs {full}"
+        );
+    }
+}

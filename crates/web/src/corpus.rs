@@ -1,0 +1,692 @@
+//! Corpus generation.
+//!
+//! Every draw derives from the spec seed via forked streams, so the
+//! corpus is a pure function of the [`WorkloadSpec`] — independent of
+//! which protocol later fetches it, as required for paired H2/H3 runs.
+
+use h3cdn_cdn::{Provider, ProviderRegistry};
+use h3cdn_sim_core::SimRng;
+
+use crate::domains::{DomainId, DomainTable};
+use crate::resource::{Hosting, Resource, ResourceKind, Webpage};
+use crate::spec::WorkloadSpec;
+
+/// Per-provider base probability of appearing on a page, calibrated so
+/// that — after the per-page richness factor below — the top four
+/// providers each exceed 50 % (Fig. 4a) and ≈ 95 % of pages use at
+/// least two providers (Fig. 4b: 94.8 %).
+fn appearance_prob(p: Provider) -> f64 {
+    match p {
+        Provider::Google => 0.80,
+        Provider::Cloudflare => 0.86,
+        Provider::Amazon => 0.65,
+        Provider::Fastly => 0.50,
+        Provider::Akamai => 0.68,
+        Provider::Microsoft => 0.25,
+        Provider::QuicCloud => 0.055,
+        Provider::Other => 0.39,
+    }
+}
+
+/// Per-page third-party richness: sparse sites use one or two providers,
+/// widget-heavy sites use most of them. This heterogeneity is what
+/// separates Table III's high- and low-sharing groups (the paper found
+/// 4.16 vs 2.58 average providers) and spreads Fig. 4(b)'s histogram.
+/// Log-normal with mean ≈ 1, clamped.
+fn richness(rng: &mut SimRng) -> f64 {
+    rng.log_normal(-0.07, 0.38).clamp(0.55, 1.9)
+}
+
+/// Probability that a resource on an H3-enabled domain is itself
+/// reachable over H3. Provider deployments are *mostly* uniform per
+/// domain, but a few stragglers (separate backends, unmigrated paths)
+/// remain H2-only — they are what forces the browser to open a second
+/// (H2) connection to an otherwise-H3 domain in H3 mode, producing the
+/// reused-connection gap of Fig. 7.
+const WITHIN_DOMAIN_H3: f64 = 0.95;
+
+/// Probability a non-CDN sub-resource targets the site's own origin
+/// rather than a third-party service (trackers, tag managers, APIs).
+const OWN_ORIGIN_SHARE: f64 = 0.15;
+
+/// Probability a third-party service domain speaks H3. Own origins
+/// always do: the paper's 325 sites were *selected* for H3
+/// reachability, so every landing page's origin supports H3 — which is
+/// why enabling H3 accelerates the root document on the critical path.
+const SERVICE_H3: f64 = 0.05;
+
+/// Probability a (non-H3) third-party service domain only speaks
+/// HTTP/1.x (Table II's "Others" live almost entirely here).
+const SERVICE_H1_ONLY: f64 = 0.23;
+
+/// Third-party service domains used per page.
+const SERVICES_PER_PAGE: std::ops::RangeInclusive<u64> = 2..=4;
+
+/// Resource-kind sampling weights for CDN sub-resources.
+const KIND_WEIGHTS: [(ResourceKind, f64); 6] = [
+    (ResourceKind::Image, 0.45),
+    (ResourceKind::Script, 0.25),
+    (ResourceKind::Stylesheet, 0.08),
+    (ResourceKind::Font, 0.06),
+    (ResourceKind::Media, 0.04),
+    (ResourceKind::Other, 0.12),
+];
+
+/// Size-shift of a resource kind relative to the base log-normal `mu`:
+/// stylesheets/scripts are small text, fonts middling, images the bulk,
+/// media segments the heavy tail. Weighted by KIND_WEIGHTS these shifts
+/// average ≈ 0, preserving the corpus-level size calibration (75 % of
+/// CDN resources below 20 KB).
+fn kind_mu_shift(kind: ResourceKind) -> f64 {
+    match kind {
+        ResourceKind::Html => 0.0,
+        ResourceKind::Script => -0.25,
+        ResourceKind::Stylesheet => -0.55,
+        ResourceKind::Image => 0.12,
+        ResourceKind::Font => 0.25,
+        ResourceKind::Media => 1.35,
+        ResourceKind::Other => -0.30,
+    }
+}
+
+/// A generated corpus: pages plus the domain table describing them.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// All pages, index-aligned with site numbers.
+    pub pages: Vec<Webpage>,
+    /// Domain registry (shared pool + per-site domains).
+    pub domains: DomainTable,
+    /// The spec the corpus was generated from.
+    pub spec: WorkloadSpec,
+}
+
+impl Corpus {
+    /// Total requests across all pages.
+    pub fn total_requests(&self) -> usize {
+        self.pages.iter().map(Webpage::request_count).sum()
+    }
+
+    /// Total CDN requests across all pages.
+    pub fn cdn_requests(&self) -> usize {
+        self.pages.iter().map(|p| p.cdn_resources().count()).sum()
+    }
+
+    /// Overall CDN fraction (Table II's 67 %).
+    pub fn cdn_fraction(&self) -> f64 {
+        self.cdn_requests() as f64 / self.total_requests() as f64
+    }
+}
+
+/// Generates a corpus from `spec`.
+///
+/// # Panics
+///
+/// Panics if `spec` fails [`WorkloadSpec::validate`].
+pub fn generate(spec: &WorkloadSpec) -> Corpus {
+    if let Err(msg) = spec.validate() {
+        panic!("invalid workload spec: {msg}");
+    }
+    let registry = ProviderRegistry::paper_calibrated();
+    let mut domains = DomainTable::with_shared_pool();
+    let shared_h3 = shared_cdn_h3_map(spec.seed, &registry, &domains);
+    let service_caps = service_capability_map(spec.seed, &domains);
+    let master = SimRng::seed_from(spec.seed).fork(0x776f_726b); // "work"
+    let mut next_id: u64 = 1;
+    let mut pages = Vec::with_capacity(spec.num_pages);
+
+    for site in 0..spec.num_pages {
+        let mut rng = master.fork(site as u64);
+        pages.push(generate_page(
+            spec,
+            &registry,
+            &mut domains,
+            &shared_h3,
+            &service_caps,
+            site,
+            &mut next_id,
+            &mut rng,
+        ));
+    }
+
+    Corpus {
+        pages,
+        domains,
+        spec: spec.clone(),
+    }
+}
+
+/// Whether `domain` (hosted by a provider with the given adoption rate)
+/// is H3-enabled. Stable across pages: the decision derives from the
+/// corpus seed and the domain id only, because a given edge deployment
+/// either runs H3 or does not, regardless of who is browsing.
+fn domain_is_h3(spec_seed: u64, domain: DomainId, adoption: f64) -> bool {
+    SimRng::seed_from(spec_seed ^ 0x4833_D0AA)
+        .fork(domain.0)
+        .bernoulli(adoption)
+}
+
+/// Precomputed H3 capability for the shared CDN pool. Stratified per
+/// provider — exactly `round(adoption · pool)` domains are H3 — so one
+/// seed's realised adoption tracks the Table II calibration instead of
+/// swinging on a handful of Bernoulli flips over small pools.
+fn shared_cdn_h3_map(
+    spec_seed: u64,
+    registry: &ProviderRegistry,
+    domains: &DomainTable,
+) -> std::collections::HashMap<DomainId, bool> {
+    let mut map = std::collections::HashMap::new();
+    let mut rng = SimRng::seed_from(spec_seed ^ 0x5348_4D50);
+    for profile in registry.profiles() {
+        let mut pool: Vec<DomainId> = domains.shared_domains(profile.provider).to_vec();
+        rng.shuffle(&mut pool);
+        let k = (profile.h3_adoption * pool.len() as f64).round() as usize;
+        for (i, d) in pool.into_iter().enumerate() {
+            map.insert(d, i < k);
+        }
+    }
+    map
+}
+
+/// Protocol capability of the shared service pool, stratified the same
+/// way as the CDN pool: exactly `round(SERVICE_H3 · pool)` domains are
+/// H3 and `round(SERVICE_H1_ONLY · pool)` of the rest are HTTP/1.x-only.
+fn service_capability_map(
+    spec_seed: u64,
+    domains: &DomainTable,
+) -> std::collections::HashMap<DomainId, (bool, bool)> {
+    let mut map = std::collections::HashMap::new();
+    let mut rng = SimRng::seed_from(spec_seed ^ 0x5356_4350);
+    let mut pool: Vec<DomainId> = domains.shared_services().to_vec();
+    rng.shuffle(&mut pool);
+    let k_h3 = (SERVICE_H3 * pool.len() as f64).round() as usize;
+    let k_h1 = (SERVICE_H1_ONLY * pool.len() as f64).round() as usize;
+    for (i, d) in pool.into_iter().enumerate() {
+        let h3 = i < k_h3;
+        let h1_only = !h3 && i < k_h3 + k_h1;
+        map.insert(d, (h3, h1_only));
+    }
+    map
+}
+
+#[allow(clippy::too_many_arguments)] // internal builder; the context IS the arguments
+fn generate_page(
+    spec: &WorkloadSpec,
+    registry: &ProviderRegistry,
+    domains: &mut DomainTable,
+    shared_h3: &std::collections::HashMap<DomainId, bool>,
+    service_caps: &std::collections::HashMap<DomainId, (bool, bool)>,
+    site: usize,
+    next_id: &mut u64,
+    rng: &mut SimRng,
+) -> Webpage {
+    let origin_domain = domains.add_origin(site);
+
+    // Request count: log-normal around the paper's 111/page mean.
+    let sigma = 0.55;
+    let mu = spec.mean_requests_per_page.ln() - sigma * sigma / 2.0;
+    let n = (rng.log_normal(mu, sigma).round() as usize)
+        .clamp(spec.min_requests_per_page, spec.max_requests_per_page);
+
+    // CDN fraction: clamped Normal — mean ≈ 0.67, P(>0.5) ≈ 0.75 (Fig. 3).
+    let frac = (spec.cdn_fraction_mean + spec.cdn_fraction_sd * rng.standard_normal())
+        .clamp(0.05, 0.98);
+    let n_cdn = ((n as f64 * frac).round() as usize).min(n - 1);
+    let n_origin = n - n_cdn; // ≥ 1: the root HTML
+
+    // Providers appearing on this page, modulated by its richness.
+    let rho = richness(rng);
+    let mut present: Vec<Provider> = Provider::ALL
+        .into_iter()
+        .filter(|&p| rng.bernoulli((appearance_prob(p) * rho).min(0.97)))
+        .collect();
+    if present.is_empty() {
+        present.push(Provider::Cloudflare);
+    }
+    // Importance-corrected selection weights keep expected per-provider
+    // request shares near market share despite uneven appearance.
+    let corrected: Vec<f64> = present
+        .iter()
+        .map(|&p| registry.profile(p).market_share / appearance_prob(p))
+        .collect();
+    // One provider dominates each page (Fig. 5's skew: roughly half the
+    // pages using Cloudflare/Google put >10 resources on them, the rest
+    // use them lightly): the dominant provider takes ~70 % of the page's
+    // CDN resources, the others share the remainder.
+    let dominant = rng.weighted_index(&corrected);
+    let weights: Vec<f64> = corrected
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| if i == dominant { 0.7 } else { 0.3 * w })
+        .collect();
+
+    // Domains each present provider contributes to this page. Shared
+    // pools are sampled Zipf-style (weight 1/rank): the head domains
+    // (fonts.googleapis.com, cdnjs.cloudflare.com, …) appear on most
+    // pages, the tail rarely — which is what makes cross-page session
+    // resumption to them common (Fig. 8 / Table III).
+    let page_domains: Vec<Vec<DomainId>> = present
+        .iter()
+        .map(|&p| {
+            let mean = registry.profile(p).mean_domains_per_page;
+            let base = mean.floor() as usize;
+            let count = (base + usize::from(rng.bernoulli(mean - base as f64))).max(1);
+            let pool = domains.shared_domains(p).to_vec();
+            let weights: Vec<f64> = (0..pool.len()).map(|i| 1.0 / (i + 1) as f64).collect();
+            let mut picked: Vec<DomainId> = Vec::new();
+            let mut guard = 0;
+            while picked.len() < count.min(pool.len()) && guard < 200 {
+                guard += 1;
+                let d = pool[rng.weighted_index(&weights)];
+                if !picked.contains(&d) {
+                    picked.push(d);
+                }
+            }
+            if rng.bernoulli(0.2) {
+                picked.push(domains.add_private_cdn(site, p));
+            }
+            picked
+        })
+        .collect();
+
+    // Third-party service domains used by this page.
+    let service_count = rng.range_inclusive(*SERVICES_PER_PAGE.start(), *SERVICES_PER_PAGE.end());
+    let mut service_pool: Vec<DomainId> = domains.shared_services().to_vec();
+    rng.shuffle(&mut service_pool);
+    let services: Vec<DomainId> = service_pool
+        .into_iter()
+        .take(service_count as usize)
+        .collect();
+
+    let mut resources = Vec::with_capacity(n);
+    // Root HTML first.
+    resources.push(Resource {
+        id: *next_id,
+        domain: origin_domain,
+        kind: ResourceKind::Html,
+        body_bytes: rng.range_inclusive(25_000, 90_000),
+        response_header_bytes: rng.range_inclusive(220, 420),
+        request_header_bytes: rng.range_inclusive(260, 480),
+        processing_us: (rng.exponential(spec.mean_processing_ms) * 1_000.0) as u64 + 500,
+        depth: 0,
+        parent: None,
+        hosting: Hosting::Origin {
+            // The corpus is the paper's H3-reachable site list: every
+            // landing page's own origin supports H3.
+            h3_available: true,
+            h1_only: false,
+        },
+    });
+    *next_id += 1;
+
+    // CDN sub-resources.
+    for _ in 0..n_cdn {
+        let pi = rng.weighted_index(&weights);
+        let provider = present[pi];
+        let profile = registry.profile(provider);
+        let domain = *rng.choose(&page_domains[pi]).expect("provider has domains");
+        let kind_weights: Vec<f64> = KIND_WEIGHTS.iter().map(|&(_, w)| w).collect();
+        let kind = KIND_WEIGHTS[rng.weighted_index(&kind_weights)].0;
+        let body = (rng.log_normal(spec.size_log_mu + kind_mu_shift(kind), spec.size_log_sigma)
+            as u64)
+            .clamp(120, spec.max_resource_bytes);
+        resources.push(Resource {
+            id: *next_id,
+            domain,
+            kind,
+            body_bytes: body,
+            response_header_bytes: rng.range_inclusive(180, 380),
+            request_header_bytes: rng.range_inclusive(240, 420),
+            processing_us: (rng.exponential(spec.mean_processing_ms) * 1_000.0) as u64 + 300,
+            depth: 1, // refined below
+            parent: Some(0),
+            hosting: Hosting::Cdn {
+                provider,
+                h3_available: shared_h3
+                    .get(&domain)
+                    .copied()
+                    .unwrap_or_else(|| domain_is_h3(spec.seed, domain, profile.h3_adoption))
+                    && rng.bernoulli(WITHIN_DOMAIN_H3),
+            },
+        });
+        *next_id += 1;
+    }
+
+    // Non-CDN sub-resources: a few first-party XHRs plus a majority of
+    // third-party service calls (analytics, tags, ads).
+    for _ in 0..n_origin - 1 {
+        let own = rng.bernoulli(OWN_ORIGIN_SHARE);
+        let (domain, h3_available, h1_only, mu_shift) = if own {
+            (origin_domain, true, false, 0.0)
+        } else {
+            let d = *rng.choose(&services).expect("services sampled");
+            let (h3, h1) = service_caps[&d];
+            (d, h3, h1, -0.5) // service responses are small JSON/pixels
+        };
+        let body = (rng.log_normal(spec.size_log_mu + mu_shift, spec.size_log_sigma) as u64)
+            .clamp(120, spec.max_resource_bytes);
+        resources.push(Resource {
+            id: *next_id,
+            domain,
+            kind: ResourceKind::Other,
+            body_bytes: body,
+            response_header_bytes: rng.range_inclusive(180, 380),
+            request_header_bytes: rng.range_inclusive(240, 420),
+            processing_us: (rng.exponential(spec.mean_processing_ms) * 1_000.0) as u64 + 300,
+            depth: 1,
+            parent: Some(0),
+            hosting: Hosting::Origin {
+                h3_available,
+                h1_only,
+            },
+        });
+        *next_id += 1;
+    }
+
+    // Discovery waves: 70 % of sub-resources sit in the HTML (wave 1),
+    // 25 % are revealed by a wave-1 parent, 5 % by a wave-2 parent.
+    assign_waves(&mut resources, rng);
+
+    Webpage {
+        site,
+        origin_domain,
+        resources,
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // i indexes two parallel structures
+fn assign_waves(resources: &mut [Resource], rng: &mut SimRng) {
+    let sub_count = resources.len() - 1;
+    if sub_count == 0 {
+        return;
+    }
+    // First pass: choose each sub-resource's wave.
+    let mut wave_of: Vec<u8> = Vec::with_capacity(sub_count);
+    for _ in 0..sub_count {
+        let r = rng.next_f64();
+        wave_of.push(if r < 0.70 {
+            1
+        } else if r < 0.95 {
+            2
+        } else {
+            3
+        });
+    }
+    // Guarantee wave 1 is non-empty so deeper waves have parents.
+    wave_of[0] = 1;
+    let wave1: Vec<usize> = (0..sub_count).filter(|&i| wave_of[i] == 1).collect();
+    let wave2: Vec<usize> = (0..sub_count).filter(|&i| wave_of[i] == 2).collect();
+    for i in 0..sub_count {
+        let idx = i + 1; // offset past the root
+        match wave_of[i] {
+            1 => {
+                resources[idx].depth = 1;
+                resources[idx].parent = Some(0);
+            }
+            2 => {
+                resources[idx].depth = 2;
+                resources[idx].parent = Some(1 + *rng.choose(&wave1).expect("wave1 non-empty"));
+            }
+            _ => {
+                resources[idx].depth = 3;
+                let parents = if wave2.is_empty() { &wave1 } else { &wave2 };
+                resources[idx].parent = Some(1 + *rng.choose(parents).expect("parents exist"));
+                if wave2.is_empty() {
+                    resources[idx].depth = 2;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        generate(&WorkloadSpec::default())
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = corpus();
+        let b = corpus();
+        assert_eq!(a.total_requests(), b.total_requests());
+        let ids_a: Vec<u64> = a.pages[7].resources.iter().map(|r| r.id).collect();
+        let ids_b: Vec<u64> = b.pages[7].resources.iter().map(|r| r.id).collect();
+        assert_eq!(ids_a, ids_b);
+        let sizes_a: Vec<u64> = a.pages[7].resources.iter().map(|r| r.body_bytes).collect();
+        let sizes_b: Vec<u64> = b.pages[7].resources.iter().map(|r| r.body_bytes).collect();
+        assert_eq!(sizes_a, sizes_b);
+        let c = generate(&WorkloadSpec::default().with_seed(1));
+        assert_ne!(
+            a.pages[7].resources.len(),
+            0,
+            "sanity: pages are non-trivial"
+        );
+        assert_ne!(
+            c.pages[7]
+                .resources
+                .iter()
+                .map(|r| r.body_bytes)
+                .collect::<Vec<_>>(),
+            sizes_a,
+            "different seeds give different corpora"
+        );
+    }
+
+    #[test]
+    fn total_requests_near_paper() {
+        let c = corpus();
+        let total = c.total_requests() as f64;
+        assert!(
+            (total - 36_057.0).abs() / 36_057.0 < 0.10,
+            "total requests {total}"
+        );
+    }
+
+    #[test]
+    fn cdn_fraction_near_67_percent() {
+        let c = corpus();
+        let f = c.cdn_fraction();
+        assert!((f - 0.67).abs() < 0.04, "CDN fraction {f}");
+    }
+
+    #[test]
+    fn fig3_ccdf_at_half_is_75_percent() {
+        let c = corpus();
+        let over_half = c.pages.iter().filter(|p| p.cdn_fraction() > 0.5).count() as f64
+            / c.pages.len() as f64;
+        assert!((over_half - 0.75).abs() < 0.06, "CCDF(0.5) = {over_half}");
+    }
+
+    #[test]
+    fn fig4b_at_least_two_providers() {
+        let c = corpus();
+        let multi = c.pages.iter().filter(|p| p.providers_used().len() >= 2).count() as f64
+            / c.pages.len() as f64;
+        assert!((multi - 0.948).abs() < 0.04, "≥2 providers on {multi}");
+    }
+
+    #[test]
+    fn fig4a_top_four_providers_exceed_half() {
+        let c = corpus();
+        let mut probs: Vec<(Provider, f64)> = Provider::ALL
+            .into_iter()
+            .map(|p| {
+                let k = c
+                    .pages
+                    .iter()
+                    .filter(|page| page.providers_used().contains(&p))
+                    .count();
+                (p, k as f64 / c.pages.len() as f64)
+            })
+            .collect();
+        probs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        for (p, prob) in probs.iter().take(4) {
+            assert!(*prob > 0.5, "top-4 provider {p} appears on {prob}");
+        }
+    }
+
+    #[test]
+    fn table_ii_h3_fractions() {
+        let c = corpus();
+        let cdn_total: usize = c.cdn_requests();
+        let cdn_h3: usize = c
+            .pages
+            .iter()
+            .map(Webpage::h3_enabled_cdn_count)
+            .sum();
+        let f = cdn_h3 as f64 / cdn_total as f64;
+        assert!((f - 0.384).abs() < 0.03, "CDN H3 fraction {f}");
+        // Non-CDN H3 ≈ 20.7 %.
+        let (mut non_cdn, mut non_cdn_h3, mut non_cdn_h1) = (0usize, 0usize, 0usize);
+        for page in &c.pages {
+            for r in &page.resources {
+                if let Hosting::Origin {
+                    h3_available,
+                    h1_only,
+                } = r.hosting
+                {
+                    non_cdn += 1;
+                    non_cdn_h3 += usize::from(h3_available);
+                    non_cdn_h1 += usize::from(h1_only);
+                }
+            }
+        }
+        let f3 = non_cdn_h3 as f64 / non_cdn as f64;
+        let f1 = non_cdn_h1 as f64 / non_cdn as f64;
+        assert!((f3 - 0.207).abs() < 0.04, "non-CDN H3 {f3}");
+        assert!((f1 - 0.187).abs() < 0.055, "non-CDN H1-only {f1}");
+    }
+
+    #[test]
+    fn fig2_google_and_cloudflare_dominate_h3() {
+        let c = corpus();
+        let mut h3_by_provider: std::collections::HashMap<Provider, usize> = Default::default();
+        let mut h3_total = 0usize;
+        for page in &c.pages {
+            for r in page.cdn_resources() {
+                if let Hosting::Cdn {
+                    provider,
+                    h3_available: true,
+                } = r.hosting
+                {
+                    *h3_by_provider.entry(provider).or_default() += 1;
+                    h3_total += 1;
+                }
+            }
+        }
+        let g = h3_by_provider[&Provider::Google] as f64 / h3_total as f64;
+        let cf = h3_by_provider[&Provider::Cloudflare] as f64 / h3_total as f64;
+        assert!((g - 0.50).abs() < 0.06, "Google share of H3 CDN {g}");
+        assert!((cf - 0.452).abs() < 0.06, "Cloudflare share of H3 CDN {cf}");
+    }
+
+    #[test]
+    fn sizes_p75_below_20kb() {
+        let c = corpus();
+        let mut sizes: Vec<u64> = c
+            .pages
+            .iter()
+            .flat_map(|p| p.cdn_resources().map(|r| r.body_bytes))
+            .collect();
+        sizes.sort_unstable();
+        let p75 = sizes[sizes.len() * 3 / 4];
+        assert!(
+            (14_000..=26_000).contains(&p75),
+            "75th percentile CDN size {p75}"
+        );
+    }
+
+    #[test]
+    fn fig5_cloudflare_google_pages_carry_many_resources() {
+        let c = corpus();
+        for p in [Provider::Cloudflare, Provider::Google] {
+            let using: Vec<_> = c
+                .pages
+                .iter()
+                .filter(|page| page.providers_used().contains(&p))
+                .collect();
+            let over10 = using.iter().filter(|page| page.cdn_count_for(p) > 10).count() as f64
+                / using.len() as f64;
+            assert!(
+                (0.35..=0.85).contains(&over10),
+                "{p}: fraction of its pages with >10 resources = {over10}"
+            );
+        }
+    }
+
+    #[test]
+    fn parents_form_valid_discovery_dag() {
+        let c = corpus();
+        for page in &c.pages {
+            assert_eq!(page.resources[0].depth, 0, "root is wave 0");
+            assert!(page.resources[0].parent.is_none());
+            for (i, r) in page.resources.iter().enumerate().skip(1) {
+                let parent = r.parent.expect("sub-resources have parents");
+                assert!(parent < page.resources.len(), "parent in range");
+                assert_ne!(parent, i, "no self-parenting");
+                assert_eq!(
+                    page.resources[parent].depth,
+                    r.depth - 1,
+                    "parent one wave earlier"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_domains_recur_across_pages() {
+        let c = corpus();
+        let mut pages_per_domain: std::collections::HashMap<DomainId, usize> = Default::default();
+        for page in &c.pages {
+            for d in page.cdn_domains() {
+                if c.domains.is_shared(d) {
+                    *pages_per_domain.entry(d).or_default() += 1;
+                }
+            }
+        }
+        let reused = pages_per_domain.values().filter(|&&n| n >= 2).count();
+        assert!(
+            reused >= 50,
+            "at least ~58 shared domains reused across pages, got {reused}"
+        );
+    }
+
+    #[test]
+    fn small_corpus_for_benches_generates_quickly() {
+        let c = generate(&WorkloadSpec::default().with_pages(10).with_seed(3));
+        assert_eq!(c.pages.len(), 10);
+        assert!(c.total_requests() > 100);
+    }
+
+    #[test]
+    fn resource_kinds_order_by_size() {
+        let c = corpus();
+        let mut by_kind: std::collections::HashMap<ResourceKind, Vec<f64>> = Default::default();
+        for page in &c.pages {
+            for r in page.cdn_resources() {
+                by_kind.entry(r.kind).or_default().push(r.body_bytes as f64);
+            }
+        }
+        let median = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let css = median(by_kind.get_mut(&ResourceKind::Stylesheet).unwrap());
+        let img = median(by_kind.get_mut(&ResourceKind::Image).unwrap());
+        let media = median(by_kind.get_mut(&ResourceKind::Media).unwrap());
+        assert!(css < img, "stylesheets smaller than images: {css} vs {img}");
+        assert!(img < media, "images smaller than media: {img} vs {media}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload spec")]
+    fn invalid_spec_panics() {
+        let spec = WorkloadSpec {
+            num_pages: 0,
+            ..WorkloadSpec::default()
+        };
+        let _ = generate(&spec);
+    }
+}

@@ -1,0 +1,293 @@
+//! Domain table: shared CDN domains, page-private customer domains, and
+//! origin domains.
+//!
+//! Shared domains (fonts.googleapis.com, cdnjs.cloudflare.com, …) recur
+//! across pages; they are what makes TLS session resumption work across
+//! consecutive visits to *different* sites (Fig. 8), and they are the
+//! coordinates of Table III's 58-dimensional page vectors.
+
+use std::collections::HashMap;
+
+use h3cdn_cdn::Provider;
+use serde::{Deserialize, Serialize};
+
+/// Identifies one domain (hostname) in a corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DomainId(pub u64);
+
+impl std::fmt::Display for DomainId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "domain#{}", self.0)
+    }
+}
+
+/// What a domain is, for topology and classification purposes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainKind {
+    /// A CDN domain reused across many pages.
+    SharedCdn(Provider),
+    /// A customer-specific CDN domain used by a single page.
+    PrivateCdn(Provider),
+    /// A website's own origin.
+    Origin,
+    /// A third-party, non-CDN web service (analytics, tags, ads APIs)
+    /// reused across pages.
+    SharedService,
+}
+
+/// Registry of every domain in a corpus.
+#[derive(Debug, Clone, Default)]
+pub struct DomainTable {
+    names: Vec<String>,
+    kinds: Vec<DomainKind>,
+    shared_by_provider: HashMap<Provider, Vec<DomainId>>,
+    shared_services: Vec<DomainId>,
+}
+
+/// The shared CDN domain names seeded per provider. Counts are sized so
+/// the cross-page shared pool lands near the paper's 58 domains.
+fn shared_domain_names() -> Vec<(Provider, &'static str)> {
+    vec![
+        (Provider::Google, "fonts.googleapis.com"),
+        (Provider::Google, "fonts.gstatic.com"),
+        (Provider::Google, "ajax.googleapis.com"),
+        (Provider::Google, "www.gstatic.com"),
+        (Provider::Google, "maps.googleapis.com"),
+        (Provider::Google, "storage.googleapis.com"),
+        (Provider::Google, "lh3.googleusercontent.com"),
+        (Provider::Google, "www.googletagmanager.com"),
+        (Provider::Google, "ssl.google-analytics.com"),
+        (Provider::Google, "i.ytimg.com"),
+        (Provider::Google, "yt3.ggpht.com"),
+        (Provider::Google, "play.googleapis.com"),
+        (Provider::Cloudflare, "cdnjs.cloudflare.com"),
+        (Provider::Cloudflare, "cdn.jsdelivr.net"),
+        (Provider::Cloudflare, "static.cloudflareinsights.com"),
+        (Provider::Cloudflare, "cdn-cookieyes.com"),
+        (Provider::Cloudflare, "embed.cloudflarestream.com"),
+        (Provider::Cloudflare, "assets.onecdn.com"),
+        (Provider::Cloudflare, "cdn.statically.io"),
+        (Provider::Cloudflare, "unpkg.com"),
+        (Provider::Cloudflare, "static.hotjar.com"),
+        (Provider::Cloudflare, "widget.intercom.io"),
+        (Provider::Cloudflare, "cdn.onesignal.com"),
+        (Provider::Cloudflare, "browser.sentry-cdn.com"),
+        (Provider::Cloudflare, "cdn.segment.com"),
+        (Provider::Cloudflare, "js.stripe.com"),
+        (Provider::Amazon, "d1.awsstatic.cloudfront.net"),
+        (Provider::Amazon, "d2.media.cloudfront.net"),
+        (Provider::Amazon, "d3.assets.cloudfront.net"),
+        (Provider::Amazon, "images-na.ssl-images-amazon.com"),
+        (Provider::Amazon, "m.media-amazon.com"),
+        (Provider::Amazon, "d4.player.cloudfront.net"),
+        (Provider::Amazon, "d5.fonts.cloudfront.net"),
+        (Provider::Amazon, "d6.tags.cloudfront.net"),
+        (Provider::Amazon, "d7.ads.cloudfront.net"),
+        (Provider::Amazon, "d8.video.cloudfront.net"),
+        (Provider::Fastly, "cdn.shopify.com"),
+        (Provider::Fastly, "assets-cdn.github.com"),
+        (Provider::Fastly, "polyfill-fastly.net"),
+        (Provider::Fastly, "global.fastly.net"),
+        (Provider::Fastly, "cdn.wikimedia.fastlylb.net"),
+        (Provider::Fastly, "pypi-camo.fastly.net"),
+        (Provider::Akamai, "static.akamaized.net"),
+        (Provider::Akamai, "media.akamaihd.net"),
+        (Provider::Akamai, "cdn-akamai.example-tech.com"),
+        (Provider::Akamai, "assets.adobedtm.akamaized.net"),
+        (Provider::Akamai, "images.akamai.steamstatic.com"),
+        (Provider::Akamai, "content.akamaized.net"),
+        (Provider::Microsoft, "ajax.aspnetcdn.com"),
+        (Provider::Microsoft, "az416426.vo.msecnd.net"),
+        (Provider::Microsoft, "static2.sharepointonline.azureedge.net"),
+        (Provider::Microsoft, "cdn.office.azureedge.net"),
+        (Provider::QuicCloud, "static.quic.cloud"),
+        (Provider::QuicCloud, "img.quic.cloud"),
+        (Provider::Other, "cdn.cookielaw.org"),
+        (Provider::Other, "cdn.privacy-center.org"),
+        (Provider::Other, "secure.gravatar.com"),
+        (Provider::Other, "s.w.org"),
+        (Provider::Other, "stats.wp.com"),
+        (Provider::Other, "cdn.syndication.example.net"),
+    ]
+}
+
+/// Shared third-party service domains (non-CDN): trackers, tag managers,
+/// consent and ad endpoints that appear on many pages but are served by
+/// the vendor's own (often H2- or even H1-only) infrastructure.
+fn shared_service_names() -> Vec<&'static str> {
+    vec![
+        "collector.metrics-svc.example",
+        "tags.tagmanager-svc.example",
+        "pixel.tracker-svc.example",
+        "api.ads-exchange.example",
+        "events.product-analytics.example",
+        "beacon.rum-vendor.example",
+        "consent.cmp-vendor.example",
+        "chat.support-widget.example",
+        "api.ab-testing.example",
+        "sync.idgraph-vendor.example",
+        "logs.errortracking.example",
+        "api.recommendations.example",
+        "social.share-buttons.example",
+        "api.weather-widget.example",
+        "quotes.market-data.example",
+    ]
+}
+
+impl DomainTable {
+    /// Builds a table pre-seeded with the shared CDN domain pool and the
+    /// shared third-party service pool.
+    pub fn with_shared_pool() -> Self {
+        let mut table = DomainTable::default();
+        for (provider, name) in shared_domain_names() {
+            let id = table.push(name.to_string(), DomainKind::SharedCdn(provider));
+            table.shared_by_provider.entry(provider).or_default().push(id);
+        }
+        for name in shared_service_names() {
+            let id = table.push(name.to_string(), DomainKind::SharedService);
+            table.shared_services.push(id);
+        }
+        table
+    }
+
+    /// The shared third-party service domains.
+    pub fn shared_services(&self) -> &[DomainId] {
+        &self.shared_services
+    }
+
+    fn push(&mut self, name: String, kind: DomainKind) -> DomainId {
+        let id = DomainId(self.names.len() as u64);
+        self.names.push(name);
+        self.kinds.push(kind);
+        id
+    }
+
+    /// Registers a page-private CDN domain (a customer vanity domain).
+    pub fn add_private_cdn(&mut self, site: usize, provider: Provider) -> DomainId {
+        let name = format!("cdn{site}.{}.example-customer.net", provider.name().to_lowercase());
+        self.push(name, DomainKind::PrivateCdn(provider))
+    }
+
+    /// Registers a website origin domain.
+    pub fn add_origin(&mut self, site: usize) -> DomainId {
+        self.push(format!("www.site{site}.example.org"), DomainKind::Origin)
+    }
+
+    /// The shared domains of `provider`.
+    pub fn shared_domains(&self, provider: Provider) -> &[DomainId] {
+        self.shared_by_provider
+            .get(&provider)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total shared-pool size across providers.
+    pub fn shared_pool_len(&self) -> usize {
+        self.shared_by_provider.values().map(Vec::len).sum()
+    }
+
+    /// The hostname of a domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this table.
+    pub fn name(&self, id: DomainId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// The kind of a domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this table.
+    pub fn kind(&self, id: DomainId) -> &DomainKind {
+        &self.kinds[id.0 as usize]
+    }
+
+    /// The provider behind a CDN domain, or `None` for origins and
+    /// third-party services.
+    pub fn provider(&self, id: DomainId) -> Option<Provider> {
+        match self.kind(id) {
+            DomainKind::SharedCdn(p) | DomainKind::PrivateCdn(p) => Some(*p),
+            DomainKind::Origin | DomainKind::SharedService => None,
+        }
+    }
+
+    /// Whether the domain is a third-party (non-CDN) service.
+    pub fn is_service(&self, id: DomainId) -> bool {
+        matches!(self.kind(id), DomainKind::SharedService)
+    }
+
+    /// Whether the domain is in the cross-page shared pool.
+    pub fn is_shared(&self, id: DomainId) -> bool {
+        matches!(self.kind(id), DomainKind::SharedCdn(_))
+    }
+
+    /// Number of domains registered.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_pool_is_near_the_papers_58() {
+        let table = DomainTable::with_shared_pool();
+        let n = table.shared_pool_len();
+        assert!((54..=66).contains(&n), "shared pool size {n}");
+    }
+
+    #[test]
+    fn every_provider_has_shared_domains() {
+        let table = DomainTable::with_shared_pool();
+        for p in Provider::ALL {
+            assert!(
+                !table.shared_domains(p).is_empty(),
+                "{p} needs at least one shared domain"
+            );
+        }
+    }
+
+    #[test]
+    fn google_and_cloudflare_have_the_deepest_pools() {
+        let table = DomainTable::with_shared_pool();
+        let g = table.shared_domains(Provider::Google).len();
+        let cf = table.shared_domains(Provider::Cloudflare).len();
+        for p in [Provider::Fastly, Provider::Akamai, Provider::Microsoft] {
+            assert!(g > table.shared_domains(p).len());
+            assert!(cf > table.shared_domains(p).len());
+        }
+    }
+
+    #[test]
+    fn private_and_origin_domains_register() {
+        let mut table = DomainTable::with_shared_pool();
+        let before = table.len();
+        let private = table.add_private_cdn(3, Provider::Fastly);
+        let origin = table.add_origin(3);
+        assert_eq!(table.len(), before + 2);
+        assert_eq!(table.provider(private), Some(Provider::Fastly));
+        assert_eq!(table.provider(origin), None);
+        assert!(!table.is_shared(private));
+        assert!(table.name(origin).contains("site3"));
+    }
+
+    #[test]
+    fn shared_domains_carry_their_provider() {
+        let table = DomainTable::with_shared_pool();
+        for p in Provider::ALL {
+            for &d in table.shared_domains(p) {
+                assert_eq!(table.provider(d), Some(p));
+                assert!(table.is_shared(d));
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Synthetic webpage corpus calibrated to the ICDCS 2024 study.
+//!
+//! The original measurement crawled 325 Alexa-Top landing pages in
+//! October 2022. That crawl cannot be repeated (the list is retired, the
+//! pages have changed), so this crate generates a *seeded synthetic
+//! corpus* matching every page-composition statistic the paper reports
+//! and analyses:
+//!
+//! * ≈ 36 057 requests across 325 pages, 67 % served by CDNs (Table II);
+//! * 75 % of pages have > 50 % CDN resources (Fig. 3);
+//! * top-4 provider appearance probability > 50 %, 94.8 % of pages use
+//!   ≥ 2 providers (Fig. 4);
+//! * per-provider resource counts heavy enough that ~half of
+//!   Cloudflare/Google pages carry > 10 of their resources (Fig. 5);
+//! * 75 % of CDN resources below 20 KB (§VI-E);
+//! * per-resource H3 availability drawn from the provider adoption rates
+//!   (Table II / Fig. 2), which is what makes "number of H3-enabled CDN
+//!   resources" (Fig. 6a's grouping variable) a per-page property;
+//! * a pool of ~60 *shared* CDN domains reused across pages — the
+//!   substrate for connection resumption across consecutive visits
+//!   (Fig. 8, Table III's 58-domain vectors).
+//!
+//! Generation is a pure function of [`WorkloadSpec`] (including its
+//! seed): identical inputs give byte-identical corpora, and the corpus is
+//! independent of which protocol later fetches it.
+
+pub mod corpus;
+pub mod domains;
+pub mod resource;
+pub mod spec;
+
+pub use corpus::{generate, Corpus};
+pub use domains::{DomainId, DomainTable};
+pub use resource::{Hosting, Resource, ResourceKind, Webpage};
+pub use spec::WorkloadSpec;

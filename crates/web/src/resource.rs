@@ -1,0 +1,246 @@
+//! Resources and webpages.
+
+use std::collections::BTreeSet;
+
+use h3cdn_cdn::Provider;
+
+use crate::domains::DomainId;
+
+/// The content type of a resource (drives size and discovery depth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// The root HTML document.
+    Html,
+    /// JavaScript.
+    Script,
+    /// CSS.
+    Stylesheet,
+    /// Raster/vector images.
+    Image,
+    /// Web fonts.
+    Font,
+    /// Audio/video segments.
+    Media,
+    /// XHR/JSON/other.
+    Other,
+}
+
+/// Where a resource is hosted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hosting {
+    /// Served by a CDN edge.
+    Cdn {
+        /// The hosting provider.
+        provider: Provider,
+        /// Whether this resource is reachable over H3 (per-resource,
+        /// because provider deployments are partial — the paper's
+        /// "number of H3-enabled CDN resources" is exactly this count).
+        h3_available: bool,
+    },
+    /// Served by the site's origin web service.
+    Origin {
+        /// Whether the origin speaks H3.
+        h3_available: bool,
+        /// Whether the origin only speaks HTTP/1.x (Table II "Others").
+        h1_only: bool,
+    },
+}
+
+impl Hosting {
+    /// Whether the resource is CDN-hosted.
+    pub fn is_cdn(&self) -> bool {
+        matches!(self, Hosting::Cdn { .. })
+    }
+
+    /// The CDN provider, if any.
+    pub fn provider(&self) -> Option<Provider> {
+        match self {
+            Hosting::Cdn { provider, .. } => Some(*provider),
+            Hosting::Origin { .. } => None,
+        }
+    }
+
+    /// Whether the resource can be fetched over H3.
+    pub fn h3_available(&self) -> bool {
+        match *self {
+            Hosting::Cdn { h3_available, .. } => h3_available,
+            Hosting::Origin { h3_available, .. } => h3_available,
+        }
+    }
+}
+
+/// One fetchable resource on a page.
+#[derive(Debug, Clone)]
+pub struct Resource {
+    /// Globally unique request id (HAR entry id).
+    pub id: u64,
+    /// Hosting domain.
+    pub domain: DomainId,
+    /// Content type.
+    pub kind: ResourceKind,
+    /// Response body bytes.
+    pub body_bytes: u64,
+    /// Compressed response-header bytes.
+    pub response_header_bytes: u64,
+    /// Compressed request-header bytes.
+    pub request_header_bytes: u64,
+    /// Server processing time, microseconds.
+    pub processing_us: u64,
+    /// Discovery wave: 0 = referenced by the HTML, k > 0 = discovered
+    /// when its parent (a wave k−1 resource) finishes.
+    pub depth: u8,
+    /// Index (within the page's resource list) of the resource whose
+    /// completion reveals this one; `None` for wave-0.
+    pub parent: Option<usize>,
+    /// Hosting details.
+    pub hosting: Hosting,
+}
+
+/// A webpage: its root document plus sub-resources.
+#[derive(Debug, Clone)]
+pub struct Webpage {
+    /// Index of the site in the corpus (stable across seeds).
+    pub site: usize,
+    /// The site's origin domain (hosts the root HTML).
+    pub origin_domain: DomainId,
+    /// All resources; index 0 is the root HTML.
+    pub resources: Vec<Resource>,
+}
+
+impl Webpage {
+    /// Total number of requests the page makes.
+    pub fn request_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// CDN-hosted resources.
+    pub fn cdn_resources(&self) -> impl Iterator<Item = &Resource> {
+        self.resources.iter().filter(|r| r.hosting.is_cdn())
+    }
+
+    /// Fraction of resources hosted by CDNs (Fig. 3's statistic).
+    pub fn cdn_fraction(&self) -> f64 {
+        self.cdn_resources().count() as f64 / self.request_count() as f64
+    }
+
+    /// Distinct CDN providers used (Fig. 4's statistic).
+    pub fn providers_used(&self) -> BTreeSet<Provider> {
+        self.cdn_resources()
+            .filter_map(|r| r.hosting.provider())
+            .collect()
+    }
+
+    /// Number of CDN resources hosted by `provider` (Fig. 5's statistic).
+    pub fn cdn_count_for(&self, provider: Provider) -> usize {
+        self.cdn_resources()
+            .filter(|r| r.hosting.provider() == Some(provider))
+            .count()
+    }
+
+    /// Number of H3-enabled CDN resources (Fig. 6a's grouping variable).
+    pub fn h3_enabled_cdn_count(&self) -> usize {
+        self.cdn_resources()
+            .filter(|r| r.hosting.h3_available())
+            .count()
+    }
+
+    /// Distinct CDN domains referenced by the page.
+    pub fn cdn_domains(&self) -> BTreeSet<DomainId> {
+        self.cdn_resources().map(|r| r.domain).collect()
+    }
+
+    /// Total body bytes across all resources.
+    pub fn total_bytes(&self) -> u64 {
+        self.resources.iter().map(|r| r.body_bytes).sum()
+    }
+
+    /// Largest discovery depth on the page.
+    pub fn max_depth(&self) -> u8 {
+        self.resources.iter().map(|r| r.depth).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdn_resource(id: u64, provider: Provider, h3: bool) -> Resource {
+        Resource {
+            id,
+            domain: DomainId(id),
+            kind: ResourceKind::Image,
+            body_bytes: 1000,
+            response_header_bytes: 250,
+            request_header_bytes: 300,
+            processing_us: 2000,
+            depth: 0,
+            parent: None,
+            hosting: Hosting::Cdn {
+                provider,
+                h3_available: h3,
+            },
+        }
+    }
+
+    fn origin_resource(id: u64) -> Resource {
+        Resource {
+            id,
+            domain: DomainId(0),
+            kind: ResourceKind::Html,
+            body_bytes: 40_000,
+            response_header_bytes: 250,
+            request_header_bytes: 300,
+            processing_us: 5000,
+            depth: 0,
+            parent: None,
+            hosting: Hosting::Origin {
+                h3_available: false,
+                h1_only: false,
+            },
+        }
+    }
+
+    fn page() -> Webpage {
+        Webpage {
+            site: 0,
+            origin_domain: DomainId(0),
+            resources: vec![
+                origin_resource(1),
+                cdn_resource(2, Provider::Google, true),
+                cdn_resource(3, Provider::Google, true),
+                cdn_resource(4, Provider::Cloudflare, false),
+            ],
+        }
+    }
+
+    #[test]
+    fn page_statistics() {
+        let p = page();
+        assert_eq!(p.request_count(), 4);
+        assert!((p.cdn_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(p.providers_used().len(), 2);
+        assert_eq!(p.cdn_count_for(Provider::Google), 2);
+        assert_eq!(p.cdn_count_for(Provider::Fastly), 0);
+        assert_eq!(p.h3_enabled_cdn_count(), 2);
+        assert_eq!(p.cdn_domains().len(), 3);
+        assert_eq!(p.total_bytes(), 43_000);
+        assert_eq!(p.max_depth(), 0);
+    }
+
+    #[test]
+    fn hosting_predicates() {
+        let cdn = Hosting::Cdn {
+            provider: Provider::Fastly,
+            h3_available: true,
+        };
+        let origin = Hosting::Origin {
+            h3_available: false,
+            h1_only: true,
+        };
+        assert!(cdn.is_cdn() && !origin.is_cdn());
+        assert_eq!(cdn.provider(), Some(Provider::Fastly));
+        assert_eq!(origin.provider(), None);
+        assert!(cdn.h3_available());
+        assert!(!origin.h3_available());
+    }
+}

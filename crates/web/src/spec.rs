@@ -1,0 +1,147 @@
+//! Workload specification.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of corpus generation. [`WorkloadSpec::default`] is the
+/// paper-calibrated configuration; experiments vary only `seed` (and
+/// occasionally `num_pages` for benches).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Master seed; every random draw derives from it.
+    pub seed: u64,
+    /// Number of pages (the study's 325 H3-reachable sites).
+    pub num_pages: usize,
+    /// Mean requests per page (36 057 / 325 ≈ 111).
+    pub mean_requests_per_page: f64,
+    /// Minimum requests per page.
+    pub min_requests_per_page: usize,
+    /// Maximum requests per page.
+    pub max_requests_per_page: usize,
+    /// Mean of the per-page CDN-resource fraction (Normal, clamped).
+    pub cdn_fraction_mean: f64,
+    /// Standard deviation of the per-page CDN-resource fraction.
+    pub cdn_fraction_sd: f64,
+    /// Log-normal `mu` of CDN resource body size in bytes.
+    pub size_log_mu: f64,
+    /// Log-normal `sigma` of CDN resource body size.
+    pub size_log_sigma: f64,
+    /// Cap on a single resource body in bytes.
+    pub max_resource_bytes: u64,
+    /// Mean server processing time per request, milliseconds.
+    pub mean_processing_ms: f64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            seed: 0x1CDC_2024,
+            num_pages: 325,
+            mean_requests_per_page: 111.0,
+            min_requests_per_page: 20,
+            max_requests_per_page: 400,
+            cdn_fraction_mean: 0.69,
+            // Clamped Normal(0.69, 0.28): mean ≈ 0.67 (Table II) and
+            // P(fraction > 0.5) ≈ 0.75 (Fig. 3) after clamping to
+            // [0.05, 0.98].
+            cdn_fraction_sd: 0.28,
+            // 75th percentile at mu + 0.674·sigma = ln(20 000):
+            // sigma = 1.3 → mu = 9.9 − 0.876 ≈ 9.02.
+            size_log_mu: 9.02,
+            size_log_sigma: 1.3,
+            max_resource_bytes: 5 * 1024 * 1024,
+            mean_processing_ms: 4.0,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Returns a copy with a different seed (for multi-run averaging).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy scaled down to `num_pages` (for benches and quick
+    /// tests).
+    pub fn with_pages(mut self, num_pages: usize) -> Self {
+        self.num_pages = num_pages;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_pages == 0 {
+            return Err("num_pages must be positive".into());
+        }
+        if self.min_requests_per_page > self.max_requests_per_page {
+            return Err("min_requests_per_page exceeds max_requests_per_page".into());
+        }
+        if !(0.0..=1.0).contains(&self.cdn_fraction_mean) {
+            return Err("cdn_fraction_mean must be in [0, 1]".into());
+        }
+        if self.cdn_fraction_sd < 0.0 {
+            return Err("cdn_fraction_sd must be non-negative".into());
+        }
+        if self.size_log_sigma < 0.0 {
+            return Err("size_log_sigma must be non-negative".into());
+        }
+        if self.mean_processing_ms < 0.0 {
+            return Err("mean_processing_ms must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_paper_sized() {
+        let spec = WorkloadSpec::default();
+        spec.validate().expect("default spec valid");
+        assert_eq!(spec.num_pages, 325);
+        assert!((spec.mean_requests_per_page * spec.num_pages as f64 - 36_075.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn builders_adjust_fields() {
+        let spec = WorkloadSpec::default().with_seed(9).with_pages(10);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.num_pages, 10);
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let spec = WorkloadSpec {
+            num_pages: 0,
+            ..WorkloadSpec::default()
+        };
+        assert!(spec.validate().is_err());
+
+        let spec = WorkloadSpec {
+            min_requests_per_page: 500,
+            ..WorkloadSpec::default()
+        };
+        assert!(spec.validate().is_err());
+
+        let spec = WorkloadSpec {
+            cdn_fraction_mean: 1.5,
+            ..WorkloadSpec::default()
+        };
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn spec_serializes_round_trip() {
+        let spec = WorkloadSpec::default();
+        let json = serde_json::to_string(&spec).expect("serialize");
+        let back: WorkloadSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.seed, spec.seed);
+        assert_eq!(back.num_pages, spec.num_pages);
+    }
+}

@@ -1,0 +1,51 @@
+//! Adaptive protocol selection — the research direction the paper's
+//! §VII proposes: pick H2 or H3 per page from observable conditions, and
+//! check the picks against ground-truth paired measurements.
+//!
+//! ```text
+//! cargo run --release --example adaptive_selection
+//! ```
+
+use h3cdn::browser::ProtocolMode;
+use h3cdn::selector::{PageConditions, ProtocolSelector};
+use h3cdn::{CampaignConfig, MeasurementCampaign, Vantage};
+
+fn main() {
+    let campaign = MeasurementCampaign::new(CampaignConfig::small(12, 99));
+    let selector = ProtocolSelector::default();
+
+    let mut correct = 0usize;
+    let mut regret_ms = 0.0f64;
+    println!(
+        "{:<6} {:>8} {:>10} {:>12} {:>10}",
+        "page", "choice", "true red.", "best mode", "correct?"
+    );
+    for site in 0..campaign.corpus().pages.len() {
+        let page = &campaign.corpus().pages[site];
+        let choice = selector.select(&PageConditions::from_page(page, 0.0));
+        let cmp = campaign.compare_page(site, Vantage::Utah);
+        let best = if cmp.plt_reduction_ms >= 0.0 {
+            ProtocolMode::H3Enabled
+        } else {
+            ProtocolMode::H2Only
+        };
+        let ok = choice == best;
+        correct += usize::from(ok);
+        if !ok {
+            regret_ms += cmp.plt_reduction_ms.abs();
+        }
+        println!(
+            "{:<6} {:>8} {:>8.1}ms {:>12} {:>10}",
+            site,
+            choice.label(),
+            cmp.plt_reduction_ms,
+            best.label(),
+            if ok { "yes" } else { "no" }
+        );
+    }
+    let n = campaign.corpus().pages.len();
+    println!(
+        "\naccuracy: {}/{} pages; total regret {:.1} ms",
+        correct, n, regret_ms
+    );
+}

@@ -1,0 +1,55 @@
+//! Adoption scan: crawl the corpus once with H3 enabled and tabulate
+//! per-provider protocol adoption from LocEdge-classified HAR entries
+//! (the Table II / Fig. 2 pipeline in miniature).
+//!
+//! ```text
+//! cargo run --release --example adoption_scan
+//! ```
+
+use std::collections::BTreeMap;
+
+use h3cdn::{CampaignConfig, MeasurementCampaign, ProtocolMode, Vantage};
+
+fn main() {
+    let campaign = MeasurementCampaign::new(CampaignConfig::small(25, 2024));
+
+    let mut per_provider: BTreeMap<String, (usize, usize)> = BTreeMap::new(); // (h3, other)
+    let mut totals = (0usize, 0usize, 0usize); // (h3, h2, h1)
+    for site in 0..campaign.corpus().pages.len() {
+        let har = campaign.visit(site, Vantage::Wisconsin, ProtocolMode::H3Enabled);
+        for e in &har.entries {
+            match e.protocol.as_str() {
+                "h3" => totals.0 += 1,
+                "h2" => totals.1 += 1,
+                _ => totals.2 += 1,
+            }
+            if let Some(p) = &e.provider {
+                let slot = per_provider.entry(p.clone()).or_default();
+                if e.protocol == "h3" {
+                    slot.0 += 1;
+                } else {
+                    slot.1 += 1;
+                }
+            }
+        }
+    }
+
+    let all = (totals.0 + totals.1 + totals.2) as f64;
+    println!("requests: {} total", all as usize);
+    println!(
+        "  h3 {:.1}%   h2 {:.1}%   http/1.x {:.1}%\n",
+        totals.0 as f64 / all * 100.0,
+        totals.1 as f64 / all * 100.0,
+        totals.2 as f64 / all * 100.0
+    );
+    println!("{:<12} {:>8} {:>8} {:>12}", "provider", "h3", "h2", "h3 rate");
+    for (p, (h3, h2)) in &per_provider {
+        println!(
+            "{:<12} {:>8} {:>8} {:>11.1}%",
+            p,
+            h3,
+            h2,
+            *h3 as f64 / (h3 + h2).max(1) as f64 * 100.0
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: load one page over H2 and over H3 and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use h3cdn::{CampaignConfig, MeasurementCampaign, ProtocolMode, Vantage};
+
+fn main() {
+    // 1. Build a small measurement campaign: a 10-page corpus calibrated
+    //    to the paper's composition statistics, probed from Utah.
+    let campaign = MeasurementCampaign::new(CampaignConfig::small(10, 42));
+    let page = &campaign.corpus().pages[0];
+    println!(
+        "page 0: {} requests, {:.0}% CDN, providers: {:?}",
+        page.request_count(),
+        page.cdn_fraction() * 100.0,
+        page.providers_used()
+    );
+
+    // 2. Visit it once per protocol mode — the paper's paired setup.
+    let h2 = campaign.visit(0, Vantage::Utah, ProtocolMode::H2Only);
+    let h3 = campaign.visit(0, Vantage::Utah, ProtocolMode::H3Enabled);
+    println!("PLT over H2-only : {:>8.1} ms", h2.plt_ms);
+    println!("PLT with H3      : {:>8.1} ms", h3.plt_ms);
+    println!("PLT reduction    : {:>8.1} ms", h2.plt_ms - h3.plt_ms);
+
+    // 3. Inspect a few HAR entries, Chrome-style.
+    println!("\nfirst five entries of the H3 visit:");
+    for e in h3.entries.iter().take(5) {
+        println!(
+            "  {:>9} conn {:>6.1}ms wait {:>6.1}ms recv {:>6.1}ms  {} ({})",
+            e.protocol,
+            e.timing.connect_ms,
+            e.timing.wait_ms,
+            e.timing.receive_ms,
+            e.domain,
+            e.provider.as_deref().unwrap_or("origin"),
+        );
+    }
+
+    // 4. The paired comparison as the analysis layer sees it.
+    let cmp = campaign.compare_page(0, Vantage::Utah);
+    println!(
+        "\nreused connections: H2 {} vs H3 {} (difference {})",
+        cmp.reused_h2,
+        cmp.reused_h3,
+        cmp.reused_difference()
+    );
+}

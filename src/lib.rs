@@ -1,0 +1,5 @@
+//! Workspace-root crate: hosts the runnable `examples/` and the
+//! cross-crate integration tests in `tests/`. The library surface is the
+//! [`h3cdn`] facade, re-exported for the examples' convenience.
+
+pub use h3cdn::*;

@@ -1,0 +1,90 @@
+//! The paper's headline result shapes, asserted end to end at a scale
+//! that keeps the suite fast. EXPERIMENTS.md records the paper-scale
+//! numbers; these tests pin the directions that must never regress.
+
+use h3cdn::{CampaignConfig, MeasurementCampaign, Vantage};
+
+fn campaign(pages: usize, seed: u64) -> MeasurementCampaign {
+    MeasurementCampaign::new(CampaignConfig::small(pages, seed))
+}
+
+#[test]
+fn takeaway_2_h3_reduces_plt_on_average() {
+    let c = campaign(12, 41);
+    let total: f64 = (0..12)
+        .map(|s| c.compare_page(s, Vantage::Utah).plt_reduction_ms)
+        .sum();
+    let mean = total / 12.0;
+    assert!(mean > 0.0, "mean PLT reduction {mean:.1}ms");
+}
+
+#[test]
+fn fig6b_connection_phase_contributes_most() {
+    let c = campaign(8, 42);
+    let cmps: Vec<_> = (0..8).map(|s| c.compare_page(s, Vantage::Utah)).collect();
+    let fig = h3cdn::experiments::fig6::run(&cmps);
+    // Handshaking entries save connect time on average; the receive
+    // median is ~0 (small CDN resources) — §VI-B's findings.
+    assert!(fig.connect_mean_nonzero > 0.0);
+    assert!(fig.receive_median.abs() < 2.0);
+    assert!(fig.wait_median <= 0.0);
+}
+
+#[test]
+fn table_ii_h2_leads_h3_follows_h1_trails() {
+    let c = campaign(12, 43);
+    let t = h3cdn::experiments::table2::run(&c, Vantage::Utah);
+    assert!(t.h2.total() > t.h3.total());
+    assert!(t.h3.total() > t.others.total());
+    assert!(t.others.cdn == 0, "CDN requests never fall back to HTTP/1.x");
+}
+
+#[test]
+fn fig9_loss_amplifies_h3_advantage() {
+    // At this sample size the OLS slope is noise-dominated (single lossy
+    // pages swing it), so pin the robust core of Fig. 9: the *mean*
+    // reduction grows substantially with loss. The slope ordering is
+    // checked at paper scale in EXPERIMENTS.md and at moderate scale in
+    // the fig9 unit test.
+    let c = campaign(16, 44);
+    let fig = h3cdn::experiments::fig9::run(&c, Vantage::Utah, &[0.0, 1.5]);
+    let mean = |s: &h3cdn::experiments::fig9::Fig9Series| {
+        s.points.iter().map(|p| p.1).sum::<f64>() / s.points.len() as f64
+    };
+    let clean = mean(&fig.series[0]);
+    let lossy = mean(&fig.series[1]);
+    assert!(
+        lossy > clean + 20.0,
+        "loss must widen H3's advantage: {clean:.1} -> {lossy:.1}"
+    );
+}
+
+#[test]
+fn fig8_shared_providers_pay_off_under_consecutive_visits() {
+    let c = campaign(12, 45);
+    let (h2, h3) = c.consecutive_pass(Vantage::Utah);
+    // Later pages resume; overall PLT reduction stays positive.
+    let resumed: usize = h3.iter().skip(1).map(|p| p.resumed_connection_count()).sum();
+    assert!(resumed > 0);
+    let mean_red: f64 = h2
+        .iter()
+        .zip(&h3)
+        .skip(1)
+        .map(|(a, b)| a.plt_ms - b.plt_ms)
+        .sum::<f64>()
+        / (h2.len() - 1) as f64;
+    assert!(mean_red > 0.0, "consecutive-visit reduction {mean_red:.1}ms");
+}
+
+#[test]
+fn h3_enabled_share_emerges_from_provider_adoption() {
+    // Table II's 25.8 %: the measured H3 share of CDN requests must land
+    // near the calibrated provider adoption mix even on a subsample.
+    let c = campaign(30, 46);
+    let t = h3cdn::experiments::table2::run(&c, Vantage::Utah);
+    let cdn_h3 = t.h3.cdn as f64 / t.cdn_total() as f64;
+    assert!(
+        (0.25..=0.55).contains(&cdn_h3),
+        "CDN H3 share {cdn_h3:.3} out of calibrated range"
+    );
+}
