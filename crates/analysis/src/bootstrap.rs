@@ -87,7 +87,15 @@ mod tests {
         let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&x| 2.0 * x + 5.0 + if (x as u64).is_multiple_of(2) { 0.3 } else { -0.3 })
+            .map(|&x| {
+                2.0 * x
+                    + 5.0
+                    + if (x as u64).is_multiple_of(2) {
+                        0.3
+                    } else {
+                        -0.3
+                    }
+            })
             .collect();
         let ci = bootstrap_slope_ci(&xs, &ys, 500, 0.95, 1);
         assert!(ci.contains(2.0), "{ci:?}");

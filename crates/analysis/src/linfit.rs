@@ -71,7 +71,15 @@ mod tests {
         let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&x| 1.42 * x + 10.0 + if (x as u64).is_multiple_of(2) { 0.5 } else { -0.5 })
+            .map(|&x| {
+                1.42 * x
+                    + 10.0
+                    + if (x as u64).is_multiple_of(2) {
+                        0.5
+                    } else {
+                        -0.5
+                    }
+            })
             .collect();
         let fit = linear_fit(&xs, &ys);
         assert!((fit.slope - 1.42).abs() < 0.01, "slope {}", fit.slope);

@@ -185,7 +185,10 @@ mod tests {
         let xs = [1.0, 1.0, 2.0, 3.0];
         let ys = [5.0, 5.0, 6.0, 7.0];
         let r = spearman(&xs, &ys);
-        assert!((r - 1.0).abs() < 1e-9, "tied pairs still perfectly ranked: {r}");
+        assert!(
+            (r - 1.0).abs() < 1e-9,
+            "tied pairs still perfectly ranked: {r}"
+        );
     }
 
     #[test]

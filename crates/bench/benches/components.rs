@@ -36,7 +36,11 @@ fn transfer_catalog(n: u64, body: u64) -> std::sync::Arc<Catalog> {
 
 fn bench_corpus(c: &mut Criterion) {
     c.bench_function("corpus_generate_50_pages", |b| {
-        b.iter(|| black_box(generate(&WorkloadSpec::default().with_pages(50).with_seed(1))))
+        b.iter(|| {
+            black_box(generate(
+                &WorkloadSpec::default().with_pages(50).with_seed(1),
+            ))
+        })
     });
 }
 
@@ -74,11 +78,19 @@ fn bench_transports(c: &mut Criterion) {
     c.bench_function("h2_transfer_1mb", |b| {
         b.iter(|| {
             let client = H2Client::new(id, tcp.clone(), TlsConfig::default());
-            let server = TcpServer::new(id, tcp.clone(), transfer_catalog(8, 128 * 1024), SimDuration::ZERO);
+            let server = TcpServer::new(
+                id,
+                tcp.clone(),
+                transfer_catalog(8, 128 * 1024),
+                SimDuration::ZERO,
+            );
             let mut pipe = Duplex::new(client, server, SimDuration::from_millis(20));
             pipe.a.connect(SimTime::ZERO);
             for i in 1..=8 {
-                pipe.a.send_request(RequestMeta { id: i, header_bytes: 300 });
+                pipe.a.send_request(RequestMeta {
+                    id: i,
+                    header_bytes: 300,
+                });
             }
             pipe.run(10_000_000);
             black_box(pipe.b.requests_served())
@@ -88,11 +100,19 @@ fn bench_transports(c: &mut Criterion) {
     c.bench_function("h3_transfer_1mb", |b| {
         b.iter(|| {
             let client = H3Client::new(id, quic.clone(), None, false);
-            let server = QuicServer::new(id, quic.clone(), transfer_catalog(8, 128 * 1024), SimDuration::ZERO);
+            let server = QuicServer::new(
+                id,
+                quic.clone(),
+                transfer_catalog(8, 128 * 1024),
+                SimDuration::ZERO,
+            );
             let mut pipe = Duplex::new(client, server, SimDuration::from_millis(20));
             pipe.a.connect(SimTime::ZERO);
             for i in 1..=8 {
-                pipe.a.send_request(RequestMeta { id: i, header_bytes: 300 });
+                pipe.a.send_request(RequestMeta {
+                    id: i,
+                    header_bytes: 300,
+                });
             }
             pipe.run(10_000_000);
             black_box(pipe.b.requests_served())
@@ -106,7 +126,11 @@ fn bench_analysis(c: &mut Criterion) {
         b.iter(|| black_box(ccdf_points(&values)))
     });
     let points: Vec<Vec<f64>> = (0..300)
-        .map(|i| (0..58).map(|d| f64::from(u8::from((i + d) % 7 == 0))).collect())
+        .map(|i| {
+            (0..58)
+                .map(|d| f64::from(u8::from((i + d) % 7 == 0)))
+                .collect()
+        })
         .collect();
     c.bench_function("kmeans_300x58", |b| {
         b.iter(|| black_box(kmeans(&points, 2, 100, 1)))

@@ -1,0 +1,39 @@
+//! Scaling of the deterministic parallel campaign runner.
+//!
+//! Benchmarks `compare_all` — the full paired H2/H3 dataset — on the
+//! same fixed corpus at 1, 2, 4 and 8 workers. Because the runner
+//! guarantees bit-identical output for every worker count, the *only*
+//! thing that may change across these benchmarks is wall-clock time;
+//! on a multi-core host the 4-worker run should come in well under the
+//! serial one (the acceptance bar is >1.5× at 4 workers). On a
+//! single-core host all worker counts collapse to roughly the serial
+//! time — the pool then measures only its own (small) overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use h3cdn::{CampaignConfig, MeasurementCampaign, RunnerConfig};
+
+/// Larger than the per-figure benches so the pool has enough jobs
+/// (pages × variants) to balance across 8 workers.
+const PAGES: usize = 12;
+
+fn campaign(jobs: usize) -> MeasurementCampaign {
+    let cfg =
+        CampaignConfig::small(PAGES, 0xBE_AC4).with_runner(RunnerConfig::default().with_jobs(jobs));
+    MeasurementCampaign::new(cfg)
+}
+
+fn bench_runner_scaling(c: &mut Criterion) {
+    for jobs in [1usize, 2, 4, 8] {
+        let campaign = campaign(jobs);
+        c.bench_function(&format!("runner_scaling/compare_all/workers={jobs}"), |b| {
+            b.iter(|| black_box(campaign.compare_all()))
+        });
+    }
+}
+
+criterion_group! {
+    name = runner_scaling;
+    config = Criterion::default().sample_size(10);
+    targets = bench_runner_scaling
+}
+criterion_main!(runner_scaling);

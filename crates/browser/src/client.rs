@@ -324,8 +324,7 @@ impl ClientHost {
                 }
             }
             ProtocolMode::H3Enabled => {
-                if resource.hosting.h3_available()
-                    && self.alt_svc_known.contains(&resource.domain)
+                if resource.hosting.h3_available() && self.alt_svc_known.contains(&resource.domain)
                 {
                     HttpVersion::H3
                 } else if h1_only {
@@ -459,10 +458,7 @@ impl ClientHost {
             }
         };
         conn.connect(now);
-        self.pools
-            .entry((domain, version))
-            .or_default()
-            .push(id);
+        self.pools.entry((domain, version)).or_default().push(id);
         self.conns.insert(id, ConnState { conn, domain });
         id
     }

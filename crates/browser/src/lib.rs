@@ -32,3 +32,14 @@ pub mod visit;
 
 pub use config::{ProtocolMode, VisitConfig};
 pub use visit::{visit_consecutively, visit_page, visit_page_traced, VisitOutcome, VisitStats};
+
+// The deterministic parallel runner in `h3cdn` moves visit inputs and
+// outcomes across worker threads; keep them `Send + Sync` so campaign
+// closures borrowing them stay thread-safe.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ProtocolMode>();
+    assert_send_sync::<VisitConfig>();
+    assert_send_sync::<VisitOutcome>();
+    assert_send_sync::<VisitStats>();
+};

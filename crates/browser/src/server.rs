@@ -92,7 +92,10 @@ impl ServerHost {
 
     /// Earliest timer across connections.
     pub fn next_wakeup(&self) -> Option<SimTime> {
-        self.conns.values().filter_map(ServerConn::next_timeout).min()
+        self.conns
+            .values()
+            .filter_map(ServerConn::next_timeout)
+            .min()
     }
 
     fn pump(&mut self, ctx: &mut NodeCtx<'_, WirePacket>) {

@@ -52,12 +52,7 @@ fn vantage_index(v: Vantage) -> u64 {
 /// Stable per-domain RTT for this vantage: edge RTT with path jitter for
 /// CDN domains, a sampled origin distance otherwise. Equal salts give
 /// equal paths, so H2/H3 visits compare like-for-like.
-fn domain_rtt(
-    domains: &DomainTable,
-    domain: DomainId,
-    vantage: Vantage,
-    salt: u64,
-) -> SimDuration {
+fn domain_rtt(domains: &DomainTable, domain: DomainId, vantage: Vantage, salt: u64) -> SimDuration {
     let mut rng = SimRng::seed_from(salt)
         .fork(domain.0.wrapping_mul(0x9E37_79B9))
         .fork(vantage_index(vantage));
@@ -149,11 +144,7 @@ pub fn visit_page_traced(
     for &d in &used {
         let node = net.add_node();
         let rtt = domain_rtt(domains, d, cfg.vantage, cfg.jitter_salt);
-        net.set_path_symmetric(
-            client_node,
-            node,
-            PathSpec::with_delay(rtt / 2).loss(loss),
-        );
+        net.set_path_symmetric(client_node, node, PathSpec::with_delay(rtt / 2).loss(loss));
         node_of.insert(d, node);
         info_of.insert(
             d,
@@ -277,9 +268,10 @@ fn priority_of(kind: h3cdn_web::ResourceKind) -> u8 {
     use h3cdn_http::types::priority;
     use h3cdn_web::ResourceKind;
     match kind {
-        ResourceKind::Html | ResourceKind::Script | ResourceKind::Stylesheet | ResourceKind::Font => {
-            priority::HIGH
-        }
+        ResourceKind::Html
+        | ResourceKind::Script
+        | ResourceKind::Stylesheet
+        | ResourceKind::Font => priority::HIGH,
         ResourceKind::Other => priority::NORMAL,
         ResourceKind::Image | ResourceKind::Media => priority::LOW,
     }
@@ -312,13 +304,15 @@ mod tests {
         generate(&WorkloadSpec::default().with_pages(6).with_seed(42))
     }
 
-    fn visit(
-        corpus: &h3cdn_web::Corpus,
-        site: usize,
-        mode: ProtocolMode,
-    ) -> HarPage {
+    fn visit(corpus: &h3cdn_web::Corpus, site: usize, mode: ProtocolMode) -> HarPage {
         let cfg = VisitConfig::default().with_mode(mode);
-        visit_page(&corpus.pages[site], &corpus.domains, &cfg, TicketStore::new()).har
+        visit_page(
+            &corpus.pages[site],
+            &corpus.domains,
+            &cfg,
+            TicketStore::new(),
+        )
+        .har
     }
 
     #[test]
@@ -376,10 +370,7 @@ mod tests {
             total += h2.plt_ms - h3.plt_ms;
         }
         let mean = total / corpus.pages.len() as f64;
-        assert!(
-            mean > 0.0,
-            "H3 must reduce PLT on average, got {mean:.2}ms"
-        );
+        assert!(mean > 0.0, "H3 must reduce PLT on average, got {mean:.2}ms");
     }
 
     #[test]
@@ -421,7 +412,10 @@ mod tests {
         // First page: no prior tickets, nothing resumed.
         assert_eq!(hars[0].resumed_connection_count(), 0);
         // Later pages share CDN domains with earlier ones → resumption.
-        let later: usize = hars[1..].iter().map(HarPage::resumed_connection_count).sum();
+        let later: usize = hars[1..]
+            .iter()
+            .map(HarPage::resumed_connection_count)
+            .sum();
         assert!(later > 0, "shared providers must trigger resumption");
         assert!(!tickets.is_empty());
     }
@@ -471,8 +465,10 @@ mod tests {
         // domains are capped at six parallel connections.
         for site in 0..corpus.pages.len() {
             let har = visit(&corpus, site, ProtocolMode::H3Enabled);
-            let mut conns_per: std::collections::HashMap<(String, String), std::collections::BTreeSet<u64>> =
-                Default::default();
+            let mut conns_per: std::collections::HashMap<
+                (String, String),
+                std::collections::BTreeSet<u64>,
+            > = Default::default();
             for e in &har.entries {
                 conns_per
                     .entry((e.domain.clone(), e.protocol.clone()))
@@ -534,10 +530,15 @@ mod tests {
             assert!(h2_t < h3_t, "{domain}: H2 discovery must precede H3");
         }
         // And the warm-cache default uses H3 immediately (more H3 entries).
-        let warm = visit_page(page, &corpus.domains, &VisitConfig::default(), TicketStore::new()).har;
+        let warm = visit_page(
+            page,
+            &corpus.domains,
+            &VisitConfig::default(),
+            TicketStore::new(),
+        )
+        .har;
         assert!(
-            warm.entries_with_protocol("h3").count()
-                > har.entries_with_protocol("h3").count(),
+            warm.entries_with_protocol("h3").count() > har.entries_with_protocol("h3").count(),
             "cold discovery must cost some H3 requests"
         );
     }
@@ -546,12 +547,21 @@ mod tests {
     fn dns_is_paid_once_per_domain() {
         let corpus = small_corpus();
         let page = &corpus.pages[0];
-        let har = visit_page(page, &corpus.domains, &VisitConfig::default(), TicketStore::new()).har;
+        let har = visit_page(
+            page,
+            &corpus.domains,
+            &VisitConfig::default(),
+            TicketStore::new(),
+        )
+        .har;
         // Per domain, exactly the entries dispatched before resolution
         // completes carry dns time; at least the first one does.
         let mut per_domain: std::collections::HashMap<&str, Vec<f64>> = Default::default();
         for e in &har.entries {
-            per_domain.entry(e.domain.as_str()).or_default().push(e.timing.dns_ms);
+            per_domain
+                .entry(e.domain.as_str())
+                .or_default()
+                .push(e.timing.dns_ms);
         }
         for (domain, dns) in &per_domain {
             assert!(
@@ -589,9 +599,8 @@ mod tests {
         // Every CDN entry pays the origin fetch in its wait phase; the
         // page-level PLT may or may not move (the critical path can be an
         // origin chain, which caches don't touch).
-        let wait_sum = |har: &HarPage| -> f64 {
-            har.entries.iter().map(|e| e.timing.wait_ms).sum()
-        };
+        let wait_sum =
+            |har: &HarPage| -> f64 { har.entries.iter().map(|e| e.timing.wait_ms).sum() };
         assert!(
             wait_sum(&cold) > wait_sum(&warm) + 100.0,
             "cold-edge waits must grow: {} vs {}",

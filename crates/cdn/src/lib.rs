@@ -16,3 +16,14 @@ pub use edge::EdgeCache;
 pub use locedge::{classify, fingerprint_headers};
 pub use provider::{Provider, ProviderProfile, ProviderRegistry};
 pub use topology::Vantage;
+
+// The deterministic parallel runner in `h3cdn` shares provider and
+// topology data across worker threads; keep these types `Send + Sync`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EdgeCache>();
+    assert_send_sync::<Provider>();
+    assert_send_sync::<ProviderProfile>();
+    assert_send_sync::<ProviderRegistry>();
+    assert_send_sync::<Vantage>();
+};

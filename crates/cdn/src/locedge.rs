@@ -33,7 +33,10 @@ pub fn fingerprint_headers(provider: Provider, rng: &mut SimRng) -> Vec<Header> 
         ],
         Provider::Amazon => vec![
             ("server".into(), "AmazonS3".into()),
-            ("via".into(), format!("1.1 {token:08x}.cloudfront.net (CloudFront)")),
+            (
+                "via".into(),
+                format!("1.1 {token:08x}.cloudfront.net (CloudFront)"),
+            ),
             ("x-amz-cf-id".into(), format!("{token:016x}")),
             ("x-amz-cf-pop".into(), "IAD89-C1".into()),
         ],

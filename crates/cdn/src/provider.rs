@@ -277,7 +277,10 @@ mod tests {
         let g_share = google.market_share * google.h3_adoption / total;
         let cf_share = cf.market_share * cf.h3_adoption / total;
         assert!((g_share - 0.50).abs() < 0.03, "Google H3 share {g_share}");
-        assert!((cf_share - 0.452).abs() < 0.03, "Cloudflare H3 share {cf_share}");
+        assert!(
+            (cf_share - 0.452).abs() < 0.03,
+            "Cloudflare H3 share {cf_share}"
+        );
     }
 
     #[test]
@@ -293,7 +296,10 @@ mod tests {
     #[test]
     fn release_years_match_table_i() {
         let reg = ProviderRegistry::paper_calibrated();
-        assert_eq!(reg.profile(Provider::Cloudflare).h3_release_year, Some(2019));
+        assert_eq!(
+            reg.profile(Provider::Cloudflare).h3_release_year,
+            Some(2019)
+        );
         assert_eq!(reg.profile(Provider::Google).h3_release_year, Some(2021));
         assert_eq!(reg.profile(Provider::Fastly).h3_release_year, Some(2021));
         assert_eq!(reg.profile(Provider::QuicCloud).h3_release_year, Some(2021));

@@ -1,10 +1,20 @@
 //! The measurement campaign: corpus + visit machinery + pairing.
+//!
+//! All visit entry points funnel into one internal page-visit path and,
+//! for anything that measures more than a single page, into the
+//! deterministic parallel [`runner`](crate::runner): paired visits are
+//! submitted as keyed jobs `(vantage, site, variant)` where `variant`
+//! is the protocol side (0 = H2, 1 = H3), executed on a scoped worker
+//! pool, and merged in key order — so every campaign API returns
+//! bit-identical results for any worker count.
 
 use h3cdn_browser::{visit_consecutively, visit_page, ProtocolMode, VisitConfig};
 use h3cdn_cdn::Vantage;
 use h3cdn_har::{entry_reductions, plt_reduction_ms, HarPage, PageComparison};
 use h3cdn_transport::tls::TicketStore;
 use h3cdn_web::{generate, Corpus, Webpage, WorkloadSpec};
+
+use crate::runner::{run_keyed, run_keyed_values, RunnerConfig};
 
 /// Configuration of one campaign (corpus + probing setup).
 #[derive(Debug, Clone)]
@@ -15,15 +25,19 @@ pub struct CampaignConfig {
     pub vantages: Vec<Vantage>,
     /// Base visit configuration; experiments override mode/loss per run.
     pub visit: VisitConfig,
+    /// Parallel execution settings for multi-visit APIs. Results are
+    /// bit-identical for every worker count; this only changes speed.
+    pub runner: RunnerConfig,
 }
 
 impl Default for CampaignConfig {
-    /// Paper-scale: 325 pages, three vantages.
+    /// Paper-scale: 325 pages, three vantages, runner from environment.
     fn default() -> Self {
         CampaignConfig {
             workload: WorkloadSpec::default(),
             vantages: Vantage::ALL.to_vec(),
             visit: VisitConfig::default(),
+            runner: RunnerConfig::from_env(),
         }
     }
 }
@@ -36,14 +50,22 @@ impl CampaignConfig {
             workload: WorkloadSpec::default().with_pages(pages).with_seed(seed),
             vantages: vec![Vantage::Utah],
             visit: VisitConfig::default(),
+            runner: RunnerConfig::from_env(),
         }
+    }
+
+    /// Returns a copy using the given runner configuration.
+    pub fn with_runner(mut self, runner: RunnerConfig) -> Self {
+        self.runner = runner;
+        self
     }
 }
 
 /// A campaign: the corpus plus everything needed to measure it.
 ///
 /// All visit methods are pure functions of the campaign configuration —
-/// identical campaigns produce identical HARs.
+/// identical campaigns produce identical HARs, regardless of the
+/// configured worker count.
 #[derive(Debug)]
 pub struct MeasurementCampaign {
     config: CampaignConfig,
@@ -72,6 +94,24 @@ impl MeasurementCampaign {
         &self.config.vantages
     }
 
+    /// The runner configuration multi-visit APIs execute under.
+    pub fn runner(&self) -> &RunnerConfig {
+        &self.config.runner
+    }
+
+    /// The single internal visit path every public entry point funnels
+    /// through: one isolated page load (fresh ticket store) under an
+    /// explicit config.
+    fn page_visit(&self, site: usize, cfg: &VisitConfig) -> HarPage {
+        visit_page(
+            &self.corpus.pages[site],
+            &self.corpus.domains,
+            cfg,
+            TicketStore::new(),
+        )
+        .har
+    }
+
     /// Visits one page once, isolated (no prior session state).
     pub fn visit(&self, site: usize, vantage: Vantage, mode: ProtocolMode) -> HarPage {
         let cfg = self
@@ -80,24 +120,12 @@ impl MeasurementCampaign {
             .clone()
             .with_mode(mode)
             .with_vantage(vantage);
-        visit_page(
-            &self.corpus.pages[site],
-            &self.corpus.domains,
-            &cfg,
-            TicketStore::new(),
-        )
-        .har
+        self.page_visit(site, &cfg)
     }
 
     /// Visits one page with an explicit visit config (loss sweeps etc.).
     pub fn visit_with(&self, site: usize, cfg: &VisitConfig) -> HarPage {
-        visit_page(
-            &self.corpus.pages[site],
-            &self.corpus.domains,
-            cfg,
-            TicketStore::new(),
-        )
-        .har
+        self.page_visit(site, cfg)
     }
 
     /// The paper's paired measurement of one page from one vantage: an
@@ -111,73 +139,149 @@ impl MeasurementCampaign {
     /// Paired measurement under an explicit base config (the mode field
     /// is overridden per side).
     pub fn compare_page_with(&self, site: usize, base: &VisitConfig) -> PageComparison {
-        let page = &self.corpus.pages[site];
-        let h2 = visit_page(
-            page,
-            &self.corpus.domains,
-            &base.clone().with_mode(ProtocolMode::H2Only),
-            TicketStore::new(),
-        )
-        .har;
-        let h3 = visit_page(
-            page,
-            &self.corpus.domains,
-            &base.clone().with_mode(ProtocolMode::H3Enabled),
-            TicketStore::new(),
-        )
-        .har;
-        self.build_comparison(page, &h2, &h3)
+        let h2 = self.page_visit(site, &base.clone().with_mode(ProtocolMode::H2Only));
+        let h3 = self.page_visit(site, &base.clone().with_mode(ProtocolMode::H3Enabled));
+        self.build_comparison(&self.corpus.pages[site], &h2, &h3)
+    }
+
+    /// Runs a batch of paired H2/H3 measurements on the configured
+    /// runner and returns them keyed, in ascending key order.
+    ///
+    /// Each spec `(key, site, base_config)` expands into two jobs —
+    /// `(key, site, 0)` for the H2 side and `(key, site, 1)` for the H3
+    /// side — so the pool load-balances at visit granularity. The merge
+    /// pairs the sides back up and reduces them with
+    /// [`build_comparison`](Self::build_comparison). Output is
+    /// bit-identical for every worker count.
+    pub fn compare_batch<K>(&self, specs: Vec<(K, usize, VisitConfig)>) -> Vec<(K, PageComparison)>
+    where
+        K: Ord + Clone + Send,
+    {
+        let mut jobs = Vec::with_capacity(specs.len() * 2);
+        for (key, site, base) in specs {
+            for (variant, mode) in [
+                (0u32, ProtocolMode::H2Only),
+                (1u32, ProtocolMode::H3Enabled),
+            ] {
+                let cfg = base.clone().with_mode(mode);
+                let key = key.clone();
+                jobs.push(((key, site, variant), move || self.page_visit(site, &cfg)));
+            }
+        }
+        let sides = run_keyed(&self.config.runner, jobs);
+        sides
+            .chunks_exact(2)
+            .map(|pair| {
+                let ((key, site, _), h2) = &pair[0];
+                let (_, h3) = &pair[1];
+                (
+                    key.clone(),
+                    self.build_comparison(&self.corpus.pages[*site], h2, h3),
+                )
+            })
+            .collect()
+    }
+
+    /// Paired measurements of every page from one vantage, in corpus
+    /// order (parallel, order-stable).
+    pub fn compare_vantage(&self, vantage: Vantage) -> Vec<PageComparison> {
+        let base = self.config.visit.clone().with_vantage(vantage);
+        let specs = (0..self.corpus.pages.len())
+            .map(|site| (site as u32, site, base.clone()))
+            .collect();
+        self.compare_batch(specs)
+            .into_iter()
+            .map(|(_, cmp)| cmp)
+            .collect()
     }
 
     /// Paired measurements of every page from every configured vantage
-    /// (the full Fig. 6/7 dataset).
+    /// (the full Fig. 6/7 dataset), vantage-major in configuration
+    /// order, sites ascending — identical to the serial double loop.
     pub fn compare_all(&self) -> Vec<PageComparison> {
-        let mut out = Vec::new();
-        for &v in &self.config.vantages {
+        let mut specs = Vec::new();
+        for (vi, &v) in self.config.vantages.iter().enumerate() {
+            let base = self.config.visit.clone().with_vantage(v);
             for site in 0..self.corpus.pages.len() {
-                out.push(self.compare_page(site, v));
+                specs.push(((vi as u32, site as u32), site, base.clone()));
             }
         }
-        out
+        self.compare_batch(specs)
+            .into_iter()
+            .map(|(_, cmp)| cmp)
+            .collect()
+    }
+
+    /// One consecutive pass (session state carried across pages) under
+    /// an explicit mode.
+    fn consecutive_visit(&self, vantage: Vantage, mode: ProtocolMode) -> Vec<HarPage> {
+        let pages: Vec<&Webpage> = self.corpus.pages.iter().collect();
+        let (hars, _) = visit_consecutively(
+            &pages,
+            &self.corpus.domains,
+            &self
+                .config
+                .visit
+                .clone()
+                .with_vantage(vantage)
+                .with_mode(mode),
+            TicketStore::new(),
+        );
+        hars
     }
 
     /// Consecutive visits (§VI-D): pages in corpus order, session state
-    /// carried across pages, one pass per protocol mode. Returns
-    /// `(h2_pages, h3_pages)` index-aligned with the corpus.
+    /// carried across pages, one pass per protocol mode. The two passes
+    /// run as parallel jobs. Returns `(h2_pages, h3_pages)`
+    /// index-aligned with the corpus.
     pub fn consecutive_pass(&self, vantage: Vantage) -> (Vec<HarPage>, Vec<HarPage>) {
-        let pages: Vec<&Webpage> = self.corpus.pages.iter().collect();
-        let (h2, _) = visit_consecutively(
-            &pages,
-            &self.corpus.domains,
-            &self
-                .config
-                .visit
-                .clone()
-                .with_vantage(vantage)
-                .with_mode(ProtocolMode::H2Only),
-            TicketStore::new(),
-        );
-        let (h3, _) = visit_consecutively(
-            &pages,
-            &self.corpus.domains,
-            &self
-                .config
-                .visit
-                .clone()
-                .with_vantage(vantage)
-                .with_mode(ProtocolMode::H3Enabled),
-            TicketStore::new(),
-        );
+        let jobs = [
+            (0u32, ProtocolMode::H2Only),
+            (1u32, ProtocolMode::H3Enabled),
+        ]
+        .into_iter()
+        .map(|(variant, mode)| {
+            ((0u32, 0u32, variant), move || {
+                self.consecutive_visit(vantage, mode)
+            })
+        })
+        .collect();
+        let mut out = run_keyed_values(&self.config.runner, jobs);
+        let h3 = out.pop().expect("H3 pass present");
+        let h2 = out.pop().expect("H2 pass present");
         (h2, h3)
     }
 
+    /// [`consecutive_pass`](Self::consecutive_pass) from every
+    /// configured vantage, all passes pooled as parallel jobs. Returns
+    /// `(vantage, h2_pages, h3_pages)` in configuration order.
+    pub fn consecutive_all(&self) -> Vec<(Vantage, Vec<HarPage>, Vec<HarPage>)> {
+        let mut jobs = Vec::with_capacity(self.config.vantages.len() * 2);
+        for (vi, &v) in self.config.vantages.iter().enumerate() {
+            for (variant, mode) in [
+                (0u32, ProtocolMode::H2Only),
+                (1u32, ProtocolMode::H3Enabled),
+            ] {
+                jobs.push(((vi as u32, 0u32, variant), move || {
+                    self.consecutive_visit(v, mode)
+                }));
+            }
+        }
+        let out = run_keyed_values(&self.config.runner, jobs);
+        let mut passes = out.into_iter();
+        self.config
+            .vantages
+            .iter()
+            .map(|&v| {
+                let h2 = passes.next().expect("H2 pass present");
+                let h3 = passes.next().expect("H3 pass present");
+                (v, h2, h3)
+            })
+            .collect()
+    }
+
     /// Builds the [`PageComparison`] for a paired pair of HARs.
-    pub fn build_comparison(
-        &self,
-        page: &Webpage,
-        h2: &HarPage,
-        h3: &HarPage,
-    ) -> PageComparison {
+    pub fn build_comparison(&self, page: &Webpage, h2: &HarPage, h3: &HarPage) -> PageComparison {
         PageComparison {
             site: page.site,
             vantage: h2.vantage.clone(),
@@ -207,7 +311,10 @@ mod tests {
         let cmp = c.compare_page(0, Vantage::Utah);
         assert_eq!(cmp.entries.len(), c.corpus().pages[0].request_count());
         assert_eq!(cmp.site, 0);
-        assert_eq!(cmp.cdn_resources, c.corpus().pages[0].cdn_resources().count());
+        assert_eq!(
+            cmp.cdn_resources,
+            c.corpus().pages[0].cdn_resources().count()
+        );
     }
 
     #[test]
@@ -232,5 +339,50 @@ mod tests {
         let (_, h3) = c.consecutive_pass(Vantage::Utah);
         let resumed: usize = h3.iter().map(HarPage::resumed_connection_count).sum();
         assert!(resumed > 0);
+    }
+
+    #[test]
+    fn compare_vantage_matches_per_page_calls() {
+        let c = campaign();
+        let batch = c.compare_vantage(Vantage::Utah);
+        assert_eq!(batch.len(), 4);
+        for (site, cmp) in batch.iter().enumerate() {
+            let single = c.compare_page(site, Vantage::Utah);
+            assert_eq!(cmp.plt_reduction_ms, single.plt_reduction_ms, "site {site}");
+            assert_eq!(cmp.site, single.site);
+        }
+    }
+
+    #[test]
+    fn compare_all_is_worker_count_invariant() {
+        let mut cfg = CampaignConfig::small(3, 5);
+        cfg.vantages = vec![Vantage::Utah, Vantage::Wisconsin];
+        let serial = MeasurementCampaign::new(cfg.clone().with_runner(RunnerConfig::serial()));
+        let parallel =
+            MeasurementCampaign::new(cfg.with_runner(RunnerConfig::default().with_jobs(8)));
+        let a = serial.compare_all();
+        let b = parallel.compare_all();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.site, y.site);
+            assert_eq!(x.vantage, y.vantage);
+            assert_eq!(x.plt_reduction_ms.to_bits(), y.plt_reduction_ms.to_bits());
+            assert_eq!(x.entries.len(), y.entries.len());
+        }
+    }
+
+    #[test]
+    fn consecutive_all_matches_single_vantage_pass() {
+        let c = campaign();
+        let all = c.consecutive_all();
+        assert_eq!(all.len(), 1);
+        let (v, h2, h3) = &all[0];
+        assert_eq!(*v, Vantage::Utah);
+        let (sh2, sh3) = c.consecutive_pass(Vantage::Utah);
+        assert_eq!(h2.len(), sh2.len());
+        assert_eq!(h3.len(), sh3.len());
+        for (a, b) in h3.iter().zip(&sh3) {
+            assert_eq!(a.plt_ms.to_bits(), b.plt_ms.to_bits());
+        }
     }
 }

@@ -41,7 +41,9 @@ pub fn run(campaign: &MeasurementCampaign, vantage: Vantage) -> Fig2 {
     for site in 0..campaign.corpus().pages.len() {
         let har = campaign.visit(site, vantage, ProtocolMode::H3Enabled);
         for e in &har.entries {
-            let Some(provider) = &e.provider else { continue };
+            let Some(provider) = &e.provider else {
+                continue;
+            };
             cdn_total += 1;
             match e.protocol.as_str() {
                 "h3" => {
@@ -127,7 +129,10 @@ mod tests {
         if let Some(amazon) = fig.row("Amazon") {
             let amazon_h3_rate =
                 amazon.h3_requests as f64 / (amazon.h3_requests + amazon.h2_requests).max(1) as f64;
-            assert!(amazon_h3_rate < 0.3, "Amazon primarily H2: {amazon_h3_rate}");
+            assert!(
+                amazon_h3_rate < 0.3,
+                "Amazon primarily H2: {amazon_h3_rate}"
+            );
         }
     }
 }

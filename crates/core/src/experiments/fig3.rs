@@ -25,8 +25,7 @@ pub fn run(campaign: &MeasurementCampaign) -> Fig3 {
         .iter()
         .map(|p| p.cdn_fraction() * 100.0)
         .collect();
-    let over_half =
-        fractions.iter().filter(|&&x| x > 50.0).count() as f64 / fractions.len() as f64;
+    let over_half = fractions.iter().filter(|&&x| x > 50.0).count() as f64 / fractions.len() as f64;
     Fig3 {
         points: ccdf_points(&fractions),
         over_half,
@@ -56,7 +55,11 @@ impl fmt::Display for Fig3 {
         for x in [0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0] {
             writeln!(f, "{:>8.0} {:>8.3}", x, self.ccdf_at(x))?;
         }
-        writeln!(f, "pages with >50% CDN resources: {:.1}%", self.over_half * 100.0)
+        writeln!(
+            f,
+            "pages with >50% CDN resources: {:.1}%",
+            self.over_half * 100.0
+        )
     }
 }
 

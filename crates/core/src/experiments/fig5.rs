@@ -66,7 +66,11 @@ impl fmt::Display for Fig5 {
             f,
             "Fig. 5: CCDF of per-page CDN resource count, per giant provider"
         )?;
-        writeln!(f, "{:<12} {:>14} {:>14}", "provider", "median count", ">10 resources")?;
+        writeln!(
+            f,
+            "{:<12} {:>14} {:>14}",
+            "provider", "median count", ">10 resources"
+        )?;
         for s in &self.series {
             // Median from the CCDF: first x with P[X > x] <= 0.5.
             let median = s

@@ -49,7 +49,10 @@ pub struct Fig6 {
 
 /// Analyses a paired-comparison dataset (one element per page × vantage).
 pub fn run(comparisons: &[PageComparison]) -> Fig6 {
-    let keys: Vec<f64> = comparisons.iter().map(|c| c.h3_enabled_cdn as f64).collect();
+    let keys: Vec<f64> = comparisons
+        .iter()
+        .map(|c| c.h3_enabled_cdn as f64)
+        .collect();
     let groups = quartile_groups(&keys);
     let group_rows = QuartileGroup::ALL
         .into_iter()
@@ -111,8 +114,11 @@ impl fmt::Display for Fig6 {
             )?;
         }
         writeln!(f, "Fig. 6(b): per-entry reduction medians")?;
-        writeln!(f, "connect: {:>8.2}ms (mean over handshaking entries {:.2}ms)",
-            self.connect_median, self.connect_mean_nonzero)?;
+        writeln!(
+            f,
+            "connect: {:>8.2}ms (mean over handshaking entries {:.2}ms)",
+            self.connect_median, self.connect_mean_nonzero
+        )?;
         writeln!(
             f,
             "wait:    {:>8.2}ms (over H3-served entries {:.2}ms)",

@@ -45,7 +45,10 @@ pub struct Fig7 {
 
 /// Analyses the paired-comparison dataset.
 pub fn run(comparisons: &[PageComparison]) -> Fig7 {
-    let keys: Vec<f64> = comparisons.iter().map(|c| c.h3_enabled_cdn as f64).collect();
+    let keys: Vec<f64> = comparisons
+        .iter()
+        .map(|c| c.h3_enabled_cdn as f64)
+        .collect();
     let groups = quartile_groups(&keys);
     let group_rows = QuartileGroup::ALL
         .into_iter()

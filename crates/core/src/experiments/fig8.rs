@@ -43,7 +43,13 @@ pub struct Fig8 {
 pub fn run(campaign: &MeasurementCampaign, vantage: Vantage, warmup: usize) -> Fig8 {
     let (h2, h3) = campaign.consecutive_pass(vantage);
     let mut buckets: BTreeMap<usize, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
-    for (i, page) in campaign.corpus().pages.iter().enumerate().skip(warmup.max(1)) {
+    for (i, page) in campaign
+        .corpus()
+        .pages
+        .iter()
+        .enumerate()
+        .skip(warmup.max(1))
+    {
         let providers = page.providers_used().len();
         let entry = buckets.entry(providers.min(6)).or_default();
         entry.0.push(plt_reduction_ms(&h2[i], &h3[i]));

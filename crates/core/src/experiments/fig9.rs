@@ -49,16 +49,21 @@ pub fn run(campaign: &MeasurementCampaign, vantage: Vantage, loss_percents: &[f6
 
 /// As [`run`], with each page measured `repeats` times under distinct
 /// path-jitter salts and all points pooled into the fit.
+///
+/// The full `loss × repeat × site` grid is submitted to the campaign's
+/// parallel runner as one batch of keyed paired visits; the key-ordered
+/// merge reproduces the serial sweep order (loss-major, then repeat,
+/// then site) bit-for-bit.
 pub fn run_with_repeats(
     campaign: &MeasurementCampaign,
     vantage: Vantage,
     loss_percents: &[f64],
     repeats: u64,
 ) -> Fig9 {
-    let mut series = Vec::new();
-    for &loss in loss_percents {
-        let mut points = Vec::new();
-        for rep in 0..repeats.max(1) {
+    let repeats = repeats.max(1);
+    let mut specs = Vec::new();
+    for (li, &loss) in loss_percents.iter().enumerate() {
+        for rep in 0..repeats {
             let mut base: VisitConfig = campaign
                 .config()
                 .visit
@@ -67,10 +72,19 @@ pub fn run_with_repeats(
                 .with_loss_percent(loss);
             base.jitter_salt = base.jitter_salt.wrapping_add(rep.wrapping_mul(0x9E37_79B9));
             for site in 0..campaign.corpus().pages.len() {
-                let cmp = campaign.compare_page_with(site, &base);
-                points.push((cmp.cdn_resources as f64, cmp.plt_reduction_ms));
+                specs.push(((li as u32, rep as u32), site, base.clone()));
             }
         }
+    }
+    let comparisons = campaign.compare_batch(specs);
+
+    let mut series = Vec::new();
+    for (li, &loss) in loss_percents.iter().enumerate() {
+        let points: Vec<(f64, f64)> = comparisons
+            .iter()
+            .filter(|((l, _), _)| *l == li as u32)
+            .map(|(_, cmp)| (cmp.cdn_resources as f64, cmp.plt_reduction_ms))
+            .collect();
         let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
         let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
         let LinearFit {

@@ -61,7 +61,11 @@ impl fmt::Display for Table1 {
                 .release_year
                 .map(|y| y.to_string())
                 .unwrap_or_else(|| "N/A".into());
-            writeln!(f, "{:<12} {:<8} {}", row.provider, year, row.performance_report)?;
+            writeln!(
+                f,
+                "{:<12} {:<8} {}",
+                row.provider, year, row.performance_report
+            )?;
         }
         Ok(())
     }
@@ -92,7 +96,14 @@ mod tests {
     #[test]
     fn display_includes_every_provider() {
         let text = run().to_string();
-        for name in ["Cloudflare", "Google", "Fastly", "QUIC.Cloud", "Amazon", "Akamai"] {
+        for name in [
+            "Cloudflare",
+            "Google",
+            "Fastly",
+            "QUIC.Cloud",
+            "Amazon",
+            "Akamai",
+        ] {
             assert!(text.contains(name), "missing {name}");
         }
     }

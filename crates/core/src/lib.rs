@@ -41,11 +41,13 @@
 pub mod campaign;
 pub mod experiments;
 pub mod report;
+pub mod runner;
 pub mod selector;
 pub mod sensitivity;
 
 pub use campaign::{CampaignConfig, MeasurementCampaign};
 pub use report::{generate_report, ReportOptions};
+pub use runner::{run_keyed, run_keyed_values, JobKey, RunnerConfig};
 pub use sensitivity::{run_sensitivity, Knob};
 
 pub use h3cdn_analysis as analysis;
@@ -62,3 +64,12 @@ pub use h3cdn_browser::{ProtocolMode, VisitConfig};
 pub use h3cdn_cdn::{Provider, Vantage};
 pub use h3cdn_har::PageComparison;
 pub use h3cdn_web::WorkloadSpec;
+
+// The parallel runner borrows the campaign from every worker thread;
+// these compile-time assertions keep that contract explicit.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CampaignConfig>();
+    assert_send_sync::<MeasurementCampaign>();
+    assert_send_sync::<RunnerConfig>();
+};

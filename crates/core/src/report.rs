@@ -37,7 +37,10 @@ impl Default for ReportOptions {
 ///
 /// This is the expensive all-in-one entry point (the `report` binary);
 /// for individual artifacts use the [`crate::experiments`] modules
-/// directly.
+/// directly. The shared Fig. 6/7 dataset is measured first (itself a
+/// parallel batch), then every section renders as a keyed job on the
+/// campaign's [runner](crate::runner) — the key-ordered merge keeps the
+/// document layout byte-identical for any worker count.
 pub fn generate_report(campaign: &MeasurementCampaign, opts: &ReportOptions) -> String {
     let mut out = String::new();
     let corpus = campaign.corpus();
@@ -62,42 +65,61 @@ pub fn generate_report(campaign: &MeasurementCampaign, opts: &ReportOptions) -> 
     );
     let _ = writeln!(out, "- CDN share: {:.1} %\n", corpus.cdn_fraction() * 100.0);
 
-    let mut section = |title: &str, body: String| {
-        let _ = writeln!(out, "## {title}\n\n```text\n{body}```\n");
-    };
-
-    section("Table I", ex::table1::run().to_string());
-    section(
-        "Table II",
-        ex::table2::run(campaign, opts.vantage).to_string(),
-    );
-    section("Fig. 2", ex::fig2::run(campaign, opts.vantage).to_string());
-    section("Fig. 3", ex::fig3::run(campaign).to_string());
-    section("Fig. 4", ex::fig4::run(campaign).to_string());
-    section("Fig. 5", ex::fig5::run(campaign).to_string());
-
+    // The Fig. 6/7 dataset is shared, so measure it up front (itself a
+    // parallel batch on the campaign's runner).
     let comparisons = campaign.compare_all();
-    section("Fig. 6", ex::fig6::run(&comparisons).to_string());
-    section("Fig. 7", ex::fig7::run(&comparisons).to_string());
 
-    section(
-        "Fig. 8",
-        ex::fig8::run(campaign, opts.vantage, opts.warmup).to_string(),
-    );
-    section(
-        "Table III",
-        ex::table3::run(campaign, opts.vantage, opts.warmup).to_string(),
-    );
-    section(
-        "Fig. 9",
-        ex::fig9::run_with_repeats(
-            campaign,
-            opts.vantage,
-            &opts.loss_percents,
-            opts.fig9_repeats,
-        )
-        .to_string(),
-    );
+    type Section<'a> = (&'static str, Box<dyn FnOnce() -> String + Send + 'a>);
+    let sections: Vec<Section<'_>> = vec![
+        ("Table I", Box::new(|| ex::table1::run().to_string())),
+        (
+            "Table II",
+            Box::new(|| ex::table2::run(campaign, opts.vantage).to_string()),
+        ),
+        (
+            "Fig. 2",
+            Box::new(|| ex::fig2::run(campaign, opts.vantage).to_string()),
+        ),
+        ("Fig. 3", Box::new(|| ex::fig3::run(campaign).to_string())),
+        ("Fig. 4", Box::new(|| ex::fig4::run(campaign).to_string())),
+        ("Fig. 5", Box::new(|| ex::fig5::run(campaign).to_string())),
+        (
+            "Fig. 6",
+            Box::new(|| ex::fig6::run(&comparisons).to_string()),
+        ),
+        (
+            "Fig. 7",
+            Box::new(|| ex::fig7::run(&comparisons).to_string()),
+        ),
+        (
+            "Fig. 8",
+            Box::new(|| ex::fig8::run(campaign, opts.vantage, opts.warmup).to_string()),
+        ),
+        (
+            "Table III",
+            Box::new(|| ex::table3::run(campaign, opts.vantage, opts.warmup).to_string()),
+        ),
+        (
+            "Fig. 9",
+            Box::new(|| {
+                ex::fig9::run_with_repeats(
+                    campaign,
+                    opts.vantage,
+                    &opts.loss_percents,
+                    opts.fig9_repeats,
+                )
+                .to_string()
+            }),
+        ),
+    ];
+    let jobs = sections
+        .into_iter()
+        .enumerate()
+        .map(|(i, (title, body))| ((i as u32, 0u32, 0u32), move || (title, body())))
+        .collect();
+    for (title, body) in crate::runner::run_keyed_values(campaign.runner(), jobs) {
+        let _ = writeln!(out, "## {title}\n\n```text\n{body}```\n");
+    }
     out
 }
 
@@ -206,9 +228,9 @@ mod tests {
             for line in lines {
                 assert_eq!(line.split(',').count(), 2, "{name}: bad row {line}");
                 for field in line.split(',') {
-                    field.parse::<f64>().unwrap_or_else(|_| {
-                        panic!("{name}: non-numeric field {field}")
-                    });
+                    field
+                        .parse::<f64>()
+                        .unwrap_or_else(|_| panic!("{name}: non-numeric field {field}"));
                 }
             }
         }

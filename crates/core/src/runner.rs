@@ -1,0 +1,293 @@
+//! Deterministic parallel job executor for measurement campaigns.
+//!
+//! Every paired H2/H3 visit in this reproduction is a pure function of
+//! `(WorkloadSpec, seed, vantage, VisitConfig)`, which makes campaigns
+//! embarrassingly parallel. This module models campaign work as *keyed
+//! jobs* — a totally ordered [`JobKey`] plus a closure producing a
+//! result — executes them on a [`std::thread::scope`] worker pool, and
+//! merges results **in key order**, so the output of every campaign API
+//! is bit-identical to the serial path regardless of worker count.
+//!
+//! Worker count resolution, in priority order:
+//!
+//! 1. an explicit [`RunnerConfig::with_jobs`] / `--jobs` CLI flag,
+//! 2. the `H3CDN_JOBS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Long sweeps get lightweight observability: with
+//! [`RunnerConfig::quiet`](RunnerConfig) unset (`--progress` /
+//! `H3CDN_PROGRESS=1`), the runner prints jobs-done and throughput
+//! counters to stderr. Progress output never touches stdout, so
+//! rendered artifacts stay byte-stable either way.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Key identifying one campaign job: `(vantage, site, variant)`.
+///
+/// `variant` distinguishes sub-measurements of the same page — the
+/// protocol side of a paired visit, a sweep setting, a repeat index.
+/// The lexicographic tuple `Ord` is the runner's merge order.
+pub type JobKey = (u32, u32, u32);
+
+/// Configuration of the parallel runner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunnerConfig {
+    /// Worker threads; `0` means auto-detect (`H3CDN_JOBS` env var if
+    /// set, otherwise [`std::thread::available_parallelism`]).
+    pub jobs: usize,
+    /// Suppress progress/throughput counters (the default; campaigns
+    /// enable them via `--progress` or `H3CDN_PROGRESS=1`).
+    pub quiet: bool,
+}
+
+impl Default for RunnerConfig {
+    /// Auto worker count, quiet.
+    fn default() -> Self {
+        RunnerConfig {
+            jobs: 0,
+            quiet: true,
+        }
+    }
+}
+
+impl RunnerConfig {
+    /// Strictly serial execution (one worker, in-thread).
+    pub fn serial() -> Self {
+        RunnerConfig {
+            jobs: 1,
+            quiet: true,
+        }
+    }
+
+    /// Returns a copy pinned to `jobs` workers (`0` = auto).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Returns a copy with progress counters switched on or off.
+    pub fn with_quiet(mut self, quiet: bool) -> Self {
+        self.quiet = quiet;
+        self
+    }
+
+    /// Resolves `jobs`/`quiet` from the environment: `H3CDN_JOBS` for
+    /// the worker count, `H3CDN_PROGRESS=1` to enable counters.
+    pub fn from_env() -> Self {
+        let jobs = std::env::var("H3CDN_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        let quiet = !matches!(
+            std::env::var("H3CDN_PROGRESS").as_deref(),
+            Ok("1") | Ok("true")
+        );
+        RunnerConfig { jobs, quiet }
+    }
+
+    /// The concrete worker count this configuration resolves to.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            return self.jobs;
+        }
+        if let Some(jobs) = std::env::var("H3CDN_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&j| j > 0)
+        {
+            return jobs;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Runs keyed jobs on a scoped worker pool and returns `(key, result)`
+/// pairs sorted by key.
+///
+/// Execution order is arbitrary (workers race over an atomic cursor);
+/// **merge order is total and stable**: results come back in ascending
+/// key order, with equal keys kept in submission order. With pure job
+/// closures the output is therefore identical for any worker count,
+/// including `1` (which runs inline without spawning).
+pub fn run_keyed<K, T, F>(config: &RunnerConfig, mut jobs: Vec<(K, F)>) -> Vec<(K, T)>
+where
+    K: Ord + Send,
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    // Stable sort: ascending key, ties by submission order. Sorting
+    // *before* execution makes the merge order independent of both the
+    // worker count and any scheduling race.
+    jobs.sort_by(|a, b| a.0.cmp(&b.0));
+    let total = jobs.len();
+    let workers = config.effective_jobs().min(total.max(1));
+
+    let mut keys = Vec::with_capacity(total);
+    let mut fns = Vec::with_capacity(total);
+    for (k, f) in jobs {
+        keys.push(k);
+        fns.push(f);
+    }
+
+    let started = Instant::now();
+    let results: Vec<T> = if workers <= 1 || total <= 1 {
+        fns.into_iter().map(|f| f()).collect()
+    } else {
+        execute_parallel(config, fns, workers, &started)
+    };
+
+    if !config.quiet {
+        let secs = started.elapsed().as_secs_f64().max(1e-9);
+        eprintln!(
+            "h3cdn runner: {total} jobs on {workers} worker(s) in {secs:.2}s \
+             ({:.1} jobs/s)",
+            total as f64 / secs
+        );
+    }
+
+    keys.into_iter().zip(results).collect()
+}
+
+/// As [`run_keyed`], discarding keys: results in key order.
+pub fn run_keyed_values<K, T, F>(config: &RunnerConfig, jobs: Vec<(K, F)>) -> Vec<T>
+where
+    K: Ord + Send,
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    run_keyed(config, jobs)
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect()
+}
+
+/// Worker-pool execution: an atomic cursor hands each slot index to
+/// exactly one worker; results land in per-slot cells, preserving the
+/// sorted job order irrespective of completion order.
+fn execute_parallel<T, F>(
+    config: &RunnerConfig,
+    fns: Vec<F>,
+    workers: usize,
+    started: &Instant,
+) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let total = fns.len();
+    let tasks: Vec<Mutex<Option<F>>> = fns.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let progress_every = (total / 10).max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let f = tasks[i]
+                    .lock()
+                    .expect("task mutex")
+                    .take()
+                    .expect("each job is taken exactly once");
+                let out = f();
+                *slots[i].lock().expect("slot mutex") = Some(out);
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if !config.quiet && (d.is_multiple_of(progress_every) || d == total) {
+                    let secs = started.elapsed().as_secs_f64().max(1e-9);
+                    eprintln!(
+                        "h3cdn runner: {d}/{total} jobs done ({:.1} jobs/s)",
+                        d as f64 / secs
+                    );
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot mutex")
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity_jobs(keys: &[JobKey]) -> Vec<(JobKey, impl FnOnce() -> JobKey + Send)> {
+        keys.iter().map(|&k| (k, move || k)).collect()
+    }
+
+    #[test]
+    fn results_come_back_in_key_order() {
+        let keys = [(2, 0, 1), (0, 5, 0), (1, 1, 1), (0, 0, 0), (2, 0, 0)];
+        for jobs in [1, 2, 8] {
+            let cfg = RunnerConfig::default().with_jobs(jobs);
+            let out = run_keyed(&cfg, identity_jobs(&keys));
+            let got: Vec<JobKey> = out.iter().map(|(k, _)| *k).collect();
+            let mut want = keys.to_vec();
+            want.sort_unstable();
+            assert_eq!(got, want, "jobs={jobs}");
+            for (k, v) in out {
+                assert_eq!(k, v);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_keys_keep_submission_order() {
+        // Jobs with the same key carry distinct payloads; the stable
+        // sort must keep them in submission order under any worker
+        // count.
+        for jobs in [1, 4] {
+            let cfg = RunnerConfig::default().with_jobs(jobs);
+            let submitted: Vec<((u32, u32, u32), _)> =
+                (0..16u32).map(|i| ((0, 0, 0), move || i)).collect();
+            let out = run_keyed_values(&cfg, submitted);
+            assert_eq!(out, (0..16).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_job_sets_work() {
+        let cfg = RunnerConfig::default().with_jobs(8);
+        let empty: Vec<(JobKey, fn() -> u32)> = Vec::new();
+        assert!(run_keyed(&cfg, empty).is_empty());
+        let one = vec![((1, 2, 3), || 42u32)];
+        assert_eq!(run_keyed_values(&cfg, one), vec![42]);
+    }
+
+    #[test]
+    fn worker_count_exceeding_jobs_is_fine() {
+        let cfg = RunnerConfig::default().with_jobs(64);
+        let out = run_keyed_values(&cfg, identity_jobs(&[(0, 0, 0), (0, 1, 0)]));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn serial_config_is_one_worker() {
+        assert_eq!(RunnerConfig::serial().effective_jobs(), 1);
+        assert!(RunnerConfig::serial().quiet);
+    }
+
+    #[test]
+    fn explicit_jobs_override_everything() {
+        assert_eq!(RunnerConfig::default().with_jobs(5).effective_jobs(), 5);
+    }
+
+    #[test]
+    fn auto_jobs_resolve_to_at_least_one() {
+        assert!(RunnerConfig::default().effective_jobs() >= 1);
+    }
+}

@@ -104,12 +104,25 @@ pub fn run_sensitivity(
     values: &[f64],
 ) -> Sensitivity {
     let base = campaign.config().visit.clone().with_vantage(vantage);
+    // The whole `value × site` grid runs as one batch of keyed paired
+    // visits on the campaign's parallel runner; the key-ordered merge
+    // reproduces the serial sweep order exactly.
+    let mut specs = Vec::new();
+    for (vi, &value) in values.iter().enumerate() {
+        let cfg = knob.apply(&base, value);
+        for site in 0..campaign.corpus().pages.len() {
+            specs.push((vi as u32, site, cfg.clone()));
+        }
+    }
+    let comparisons = campaign.compare_batch(specs);
     let rows = values
         .iter()
-        .map(|&value| {
-            let cfg = knob.apply(&base, value);
-            let reductions: Vec<f64> = (0..campaign.corpus().pages.len())
-                .map(|site| campaign.compare_page_with(site, &cfg).plt_reduction_ms)
+        .enumerate()
+        .map(|(vi, &value)| {
+            let reductions: Vec<f64> = comparisons
+                .iter()
+                .filter(|(k, _)| *k == vi as u32)
+                .map(|(_, cmp)| cmp.plt_reduction_ms)
                 .collect();
             SensitivityRow {
                 value,

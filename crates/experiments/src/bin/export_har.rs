@@ -7,16 +7,29 @@
 //! Emits one document containing the H2-only and H3-enabled visits of
 //! every page, from the selected vantage.
 
-use h3cdn::{har::to_har_json, ProtocolMode};
+use h3cdn::{har::to_har_json, run_keyed_values, ProtocolMode};
 
 fn main() {
     let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
     let campaign = h3cdn_experiments::campaign(&opts);
-    let mut pages = Vec::new();
+    // Both sides of every page as keyed runner jobs; the key-ordered
+    // merge (site-major, H2 before H3) matches the serial loop exactly.
+    let campaign = &campaign;
+    let mut jobs = Vec::new();
     for site in 0..campaign.corpus().pages.len() {
-        pages.push(campaign.visit(site, opts.vantage, ProtocolMode::H2Only));
-        pages.push(campaign.visit(site, opts.vantage, ProtocolMode::H3Enabled));
+        for (variant, mode) in [
+            (0u32, ProtocolMode::H2Only),
+            (1u32, ProtocolMode::H3Enabled),
+        ] {
+            jobs.push(((0u32, site as u32, variant), move || {
+                campaign.visit(site, opts.vantage, mode)
+            }));
+        }
     }
+    let pages = run_keyed_values(campaign.runner(), jobs);
     let doc = to_har_json(&pages);
-    println!("{}", serde_json::to_string_pretty(&doc).expect("HAR serialises"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&doc).expect("HAR serialises")
+    );
 }

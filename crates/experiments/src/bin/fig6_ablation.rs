@@ -34,8 +34,14 @@ fn main() {
     let run = |alt_svc: bool| -> fig6::Fig6 {
         let mut base = VisitConfig::default().with_vantage(opts.vantage);
         base.alt_svc_discovery = alt_svc;
-        let cmps: Vec<PageComparison> = (0..campaign.corpus().pages.len())
-            .map(|site| campaign.compare_page_with(site, &base))
+        // One parallel, order-stable batch per cache state.
+        let specs = (0..campaign.corpus().pages.len())
+            .map(|site| (site as u32, site, base.clone()))
+            .collect();
+        let cmps: Vec<PageComparison> = campaign
+            .compare_batch(specs)
+            .into_iter()
+            .map(|(_, cmp)| cmp)
             .collect();
         fig6::run(&cmps)
     };

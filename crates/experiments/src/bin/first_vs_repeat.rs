@@ -3,8 +3,8 @@
 //! session tickets; a *Repeat* visit has everything warm. Prints mean PLT
 //! per protocol per mode and the H3 reduction in each.
 
-use h3cdn::browser::{visit_page, ProtocolMode, VisitConfig};
-use h3cdn::transport::tls::TicketStore;
+use h3cdn::browser::{ProtocolMode, VisitConfig};
+use h3cdn::run_keyed;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -46,33 +46,52 @@ fn main() {
     }
     let campaign = h3cdn_experiments::campaign(&opts);
     let corpus = campaign.corpus();
+    let modes = [("First", true), ("Repeat", false)];
 
-    let mut rows = Vec::new();
-    for (mode, cold) in [("First", true), ("Repeat", false)] {
-        let mut h2_total = 0.0;
-        let mut h3_total = 0.0;
-        for page in &corpus.pages {
-            for (proto, sink) in [
-                (ProtocolMode::H2Only, &mut h2_total),
-                (ProtocolMode::H3Enabled, &mut h3_total),
+    // The full `mode × page × protocol` grid as keyed runner jobs; keys
+    // `(mode, site, protocol)` make the merge mode-major like the old
+    // serial loops.
+    let campaign = &campaign;
+    let mut jobs = Vec::new();
+    for (mi, &(_, cold)) in modes.iter().enumerate() {
+        for site in 0..corpus.pages.len() {
+            for (variant, proto) in [
+                (0u32, ProtocolMode::H2Only),
+                (1u32, ProtocolMode::H3Enabled),
             ] {
                 let mut cfg = VisitConfig::default()
                     .with_mode(proto)
                     .with_vantage(opts.vantage);
                 cfg.cold_cache = cold;
                 cfg.alt_svc_discovery = cold;
-                *sink += visit_page(page, &corpus.domains, &cfg, TicketStore::new())
-                    .har
-                    .plt_ms;
+                jobs.push(((mi as u32, site as u32, variant), move || {
+                    campaign.visit_with(site, &cfg).plt_ms
+                }));
             }
         }
-        let n = corpus.pages.len() as f64;
-        rows.push(ModeRow {
-            mode,
-            mean_plt_h2_ms: h2_total / n,
-            mean_plt_h3_ms: h3_total / n,
-            mean_reduction_ms: (h2_total - h3_total) / n,
-        });
     }
+    let plts = run_keyed(campaign.runner(), jobs);
+
+    let n = corpus.pages.len() as f64;
+    let total = |mi: usize, variant: u32| -> f64 {
+        plts.iter()
+            .filter(|((m, _, v), _)| *m == mi as u32 && *v == variant)
+            .map(|(_, plt)| plt)
+            .sum()
+    };
+    let rows = modes
+        .iter()
+        .enumerate()
+        .map(|(mi, &(mode, _))| {
+            let h2_total = total(mi, 0);
+            let h3_total = total(mi, 1);
+            ModeRow {
+                mode,
+                mean_plt_h2_ms: h2_total / n,
+                mean_plt_h3_ms: h3_total / n,
+                mean_reduction_ms: (h2_total - h3_total) / n,
+            }
+        })
+        .collect();
     h3cdn_experiments::emit(&opts, &FirstVsRepeat { rows });
 }

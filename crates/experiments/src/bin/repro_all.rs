@@ -9,10 +9,12 @@ fn main() {
     let v = opts.vantage;
     let warmup = (campaign.corpus().pages.len() / 30).max(1);
 
-    println!("=== corpus: {} pages, {} requests, seed {} ===\n",
+    println!(
+        "=== corpus: {} pages, {} requests, seed {} ===\n",
         campaign.corpus().pages.len(),
         campaign.corpus().total_requests(),
-        campaign.corpus().spec.seed);
+        campaign.corpus().spec.seed
+    );
 
     println!("{}", ex::table1::run());
     println!("{}", ex::table2::run(&campaign, v));
@@ -27,5 +29,8 @@ fn main() {
 
     println!("{}", ex::fig8::run(&campaign, v, warmup));
     println!("{}", ex::table3::run(&campaign, v, warmup));
-    println!("{}", ex::fig9::run_with_repeats(&campaign, v, &[0.0, 0.5, 1.0], 6));
+    println!(
+        "{}",
+        ex::fig9::run_with_repeats(&campaign, v, &[0.0, 0.5, 1.0], 6)
+    );
 }

@@ -2,7 +2,7 @@
 //! mean PLT reduction per vantage, showing results do not hinge on one
 //! observation point.
 
-use h3cdn::{Vantage};
+use h3cdn::Vantage;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -30,7 +30,10 @@ impl std::fmt::Display for Vantages {
             writeln!(
                 f,
                 "{:<12} {:>6} {:>14.1}ms {:>15.0}%",
-                r.vantage, r.pages, r.mean_plt_reduction_ms, r.positive_share * 100.0
+                r.vantage,
+                r.pages,
+                r.mean_plt_reduction_ms,
+                r.positive_share * 100.0
             )?;
         }
         Ok(())
@@ -46,8 +49,11 @@ fn main() {
     let rows = Vantage::ALL
         .into_iter()
         .map(|v| {
-            let reductions: Vec<f64> = (0..campaign.corpus().pages.len())
-                .map(|site| campaign.compare_page(site, v).plt_reduction_ms)
+            // One parallel, order-stable batch per vantage.
+            let reductions: Vec<f64> = campaign
+                .compare_vantage(v)
+                .iter()
+                .map(|cmp| cmp.plt_reduction_ms)
                 .collect();
             VantageRow {
                 vantage: v.name().to_string(),

@@ -9,9 +9,14 @@
 //! --vantage V    Utah | Wisconsin | Clemson (default Utah; experiments
 //!                that average across vantages take all three regardless)
 //! --json         emit the result as JSON instead of the formatted table
+//! --jobs N       worker threads for the parallel runner (default: the
+//!                H3CDN_JOBS env var, else all cores; results are
+//!                bit-identical for every worker count)
+//! --progress     print jobs-done/throughput counters to stderr
+//!                (equivalent to H3CDN_PROGRESS=1)
 //! ```
 
-use h3cdn::{CampaignConfig, MeasurementCampaign, Vantage, WorkloadSpec};
+use h3cdn::{CampaignConfig, MeasurementCampaign, RunnerConfig, Vantage, WorkloadSpec};
 
 /// Parsed common flags.
 #[derive(Debug, Clone)]
@@ -24,16 +29,32 @@ pub struct Options {
     pub vantage: Vantage,
     /// Emit JSON instead of the formatted table.
     pub json: bool,
+    /// Worker threads (`0` = auto: `H3CDN_JOBS` env var, else all cores).
+    pub jobs: usize,
+    /// Print progress/throughput counters to stderr.
+    pub progress: bool,
 }
 
 impl Default for Options {
     fn default() -> Self {
+        let env = RunnerConfig::from_env();
         Options {
             pages: 325,
             seed: WorkloadSpec::default().seed,
             vantage: Vantage::Utah,
             json: false,
+            jobs: env.jobs,
+            progress: !env.quiet,
         }
+    }
+}
+
+impl Options {
+    /// The runner configuration these options resolve to.
+    pub fn runner(&self) -> RunnerConfig {
+        RunnerConfig::from_env()
+            .with_jobs(self.jobs)
+            .with_quiet(!self.progress)
     }
 }
 
@@ -70,9 +91,17 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Options {
                 };
             }
             "--json" => opts.json = true,
+            "--jobs" => {
+                opts.jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--jobs expects a non-negative integer"));
+            }
+            "--progress" => opts.progress = true,
             "--help" | "-h" => {
                 println!(
-                    "flags: --pages N   --seed S   --vantage Utah|Wisconsin|Clemson   --json"
+                    "flags: --pages N   --seed S   --vantage Utah|Wisconsin|Clemson   \
+                     --json   --jobs N   --progress"
                 );
                 std::process::exit(0);
             }
@@ -82,12 +111,14 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Options {
     opts
 }
 
-/// Builds the campaign for the parsed options.
+/// Builds the campaign for the parsed options (corpus scale, seed and
+/// parallel-runner settings).
 pub fn campaign(opts: &Options) -> MeasurementCampaign {
     let config = CampaignConfig {
         workload: WorkloadSpec::default()
             .with_pages(opts.pages)
             .with_seed(opts.seed),
+        runner: opts.runner(),
         ..CampaignConfig::default()
     };
     MeasurementCampaign::new(config)
@@ -122,7 +153,15 @@ mod tests {
 
     #[test]
     fn flags_parse() {
-        let o = parse(&["--pages", "20", "--seed", "9", "--vantage", "clemson", "--json"]);
+        let o = parse(&[
+            "--pages",
+            "20",
+            "--seed",
+            "9",
+            "--vantage",
+            "clemson",
+            "--json",
+        ]);
         assert_eq!(o.pages, 20);
         assert_eq!(o.seed, 9);
         assert_eq!(o.vantage, Vantage::Clemson);
@@ -133,6 +172,18 @@ mod tests {
     #[should_panic(expected = "unknown flag")]
     fn unknown_flag_rejected() {
         let _ = parse(&["--bogus"]);
+    }
+
+    #[test]
+    fn jobs_and_progress_flags_reach_the_runner() {
+        let o = parse(&["--jobs", "3", "--progress"]);
+        assert_eq!(o.jobs, 3);
+        assert!(o.progress);
+        let r = o.runner();
+        assert_eq!(r.effective_jobs(), 3);
+        assert!(!r.quiet);
+        let c = campaign(&parse(&["--pages", "2", "--jobs", "3"]));
+        assert_eq!(c.runner().effective_jobs(), 3);
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub struct EntryTiming {
 impl EntryTiming {
     /// Total entry time (sum of all phases).
     pub fn total_ms(&self) -> f64 {
-        self.blocked_ms + self.dns_ms + self.connect_ms + self.send_ms + self.wait_ms
+        self.blocked_ms
+            + self.dns_ms
+            + self.connect_ms
+            + self.send_ms
+            + self.wait_ms
             + self.receive_ms
     }
 }
@@ -150,7 +154,7 @@ mod tests {
                 send_ms: 0.5,
                 wait_ms: 8.0,
                 receive_ms: 3.0,
-                },
+            },
             resumed,
             early_data: false,
         }
@@ -176,7 +180,11 @@ mod tests {
             vantage: "Utah".into(),
             protocol_mode: "h3".into(),
             plt_ms: 40.0,
-            entries: vec![entry(1, 10.0, true), entry(2, 0.0, false), entry(3, 0.0, true)],
+            entries: vec![
+                entry(1, 10.0, true),
+                entry(2, 0.0, false),
+                entry(3, 0.0, true),
+            ],
         };
         assert_eq!(page.reused_connection_count(), 2);
         assert_eq!(page.resumed_connection_count(), 2); // two distinct conns

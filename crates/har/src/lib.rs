@@ -20,3 +20,12 @@ pub mod reduction;
 pub use entry::{EntryTiming, HarEntry, HarPage};
 pub use export::to_har_json;
 pub use reduction::{entry_reductions, plt_reduction_ms, EntryReduction, PageComparison};
+
+// The deterministic parallel runner in `h3cdn` returns HARs and
+// comparisons from worker threads; keep them `Send + Sync`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<HarEntry>();
+    assert_send_sync::<HarPage>();
+    assert_send_sync::<PageComparison>();
+};

@@ -132,8 +132,16 @@ mod tests {
 
     #[test]
     fn entry_reductions_pair_by_id() {
-        let h2 = page(1, 0.0, vec![entry(1, 30.0, 10.0, 5.0), entry(2, 20.0, 8.0, 4.0)]);
-        let h3 = page(1, 0.0, vec![entry(2, 10.0, 9.0, 4.0), entry(1, 10.0, 12.0, 5.0)]);
+        let h2 = page(
+            1,
+            0.0,
+            vec![entry(1, 30.0, 10.0, 5.0), entry(2, 20.0, 8.0, 4.0)],
+        );
+        let h3 = page(
+            1,
+            0.0,
+            vec![entry(2, 10.0, 9.0, 4.0), entry(1, 10.0, 12.0, 5.0)],
+        );
         let reds = entry_reductions(&h2, &h3);
         assert_eq!(reds.len(), 2);
         let r1 = reds.iter().find(|r| r.id == 1).unwrap();
@@ -144,7 +152,11 @@ mod tests {
 
     #[test]
     fn unmatched_entries_are_skipped() {
-        let h2 = page(1, 0.0, vec![entry(1, 1.0, 1.0, 1.0), entry(9, 2.0, 2.0, 2.0)]);
+        let h2 = page(
+            1,
+            0.0,
+            vec![entry(1, 1.0, 1.0, 1.0), entry(9, 2.0, 2.0, 2.0)],
+        );
         let h3 = page(1, 0.0, vec![entry(1, 1.0, 1.0, 1.0)]);
         assert_eq!(entry_reductions(&h2, &h3).len(), 1);
     }

@@ -182,12 +182,7 @@ mod tests {
             TcpConfig::default(),
             TlsConfig::default(),
         ));
-        let h3 = ClientConn::H3(H3Client::new(
-            conn_id(),
-            QuicConfig::default(),
-            None,
-            false,
-        ));
+        let h3 = ClientConn::H3(H3Client::new(conn_id(), QuicConfig::default(), None, false));
         assert_eq!(h1.version(), HttpVersion::H1);
         assert_eq!(h2.version(), HttpVersion::H2);
         assert_eq!(h3.version(), HttpVersion::H3);

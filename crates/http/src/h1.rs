@@ -124,7 +124,8 @@ impl H1Client {
                     TagKind::ResponseDone(id) => {
                         debug_assert_eq!(self.in_flight, Some(id), "response for idle request");
                         self.in_flight = None;
-                        self.events.push_back(HttpEvent::ResponseComplete { id, at });
+                        self.events
+                            .push_back(HttpEvent::ResponseComplete { id, at });
                         self.maybe_dispatch();
                     }
                     TagKind::ResponseChunk(_) => {}
@@ -148,7 +149,6 @@ impl H1Client {
         }
     }
 }
-
 
 impl h3cdn_transport::duplex::Driveable for H1Client {
     type Wire = WirePacket;

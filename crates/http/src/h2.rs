@@ -117,7 +117,8 @@ impl H2Client {
                         self.events.push_back(HttpEvent::ResponseHeaders { id, at });
                     }
                     TagKind::ResponseDone(id) => {
-                        self.events.push_back(HttpEvent::ResponseComplete { id, at });
+                        self.events
+                            .push_back(HttpEvent::ResponseComplete { id, at });
                     }
                     TagKind::ResponseChunk(_) => {}
                     TagKind::Request(id) => {
@@ -193,7 +194,10 @@ impl TcpServer {
     /// Next timer deadline: transport or earliest response-ready time.
     pub fn next_timeout(&self) -> Option<SimTime> {
         let cooking = self.cooking.keys().next().copied();
-        [self.conn.next_timeout(), cooking].into_iter().flatten().min()
+        [self.conn.next_timeout(), cooking]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     /// Produces the next packet to send.
@@ -221,10 +225,8 @@ impl TcpServer {
         for t in ready {
             for id in self.cooking.remove(&t).expect("cooked batch") {
                 let spec = self.catalog.get(id).expect("catalog checked at ingest");
-                self.conn.write_app(
-                    spec.header_bytes + FRAME_OVERHEAD,
-                    response_headers_tag(id),
-                );
+                self.conn
+                    .write_app(spec.header_bytes + FRAME_OVERHEAD, response_headers_tag(id));
                 if spec.body_bytes == 0 {
                     // Header-only response: completion rides on a 1-byte
                     // sentinel chunk so the done tag has a final byte.
@@ -270,7 +272,6 @@ impl TcpServer {
     }
 }
 
-
 impl h3cdn_transport::duplex::Driveable for H2Client {
     type Wire = WirePacket;
 
@@ -290,7 +291,6 @@ impl h3cdn_transport::duplex::Driveable for H2Client {
         self.on_timeout(now);
     }
 }
-
 
 impl h3cdn_transport::duplex::Driveable for TcpServer {
     type Wire = WirePacket;
@@ -505,8 +505,7 @@ mod tests {
         // share one in-order byte stream. (Contrast with the QUIC test
         // `loss_on_one_stream_does_not_delay_the_other`.)
         let run = |drop: Vec<u64>| {
-            let mut pipe =
-                pair(catalog(&[(1, 6_000, 0), (2, 6_000, 0)])).drop_b_to_a(drop);
+            let mut pipe = pair(catalog(&[(1, 6_000, 0), (2, 6_000, 0)])).drop_b_to_a(drop);
             pipe.a.connect(SimTime::ZERO);
             pipe.a.send_request(RequestMeta {
                 id: 1,

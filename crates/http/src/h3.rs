@@ -46,8 +46,11 @@ impl H3Client {
     pub fn send_request(&mut self, req: RequestMeta) {
         self.requests_sent += 1;
         let stream = self.conn.open_stream();
-        self.conn
-            .write_stream(stream, req.header_bytes + FRAME_OVERHEAD, request_tag(req.id));
+        self.conn.write_stream(
+            stream,
+            req.header_bytes + FRAME_OVERHEAD,
+            request_tag(req.id),
+        );
     }
 
     /// Total requests issued on this connection.
@@ -107,7 +110,8 @@ impl H3Client {
                         self.events.push_back(HttpEvent::ResponseHeaders { id, at });
                     }
                     TagKind::ResponseDone(id) => {
-                        self.events.push_back(HttpEvent::ResponseComplete { id, at });
+                        self.events
+                            .push_back(HttpEvent::ResponseComplete { id, at });
                     }
                     TagKind::ResponseChunk(_) => {}
                     TagKind::Request(id) => {
@@ -181,7 +185,10 @@ impl QuicServer {
     /// Next timer deadline: transport or earliest response-ready time.
     pub fn next_timeout(&self) -> Option<SimTime> {
         let cooking = self.cooking.keys().next().copied();
-        [self.conn.next_timeout(), cooking].into_iter().flatten().min()
+        [self.conn.next_timeout(), cooking]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     /// Produces the next packet to send.
@@ -225,7 +232,6 @@ impl QuicServer {
     }
 }
 
-
 impl h3cdn_transport::duplex::Driveable for H3Client {
     type Wire = WirePacket;
 
@@ -245,7 +251,6 @@ impl h3cdn_transport::duplex::Driveable for H3Client {
         self.on_timeout(now);
     }
 }
-
 
 impl h3cdn_transport::duplex::Driveable for QuicServer {
     type Wire = WirePacket;
@@ -387,22 +392,34 @@ mod tests {
     #[test]
     fn high_priority_stream_preempts_low() {
         let mut cat = Catalog::new();
-        cat.register(1, ResponseSpec {
-            header_bytes: 250,
-            body_bytes: 300_000,
-            processing: SimDuration::ZERO,
-            priority: crate::types::priority::LOW,
-        });
-        cat.register(2, ResponseSpec {
-            header_bytes: 250,
-            body_bytes: 300_000,
-            processing: SimDuration::ZERO,
-            priority: crate::types::priority::HIGH,
-        });
+        cat.register(
+            1,
+            ResponseSpec {
+                header_bytes: 250,
+                body_bytes: 300_000,
+                processing: SimDuration::ZERO,
+                priority: crate::types::priority::LOW,
+            },
+        );
+        cat.register(
+            2,
+            ResponseSpec {
+                header_bytes: 250,
+                body_bytes: 300_000,
+                processing: SimDuration::ZERO,
+                priority: crate::types::priority::HIGH,
+            },
+        );
         let mut pipe = pair(cat.into_shared(), None, false);
         pipe.a.connect(SimTime::ZERO);
-        pipe.a.send_request(RequestMeta { id: 1, header_bytes: 300 });
-        pipe.a.send_request(RequestMeta { id: 2, header_bytes: 300 });
+        pipe.a.send_request(RequestMeta {
+            id: 1,
+            header_bytes: 300,
+        });
+        pipe.a.send_request(RequestMeta {
+            id: 2,
+            header_bytes: 300,
+        });
         pipe.run(2_000_000);
         let evs = events(&mut pipe.a);
         let low = complete_at(&evs, 1).unwrap();

@@ -216,7 +216,7 @@ mod tests {
                 header_bytes: 200,
                 body_bytes: 10_000,
                 processing: SimDuration::from_millis(2),
-                    priority: crate::types::priority::NORMAL,
+                priority: crate::types::priority::NORMAL,
             },
         );
         assert_eq!(cat.len(), 1);

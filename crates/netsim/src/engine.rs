@@ -66,15 +66,8 @@ where
 
 #[derive(Debug)]
 enum Ev<P> {
-    Arrival {
-        src: NodeId,
-        dst: NodeId,
-        packet: P,
-    },
-    Wakeup {
-        node: NodeId,
-        gen: u64,
-    },
+    Arrival { src: NodeId, dst: NodeId, packet: P },
+    Wakeup { node: NodeId, gen: u64 },
 }
 
 impl<N: Node> Engine<N> {
@@ -402,7 +395,8 @@ mod tests {
         net.set_path(
             a,
             b,
-            PathSpec::with_delay(SimDuration::from_millis(1)).loss(crate::LossModel::Iid { p: 1.0 }),
+            PathSpec::with_delay(SimDuration::from_millis(1))
+                .loss(crate::LossModel::Iid { p: 1.0 }),
         );
         net.set_path(b, a, PathSpec::with_delay(SimDuration::from_millis(1)));
         let mut e = Engine::new(net, vec![Counter::default(), Counter::default()]);
@@ -412,8 +406,12 @@ mod tests {
             sink.borrow_mut().push((*r.packet, r.delivery.is_some()));
         }));
         // a→b drops (certain loss); b→a delivers.
-        e.with_node(NodeId(0), |_n, ctx| ctx.send(NodeId(1), 7, ByteCount::new(100)));
-        e.with_node(NodeId(1), |_n, ctx| ctx.send(NodeId(0), 9, ByteCount::new(100)));
+        e.with_node(NodeId(0), |_n, ctx| {
+            ctx.send(NodeId(1), 7, ByteCount::new(100))
+        });
+        e.with_node(NodeId(1), |_n, ctx| {
+            ctx.send(NodeId(0), 9, ByteCount::new(100))
+        });
         e.run();
         let seen = seen.borrow();
         assert_eq!(seen.len(), 2);

@@ -150,7 +150,11 @@ impl LossProcess {
                 } else if self.rng.bernoulli(p_good_to_bad) {
                     self.in_bad_state = true;
                 }
-                let p = if self.in_bad_state { loss_bad } else { loss_good };
+                let p = if self.in_bad_state {
+                    loss_bad
+                } else {
+                    loss_good
+                };
                 self.rng.bernoulli(p)
             }
         }

@@ -224,8 +224,7 @@ mod tests {
 
     #[test]
     fn delay_only_path() {
-        let (mut net, a, b) =
-            two_node_net(PathSpec::with_delay(SimDuration::from_millis(10)));
+        let (mut net, a, b) = two_node_net(PathSpec::with_delay(SimDuration::from_millis(10)));
         let t = net
             .route(a, b, ByteCount::new(1200), SimTime::ZERO)
             .unwrap();
@@ -269,7 +268,9 @@ mod tests {
                 .loss(crate::LossModel::Iid { p: 1.0 }),
         );
         for _ in 0..50 {
-            assert!(net.route(a, b, ByteCount::new(100), SimTime::ZERO).is_none());
+            assert!(net
+                .route(a, b, ByteCount::new(100), SimTime::ZERO)
+                .is_none());
         }
         assert_eq!(net.lost(), 50);
         assert_eq!(net.delivered(), 0);
@@ -283,11 +284,16 @@ mod tests {
         net.set_path(
             a,
             b,
-            PathSpec::with_delay(SimDuration::from_millis(1)).loss(crate::LossModel::Iid { p: 1.0 }),
+            PathSpec::with_delay(SimDuration::from_millis(1))
+                .loss(crate::LossModel::Iid { p: 1.0 }),
         );
         net.set_path(b, a, PathSpec::with_delay(SimDuration::from_millis(1)));
-        assert!(net.route(a, b, ByteCount::new(100), SimTime::ZERO).is_none());
-        assert!(net.route(b, a, ByteCount::new(100), SimTime::ZERO).is_some());
+        assert!(net
+            .route(a, b, ByteCount::new(100), SimTime::ZERO)
+            .is_none());
+        assert!(net
+            .route(b, a, ByteCount::new(100), SimTime::ZERO)
+            .is_some());
     }
 
     #[test]
@@ -329,8 +335,7 @@ mod tests {
         net.set_path(
             a,
             b,
-            PathSpec::with_delay(SimDuration::from_millis(10))
-                .jitter(SimDuration::from_millis(5)),
+            PathSpec::with_delay(SimDuration::from_millis(10)).jitter(SimDuration::from_millis(5)),
         );
         let mut deliveries = Vec::new();
         for i in 0..200u64 {

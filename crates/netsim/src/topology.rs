@@ -61,8 +61,12 @@ mod tests {
         assert_eq!(leaves.len(), 5);
         assert_eq!(net.node_count(), 6);
         for &leaf in &leaves {
-            assert!(net.route(hub, leaf, ByteCount::new(100), SimTime::ZERO).is_some());
-            assert!(net.route(leaf, hub, ByteCount::new(100), SimTime::ZERO).is_some());
+            assert!(net
+                .route(hub, leaf, ByteCount::new(100), SimTime::ZERO)
+                .is_some());
+            assert!(net
+                .route(leaf, hub, ByteCount::new(100), SimTime::ZERO)
+                .is_some());
             assert_eq!(net.path_spec(hub, leaf).delay, SimDuration::from_millis(3));
         }
     }
@@ -85,9 +89,18 @@ mod tests {
         let mut net = Network::new(3);
         net.set_default_path(PathSpec::with_delay(SimDuration::from_millis(99)));
         let ids = chain(&mut net, 4, spec());
-        assert_eq!(net.path_spec(ids[0], ids[1]).delay, SimDuration::from_millis(3));
-        assert_eq!(net.path_spec(ids[1], ids[2]).delay, SimDuration::from_millis(3));
+        assert_eq!(
+            net.path_spec(ids[0], ids[1]).delay,
+            SimDuration::from_millis(3)
+        );
+        assert_eq!(
+            net.path_spec(ids[1], ids[2]).delay,
+            SimDuration::from_millis(3)
+        );
         // Non-adjacent pairs fall back to the default path.
-        assert_eq!(net.path_spec(ids[0], ids[3]).delay, SimDuration::from_millis(99));
+        assert_eq!(
+            net.path_spec(ids[0], ids[3]).delay,
+            SimDuration::from_millis(99)
+        );
     }
 }

@@ -237,7 +237,10 @@ mod tests {
         let mut a = SimRng::seed_from(1);
         let mut b = SimRng::seed_from(2);
         let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
-        assert!(same < 3, "streams should be uncorrelated, {same} collisions");
+        assert!(
+            same < 3,
+            "streams should be uncorrelated, {same} collisions"
+        );
     }
 
     #[test]

@@ -116,14 +116,10 @@ impl<A: Driveable, B: Driveable<Wire = A::Wire>> Duplex<A, B> {
     pub fn run(&mut self, max_steps: u64) {
         self.pump();
         for _ in 0..max_steps {
-            let next = [
-                self.queue.peek_time(),
-                self.a.deadline(),
-                self.b.deadline(),
-            ]
-            .into_iter()
-            .flatten()
-            .min();
+            let next = [self.queue.peek_time(), self.a.deadline(), self.b.deadline()]
+                .into_iter()
+                .flatten()
+                .min();
             let Some(next) = next else {
                 return;
             };

@@ -548,8 +548,7 @@ impl QuicConnection {
             let ids: Vec<u64> = pending
                 .into_iter()
                 .filter(|id| {
-                    self.stream_priorities.get(id).copied().unwrap_or(1)
-                        == top.unwrap_or(1)
+                    self.stream_priorities.get(id).copied().unwrap_or(1) == top.unwrap_or(1)
                 })
                 .collect();
             // Anti-amplification of tiny packets (the TCP world's
@@ -567,10 +566,7 @@ impl QuicConnection {
                 // Round-robin fairness across streams, one frame each per
                 // revolution, so concurrent responses interleave the way
                 // multiplexed H2/H3 transfers do.
-                let start = ids
-                    .iter()
-                    .position(|&id| id > self.rr_cursor)
-                    .unwrap_or(0);
+                let start = ids.iter().position(|&id| id > self.rr_cursor).unwrap_or(0);
                 let mut i = start;
                 let mut visited = 0;
                 while visited < ids.len() && budget > 12 && app_room > 12 {
@@ -652,8 +648,10 @@ impl QuicConnection {
     ) {
         let is_new = !self.recv_streams.contains_key(&id);
         if is_new && id != CRYPTO_STREAM {
-            self.events
-                .push_back(QuicEvent::StreamOpened { stream: id, at: now });
+            self.events.push_back(QuicEvent::StreamOpened {
+                stream: id,
+                at: now,
+            });
         }
         let stream = self.recv_streams.entry(id).or_default();
         let before = stream.delivered_bytes();
@@ -887,7 +885,10 @@ impl QuicConnection {
         for f in frames {
             match f {
                 RtxInfo::Stream { id, offset, len } => {
-                    self.send_streams.entry(id).or_default().requeue(offset, len);
+                    self.send_streams
+                        .entry(id)
+                        .or_default()
+                        .requeue(offset, len);
                 }
                 RtxInfo::MaxData => self.need_max_data = true,
                 RtxInfo::MaxStreamData { id } => {
@@ -932,10 +933,7 @@ mod tests {
 
     const RTT_MS: u64 = 40;
 
-    fn make_pair(
-        ticket: Option<Ticket>,
-        early: bool,
-    ) -> Duplex<QuicConnection, QuicConnection> {
+    fn make_pair(ticket: Option<Ticket>, early: bool) -> Duplex<QuicConnection, QuicConnection> {
         let id = ConnId::new(NodeId::from_raw(0), NodeId::from_raw(1), 1);
         let cfg = QuicConfig {
             initial_rtt: SimDuration::from_millis(RTT_MS),

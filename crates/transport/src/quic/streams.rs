@@ -70,9 +70,7 @@ impl SendStream {
         }
         if self.next_unsent < self.written && self.next_unsent < flow_limit {
             let offset = self.next_unsent;
-            let take = (self.written - offset)
-                .min(budget)
-                .min(flow_limit - offset);
+            let take = (self.written - offset).min(budget).min(flow_limit - offset);
             self.next_unsent += take;
             return Some((offset, take, self.markers_in(offset, take)));
         }

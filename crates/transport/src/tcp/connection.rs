@@ -264,10 +264,14 @@ impl TcpConnection {
 
     /// The next timer deadline, if any.
     pub fn next_timeout(&self) -> Option<SimTime> {
-        [self.rto_deadline, self.tlp_deadline, self.delayed_ack_deadline]
-            .into_iter()
-            .flatten()
-            .min()
+        [
+            self.rto_deadline,
+            self.tlp_deadline,
+            self.delayed_ack_deadline,
+        ]
+        .into_iter()
+        .flatten()
+        .min()
     }
 
     /// Fires expired timers. Call when virtual time reaches
@@ -591,11 +595,9 @@ impl TcpConnection {
             .iter()
             .filter(|(&seq, seg)| {
                 let end = seq + seg.len;
-                let by_sequence =
-                    end <= highest_sacked && highest_sacked - end >= reorder_window;
+                let by_sequence = end <= highest_sacked && highest_sacked - end >= reorder_window;
                 let by_time = end <= highest_sacked && seg.sent_at + loss_delay <= now;
-                (by_sequence || by_time)
-                    && (!seg.retransmitted || seg.sent_at + loss_delay <= now)
+                (by_sequence || by_time) && (!seg.retransmitted || seg.sent_at + loss_delay <= now)
             })
             .map(|(&seq, seg)| (seq, seg.len))
             .collect();
@@ -822,7 +824,8 @@ mod tests {
                 if self.drop.contains(&idx) {
                     continue; // the network ate it
                 }
-                self.queue.schedule(self.now + self.latency, (!client_side, seg));
+                self.queue
+                    .schedule(self.now + self.latency, (!client_side, seg));
             }
             let (side, sink) = if client_side {
                 (&mut self.client, &mut self.client_events)
@@ -842,10 +845,7 @@ mod tests {
                 let arrival = self.queue.peek_time();
                 let t_client = self.client.next_timeout();
                 let t_server = self.server.next_timeout();
-                let next = [arrival, t_client, t_server]
-                    .into_iter()
-                    .flatten()
-                    .min();
+                let next = [arrival, t_client, t_server].into_iter().flatten().min();
                 let Some(next) = next else { return };
                 self.now = next;
                 if arrival == Some(next) {
@@ -902,10 +902,10 @@ mod tests {
             })
             .collect();
         // SYN at 0, SYN-ACK at 20→40, data leaves at 40, arrives at 60.
-        assert_eq!(delivered, vec![(
-            MsgTag(1),
-            SimTime::ZERO + SimDuration::from_millis(60)
-        )]);
+        assert_eq!(
+            delivered,
+            vec![(MsgTag(1), SimTime::ZERO + SimDuration::from_millis(60))]
+        );
     }
 
     #[test]
@@ -964,7 +964,10 @@ mod tests {
         };
         let clean = run(vec![]);
         let lossy = run(vec![4]);
-        assert!(lossy > clean, "lost segment must delay delivery: {clean} vs {lossy}");
+        assert!(
+            lossy > clean,
+            "lost segment must delay delivery: {clean} vs {lossy}"
+        );
     }
 
     #[test]

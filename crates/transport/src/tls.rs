@@ -704,8 +704,8 @@ mod tests {
         let server = SecureTcp::server(id, tcp_cfg);
         // Drop the server's first data segment (index 0 is the SYN-ACK;
         // index 1 carries the start of the TLS flight).
-        let mut pipe = Duplex::new(client, server, SimDuration::from_millis(RTT_MS / 2))
-            .drop_b_to_a(vec![1]);
+        let mut pipe =
+            Duplex::new(client, server, SimDuration::from_millis(RTT_MS / 2)).drop_b_to_a(vec![1]);
         pipe.a.connect(SimTime::ZERO);
         pipe.a.write_app(400, MsgTag(1));
         pipe.run(400_000);

@@ -294,8 +294,8 @@ fn transports_tolerate_reordering_jitter() {
         let a = net.add_node();
         let b = net.add_node();
         // 5 ms jitter on a 10 ms path: heavy reordering.
-        let spec = PathSpec::with_delay(SimDuration::from_millis(10))
-            .jitter(SimDuration::from_millis(5));
+        let spec =
+            PathSpec::with_delay(SimDuration::from_millis(10)).jitter(SimDuration::from_millis(5));
         net.set_path_symmetric(a, b, spec);
         let n_msgs = 30u64;
         let (end_a, end_b) = if quic {
@@ -309,7 +309,10 @@ fn transports_tolerate_reordering_jitter() {
                 c.write_stream(s, 5_000, MsgTag(i));
             }
             c.connect(SimTime::ZERO);
-            (End::Quic(c), End::Quic(QuicConnection::server(conn_id(), cfg)))
+            (
+                End::Quic(c),
+                End::Quic(QuicConnection::server(conn_id(), cfg)),
+            )
         } else {
             let cfg = TcpConfig {
                 initial_rtt: SimDuration::from_millis(20),
@@ -323,8 +326,18 @@ fn transports_tolerate_reordering_jitter() {
             (End::Tcp(c), End::Tcp(TcpConnection::server(conn_id(), cfg)))
         };
         let hosts = vec![
-            Host { end: end_a, peer: b, delivered: vec![], started: false },
-            Host { end: end_b, peer: a, delivered: vec![], started: false },
+            Host {
+                end: end_a,
+                peer: b,
+                delivered: vec![],
+                started: false,
+            },
+            Host {
+                end: end_b,
+                peer: a,
+                delivered: vec![],
+                started: false,
+            },
         ];
         let mut engine = Engine::new(net, hosts);
         engine.run_until(SimTime::ZERO + SimDuration::from_secs(60));

@@ -228,8 +228,8 @@ fn generate_page(
         .clamp(spec.min_requests_per_page, spec.max_requests_per_page);
 
     // CDN fraction: clamped Normal — mean ≈ 0.67, P(>0.5) ≈ 0.75 (Fig. 3).
-    let frac = (spec.cdn_fraction_mean + spec.cdn_fraction_sd * rng.standard_normal())
-        .clamp(0.05, 0.98);
+    let frac =
+        (spec.cdn_fraction_mean + spec.cdn_fraction_sd * rng.standard_normal()).clamp(0.05, 0.98);
     let n_cdn = ((n as f64 * frac).round() as usize).min(n - 1);
     let n_origin = n - n_cdn; // ≥ 1: the root HTML
 
@@ -494,15 +494,19 @@ mod tests {
     #[test]
     fn fig3_ccdf_at_half_is_75_percent() {
         let c = corpus();
-        let over_half = c.pages.iter().filter(|p| p.cdn_fraction() > 0.5).count() as f64
-            / c.pages.len() as f64;
+        let over_half =
+            c.pages.iter().filter(|p| p.cdn_fraction() > 0.5).count() as f64 / c.pages.len() as f64;
         assert!((over_half - 0.75).abs() < 0.06, "CCDF(0.5) = {over_half}");
     }
 
     #[test]
     fn fig4b_at_least_two_providers() {
         let c = corpus();
-        let multi = c.pages.iter().filter(|p| p.providers_used().len() >= 2).count() as f64
+        let multi = c
+            .pages
+            .iter()
+            .filter(|p| p.providers_used().len() >= 2)
+            .count() as f64
             / c.pages.len() as f64;
         assert!((multi - 0.948).abs() < 0.04, "≥2 providers on {multi}");
     }
@@ -531,11 +535,7 @@ mod tests {
     fn table_ii_h3_fractions() {
         let c = corpus();
         let cdn_total: usize = c.cdn_requests();
-        let cdn_h3: usize = c
-            .pages
-            .iter()
-            .map(Webpage::h3_enabled_cdn_count)
-            .sum();
+        let cdn_h3: usize = c.pages.iter().map(Webpage::h3_enabled_cdn_count).sum();
         let f = cdn_h3 as f64 / cdn_total as f64;
         assert!((f - 0.384).abs() < 0.03, "CDN H3 fraction {f}");
         // Non-CDN H3 ≈ 20.7 %.
@@ -607,7 +607,10 @@ mod tests {
                 .iter()
                 .filter(|page| page.providers_used().contains(&p))
                 .collect();
-            let over10 = using.iter().filter(|page| page.cdn_count_for(p) > 10).count() as f64
+            let over10 = using
+                .iter()
+                .filter(|page| page.cdn_count_for(p) > 10)
+                .count() as f64
                 / using.len() as f64;
             assert!(
                 (0.35..=0.85).contains(&over10),

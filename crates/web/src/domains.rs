@@ -98,7 +98,10 @@ fn shared_domain_names() -> Vec<(Provider, &'static str)> {
         (Provider::Akamai, "content.akamaized.net"),
         (Provider::Microsoft, "ajax.aspnetcdn.com"),
         (Provider::Microsoft, "az416426.vo.msecnd.net"),
-        (Provider::Microsoft, "static2.sharepointonline.azureedge.net"),
+        (
+            Provider::Microsoft,
+            "static2.sharepointonline.azureedge.net",
+        ),
         (Provider::Microsoft, "cdn.office.azureedge.net"),
         (Provider::QuicCloud, "static.quic.cloud"),
         (Provider::QuicCloud, "img.quic.cloud"),
@@ -141,7 +144,11 @@ impl DomainTable {
         let mut table = DomainTable::default();
         for (provider, name) in shared_domain_names() {
             let id = table.push(name.to_string(), DomainKind::SharedCdn(provider));
-            table.shared_by_provider.entry(provider).or_default().push(id);
+            table
+                .shared_by_provider
+                .entry(provider)
+                .or_default()
+                .push(id);
         }
         for name in shared_service_names() {
             let id = table.push(name.to_string(), DomainKind::SharedService);
@@ -164,7 +171,10 @@ impl DomainTable {
 
     /// Registers a page-private CDN domain (a customer vanity domain).
     pub fn add_private_cdn(&mut self, site: usize, provider: Provider) -> DomainId {
-        let name = format!("cdn{site}.{}.example-customer.net", provider.name().to_lowercase());
+        let name = format!(
+            "cdn{site}.{}.example-customer.net",
+            provider.name().to_lowercase()
+        );
         self.push(name, DomainKind::PrivateCdn(provider))
     }
 

@@ -33,3 +33,13 @@ pub use corpus::{generate, Corpus};
 pub use domains::{DomainId, DomainTable};
 pub use resource::{Hosting, Resource, ResourceKind, Webpage};
 pub use spec::WorkloadSpec;
+
+// The deterministic parallel runner in `h3cdn` shares the corpus across
+// worker threads by reference; keep these types `Send + Sync`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Corpus>();
+    assert_send_sync::<DomainTable>();
+    assert_send_sync::<Webpage>();
+    assert_send_sync::<WorkloadSpec>();
+};

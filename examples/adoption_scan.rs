@@ -42,7 +42,10 @@ fn main() {
         totals.1 as f64 / all * 100.0,
         totals.2 as f64 / all * 100.0
     );
-    println!("{:<12} {:>8} {:>8} {:>12}", "provider", "h3", "h2", "h3 rate");
+    println!(
+        "{:<12} {:>8} {:>8} {:>12}",
+        "provider", "h3", "h2", "h3 rate"
+    );
     for (p, (h3, h2)) in &per_provider {
         println!(
             "{:<12} {:>8} {:>8} {:>11.1}%",

@@ -25,13 +25,8 @@ fn main() {
         "page", "providers", "isolated", "consecutive", "resumed"
     );
     for (i, page) in corpus.pages.iter().enumerate() {
-        let isolated = h3cdn::browser::visit_page(
-            page,
-            &corpus.domains,
-            &cfg,
-            TicketStore::new(),
-        )
-        .har;
+        let isolated =
+            h3cdn::browser::visit_page(page, &corpus.domains, &cfg, TicketStore::new()).har;
         println!(
             "{:<6} {:>10} {:>10.1}ms {:>12.1}ms {:>12}",
             i,
@@ -47,13 +42,8 @@ fn main() {
         .enumerate()
         .skip(1)
         .map(|(i, page)| {
-            let isolated = h3cdn::browser::visit_page(
-                page,
-                &corpus.domains,
-                &cfg,
-                TicketStore::new(),
-            )
-            .har;
+            let isolated =
+                h3cdn::browser::visit_page(page, &corpus.domains, &cfg, TicketStore::new()).har;
             isolated.plt_ms - with_state[i].plt_ms
         })
         .sum::<f64>()

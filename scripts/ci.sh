@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Offline-safe CI gate for the h3cdn workspace.
+#
+# The workspace is hermetic (all external dependencies are vendored
+# under vendor/), so every step runs with the network disabled. Usage:
+#
+#   scripts/ci.sh
+#
+# Steps: release build, full test suite, clippy with warnings denied,
+# and a formatting check.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --all-targets --workspace -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "CI OK"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a70f1d60fc8156d3.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a70f1d60fc8156d3: tests/end_to_end.rs
+
+tests/end_to_end.rs:

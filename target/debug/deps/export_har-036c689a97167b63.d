@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export_har-036c689a97167b63.d: crates/experiments/src/bin/export_har.rs
+
+/root/repo/target/debug/deps/export_har-036c689a97167b63: crates/experiments/src/bin/export_har.rs
+
+crates/experiments/src/bin/export_har.rs:

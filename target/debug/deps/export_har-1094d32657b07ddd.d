@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/export_har-1094d32657b07ddd.d: crates/experiments/src/bin/export_har.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexport_har-1094d32657b07ddd.rmeta: crates/experiments/src/bin/export_har.rs Cargo.toml
+
+crates/experiments/src/bin/export_har.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export_har-1837fa733b5da4ba.d: crates/experiments/src/bin/export_har.rs
+
+/root/repo/target/debug/deps/export_har-1837fa733b5da4ba: crates/experiments/src/bin/export_har.rs
+
+crates/experiments/src/bin/export_har.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/export_har-19e6db45ac477a83.d: crates/experiments/src/bin/export_har.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexport_har-19e6db45ac477a83.rmeta: crates/experiments/src/bin/export_har.rs Cargo.toml
+
+crates/experiments/src/bin/export_har.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

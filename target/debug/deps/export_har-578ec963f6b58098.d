@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export_har-578ec963f6b58098.d: crates/experiments/src/bin/export_har.rs
+
+/root/repo/target/debug/deps/export_har-578ec963f6b58098: crates/experiments/src/bin/export_har.rs
+
+crates/experiments/src/bin/export_har.rs:

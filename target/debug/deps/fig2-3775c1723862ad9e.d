@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-3775c1723862ad9e.d: crates/experiments/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-3775c1723862ad9e: crates/experiments/src/bin/fig2.rs
+
+crates/experiments/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-54ee7e464cff22ab.d: crates/experiments/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-54ee7e464cff22ab: crates/experiments/src/bin/fig2.rs
+
+crates/experiments/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-645b7aa4a902fa5d.d: crates/experiments/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-645b7aa4a902fa5d: crates/experiments/src/bin/fig2.rs
+
+crates/experiments/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-7d7dfa2e771ae995.d: crates/experiments/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-7d7dfa2e771ae995: crates/experiments/src/bin/fig3.rs
+
+crates/experiments/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-82056c4e40ce8f5d.d: crates/experiments/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-82056c4e40ce8f5d: crates/experiments/src/bin/fig3.rs
+
+crates/experiments/src/bin/fig3.rs:

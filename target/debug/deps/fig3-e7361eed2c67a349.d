@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-e7361eed2c67a349.d: crates/experiments/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-e7361eed2c67a349: crates/experiments/src/bin/fig3.rs
+
+crates/experiments/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-1a6af5be65de0e21.d: crates/experiments/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-1a6af5be65de0e21: crates/experiments/src/bin/fig4.rs
+
+crates/experiments/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-54f091d396f7b5bf.d: crates/experiments/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-54f091d396f7b5bf: crates/experiments/src/bin/fig4.rs
+
+crates/experiments/src/bin/fig4.rs:

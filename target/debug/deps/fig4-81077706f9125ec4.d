@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4-81077706f9125ec4.d: crates/experiments/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-81077706f9125ec4.rmeta: crates/experiments/src/bin/fig4.rs Cargo.toml
+
+crates/experiments/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-aa753e63599d40ee.d: crates/experiments/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-aa753e63599d40ee: crates/experiments/src/bin/fig4.rs
+
+crates/experiments/src/bin/fig4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4-f680580e00d03fb5.d: crates/experiments/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-f680580e00d03fb5.rmeta: crates/experiments/src/bin/fig4.rs Cargo.toml
+
+crates/experiments/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-674845c5b3280ce2.d: crates/experiments/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-674845c5b3280ce2: crates/experiments/src/bin/fig5.rs
+
+crates/experiments/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-a5e8fdc5049b02e5.d: crates/experiments/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-a5e8fdc5049b02e5: crates/experiments/src/bin/fig5.rs
+
+crates/experiments/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-d7e85779edb928e5.d: crates/experiments/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-d7e85779edb928e5: crates/experiments/src/bin/fig5.rs
+
+crates/experiments/src/bin/fig5.rs:

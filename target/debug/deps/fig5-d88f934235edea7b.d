@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5-d88f934235edea7b.d: crates/experiments/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-d88f934235edea7b.rmeta: crates/experiments/src/bin/fig5.rs Cargo.toml
+
+crates/experiments/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6-8b1e932a92299e38.d: crates/experiments/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-8b1e932a92299e38.rmeta: crates/experiments/src/bin/fig6.rs Cargo.toml
+
+crates/experiments/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

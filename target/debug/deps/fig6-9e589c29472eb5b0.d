@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-9e589c29472eb5b0.d: crates/experiments/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-9e589c29472eb5b0: crates/experiments/src/bin/fig6.rs
+
+crates/experiments/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-de0304c89853be73.d: crates/experiments/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-de0304c89853be73: crates/experiments/src/bin/fig6.rs
+
+crates/experiments/src/bin/fig6.rs:

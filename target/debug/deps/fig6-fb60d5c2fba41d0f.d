@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-fb60d5c2fba41d0f.d: crates/experiments/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-fb60d5c2fba41d0f: crates/experiments/src/bin/fig6.rs
+
+crates/experiments/src/bin/fig6.rs:

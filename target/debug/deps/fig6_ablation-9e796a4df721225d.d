@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_ablation-9e796a4df721225d.d: crates/experiments/src/bin/fig6_ablation.rs
+
+/root/repo/target/debug/deps/fig6_ablation-9e796a4df721225d: crates/experiments/src/bin/fig6_ablation.rs
+
+crates/experiments/src/bin/fig6_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_ablation-c53c6e21e75114e9.d: crates/experiments/src/bin/fig6_ablation.rs
+
+/root/repo/target/debug/deps/fig6_ablation-c53c6e21e75114e9: crates/experiments/src/bin/fig6_ablation.rs
+
+crates/experiments/src/bin/fig6_ablation.rs:

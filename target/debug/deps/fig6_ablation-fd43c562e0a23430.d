@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_ablation-fd43c562e0a23430.d: crates/experiments/src/bin/fig6_ablation.rs
+
+/root/repo/target/debug/deps/fig6_ablation-fd43c562e0a23430: crates/experiments/src/bin/fig6_ablation.rs
+
+crates/experiments/src/bin/fig6_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-05f6792e97d6e874.d: crates/experiments/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-05f6792e97d6e874: crates/experiments/src/bin/fig7.rs
+
+crates/experiments/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-44485d3be7fc8f99.d: crates/experiments/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-44485d3be7fc8f99: crates/experiments/src/bin/fig7.rs
+
+crates/experiments/src/bin/fig7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7-449dd5e14900f96e.d: crates/experiments/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-449dd5e14900f96e.rmeta: crates/experiments/src/bin/fig7.rs Cargo.toml
+
+crates/experiments/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7-5fb9c0076ad1bc03.d: crates/experiments/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-5fb9c0076ad1bc03.rmeta: crates/experiments/src/bin/fig7.rs Cargo.toml
+
+crates/experiments/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-7a21bbadb8f4a4fc.d: crates/experiments/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-7a21bbadb8f4a4fc: crates/experiments/src/bin/fig7.rs
+
+crates/experiments/src/bin/fig7.rs:

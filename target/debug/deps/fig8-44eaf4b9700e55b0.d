@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-44eaf4b9700e55b0.d: crates/experiments/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-44eaf4b9700e55b0: crates/experiments/src/bin/fig8.rs
+
+crates/experiments/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-5b53c1e8bb88ccda.d: crates/experiments/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-5b53c1e8bb88ccda: crates/experiments/src/bin/fig8.rs
+
+crates/experiments/src/bin/fig8.rs:

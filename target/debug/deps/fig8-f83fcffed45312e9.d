@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-f83fcffed45312e9.d: crates/experiments/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-f83fcffed45312e9: crates/experiments/src/bin/fig8.rs
+
+crates/experiments/src/bin/fig8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9-2ee521682e2b9fdf.d: crates/experiments/src/bin/fig9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9-2ee521682e2b9fdf.rmeta: crates/experiments/src/bin/fig9.rs Cargo.toml
+
+crates/experiments/src/bin/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

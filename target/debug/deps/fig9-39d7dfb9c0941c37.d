@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-39d7dfb9c0941c37.d: crates/experiments/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-39d7dfb9c0941c37: crates/experiments/src/bin/fig9.rs
+
+crates/experiments/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-912b76313e549d55.d: crates/experiments/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-912b76313e549d55: crates/experiments/src/bin/fig9.rs
+
+crates/experiments/src/bin/fig9.rs:

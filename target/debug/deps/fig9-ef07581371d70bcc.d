@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-ef07581371d70bcc.d: crates/experiments/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-ef07581371d70bcc: crates/experiments/src/bin/fig9.rs
+
+crates/experiments/src/bin/fig9.rs:

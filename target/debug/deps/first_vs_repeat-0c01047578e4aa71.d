@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/first_vs_repeat-0c01047578e4aa71.d: crates/experiments/src/bin/first_vs_repeat.rs
+
+/root/repo/target/debug/deps/first_vs_repeat-0c01047578e4aa71: crates/experiments/src/bin/first_vs_repeat.rs
+
+crates/experiments/src/bin/first_vs_repeat.rs:

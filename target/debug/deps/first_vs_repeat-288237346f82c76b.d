@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/first_vs_repeat-288237346f82c76b.d: crates/experiments/src/bin/first_vs_repeat.rs
+
+/root/repo/target/debug/deps/first_vs_repeat-288237346f82c76b: crates/experiments/src/bin/first_vs_repeat.rs
+
+crates/experiments/src/bin/first_vs_repeat.rs:

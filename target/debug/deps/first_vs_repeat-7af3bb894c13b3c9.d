@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/first_vs_repeat-7af3bb894c13b3c9.d: crates/experiments/src/bin/first_vs_repeat.rs
+
+/root/repo/target/debug/deps/first_vs_repeat-7af3bb894c13b3c9: crates/experiments/src/bin/first_vs_repeat.rs
+
+crates/experiments/src/bin/first_vs_repeat.rs:

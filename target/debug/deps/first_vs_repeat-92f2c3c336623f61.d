@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/first_vs_repeat-92f2c3c336623f61.d: crates/experiments/src/bin/first_vs_repeat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfirst_vs_repeat-92f2c3c336623f61.rmeta: crates/experiments/src/bin/first_vs_repeat.rs Cargo.toml
+
+crates/experiments/src/bin/first_vs_repeat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/h3cdn-7d1d1185968a75a9.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/fig3.rs crates/core/src/experiments/fig4.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/selector.rs crates/core/src/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh3cdn-7d1d1185968a75a9.rmeta: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/fig3.rs crates/core/src/experiments/fig4.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/selector.rs crates/core/src/sensitivity.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/fig2.rs:
+crates/core/src/experiments/fig3.rs:
+crates/core/src/experiments/fig4.rs:
+crates/core/src/experiments/fig5.rs:
+crates/core/src/experiments/fig6.rs:
+crates/core/src/experiments/fig7.rs:
+crates/core/src/experiments/fig8.rs:
+crates/core/src/experiments/fig9.rs:
+crates/core/src/experiments/table1.rs:
+crates/core/src/experiments/table2.rs:
+crates/core/src/experiments/table3.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/selector.rs:
+crates/core/src/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/h3cdn_analysis-567734d6e782bf46.d: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/groups.rs crates/analysis/src/kmeans.rs crates/analysis/src/linfit.rs crates/analysis/src/stats.rs
+
+/root/repo/target/debug/deps/libh3cdn_analysis-567734d6e782bf46.rlib: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/groups.rs crates/analysis/src/kmeans.rs crates/analysis/src/linfit.rs crates/analysis/src/stats.rs
+
+/root/repo/target/debug/deps/libh3cdn_analysis-567734d6e782bf46.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/groups.rs crates/analysis/src/kmeans.rs crates/analysis/src/linfit.rs crates/analysis/src/stats.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bootstrap.rs:
+crates/analysis/src/groups.rs:
+crates/analysis/src/kmeans.rs:
+crates/analysis/src/linfit.rs:
+crates/analysis/src/stats.rs:

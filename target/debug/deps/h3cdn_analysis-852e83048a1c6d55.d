@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/h3cdn_analysis-852e83048a1c6d55.d: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/groups.rs crates/analysis/src/kmeans.rs crates/analysis/src/linfit.rs crates/analysis/src/stats.rs
+
+/root/repo/target/debug/deps/h3cdn_analysis-852e83048a1c6d55: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/groups.rs crates/analysis/src/kmeans.rs crates/analysis/src/linfit.rs crates/analysis/src/stats.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bootstrap.rs:
+crates/analysis/src/groups.rs:
+crates/analysis/src/kmeans.rs:
+crates/analysis/src/linfit.rs:
+crates/analysis/src/stats.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/h3cdn_analysis-cc349ac357fe42dc.d: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/groups.rs crates/analysis/src/kmeans.rs crates/analysis/src/linfit.rs crates/analysis/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh3cdn_analysis-cc349ac357fe42dc.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/groups.rs crates/analysis/src/kmeans.rs crates/analysis/src/linfit.rs crates/analysis/src/stats.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bootstrap.rs:
+crates/analysis/src/groups.rs:
+crates/analysis/src/kmeans.rs:
+crates/analysis/src/linfit.rs:
+crates/analysis/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/h3cdn_bench-04aa71b878a9be19.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libh3cdn_bench-04aa71b878a9be19.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libh3cdn_bench-04aa71b878a9be19.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/h3cdn_bench-055858a7ceefd9d7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libh3cdn_bench-055858a7ceefd9d7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libh3cdn_bench-055858a7ceefd9d7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/h3cdn_bench-7c03fd1199f85dd7.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh3cdn_bench-7c03fd1199f85dd7.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

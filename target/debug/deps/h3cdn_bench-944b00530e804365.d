@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h3cdn_bench-944b00530e804365.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/h3cdn_bench-944b00530e804365: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

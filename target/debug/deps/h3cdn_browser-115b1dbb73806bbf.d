@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/h3cdn_browser-115b1dbb73806bbf.d: crates/browser/src/lib.rs crates/browser/src/client.rs crates/browser/src/config.rs crates/browser/src/host.rs crates/browser/src/server.rs crates/browser/src/visit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh3cdn_browser-115b1dbb73806bbf.rmeta: crates/browser/src/lib.rs crates/browser/src/client.rs crates/browser/src/config.rs crates/browser/src/host.rs crates/browser/src/server.rs crates/browser/src/visit.rs Cargo.toml
+
+crates/browser/src/lib.rs:
+crates/browser/src/client.rs:
+crates/browser/src/config.rs:
+crates/browser/src/host.rs:
+crates/browser/src/server.rs:
+crates/browser/src/visit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

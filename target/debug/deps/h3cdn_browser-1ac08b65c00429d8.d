@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/h3cdn_browser-1ac08b65c00429d8.d: crates/browser/src/lib.rs crates/browser/src/client.rs crates/browser/src/config.rs crates/browser/src/host.rs crates/browser/src/server.rs crates/browser/src/visit.rs
+
+/root/repo/target/debug/deps/libh3cdn_browser-1ac08b65c00429d8.rlib: crates/browser/src/lib.rs crates/browser/src/client.rs crates/browser/src/config.rs crates/browser/src/host.rs crates/browser/src/server.rs crates/browser/src/visit.rs
+
+/root/repo/target/debug/deps/libh3cdn_browser-1ac08b65c00429d8.rmeta: crates/browser/src/lib.rs crates/browser/src/client.rs crates/browser/src/config.rs crates/browser/src/host.rs crates/browser/src/server.rs crates/browser/src/visit.rs
+
+crates/browser/src/lib.rs:
+crates/browser/src/client.rs:
+crates/browser/src/config.rs:
+crates/browser/src/host.rs:
+crates/browser/src/server.rs:
+crates/browser/src/visit.rs:

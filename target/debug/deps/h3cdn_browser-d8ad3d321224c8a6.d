@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/h3cdn_browser-d8ad3d321224c8a6.d: crates/browser/src/lib.rs crates/browser/src/client.rs crates/browser/src/config.rs crates/browser/src/host.rs crates/browser/src/server.rs crates/browser/src/visit.rs
+
+/root/repo/target/debug/deps/h3cdn_browser-d8ad3d321224c8a6: crates/browser/src/lib.rs crates/browser/src/client.rs crates/browser/src/config.rs crates/browser/src/host.rs crates/browser/src/server.rs crates/browser/src/visit.rs
+
+crates/browser/src/lib.rs:
+crates/browser/src/client.rs:
+crates/browser/src/config.rs:
+crates/browser/src/host.rs:
+crates/browser/src/server.rs:
+crates/browser/src/visit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/h3cdn_cdn-14bcf6005e6e14d3.d: crates/cdn/src/lib.rs crates/cdn/src/edge.rs crates/cdn/src/locedge.rs crates/cdn/src/provider.rs crates/cdn/src/topology.rs
+
+/root/repo/target/debug/deps/h3cdn_cdn-14bcf6005e6e14d3: crates/cdn/src/lib.rs crates/cdn/src/edge.rs crates/cdn/src/locedge.rs crates/cdn/src/provider.rs crates/cdn/src/topology.rs
+
+crates/cdn/src/lib.rs:
+crates/cdn/src/edge.rs:
+crates/cdn/src/locedge.rs:
+crates/cdn/src/provider.rs:
+crates/cdn/src/topology.rs:

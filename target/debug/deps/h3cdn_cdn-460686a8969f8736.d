@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/h3cdn_cdn-460686a8969f8736.d: crates/cdn/src/lib.rs crates/cdn/src/edge.rs crates/cdn/src/locedge.rs crates/cdn/src/provider.rs crates/cdn/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh3cdn_cdn-460686a8969f8736.rmeta: crates/cdn/src/lib.rs crates/cdn/src/edge.rs crates/cdn/src/locedge.rs crates/cdn/src/provider.rs crates/cdn/src/topology.rs Cargo.toml
+
+crates/cdn/src/lib.rs:
+crates/cdn/src/edge.rs:
+crates/cdn/src/locedge.rs:
+crates/cdn/src/provider.rs:
+crates/cdn/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/h3cdn_cdn-69a8729f61ba2f50.d: crates/cdn/src/lib.rs crates/cdn/src/edge.rs crates/cdn/src/locedge.rs crates/cdn/src/provider.rs crates/cdn/src/topology.rs
+
+/root/repo/target/debug/deps/libh3cdn_cdn-69a8729f61ba2f50.rlib: crates/cdn/src/lib.rs crates/cdn/src/edge.rs crates/cdn/src/locedge.rs crates/cdn/src/provider.rs crates/cdn/src/topology.rs
+
+/root/repo/target/debug/deps/libh3cdn_cdn-69a8729f61ba2f50.rmeta: crates/cdn/src/lib.rs crates/cdn/src/edge.rs crates/cdn/src/locedge.rs crates/cdn/src/provider.rs crates/cdn/src/topology.rs
+
+crates/cdn/src/lib.rs:
+crates/cdn/src/edge.rs:
+crates/cdn/src/locedge.rs:
+crates/cdn/src/provider.rs:
+crates/cdn/src/topology.rs:

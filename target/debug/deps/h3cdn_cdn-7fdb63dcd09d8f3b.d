@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/h3cdn_cdn-7fdb63dcd09d8f3b.d: crates/cdn/src/lib.rs crates/cdn/src/edge.rs crates/cdn/src/locedge.rs crates/cdn/src/provider.rs crates/cdn/src/topology.rs
+
+/root/repo/target/debug/deps/libh3cdn_cdn-7fdb63dcd09d8f3b.rlib: crates/cdn/src/lib.rs crates/cdn/src/edge.rs crates/cdn/src/locedge.rs crates/cdn/src/provider.rs crates/cdn/src/topology.rs
+
+/root/repo/target/debug/deps/libh3cdn_cdn-7fdb63dcd09d8f3b.rmeta: crates/cdn/src/lib.rs crates/cdn/src/edge.rs crates/cdn/src/locedge.rs crates/cdn/src/provider.rs crates/cdn/src/topology.rs
+
+crates/cdn/src/lib.rs:
+crates/cdn/src/edge.rs:
+crates/cdn/src/locedge.rs:
+crates/cdn/src/provider.rs:
+crates/cdn/src/topology.rs:

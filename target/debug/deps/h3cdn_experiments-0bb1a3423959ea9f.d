@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/h3cdn_experiments-0bb1a3423959ea9f.d: crates/experiments/src/lib.rs
+
+/root/repo/target/debug/deps/libh3cdn_experiments-0bb1a3423959ea9f.rlib: crates/experiments/src/lib.rs
+
+/root/repo/target/debug/deps/libh3cdn_experiments-0bb1a3423959ea9f.rmeta: crates/experiments/src/lib.rs
+
+crates/experiments/src/lib.rs:

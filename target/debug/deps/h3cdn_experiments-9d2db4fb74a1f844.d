@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/h3cdn_experiments-9d2db4fb74a1f844.d: crates/experiments/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh3cdn_experiments-9d2db4fb74a1f844.rmeta: crates/experiments/src/lib.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h3cdn_experiments-d6980e6389cafd2f.d: crates/experiments/src/lib.rs
+
+/root/repo/target/debug/deps/h3cdn_experiments-d6980e6389cafd2f: crates/experiments/src/lib.rs
+
+crates/experiments/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/h3cdn_experiments-f478bf5beb21d75b.d: crates/experiments/src/lib.rs
+
+/root/repo/target/debug/deps/libh3cdn_experiments-f478bf5beb21d75b.rlib: crates/experiments/src/lib.rs
+
+/root/repo/target/debug/deps/libh3cdn_experiments-f478bf5beb21d75b.rmeta: crates/experiments/src/lib.rs
+
+crates/experiments/src/lib.rs:

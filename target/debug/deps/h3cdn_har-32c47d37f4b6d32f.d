@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/h3cdn_har-32c47d37f4b6d32f.d: crates/har/src/lib.rs crates/har/src/entry.rs crates/har/src/export.rs crates/har/src/reduction.rs
+
+/root/repo/target/debug/deps/h3cdn_har-32c47d37f4b6d32f: crates/har/src/lib.rs crates/har/src/entry.rs crates/har/src/export.rs crates/har/src/reduction.rs
+
+crates/har/src/lib.rs:
+crates/har/src/entry.rs:
+crates/har/src/export.rs:
+crates/har/src/reduction.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

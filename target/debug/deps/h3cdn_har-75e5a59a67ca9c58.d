@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/h3cdn_har-75e5a59a67ca9c58.d: crates/har/src/lib.rs crates/har/src/entry.rs crates/har/src/export.rs crates/har/src/reduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh3cdn_har-75e5a59a67ca9c58.rmeta: crates/har/src/lib.rs crates/har/src/entry.rs crates/har/src/export.rs crates/har/src/reduction.rs Cargo.toml
+
+crates/har/src/lib.rs:
+crates/har/src/entry.rs:
+crates/har/src/export.rs:
+crates/har/src/reduction.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/h3cdn_har-7727992ac9d85e6b.d: crates/har/src/lib.rs crates/har/src/entry.rs crates/har/src/export.rs crates/har/src/reduction.rs
+
+/root/repo/target/debug/deps/libh3cdn_har-7727992ac9d85e6b.rlib: crates/har/src/lib.rs crates/har/src/entry.rs crates/har/src/export.rs crates/har/src/reduction.rs
+
+/root/repo/target/debug/deps/libh3cdn_har-7727992ac9d85e6b.rmeta: crates/har/src/lib.rs crates/har/src/entry.rs crates/har/src/export.rs crates/har/src/reduction.rs
+
+crates/har/src/lib.rs:
+crates/har/src/entry.rs:
+crates/har/src/export.rs:
+crates/har/src/reduction.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

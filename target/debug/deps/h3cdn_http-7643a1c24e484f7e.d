@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/h3cdn_http-7643a1c24e484f7e.d: crates/http/src/lib.rs crates/http/src/client.rs crates/http/src/h1.rs crates/http/src/h2.rs crates/http/src/h3.rs crates/http/src/server.rs crates/http/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh3cdn_http-7643a1c24e484f7e.rmeta: crates/http/src/lib.rs crates/http/src/client.rs crates/http/src/h1.rs crates/http/src/h2.rs crates/http/src/h3.rs crates/http/src/server.rs crates/http/src/types.rs Cargo.toml
+
+crates/http/src/lib.rs:
+crates/http/src/client.rs:
+crates/http/src/h1.rs:
+crates/http/src/h2.rs:
+crates/http/src/h3.rs:
+crates/http/src/server.rs:
+crates/http/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/h3cdn_http-c2f40112912b484c.d: crates/http/src/lib.rs crates/http/src/client.rs crates/http/src/h1.rs crates/http/src/h2.rs crates/http/src/h3.rs crates/http/src/server.rs crates/http/src/types.rs
+
+/root/repo/target/debug/deps/h3cdn_http-c2f40112912b484c: crates/http/src/lib.rs crates/http/src/client.rs crates/http/src/h1.rs crates/http/src/h2.rs crates/http/src/h3.rs crates/http/src/server.rs crates/http/src/types.rs
+
+crates/http/src/lib.rs:
+crates/http/src/client.rs:
+crates/http/src/h1.rs:
+crates/http/src/h2.rs:
+crates/http/src/h3.rs:
+crates/http/src/server.rs:
+crates/http/src/types.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/h3cdn_http-ceac2a8edcdccf22.d: crates/http/src/lib.rs crates/http/src/client.rs crates/http/src/h1.rs crates/http/src/h2.rs crates/http/src/h3.rs crates/http/src/server.rs crates/http/src/types.rs
+
+/root/repo/target/debug/deps/libh3cdn_http-ceac2a8edcdccf22.rlib: crates/http/src/lib.rs crates/http/src/client.rs crates/http/src/h1.rs crates/http/src/h2.rs crates/http/src/h3.rs crates/http/src/server.rs crates/http/src/types.rs
+
+/root/repo/target/debug/deps/libh3cdn_http-ceac2a8edcdccf22.rmeta: crates/http/src/lib.rs crates/http/src/client.rs crates/http/src/h1.rs crates/http/src/h2.rs crates/http/src/h3.rs crates/http/src/server.rs crates/http/src/types.rs
+
+crates/http/src/lib.rs:
+crates/http/src/client.rs:
+crates/http/src/h1.rs:
+crates/http/src/h2.rs:
+crates/http/src/h3.rs:
+crates/http/src/server.rs:
+crates/http/src/types.rs:

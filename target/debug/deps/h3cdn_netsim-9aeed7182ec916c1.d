@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/h3cdn_netsim-9aeed7182ec916c1.d: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/libh3cdn_netsim-9aeed7182ec916c1.rlib: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/libh3cdn_netsim-9aeed7182ec916c1.rmeta: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/loss.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/node.rs:
+crates/netsim/src/topology.rs:

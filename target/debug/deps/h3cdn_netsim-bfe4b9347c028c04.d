@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/h3cdn_netsim-bfe4b9347c028c04.d: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh3cdn_netsim-bfe4b9347c028c04.rmeta: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/topology.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/loss.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/node.rs:
+crates/netsim/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/h3cdn_netsim-ede6989726ea8792.d: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/h3cdn_netsim-ede6989726ea8792: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/loss.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/node.rs:
+crates/netsim/src/topology.rs:

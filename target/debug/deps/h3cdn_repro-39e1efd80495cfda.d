@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/h3cdn_repro-39e1efd80495cfda.d: src/lib.rs
+
+/root/repo/target/debug/deps/libh3cdn_repro-39e1efd80495cfda.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libh3cdn_repro-39e1efd80495cfda.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/h3cdn_repro-8cbc1e2510a42c8d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh3cdn_repro-8cbc1e2510a42c8d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

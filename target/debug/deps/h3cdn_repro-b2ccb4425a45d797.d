@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h3cdn_repro-b2ccb4425a45d797.d: src/lib.rs
+
+/root/repo/target/debug/deps/h3cdn_repro-b2ccb4425a45d797: src/lib.rs
+
+src/lib.rs:

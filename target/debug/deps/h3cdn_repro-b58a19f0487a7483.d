@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/h3cdn_repro-b58a19f0487a7483.d: src/lib.rs
+
+/root/repo/target/debug/deps/libh3cdn_repro-b58a19f0487a7483.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libh3cdn_repro-b58a19f0487a7483.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/h3cdn_sim_core-1b5661a94ff68755.d: crates/sim-core/src/lib.rs crates/sim-core/src/event.rs crates/sim-core/src/rng.rs crates/sim-core/src/time.rs crates/sim-core/src/units.rs
+
+/root/repo/target/debug/deps/libh3cdn_sim_core-1b5661a94ff68755.rlib: crates/sim-core/src/lib.rs crates/sim-core/src/event.rs crates/sim-core/src/rng.rs crates/sim-core/src/time.rs crates/sim-core/src/units.rs
+
+/root/repo/target/debug/deps/libh3cdn_sim_core-1b5661a94ff68755.rmeta: crates/sim-core/src/lib.rs crates/sim-core/src/event.rs crates/sim-core/src/rng.rs crates/sim-core/src/time.rs crates/sim-core/src/units.rs
+
+crates/sim-core/src/lib.rs:
+crates/sim-core/src/event.rs:
+crates/sim-core/src/rng.rs:
+crates/sim-core/src/time.rs:
+crates/sim-core/src/units.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/h3cdn_sim_core-2ed474df4228d636.d: crates/sim-core/src/lib.rs crates/sim-core/src/event.rs crates/sim-core/src/rng.rs crates/sim-core/src/time.rs crates/sim-core/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh3cdn_sim_core-2ed474df4228d636.rmeta: crates/sim-core/src/lib.rs crates/sim-core/src/event.rs crates/sim-core/src/rng.rs crates/sim-core/src/time.rs crates/sim-core/src/units.rs Cargo.toml
+
+crates/sim-core/src/lib.rs:
+crates/sim-core/src/event.rs:
+crates/sim-core/src/rng.rs:
+crates/sim-core/src/time.rs:
+crates/sim-core/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/h3cdn_sim_core-cfa361f864c038a6.d: crates/sim-core/src/lib.rs crates/sim-core/src/event.rs crates/sim-core/src/rng.rs crates/sim-core/src/time.rs crates/sim-core/src/units.rs
+
+/root/repo/target/debug/deps/h3cdn_sim_core-cfa361f864c038a6: crates/sim-core/src/lib.rs crates/sim-core/src/event.rs crates/sim-core/src/rng.rs crates/sim-core/src/time.rs crates/sim-core/src/units.rs
+
+crates/sim-core/src/lib.rs:
+crates/sim-core/src/event.rs:
+crates/sim-core/src/rng.rs:
+crates/sim-core/src/time.rs:
+crates/sim-core/src/units.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/h3cdn_transport-0fff300ab26f0c51.d: crates/transport/src/lib.rs crates/transport/src/cc/mod.rs crates/transport/src/cc/cubic.rs crates/transport/src/cc/new_reno.rs crates/transport/src/conn_id.rs crates/transport/src/duplex.rs crates/transport/src/quic/mod.rs crates/transport/src/quic/connection.rs crates/transport/src/quic/streams.rs crates/transport/src/rtt.rs crates/transport/src/tcp/mod.rs crates/transport/src/tcp/connection.rs crates/transport/src/tls.rs crates/transport/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh3cdn_transport-0fff300ab26f0c51.rmeta: crates/transport/src/lib.rs crates/transport/src/cc/mod.rs crates/transport/src/cc/cubic.rs crates/transport/src/cc/new_reno.rs crates/transport/src/conn_id.rs crates/transport/src/duplex.rs crates/transport/src/quic/mod.rs crates/transport/src/quic/connection.rs crates/transport/src/quic/streams.rs crates/transport/src/rtt.rs crates/transport/src/tcp/mod.rs crates/transport/src/tcp/connection.rs crates/transport/src/tls.rs crates/transport/src/wire.rs Cargo.toml
+
+crates/transport/src/lib.rs:
+crates/transport/src/cc/mod.rs:
+crates/transport/src/cc/cubic.rs:
+crates/transport/src/cc/new_reno.rs:
+crates/transport/src/conn_id.rs:
+crates/transport/src/duplex.rs:
+crates/transport/src/quic/mod.rs:
+crates/transport/src/quic/connection.rs:
+crates/transport/src/quic/streams.rs:
+crates/transport/src/rtt.rs:
+crates/transport/src/tcp/mod.rs:
+crates/transport/src/tcp/connection.rs:
+crates/transport/src/tls.rs:
+crates/transport/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

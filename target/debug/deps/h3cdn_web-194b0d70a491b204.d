@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/h3cdn_web-194b0d70a491b204.d: crates/web/src/lib.rs crates/web/src/corpus.rs crates/web/src/domains.rs crates/web/src/resource.rs crates/web/src/spec.rs
+
+/root/repo/target/debug/deps/h3cdn_web-194b0d70a491b204: crates/web/src/lib.rs crates/web/src/corpus.rs crates/web/src/domains.rs crates/web/src/resource.rs crates/web/src/spec.rs
+
+crates/web/src/lib.rs:
+crates/web/src/corpus.rs:
+crates/web/src/domains.rs:
+crates/web/src/resource.rs:
+crates/web/src/spec.rs:

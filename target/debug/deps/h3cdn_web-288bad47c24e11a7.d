@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/h3cdn_web-288bad47c24e11a7.d: crates/web/src/lib.rs crates/web/src/corpus.rs crates/web/src/domains.rs crates/web/src/resource.rs crates/web/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh3cdn_web-288bad47c24e11a7.rmeta: crates/web/src/lib.rs crates/web/src/corpus.rs crates/web/src/domains.rs crates/web/src/resource.rs crates/web/src/spec.rs Cargo.toml
+
+crates/web/src/lib.rs:
+crates/web/src/corpus.rs:
+crates/web/src/domains.rs:
+crates/web/src/resource.rs:
+crates/web/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

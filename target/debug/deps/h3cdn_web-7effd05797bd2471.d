@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/h3cdn_web-7effd05797bd2471.d: crates/web/src/lib.rs crates/web/src/corpus.rs crates/web/src/domains.rs crates/web/src/resource.rs crates/web/src/spec.rs
+
+/root/repo/target/debug/deps/libh3cdn_web-7effd05797bd2471.rlib: crates/web/src/lib.rs crates/web/src/corpus.rs crates/web/src/domains.rs crates/web/src/resource.rs crates/web/src/spec.rs
+
+/root/repo/target/debug/deps/libh3cdn_web-7effd05797bd2471.rmeta: crates/web/src/lib.rs crates/web/src/corpus.rs crates/web/src/domains.rs crates/web/src/resource.rs crates/web/src/spec.rs
+
+crates/web/src/lib.rs:
+crates/web/src/corpus.rs:
+crates/web/src/domains.rs:
+crates/web/src/resource.rs:
+crates/web/src/spec.rs:

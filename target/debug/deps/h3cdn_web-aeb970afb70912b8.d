@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/h3cdn_web-aeb970afb70912b8.d: crates/web/src/lib.rs crates/web/src/corpus.rs crates/web/src/domains.rs crates/web/src/resource.rs crates/web/src/spec.rs
+
+/root/repo/target/debug/deps/libh3cdn_web-aeb970afb70912b8.rlib: crates/web/src/lib.rs crates/web/src/corpus.rs crates/web/src/domains.rs crates/web/src/resource.rs crates/web/src/spec.rs
+
+/root/repo/target/debug/deps/libh3cdn_web-aeb970afb70912b8.rmeta: crates/web/src/lib.rs crates/web/src/corpus.rs crates/web/src/domains.rs crates/web/src/resource.rs crates/web/src/spec.rs
+
+crates/web/src/lib.rs:
+crates/web/src/corpus.rs:
+crates/web/src/domains.rs:
+crates/web/src/resource.rs:
+crates/web/src/spec.rs:

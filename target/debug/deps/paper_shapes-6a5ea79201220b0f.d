@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-6a5ea79201220b0f.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-6a5ea79201220b0f: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1907b9004392903e.d: crates/transport/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1907b9004392903e: crates/transport/tests/properties.rs
+
+crates/transport/tests/properties.rs:

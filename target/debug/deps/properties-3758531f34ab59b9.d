@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-3758531f34ab59b9.d: crates/analysis/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-3758531f34ab59b9.rmeta: crates/analysis/tests/properties.rs Cargo.toml
+
+crates/analysis/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-47da4487f3778e93.d: crates/sim-core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-47da4487f3778e93: crates/sim-core/tests/properties.rs
+
+crates/sim-core/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-503a7f617a1f10ea.d: crates/analysis/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-503a7f617a1f10ea: crates/analysis/tests/properties.rs
+
+crates/analysis/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-888dd7eddc084f4a.d: crates/transport/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-888dd7eddc084f4a.rmeta: crates/transport/tests/properties.rs Cargo.toml
+
+crates/transport/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

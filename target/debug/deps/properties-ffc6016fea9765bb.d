@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-ffc6016fea9765bb.d: crates/sim-core/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-ffc6016fea9765bb.rmeta: crates/sim-core/tests/properties.rs Cargo.toml
+
+crates/sim-core/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

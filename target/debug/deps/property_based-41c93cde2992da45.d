@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-41c93cde2992da45.d: tests/property_based.rs
+
+/root/repo/target/debug/deps/property_based-41c93cde2992da45: tests/property_based.rs
+
+tests/property_based.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-0f6773a5a3155428.d: crates/experiments/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-0f6773a5a3155428: crates/experiments/src/bin/report.rs
+
+crates/experiments/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-68eff95baf9be874.d: crates/experiments/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-68eff95baf9be874: crates/experiments/src/bin/report.rs
+
+crates/experiments/src/bin/report.rs:

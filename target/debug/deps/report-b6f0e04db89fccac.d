@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-b6f0e04db89fccac.d: crates/experiments/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-b6f0e04db89fccac: crates/experiments/src/bin/report.rs
+
+crates/experiments/src/bin/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/report-d3d4972385a58b86.d: crates/experiments/src/bin/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport-d3d4972385a58b86.rmeta: crates/experiments/src/bin/report.rs Cargo.toml
+
+crates/experiments/src/bin/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_all-a9844707c0d027d8.d: crates/experiments/src/bin/repro_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_all-a9844707c0d027d8.rmeta: crates/experiments/src/bin/repro_all.rs Cargo.toml
+
+crates/experiments/src/bin/repro_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

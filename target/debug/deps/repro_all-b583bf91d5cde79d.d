@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-b583bf91d5cde79d.d: crates/experiments/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-b583bf91d5cde79d: crates/experiments/src/bin/repro_all.rs
+
+crates/experiments/src/bin/repro_all.rs:

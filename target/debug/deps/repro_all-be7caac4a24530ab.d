@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-be7caac4a24530ab.d: crates/experiments/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-be7caac4a24530ab: crates/experiments/src/bin/repro_all.rs
+
+crates/experiments/src/bin/repro_all.rs:

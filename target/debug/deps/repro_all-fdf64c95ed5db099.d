@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-fdf64c95ed5db099.d: crates/experiments/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-fdf64c95ed5db099: crates/experiments/src/bin/repro_all.rs
+
+crates/experiments/src/bin/repro_all.rs:

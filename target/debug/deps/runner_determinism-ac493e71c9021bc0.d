@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runner_determinism-ac493e71c9021bc0.d: tests/runner_determinism.rs
+
+/root/repo/target/debug/deps/runner_determinism-ac493e71c9021bc0: tests/runner_determinism.rs
+
+tests/runner_determinism.rs:

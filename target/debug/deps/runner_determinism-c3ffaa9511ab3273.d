@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runner_determinism-c3ffaa9511ab3273.d: tests/runner_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/librunner_determinism-c3ffaa9511ab3273.rmeta: tests/runner_determinism.rs Cargo.toml
+
+tests/runner_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runner_scaling-1644743246a76cff.d: crates/bench/benches/runner_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/librunner_scaling-1644743246a76cff.rmeta: crates/bench/benches/runner_scaling.rs Cargo.toml
+
+crates/bench/benches/runner_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

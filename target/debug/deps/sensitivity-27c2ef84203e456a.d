@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sensitivity-27c2ef84203e456a.d: crates/experiments/src/bin/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsensitivity-27c2ef84203e456a.rmeta: crates/experiments/src/bin/sensitivity.rs Cargo.toml
+
+crates/experiments/src/bin/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

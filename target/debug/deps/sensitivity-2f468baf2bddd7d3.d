@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sensitivity-2f468baf2bddd7d3.d: crates/experiments/src/bin/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsensitivity-2f468baf2bddd7d3.rmeta: crates/experiments/src/bin/sensitivity.rs Cargo.toml
+
+crates/experiments/src/bin/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

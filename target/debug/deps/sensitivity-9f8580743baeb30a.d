@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity-9f8580743baeb30a.d: crates/experiments/src/bin/sensitivity.rs
+
+/root/repo/target/debug/deps/sensitivity-9f8580743baeb30a: crates/experiments/src/bin/sensitivity.rs
+
+crates/experiments/src/bin/sensitivity.rs:

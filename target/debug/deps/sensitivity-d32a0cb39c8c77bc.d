@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity-d32a0cb39c8c77bc.d: crates/experiments/src/bin/sensitivity.rs
+
+/root/repo/target/debug/deps/sensitivity-d32a0cb39c8c77bc: crates/experiments/src/bin/sensitivity.rs
+
+crates/experiments/src/bin/sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity-fcf137b4be59d1d6.d: crates/experiments/src/bin/sensitivity.rs
+
+/root/repo/target/debug/deps/sensitivity-fcf137b4be59d1d6: crates/experiments/src/bin/sensitivity.rs
+
+crates/experiments/src/bin/sensitivity.rs:

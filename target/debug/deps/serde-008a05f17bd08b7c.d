@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-008a05f17bd08b7c.d: vendor/serde/src/lib.rs vendor/serde/src/content.rs vendor/serde/src/de.rs
+
+/root/repo/target/debug/deps/libserde-008a05f17bd08b7c.rlib: vendor/serde/src/lib.rs vendor/serde/src/content.rs vendor/serde/src/de.rs
+
+/root/repo/target/debug/deps/libserde-008a05f17bd08b7c.rmeta: vendor/serde/src/lib.rs vendor/serde/src/content.rs vendor/serde/src/de.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/content.rs:
+vendor/serde/src/de.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-0917c0c492a9fc0d.d: vendor/serde/src/lib.rs vendor/serde/src/content.rs vendor/serde/src/de.rs
+
+/root/repo/target/debug/deps/serde-0917c0c492a9fc0d: vendor/serde/src/lib.rs vendor/serde/src/content.rs vendor/serde/src/de.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/content.rs:
+vendor/serde/src/de.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-3d8bbbc209d5f9cd.d: crates/experiments/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-3d8bbbc209d5f9cd: crates/experiments/src/bin/table1.rs
+
+crates/experiments/src/bin/table1.rs:

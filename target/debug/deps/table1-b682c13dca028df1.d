@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-b682c13dca028df1.d: crates/experiments/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-b682c13dca028df1: crates/experiments/src/bin/table1.rs
+
+crates/experiments/src/bin/table1.rs:

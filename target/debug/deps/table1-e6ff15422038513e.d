@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e6ff15422038513e.d: crates/experiments/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-e6ff15422038513e: crates/experiments/src/bin/table1.rs
+
+crates/experiments/src/bin/table1.rs:

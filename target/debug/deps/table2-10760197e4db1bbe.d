@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-10760197e4db1bbe.d: crates/experiments/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-10760197e4db1bbe: crates/experiments/src/bin/table2.rs
+
+crates/experiments/src/bin/table2.rs:

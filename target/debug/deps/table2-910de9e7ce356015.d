@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-910de9e7ce356015.d: crates/experiments/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-910de9e7ce356015: crates/experiments/src/bin/table2.rs
+
+crates/experiments/src/bin/table2.rs:

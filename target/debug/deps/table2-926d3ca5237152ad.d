@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-926d3ca5237152ad.d: crates/experiments/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-926d3ca5237152ad: crates/experiments/src/bin/table2.rs
+
+crates/experiments/src/bin/table2.rs:

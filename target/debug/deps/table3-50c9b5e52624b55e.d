@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-50c9b5e52624b55e.d: crates/experiments/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-50c9b5e52624b55e: crates/experiments/src/bin/table3.rs
+
+crates/experiments/src/bin/table3.rs:

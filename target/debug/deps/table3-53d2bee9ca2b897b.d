@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-53d2bee9ca2b897b.d: crates/experiments/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-53d2bee9ca2b897b: crates/experiments/src/bin/table3.rs
+
+crates/experiments/src/bin/table3.rs:

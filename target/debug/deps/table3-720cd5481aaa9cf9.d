@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3-720cd5481aaa9cf9.d: crates/experiments/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-720cd5481aaa9cf9.rmeta: crates/experiments/src/bin/table3.rs Cargo.toml
+
+crates/experiments/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-93ecca185cdb3fe9.d: crates/experiments/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-93ecca185cdb3fe9: crates/experiments/src/bin/table3.rs
+
+crates/experiments/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vantages-1f8277ee327cf913.d: crates/experiments/src/bin/vantages.rs
+
+/root/repo/target/debug/deps/vantages-1f8277ee327cf913: crates/experiments/src/bin/vantages.rs
+
+crates/experiments/src/bin/vantages.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vantages-2105fb1c938631af.d: crates/experiments/src/bin/vantages.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvantages-2105fb1c938631af.rmeta: crates/experiments/src/bin/vantages.rs Cargo.toml
+
+crates/experiments/src/bin/vantages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vantages-b014365778f2cbef.d: crates/experiments/src/bin/vantages.rs
+
+/root/repo/target/debug/deps/vantages-b014365778f2cbef: crates/experiments/src/bin/vantages.rs
+
+crates/experiments/src/bin/vantages.rs:

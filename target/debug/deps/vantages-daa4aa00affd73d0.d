@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vantages-daa4aa00affd73d0.d: crates/experiments/src/bin/vantages.rs
+
+/root/repo/target/debug/deps/vantages-daa4aa00affd73d0: crates/experiments/src/bin/vantages.rs
+
+crates/experiments/src/bin/vantages.rs:

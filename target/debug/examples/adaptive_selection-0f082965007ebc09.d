@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_selection-0f082965007ebc09.d: examples/adaptive_selection.rs
+
+/root/repo/target/debug/examples/adaptive_selection-0f082965007ebc09: examples/adaptive_selection.rs
+
+examples/adaptive_selection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_selection-3955ae959c27569d.d: examples/adaptive_selection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_selection-3955ae959c27569d.rmeta: examples/adaptive_selection.rs Cargo.toml
+
+examples/adaptive_selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

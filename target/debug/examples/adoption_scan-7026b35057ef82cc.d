@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adoption_scan-7026b35057ef82cc.d: examples/adoption_scan.rs
+
+/root/repo/target/debug/examples/adoption_scan-7026b35057ef82cc: examples/adoption_scan.rs
+
+examples/adoption_scan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adoption_scan-c5b801a5fa847c2b.d: examples/adoption_scan.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadoption_scan-c5b801a5fa847c2b.rmeta: examples/adoption_scan.rs Cargo.toml
+
+examples/adoption_scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

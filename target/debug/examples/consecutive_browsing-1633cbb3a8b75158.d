@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/consecutive_browsing-1633cbb3a8b75158.d: examples/consecutive_browsing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconsecutive_browsing-1633cbb3a8b75158.rmeta: examples/consecutive_browsing.rs Cargo.toml
+
+examples/consecutive_browsing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/consecutive_browsing-70fcfaf53907c53c.d: examples/consecutive_browsing.rs
+
+/root/repo/target/debug/examples/consecutive_browsing-70fcfaf53907c53c: examples/consecutive_browsing.rs
+
+examples/consecutive_browsing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lossy_network-21856a05c299a7ac.d: examples/lossy_network.rs
+
+/root/repo/target/debug/examples/lossy_network-21856a05c299a7ac: examples/lossy_network.rs
+
+examples/lossy_network.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lossy_network-24938996e66d3000.d: examples/lossy_network.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblossy_network-24938996e66d3000.rmeta: examples/lossy_network.rs Cargo.toml
+
+examples/lossy_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

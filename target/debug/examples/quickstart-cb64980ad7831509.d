@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cb64980ad7831509.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cb64980ad7831509: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/export_har-7b1834ddbdf30959.d: crates/experiments/src/bin/export_har.rs
+
+/root/repo/target/release/deps/export_har-7b1834ddbdf30959: crates/experiments/src/bin/export_har.rs
+
+crates/experiments/src/bin/export_har.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-a0030db9dd8a4c0e.d: crates/experiments/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-a0030db9dd8a4c0e: crates/experiments/src/bin/fig2.rs
+
+crates/experiments/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-e1c9678ad64fc824.d: crates/experiments/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-e1c9678ad64fc824: crates/experiments/src/bin/fig3.rs
+
+crates/experiments/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-040c870efadc1255.d: crates/experiments/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-040c870efadc1255: crates/experiments/src/bin/fig4.rs
+
+crates/experiments/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-872c5943cda44391.d: crates/experiments/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-872c5943cda44391: crates/experiments/src/bin/fig5.rs
+
+crates/experiments/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-2f28e42f137189e9.d: crates/experiments/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-2f28e42f137189e9: crates/experiments/src/bin/fig6.rs
+
+crates/experiments/src/bin/fig6.rs:

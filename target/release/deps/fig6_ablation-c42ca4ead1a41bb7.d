@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_ablation-c42ca4ead1a41bb7.d: crates/experiments/src/bin/fig6_ablation.rs
+
+/root/repo/target/release/deps/fig6_ablation-c42ca4ead1a41bb7: crates/experiments/src/bin/fig6_ablation.rs
+
+crates/experiments/src/bin/fig6_ablation.rs:

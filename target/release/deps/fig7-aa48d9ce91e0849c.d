@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-aa48d9ce91e0849c.d: crates/experiments/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-aa48d9ce91e0849c: crates/experiments/src/bin/fig7.rs
+
+crates/experiments/src/bin/fig7.rs:

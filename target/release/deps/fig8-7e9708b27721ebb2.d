@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-7e9708b27721ebb2.d: crates/experiments/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-7e9708b27721ebb2: crates/experiments/src/bin/fig8.rs
+
+crates/experiments/src/bin/fig8.rs:

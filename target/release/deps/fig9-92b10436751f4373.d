@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-92b10436751f4373.d: crates/experiments/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-92b10436751f4373: crates/experiments/src/bin/fig9.rs
+
+crates/experiments/src/bin/fig9.rs:

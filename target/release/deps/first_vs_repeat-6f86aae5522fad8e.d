@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/first_vs_repeat-6f86aae5522fad8e.d: crates/experiments/src/bin/first_vs_repeat.rs
+
+/root/repo/target/release/deps/first_vs_repeat-6f86aae5522fad8e: crates/experiments/src/bin/first_vs_repeat.rs
+
+crates/experiments/src/bin/first_vs_repeat.rs:

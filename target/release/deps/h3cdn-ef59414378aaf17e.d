@@ -1,0 +1,24 @@
+/root/repo/target/release/deps/h3cdn-ef59414378aaf17e.d: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/fig3.rs crates/core/src/experiments/fig4.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/selector.rs crates/core/src/sensitivity.rs
+
+/root/repo/target/release/deps/libh3cdn-ef59414378aaf17e.rlib: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/fig3.rs crates/core/src/experiments/fig4.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/selector.rs crates/core/src/sensitivity.rs
+
+/root/repo/target/release/deps/libh3cdn-ef59414378aaf17e.rmeta: crates/core/src/lib.rs crates/core/src/campaign.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/fig2.rs crates/core/src/experiments/fig3.rs crates/core/src/experiments/fig4.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/selector.rs crates/core/src/sensitivity.rs
+
+crates/core/src/lib.rs:
+crates/core/src/campaign.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/fig2.rs:
+crates/core/src/experiments/fig3.rs:
+crates/core/src/experiments/fig4.rs:
+crates/core/src/experiments/fig5.rs:
+crates/core/src/experiments/fig6.rs:
+crates/core/src/experiments/fig7.rs:
+crates/core/src/experiments/fig8.rs:
+crates/core/src/experiments/fig9.rs:
+crates/core/src/experiments/table1.rs:
+crates/core/src/experiments/table2.rs:
+crates/core/src/experiments/table3.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/selector.rs:
+crates/core/src/sensitivity.rs:

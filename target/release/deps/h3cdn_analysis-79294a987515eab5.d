@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/h3cdn_analysis-79294a987515eab5.d: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/groups.rs crates/analysis/src/kmeans.rs crates/analysis/src/linfit.rs crates/analysis/src/stats.rs
+
+/root/repo/target/release/deps/libh3cdn_analysis-79294a987515eab5.rlib: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/groups.rs crates/analysis/src/kmeans.rs crates/analysis/src/linfit.rs crates/analysis/src/stats.rs
+
+/root/repo/target/release/deps/libh3cdn_analysis-79294a987515eab5.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bootstrap.rs crates/analysis/src/groups.rs crates/analysis/src/kmeans.rs crates/analysis/src/linfit.rs crates/analysis/src/stats.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bootstrap.rs:
+crates/analysis/src/groups.rs:
+crates/analysis/src/kmeans.rs:
+crates/analysis/src/linfit.rs:
+crates/analysis/src/stats.rs:

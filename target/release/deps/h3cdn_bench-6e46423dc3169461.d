@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/h3cdn_bench-6e46423dc3169461.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libh3cdn_bench-6e46423dc3169461.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libh3cdn_bench-6e46423dc3169461.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/h3cdn_browser-c8168ea018c8379d.d: crates/browser/src/lib.rs crates/browser/src/client.rs crates/browser/src/config.rs crates/browser/src/host.rs crates/browser/src/server.rs crates/browser/src/visit.rs
+
+/root/repo/target/release/deps/libh3cdn_browser-c8168ea018c8379d.rlib: crates/browser/src/lib.rs crates/browser/src/client.rs crates/browser/src/config.rs crates/browser/src/host.rs crates/browser/src/server.rs crates/browser/src/visit.rs
+
+/root/repo/target/release/deps/libh3cdn_browser-c8168ea018c8379d.rmeta: crates/browser/src/lib.rs crates/browser/src/client.rs crates/browser/src/config.rs crates/browser/src/host.rs crates/browser/src/server.rs crates/browser/src/visit.rs
+
+crates/browser/src/lib.rs:
+crates/browser/src/client.rs:
+crates/browser/src/config.rs:
+crates/browser/src/host.rs:
+crates/browser/src/server.rs:
+crates/browser/src/visit.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/h3cdn_cdn-b8996cc978454873.d: crates/cdn/src/lib.rs crates/cdn/src/edge.rs crates/cdn/src/locedge.rs crates/cdn/src/provider.rs crates/cdn/src/topology.rs
+
+/root/repo/target/release/deps/libh3cdn_cdn-b8996cc978454873.rlib: crates/cdn/src/lib.rs crates/cdn/src/edge.rs crates/cdn/src/locedge.rs crates/cdn/src/provider.rs crates/cdn/src/topology.rs
+
+/root/repo/target/release/deps/libh3cdn_cdn-b8996cc978454873.rmeta: crates/cdn/src/lib.rs crates/cdn/src/edge.rs crates/cdn/src/locedge.rs crates/cdn/src/provider.rs crates/cdn/src/topology.rs
+
+crates/cdn/src/lib.rs:
+crates/cdn/src/edge.rs:
+crates/cdn/src/locedge.rs:
+crates/cdn/src/provider.rs:
+crates/cdn/src/topology.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/h3cdn_experiments-786c4e8ab6d3d632.d: crates/experiments/src/lib.rs
+
+/root/repo/target/release/deps/libh3cdn_experiments-786c4e8ab6d3d632.rlib: crates/experiments/src/lib.rs
+
+/root/repo/target/release/deps/libh3cdn_experiments-786c4e8ab6d3d632.rmeta: crates/experiments/src/lib.rs
+
+crates/experiments/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/h3cdn_har-9b1b0d16860afa6b.d: crates/har/src/lib.rs crates/har/src/entry.rs crates/har/src/export.rs crates/har/src/reduction.rs
+
+/root/repo/target/release/deps/libh3cdn_har-9b1b0d16860afa6b.rlib: crates/har/src/lib.rs crates/har/src/entry.rs crates/har/src/export.rs crates/har/src/reduction.rs
+
+/root/repo/target/release/deps/libh3cdn_har-9b1b0d16860afa6b.rmeta: crates/har/src/lib.rs crates/har/src/entry.rs crates/har/src/export.rs crates/har/src/reduction.rs
+
+crates/har/src/lib.rs:
+crates/har/src/entry.rs:
+crates/har/src/export.rs:
+crates/har/src/reduction.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/h3cdn_http-6cea27ccaf39a53d.d: crates/http/src/lib.rs crates/http/src/client.rs crates/http/src/h1.rs crates/http/src/h2.rs crates/http/src/h3.rs crates/http/src/server.rs crates/http/src/types.rs
+
+/root/repo/target/release/deps/libh3cdn_http-6cea27ccaf39a53d.rlib: crates/http/src/lib.rs crates/http/src/client.rs crates/http/src/h1.rs crates/http/src/h2.rs crates/http/src/h3.rs crates/http/src/server.rs crates/http/src/types.rs
+
+/root/repo/target/release/deps/libh3cdn_http-6cea27ccaf39a53d.rmeta: crates/http/src/lib.rs crates/http/src/client.rs crates/http/src/h1.rs crates/http/src/h2.rs crates/http/src/h3.rs crates/http/src/server.rs crates/http/src/types.rs
+
+crates/http/src/lib.rs:
+crates/http/src/client.rs:
+crates/http/src/h1.rs:
+crates/http/src/h2.rs:
+crates/http/src/h3.rs:
+crates/http/src/server.rs:
+crates/http/src/types.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/h3cdn_netsim-82a442eb193eda2d.d: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/topology.rs
+
+/root/repo/target/release/deps/libh3cdn_netsim-82a442eb193eda2d.rlib: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/topology.rs
+
+/root/repo/target/release/deps/libh3cdn_netsim-82a442eb193eda2d.rmeta: crates/netsim/src/lib.rs crates/netsim/src/engine.rs crates/netsim/src/link.rs crates/netsim/src/loss.rs crates/netsim/src/network.rs crates/netsim/src/node.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/link.rs:
+crates/netsim/src/loss.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/node.rs:
+crates/netsim/src/topology.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/h3cdn_repro-456f5784e0bc3f52.d: src/lib.rs
+
+/root/repo/target/release/deps/libh3cdn_repro-456f5784e0bc3f52.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libh3cdn_repro-456f5784e0bc3f52.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/h3cdn_sim_core-14ec8e956bff7bd5.d: crates/sim-core/src/lib.rs crates/sim-core/src/event.rs crates/sim-core/src/rng.rs crates/sim-core/src/time.rs crates/sim-core/src/units.rs
+
+/root/repo/target/release/deps/libh3cdn_sim_core-14ec8e956bff7bd5.rlib: crates/sim-core/src/lib.rs crates/sim-core/src/event.rs crates/sim-core/src/rng.rs crates/sim-core/src/time.rs crates/sim-core/src/units.rs
+
+/root/repo/target/release/deps/libh3cdn_sim_core-14ec8e956bff7bd5.rmeta: crates/sim-core/src/lib.rs crates/sim-core/src/event.rs crates/sim-core/src/rng.rs crates/sim-core/src/time.rs crates/sim-core/src/units.rs
+
+crates/sim-core/src/lib.rs:
+crates/sim-core/src/event.rs:
+crates/sim-core/src/rng.rs:
+crates/sim-core/src/time.rs:
+crates/sim-core/src/units.rs:

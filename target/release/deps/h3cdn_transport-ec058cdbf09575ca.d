@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/h3cdn_transport-ec058cdbf09575ca.d: crates/transport/src/lib.rs crates/transport/src/cc/mod.rs crates/transport/src/cc/cubic.rs crates/transport/src/cc/new_reno.rs crates/transport/src/conn_id.rs crates/transport/src/duplex.rs crates/transport/src/quic/mod.rs crates/transport/src/quic/connection.rs crates/transport/src/quic/streams.rs crates/transport/src/rtt.rs crates/transport/src/tcp/mod.rs crates/transport/src/tcp/connection.rs crates/transport/src/tls.rs crates/transport/src/wire.rs
+
+/root/repo/target/release/deps/libh3cdn_transport-ec058cdbf09575ca.rlib: crates/transport/src/lib.rs crates/transport/src/cc/mod.rs crates/transport/src/cc/cubic.rs crates/transport/src/cc/new_reno.rs crates/transport/src/conn_id.rs crates/transport/src/duplex.rs crates/transport/src/quic/mod.rs crates/transport/src/quic/connection.rs crates/transport/src/quic/streams.rs crates/transport/src/rtt.rs crates/transport/src/tcp/mod.rs crates/transport/src/tcp/connection.rs crates/transport/src/tls.rs crates/transport/src/wire.rs
+
+/root/repo/target/release/deps/libh3cdn_transport-ec058cdbf09575ca.rmeta: crates/transport/src/lib.rs crates/transport/src/cc/mod.rs crates/transport/src/cc/cubic.rs crates/transport/src/cc/new_reno.rs crates/transport/src/conn_id.rs crates/transport/src/duplex.rs crates/transport/src/quic/mod.rs crates/transport/src/quic/connection.rs crates/transport/src/quic/streams.rs crates/transport/src/rtt.rs crates/transport/src/tcp/mod.rs crates/transport/src/tcp/connection.rs crates/transport/src/tls.rs crates/transport/src/wire.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/cc/mod.rs:
+crates/transport/src/cc/cubic.rs:
+crates/transport/src/cc/new_reno.rs:
+crates/transport/src/conn_id.rs:
+crates/transport/src/duplex.rs:
+crates/transport/src/quic/mod.rs:
+crates/transport/src/quic/connection.rs:
+crates/transport/src/quic/streams.rs:
+crates/transport/src/rtt.rs:
+crates/transport/src/tcp/mod.rs:
+crates/transport/src/tcp/connection.rs:
+crates/transport/src/tls.rs:
+crates/transport/src/wire.rs:

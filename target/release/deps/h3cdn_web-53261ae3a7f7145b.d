@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/h3cdn_web-53261ae3a7f7145b.d: crates/web/src/lib.rs crates/web/src/corpus.rs crates/web/src/domains.rs crates/web/src/resource.rs crates/web/src/spec.rs
+
+/root/repo/target/release/deps/libh3cdn_web-53261ae3a7f7145b.rlib: crates/web/src/lib.rs crates/web/src/corpus.rs crates/web/src/domains.rs crates/web/src/resource.rs crates/web/src/spec.rs
+
+/root/repo/target/release/deps/libh3cdn_web-53261ae3a7f7145b.rmeta: crates/web/src/lib.rs crates/web/src/corpus.rs crates/web/src/domains.rs crates/web/src/resource.rs crates/web/src/spec.rs
+
+crates/web/src/lib.rs:
+crates/web/src/corpus.rs:
+crates/web/src/domains.rs:
+crates/web/src/resource.rs:
+crates/web/src/spec.rs:

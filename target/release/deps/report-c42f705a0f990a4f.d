@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-c42f705a0f990a4f.d: crates/experiments/src/bin/report.rs
+
+/root/repo/target/release/deps/report-c42f705a0f990a4f: crates/experiments/src/bin/report.rs
+
+crates/experiments/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-3919a7139ca9efac.d: crates/experiments/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-3919a7139ca9efac: crates/experiments/src/bin/repro_all.rs
+
+crates/experiments/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runner_scaling-42f0b152d6f9d59f.d: crates/bench/benches/runner_scaling.rs
+
+/root/repo/target/release/deps/runner_scaling-42f0b152d6f9d59f: crates/bench/benches/runner_scaling.rs
+
+crates/bench/benches/runner_scaling.rs:

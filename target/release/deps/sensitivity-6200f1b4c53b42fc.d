@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sensitivity-6200f1b4c53b42fc.d: crates/experiments/src/bin/sensitivity.rs
+
+/root/repo/target/release/deps/sensitivity-6200f1b4c53b42fc: crates/experiments/src/bin/sensitivity.rs
+
+crates/experiments/src/bin/sensitivity.rs:

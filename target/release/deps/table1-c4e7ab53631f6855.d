@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-c4e7ab53631f6855.d: crates/experiments/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-c4e7ab53631f6855: crates/experiments/src/bin/table1.rs
+
+crates/experiments/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-c827c928d839e221.d: crates/experiments/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-c827c928d839e221: crates/experiments/src/bin/table2.rs
+
+crates/experiments/src/bin/table2.rs:

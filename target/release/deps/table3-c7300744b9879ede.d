@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-c7300744b9879ede.d: crates/experiments/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-c7300744b9879ede: crates/experiments/src/bin/table3.rs
+
+crates/experiments/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vantages-d24d93a2fd117dd4.d: crates/experiments/src/bin/vantages.rs
+
+/root/repo/target/release/deps/vantages-d24d93a2fd117dd4: crates/experiments/src/bin/vantages.rs
+
+crates/experiments/src/bin/vantages.rs:

@@ -106,7 +106,12 @@ fn timing_phases_are_sane_across_the_corpus() {
             for e in &har.entries {
                 assert!(e.timing.connect_ms >= 0.0);
                 assert!(e.timing.blocked_ms >= 0.0);
-                assert!(e.timing.wait_ms >= 0.0, "wait {} on {}", e.timing.wait_ms, e.url);
+                assert!(
+                    e.timing.wait_ms >= 0.0,
+                    "wait {} on {}",
+                    e.timing.wait_ms,
+                    e.url
+                );
                 assert!(e.timing.receive_ms >= 0.0);
                 assert!(e.started_ms >= 0.0);
                 assert!(e.finished_ms() <= har.plt_ms + 0.5);

@@ -36,7 +36,10 @@ fn table_ii_h2_leads_h3_follows_h1_trails() {
     let t = h3cdn::experiments::table2::run(&c, Vantage::Utah);
     assert!(t.h2.total() > t.h3.total());
     assert!(t.h3.total() > t.others.total());
-    assert!(t.others.cdn == 0, "CDN requests never fall back to HTTP/1.x");
+    assert!(
+        t.others.cdn == 0,
+        "CDN requests never fall back to HTTP/1.x"
+    );
 }
 
 #[test]
@@ -64,7 +67,11 @@ fn fig8_shared_providers_pay_off_under_consecutive_visits() {
     let c = campaign(12, 45);
     let (h2, h3) = c.consecutive_pass(Vantage::Utah);
     // Later pages resume; overall PLT reduction stays positive.
-    let resumed: usize = h3.iter().skip(1).map(|p| p.resumed_connection_count()).sum();
+    let resumed: usize = h3
+        .iter()
+        .skip(1)
+        .map(|p| p.resumed_connection_count())
+        .sum();
     assert!(resumed > 0);
     let mean_red: f64 = h2
         .iter()
@@ -73,7 +80,10 @@ fn fig8_shared_providers_pay_off_under_consecutive_visits() {
         .map(|(a, b)| a.plt_ms - b.plt_ms)
         .sum::<f64>()
         / (h2.len() - 1) as f64;
-    assert!(mean_red > 0.0, "consecutive-visit reduction {mean_red:.1}ms");
+    assert!(
+        mean_red > 0.0,
+        "consecutive-visit reduction {mean_red:.1}ms"
+    );
 }
 
 #[test]

@@ -1,0 +1,297 @@
+//! The self-describing data model shared by the vendored `serde` and
+//! `serde_json` shims. `serde_json::Value` is an alias of [`Content`].
+
+/// A JSON-shaped value tree.
+///
+/// Maps preserve insertion order (like `serde_json` with its
+/// `preserve_order` feature), which keeps serialisation deterministic
+/// and byte-stable for identical inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Num(Number),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Content>),
+    /// JSON object, insertion-ordered.
+    Map(Vec<(String, Content)>),
+}
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    fn as_f64(self) -> f64 {
+        match self {
+            Number::U(v) => v as f64,
+            Number::I(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (*self, *other) {
+            (Number::U(a), Number::U(b)) => a == b,
+            (Number::I(a), Number::I(b)) => a == b,
+            (Number::F(a), Number::F(b)) => a == b,
+            // Cross-variant comparisons go through f64, which is exact
+            // for every integer the workspace serialises.
+            (a, b) => a.as_f64() == b.as_f64(),
+        }
+    }
+}
+
+impl Content {
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `u64`, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::Num(Number::U(v)) => Some(*v),
+            Content::Num(Number::I(v)) => u64::try_from(*v).ok(),
+            Content::Num(Number::F(v)) if v.fract() == 0.0 && *v >= 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `i64`, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::Num(Number::U(v)) => i64::try_from(*v).ok(),
+            Content::Num(Number::I(v)) => Some(*v),
+            Content::Num(Number::F(v)) if v.fract() == 0.0 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Content)>> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object key.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_object()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// The string an object key renders to when this scalar is used as a
+    /// map key (integer keys become their decimal form, as in
+    /// `serde_json`).
+    pub fn to_key_string(&self) -> String {
+        match self {
+            Content::Str(s) => s.clone(),
+            Content::Num(Number::U(v)) => v.to_string(),
+            Content::Num(Number::I(v)) => v.to_string(),
+            Content::Num(Number::F(v)) => format!("{v:?}"),
+            Content::Bool(b) => b.to_string(),
+            other => panic!("unsupported JSON map key: {other:?}"),
+        }
+    }
+}
+
+static NULL: Content = Content::Null;
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+
+    /// Object field access; missing keys and non-objects yield `null`,
+    /// matching `serde_json`'s panic-free indexing.
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+
+    /// Array element access; out-of-range and non-arrays yield `null`.
+    fn index(&self, idx: usize) -> &Content {
+        self.as_array().and_then(|v| v.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl std::fmt::Display for Content {
+    /// Compact JSON rendering (same shape as `serde_json::to_string`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&render(self, None, 0))
+    }
+}
+
+/// Renders a content tree as JSON. `indent` of `None` is compact;
+/// `Some(width)` is pretty-printed.
+pub fn render(c: &Content, indent: Option<usize>, depth: usize) -> String {
+    match c {
+        Content::Null => "null".to_string(),
+        Content::Bool(b) => b.to_string(),
+        Content::Num(Number::U(v)) => v.to_string(),
+        Content::Num(Number::I(v)) => v.to_string(),
+        Content::Num(Number::F(v)) => {
+            if v.is_finite() {
+                // `{:?}` is Rust's shortest round-trip float form, the
+                // same family of output ryu gives serde_json.
+                format!("{v:?}")
+            } else {
+                // serde_json cannot represent non-finite numbers; it
+                // writes null.
+                "null".to_string()
+            }
+        }
+        Content::Str(s) => escape_json(s),
+        Content::Seq(items) => render_seq(items, indent, depth),
+        Content::Map(entries) => render_map(entries, indent, depth),
+    }
+}
+
+fn render_seq(items: &[Content], indent: Option<usize>, depth: usize) -> String {
+    if items.is_empty() {
+        return "[]".to_string();
+    }
+    match indent {
+        None => {
+            let inner: Vec<String> = items.iter().map(|v| render(v, None, 0)).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Some(w) => {
+            let pad = " ".repeat(w * (depth + 1));
+            let close = " ".repeat(w * depth);
+            let inner: Vec<String> = items
+                .iter()
+                .map(|v| format!("{pad}{}", render(v, indent, depth + 1)))
+                .collect();
+            format!("[\n{}\n{close}]", inner.join(",\n"))
+        }
+    }
+}
+
+fn render_map(entries: &[(String, Content)], indent: Option<usize>, depth: usize) -> String {
+    if entries.is_empty() {
+        return "{}".to_string();
+    }
+    match indent {
+        None => {
+            let inner: Vec<String> = entries
+                .iter()
+                .map(|(k, v)| format!("{}:{}", escape_json(k), render(v, None, 0)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+        Some(w) => {
+            let pad = " ".repeat(w * (depth + 1));
+            let close = " ".repeat(w * depth);
+            let inner: Vec<String> = entries
+                .iter()
+                .map(|(k, v)| format!("{pad}{}: {}", escape_json(k), render(v, indent, depth + 1)))
+                .collect();
+            format!("{{\n{}\n{close}}}", inner.join(",\n"))
+        }
+    }
+}
+
+/// Escapes a string into its quoted JSON form.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// Ergonomic equality against plain Rust values, as serde_json provides.
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Content {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Content {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Content::Bool(b) if b == other)
+    }
+}
+
+macro_rules! impl_eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Content {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Content::Num(n) => n.as_f64() == (*other as f64),
+                    _ => false,
+                }
+            }
+        }
+    )*};
+}
+impl_eq_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);

@@ -1,0 +1,23 @@
+//! Helpers used by the code `serde_derive` generates.
+
+use crate::{Content, Deserialize, Error};
+
+/// Looks up `key` in a serialised struct's entries and deserialises it.
+///
+/// Missing keys are an error, exactly as in derived real-serde
+/// deserialisers without `#[serde(default)]`.
+pub fn field<T: Deserialize>(entries: &[(String, Content)], key: &str) -> Result<T, Error> {
+    match entries.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => {
+            T::from_content(v).map_err(|e| Error::custom(format!("field `{key}`: {e}")))
+        }
+        None => Err(Error::custom(format!("missing field `{key}`"))),
+    }
+}
+
+/// Extracts the entries of a serialised struct.
+pub fn entries<'c>(c: &'c Content, ty: &str) -> Result<&'c [(String, Content)], Error> {
+    c.as_object()
+        .map(Vec::as_slice)
+        .ok_or_else(|| Error::custom(format!("expected object for `{ty}`")))
+}

@@ -1,0 +1,303 @@
+//! Offline vendored shim of `serde`.
+//!
+//! This workspace builds in a hermetic container with no crates.io
+//! access, so the real `serde` cannot be fetched. This crate provides the
+//! subset of its surface the workspace actually uses — the `Serialize` /
+//! `Deserialize` traits (including the derive macros, via the companion
+//! `serde_derive` shim) over a small self-describing data model
+//! ([`Content`]) that the vendored `serde_json` renders to and parses
+//! from.
+//!
+//! The shim intentionally mirrors real-serde semantics for everything the
+//! repo relies on: field order is preserved, `Option` maps to
+//! `null`/value, unit enums serialise as their variant name, newtype
+//! structs are transparent, and non-finite floats serialise as `null`
+//! (matching `serde_json`'s lossy float handling).
+
+pub mod content;
+pub mod de;
+
+pub use content::{Content, Number};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialisation into the self-describing [`Content`] model.
+pub trait Serialize {
+    /// Converts `self` into a [`Content`] tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialisation from the self-describing [`Content`] model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Content`] tree.
+    fn from_content(c: &Content) -> Result<Self, Error>;
+}
+
+/// Deserialisation error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Num(Number::U(*self as u64))
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::Num(Number::U(v as u64))
+                } else {
+                    Content::Num(Number::I(v))
+                }
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::Num(Number::F(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::Num(Number::F(f64::from(*self)))
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        // JSON object keys are strings; render scalar keys through their
+        // JSON scalar form, exactly as serde_json does for integer keys.
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content().to_key_string(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                c.as_u64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| {
+                        Error::custom(format!(
+                            concat!("expected ", stringify!($t), ", got {:?}"),
+                            c
+                        ))
+                    })
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                c.as_i64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| {
+                        Error::custom(format!(
+                            concat!("expected ", stringify!($t), ", got {:?}"),
+                            c
+                        ))
+                    })
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            // serde_json writes non-finite floats as null; accept the
+            // round trip.
+            Content::Null => Ok(f64::NAN),
+            _ => c
+                .as_f64()
+                .ok_or_else(|| Error::custom(format!("expected f64, got {c:?}"))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        // The workspace deserialises `&'static str` fields only in tests;
+        // leaking the handful of short strings involved is the pragmatic
+        // way to satisfy the lifetime.
+        String::from_content(c).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) if items.len() == 2 => {
+                Ok((A::from_content(&items[0])?, B::from_content(&items[1])?))
+            }
+            other => Err(Error::custom(format!("expected 2-tuple, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}

@@ -1,0 +1,240 @@
+//! Offline vendored shim of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! item shapes this workspace uses — named-field structs, newtype
+//! structs, and unit-variant enums — by walking the raw token stream
+//! (no `syn`/`quote`, which cannot be fetched offline). Generated code
+//! targets the vendored `serde` shim's `Content` data model.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    /// `struct Name { field, ... }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct Name(Type);`
+    Newtype { name: String },
+    /// `enum Name { Variant, ... }` (unit variants only)
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracketed group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other}"),
+    };
+    i += 1;
+    match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            // Only single-field (newtype) tuple structs are supported:
+            // a top-level comma outside any <...> means more fields.
+            let mut depth = 0i32;
+            for t in &inner {
+                if let TokenTree::Punct(p) = t {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 0 => panic!(
+                            "serde_derive shim: multi-field tuple struct `{name}` unsupported"
+                        ),
+                        _ => {}
+                    }
+                }
+            }
+            Item::Newtype { name }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Item::Enum {
+            name: name.clone(),
+            variants: parse_unit_variants(g.stream(), &name),
+        },
+        (k, t) => panic!("serde_derive shim: unsupported item `{k}` body {t:?}"),
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, got {other}"),
+        };
+        fields.push(field);
+        i += 1;
+        // Expect `:`, then skip the type up to the next top-level comma.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:`, got {other}"),
+        }
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Variant names of a unit-variant enum body.
+fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => variants.push(id.to_string()),
+            other => panic!("serde_derive shim: expected variant in `{enum_name}`, got {other}"),
+        }
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => panic!(
+                "serde_derive shim: only unit variants supported in `{enum_name}`, got {other}"
+            ),
+        }
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_content(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 let mut __m: Vec<(String, ::serde::Content)> = Vec::new();\n\
+                 {pushes}\n\
+                 ::serde::Content::Map(__m)\n}}\n}}"
+            )
+        }
+        Item::Newtype { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+             ::serde::Serialize::to_content(&self.0)\n}}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Str(match self {{ {arms} }}.to_string())\n}}\n}}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive shim: generated code parses")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(__entries, {f:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(__c: &::serde::Content) \
+                 -> Result<Self, ::serde::Error> {{\n\
+                 let __entries = ::serde::de::entries(__c, {name:?})?;\n\
+                 Ok({name} {{ {inits} }})\n}}\n}}"
+            )
+        }
+        Item::Newtype { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &::serde::Content) \
+             -> Result<Self, ::serde::Error> {{\n\
+             Ok({name}(::serde::Deserialize::from_content(__c)?))\n}}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(__c: &::serde::Content) \
+                 -> Result<Self, ::serde::Error> {{\n\
+                 match __c.as_str() {{\n\
+                 Some(__s) => match __s {{ {arms} _ => Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant {{__s:?}}\"))) }},\n\
+                 None => Err(::serde::Error::custom(\
+                 format!(\"expected string for {name}, got {{__c:?}}\"))),\n}}\n}}\n}}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive shim: generated code parses")
+}

@@ -1,0 +1,362 @@
+//! Offline vendored shim of `serde_json`.
+//!
+//! Provides the subset of the real crate's surface this workspace uses:
+//! [`Value`], [`to_string`], [`to_string_pretty`], [`from_str`],
+//! [`to_value`], and the [`json!`] macro. Rendering is deterministic:
+//! identical inputs produce byte-identical JSON (maps preserve insertion
+//! order, floats use Rust's shortest round-trip form).
+
+pub use serde::content::{Content as Value, Number};
+
+/// Serialisation/deserialisation error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serialisable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_content()
+}
+
+/// Serialises to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::content::render(&value.to_content(), None, 0))
+}
+
+/// Serialises to pretty-printed JSON (two-space indent, like the real
+/// `serde_json`).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::content::render(&value.to_content(), Some(2), 0))
+}
+
+/// Parses a JSON document and deserialises it into `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let value = parse::parse(s).map_err(Error)?;
+    Ok(T::from_content(&value)?)
+}
+
+mod parse {
+    use super::{Number, Value};
+
+    pub fn parse(s: &str) -> std::result::Result<Value, String> {
+        let bytes = s.as_bytes();
+        let mut pos = 0;
+        let v = value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> std::result::Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".to_string()),
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+            Some(b't') => literal(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => literal(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => literal(b, pos, "null", Value::Null),
+            Some(_) => number(b, pos),
+        }
+    }
+
+    fn literal(
+        b: &[u8],
+        pos: &mut usize,
+        lit: &str,
+        v: Value,
+    ) -> std::result::Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {pos}", pos = *pos))
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> std::result::Result<Value, String> {
+        *pos += 1; // '{'
+        let mut entries = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = string(b, pos)?;
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b':') {
+                return Err(format!("expected ':' at byte {pos}", pos = *pos));
+            }
+            *pos += 1;
+            let v = value(b, pos)?;
+            entries.push((key, v));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+            }
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> std::result::Result<Value, String> {
+        *pos += 1; // '['
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+            }
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> std::result::Result<String, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                            *pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    *pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> std::result::Result<Value, String> {
+        let start = *pos;
+        if b.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        let mut float = false;
+        while let Some(&c) = b.get(*pos) {
+            match c {
+                b'0'..=b'9' => *pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    *pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+        if text.is_empty() || text == "-" {
+            return Err(format!("invalid number at byte {start}"));
+        }
+        if !float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Num(Number::U(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Num(Number::I(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Num(Number::F(f)))
+            .map_err(|e| format!("invalid number {text:?}: {e}"))
+    }
+}
+
+/// Builds a [`Value`] from a JSON literal, interpolating Rust
+/// expressions, as in the real `serde_json`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Seq(Vec::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        let mut __items: Vec<$crate::Value> = Vec::new();
+        $crate::json_internal!(@array __items () $($tt)+);
+        $crate::Value::Seq(__items)
+    }};
+    ({}) => { $crate::Value::Map(Vec::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut __entries: Vec<(String, $crate::Value)> = Vec::new();
+        $crate::json_internal!(@object __entries $($tt)+);
+        $crate::Value::Map(__entries)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]: appends one object entry.
+#[doc(hidden)]
+pub fn __json_push_entry(entries: &mut Vec<(String, Value)>, key: &str, value: Value) {
+    entries.push((key.to_string(), value));
+}
+
+/// Implementation detail of [`json!`]: appends one array item.
+#[doc(hidden)]
+pub fn __json_push_item(items: &mut Vec<Value>, value: Value) {
+    items.push(value);
+}
+
+/// Implementation detail of [`json!`]: a token-tree muncher that splits
+/// object entries and array items on top-level commas.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // -- objects: `"key": <value tts...> , ...` -----------------------------
+    (@object $m:ident) => {};
+    (@object $m:ident $key:literal : $($rest:tt)*) => {
+        $crate::json_internal!(@value $m $key () $($rest)*)
+    };
+    // Value finished by a top-level comma.
+    (@value $m:ident $key:literal ($($v:tt)*) , $($rest:tt)*) => {
+        $crate::__json_push_entry(&mut $m, $key, $crate::json!($($v)*));
+        $crate::json_internal!(@object $m $($rest)*)
+    };
+    // Value finished by end of input.
+    (@value $m:ident $key:literal ($($v:tt)*)) => {
+        $crate::__json_push_entry(&mut $m, $key, $crate::json!($($v)*));
+    };
+    // Accumulate one more token of the value.
+    (@value $m:ident $key:literal ($($v:tt)*) $t:tt $($rest:tt)*) => {
+        $crate::json_internal!(@value $m $key ($($v)* $t) $($rest)*)
+    };
+    // -- arrays: `<value tts...> , ...` -------------------------------------
+    (@array $items:ident ($($v:tt)*) , $($rest:tt)*) => {
+        $crate::__json_push_item(&mut $items, $crate::json!($($v)*));
+        $crate::json_internal!(@array $items () $($rest)*)
+    };
+    (@array $items:ident ($($v:tt)+)) => {
+        $crate::__json_push_item(&mut $items, $crate::json!($($v)+));
+    };
+    (@array $items:ident ()) => {};
+    (@array $items:ident ($($v:tt)*) $t:tt $($rest:tt)*) => {
+        $crate::json_internal!(@array $items ($($v)* $t) $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals_round_trip() {
+        let v = json!({
+            "a": 1,
+            "b": -2,
+            "c": 2.5,
+            "d": "x",
+            "e": [],
+            "f": {"g": null, "h": true},
+        });
+        let s = to_string(&v).unwrap();
+        assert_eq!(
+            s,
+            "{\"a\":1,\"b\":-2,\"c\":2.5,\"d\":\"x\",\"e\":[],\"f\":{\"g\":null,\"h\":true}}"
+        );
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back["f"]["h"], true);
+        assert_eq!(back["a"], 1);
+        assert_eq!(back["c"], 2.5);
+        assert_eq!(back["d"], "x");
+    }
+
+    #[test]
+    fn expressions_interpolate() {
+        let name = String::from("quic");
+        let n: u64 = 7;
+        let v = json!({ "name": name, "n": n, "arr": [1, 2, n] });
+        assert_eq!(v["name"], "quic");
+        assert_eq!(v["arr"].as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn pretty_has_indentation() {
+        let v = json!({"a": [1]});
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        let v = to_value(&f64::NAN);
+        assert_eq!(to_string(&v).unwrap(), "null");
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let v: Value = from_str(" { \"a\\n\" : [ 1 , \"\\u0041\" ] } ").unwrap();
+        assert_eq!(v["a\n"][1], "A");
+    }
+}
