@@ -67,7 +67,7 @@ pub fn bootstrap_slope_ci(
         }
         slopes.push(linear_fit(&rx, &ry).slope);
     }
-    slopes.sort_by(|a, b| a.partial_cmp(b).expect("finite slopes"));
+    slopes.sort_by(f64::total_cmp);
     let alpha = (1.0 - coverage) / 2.0;
     let lo_idx = ((iters as f64) * alpha).floor() as usize;
     let hi_idx = (((iters as f64) * (1.0 - alpha)).ceil() as usize).min(iters - 1);
@@ -105,7 +105,7 @@ mod tests {
     #[test]
     fn noisy_data_widens_the_interval() {
         let xs: Vec<f64> = (0..60).map(|i| (i % 20) as f64).collect();
-        let tight: Vec<f64> = xs.to_vec();
+        let tight: Vec<f64> = xs.clone();
         let noisy: Vec<f64> = xs
             .iter()
             .enumerate()

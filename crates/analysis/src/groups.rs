@@ -50,12 +50,7 @@ impl std::fmt::Display for QuartileGroup {
 pub fn quartile_groups(keys: &[f64]) -> Vec<QuartileGroup> {
     let n = keys.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        keys[a]
-            .partial_cmp(&keys[b])
-            .expect("keys must not be NaN")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]).then(a.cmp(&b)));
     let mut out = vec![QuartileGroup::Low; n];
     for (rank, &idx) in order.iter().enumerate() {
         let g = rank * 4 / n.max(1);

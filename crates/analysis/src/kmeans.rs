@@ -35,7 +35,7 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> Vec
                     .fold(f64::INFINITY, f64::min);
                 (i, d)
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty points");
         centroids.push(points[far_idx].clone());
     }
@@ -46,11 +46,7 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> Vec
         let mut changed = false;
         for (i, p) in points.iter().enumerate() {
             let best = (0..k)
-                .min_by(|&a, &b| {
-                    dist2(p, &centroids[a])
-                        .partial_cmp(&dist2(p, &centroids[b]))
-                        .expect("finite distances")
-                })
+                .min_by(|&a, &b| dist2(p, &centroids[a]).total_cmp(&dist2(p, &centroids[b])))
                 .expect("k > 0");
             if assignment[i] != best {
                 assignment[i] = best;

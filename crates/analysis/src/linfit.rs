@@ -35,6 +35,8 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
     assert!(sxx > 0.0, "all x identical; vertical line has no OLS fit");
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
+    // Intentional exact test: zero total variation means R² is
+    // undefined. h3cdn-lint: allow(float-cmp)
     let r_squared = if syy == 0.0 {
         f64::NAN
     } else {

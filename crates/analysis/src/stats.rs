@@ -26,7 +26,7 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
         return f64::NAN;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -45,7 +45,7 @@ pub fn cdf_points(values: &[f64]) -> Vec<(f64, f64)> {
         return Vec::new();
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len() as f64;
     let mut out: Vec<(f64, f64)> = Vec::new();
     for (i, &x) in sorted.iter().enumerate() {
@@ -82,6 +82,8 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
         vx += (x - mx).powi(2);
         vy += (y - my).powi(2);
     }
+    // Intentional exact test: a mathematically-zero variance means the
+    // correlation is undefined. h3cdn-lint: allow(float-cmp)
     if vx == 0.0 || vy == 0.0 {
         return f64::NAN;
     }
@@ -100,7 +102,7 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
 
 fn ranks(values: &[f64]) -> Vec<f64> {
     let mut order: Vec<usize> = (0..values.len()).collect();
-    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaN"));
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
     let mut out = vec![0.0; values.len()];
     let mut i = 0;
     while i < order.len() {
@@ -157,7 +159,8 @@ mod tests {
             assert!(w[0].0 < w[1].0);
             assert!(w[0].1 <= w[1].1);
         }
-        // P[X ≤ 2] = 3/4.
+        // P[X ≤ 2] = 3/4. Exact lookup of a value the test inserted.
+        // h3cdn-lint: allow(float-cmp)
         let at2 = cdf.iter().find(|(x, _)| *x == 2.0).unwrap().1;
         assert!((at2 - 0.75).abs() < 1e-12);
     }
@@ -166,6 +169,7 @@ mod tests {
     fn ccdf_complements_cdf() {
         let v = [1.0, 2.0, 3.0, 4.0];
         let ccdf = ccdf_points(&v);
+        // Exact lookup of a value the test inserted. h3cdn-lint: allow(float-cmp)
         let at2 = ccdf.iter().find(|(x, _)| *x == 2.0).unwrap().1;
         assert!((at2 - 0.5).abs() < 1e-12, "P[X > 2] = 0.5");
         assert!(ccdf.last().unwrap().1.abs() < 1e-12);

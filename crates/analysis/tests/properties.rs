@@ -15,8 +15,8 @@ proptest! {
         let a = quantile(&values, lo);
         let b = quantile(&values, hi);
         prop_assert!(a <= b + 1e-9);
-        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
     }
 
@@ -58,7 +58,7 @@ proptest! {
         // Make the dimensionality uniform (3 columns).
         let pts: Vec<Vec<f64>> = points
             .iter()
-            .map(|p| p.iter().cloned().chain(std::iter::repeat(0.0)).take(3).collect())
+            .map(|p| p.iter().copied().chain(std::iter::repeat(0.0)).take(3).collect())
             .collect();
         prop_assume!(k <= pts.len());
         let a = kmeans(&pts, k, 50, seed);

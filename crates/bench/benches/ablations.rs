@@ -33,7 +33,7 @@ fn bench_cc_ablation(c: &mut Criterion) {
                         .har
                         .plt_ms,
                 )
-            })
+            });
         });
     }
 }
@@ -55,7 +55,7 @@ fn bench_loss_model_ablation(c: &mut Criterion) {
                         .har
                         .plt_ms,
                 )
-            })
+            });
         });
     }
 }

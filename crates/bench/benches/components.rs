@@ -40,7 +40,7 @@ fn bench_corpus(c: &mut Criterion) {
             black_box(generate(
                 &WorkloadSpec::default().with_pages(50).with_seed(1),
             ))
-        })
+        });
     });
 }
 
@@ -59,7 +59,7 @@ fn bench_visits(c: &mut Criterion) {
                     &cfg,
                     TicketStore::new(),
                 ))
-            })
+            });
         });
     }
 }
@@ -94,7 +94,7 @@ fn bench_transports(c: &mut Criterion) {
             }
             pipe.run(10_000_000);
             black_box(pipe.b.requests_served())
-        })
+        });
     });
 
     c.bench_function("h3_transfer_1mb", |b| {
@@ -116,14 +116,14 @@ fn bench_transports(c: &mut Criterion) {
             }
             pipe.run(10_000_000);
             black_box(pipe.b.requests_served())
-        })
+        });
     });
 }
 
 fn bench_analysis(c: &mut Criterion) {
     let values: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 1000) as f64).collect();
     c.bench_function("ccdf_10k_points", |b| {
-        b.iter(|| black_box(ccdf_points(&values)))
+        b.iter(|| black_box(ccdf_points(&values)));
     });
     let points: Vec<Vec<f64>> = (0..300)
         .map(|i| {
@@ -133,7 +133,7 @@ fn bench_analysis(c: &mut Criterion) {
         })
         .collect();
     c.bench_function("kmeans_300x58", |b| {
-        b.iter(|| black_box(kmeans(&points, 2, 100, 1)))
+        b.iter(|| black_box(kmeans(&points, 2, 100, 1)));
     });
 }
 

@@ -13,22 +13,22 @@ fn bench_tables_and_figures(c: &mut Criterion) {
     let v = Vantage::Utah;
 
     c.bench_function("table1_registry", |b| {
-        b.iter(|| black_box(ex::table1::run()))
+        b.iter(|| black_box(ex::table1::run()));
     });
     c.bench_function("table2_adoption", |b| {
-        b.iter(|| black_box(ex::table2::run(&campaign, v)))
+        b.iter(|| black_box(ex::table2::run(&campaign, v)));
     });
     c.bench_function("fig2_provider_share", |b| {
-        b.iter(|| black_box(ex::fig2::run(&campaign, v)))
+        b.iter(|| black_box(ex::fig2::run(&campaign, v)));
     });
     c.bench_function("fig3_ccdf", |b| {
-        b.iter(|| black_box(ex::fig3::run(&campaign)))
+        b.iter(|| black_box(ex::fig3::run(&campaign)));
     });
     c.bench_function("fig4_sharing", |b| {
-        b.iter(|| black_box(ex::fig4::run(&campaign)))
+        b.iter(|| black_box(ex::fig4::run(&campaign)));
     });
     c.bench_function("fig5_centralisation", |b| {
-        b.iter(|| black_box(ex::fig5::run(&campaign)))
+        b.iter(|| black_box(ex::fig5::run(&campaign)));
     });
 
     // The paired dataset feeding Figs. 6 and 7.
@@ -36,20 +36,20 @@ fn bench_tables_and_figures(c: &mut Criterion) {
         .map(|s| campaign.compare_page(s, v))
         .collect();
     c.bench_function("fig6_plt_reduction", |b| {
-        b.iter(|| black_box(ex::fig6::run(&comparisons)))
+        b.iter(|| black_box(ex::fig6::run(&comparisons)));
     });
     c.bench_function("fig7_reuse", |b| {
-        b.iter(|| black_box(ex::fig7::run(&comparisons)))
+        b.iter(|| black_box(ex::fig7::run(&comparisons)));
     });
 
     c.bench_function("fig8_resumption", |b| {
-        b.iter(|| black_box(ex::fig8::run(&campaign, v, 1)))
+        b.iter(|| black_box(ex::fig8::run(&campaign, v, 1)));
     });
     c.bench_function("table3_kmeans", |b| {
-        b.iter(|| black_box(ex::table3::run(&campaign, v, 1)))
+        b.iter(|| black_box(ex::table3::run(&campaign, v, 1)));
     });
     c.bench_function("fig9_loss_sweep", |b| {
-        b.iter(|| black_box(ex::fig9::run(&campaign, v, &[0.0, 1.0])))
+        b.iter(|| black_box(ex::fig9::run(&campaign, v, &[0.0, 1.0])));
     });
 }
 

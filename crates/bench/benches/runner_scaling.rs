@@ -26,7 +26,7 @@ fn bench_runner_scaling(c: &mut Criterion) {
     for jobs in [1usize, 2, 4, 8] {
         let campaign = campaign(jobs);
         c.bench_function(&format!("runner_scaling/compare_all/workers={jobs}"), |b| {
-            b.iter(|| black_box(campaign.compare_all()))
+            b.iter(|| black_box(campaign.compare_all()));
         });
     }
 }

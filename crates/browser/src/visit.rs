@@ -465,7 +465,7 @@ mod tests {
         // domains are capped at six parallel connections.
         for site in 0..corpus.pages.len() {
             let har = visit(&corpus, site, ProtocolMode::H3Enabled);
-            let mut conns_per: std::collections::HashMap<
+            let mut conns_per: std::collections::BTreeMap<
                 (String, String),
                 std::collections::BTreeSet<u64>,
             > = Default::default();
@@ -508,8 +508,8 @@ mod tests {
         let har = visit_page(page, &corpus.domains, &cfg, TicketStore::new()).har;
         // Per H3-capable domain: the earliest-dispatched entry went H2
         // (discovery), and H3 appears only after it.
-        let mut h3_started = std::collections::HashMap::new();
-        let mut h2_first = std::collections::HashMap::new();
+        let mut h3_started = std::collections::BTreeMap::new();
+        let mut h2_first = std::collections::BTreeMap::new();
         for e in &har.entries {
             if e.protocol == "h3" {
                 let t = h3_started.entry(e.domain.clone()).or_insert(e.started_ms);
@@ -556,7 +556,7 @@ mod tests {
         .har;
         // Per domain, exactly the entries dispatched before resolution
         // completes carry dns time; at least the first one does.
-        let mut per_domain: std::collections::HashMap<&str, Vec<f64>> = Default::default();
+        let mut per_domain: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
         for e in &har.entries {
             per_domain
                 .entry(e.domain.as_str())

@@ -74,7 +74,7 @@ pub fn run(campaign: &MeasurementCampaign, vantage: Vantage) -> Fig2 {
             }
         })
         .collect();
-    rows.sort_by(|a, b| b.h3_share.partial_cmp(&a.h3_share).expect("finite"));
+    rows.sort_by(|a, b| b.h3_share.total_cmp(&a.h3_share));
     Fig2 { rows }
 }
 

@@ -34,7 +34,7 @@ pub fn run(campaign: &MeasurementCampaign) -> Fig4 {
             (p.name().to_string(), k as f64 / n)
         })
         .collect();
-    appearance.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    appearance.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     let mut pages_by_provider_count: BTreeMap<usize, usize> = BTreeMap::new();
     for page in pages {
@@ -62,7 +62,7 @@ impl fmt::Display for Fig4 {
         }
         writeln!(f, "Fig. 4(b): pages by number of providers used")?;
         for (count, pages) in &self.pages_by_provider_count {
-            writeln!(f, "{:>2} providers: {:>4} pages", count, pages)?;
+            writeln!(f, "{count:>2} providers: {pages:>4} pages")?;
         }
         writeln!(
             f,

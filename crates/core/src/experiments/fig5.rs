@@ -77,8 +77,7 @@ impl fmt::Display for Fig5 {
                 .points
                 .iter()
                 .find(|(_, p)| *p <= 0.5)
-                .map(|(x, _)| *x)
-                .unwrap_or(0.0);
+                .map_or(0.0, |(x, _)| *x);
             writeln!(
                 f,
                 "{:<12} {:>14.0} {:>13.1}%",

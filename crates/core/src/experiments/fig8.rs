@@ -64,11 +64,13 @@ pub fn run(campaign: &MeasurementCampaign, vantage: Vantage, warmup: usize) -> F
             mean_resumed: mean(&resumed),
         })
         .collect();
-    let increasing = rows.len() >= 2
-        && rows.last().expect("non-empty").mean_plt_reduction_ms
-            > rows.first().expect("non-empty").mean_plt_reduction_ms
-        && rows.last().expect("non-empty").mean_resumed
-            > rows.first().expect("non-empty").mean_resumed;
+    let increasing = match (rows.first(), rows.last()) {
+        (Some(first), Some(last)) if rows.len() >= 2 => {
+            last.mean_plt_reduction_ms > first.mean_plt_reduction_ms
+                && last.mean_resumed > first.mean_resumed
+        }
+        _ => false,
+    };
     Fig8 { rows, increasing }
 }
 

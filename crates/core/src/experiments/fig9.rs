@@ -110,7 +110,7 @@ pub fn run_with_repeats(
 /// OLS over the medians of ten equal-count bins ordered by x.
 fn binned_median_fit(points: &[(f64, f64)]) -> f64 {
     let mut sorted: Vec<(f64, f64)> = points.to_vec();
-    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
     let bins = 10.min(sorted.len());
     if bins < 2 {
         return f64::NAN;

@@ -59,8 +59,7 @@ impl fmt::Display for Table1 {
         for row in &self.rows {
             let year = row
                 .release_year
-                .map(|y| y.to_string())
-                .unwrap_or_else(|| "N/A".into());
+                .map_or_else(|| "N/A".into(), |y| y.to_string());
             writeln!(
                 f,
                 "{:<12} {:<8} {}",

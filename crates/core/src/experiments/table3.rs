@@ -114,11 +114,7 @@ pub fn run(campaign: &MeasurementCampaign, vantage: Vantage, warmup: usize) -> T
             let ones = a.iter().filter(|&&c| c == 1).count();
             ones.min(a.len() - ones) >= vectors.len() / 10
         })
-        .min_by(|a, b| {
-            wcss(&vectors, a)
-                .partial_cmp(&wcss(&vectors, b))
-                .expect("finite WCSS")
-        })
+        .min_by(|a, b| wcss(&vectors, a).total_cmp(&wcss(&vectors, b)))
         .unwrap_or_else(|| kmeans(&vectors, 2, 100, corpus.spec.seed));
 
     // 3. Consecutive passes, reductions per page.

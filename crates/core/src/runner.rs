@@ -76,11 +76,14 @@ impl RunnerConfig {
     /// Resolves `jobs`/`quiet` from the environment: `H3CDN_JOBS` for
     /// the worker count, `H3CDN_PROGRESS=1` to enable counters.
     pub fn from_env() -> Self {
+        // Worker count and progress logging change scheduling only, never
+        // results (the merge is key-ordered). h3cdn-lint: allow(env-read)
         let jobs = std::env::var("H3CDN_JOBS")
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .unwrap_or(0);
         let quiet = !matches!(
+            // h3cdn-lint: allow(env-read)
             std::env::var("H3CDN_PROGRESS").as_deref(),
             Ok("1") | Ok("true")
         );
@@ -92,6 +95,8 @@ impl RunnerConfig {
         if self.jobs > 0 {
             return self.jobs;
         }
+        // Scheduling knob only; results are worker-count independent.
+        // h3cdn-lint: allow(env-read)
         if let Some(jobs) = std::env::var("H3CDN_JOBS")
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
@@ -99,9 +104,7 @@ impl RunnerConfig {
         {
             return jobs;
         }
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     }
 }
 
@@ -133,6 +136,9 @@ where
         fns.push(f);
     }
 
+    // Wall-clock is used for the jobs/s progress line on stderr only;
+    // it never feeds into simulated time or results.
+    // h3cdn-lint: allow(wall-clock)
     let started = Instant::now();
     let results: Vec<T> = if workers <= 1 || total <= 1 {
         fns.into_iter().map(|f| f()).collect()

@@ -141,7 +141,7 @@ mod tests {
     use super::*;
 
     fn parse(s: &[&str]) -> Options {
-        parse_args(s.iter().map(|s| s.to_string()))
+        parse_args(s.iter().map(std::string::ToString::to_string))
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! `h3cdn-lint` — a dependency-free, pure-`std` source-level analyzer
+//! that enforces the workspace's simulation-correctness policy.
+//!
+//! The paper reproduction is only trustworthy because every layer is
+//! bit-deterministic. This crate turns that discipline into
+//! machine-checked rules over the source tree (a line/token scanner —
+//! deliberately *not* `syn`, so the workspace stays hermetic):
+//!
+//! * **determinism** — [`RULE_UNORDERED_ITER`], [`RULE_WALL_CLOCK`],
+//!   [`RULE_AMBIENT_RNG`], [`RULE_ENV_READ`]: no unordered
+//!   `HashMap`/`HashSet` iteration, no wall-clock reads, no ambient
+//!   RNG, no environment reads in sim-affecting crates.
+//! * **sans-IO purity** — [`RULE_SANS_IO`]: the transport / netsim /
+//!   http / sim-core state machines must not touch `std::net`,
+//!   `std::fs`, `std::io` (except `std::io::Error*`) or `std::thread`.
+//! * **panic-surface ratchet** — [`RULE_PANIC_RATCHET`]: per-crate
+//!   counts of `.unwrap()`, `.expect(`, `panic!`-family macros and
+//!   `[idx]`-style indexing in library code are checked against
+//!   `crates/lint/baseline.json`, which may only decrease.
+//! * **float hazards** — [`RULE_FLOAT_CMP`], [`RULE_NAN_SORT`]:
+//!   `==`/`!=` against float literals and NaN-unaware
+//!   `partial_cmp`-based sorts in `crates/analysis`.
+//!
+//! Individual lines can opt out with a pragma comment, either on the
+//! offending line or on the line directly above it:
+//!
+//! ```text
+//! // h3cdn-lint: allow(unordered-iter)
+//! ```
+//!
+//! The scanner first blanks comments, string literals and char
+//! literals (preserving line structure), so pattern words inside
+//! strings or docs never trigger findings; pragmas are read from the
+//! *raw* line because they live in comments.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod baseline;
+pub mod scan;
+
+pub use baseline::{Baseline, Counts};
+
+/// Rule id: unordered `HashMap`/`HashSet` iteration in a sim crate.
+pub const RULE_UNORDERED_ITER: &str = "unordered-iter";
+/// Rule id: wall-clock read (`Instant::now` / `SystemTime`).
+pub const RULE_WALL_CLOCK: &str = "wall-clock";
+/// Rule id: ambient randomness (`thread_rng`, `rand::random`, ...).
+pub const RULE_AMBIENT_RNG: &str = "ambient-rng";
+/// Rule id: environment read (`std::env::var` / `env::args`).
+pub const RULE_ENV_READ: &str = "env-read";
+/// Rule id: real I/O or threading in a sans-IO crate.
+pub const RULE_SANS_IO: &str = "sans-io";
+/// Rule id: panic-surface count exceeds the checked-in baseline.
+pub const RULE_PANIC_RATCHET: &str = "panic-ratchet";
+/// Rule id: checked-in baseline is higher than the fresh count.
+pub const RULE_BASELINE_STALE: &str = "baseline-stale";
+/// Rule id: `==`/`!=` against a float literal.
+pub const RULE_FLOAT_CMP: &str = "float-cmp";
+/// Rule id: NaN-unaware sort (`sort_by` + `partial_cmp`).
+pub const RULE_NAN_SORT: &str = "nan-sort";
+
+/// Crates (by `crates/<dir>` name) whose code affects simulation
+/// results and therefore must be free of nondeterminism sources.
+pub const DETERMINISM_CRATES: &[&str] = &[
+    "sim-core",
+    "netsim",
+    "transport",
+    "http",
+    "browser",
+    "cdn",
+    "web",
+    "har",
+    "core",
+];
+
+/// Crates that must stay sans-IO: pure state machines with no real
+/// sockets, files, threads or blocking I/O.
+pub const SANS_IO_CRATES: &[&str] = &["sim-core", "netsim", "transport", "http", "core"];
+
+/// Library crates whose panic surface is ratcheted against
+/// `crates/lint/baseline.json`.
+pub const RATCHET_CRATES: &[&str] = &[
+    "sim-core",
+    "netsim",
+    "transport",
+    "http",
+    "browser",
+    "cdn",
+    "web",
+    "har",
+    "analysis",
+    "core",
+];
+
+/// Crates subject to the float-hazard rules.
+pub const FLOAT_CRATES: &[&str] = &["analysis"];
+
+/// Explicit allowlist: `(path suffix, rule id, reason)`. Findings of
+/// `rule` in files whose workspace-relative path ends with the suffix
+/// are suppressed. Keep this list short and justified — prefer a
+/// line-level pragma when only one site is affected.
+pub const ALLOWLIST: &[(&str, &str, &str)] = &[(
+    "crates/core/src/runner.rs",
+    RULE_SANS_IO,
+    "the deterministic campaign runner owns the std::thread::scope worker pool",
+)];
+
+/// One diagnostic produced by the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (one of the `RULE_*` constants).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Suggested fix.
+    pub hint: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    help: {}",
+            self.path, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// Which rule families to run (fixture tests toggle these).
+#[derive(Debug, Clone, Copy)]
+pub struct LintOptions {
+    /// Run the determinism + sans-IO + float rules.
+    pub check_rules: bool,
+    /// Check panic-surface counts against the baseline file.
+    pub check_ratchet: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            check_rules: true,
+            check_ratchet: true,
+        }
+    }
+}
+
+/// Result of linting a workspace tree.
+#[derive(Debug)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by `(path, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Number of findings suppressed by pragmas or the allowlist.
+    pub suppressed: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Fresh panic-surface counts per ratchet crate.
+    pub counts: Baseline,
+}
+
+/// Lints the workspace rooted at `root` with default options.
+///
+/// # Errors
+/// Returns an error string when the tree cannot be read or the
+/// baseline file is malformed.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    lint_workspace_with(root, LintOptions::default())
+}
+
+/// Lints the workspace rooted at `root`.
+///
+/// # Errors
+/// Returns an error string when the tree cannot be read or the
+/// baseline file is malformed.
+pub fn lint_workspace_with(root: &Path, opts: LintOptions) -> Result<Report, String> {
+    let files = walk_rs_files(root)?;
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    let mut sites = baseline::SiteMap::default();
+
+    for file in &files {
+        let rel = rel_path(root, file);
+        let Some(krate) = crate_of(&rel) else {
+            continue;
+        };
+        let source = std::fs::read_to_string(file)
+            .map_err(|e| format!("{}: cannot read: {e}", file.display()))?;
+        let ctx = scan::FileContext::new(&rel, &krate, &source);
+
+        if opts.check_rules {
+            let mut raw = Vec::new();
+            rules_for_file(&ctx, &mut raw);
+            for f in raw {
+                if ctx.is_suppressed(f.line, f.rule) || allowlisted(&rel, f.rule) {
+                    suppressed += 1;
+                } else {
+                    findings.push(f);
+                }
+            }
+        }
+
+        if RATCHET_CRATES.contains(&krate.as_str()) && ctx.in_library_src() {
+            baseline::count_file(&ctx, &mut sites);
+        }
+    }
+
+    let counts = sites.to_counts();
+    if opts.check_ratchet {
+        let baseline_path = root.join("crates/lint/baseline.json");
+        match baseline::load(&baseline_path) {
+            Ok(base) => baseline::check(&base, &counts, &sites, &mut findings),
+            Err(baseline::LoadError::Missing) => findings.push(Finding {
+                path: "crates/lint/baseline.json".to_owned(),
+                line: 1,
+                rule: RULE_PANIC_RATCHET,
+                message: "panic-surface baseline file is missing".to_owned(),
+                hint: "run `h3cdn-lint --update-baseline` and commit the result".to_owned(),
+            }),
+            Err(baseline::LoadError::Malformed(e)) => {
+                return Err(format!("crates/lint/baseline.json: {e}"));
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    // Overlapping needles (e.g. `std::env::` and `env::var(`) may
+    // produce duplicate diagnostics for one site — keep one.
+    findings.dedup_by(|a, b| a.path == b.path && a.line == b.line && a.rule == b.rule);
+    Ok(Report {
+        findings,
+        suppressed,
+        files_scanned: files.len(),
+        counts,
+    })
+}
+
+/// Applies every per-file rule to `ctx`, appending raw (not yet
+/// pragma-filtered) findings to `out`.
+fn rules_for_file(ctx: &scan::FileContext, out: &mut Vec<Finding>) {
+    let krate = ctx.krate();
+    if DETERMINISM_CRATES.contains(&krate) {
+        scan::rule_unordered_iter(ctx, out);
+        scan::rule_wall_clock(ctx, out);
+        scan::rule_ambient_rng(ctx, out);
+        scan::rule_env_read(ctx, out);
+    }
+    if SANS_IO_CRATES.contains(&krate) {
+        scan::rule_sans_io(ctx, out);
+    }
+    if FLOAT_CRATES.contains(&krate) {
+        scan::rule_float_cmp(ctx, out);
+        scan::rule_nan_sort(ctx, out);
+    }
+}
+
+/// Whether `(rel, rule)` matches an [`ALLOWLIST`] entry.
+fn allowlisted(rel: &str, rule: &str) -> bool {
+    ALLOWLIST
+        .iter()
+        .any(|(suffix, r, _)| *r == rule && rel.ends_with(suffix))
+}
+
+/// Recursively collects `.rs` files under `root` in sorted order,
+/// skipping build output, vendored shims, VCS metadata and the lint
+/// crate's own fixture tree (which intentionally contains violations).
+fn walk_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("{}: cannot read: {e}", dir.display()))?;
+        let mut children: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("{}: cannot read: {e}", dir.display()))?;
+            children.push(entry.path());
+        }
+        children.sort();
+        for child in children {
+            let name = child.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if child.is_dir() {
+                if matches!(name, "target" | "vendor" | ".git" | "fixtures") {
+                    continue;
+                }
+                stack.push(child);
+            } else if name.ends_with(".rs") {
+                out.push(child);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Workspace-relative path with forward slashes.
+fn rel_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// The `crates/<dir>` name a workspace-relative path belongs to, or
+/// `None` for files outside `crates/` (root tests, examples, ...).
+fn crate_of(rel: &str) -> Option<String> {
+    let rest = rel.strip_prefix("crates/")?;
+    let (name, _) = rest.split_once('/')?;
+    Some(name.to_owned())
+}

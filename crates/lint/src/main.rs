@@ -1,0 +1,108 @@
+//! CLI for `h3cdn-lint`.
+//!
+//! ```text
+//! h3cdn-lint [--workspace-root PATH] [--update-baseline] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut update_baseline = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace-root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--workspace-root needs a path"),
+            },
+            "--update-baseline" => update_baseline = true,
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "h3cdn-lint: workspace determinism & sans-IO static analysis\n\n\
+                     usage: h3cdn-lint [--workspace-root PATH] [--update-baseline] [--quiet]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if update_baseline {
+        return run_update_baseline(&root, quiet);
+    }
+
+    let report = match h3cdn_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("h3cdn-lint: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    if report.findings.is_empty() {
+        if !quiet {
+            println!(
+                "h3cdn-lint: OK ({} files scanned, {} finding(s) suppressed by pragma/allowlist)",
+                report.files_scanned, report.suppressed
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "h3cdn-lint: {} unsuppressed finding(s)",
+            report.findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Recounts the panic surface and rewrites `crates/lint/baseline.json`.
+fn run_update_baseline(root: &std::path::Path, quiet: bool) -> ExitCode {
+    let opts = h3cdn_lint::LintOptions {
+        check_rules: false,
+        check_ratchet: false,
+    };
+    let report = match h3cdn_lint::lint_workspace_with(root, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("h3cdn-lint: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let path = root.join("crates/lint/baseline.json");
+    let old_total: usize = match h3cdn_lint::baseline::load(&path) {
+        Ok(old) => old.values().map(h3cdn_lint::Counts::total).sum(),
+        Err(_) => 0,
+    };
+    let new_total: usize = report.counts.values().map(h3cdn_lint::Counts::total).sum();
+    if let Err(e) = h3cdn_lint::baseline::store(&path, &report.counts) {
+        eprintln!("h3cdn-lint: error: {e}");
+        return ExitCode::from(2);
+    }
+    if !quiet {
+        println!("h3cdn-lint: baseline updated ({old_total} -> {new_total} total panic sites)");
+        if new_total > old_total && old_total > 0 {
+            println!(
+                "h3cdn-lint: warning: the panic surface GREW by {} — the ratchet is meant \
+                 to go down; justify this in review",
+                new_total - old_total
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("h3cdn-lint: {msg}\nusage: h3cdn-lint [--workspace-root PATH] [--update-baseline] [--quiet]");
+    ExitCode::from(2)
+}

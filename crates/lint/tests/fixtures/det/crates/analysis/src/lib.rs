@@ -1,0 +1,37 @@
+//! Fixture: float-hazard rules in the analysis crate.
+//! This file is never compiled; it only feeds the scanner.
+
+fn bad_float_eq(x: f64) -> bool {
+    // HIT float-cmp: exact comparison against a float literal.
+    x == 0.3
+}
+
+fn bad_float_ne(x: f64) -> bool {
+    // HIT float-cmp.
+    x != 1.0
+}
+
+fn suppressed_float_eq(x: f64) -> bool {
+    // Sentinel check. h3cdn-lint: allow(float-cmp)
+    x == 0.0
+}
+
+fn good_int_eq(n: usize) -> bool {
+    // CLEAN: integers compare exactly.
+    n == 10
+}
+
+fn good_epsilon(x: f64) -> bool {
+    // CLEAN: epsilon comparison.
+    (x - 0.3).abs() < 1e-9
+}
+
+fn bad_nan_sort(v: &mut [f64]) {
+    // HIT nan-sort.
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn good_total_cmp_sort(v: &mut [f64]) {
+    // CLEAN: total order.
+    v.sort_by(f64::total_cmp);
+}

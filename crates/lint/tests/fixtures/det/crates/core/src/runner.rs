@@ -1,0 +1,7 @@
+//! Fixture: the built-in allowlist tolerates the runner thread pool.
+//! This file is never compiled; it only feeds the scanner.
+
+fn allowlisted_thread_pool() {
+    // CLEAN via ALLOWLIST: crates/core/src/runner.rs + sans-io.
+    std::thread::scope(|_| {});
+}

@@ -1,0 +1,73 @@
+//! Fixture: determinism rules in a sim-affecting crate.
+//! This file is never compiled; it only feeds the scanner.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct Net {
+    paths: HashMap<(u64, u64), u32>,
+}
+
+impl Net {
+    fn bad_iteration(&self) -> Vec<u32> {
+        // HIT unordered-iter: order leaks into the result.
+        self.paths.values().copied().collect()
+    }
+
+    fn good_sorted(&self) -> Vec<u32> {
+        // CLEAN: sorted in the same statement.
+        let mut v: Vec<u32> = self.paths.values().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn good_count(&self) -> usize {
+        // CLEAN: order-insensitive reduction.
+        self.paths.values().count()
+    }
+
+    fn good_btree(&self) -> BTreeMap<(u64, u64), u32> {
+        // CLEAN: collected into an ordered container.
+        self.paths.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<_, _>>()
+    }
+
+    fn suppressed_iteration(&self) -> f64 {
+        // Order-insensitive float-free sum. h3cdn-lint: allow(unordered-iter)
+        self.paths.values().map(|&v| f64::from(v)).sum()
+    }
+}
+
+fn bad_for_loop(seen: &HashSet<u64>) {
+    // HIT unordered-iter: bare for-loop over a hash set.
+    for id in seen {
+        drop(id);
+    }
+}
+
+fn bad_wall_clock() -> std::time::Instant {
+    // HIT wall-clock.
+    std::time::Instant::now()
+}
+
+fn suppressed_wall_clock() -> std::time::Instant {
+    // Log-only timing. h3cdn-lint: allow(wall-clock)
+    std::time::Instant::now()
+}
+
+fn bad_system_time() {
+    // HIT wall-clock (SystemTime).
+    let _ = std::time::SystemTime::UNIX_EPOCH;
+}
+
+fn bad_rng() {
+    // HIT ambient-rng.
+    let _ = rand::thread_rng();
+}
+
+fn bad_env() -> Option<String> {
+    // HIT env-read.
+    std::env::var("NETSIM_KNOB").ok()
+}
+
+fn strings_do_not_trigger() -> &'static str {
+    // CLEAN: pattern words inside strings are stripped.
+    "HashMap Instant::now thread_rng std::env::var std::fs"
+}

@@ -1,0 +1,27 @@
+//! Fixture: sans-IO purity rules in a transport-layer crate.
+//! This file is never compiled; it only feeds the scanner.
+
+fn bad_net() {
+    // HIT sans-io: real sockets.
+    let _ = std::net::TcpStream::connect("127.0.0.1:80");
+}
+
+fn bad_fs() {
+    // HIT sans-io: filesystem access.
+    let _ = std::fs::read("config.toml");
+}
+
+fn bad_thread() {
+    // HIT sans-io: threading.
+    std::thread::yield_now();
+}
+
+fn bad_io() {
+    // HIT sans-io: blocking I/O.
+    let _ = std::io::stdin();
+}
+
+fn good_error_plumbing(e: std::io::Error) -> std::io::ErrorKind {
+    // CLEAN: std::io::Error / ErrorKind are tolerated.
+    e.kind()
+}

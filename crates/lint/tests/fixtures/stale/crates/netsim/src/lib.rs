@@ -1,0 +1,6 @@
+//! Fixture: a clean crate whose baseline is stale (too generous).
+//! This file is never compiled; it only feeds the scanner.
+
+fn no_panics(a: Option<u32>) -> u32 {
+    a.unwrap_or(0)
+}

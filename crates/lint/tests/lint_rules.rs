@@ -1,0 +1,223 @@
+//! Fixture tests: every rule is exercised with a positive hit, a
+//! clean negative, and (where applicable) a pragma-suppressed variant.
+//!
+//! The fixture trees under `tests/fixtures/` are miniature workspaces
+//! (`<root>/crates/<name>/src/...`). They are scanned, never compiled.
+
+use std::path::PathBuf;
+
+use h3cdn_lint::{lint_workspace_with, Finding, LintOptions};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Lints a fixture tree with only the syntactic rules enabled.
+fn rule_findings(fixture: &str) -> Vec<Finding> {
+    let opts = LintOptions {
+        check_rules: true,
+        check_ratchet: false,
+    };
+    lint_workspace_with(&fixture_root(fixture), opts)
+        .expect("fixture lints")
+        .findings
+}
+
+/// `(rule, path, line)` triples for easy assertions.
+fn keys(findings: &[Finding]) -> Vec<(String, String, usize)> {
+    findings
+        .iter()
+        .map(|f| (f.rule.to_owned(), f.path.clone(), f.line))
+        .collect()
+}
+
+/// The 1-based line of `marker` in a fixture file.
+fn line_of(fixture: &str, rel: &str, marker: &str) -> usize {
+    let text = std::fs::read_to_string(fixture_root(fixture).join(rel)).expect("fixture file");
+    text.lines()
+        .position(|l| l.contains(marker))
+        .unwrap_or_else(|| panic!("marker {marker:?} not found in {rel}"))
+        + 1
+}
+
+fn assert_hit(findings: &[Finding], rule: &str, rel: &str, marker: &str) {
+    let line = line_of("det", rel, marker);
+    assert!(
+        keys(findings).contains(&(rule.to_owned(), rel.to_owned(), line)),
+        "expected {rule} at {rel}:{line} ({marker:?}); got {findings:#?}"
+    );
+}
+
+fn assert_clean(findings: &[Finding], rel: &str, marker: &str) {
+    let line = line_of("det", rel, marker);
+    assert!(
+        !keys(findings)
+            .iter()
+            .any(|(_, p, l)| p == rel && *l == line),
+        "expected no finding at {rel}:{line} ({marker:?}); got {findings:#?}"
+    );
+}
+
+const NETSIM: &str = "crates/netsim/src/lib.rs";
+const TRANSPORT: &str = "crates/transport/src/lib.rs";
+const ANALYSIS: &str = "crates/analysis/src/lib.rs";
+const RUNNER: &str = "crates/core/src/runner.rs";
+
+#[test]
+fn unordered_iter_hit_clean_and_pragma() {
+    let f = rule_findings("det");
+    assert_hit(
+        &f,
+        "unordered-iter",
+        NETSIM,
+        "self.paths.values().copied().collect()",
+    );
+    assert_hit(&f, "unordered-iter", NETSIM, "for id in seen {");
+    // Sorted in the following statement, order-insensitive reductions,
+    // and BTree collection are all clean.
+    assert_clean(&f, NETSIM, "let mut v: Vec<u32> = self.paths.values()");
+    assert_clean(&f, NETSIM, "self.paths.values().count()");
+    assert_clean(&f, NETSIM, "collect::<BTreeMap<_, _>>()");
+    // Pragma-suppressed variant.
+    assert_clean(
+        &f,
+        NETSIM,
+        "self.paths.values().map(|&v| f64::from(v)).sum()",
+    );
+}
+
+#[test]
+fn deleting_the_sort_reintroduces_the_finding() {
+    // The acceptance-criterion scenario: take the clean
+    // collect-then-sort site and delete the sort — the finding must
+    // come back with a file:line + rule-id diagnostic.
+    let source = std::fs::read_to_string(fixture_root("det").join(NETSIM)).expect("fixture");
+    let without_sort = source.replace("v.sort_unstable();", "");
+    assert_ne!(source, without_sort, "fixture contains the sort line");
+
+    let dir = std::env::temp_dir().join(format!("h3cdn-lint-sortdel-{}", std::process::id()));
+    let src_dir = dir.join("crates/netsim/src");
+    std::fs::create_dir_all(&src_dir).expect("temp tree");
+    std::fs::write(src_dir.join("lib.rs"), without_sort).expect("write");
+
+    let opts = LintOptions {
+        check_rules: true,
+        check_ratchet: false,
+    };
+    let report = lint_workspace_with(&dir, opts).expect("lints");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let hit = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "unordered-iter" && f.path == NETSIM && f.message.contains("`paths`"));
+    let hit = hit.expect("deleting the sort must produce an unordered-iter finding");
+    assert!(hit.line > 0, "diagnostic carries a line number");
+}
+
+#[test]
+fn wall_clock_hit_and_pragma() {
+    let f = rule_findings("det");
+    let hits: Vec<_> = keys(&f)
+        .into_iter()
+        .filter(|(r, p, _)| r == "wall-clock" && p == NETSIM)
+        .collect();
+    // Two hits (Instant::now + SystemTime); the pragma'd Instant::now
+    // is suppressed.
+    assert_eq!(hits.len(), 2, "got {f:#?}");
+    assert_hit(
+        &f,
+        "wall-clock",
+        NETSIM,
+        "std::time::SystemTime::UNIX_EPOCH",
+    );
+}
+
+#[test]
+fn ambient_rng_and_env_read_hits() {
+    let f = rule_findings("det");
+    assert_hit(&f, "ambient-rng", NETSIM, "rand::thread_rng()");
+    assert_hit(&f, "env-read", NETSIM, "std::env::var(\"NETSIM_KNOB\")");
+}
+
+#[test]
+fn strings_never_trigger_rules() {
+    let f = rule_findings("det");
+    assert_clean(&f, NETSIM, "\"HashMap Instant::now thread_rng");
+}
+
+#[test]
+fn sans_io_hits_and_error_exception() {
+    let f = rule_findings("det");
+    assert_hit(&f, "sans-io", TRANSPORT, "std::net::TcpStream");
+    assert_hit(&f, "sans-io", TRANSPORT, "std::fs::read");
+    assert_hit(&f, "sans-io", TRANSPORT, "std::thread::yield_now");
+    assert_hit(&f, "sans-io", TRANSPORT, "std::io::stdin");
+    assert_clean(&f, TRANSPORT, "fn good_error_plumbing");
+}
+
+#[test]
+fn allowlist_suppresses_runner_thread_pool() {
+    let f = rule_findings("det");
+    assert_clean(&f, RUNNER, "std::thread::scope");
+}
+
+#[test]
+fn float_rules_hit_clean_and_pragma() {
+    let f = rule_findings("det");
+    assert_hit(&f, "float-cmp", ANALYSIS, "x == 0.3");
+    assert_hit(&f, "float-cmp", ANALYSIS, "x != 1.0");
+    assert_clean(&f, ANALYSIS, "x == 0.0"); // pragma
+    assert_clean(&f, ANALYSIS, "n == 10"); // integers are fine
+    assert_clean(&f, ANALYSIS, "(x - 0.3).abs()"); // epsilon compare
+    assert_hit(&f, "nan-sort", ANALYSIS, "a.partial_cmp(b).unwrap()");
+    assert_clean(&f, ANALYSIS, "v.sort_by(f64::total_cmp)");
+}
+
+#[test]
+fn ratchet_flags_only_the_count_beyond_baseline() {
+    let opts = LintOptions {
+        check_rules: false,
+        check_ratchet: true,
+    };
+    let report = lint_workspace_with(&fixture_root("ratchet"), opts).expect("fixture lints");
+    // Baseline allows 1 unwrap; the fixture has 2 (and matches the
+    // baseline exactly in every other category, with test code
+    // excluded from the counts).
+    assert_eq!(report.findings.len(), 1, "got {:#?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, "panic-ratchet");
+    assert_eq!(f.path, "crates/netsim/src/lib.rs");
+    assert!(f.message.contains("2 `unwrap` sites"), "{}", f.message);
+    assert!(f.message.contains("baseline allows 1"), "{}", f.message);
+}
+
+#[test]
+fn ratchet_counts_exclude_test_modules() {
+    let opts = LintOptions {
+        check_rules: false,
+        check_ratchet: false,
+    };
+    let report = lint_workspace_with(&fixture_root("ratchet"), opts).expect("fixture lints");
+    let counts = report.counts.get("netsim").expect("netsim counted");
+    assert_eq!(
+        (counts.unwrap, counts.expect, counts.panic, counts.index),
+        (2, 1, 1, 3),
+        "library code only: the #[cfg(test)] module adds nothing"
+    );
+}
+
+#[test]
+fn stale_baseline_demands_regeneration() {
+    let opts = LintOptions {
+        check_rules: false,
+        check_ratchet: true,
+    };
+    let report = lint_workspace_with(&fixture_root("stale"), opts).expect("fixture lints");
+    assert_eq!(report.findings.len(), 1, "got {:#?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, "baseline-stale");
+    assert!(f.hint.contains("--update-baseline"), "{}", f.hint);
+}

@@ -407,10 +407,10 @@ mod tests {
         }));
         // a→b drops (certain loss); b→a delivers.
         e.with_node(NodeId(0), |_n, ctx| {
-            ctx.send(NodeId(1), 7, ByteCount::new(100))
+            ctx.send(NodeId(1), 7, ByteCount::new(100));
         });
         e.with_node(NodeId(1), |_n, ctx| {
-            ctx.send(NodeId(0), 9, ByteCount::new(100))
+            ctx.send(NodeId(0), 9, ByteCount::new(100));
         });
         e.run();
         let seen = seen.borrow();

@@ -118,8 +118,7 @@ impl Network {
     pub fn path_spec(&self, src: NodeId, dst: NodeId) -> PathSpec {
         self.paths
             .get(&(src, dst))
-            .map(|p| p.spec)
-            .unwrap_or(self.default_spec)
+            .map_or(self.default_spec, |p| p.spec)
     }
 
     /// Total packets delivered since construction.

@@ -309,7 +309,7 @@ mod tests {
         let mut rng = SimRng::seed_from(9);
         let n = 50_000;
         let mut samples: Vec<f64> = (0..n).map(|_| rng.log_normal(2.0, 1.0)).collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(f64::total_cmp);
         let median = samples[n / 2];
         let expect = 2.0f64.exp();
         assert!(

@@ -45,9 +45,8 @@ impl Cubic {
     }
 
     fn target_window(&self, now: SimTime) -> u64 {
-        let epoch_start = match self.epoch_start {
-            Some(t) => t,
-            None => return self.cwnd,
+        let Some(epoch_start) = self.epoch_start else {
+            return self.cwnd;
         };
         let t = now.saturating_duration_since(epoch_start).as_secs_f64();
         // Windows in MSS units for the cubic function.

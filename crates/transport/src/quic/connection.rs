@@ -311,7 +311,10 @@ impl QuicConnection {
     /// Bytes queued across all send streams (new plus retransmission),
     /// for diagnostics and idle detection.
     pub fn pending_send_bytes(&self) -> u64 {
-        self.send_streams.values().map(|s| s.pending_bytes()).sum()
+        self.send_streams
+            .values()
+            .map(super::streams::SendStream::pending_bytes)
+            .sum()
     }
 
     /// Highest first-transmission offset of `stream` (diagnostics; also
@@ -319,8 +322,7 @@ impl QuicConnection {
     pub fn stream_sent_watermark(&self, stream: u64) -> u64 {
         self.send_streams
             .get(&stream)
-            .map(|s| s.sent_watermark())
-            .unwrap_or(0)
+            .map_or(0, super::streams::SendStream::sent_watermark)
     }
 
     /// The RTT estimator (diagnostics).

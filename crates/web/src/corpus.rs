@@ -525,7 +525,7 @@ mod tests {
                 (p, k as f64 / c.pages.len() as f64)
             })
             .collect();
-        probs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        probs.sort_by(|a, b| b.1.total_cmp(&a.1));
         for (p, prob) in probs.iter().take(4) {
             assert!(*prob > 0.5, "top-4 provider {p} appears on {prob}");
         }
@@ -673,7 +673,7 @@ mod tests {
             }
         }
         let median = |v: &mut Vec<f64>| {
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.sort_by(f64::total_cmp);
             v[v.len() / 2]
         };
         let css = median(by_kind.get_mut(&ResourceKind::Stylesheet).unwrap());

@@ -6,7 +6,7 @@
 //! consecutive visits to *different* sites (Fig. 8), and they are the
 //! coordinates of Table III's 58-dimensional page vectors.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use h3cdn_cdn::Provider;
 use serde::{Deserialize, Serialize};
@@ -40,7 +40,7 @@ pub enum DomainKind {
 pub struct DomainTable {
     names: Vec<String>,
     kinds: Vec<DomainKind>,
-    shared_by_provider: HashMap<Provider, Vec<DomainId>>,
+    shared_by_provider: BTreeMap<Provider, Vec<DomainId>>,
     shared_services: Vec<DomainId>,
 }
 
@@ -187,8 +187,7 @@ impl DomainTable {
     pub fn shared_domains(&self, provider: Provider) -> &[DomainId] {
         self.shared_by_provider
             .get(&provider)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+            .map_or(&[], Vec::as_slice)
     }
 
     /// Total shared-pool size across providers.

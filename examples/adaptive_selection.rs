@@ -44,8 +44,5 @@ fn main() {
         );
     }
     let n = campaign.corpus().pages.len();
-    println!(
-        "\naccuracy: {}/{} pages; total regret {:.1} ms",
-        correct, n, regret_ms
-    );
+    println!("\naccuracy: {correct}/{n} pages; total regret {regret_ms:.1} ms");
 }

@@ -7,7 +7,8 @@
 #   scripts/ci.sh
 #
 # Steps: release build, full test suite, clippy with warnings denied,
-# and a formatting check.
+# the h3cdn-lint determinism/sans-IO/panic-ratchet pass, and a
+# formatting check.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,6 +23,9 @@ cargo test -q --workspace
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --all-targets --workspace -- -D warnings
+
+echo "==> h3cdn-lint (determinism / sans-IO / panic ratchet)"
+cargo run -q -p h3cdn-lint -- --workspace-root .
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

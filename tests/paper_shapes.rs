@@ -70,7 +70,7 @@ fn fig8_shared_providers_pay_off_under_consecutive_visits() {
     let resumed: usize = h3
         .iter()
         .skip(1)
-        .map(|p| p.resumed_connection_count())
+        .map(h3cdn::har::HarPage::resumed_connection_count)
         .sum();
     assert!(resumed > 0);
     let mean_red: f64 = h2
