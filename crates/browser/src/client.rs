@@ -12,13 +12,31 @@ use h3cdn_sim_core::{SimDuration, SimRng, SimTime};
 use h3cdn_transport::quic::QuicConfig;
 use h3cdn_transport::tcp::TcpConfig;
 use h3cdn_transport::tls::{TicketStore, TlsConfig, TlsVersion};
-use h3cdn_transport::{CcAlgorithm, ConnId, WirePacket};
+use h3cdn_transport::{CcAlgorithm, CloseReason, ConnId, WirePacket};
 use h3cdn_web::{DomainId, Hosting, Resource};
 
 use crate::config::ProtocolMode;
+use crate::resilience::{BrokenQuicCache, ResilienceStats};
 
 /// Browsers open at most this many parallel H1 connections per host.
 const H1_POOL_LIMIT: usize = 6;
+
+/// Floor on the QUIC-vs-TCP race delay: even on very short paths the
+/// browser gives QUIC this long before starting the TCP fallback job
+/// (Chrome's delayed-TCP connection race).
+const RACE_DELAY_FLOOR: SimDuration = SimDuration::from_millis(300);
+
+/// RTT multiple granted to the QUIC handshake before the TCP racer
+/// starts: a healthy handshake needs one round trip, so five leaves room
+/// for a probe-timeout recovery without ever racing on a clean path.
+const RACE_DELAY_RTTS: u64 = 5;
+
+/// Base delay of the exponential backoff applied to TCP re-dials after a
+/// connection failure.
+const RETRY_BASE: SimDuration = SimDuration::from_millis(250);
+
+/// Cap on backoff doublings (250 ms × 2⁷ = 32 s between re-dials).
+const RETRY_MAX_EXPONENT: u32 = 7;
 
 /// Session-ticket lifetime granted by our servers (a common production
 /// value; well beyond any consecutive-browsing session).
@@ -100,8 +118,22 @@ pub struct ClientHost {
     har_rng: SimRng,
     /// Domain → instant its name resolution completes.
     dns_resolved_at: BTreeMap<DomainId, SimTime>,
-    /// Requests parked until their domain resolves, keyed by ready time.
+    /// Requests parked until their domain resolves (or until a re-dial
+    /// backoff elapses), keyed by ready time.
     parked: BTreeMap<SimTime, Vec<usize>>,
+    /// Chrome-style graceful-degradation machinery (H3→H2 races, the
+    /// broken-QUIC memory, TCP re-dials). Off by default so fault-free
+    /// measurements are byte-identical to the pre-fallback stack.
+    h3_fallback: bool,
+    /// Cross-visit memory of QUIC-hostile domains.
+    broken_quic: BrokenQuicCache,
+    /// Pending QUIC-vs-TCP races: H3 connection → instant its TCP
+    /// fallback job fires unless the handshake completes first.
+    h3_races: BTreeMap<ConnId, SimTime>,
+    /// Per-domain re-dial attempts (drives the exponential backoff).
+    retry_attempts: BTreeMap<DomainId, u32>,
+    /// Fallback/retry counters for the fault-matrix report.
+    resilience: ResilienceStats,
 }
 
 impl ClientHost {
@@ -181,7 +213,50 @@ impl ClientHost {
             har_rng: SimRng::seed_from(har_seed),
             dns_resolved_at: BTreeMap::new(),
             parked: BTreeMap::new(),
+            h3_fallback: false,
+            broken_quic: BrokenQuicCache::new(),
+            h3_races: BTreeMap::new(),
+            retry_attempts: BTreeMap::new(),
+            resilience: ResilienceStats::default(),
         }
+    }
+
+    /// Enables (or disables) Chrome-style graceful degradation: the
+    /// QUIC-vs-TCP connection race, the broken-QUIC cache, re-dispatch
+    /// of stranded requests, and TCP re-dial backoff.
+    pub fn set_h3_fallback(&mut self, enabled: bool) {
+        self.h3_fallback = enabled;
+    }
+
+    /// Seeds the broken-QUIC memory carried over from earlier visits.
+    pub fn set_broken_quic(&mut self, cache: BrokenQuicCache) {
+        self.broken_quic = cache;
+    }
+
+    /// The broken-QUIC memory as of now (carry it to the next visit).
+    pub fn broken_quic(&self) -> &BrokenQuicCache {
+        &self.broken_quic
+    }
+
+    /// Fallback/retry counters accumulated so far.
+    pub fn resilience(&self) -> ResilienceStats {
+        self.resilience
+    }
+
+    /// Number of resources still outstanding.
+    pub fn pending_requests(&self) -> usize {
+        self.remaining
+    }
+
+    /// Why this node still has open work (engine stall diagnostics).
+    pub fn stall_detail(&self) -> Option<String> {
+        (self.remaining > 0).then(|| {
+            format!(
+                "{} of {} resources still pending",
+                self.remaining,
+                self.plan.len()
+            )
+        })
     }
 
     /// Whether every resource has completed.
@@ -213,6 +288,16 @@ impl ClientHost {
                 self.dispatch_resolved(idx, now);
             }
         }
+        let lost_races: Vec<ConnId> = self
+            .h3_races
+            .iter()
+            .filter(|&(_, &t)| t <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in lost_races {
+            self.h3_races.remove(&id);
+            self.lose_race(id, now);
+        }
         self.pump(ctx);
     }
 
@@ -239,7 +324,8 @@ impl ClientHost {
             .filter_map(|st| st.conn.next_timeout())
             .min();
         let parked = self.parked.keys().next().copied();
-        [conn_deadline, parked].into_iter().flatten().min()
+        let race = self.h3_races.values().min().copied();
+        [conn_deadline, parked, race].into_iter().flatten().min()
     }
 
     fn pump(&mut self, ctx: &mut NodeCtx<'_, WirePacket>) {
@@ -276,7 +362,10 @@ impl ClientHost {
 
     fn on_http_event(&mut self, conn_id: ConnId, ev: HttpEvent, now: SimTime) {
         match ev {
-            HttpEvent::Connected { .. } => {}
+            HttpEvent::Connected { .. } => {
+                // QUIC won any pending race against TCP.
+                self.h3_races.remove(&conn_id);
+            }
             HttpEvent::ResponseHeaders { id, at } => {
                 let idx = self.index_of_request[&id];
                 self.entries[idx].headers_at = Some(at);
@@ -310,6 +399,116 @@ impl ClientHost {
                     lifetime: TICKET_LIFETIME,
                 });
             }
+            HttpEvent::ConnectionClosed { at, reason } => {
+                self.on_conn_closed(conn_id, at, reason);
+            }
+        }
+    }
+
+    /// The TCP racer fired before QUIC finished its handshake: abandon
+    /// the H3 attempt, remember the domain as QUIC-broken, and move its
+    /// requests onto a TCP-based connection (Chrome's delayed-TCP race
+    /// resolving in TCP's favour).
+    fn lose_race(&mut self, conn_id: ConnId, now: SimTime) {
+        let handshaken = self
+            .conns
+            .get(&conn_id)
+            .is_some_and(|st| st.conn.handshake_complete_at().is_some());
+        if handshaken {
+            return; // QUIC made it after all; nothing to do.
+        }
+        self.fail_over_from_h3(conn_id, now);
+    }
+
+    /// A connection's transport gave up. Without the fallback machinery
+    /// the stranded requests stay stranded (the visit aborts — the
+    /// baseline the fault matrix quantifies); with it, H3 failures fall
+    /// back to TCP and TCP failures re-dial with exponential backoff.
+    fn on_conn_closed(&mut self, conn_id: ConnId, at: SimTime, reason: CloseReason) {
+        self.h3_races.remove(&conn_id);
+        let Some((domain, version)) = self
+            .conns
+            .get(&conn_id)
+            .map(|st| (st.domain, st.conn.version()))
+        else {
+            return;
+        };
+        self.remove_from_pool(conn_id, domain, version);
+        if !self.h3_fallback {
+            return;
+        }
+        match version {
+            HttpVersion::H3 => match reason {
+                // A handshake that never completed, or an established
+                // connection dying mid-transfer: QUIC is broken here.
+                CloseReason::HandshakeTimeout => self.fail_over_from_h3(conn_id, at),
+                CloseReason::IdleTimeout if !self.stranded_entries(conn_id).is_empty() => {
+                    self.fail_over_from_h3(conn_id, at);
+                }
+                // An idle close with nothing outstanding is a healthy
+                // end-of-visit teardown, not a QUIC failure.
+                CloseReason::IdleTimeout => {}
+            },
+            HttpVersion::H1 | HttpVersion::H2 => {
+                let stranded = self.stranded_entries(conn_id);
+                if stranded.is_empty() {
+                    return;
+                }
+                // Re-dial after an exponential backoff; the closed
+                // connection is already out of the pool, so the parked
+                // requests will open a fresh one when they resume.
+                let attempt = self.retry_attempts.entry(domain).or_insert(0);
+                let exponent = (*attempt).min(RETRY_MAX_EXPONENT);
+                *attempt += 1;
+                let delay = RETRY_BASE * (1u64 << exponent);
+                self.resilience.conn_retries += 1;
+                self.parked.entry(at + delay).or_default().extend(stranded);
+            }
+        }
+    }
+
+    /// Chrome-style H3→H2 fallback: mark the domain QUIC-broken and
+    /// re-dispatch every request stranded on the failed H3 connection
+    /// (they will pick a TCP-based version via [`ClientHost::choose_version`]).
+    fn fail_over_from_h3(&mut self, conn_id: ConnId, now: SimTime) {
+        let Some(domain) = self.conns.get(&conn_id).map(|st| st.domain) else {
+            return;
+        };
+        self.broken_quic.mark(domain.0);
+        self.remove_from_pool(conn_id, domain, HttpVersion::H3);
+        let stranded = self.stranded_entries(conn_id);
+        if stranded.is_empty() {
+            return;
+        }
+        self.resilience.h3_fallbacks += 1;
+        if let Some(started) = self
+            .conns
+            .get(&conn_id)
+            .and_then(|st| st.conn.connect_started_at())
+        {
+            // Time QUIC was given before the browser cut its losses —
+            // the per-fallback time-to-fallback penalty.
+            self.resilience.fallback_wait += now.saturating_duration_since(started);
+        }
+        for idx in stranded {
+            self.dispatch_resolved(idx, now);
+        }
+    }
+
+    /// Indices of requests bound to `conn_id` whose responses have not
+    /// completed — the work stranded when that connection dies.
+    fn stranded_entries(&self, conn_id: ConnId) -> Vec<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| st.conn == Some(conn_id) && st.done_at.is_none())
+            .map(|(idx, _)| idx)
+            .collect()
+    }
+
+    fn remove_from_pool(&mut self, conn_id: ConnId, domain: DomainId, version: HttpVersion) {
+        if let Some(pool) = self.pools.get_mut(&(domain, version)) {
+            pool.retain(|id| *id != conn_id);
         }
     }
 
@@ -324,7 +523,9 @@ impl ClientHost {
                 }
             }
             ProtocolMode::H3Enabled => {
-                if resource.hosting.h3_available() && self.alt_svc_known.contains(&resource.domain)
+                if resource.hosting.h3_available()
+                    && self.alt_svc_known.contains(&resource.domain)
+                    && !self.broken_quic.is_broken(resource.domain.0)
                 {
                     HttpVersion::H3
                 } else if h1_only {
@@ -458,6 +659,12 @@ impl ClientHost {
             }
         };
         conn.connect(now);
+        if version == HttpVersion::H3 && self.h3_fallback {
+            // Arm the QUIC-vs-TCP race: if the handshake has not
+            // completed by then, a TCP fallback job takes over.
+            let delay = (info.rtt * RACE_DELAY_RTTS).max(RACE_DELAY_FLOOR);
+            self.h3_races.insert(id, now + delay);
+        }
         self.pools.entry((domain, version)).or_default().push(id);
         self.conns.insert(id, ConnState { conn, domain });
         id
@@ -470,9 +677,12 @@ impl ClientHost {
     /// Panics if the page did not finish (a simulation bug worth failing
     /// loudly on).
     pub fn into_har(mut self, site: usize, vantage: &str) -> (HarPage, TicketStore) {
-        let plt = self
-            .page_done_at
-            .unwrap_or_else(|| panic!("page {site} did not finish: {} pending", self.remaining));
+        assert!(
+            self.page_done_at.is_some(),
+            "page {site} did not finish: {} pending",
+            self.remaining
+        );
+        let plt = self.page_done_at.unwrap_or(SimTime::ZERO);
         let mut entries = Vec::with_capacity(self.plan.len());
         for (idx, planned) in self.plan.iter().enumerate() {
             let st = &self.entries[idx];

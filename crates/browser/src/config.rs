@@ -1,6 +1,7 @@
 //! Visit configuration.
 
 use h3cdn_cdn::Vantage;
+use h3cdn_netsim::FaultPlan;
 use h3cdn_sim_core::units::DataRate;
 use h3cdn_sim_core::SimDuration;
 use h3cdn_transport::CcAlgorithm;
@@ -80,6 +81,53 @@ pub struct VisitConfig {
     /// Salt for path-jitter sampling. Equal salts give identical paths,
     /// which is what makes H2/H3 visits a paired comparison.
     pub jitter_salt: u64,
+    /// Chrome-style graceful degradation: the QUIC-vs-TCP connection
+    /// race, the broken-QUIC cache, re-dispatch of stranded requests and
+    /// TCP re-dial backoff. Off by default so fault-free measurements
+    /// stay bit-identical to the pre-fallback stack; the fault matrix
+    /// turns it on for its "with fallback" arm.
+    pub h3_fallback: bool,
+    /// Scheduled path impairments; `None` leaves the fabric fault-free
+    /// (and installs no fault state at all, preserving bit-identical
+    /// loss draws).
+    pub faults: Option<FaultSpec>,
+}
+
+/// Fault injection for a visit: a [`FaultPlan`] installed symmetrically
+/// on the client↔server paths of a deterministic subset of the page's
+/// domains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// The impairment schedule for each selected path.
+    pub plan: FaultPlan,
+    /// Fraction of the page's domains whose paths receive the plan
+    /// (`1.0` = every path). Selection is a deterministic per-domain
+    /// coin seeded off `jitter_salt`, so equal configs fault equal
+    /// domains.
+    pub domain_fraction: f64,
+}
+
+impl FaultSpec {
+    /// Applies `plan` to every domain's path.
+    pub fn everywhere(plan: FaultPlan) -> Self {
+        FaultSpec {
+            plan,
+            domain_fraction: 1.0,
+        }
+    }
+
+    /// Whether `domain` is selected for the plan under `salt`.
+    pub fn selects(&self, domain: u64, salt: u64) -> bool {
+        if self.domain_fraction >= 1.0 {
+            return true;
+        }
+        if self.domain_fraction <= 0.0 {
+            return false;
+        }
+        h3cdn_sim_core::SimRng::seed_from(salt ^ 0x05EC_7FA0)
+            .fork(domain)
+            .bernoulli(self.domain_fraction)
+    }
 }
 
 impl Default for VisitConfig {
@@ -98,6 +146,8 @@ impl Default for VisitConfig {
             cold_cache: false,
             cc: CcAlgorithm::Cubic,
             jitter_salt: 0x4A17_7E12,
+            h3_fallback: false,
+            faults: None,
         }
     }
 }
@@ -124,6 +174,18 @@ impl VisitConfig {
     pub fn with_loss_percent(mut self, percent: f64) -> Self {
         assert!((0.0..=100.0).contains(&percent), "loss percent {percent}");
         self.loss_percent = percent;
+        self
+    }
+
+    /// Returns a copy with Chrome-style fallback machinery toggled.
+    pub fn with_h3_fallback(mut self, enabled: bool) -> Self {
+        self.h3_fallback = enabled;
+        self
+    }
+
+    /// Returns a copy with the given fault schedule installed.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
         self
     }
 }

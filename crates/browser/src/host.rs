@@ -1,6 +1,6 @@
 //! The node enum driven by the `h3cdn-netsim` engine.
 
-use h3cdn_netsim::{Node, NodeCtx};
+use h3cdn_netsim::{Node, NodeCtx, TransportClass};
 use h3cdn_sim_core::SimTime;
 use h3cdn_transport::WirePacket;
 
@@ -57,6 +57,20 @@ impl Node for SimHost {
         match self {
             SimHost::Client(c) => c.next_wakeup(),
             SimHost::Server(s) => s.next_wakeup(),
+        }
+    }
+
+    fn classify(packet: &WirePacket) -> TransportClass {
+        match packet {
+            WirePacket::Quic(_) => TransportClass::Udp,
+            WirePacket::Tcp(_) => TransportClass::Tcp,
+        }
+    }
+
+    fn stall_detail(&self) -> Option<String> {
+        match self {
+            SimHost::Client(c) => c.stall_detail(),
+            SimHost::Server(_) => None,
         }
     }
 }

@@ -27,11 +27,16 @@
 pub mod client;
 pub mod config;
 pub mod host;
+pub mod resilience;
 pub mod server;
 pub mod visit;
 
-pub use config::{ProtocolMode, VisitConfig};
-pub use visit::{visit_consecutively, visit_page, visit_page_traced, VisitOutcome, VisitStats};
+pub use config::{FaultSpec, ProtocolMode, VisitConfig};
+pub use resilience::{BrokenQuicCache, ResilienceStats};
+pub use visit::{
+    try_visit_page, visit_consecutively, visit_page, visit_page_traced, AbortedVisit, VisitOutcome,
+    VisitStats,
+};
 
 // The deterministic parallel runner in `h3cdn` moves visit inputs and
 // outcomes across worker threads; keep them `Send + Sync` so campaign
@@ -42,4 +47,8 @@ const _: () = {
     assert_send_sync::<VisitConfig>();
     assert_send_sync::<VisitOutcome>();
     assert_send_sync::<VisitStats>();
+    assert_send_sync::<FaultSpec>();
+    assert_send_sync::<BrokenQuicCache>();
+    assert_send_sync::<ResilienceStats>();
+    assert_send_sync::<AbortedVisit>();
 };

@@ -1,0 +1,139 @@
+//! Chrome-style connection resilience: the broken-QUIC memory and the
+//! counters the fault-matrix experiment reports.
+//!
+//! Chrome remembers domains whose QUIC connections failed (its
+//! "broken alt-svc" list): after an H3 connection attempt times out or a
+//! QUIC-vs-TCP race resolves in TCP's favour, the domain is served over
+//! H2 without re-trying QUIC, until the entry expires (five minutes for
+//! a first offence). [`BrokenQuicCache`] reproduces that memory across
+//! consecutive visits, the way [`TicketStore`] carries session tickets.
+//!
+//! [`TicketStore`]: h3cdn_transport::tls::TicketStore
+
+use std::collections::BTreeMap;
+
+use h3cdn_sim_core::SimDuration;
+
+/// How long a domain stays in the broken-QUIC cache after a fallback
+/// (Chrome's initial broken-alt-svc delay: five minutes).
+pub const BROKEN_QUIC_TTL: SimDuration = SimDuration::from_secs(300);
+
+/// Cross-visit memory of domains whose QUIC connectivity failed.
+///
+/// Entries hold the *remaining* time-to-live rather than an absolute
+/// expiry because every visit starts its own clock at `t = 0`; the
+/// driver models wall-clock passing between visits with
+/// [`BrokenQuicCache::advance`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BrokenQuicCache {
+    /// Domain id → remaining TTL.
+    remaining: BTreeMap<u64, SimDuration>,
+}
+
+impl BrokenQuicCache {
+    /// An empty cache (no domain is considered broken).
+    pub fn new() -> Self {
+        BrokenQuicCache::default()
+    }
+
+    /// Records a QUIC failure for `domain`: H3 is off the table for the
+    /// next [`BROKEN_QUIC_TTL`] of carried time.
+    pub fn mark(&mut self, domain: u64) {
+        self.remaining.insert(domain, BROKEN_QUIC_TTL);
+    }
+
+    /// Whether `domain` is currently remembered as QUIC-broken.
+    pub fn is_broken(&self, domain: u64) -> bool {
+        self.remaining.contains_key(&domain)
+    }
+
+    /// Models `elapsed` wall-clock time passing (a visit's duration, or
+    /// the gap between consecutive visits): entries whose TTL runs out
+    /// are dropped, re-enabling H3 for those domains.
+    pub fn advance(&mut self, elapsed: SimDuration) {
+        self.remaining.retain(|_, ttl| {
+            if *ttl > elapsed {
+                *ttl -= elapsed;
+                true
+            } else {
+                false
+            }
+        });
+    }
+
+    /// Number of domains currently marked broken.
+    pub fn len(&self) -> usize {
+        self.remaining.len()
+    }
+
+    /// Whether no domain is marked broken.
+    pub fn is_empty(&self) -> bool {
+        self.remaining.is_empty()
+    }
+}
+
+/// Counters describing how hard the browser had to fight for a visit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// H3→H2 fallbacks performed (races lost by QUIC plus H3 connection
+    /// failures with requests stranded).
+    pub h3_fallbacks: u64,
+    /// Total time spent waiting on QUIC before each fallback fired — the
+    /// time-to-fallback penalty, summed over fallbacks.
+    pub fallback_wait: SimDuration,
+    /// TCP reconnect attempts made after connection failures
+    /// (exponential backoff re-dials).
+    pub conn_retries: u64,
+}
+
+impl Default for ResilienceStats {
+    fn default() -> Self {
+        ResilienceStats {
+            h3_fallbacks: 0,
+            fallback_wait: SimDuration::ZERO,
+            conn_retries: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_then_expire() {
+        let mut cache = BrokenQuicCache::new();
+        assert!(cache.is_empty());
+        cache.mark(7);
+        assert!(cache.is_broken(7));
+        assert!(!cache.is_broken(8));
+        // Part of the TTL passes: still broken.
+        cache.advance(BROKEN_QUIC_TTL / 2);
+        assert!(cache.is_broken(7));
+        // The rest passes: H3 is back on the menu.
+        cache.advance(BROKEN_QUIC_TTL / 2);
+        assert!(!cache.is_broken(7));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn re_marking_resets_the_ttl() {
+        let mut cache = BrokenQuicCache::new();
+        cache.mark(1);
+        cache.advance(BROKEN_QUIC_TTL - SimDuration::from_secs(1));
+        cache.mark(1); // fresh failure, fresh TTL
+        cache.advance(SimDuration::from_secs(2));
+        assert!(cache.is_broken(1), "re-mark must restart the clock");
+    }
+
+    #[test]
+    fn advance_is_per_entry() {
+        let mut cache = BrokenQuicCache::new();
+        cache.mark(1);
+        cache.advance(BROKEN_QUIC_TTL / 2);
+        cache.mark(2);
+        cache.advance(BROKEN_QUIC_TTL / 2);
+        assert!(!cache.is_broken(1));
+        assert!(cache.is_broken(2));
+    }
+}

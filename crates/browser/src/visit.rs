@@ -15,7 +15,12 @@ use h3cdn_web::{DomainId, DomainTable, Webpage};
 use crate::client::{ClientHost, DomainInfo, PlannedRequest};
 use crate::config::VisitConfig;
 use crate::host::SimHost;
+use crate::resilience::{BrokenQuicCache, ResilienceStats};
 use crate::server::ServerHost;
+
+/// A tracer over the wire-packet type, as accepted by
+/// [`visit_page_traced`].
+pub type VisitTracer = h3cdn_netsim::engine::Tracer<h3cdn_transport::WirePacket>;
 
 /// Result of one visit.
 #[derive(Debug)]
@@ -27,7 +32,50 @@ pub struct VisitOutcome {
     pub tickets: TicketStore,
     /// Network-level statistics of the visit.
     pub stats: VisitStats,
+    /// How hard the browser had to fight (fallbacks, re-dials).
+    pub resilience: ResilienceStats,
+    /// The broken-QUIC memory after the visit (feed it to the next visit
+    /// alongside the tickets; see [`BrokenQuicCache::advance`]).
+    pub broken_quic: BrokenQuicCache,
 }
+
+/// A visit the browser could not finish: some responses stayed stranded
+/// (connections dead, no fallback path) or the simulated deadline hit.
+#[derive(Debug)]
+pub struct AbortedVisit {
+    /// The page that failed.
+    pub site: usize,
+    /// Resources still outstanding when the visit gave up.
+    pub pending_requests: usize,
+    /// Resources that did complete.
+    pub completed_requests: usize,
+    /// Network-level statistics up to the abort.
+    pub stats: VisitStats,
+    /// Fallback/retry counters up to the abort.
+    pub resilience: ResilienceStats,
+    /// The broken-QUIC memory at the abort.
+    pub broken_quic: BrokenQuicCache,
+    /// The engine's stall diagnosis, when it produced one.
+    pub stall: Option<String>,
+}
+
+impl std::fmt::Display for AbortedVisit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "page {} aborted: {} of {} resources pending",
+            self.site,
+            self.pending_requests,
+            self.pending_requests + self.completed_requests
+        )?;
+        if let Some(stall) = &self.stall {
+            write!(f, " ({stall})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for AbortedVisit {}
 
 /// Packet-level statistics for one visit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +84,9 @@ pub struct VisitStats {
     pub packets_delivered: u64,
     /// Packets lost (random loss or queue drop).
     pub packets_lost: u64,
+    /// Packets consumed by injected faults (blackouts, UDP blackholes,
+    /// loss bursts, collapsed-link overflows).
+    pub packets_fault_dropped: u64,
 }
 
 /// Wall-clock cap per visit; hitting it means the simulation wedged.
@@ -117,8 +168,40 @@ pub fn visit_page_traced(
     domains: &DomainTable,
     cfg: &VisitConfig,
     tickets: TicketStore,
-    tracer: Option<h3cdn_netsim::engine::Tracer<h3cdn_transport::WirePacket>>,
+    tracer: Option<VisitTracer>,
 ) -> VisitOutcome {
+    match run_visit(page, domains, cfg, tickets, BrokenQuicCache::new(), tracer) {
+        Ok(outcome) => outcome,
+        Err(aborted) => panic!(
+            "page {} did not finish within {VISIT_DEADLINE}: {aborted}",
+            page.site
+        ),
+    }
+}
+
+/// As [`visit_page`], but a wedged or stranded visit is a *measurement
+/// outcome* ([`AbortedVisit`]) rather than a bug — the entry point for
+/// fault-injection experiments, where pages legitimately fail. Also
+/// accepts the broken-QUIC memory carried from a previous visit (pass
+/// [`BrokenQuicCache::new`] for an isolated measurement).
+pub fn try_visit_page(
+    page: &Webpage,
+    domains: &DomainTable,
+    cfg: &VisitConfig,
+    tickets: TicketStore,
+    broken_quic: BrokenQuicCache,
+) -> Result<VisitOutcome, Box<AbortedVisit>> {
+    run_visit(page, domains, cfg, tickets, broken_quic, None)
+}
+
+fn run_visit(
+    page: &Webpage,
+    domains: &DomainTable,
+    cfg: &VisitConfig,
+    tickets: TicketStore,
+    broken_quic: BrokenQuicCache,
+    tracer: Option<VisitTracer>,
+) -> Result<VisitOutcome, Box<AbortedVisit>> {
     // 1. Collect the page's distinct domains, deterministically ordered.
     let used: BTreeSet<DomainId> = page.resources.iter().map(|r| r.domain).collect();
 
@@ -145,6 +228,11 @@ pub fn visit_page_traced(
         let node = net.add_node();
         let rtt = domain_rtt(domains, d, cfg.vantage, cfg.jitter_salt);
         net.set_path_symmetric(client_node, node, PathSpec::with_delay(rtt / 2).loss(loss));
+        if let Some(spec) = &cfg.faults {
+            if spec.selects(d.0, cfg.jitter_salt) {
+                net.set_fault_plan_symmetric(client_node, node, spec.plan.clone());
+            }
+        }
         node_of.insert(d, node);
         info_of.insert(
             d,
@@ -184,7 +272,8 @@ pub fn visit_page_traced(
 
     // 4. Hosts, index-aligned with node creation order.
     let plan = build_plan(page);
-    let client = ClientHost::with_alt_svc(
+    let plan_len = plan.len();
+    let mut client = ClientHost::with_alt_svc(
         client_node,
         cfg.mode,
         cfg.cc,
@@ -194,6 +283,8 @@ pub fn visit_page_traced(
         net_seed ^ 0x4841_5221, // HAR fingerprint tokens
         cfg.alt_svc_discovery,
     );
+    client.set_h3_fallback(cfg.h3_fallback);
+    client.set_broken_quic(broken_quic);
     let mut hosts: Vec<SimHost> = vec![SimHost::Client(Box::new(client))];
     for &d in &used {
         let rtt = domain_rtt(domains, d, cfg.vantage, cfg.jitter_salt);
@@ -220,28 +311,40 @@ pub fn visit_page_traced(
     if let Some(t) = tracer {
         engine.set_tracer(t);
     }
-    engine.run_until(SimTime::ZERO + VISIT_DEADLINE);
+    let run = engine.run_until_checked(SimTime::ZERO + VISIT_DEADLINE);
     let (net, hosts) = engine.into_parts();
     let stats = VisitStats {
         packets_delivered: net.delivered(),
         packets_lost: net.lost(),
+        packets_fault_dropped: net.fault_dropped(),
     };
     let client = hosts
         .into_iter()
         .next()
         .and_then(SimHost::into_client)
         .expect("client is node 0");
-    assert!(
-        client.is_done(),
-        "page {} did not finish within {VISIT_DEADLINE}",
-        page.site
-    );
+    if run.is_err() || !client.is_done() {
+        let pending = client.pending_requests();
+        return Err(Box::new(AbortedVisit {
+            site: page.site,
+            pending_requests: pending,
+            completed_requests: plan_len - pending,
+            stats,
+            resilience: client.resilience(),
+            broken_quic: client.broken_quic().clone(),
+            stall: run.err().map(|report| report.to_string()),
+        }));
+    }
+    let resilience = client.resilience();
+    let broken_quic = client.broken_quic().clone();
     let (har, tickets) = client.into_har(page.site, cfg.vantage.name());
-    VisitOutcome {
+    Ok(VisitOutcome {
         har,
         tickets,
         stats,
-    }
+        resilience,
+        broken_quic,
+    })
 }
 
 /// Visits pages in order, carrying the ticket store forward — the
@@ -297,11 +400,21 @@ fn build_plan(page: &Webpage) -> Vec<PlannedRequest> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ProtocolMode;
+    use crate::config::{FaultSpec, ProtocolMode};
+    use crate::resilience::BROKEN_QUIC_TTL;
+    use h3cdn_netsim::FaultPlan;
     use h3cdn_web::{generate, WorkloadSpec};
 
     fn small_corpus() -> h3cdn_web::Corpus {
         generate(&WorkloadSpec::default().with_pages(6).with_seed(42))
+    }
+
+    fn h3_rich_page(corpus: &h3cdn_web::Corpus) -> &Webpage {
+        corpus
+            .pages
+            .iter()
+            .find(|p| p.h3_enabled_cdn_count() > 0)
+            .expect("an H3-capable page exists")
     }
 
     fn visit(corpus: &h3cdn_web::Corpus, site: usize, mode: ProtocolMode) -> HarPage {
@@ -541,6 +654,204 @@ mod tests {
             warm.entries_with_protocol("h3").count() > har.entries_with_protocol("h3").count(),
             "cold discovery must cost some H3 requests"
         );
+    }
+
+    #[test]
+    fn enabling_fallback_on_clean_paths_is_bit_identical() {
+        // The fallback machinery must be pure insurance: with healthy
+        // paths the QUIC-vs-TCP race never fires (a clean handshake is
+        // one RTT, the race waits five), so every number matches the
+        // pre-fallback stack exactly.
+        let corpus = small_corpus();
+        let page = &corpus.pages[0];
+        let base = visit_page(
+            page,
+            &corpus.domains,
+            &VisitConfig::default(),
+            TicketStore::new(),
+        );
+        let with_fb = visit_page(
+            page,
+            &corpus.domains,
+            &VisitConfig::default().with_h3_fallback(true),
+            TicketStore::new(),
+        );
+        assert_eq!(base.har.plt_ms, with_fb.har.plt_ms);
+        assert_eq!(base.stats, with_fb.stats);
+        assert_eq!(with_fb.resilience.h3_fallbacks, 0);
+        assert_eq!(with_fb.resilience.conn_retries, 0);
+        assert!(with_fb.broken_quic.is_empty());
+        for (a, b) in base.har.entries.iter().zip(&with_fb.har.entries) {
+            assert_eq!(a.timing.connect_ms, b.timing.connect_ms);
+            assert_eq!(a.timing.wait_ms, b.timing.wait_ms);
+            assert_eq!(a.timing.receive_ms, b.timing.receive_ms);
+        }
+    }
+
+    #[test]
+    fn udp_blackhole_strands_h3_without_fallback() {
+        // The paper's failure mode: QUIC silently blocked, no graceful
+        // degradation -> the visit cannot finish.
+        let corpus = small_corpus();
+        let page = h3_rich_page(&corpus);
+        let cfg = VisitConfig::default()
+            .with_faults(FaultSpec::everywhere(FaultPlan::udp_blackhole_always()));
+        let aborted = try_visit_page(
+            page,
+            &corpus.domains,
+            &cfg,
+            TicketStore::new(),
+            BrokenQuicCache::new(),
+        )
+        .expect_err("H3 requests into a UDP blackhole must strand");
+        assert!(aborted.pending_requests > 0);
+        assert_eq!(
+            aborted.pending_requests + aborted.completed_requests,
+            page.request_count()
+        );
+        assert!(aborted.stats.packets_fault_dropped > 0);
+        assert!(
+            aborted.to_string().contains("resources pending"),
+            "diagnosis names the stranded work: {aborted}"
+        );
+    }
+
+    #[test]
+    fn udp_blackhole_with_fallback_completes_over_h2() {
+        // Chrome-style graceful degradation: the blackholed QUIC
+        // connections lose their races, the domains are remembered as
+        // broken, and every request lands over TCP.
+        let corpus = small_corpus();
+        let page = h3_rich_page(&corpus);
+        let cfg = VisitConfig::default()
+            .with_faults(FaultSpec::everywhere(FaultPlan::udp_blackhole_always()))
+            .with_h3_fallback(true);
+        let outcome = try_visit_page(
+            page,
+            &corpus.domains,
+            &cfg,
+            TicketStore::new(),
+            BrokenQuicCache::new(),
+        )
+        .expect("fallback must rescue the page");
+        assert_eq!(outcome.har.entries.len(), page.request_count());
+        assert_eq!(outcome.har.entries_with_protocol("h3").count(), 0);
+        assert!(outcome.resilience.h3_fallbacks > 0);
+        assert!(outcome.resilience.fallback_wait > SimDuration::ZERO);
+        assert!(!outcome.broken_quic.is_empty());
+        assert!(outcome.stats.packets_fault_dropped > 0);
+
+        // The rescue is not free: the same page in plain H2 mode (which
+        // never touches UDP) is faster and never hits the fault.
+        let h2_cfg = VisitConfig::default()
+            .with_mode(ProtocolMode::H2Only)
+            .with_faults(FaultSpec::everywhere(FaultPlan::udp_blackhole_always()));
+        let h2 = visit_page(page, &corpus.domains, &h2_cfg, TicketStore::new());
+        assert_eq!(h2.stats.packets_fault_dropped, 0);
+        assert!(
+            outcome.har.plt_ms > h2.har.plt_ms,
+            "time-to-fallback penalty must show: {} vs {}",
+            outcome.har.plt_ms,
+            h2.har.plt_ms
+        );
+    }
+
+    #[test]
+    fn broken_quic_memory_carries_across_visits_and_expires() {
+        let corpus = small_corpus();
+        let page = h3_rich_page(&corpus);
+        // Visit 1: blackholed, fallback on -> domains remembered broken.
+        let faulted = VisitConfig::default()
+            .with_faults(FaultSpec::everywhere(FaultPlan::udp_blackhole_always()))
+            .with_h3_fallback(true);
+        let first = try_visit_page(
+            page,
+            &corpus.domains,
+            &faulted,
+            TicketStore::new(),
+            BrokenQuicCache::new(),
+        )
+        .expect("fallback completes the faulted visit");
+        let mut carried = first.broken_quic;
+        assert!(!carried.is_empty());
+
+        // Visit 2: the fault is gone, but within the TTL the browser
+        // still refuses QUIC for the remembered domains.
+        let clean = VisitConfig::default().with_h3_fallback(true);
+        let second = try_visit_page(
+            page,
+            &corpus.domains,
+            &clean,
+            TicketStore::new(),
+            carried.clone(),
+        )
+        .expect("clean visit completes");
+        assert_eq!(
+            second.har.entries_with_protocol("h3").count(),
+            0,
+            "broken-QUIC memory must suppress H3 within its TTL"
+        );
+
+        // The TTL runs out between visits: H3 is back on the menu.
+        carried.advance(BROKEN_QUIC_TTL);
+        assert!(carried.is_empty());
+        let third = try_visit_page(page, &corpus.domains, &clean, TicketStore::new(), carried)
+            .expect("clean visit completes");
+        assert!(
+            third.har.entries_with_protocol("h3").count() > 0,
+            "expired entries re-enable H3"
+        );
+    }
+
+    #[test]
+    fn alt_svc_discovery_composes_with_fallback() {
+        // Cold Alt-Svc cache + blackholed QUIC: discovery sends the
+        // first request per domain over H2, the learned H3 attempts then
+        // fail and fall back -- the page still completes with no H3.
+        let corpus = small_corpus();
+        let page = h3_rich_page(&corpus);
+        let cfg = VisitConfig {
+            alt_svc_discovery: true,
+            ..VisitConfig::default()
+                .with_faults(FaultSpec::everywhere(FaultPlan::udp_blackhole_always()))
+                .with_h3_fallback(true)
+        };
+        let outcome = try_visit_page(
+            page,
+            &corpus.domains,
+            &cfg,
+            TicketStore::new(),
+            BrokenQuicCache::new(),
+        )
+        .expect("discovery + fallback must still finish the page");
+        assert_eq!(outcome.har.entries.len(), page.request_count());
+        assert_eq!(outcome.har.entries_with_protocol("h3").count(), 0);
+    }
+
+    #[test]
+    fn mid_visit_blackout_recovers_with_fallback() {
+        // A scheduled full blackout early in the visit: both stacks see
+        // it, and the fallback machinery re-dials TCP connections that
+        // died while it lasted.
+        let corpus = small_corpus();
+        let page = h3_rich_page(&corpus);
+        let plan = FaultPlan::new().blackout(
+            SimTime::ZERO + SimDuration::from_millis(50),
+            SimTime::ZERO + SimDuration::from_millis(1500),
+        );
+        let cfg = VisitConfig::default()
+            .with_faults(FaultSpec::everywhere(plan))
+            .with_h3_fallback(true);
+        let outcome = try_visit_page(
+            page,
+            &corpus.domains,
+            &cfg,
+            TicketStore::new(),
+            BrokenQuicCache::new(),
+        )
+        .expect("the blackout ends; the visit must recover");
+        assert_eq!(outcome.har.entries.len(), page.request_count());
+        assert!(outcome.stats.packets_fault_dropped > 0);
     }
 
     #[test]

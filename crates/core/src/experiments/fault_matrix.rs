@@ -1,0 +1,438 @@
+//! The fault matrix: scheduled path impairments × protocol/fallback
+//! arms, quantifying Chrome-style graceful degradation.
+//!
+//! The paper measures H3 on *healthy* CloudLab paths; this experiment
+//! asks what its two Chrome instances would have seen on broken ones.
+//! For every impairment scenario the matrix loads each page three ways
+//! over identical paths:
+//!
+//! * **h2** — QUIC disabled; a UDP-only fault never touches it.
+//! * **h3** — `enable-quic` *without* fallback machinery: requests
+//!   stranded on a dead QUIC connection stay stranded and the visit
+//!   aborts (the baseline the matrix quantifies).
+//! * **h3+fallback** — Chrome-style graceful degradation: the
+//!   QUIC-vs-TCP race, the broken-QUIC memory, re-dispatch of stranded
+//!   requests and TCP re-dial backoff.
+//!
+//! Each cell reports abort counts, the median PLT of completed loads,
+//! the PLT delta against the same scenario's H2 arm (the price of
+//! falling back), fallback counts and the mean time-to-fallback
+//! penalty. The fault-free control row is bit-identical to the plain
+//! campaign visit paths for every worker count.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use h3cdn_analysis::median;
+use h3cdn_browser::{try_visit_page, BrokenQuicCache, FaultSpec};
+use h3cdn_cdn::Vantage;
+use h3cdn_netsim::FaultPlan;
+use h3cdn_sim_core::{SimDuration, SimTime};
+use h3cdn_transport::tls::TicketStore;
+use h3cdn_web::{DomainTable, Webpage};
+use serde::Serialize;
+
+use crate::runner::run_keyed;
+use crate::{MeasurementCampaign, ProtocolMode, VisitConfig};
+
+/// One impairment scenario: a fault plan installed symmetrically on a
+/// deterministic fraction of each page's client↔server paths.
+#[derive(Debug, Clone)]
+pub struct FaultScenario {
+    /// Scenario label used in reports.
+    pub name: String,
+    /// The impairment; `None` leaves every path fault-free.
+    pub faults: Option<FaultSpec>,
+}
+
+impl FaultScenario {
+    /// No impairment — the control row. Its numbers must match the
+    /// plain campaign visit paths bit-for-bit.
+    pub fn fault_free() -> Self {
+        FaultScenario {
+            name: "none".to_owned(),
+            faults: None,
+        }
+    }
+
+    /// A permanent UDP blackhole on `fraction` of each page's domains:
+    /// QUIC packets vanish silently while TCP flows untouched — the
+    /// middlebox failure mode that motivated Chrome's fallback.
+    pub fn udp_blackhole(fraction: f64) -> Self {
+        FaultScenario {
+            name: format!("udp-blackhole {:.0}%", fraction * 100.0),
+            faults: Some(FaultSpec {
+                plan: FaultPlan::udp_blackhole_always(),
+                domain_fraction: fraction,
+            }),
+        }
+    }
+
+    /// A full bidirectional blackout over `[from_ms, until_ms)` on
+    /// every path — both stacks lose packets and must recover.
+    pub fn blackout_ms(from_ms: u64, until_ms: u64) -> Self {
+        let plan = FaultPlan::new().blackout(
+            SimTime::ZERO + SimDuration::from_millis(from_ms),
+            SimTime::ZERO + SimDuration::from_millis(until_ms),
+        );
+        FaultScenario {
+            name: format!("blackout {from_ms}-{until_ms}ms"),
+            faults: Some(FaultSpec::everywhere(plan)),
+        }
+    }
+}
+
+/// The default sweep: control, partial and total UDP blackholes, and a
+/// mid-visit blackout.
+pub fn default_scenarios() -> Vec<FaultScenario> {
+    vec![
+        FaultScenario::fault_free(),
+        FaultScenario::udp_blackhole(0.5),
+        FaultScenario::udp_blackhole(1.0),
+        FaultScenario::blackout_ms(50, 1500),
+    ]
+}
+
+/// The protocol/fallback arms of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Arm {
+    H2,
+    H3NoFallback,
+    H3WithFallback,
+}
+
+impl Arm {
+    const ALL: [Arm; 3] = [Arm::H2, Arm::H3NoFallback, Arm::H3WithFallback];
+
+    fn label(self) -> &'static str {
+        match self {
+            Arm::H2 => "h2",
+            Arm::H3NoFallback => "h3",
+            Arm::H3WithFallback => "h3+fallback",
+        }
+    }
+
+    fn mode(self) -> ProtocolMode {
+        match self {
+            Arm::H2 => ProtocolMode::H2Only,
+            Arm::H3NoFallback | Arm::H3WithFallback => ProtocolMode::H3Enabled,
+        }
+    }
+
+    fn fallback(self) -> bool {
+        matches!(self, Arm::H3WithFallback)
+    }
+}
+
+/// One `(scenario, arm)` cell of the matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultCell {
+    /// Scenario label.
+    pub scenario: String,
+    /// Arm label (`h2` / `h3` / `h3+fallback`).
+    pub arm: String,
+    /// Pages measured.
+    pub pages: usize,
+    /// Pages that could not finish (stranded requests).
+    pub aborted: usize,
+    /// Median PLT over completed loads (`NaN` when none completed).
+    pub median_plt_ms: f64,
+    /// `median_plt_ms` minus the same scenario's H2-arm median — what
+    /// the impairment (and surviving it) costs against plain TCP.
+    pub plt_delta_vs_h2_ms: f64,
+    /// Pages that performed at least one H3→H2 fallback.
+    pub fallback_pages: usize,
+    /// Total H3→H2 fallbacks across all pages.
+    pub h3_fallbacks: u64,
+    /// Mean time spent waiting on QUIC before a fallback fired — the
+    /// per-fallback time-to-fallback penalty.
+    pub mean_fallback_wait_ms: f64,
+    /// TCP re-dial attempts after connection failures.
+    pub conn_retries: u64,
+    /// Packets consumed by the injected faults.
+    pub fault_dropped_packets: u64,
+    /// Per-site PLTs in site order; `NaN` marks an aborted load. Kept
+    /// so downstream tooling (and the bit-identity tests) can compare
+    /// individual loads.
+    pub plts_ms: Vec<f64>,
+}
+
+/// The full matrix, rows scenario-major in input order, arms
+/// `h2`, `h3`, `h3+fallback` within each scenario.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultMatrix {
+    /// One row per `(scenario, arm)`.
+    pub rows: Vec<FaultCell>,
+}
+
+impl FaultMatrix {
+    /// The cell for the given scenario and arm labels, if present.
+    pub fn cell(&self, scenario: &str, arm: &str) -> Option<&FaultCell> {
+        self.rows
+            .iter()
+            .find(|r| r.scenario == scenario && r.arm == arm)
+    }
+}
+
+/// One page load's contribution to a cell.
+struct Sample {
+    /// `NaN` when the visit aborted.
+    plt_ms: f64,
+    h3_fallbacks: u64,
+    fallback_wait_ms: f64,
+    conn_retries: u64,
+    fault_dropped: u64,
+}
+
+/// Loads one page under `cfg`, reducing the outcome (completed or
+/// aborted) to a [`Sample`].
+fn sample(page: &Webpage, domains: &DomainTable, cfg: &VisitConfig) -> Sample {
+    match try_visit_page(
+        page,
+        domains,
+        cfg,
+        TicketStore::new(),
+        BrokenQuicCache::new(),
+    ) {
+        Ok(o) => Sample {
+            plt_ms: o.har.plt_ms,
+            h3_fallbacks: o.resilience.h3_fallbacks,
+            fallback_wait_ms: o.resilience.fallback_wait.as_millis_f64(),
+            conn_retries: o.resilience.conn_retries,
+            fault_dropped: o.stats.packets_fault_dropped,
+        },
+        Err(a) => Sample {
+            plt_ms: f64::NAN,
+            h3_fallbacks: a.resilience.h3_fallbacks,
+            fallback_wait_ms: a.resilience.fallback_wait.as_millis_f64(),
+            conn_retries: a.resilience.conn_retries,
+            fault_dropped: a.stats.packets_fault_dropped,
+        },
+    }
+}
+
+/// Median PLT over the completed loads of a cell.
+fn completed_median(samples: &[Sample]) -> f64 {
+    let done: Vec<f64> = samples
+        .iter()
+        .map(|s| s.plt_ms)
+        .filter(|p| p.is_finite())
+        .collect();
+    median(&done)
+}
+
+/// Runs the matrix: `scenarios × {h2, h3, h3+fallback} × sites` as one
+/// batch of keyed jobs on the campaign's parallel runner. The
+/// key-ordered merge makes the output bit-identical for every worker
+/// count.
+pub fn run(
+    campaign: &MeasurementCampaign,
+    vantage: Vantage,
+    scenarios: &[FaultScenario],
+) -> FaultMatrix {
+    let domains = &campaign.corpus().domains;
+    let mut jobs = Vec::new();
+    for (si, sc) in scenarios.iter().enumerate() {
+        for (ai, arm) in Arm::ALL.iter().enumerate() {
+            for (site, page) in campaign.corpus().pages.iter().enumerate() {
+                let mut cfg = campaign
+                    .config()
+                    .visit
+                    .clone()
+                    .with_vantage(vantage)
+                    .with_mode(arm.mode())
+                    .with_h3_fallback(arm.fallback());
+                if let Some(f) = &sc.faults {
+                    cfg = cfg.with_faults(f.clone());
+                }
+                jobs.push(((si as u32, ai as u32, site as u32), move || {
+                    sample(page, domains, &cfg)
+                }));
+            }
+        }
+    }
+    let keyed = run_keyed(&campaign.config().runner, jobs);
+
+    let mut by_cell: BTreeMap<(u32, u32), Vec<Sample>> = BTreeMap::new();
+    for ((si, ai, _site), s) in keyed {
+        by_cell.entry((si, ai)).or_default().push(s);
+    }
+    // H2 medians per scenario feed the delta column.
+    let mut h2_median: BTreeMap<u32, f64> = BTreeMap::new();
+    for ((si, ai), samples) in &by_cell {
+        if *ai == 0 {
+            h2_median.insert(*si, completed_median(samples));
+        }
+    }
+    let mut rows = Vec::new();
+    for ((si, ai), samples) in &by_cell {
+        let scenario = scenarios
+            .get(*si as usize)
+            .map_or(String::new(), |s| s.name.clone());
+        let arm = Arm::ALL.get(*ai as usize).map_or("?", |a| a.label());
+        let med = completed_median(samples);
+        let h2 = h2_median.get(si).copied().unwrap_or(f64::NAN);
+        let fallbacks: u64 = samples.iter().map(|s| s.h3_fallbacks).sum();
+        let wait_ms: f64 = samples.iter().map(|s| s.fallback_wait_ms).sum();
+        rows.push(FaultCell {
+            scenario,
+            arm: arm.to_owned(),
+            pages: samples.len(),
+            aborted: samples.iter().filter(|s| !s.plt_ms.is_finite()).count(),
+            median_plt_ms: med,
+            plt_delta_vs_h2_ms: med - h2,
+            fallback_pages: samples.iter().filter(|s| s.h3_fallbacks > 0).count(),
+            h3_fallbacks: fallbacks,
+            mean_fallback_wait_ms: if fallbacks == 0 {
+                0.0
+            } else {
+                wait_ms / fallbacks as f64
+            },
+            conn_retries: samples.iter().map(|s| s.conn_retries).sum(),
+            fault_dropped_packets: samples.iter().map(|s| s.fault_dropped).sum(),
+            plts_ms: samples.iter().map(|s| s.plt_ms).collect(),
+        });
+    }
+    FaultMatrix { rows }
+}
+
+/// `"-"` for non-finite values (nothing completed / no reference).
+fn fmt_ms(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "-".to_owned()
+    }
+}
+
+impl fmt::Display for FaultMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fault matrix: impairments x {{h2, h3, h3+fallback}} (per-cell aggregates)"
+        )?;
+        writeln!(
+            f,
+            "{:<22} {:<12} {:>6} {:>8} {:>12} {:>10} {:>9} {:>10} {:>11} {:>8} {:>9}",
+            "scenario",
+            "arm",
+            "pages",
+            "aborted",
+            "med PLT ms",
+            "d-h2 ms",
+            "fb pages",
+            "fallbacks",
+            "fb wait ms",
+            "retries",
+            "dropped"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<22} {:<12} {:>6} {:>8} {:>12} {:>10} {:>9} {:>10} {:>11.1} {:>8} {:>9}",
+                r.scenario,
+                r.arm,
+                r.pages,
+                r.aborted,
+                fmt_ms(r.median_plt_ms),
+                fmt_ms(r.plt_delta_vs_h2_ms),
+                r.fallback_pages,
+                r.h3_fallbacks,
+                r.mean_fallback_wait_ms,
+                r.conn_retries,
+                r.fault_dropped_packets
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunnerConfig;
+    use crate::{CampaignConfig, MeasurementCampaign};
+
+    #[test]
+    fn fault_free_rows_match_campaign_paths_bitwise() {
+        let cfg = CampaignConfig::small(3, 11);
+        let serial = MeasurementCampaign::new(cfg.clone().with_runner(RunnerConfig::serial()));
+        let parallel =
+            MeasurementCampaign::new(cfg.with_runner(RunnerConfig::default().with_jobs(8)));
+        let scenarios = vec![FaultScenario::fault_free()];
+        let a = run(&serial, Vantage::Utah, &scenarios);
+        let b = run(&parallel, Vantage::Utah, &scenarios);
+        assert_eq!(a.rows.len(), 3);
+        // Worker-count invariance, bit for bit.
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.median_plt_ms.to_bits(), rb.median_plt_ms.to_bits());
+            for (x, y) in ra.plts_ms.iter().zip(&rb.plts_ms) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // The H2/H3 arms reproduce the plain campaign visit paths
+        // exactly, and the fallback arm is bit-identical to plain H3:
+        // the insurance machinery is free on healthy paths.
+        let h2 = a.cell("none", "h2").expect("h2 row");
+        let h3 = a.cell("none", "h3").expect("h3 row");
+        let fb = a.cell("none", "h3+fallback").expect("fallback row");
+        assert_eq!(h2.aborted + h3.aborted + fb.aborted, 0);
+        for site in 0..3usize {
+            let want_h2 = serial
+                .visit(site, Vantage::Utah, ProtocolMode::H2Only)
+                .plt_ms;
+            let want_h3 = serial
+                .visit(site, Vantage::Utah, ProtocolMode::H3Enabled)
+                .plt_ms;
+            assert_eq!(h2.plts_ms[site].to_bits(), want_h2.to_bits());
+            assert_eq!(h3.plts_ms[site].to_bits(), want_h3.to_bits());
+            assert_eq!(fb.plts_ms[site].to_bits(), want_h3.to_bits());
+        }
+    }
+
+    #[test]
+    fn full_blackhole_is_survived_only_with_fallback() {
+        let campaign = MeasurementCampaign::new(CampaignConfig::small(4, 11));
+        let m = run(
+            &campaign,
+            Vantage::Utah,
+            &[FaultScenario::udp_blackhole(1.0)],
+        );
+        let h2 = m.cell("udp-blackhole 100%", "h2").expect("h2 row");
+        let h3 = m.cell("udp-blackhole 100%", "h3").expect("h3 row");
+        let fb = m.cell("udp-blackhole 100%", "h3+fallback").expect("fb row");
+        // TCP traffic never touches the blackhole.
+        assert_eq!(h2.aborted, 0);
+        assert_eq!(h2.fault_dropped_packets, 0);
+        // Without fallback machinery, stranded H3 requests abort pages.
+        assert!(h3.aborted > 0, "blackholed H3 must strand: {h3:?}");
+        // With it, every page completes — over TCP, at a price.
+        assert_eq!(fb.aborted, 0, "fallback must rescue every page");
+        assert!(fb.h3_fallbacks > 0);
+        assert!(fb.fallback_pages > 0);
+        assert!(fb.mean_fallback_wait_ms > 0.0, "penalty must be nonzero");
+        assert!(
+            fb.plt_delta_vs_h2_ms > 0.0,
+            "the rescue is not free: {}",
+            fb.plt_delta_vs_h2_ms
+        );
+    }
+
+    #[test]
+    fn display_and_json_render() {
+        let campaign = MeasurementCampaign::new(CampaignConfig::small(2, 5));
+        let m = run(
+            &campaign,
+            Vantage::Utah,
+            &[
+                FaultScenario::fault_free(),
+                FaultScenario::blackout_ms(50, 400),
+            ],
+        );
+        let text = m.to_string();
+        assert!(text.contains("blackout 50-400ms"));
+        assert!(text.contains("h3+fallback"));
+        let json = serde_json::to_string(&m).expect("serialises");
+        assert!(json.contains("fault_dropped_packets"));
+    }
+}

@@ -7,6 +7,7 @@
 //! `h3cdn-experiments` binaries are thin wrappers over these functions;
 //! EXPERIMENTS.md records paper-vs-measured for each.
 
+pub mod fault_matrix;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

@@ -117,6 +117,10 @@ impl H1Client {
                 TlsEvent::TicketIssued { at } => {
                     self.events.push_back(HttpEvent::TicketIssued { at });
                 }
+                TlsEvent::Closed { at, reason } => {
+                    self.events
+                        .push_back(HttpEvent::ConnectionClosed { at, reason });
+                }
                 TlsEvent::Delivered { tag, at } => match decode_tag(tag) {
                     TagKind::ResponseHeaders(id) => {
                         self.events.push_back(HttpEvent::ResponseHeaders { id, at });
@@ -167,6 +171,10 @@ impl h3cdn_transport::duplex::Driveable for H1Client {
 
     fn on_deadline(&mut self, now: SimTime) {
         self.on_timeout(now);
+    }
+
+    fn abandon_deadline(&self) -> Option<SimTime> {
+        self.conn.close_deadline()
     }
 }
 

@@ -112,6 +112,10 @@ impl H2Client {
                 TlsEvent::TicketIssued { at } => {
                     self.events.push_back(HttpEvent::TicketIssued { at });
                 }
+                TlsEvent::Closed { at, reason } => {
+                    self.events
+                        .push_back(HttpEvent::ConnectionClosed { at, reason });
+                }
                 TlsEvent::Delivered { tag, at } => match decode_tag(tag) {
                     TagKind::ResponseHeaders(id) => {
                         self.events.push_back(HttpEvent::ResponseHeaders { id, at });
@@ -290,6 +294,10 @@ impl h3cdn_transport::duplex::Driveable for H2Client {
     fn on_deadline(&mut self, now: SimTime) {
         self.on_timeout(now);
     }
+
+    fn abandon_deadline(&self) -> Option<SimTime> {
+        self.conn.close_deadline()
+    }
 }
 
 impl h3cdn_transport::duplex::Driveable for TcpServer {
@@ -309,6 +317,10 @@ impl h3cdn_transport::duplex::Driveable for TcpServer {
 
     fn on_deadline(&mut self, now: SimTime) {
         self.on_timeout(now);
+    }
+
+    fn abandon_deadline(&self) -> Option<SimTime> {
+        self.conn.close_deadline()
     }
 }
 

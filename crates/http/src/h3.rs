@@ -105,6 +105,14 @@ impl H3Client {
                     self.events.push_back(HttpEvent::TicketIssued { at });
                 }
                 QuicEvent::StreamOpened { .. } => {}
+                QuicEvent::ZeroRttRejected { .. } => {
+                    // Transparent downgrade: timings already reflect it
+                    // via the re-stamped send-readiness.
+                }
+                QuicEvent::Closed { at, reason } => {
+                    self.events
+                        .push_back(HttpEvent::ConnectionClosed { at, reason });
+                }
                 QuicEvent::Delivered { tag, at, .. } => match decode_tag(tag) {
                     TagKind::ResponseHeaders(id) => {
                         self.events.push_back(HttpEvent::ResponseHeaders { id, at });
@@ -250,6 +258,10 @@ impl h3cdn_transport::duplex::Driveable for H3Client {
     fn on_deadline(&mut self, now: SimTime) {
         self.on_timeout(now);
     }
+
+    fn abandon_deadline(&self) -> Option<SimTime> {
+        self.conn.close_deadline()
+    }
 }
 
 impl h3cdn_transport::duplex::Driveable for QuicServer {
@@ -269,6 +281,10 @@ impl h3cdn_transport::duplex::Driveable for QuicServer {
 
     fn on_deadline(&mut self, now: SimTime) {
         self.on_timeout(now);
+    }
+
+    fn abandon_deadline(&self) -> Option<SimTime> {
+        self.conn.close_deadline()
     }
 }
 

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use h3cdn_sim_core::{SimDuration, SimTime};
-use h3cdn_transport::MsgTag;
+use h3cdn_transport::{CloseReason, MsgTag};
 
 /// HTTP protocol versions distinguished by the paper's Table II.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -129,6 +129,15 @@ pub enum HttpEvent {
     TicketIssued {
         /// Receipt time.
         at: SimTime,
+    },
+    /// The transport under this connection closed itself (handshake or
+    /// idle timeout). Any response still outstanding on it is stranded
+    /// and must be re-dispatched elsewhere by the browser.
+    ConnectionClosed {
+        /// Close time.
+        at: SimTime,
+        /// Why the transport gave up.
+        reason: CloseReason,
     },
 }
 

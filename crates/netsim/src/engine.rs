@@ -30,6 +30,77 @@ pub struct TraceRecord<'a, P> {
 /// The boxed callback type accepted by [`Engine::set_tracer`].
 pub type Tracer<P> = Box<dyn FnMut(TraceRecord<'_, P>)>;
 
+/// Why an [`Engine::run_checked`] call could not finish cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallReason {
+    /// The event budget was exhausted: some node is rescheduling itself
+    /// unproductively (a runaway timer loop).
+    BudgetExhausted {
+        /// Events dispatched when the budget tripped.
+        dispatched: u64,
+    },
+    /// The event queue drained while nodes still report open work: every
+    /// remaining connection is stalled with no timer armed to rescue it
+    /// (an all-stalled deadlock — e.g. an endpoint waiting forever on a
+    /// peer that will never speak again).
+    AllStalled,
+}
+
+/// One stalled node inside a [`StallReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStall {
+    /// The stuck node.
+    pub node: NodeId,
+    /// The node's own description of its open work (stuck connection,
+    /// pending request …), from [`Node::stall_detail`].
+    pub detail: String,
+    /// The last wakeup deadline this node armed, if it ever armed one —
+    /// the timer that *should* have rescued it.
+    pub last_armed: Option<SimTime>,
+}
+
+/// A structured diagnosis returned by [`Engine::run_checked`] instead of
+/// a panic or a silent hang: which nodes are stuck, on what, and what
+/// their last-armed timers were.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallReport {
+    /// Virtual time at which the run gave up.
+    pub at: SimTime,
+    /// Why the run could not finish.
+    pub reason: StallReason,
+    /// Every node that still reports open work, in node-id order.
+    pub stalls: Vec<NodeStall>,
+}
+
+impl std::fmt::Display for StallReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.reason {
+            StallReason::BudgetExhausted { dispatched } => write!(
+                f,
+                "event budget exhausted at {} after {dispatched} dispatches: \
+                 a node is rescheduling itself unproductively",
+                self.at
+            )?,
+            StallReason::AllStalled => write!(
+                f,
+                "event queue drained at {} with open work on {} node(s)",
+                self.at,
+                self.stalls.len()
+            )?,
+        }
+        for s in &self.stalls {
+            write!(f, "\n  {}: {}", s.node, s.detail)?;
+            match s.last_armed {
+                Some(t) => write!(f, " (last-armed timer: {t})")?,
+                None => write!(f, " (no timer ever armed)")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for StallReport {}
+
 /// A discrete-event engine over a fixed set of nodes.
 ///
 /// The engine pops the chronologically next event, dispatches it to the
@@ -42,6 +113,7 @@ pub struct Engine<N: Node> {
     queue: EventQueue<Ev<N::Packet>>,
     now: SimTime,
     timer_gen: Vec<u64>,
+    last_armed: Vec<Option<SimTime>>,
     outbox: Vec<Outgoing<N::Packet>>,
     events_dispatched: u64,
     event_budget: u64,
@@ -90,6 +162,7 @@ impl<N: Node> Engine<N> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             timer_gen: vec![0; n],
+            last_armed: vec![None; n],
             outbox: Vec::new(),
             events_dispatched: 0,
             event_budget: DEFAULT_EVENT_BUDGET,
@@ -149,7 +222,8 @@ impl<N: Node> Engine<N> {
     /// Injects a packet as if `src` had sent it to `dst` at the current
     /// time. Useful for tests; real traffic originates inside handlers.
     pub fn inject_packet(&mut self, src: NodeId, dst: NodeId, packet: N::Packet, size: ByteCount) {
-        if let Some(at) = self.net.route(src, dst, size, self.now) {
+        let class = N::classify(&packet);
+        if let Some(at) = self.net.route_classified(src, dst, size, class, self.now) {
             self.queue.schedule(at, Ev::Arrival { src, dst, packet });
         }
     }
@@ -159,6 +233,8 @@ impl<N: Node> Engine<N> {
     /// # Panics
     ///
     /// Panics if the event budget is exhausted (runaway timer loop).
+    /// Prefer [`Engine::run_checked`] for drivers that want a structured
+    /// diagnosis instead.
     pub fn run(&mut self) -> SimTime {
         self.run_until(SimTime::MAX)
     }
@@ -170,19 +246,60 @@ impl<N: Node> Engine<N> {
     ///
     /// Panics if the event budget is exhausted (runaway timer loop).
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        let result = self.run_inner(deadline, false);
+        assert!(
+            result.is_ok(),
+            "{}",
+            result
+                .as_ref()
+                .err()
+                .map_or_else(String::new, ToString::to_string)
+        );
+        result.unwrap_or(deadline)
+    }
+
+    /// Like [`Engine::run`], but returns a structured [`StallReport`]
+    /// instead of panicking or hanging when the simulation cannot finish:
+    /// either the event budget tripped (runaway timer loop), or the event
+    /// queue drained while nodes still report open work through
+    /// [`Node::stall_detail`] (an all-stalled deadlock). The report names
+    /// each stuck node, its open work, and its last-armed timer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`StallReport`] described above; the engine state
+    /// remains inspectable afterwards.
+    pub fn run_checked(&mut self) -> Result<SimTime, StallReport> {
+        self.run_inner(SimTime::MAX, true)
+    }
+
+    /// Like [`Engine::run_until`], but with [`Engine::run_checked`]'s
+    /// stall diagnosis. Reaching `deadline` with events still queued is a
+    /// normal stop, not a stall.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StallReport`] on budget exhaustion or an all-stalled
+    /// queue drain.
+    pub fn run_until_checked(&mut self, deadline: SimTime) -> Result<SimTime, StallReport> {
+        self.run_inner(deadline, true)
+    }
+
+    fn run_inner(&mut self, deadline: SimTime, check_stalls: bool) -> Result<SimTime, StallReport> {
         self.arm_all();
         while let Some(at) = self.queue.peek_time() {
             if at > deadline {
                 self.now = deadline;
-                return self.now;
+                return Ok(self.now);
             }
             let (at, ev) = self.queue.pop().expect("peeked event present");
             self.now = at;
             self.events_dispatched += 1;
-            assert!(
-                self.events_dispatched <= self.event_budget,
-                "event budget exhausted at {at}: a node is rescheduling itself unproductively"
-            );
+            if self.events_dispatched > self.event_budget {
+                return Err(self.stall_report(StallReason::BudgetExhausted {
+                    dispatched: self.events_dispatched,
+                }));
+            }
             match ev {
                 Ev::Arrival { src, dst, packet } => {
                     let mut ctx = NodeCtx::new(self.now, dst, Some(src), &mut self.outbox);
@@ -201,7 +318,33 @@ impl<N: Node> Engine<N> {
                 }
             }
         }
-        self.now
+        if check_stalls {
+            let report = self.stall_report(StallReason::AllStalled);
+            if !report.stalls.is_empty() {
+                return Err(report);
+            }
+        }
+        Ok(self.now)
+    }
+
+    fn stall_report(&self, reason: StallReason) -> StallReport {
+        let stalls = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, node)| {
+                node.stall_detail().map(|detail| NodeStall {
+                    node: NodeId(i as u32),
+                    detail,
+                    last_armed: self.last_armed.get(i).copied().flatten(),
+                })
+            })
+            .collect();
+        StallReport {
+            at: self.now,
+            reason,
+            stalls,
+        }
     }
 
     /// Total events dispatched so far.
@@ -228,7 +371,10 @@ impl<N: Node> Engine<N> {
         // reordering and trigger spurious fast retransmits.
         let outgoing = std::mem::take(&mut self.outbox);
         for out in outgoing {
-            let delivery = self.net.route(src, out.dst, out.wire_size, self.now);
+            let class = N::classify(&out.packet);
+            let delivery = self
+                .net
+                .route_classified(src, out.dst, out.wire_size, class, self.now);
             if let Some(tracer) = self.tracer.as_mut() {
                 tracer(TraceRecord {
                     src,
@@ -255,6 +401,9 @@ impl<N: Node> Engine<N> {
         self.timer_gen[id.index()] += 1;
         if let Some(deadline) = self.nodes[id.index()].next_wakeup() {
             let gen = self.timer_gen[id.index()];
+            if let Some(slot) = self.last_armed.get_mut(id.index()) {
+                *slot = Some(deadline.max(self.now));
+            }
             self.queue
                 .schedule(deadline.max(self.now), Ev::Wakeup { node: id, gen });
         }
@@ -359,22 +508,148 @@ mod tests {
     #[test]
     #[should_panic(expected = "event budget")]
     fn runaway_wakeup_loop_hits_budget() {
-        /// Always asks to wake immediately — an intentional bug.
-        #[derive(Debug)]
-        struct Spinner;
-        impl Node for Spinner {
-            type Packet = ();
-            fn handle_packet(&mut self, _p: (), _ctx: &mut NodeCtx<'_, ()>) {}
-            fn handle_wakeup(&mut self, _ctx: &mut NodeCtx<'_, ()>) {}
-            fn next_wakeup(&self) -> Option<SimTime> {
-                Some(SimTime::ZERO)
-            }
+        // The unchecked entry points still panic (with the report text)
+        // so tests and scripts fail loudly.
+        let mut e = spinner_engine();
+        e.run();
+    }
+
+    /// Always asks to wake immediately — an intentional runaway bug.
+    #[derive(Debug)]
+    struct Spinner;
+    impl Node for Spinner {
+        type Packet = ();
+        fn handle_packet(&mut self, _p: (), _ctx: &mut NodeCtx<'_, ()>) {}
+        fn handle_wakeup(&mut self, _ctx: &mut NodeCtx<'_, ()>) {}
+        fn next_wakeup(&self) -> Option<SimTime> {
+            Some(SimTime::ZERO)
         }
+        fn stall_detail(&self) -> Option<String> {
+            Some("spinning on a zero-delay timer".to_string())
+        }
+    }
+
+    fn spinner_engine() -> Engine<Spinner> {
         let mut net = Network::new(1);
         net.add_node();
         let mut e = Engine::new(net, vec![Spinner]);
         e.set_event_budget(1_000);
+        e
+    }
+
+    #[test]
+    fn run_checked_reports_budget_exhaustion() {
+        let mut e = spinner_engine();
+        let report = e.run_checked().expect_err("runaway loop must be caught");
+        assert_eq!(
+            report.reason,
+            StallReason::BudgetExhausted { dispatched: 1_001 }
+        );
+        assert_eq!(report.stalls.len(), 1);
+        assert_eq!(report.stalls[0].node, NodeId(0));
+        assert_eq!(report.stalls[0].last_armed, Some(SimTime::ZERO));
+        let text = report.to_string();
+        assert!(text.contains("event budget exhausted"), "{text}");
+        assert!(text.contains("spinning"), "{text}");
+    }
+
+    #[test]
+    fn run_checked_reports_all_stalled_deadlock() {
+        /// Claims open work but never arms a timer — a deadlocked
+        /// endpoint waiting on a peer that will never speak.
+        #[derive(Debug)]
+        struct Stuck;
+        impl Node for Stuck {
+            type Packet = ();
+            fn handle_packet(&mut self, _p: (), _ctx: &mut NodeCtx<'_, ()>) {}
+            fn handle_wakeup(&mut self, _ctx: &mut NodeCtx<'_, ()>) {}
+            fn next_wakeup(&self) -> Option<SimTime> {
+                None
+            }
+            fn stall_detail(&self) -> Option<String> {
+                Some("conn#1 handshake in flight, nothing armed".to_string())
+            }
+        }
+        let mut net = Network::new(2);
+        net.add_node();
+        let mut e = Engine::new(net, vec![Stuck]);
+        let report = e.run_checked().expect_err("deadlock must be diagnosed");
+        assert_eq!(report.reason, StallReason::AllStalled);
+        assert_eq!(report.stalls[0].last_armed, None);
+        assert!(report.to_string().contains("conn#1 handshake in flight"));
+    }
+
+    #[test]
+    fn run_checked_clean_finish_is_ok() {
+        let mut e = engine_with(2);
+        e.inject_packet(NodeId(0), NodeId(1), 42, ByteCount::new(100));
+        let end = e.run_checked().expect("quiescent finish");
+        assert_eq!(end, SimTime::ZERO + SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn deadline_stop_is_not_a_stall() {
+        // Reaching the deadline with events still queued is a normal
+        // stop, not a drained-queue deadlock — even for a node that
+        // reports open work.
+        #[derive(Debug)]
+        struct Busy;
+        impl Node for Busy {
+            type Packet = ();
+            fn handle_packet(&mut self, _p: (), _ctx: &mut NodeCtx<'_, ()>) {}
+            fn handle_wakeup(&mut self, _ctx: &mut NodeCtx<'_, ()>) {}
+            fn next_wakeup(&self) -> Option<SimTime> {
+                Some(SimTime::ZERO + SimDuration::from_millis(50))
+            }
+            fn stall_detail(&self) -> Option<String> {
+                Some("request outstanding".to_string())
+            }
+        }
+        let mut net = Network::new(3);
+        net.add_node();
+        let mut e = Engine::new(net, vec![Busy]);
+        let reached = e
+            .run_until_checked(SimTime::ZERO + SimDuration::from_millis(20))
+            .expect("deadline stop is normal");
+        assert_eq!(reached, SimTime::ZERO + SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn engine_routes_through_protocol_selective_faults() {
+        /// Packets carry their own transport class: 0 = UDP, 1 = TCP.
+        #[derive(Debug, Default)]
+        struct Classified {
+            received: Vec<u8>,
+        }
+        impl Node for Classified {
+            type Packet = u8;
+            fn handle_packet(&mut self, p: u8, _ctx: &mut NodeCtx<'_, u8>) {
+                self.received.push(p);
+            }
+            fn handle_wakeup(&mut self, _ctx: &mut NodeCtx<'_, u8>) {}
+            fn next_wakeup(&self) -> Option<SimTime> {
+                None
+            }
+            fn classify(packet: &u8) -> crate::fault::TransportClass {
+                match packet {
+                    0 => crate::fault::TransportClass::Udp,
+                    _ => crate::fault::TransportClass::Tcp,
+                }
+            }
+        }
+        let mut net = Network::new(6);
+        let a = net.add_node();
+        let b = net.add_node();
+        net.set_default_path(PathSpec::with_delay(SimDuration::from_millis(1)));
+        net.set_fault_plan(a, b, crate::fault::FaultPlan::udp_blackhole_always());
+        let mut e = Engine::new(net, vec![Classified::default(), Classified::default()]);
+        e.with_node(a, |_n, ctx| {
+            ctx.send(b, 0, ByteCount::new(100)); // UDP: blackholed
+            ctx.send(b, 1, ByteCount::new(100)); // TCP: passes
+        });
         e.run();
+        assert_eq!(e.node(b).received, vec![1]);
+        assert_eq!(e.network().fault_dropped(), 1);
     }
 
     #[test]

@@ -47,13 +47,15 @@
 //! ```
 
 pub mod engine;
+pub mod fault;
 pub mod link;
 pub mod loss;
 pub mod network;
 pub mod node;
 pub mod topology;
 
-pub use engine::Engine;
+pub use engine::{Engine, NodeStall, StallReason, StallReport};
+pub use fault::{FaultKind, FaultPlan, FaultWindow, TransportClass};
 pub use link::{PathSpec, Serializer};
 pub use loss::LossModel;
 pub use network::Network;

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use h3cdn_sim_core::units::{ByteCount, DataRate};
 use h3cdn_sim_core::{SimRng, SimTime};
 
+use crate::fault::{FaultOutcome, FaultPlan, FaultState, TransportClass};
 use crate::link::{PathSpec, Serializer};
 use crate::loss::LossProcess;
 use crate::node::NodeId;
@@ -24,9 +25,11 @@ pub struct Network {
     rng: SimRng,
     nodes: Vec<AccessLinks>,
     paths: HashMap<(NodeId, NodeId), Path>,
+    faults: HashMap<(NodeId, NodeId), FaultState>,
     default_spec: PathSpec,
     delivered: u64,
     lost: u64,
+    fault_dropped: u64,
 }
 
 #[derive(Debug, Default)]
@@ -50,9 +53,11 @@ impl Network {
             rng: SimRng::seed_from(seed).fork(0x6e65_7477), // "netw"
             nodes: Vec::new(),
             paths: HashMap::new(),
+            faults: HashMap::new(),
             default_spec: PathSpec::default(),
             delivered: 0,
             lost: 0,
+            fault_dropped: 0,
         }
     }
 
@@ -109,6 +114,33 @@ impl Network {
         self.set_path(b, a, spec);
     }
 
+    /// Attaches a [`FaultPlan`] to the directed path `src → dst` (an
+    /// empty plan clears any existing one).
+    ///
+    /// Faults are evaluated when a packet leaves the sender's egress
+    /// serialiser, before the path's own loss process — a blackholed
+    /// packet never consumes a draw from the path loss stream, so
+    /// enabling a fault cannot reshuffle the baseline loss pattern
+    /// outside its windows. The plan's loss-burst streams fork off this
+    /// network's seed keyed by `(src, dst)`, so equal seeds replay
+    /// identically.
+    pub fn set_fault_plan(&mut self, src: NodeId, dst: NodeId, plan: FaultPlan) {
+        if plan.is_empty() {
+            self.faults.remove(&(src, dst));
+            return;
+        }
+        let rng = self
+            .rng
+            .fork(0xFA17 ^ (((src.index() as u64) << 32) | dst.index() as u64));
+        self.faults.insert((src, dst), FaultState::new(plan, &rng));
+    }
+
+    /// Attaches the same fault plan in both directions.
+    pub fn set_fault_plan_symmetric(&mut self, a: NodeId, b: NodeId, plan: FaultPlan) {
+        self.set_fault_plan(a, b, plan.clone());
+        self.set_fault_plan(b, a, plan);
+    }
+
     /// Sets the spec used for node pairs without an explicit path.
     pub fn set_default_path(&mut self, spec: PathSpec) {
         self.default_spec = spec;
@@ -126,17 +158,23 @@ impl Network {
         self.delivered
     }
 
-    /// Total packets lost (random loss or queue drop) since construction.
+    /// Total packets lost (random loss, queue drop or injected fault)
+    /// since construction.
     pub fn lost(&self) -> u64 {
         self.lost
+    }
+
+    /// Packets consumed by injected faults (a subset of [`Network::lost`]).
+    pub fn fault_dropped(&self) -> u64 {
+        self.fault_dropped
     }
 
     /// Routes one packet of `size` bytes from `src` to `dst` starting at
     /// `now`, returning its delivery time or `None` when it is lost.
     ///
-    /// The packet passes, in order: the sender's egress serialiser, the
-    /// path's random-loss process, the path's own bottleneck (if any),
-    /// propagation delay, and the receiver's ingress serialiser.
+    /// Equivalent to [`Network::route_classified`] with
+    /// [`TransportClass::Other`] — protocol-selective faults (UDP
+    /// blackholes) never drop packets routed this way.
     ///
     /// # Panics
     ///
@@ -146,6 +184,29 @@ impl Network {
         src: NodeId,
         dst: NodeId,
         size: ByteCount,
+        now: SimTime,
+    ) -> Option<SimTime> {
+        self.route_classified(src, dst, size, TransportClass::Other, now)
+    }
+
+    /// Routes one packet of `size` bytes from `src` to `dst` starting at
+    /// `now`, returning its delivery time or `None` when it is lost.
+    ///
+    /// The packet passes, in order: the sender's egress serialiser, the
+    /// path's [fault plan](Network::set_fault_plan) (if any, using
+    /// `class` for protocol-selective faults), the path's random-loss
+    /// process, the path's own bottleneck (if any), propagation delay,
+    /// and the receiver's ingress serialiser.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id was not created by this network.
+    pub fn route_classified(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        size: ByteCount,
+        class: TransportClass,
         now: SimTime,
     ) -> Option<SimTime> {
         assert!(src.index() < self.nodes.len(), "unknown src {src}");
@@ -160,6 +221,18 @@ impl Network {
                 }
             },
             None => now,
+        };
+
+        let depart = match self.faults.get_mut(&(src, dst)) {
+            Some(fault) => match fault.apply(class, depart, size) {
+                FaultOutcome::Deliver(t) => t,
+                FaultOutcome::Drop => {
+                    self.lost += 1;
+                    self.fault_dropped += 1;
+                    return None;
+                }
+            },
+            None => depart,
         };
 
         // Lazily create the path so its loss process has a stable stream.
@@ -348,6 +421,135 @@ mod tests {
         // Closely spaced sends with ±5 ms jitter must reorder sometimes.
         let reordered = deliveries.windows(2).filter(|w| w[1] < w[0]).count();
         assert!(reordered > 10, "jitter must reorder: {reordered}");
+    }
+
+    #[test]
+    fn udp_blackhole_drops_udp_but_passes_tcp() {
+        let (mut net, a, b) = two_node_net(PathSpec::with_delay(SimDuration::from_millis(1)));
+        net.set_fault_plan(a, b, crate::fault::FaultPlan::udp_blackhole_always());
+        assert!(net
+            .route_classified(
+                a,
+                b,
+                ByteCount::new(100),
+                TransportClass::Udp,
+                SimTime::ZERO
+            )
+            .is_none());
+        assert!(net
+            .route_classified(
+                a,
+                b,
+                ByteCount::new(100),
+                TransportClass::Tcp,
+                SimTime::ZERO
+            )
+            .is_some());
+        // The plain route path is Other-classified and passes.
+        assert!(net
+            .route(a, b, ByteCount::new(100), SimTime::ZERO)
+            .is_some());
+        // The reverse direction has no plan.
+        assert!(net
+            .route_classified(
+                b,
+                a,
+                ByteCount::new(100),
+                TransportClass::Udp,
+                SimTime::ZERO
+            )
+            .is_some());
+        assert_eq!(net.fault_dropped(), 1);
+        assert_eq!(net.lost(), 1);
+    }
+
+    #[test]
+    fn blackout_window_is_timed() {
+        let (mut net, a, b) = two_node_net(PathSpec::with_delay(SimDuration::from_millis(1)));
+        let from = SimTime::ZERO + SimDuration::from_millis(10);
+        let until = SimTime::ZERO + SimDuration::from_millis(20);
+        net.set_fault_plan(a, b, crate::fault::FaultPlan::new().blackout(from, until));
+        let route_at = |net: &mut Network, ms: u64| {
+            net.route_classified(
+                a,
+                b,
+                ByteCount::new(100),
+                TransportClass::Tcp,
+                SimTime::ZERO + SimDuration::from_millis(ms),
+            )
+        };
+        assert!(route_at(&mut net, 5).is_some());
+        assert!(route_at(&mut net, 15).is_none());
+        assert!(route_at(&mut net, 25).is_some());
+    }
+
+    #[test]
+    fn fault_drops_do_not_perturb_path_loss_stream() {
+        // With a fault plan whose windows never fire, the delivery pattern
+        // of a lossy path must be identical to the no-plan run: fault
+        // evaluation consumes no draws from the path loss stream.
+        let run = |with_plan: bool| {
+            let mut net = Network::new(9);
+            let a = net.add_node();
+            let b = net.add_node();
+            net.set_path_symmetric(
+                a,
+                b,
+                PathSpec::with_delay(SimDuration::from_millis(1))
+                    .loss(crate::LossModel::Iid { p: 0.3 }),
+            );
+            if with_plan {
+                // Active UDP blackhole, but we only send TCP.
+                net.set_fault_plan(a, b, crate::fault::FaultPlan::udp_blackhole_always());
+            }
+            (0..200)
+                .map(|i| {
+                    net.route_classified(
+                        a,
+                        b,
+                        ByteCount::new(100),
+                        TransportClass::Tcp,
+                        SimTime::from_nanos(i * 1_000_000),
+                    )
+                    .is_some()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn empty_plan_clears_fault() {
+        let (mut net, a, b) = two_node_net(PathSpec::with_delay(SimDuration::from_millis(1)));
+        net.set_fault_plan_symmetric(a, b, crate::fault::FaultPlan::udp_blackhole_always());
+        assert!(net
+            .route_classified(
+                a,
+                b,
+                ByteCount::new(100),
+                TransportClass::Udp,
+                SimTime::ZERO
+            )
+            .is_none());
+        net.set_fault_plan_symmetric(a, b, crate::fault::FaultPlan::new());
+        assert!(net
+            .route_classified(
+                a,
+                b,
+                ByteCount::new(100),
+                TransportClass::Udp,
+                SimTime::ZERO
+            )
+            .is_some());
+        assert!(net
+            .route_classified(
+                b,
+                a,
+                ByteCount::new(100),
+                TransportClass::Udp,
+                SimTime::ZERO
+            )
+            .is_some());
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use h3cdn_sim_core::units::ByteCount;
 use h3cdn_sim_core::SimTime;
 
+use crate::fault::TransportClass;
+
 /// Identifies a node (protocol endpoint) inside one [`Network`](crate::Network).
 ///
 /// Node ids are dense indices handed out by
@@ -53,6 +55,26 @@ pub trait Node {
     /// The earliest instant at which this node needs
     /// [`Node::handle_wakeup`], or `None` when it is idle.
     fn next_wakeup(&self) -> Option<SimTime>;
+
+    /// Classifies an outgoing packet for protocol-selective fault
+    /// injection ([`crate::fault::FaultKind::UdpBlackhole`]). The default
+    /// is [`TransportClass::Other`], which only protocol-blind faults
+    /// affect; packet types that model real transports should override
+    /// this (QUIC datagrams → `Udp`, TCP segments → `Tcp`).
+    fn classify(packet: &Self::Packet) -> TransportClass {
+        let _ = packet;
+        TransportClass::Other
+    }
+
+    /// A human-readable description of why this node still has open work,
+    /// or `None` when it is quiescent. The engine consults this when the
+    /// event queue drains to distinguish a clean finish from an
+    /// all-stalled deadlock (see
+    /// [`Engine::run_checked`](crate::Engine::run_checked)); passive
+    /// nodes (servers) should keep the default.
+    fn stall_detail(&self) -> Option<String> {
+        None
+    }
 }
 
 /// Services available to a [`Node`] while it is being dispatched.

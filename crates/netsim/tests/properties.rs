@@ -1,0 +1,58 @@
+//! Property-based tests of the loss processes: the bursty
+//! Gilbert–Elliott chain must agree with the IID model *in the mean* at
+//! every configured loss rate — the whole point of
+//! `LossModel::bursty_percent` is a like-for-like burstiness ablation at
+//! equal long-run loss.
+
+use h3cdn_netsim::loss::LossProcess;
+use h3cdn_netsim::LossModel;
+use h3cdn_sim_core::SimRng;
+use proptest::prelude::*;
+
+/// Empirical drop rate over `n` draws.
+fn drop_rate(model: LossModel, seed: u64, n: usize) -> f64 {
+    let mut lp = LossProcess::new(model, SimRng::seed_from(seed));
+    let drops = (0..n).filter(|_| lp.should_drop()).count();
+    drops as f64 / n as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// The Gilbert–Elliott chain's long-run drop rate converges to its
+    /// configured stationary mean, and matches `iid_percent` at the same
+    /// mean within sampling tolerance — for any loss percentage in the
+    /// model's valid range and any seed.
+    #[test]
+    fn gilbert_elliott_long_run_rate_matches_iid_mean(
+        percent in 0.2f64..8.0,
+        seed in 1u64..10_000,
+    ) {
+        let ge = LossModel::bursty_percent(percent);
+        let iid = LossModel::iid_percent(percent);
+        let mean = percent / 100.0;
+
+        // Both models must *declare* the same mean exactly.
+        prop_assert!((ge.mean_loss() - mean).abs() < 1e-12,
+            "GE declared mean {} != {}", ge.mean_loss(), mean);
+        prop_assert!((iid.mean_loss() - mean).abs() < 1e-12);
+
+        // And both must *realise* it over a long run. GE mixes more
+        // slowly than IID (sojourns are geometric with mean ~5), so the
+        // tolerance is scaled to the mean plus a floor for tiny rates.
+        let n = 400_000;
+        let ge_rate = drop_rate(ge, seed, n);
+        let iid_rate = drop_rate(iid, seed.wrapping_add(0x9E37), n);
+        let tol = (mean * 0.25).max(0.002);
+        prop_assert!((ge_rate - mean).abs() < tol,
+            "GE rate {ge_rate} vs mean {mean} (pct {percent}, seed {seed})");
+        prop_assert!((iid_rate - mean).abs() < tol,
+            "IID rate {iid_rate} vs mean {mean}");
+        // The two empirical rates agree with each other.
+        prop_assert!((ge_rate - iid_rate).abs() < 2.0 * tol,
+            "GE {ge_rate} vs IID {iid_rate} diverge (pct {percent})");
+    }
+}

@@ -26,6 +26,14 @@ pub trait Driveable {
 
     /// Fires expired timers.
     fn on_deadline(&mut self, now: SimTime);
+
+    /// Earliest *give-up* deadline — a timer that, when fired, only
+    /// abandons the connection (handshake or idle timeout) rather than
+    /// making forward progress. [`Duplex::run`] quiesces instead of
+    /// chasing these; [`Duplex::run_to_close`] fires them too.
+    fn abandon_deadline(&self) -> Option<SimTime> {
+        None
+    }
 }
 
 /// A deterministic, fixed-latency pipe between endpoints `A` and `B`.
@@ -107,15 +115,40 @@ impl<A: Driveable, B: Driveable<Wire = A::Wire>> Duplex<A, B> {
         }
     }
 
-    /// Runs until both endpoints quiesce (no queued items, no timers), or
-    /// panics after `max_steps` events as a hang detector.
+    /// Runs until both endpoints quiesce: no queued items, no transmits,
+    /// and no timers other than give-up deadlines (handshake/idle
+    /// abandonment — see [`Driveable::abandon_deadline`]). Stopping short
+    /// of those keeps transfer tests exact while connections still carry
+    /// their RFC 9000-style idle timers; use [`Duplex::run_to_close`] to
+    /// drive the pair all the way through the give-up timers.
     ///
     /// # Panics
     ///
     /// Panics when the pair fails to quiesce within `max_steps` events.
     pub fn run(&mut self, max_steps: u64) {
+        self.drive(max_steps, false);
+    }
+
+    /// Runs until both endpoints are fully inert, firing give-up timers
+    /// (handshake/idle abandonment) too — the pair ends closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pair fails to quiesce within `max_steps` events.
+    pub fn run_to_close(&mut self, max_steps: u64) {
+        self.drive(max_steps, true);
+    }
+
+    fn drive(&mut self, max_steps: u64, chase_abandon: bool) {
         self.pump();
         for _ in 0..max_steps {
+            if !chase_abandon
+                && self.queue.peek_time().is_none()
+                && self.a.deadline() == self.a.abandon_deadline()
+                && self.b.deadline() == self.b.abandon_deadline()
+            {
+                return;
+            }
             let next = [self.queue.peek_time(), self.a.deadline(), self.b.deadline()]
                 .into_iter()
                 .flatten()
@@ -159,6 +192,10 @@ impl Driveable for crate::tcp::TcpConnection {
 
     fn on_deadline(&mut self, now: SimTime) {
         self.on_timeout(now);
+    }
+
+    fn abandon_deadline(&self) -> Option<SimTime> {
+        self.close_deadline()
     }
 }
 

@@ -38,3 +38,27 @@ pub use cc::{CcAlgorithm, CongestionController};
 pub use conn_id::{ConnId, MsgTag};
 pub use rtt::RttEstimator;
 pub use wire::WirePacket;
+
+/// Why a connection gave up and closed itself — the typed failure the
+/// browser layer reacts to (fallback, retry, broken-QUIC marking) instead
+/// of a connection that silently retries forever into a blackhole.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CloseReason {
+    /// The handshake did not complete within the configured deadline
+    /// (e.g. every handshake packet fell into a UDP blackhole).
+    HandshakeTimeout,
+    /// Nothing was received for the configured idle period while the
+    /// connection still believed it had — or might get — work
+    /// (RFC 9000 §10.1 semantics: retransmitting into a dead path does
+    /// not postpone the deadline).
+    IdleTimeout,
+}
+
+impl std::fmt::Display for CloseReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CloseReason::HandshakeTimeout => write!(f, "handshake-timeout"),
+            CloseReason::IdleTimeout => write!(f, "idle-timeout"),
+        }
+    }
+}

@@ -11,6 +11,7 @@ use crate::quic::streams::{RecvStream, SendStream};
 use crate::quic::{Frame, QuicPacket, CRYPTO_STREAM, MAX_PAYLOAD};
 use crate::rtt::RttEstimator;
 use crate::tls::Ticket;
+use crate::CloseReason;
 
 /// Configuration for one QUIC connection.
 #[derive(Debug, Clone)]
@@ -27,6 +28,18 @@ pub struct QuicConfig {
     pub max_data: u64,
     /// Per-stream flow-control window.
     pub max_stream_data: u64,
+    /// Give up on an incomplete handshake after this long. Without it a
+    /// blackholed handshake retries PTO probes forever (capped backoff,
+    /// no abort) and only the engine's event budget stops the run.
+    pub handshake_timeout: SimDuration,
+    /// Close after receiving nothing for this long (RFC 9000 §10.1). Our
+    /// own retransmissions do not extend the deadline: only the first
+    /// ack-eliciting send since the last receipt re-anchors it.
+    pub idle_timeout: SimDuration,
+    /// Server side: whether 0-RTT early data is accepted. When `false`
+    /// the server still resumes the session but answers with a rejection,
+    /// and the client downgrades to 1-RTT instead of failing.
+    pub accept_early_data: bool,
 }
 
 impl Default for QuicConfig {
@@ -38,6 +51,9 @@ impl Default for QuicConfig {
             ack_eliciting_threshold: 2,
             max_data: 16 << 20,       // 16 MiB
             max_stream_data: 4 << 20, // 4 MiB
+            handshake_timeout: SimDuration::from_secs(10),
+            idle_timeout: SimDuration::from_secs(30),
+            accept_early_data: true,
         }
     }
 }
@@ -71,6 +87,19 @@ pub enum QuicEvent {
         /// Receipt time.
         at: SimTime,
     },
+    /// The server rejected the 0-RTT early data this client sent; the
+    /// connection transparently downgraded to 1-RTT (client side only).
+    ZeroRttRejected {
+        /// Rejection receipt time.
+        at: SimTime,
+    },
+    /// The connection closed itself and will emit nothing further.
+    Closed {
+        /// Close time.
+        at: SimTime,
+        /// Why it closed.
+        reason: CloseReason,
+    },
 }
 
 // Handshake messages are tagged messages on the crypto stream.
@@ -81,6 +110,9 @@ const TAG_SF_FULL: MsgTag = MsgTag(Q_TAG_BASE + 103);
 const TAG_SF_PSK: MsgTag = MsgTag(Q_TAG_BASE + 104);
 const TAG_CFIN: MsgTag = MsgTag(Q_TAG_BASE + 105);
 const TAG_NST: MsgTag = MsgTag(Q_TAG_BASE + 106);
+/// Server flight under PSK with the 0-RTT offer *rejected* (same wire
+/// size as the accepting flight — the difference is semantic).
+const TAG_SF_PSK_REJ: MsgTag = MsgTag(Q_TAG_BASE + 107);
 
 /// Handshake message sizes in bytes.
 mod hs_sizes {
@@ -141,6 +173,20 @@ pub struct QuicConnection {
     send_ready_at: Option<SimTime>,
     connect_started_at: Option<SimTime>,
     nst_sent: bool,
+
+    /// Set once the connection closed itself; afterwards it is inert.
+    closed: Option<(SimTime, CloseReason)>,
+    /// First packet receipt (server side: starts the handshake clock).
+    first_activity: Option<SimTime>,
+    /// RFC 9000 §10.1 idle anchor: last receipt, or the first
+    /// ack-eliciting send since the last receipt.
+    idle_anchor: Option<SimTime>,
+    /// Whether an ack-eliciting packet left since the last receipt.
+    sent_since_rx: bool,
+    /// Server with `accept_early_data = false`: application events fired
+    /// by 0-RTT data, held back and re-stamped to the handshake
+    /// completion instant — the 1-RTT penalty of a rejected 0-RTT offer.
+    deferred_events: Vec<QuicEvent>,
 
     cc: Box<dyn CongestionController>,
     rtt: RttEstimator,
@@ -229,6 +275,11 @@ impl QuicConnection {
             send_ready_at: None,
             connect_started_at: None,
             nst_sent: false,
+            closed: None,
+            first_activity: None,
+            idle_anchor: None,
+            sent_since_rx: false,
+            deferred_events: Vec::new(),
             cc,
             rtt,
             next_pn: 0,
@@ -301,6 +352,16 @@ impl QuicConnection {
     /// Whether stream data was sent at 0-RTT.
     pub fn used_early_data(&self) -> bool {
         self.used_early_data
+    }
+
+    /// Whether the connection closed itself (handshake or idle timeout).
+    pub fn is_closed(&self) -> bool {
+        self.closed.is_some()
+    }
+
+    /// Why the connection closed, if it did.
+    pub fn close_reason(&self) -> Option<CloseReason> {
+        self.closed.map(|(_, reason)| reason)
     }
 
     /// Packets declared lost and re-queued so far.
@@ -386,16 +447,37 @@ impl QuicConnection {
         self.events.pop_front()
     }
 
-    /// Next timer deadline (loss timer, PTO, or delayed-ACK timer).
+    /// Next timer deadline (loss timer, PTO, delayed-ACK timer,
+    /// handshake deadline, or idle deadline).
     pub fn next_timeout(&self) -> Option<SimTime> {
-        [self.loss_time, self.pto_deadline(), self.ack_timer]
-            .into_iter()
-            .flatten()
-            .min()
+        if self.closed.is_some() {
+            return None;
+        }
+        [
+            self.loss_time,
+            self.pto_deadline(),
+            self.ack_timer,
+            self.handshake_deadline(),
+            self.idle_deadline(),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
     }
 
     /// Fires expired timers.
     pub fn on_timeout(&mut self, now: SimTime) {
+        if self.closed.is_some() {
+            return;
+        }
+        if self.handshake_deadline().is_some_and(|d| d <= now) {
+            self.close(now, CloseReason::HandshakeTimeout);
+            return;
+        }
+        if self.idle_deadline().is_some_and(|d| d <= now) {
+            self.close(now, CloseReason::IdleTimeout);
+            return;
+        }
         if let Some(t) = self.ack_timer {
             if t <= now {
                 self.ack_timer = None;
@@ -421,6 +503,12 @@ impl QuicConnection {
             pkt.from_client, self.is_client,
             "packet reflected to its sender"
         );
+        if self.closed.is_some() {
+            return; // silently dropped, like an undecryptable packet
+        }
+        self.first_activity.get_or_insert(now);
+        self.idle_anchor = Some(now);
+        self.sent_since_rx = false;
         let gap = self.record_received(pkt.pn);
         if pkt.is_ack_eliciting() {
             self.ack_eliciting_since_ack += 1;
@@ -462,6 +550,9 @@ impl QuicConnection {
     /// Produces the next packet to send, or `None` when idle. Call
     /// repeatedly until `None`.
     pub fn poll_transmit(&mut self, now: SimTime) -> Option<QuicPacket> {
+        if self.closed.is_some() {
+            return None;
+        }
         let mut frames: Vec<Frame> = Vec::new();
         let mut budget = MAX_PAYLOAD;
         let mut rtx_info: Vec<RtxInfo> = Vec::new();
@@ -612,6 +703,13 @@ impl QuicConnection {
             frames,
         };
         if pkt.is_ack_eliciting() {
+            // RFC 9000 §10.1: only the *first* ack-eliciting send since
+            // the last receipt re-anchors the idle deadline — a PTO loop
+            // into a blackhole cannot postpone it indefinitely.
+            if !self.sent_since_rx {
+                self.sent_since_rx = true;
+                self.idle_anchor = Some(now);
+            }
             let size = pkt.wire_bytes();
             self.sent.insert(
                 pn,
@@ -631,7 +729,52 @@ impl QuicConnection {
         Some(pkt)
     }
 
+    /// Earliest give-up deadline (handshake or idle timeout) — the timer
+    /// that closes the connection rather than advancing a transfer. Test
+    /// harnesses use this to quiesce without chasing the idle close.
+    pub fn close_deadline(&self) -> Option<SimTime> {
+        if self.closed.is_some() {
+            return None;
+        }
+        [self.handshake_deadline(), self.idle_deadline()]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
     // ---- internals ----
+
+    /// Deadline for an incomplete handshake: client-side from `connect`,
+    /// server-side from the first received packet.
+    fn handshake_deadline(&self) -> Option<SimTime> {
+        if self.handshake_complete_at.is_some() {
+            return None;
+        }
+        let start = self.connect_started_at.or(self.first_activity)?;
+        Some(start + self.config.handshake_timeout)
+    }
+
+    fn idle_deadline(&self) -> Option<SimTime> {
+        Some(self.idle_anchor? + self.config.idle_timeout)
+    }
+
+    /// Closes the connection silently: every timer is disarmed and no
+    /// further packet leaves, so a close has no wire footprint (a CLOSE
+    /// frame into a blackhole would be lost anyway).
+    fn close(&mut self, now: SimTime, reason: CloseReason) {
+        if self.closed.is_some() {
+            return;
+        }
+        self.closed = Some((now, reason));
+        self.loss_time = None;
+        self.ack_timer = None;
+        self.ack_pending = false;
+        self.sent.clear();
+        self.bytes_in_flight = 0;
+        self.need_max_data = false;
+        self.need_max_stream_data.clear();
+        self.events.push_back(QuicEvent::Closed { at: now, reason });
+    }
 
     fn crypto_write(&mut self, len: u64, tag: MsgTag) {
         self.send_streams
@@ -650,7 +793,7 @@ impl QuicConnection {
     ) {
         let is_new = !self.recv_streams.contains_key(&id);
         if is_new && id != CRYPTO_STREAM {
-            self.events.push_back(QuicEvent::StreamOpened {
+            self.push_app_event(QuicEvent::StreamOpened {
                 stream: id,
                 at: now,
             });
@@ -679,12 +822,26 @@ impl QuicConnection {
             if tag.0 >= Q_TAG_BASE {
                 self.on_crypto_message(tag, at);
             } else {
-                self.events.push_back(QuicEvent::Delivered {
+                self.push_app_event(QuicEvent::Delivered {
                     stream: id,
                     tag,
                     at,
                 });
             }
+        }
+    }
+
+    /// Queues an application-level event, or defers it when this is a
+    /// server that rejects 0-RTT and the handshake has not completed:
+    /// rejected early data is undecryptable in reality, so its effects
+    /// must not surface before the 1-RTT keys exist. Deferred events are
+    /// re-stamped and released by [`Self::complete_handshake`].
+    fn push_app_event(&mut self, ev: QuicEvent) {
+        if !self.is_client && !self.config.accept_early_data && self.handshake_complete_at.is_none()
+        {
+            self.deferred_events.push(ev);
+        } else {
+            self.events.push_back(ev);
         }
     }
 
@@ -697,11 +854,29 @@ impl QuicConnection {
             }
             TAG_CI_PSK if !self.is_client => {
                 self.resumed = true;
-                self.crypto_write(hs_sizes::SF_PSK, TAG_SF_PSK);
+                let tag = if self.config.accept_early_data {
+                    TAG_SF_PSK
+                } else {
+                    TAG_SF_PSK_REJ
+                };
+                self.crypto_write(hs_sizes::SF_PSK, tag);
                 self.ready_to_send = true;
                 self.hs_state = HsState::AwaitClientFinish;
             }
             TAG_SF_FULL | TAG_SF_PSK if self.is_client => {
+                self.crypto_write(hs_sizes::CFIN, TAG_CFIN);
+                self.complete_handshake(at);
+            }
+            TAG_SF_PSK_REJ if self.is_client => {
+                // 0-RTT rejected: downgrade to 1-RTT instead of erroring.
+                // Anything sent early counts as never sent; send-readiness
+                // re-stamps to handshake completion (the HAR `connect`
+                // endpoint moves a full RTT later).
+                if self.used_early_data {
+                    self.events.push_back(QuicEvent::ZeroRttRejected { at });
+                }
+                self.used_early_data = false;
+                self.send_ready_at = None;
                 self.crypto_write(hs_sizes::CFIN, TAG_CFIN);
                 self.complete_handshake(at);
             }
@@ -734,6 +909,18 @@ impl QuicConnection {
             self.hs_state = HsState::Ready;
             self.ready_to_send = true;
             self.events.push_back(QuicEvent::HandshakeComplete { at });
+            // Release events deferred by a rejected 0-RTT offer,
+            // re-stamped to now: the data only became readable with the
+            // 1-RTT keys.
+            for mut ev in std::mem::take(&mut self.deferred_events) {
+                match &mut ev {
+                    QuicEvent::StreamOpened { at: t, .. } | QuicEvent::Delivered { at: t, .. } => {
+                        *t = at;
+                    }
+                    _ => {}
+                }
+                self.events.push_back(ev);
+            }
         }
     }
 
@@ -924,6 +1111,10 @@ impl crate::duplex::Driveable for QuicConnection {
 
     fn on_deadline(&mut self, now: SimTime) {
         self.on_timeout(now);
+    }
+
+    fn abandon_deadline(&self) -> Option<SimTime> {
+        self.close_deadline()
     }
 }
 
@@ -1196,6 +1387,177 @@ mod tests {
         let id = ConnId::new(NodeId::from_raw(0), NodeId::from_raw(1), 1);
         let mut server = QuicConnection::server(id, QuicConfig::default());
         server.connect(SimTime::ZERO);
+    }
+
+    /// Drives a lone endpoint's timers to quiescence (total blackhole:
+    /// everything it sends vanishes, nothing ever arrives).
+    fn run_timers_into_blackhole(conn: &mut QuicConnection) {
+        let mut guard = 0;
+        while let Some(t) = conn.next_timeout() {
+            conn.on_timeout(t);
+            while conn.poll_transmit(t).is_some() {}
+            guard += 1;
+            assert!(guard < 10_000, "timer loop must converge");
+        }
+    }
+
+    #[test]
+    fn blackholed_handshake_times_out_with_typed_event() {
+        // No peer at all: every packet vanishes. Pre-timeout behaviour
+        // was an unbounded PTO retry loop; now the connection gives up
+        // at exactly connect + handshake_timeout.
+        let id = ConnId::new(NodeId::from_raw(0), NodeId::from_raw(1), 1);
+        let cfg = QuicConfig::default();
+        let deadline = SimTime::ZERO + cfg.handshake_timeout;
+        let mut client = QuicConnection::client(id, cfg, None, false);
+        client.connect(SimTime::ZERO);
+        while client.poll_transmit(SimTime::ZERO).is_some() {}
+        run_timers_into_blackhole(&mut client);
+        assert!(client.is_closed());
+        assert_eq!(
+            client.close_reason(),
+            Some(crate::CloseReason::HandshakeTimeout)
+        );
+        let ev = drain(&mut client);
+        assert!(
+            ev.contains(&QuicEvent::Closed {
+                at: deadline,
+                reason: crate::CloseReason::HandshakeTimeout,
+            }),
+            "typed close event at the exact deadline: {ev:?}"
+        );
+        // Closed means inert: no timers, no packets.
+        assert_eq!(client.next_timeout(), None);
+        assert!(client.poll_transmit(deadline).is_none());
+    }
+
+    #[test]
+    fn established_connection_idle_times_out_when_path_goes_dark() {
+        let mut pipe = make_pair(None, false);
+        pipe.a.connect(SimTime::ZERO);
+        // Runs to full quiescence: the transfer ends, then both sides
+        // sit idle until the RFC 9000 idle timer closes them.
+        pipe.run_to_close(400_000);
+        assert!(pipe.a.is_handshake_complete());
+        assert_eq!(pipe.a.close_reason(), Some(crate::CloseReason::IdleTimeout));
+        assert_eq!(pipe.b.close_reason(), Some(crate::CloseReason::IdleTimeout));
+        let ev = drain(&mut pipe.a);
+        let closed_at = ev
+            .iter()
+            .find_map(|e| match e {
+                QuicEvent::Closed { at, .. } => Some(*at),
+                _ => None,
+            })
+            .expect("closed event");
+        let idle = QuicConfig::default().idle_timeout;
+        assert!(
+            closed_at >= SimTime::ZERO + idle,
+            "idle close cannot precede the idle window: {closed_at}"
+        );
+    }
+
+    #[test]
+    fn pto_retransmissions_do_not_postpone_idle_timeout() {
+        // Mid-connection blackout: after the handshake, every further
+        // server packet dies, so the client's request keeps probing into
+        // the void. RFC 9000 §10.1: the client's own probes must not
+        // extend its idle deadline — it closes ~idle_timeout after the
+        // last *received* packet, despite transmitting the whole time.
+        let blackhole: Vec<u64> = (4..10_000).collect();
+        let mut pipe = make_pair(None, false).drop_b_to_a(blackhole);
+        let s = pipe.a.open_stream();
+        pipe.a.write_stream(s, 400, MsgTag(1));
+        pipe.a.connect(SimTime::ZERO);
+        pipe.run_to_close(400_000);
+        assert!(pipe.a.is_handshake_complete(), "handshake precedes outage");
+        assert_eq!(pipe.a.close_reason(), Some(crate::CloseReason::IdleTimeout));
+        assert!(
+            pipe.a.retransmit_count() > 0,
+            "the request must have been probed into the blackhole"
+        );
+        let cev = drain(&mut pipe.a);
+        let closed_at = cev
+            .iter()
+            .find_map(|e| match e {
+                QuicEvent::Closed { at, .. } => Some(*at),
+                _ => None,
+            })
+            .expect("closed");
+        let idle = QuicConfig::default().idle_timeout;
+        // Anchored at the last receipt (within the first ~second of the
+        // connection), not at the last of the many retransmissions.
+        assert!(
+            closed_at <= SimTime::ZERO + idle + SimDuration::from_secs(2),
+            "probes must not postpone the idle close: {closed_at}"
+        );
+    }
+
+    #[test]
+    fn rejected_zero_rtt_downgrades_to_one_rtt() {
+        let id = ConnId::new(NodeId::from_raw(0), NodeId::from_raw(1), 1);
+        let cfg = QuicConfig {
+            initial_rtt: SimDuration::from_millis(RTT_MS),
+            ..QuicConfig::default()
+        };
+        let server_cfg = QuicConfig {
+            accept_early_data: false,
+            ..cfg.clone()
+        };
+        let client = QuicConnection::client(id, cfg, Some(ticket()), true);
+        let server = QuicConnection::server(id, server_cfg);
+        let mut pipe = Duplex::new(client, server, SimDuration::from_millis(RTT_MS / 2));
+        let stream = pipe.a.open_stream();
+        pipe.a.write_stream(stream, 400, MsgTag(1));
+        pipe.a.connect(SimTime::ZERO);
+        pipe.run(400_000);
+        // The connection survives — a downgrade, not an error.
+        assert!(pipe.a.is_handshake_complete());
+        assert!(!pipe.a.used_early_data(), "0-RTT credit revoked");
+        assert_eq!(
+            pipe.a.send_ready_at(),
+            Some(ms(RTT_MS)),
+            "send-readiness re-stamps to the 1-RTT handshake completion"
+        );
+        let cev = drain(&mut pipe.a);
+        assert!(
+            cev.iter()
+                .any(|e| matches!(e, QuicEvent::ZeroRttRejected { .. })),
+            "client told about the rejection: {cev:?}"
+        );
+        let sev = drain(&mut pipe.b);
+        assert_eq!(
+            delivery_time(&sev, MsgTag(1)),
+            Some(ms(3 * RTT_MS / 2)),
+            "early request surfaces only once the 1-RTT keys exist"
+        );
+        assert!(pipe.b.was_resumed(), "PSK still resumed the session");
+    }
+
+    #[test]
+    fn rejection_without_early_data_is_a_plain_psk_handshake() {
+        let id = ConnId::new(NodeId::from_raw(0), NodeId::from_raw(1), 1);
+        let cfg = QuicConfig {
+            initial_rtt: SimDuration::from_millis(RTT_MS),
+            ..QuicConfig::default()
+        };
+        let server_cfg = QuicConfig {
+            accept_early_data: false,
+            ..cfg.clone()
+        };
+        let client = QuicConnection::client(id, cfg, Some(ticket()), false);
+        let server = QuicConnection::server(id, server_cfg);
+        let mut pipe = Duplex::new(client, server, SimDuration::from_millis(RTT_MS / 2));
+        pipe.a.connect(SimTime::ZERO);
+        pipe.run(400_000);
+        let cev = drain(&mut pipe.a);
+        assert!(
+            !cev.iter()
+                .any(|e| matches!(e, QuicEvent::ZeroRttRejected { .. })),
+            "no early data offered, so nothing was rejected"
+        );
+        assert!(cev
+            .iter()
+            .any(|e| matches!(e, QuicEvent::HandshakeComplete { at } if *at == ms(RTT_MS))));
     }
 
     #[test]

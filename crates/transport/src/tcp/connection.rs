@@ -8,6 +8,7 @@ use crate::cc::{CcAlgorithm, CongestionController};
 use crate::conn_id::{ConnId, MsgTag};
 use crate::rtt::RttEstimator;
 use crate::tcp::TcpSegment;
+use crate::CloseReason;
 
 /// Configuration for one TCP connection.
 #[derive(Debug, Clone)]
@@ -20,6 +21,12 @@ pub struct TcpConfig {
     pub cc: CcAlgorithm,
     /// Receive window advertised to the peer.
     pub receive_window: u64,
+    /// Give up on an incomplete handshake after this long (the kernel's
+    /// SYN-retry budget collapsed into a deadline).
+    pub handshake_timeout: SimDuration,
+    /// Close after receiving nothing for this long; our own
+    /// retransmissions do not extend the deadline.
+    pub idle_timeout: SimDuration,
 }
 
 impl Default for TcpConfig {
@@ -29,6 +36,8 @@ impl Default for TcpConfig {
             initial_rtt: SimDuration::from_millis(100),
             cc: CcAlgorithm::default(),
             receive_window: 1 << 20, // 1 MiB
+            handshake_timeout: SimDuration::from_secs(30),
+            idle_timeout: SimDuration::from_secs(60),
         }
     }
 }
@@ -61,6 +70,13 @@ pub enum TcpEvent {
         tag: MsgTag,
         /// In-order delivery time.
         at: SimTime,
+    },
+    /// The connection closed itself and will emit nothing further.
+    Closed {
+        /// Close time.
+        at: SimTime,
+        /// Why it closed.
+        reason: CloseReason,
     },
 }
 
@@ -120,6 +136,18 @@ pub struct TcpConnection {
     syn_sent_at: Option<SimTime>,
     syn_ack_sent_at: Option<SimTime>,
 
+    // Lifecycle limits.
+    /// Set once the connection closed itself; afterwards it is inert.
+    closed: Option<(SimTime, CloseReason)>,
+    /// Handshake-clock start: `connect` (client) or the first SYN
+    /// (server).
+    handshake_started_at: Option<SimTime>,
+    /// Idle anchor: last receipt, or the first segment sent since the
+    /// last receipt.
+    idle_anchor: Option<SimTime>,
+    /// Whether a segment left since the last receipt.
+    sent_since_rx: bool,
+
     // Receive side.
     rcv_next: u64,
     out_of_order: BTreeMap<u64, u64>,
@@ -178,6 +206,10 @@ impl TcpConnection {
             need_syn_ack: false,
             syn_sent_at: None,
             syn_ack_sent_at: None,
+            closed: None,
+            handshake_started_at: None,
+            idle_anchor: None,
+            sent_since_rx: false,
             rcv_next: 0,
             out_of_order: BTreeMap::new(),
             recv_markers: BTreeMap::new(),
@@ -209,6 +241,16 @@ impl TcpConnection {
         self.state == TcpState::Established
     }
 
+    /// Whether the connection closed itself (handshake or idle timeout).
+    pub fn is_closed(&self) -> bool {
+        self.closed.is_some()
+    }
+
+    /// Why the connection closed, if it did.
+    pub fn close_reason(&self) -> Option<CloseReason> {
+        self.closed.map(|(_, reason)| reason)
+    }
+
     /// The RTT estimator (for diagnostics).
     pub fn rtt(&self) -> &RttEstimator {
         &self.rtt
@@ -229,6 +271,7 @@ impl TcpConnection {
         assert_eq!(self.state, TcpState::Closed, "connect() called twice");
         self.state = TcpState::SynSent;
         self.need_syn = true;
+        self.handshake_started_at = Some(now);
         self.arm_rto(now);
     }
 
@@ -264,19 +307,81 @@ impl TcpConnection {
 
     /// The next timer deadline, if any.
     pub fn next_timeout(&self) -> Option<SimTime> {
+        if self.closed.is_some() {
+            return None;
+        }
         [
             self.rto_deadline,
             self.tlp_deadline,
             self.delayed_ack_deadline,
+            self.handshake_deadline(),
+            self.idle_deadline(),
         ]
         .into_iter()
         .flatten()
         .min()
     }
 
+    /// Earliest give-up deadline (handshake or idle timeout) — the timer
+    /// that closes the connection rather than advancing a transfer. Test
+    /// harnesses use this to quiesce without chasing the idle close.
+    pub fn close_deadline(&self) -> Option<SimTime> {
+        if self.closed.is_some() {
+            return None;
+        }
+        [self.handshake_deadline(), self.idle_deadline()]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Deadline for an incomplete handshake: client-side from `connect`,
+    /// server-side from the first received SYN.
+    fn handshake_deadline(&self) -> Option<SimTime> {
+        if self.state == TcpState::Established {
+            return None;
+        }
+        Some(self.handshake_started_at? + self.config.handshake_timeout)
+    }
+
+    fn idle_deadline(&self) -> Option<SimTime> {
+        Some(self.idle_anchor? + self.config.idle_timeout)
+    }
+
+    /// Closes the connection silently (no RST on the wire — the paths
+    /// that trigger this are exactly the ones that eat packets) and
+    /// disarms every timer.
+    fn close(&mut self, now: SimTime, reason: CloseReason) {
+        if self.closed.is_some() {
+            return;
+        }
+        self.closed = Some((now, reason));
+        self.rto_deadline = None;
+        self.tlp_deadline = None;
+        self.delayed_ack_deadline = None;
+        self.ack_pending = false;
+        self.need_syn = false;
+        self.need_syn_ack = false;
+        self.in_flight.clear();
+        self.rtx_queue.clear();
+        self.bytes_in_flight = 0;
+        self.events.push_back(TcpEvent::Closed { at: now, reason });
+    }
+
     /// Fires expired timers. Call when virtual time reaches
     /// [`TcpConnection::next_timeout`].
     pub fn on_timeout(&mut self, now: SimTime) {
+        if self.closed.is_some() {
+            return;
+        }
+        if self.handshake_deadline().is_some_and(|d| d <= now) {
+            self.close(now, CloseReason::HandshakeTimeout);
+            return;
+        }
+        if self.idle_deadline().is_some_and(|d| d <= now) {
+            self.close(now, CloseReason::IdleTimeout);
+            return;
+        }
         // Delayed-ACK timer.
         if self.delayed_ack_deadline.is_some_and(|d| d <= now) {
             self.delayed_ack_deadline = None;
@@ -347,14 +452,19 @@ impl TcpConnection {
     /// connection has nothing (more) to send right now. Call repeatedly
     /// until `None` after any input.
     pub fn poll_transmit(&mut self, now: SimTime) -> Option<TcpSegment> {
+        if self.closed.is_some() {
+            return None;
+        }
         if self.need_syn {
             self.need_syn = false;
             self.syn_sent_at = Some(now);
+            self.mark_sent_activity(now);
             return Some(self.segment(true, false, 0, 0, vec![]));
         }
         if self.need_syn_ack {
             self.need_syn_ack = false;
             self.syn_ack_sent_at = Some(now);
+            self.mark_sent_activity(now);
             return Some(self.segment(true, true, 0, 0, vec![]));
         }
         if self.state != TcpState::Established {
@@ -369,6 +479,7 @@ impl TcpConnection {
                 self.rtx_queue.remove(&seq);
                 self.track_sent(seq, len, now, true);
                 self.retransmit_count += 1;
+                self.mark_sent_activity(now);
                 let markers = self.markers_in_range(seq, len);
                 return Some(self.data_segment(seq, len, markers));
             }
@@ -383,6 +494,7 @@ impl TcpConnection {
                 let seq = self.next_to_send;
                 self.next_to_send += len;
                 self.track_sent(seq, len, now, false);
+                self.mark_sent_activity(now);
                 let markers = self.markers_in_range(seq, len);
                 return Some(self.data_segment(seq, len, markers));
             }
@@ -402,6 +514,15 @@ impl TcpConnection {
             seg.from_client, self.is_client,
             "segment reflected to its sender"
         );
+        if self.closed.is_some() {
+            return; // stray late segment on a dead connection
+        }
+        self.idle_anchor = Some(now);
+        self.sent_since_rx = false;
+        if self.handshake_started_at.is_none() {
+            // Server side: the first SYN starts the handshake clock.
+            self.handshake_started_at = Some(now);
+        }
         match self.state {
             TcpState::Closed if !self.is_client && seg.syn => {
                 self.state = TcpState::SynReceived;
@@ -695,6 +816,16 @@ impl TcpConnection {
         if !self.tlp_used {
             // 2·SRTT after the most recent transmission (RACK-TLP).
             self.tlp_deadline = Some(now + self.rtt.smoothed() * 2);
+        }
+    }
+
+    /// Only the *first* segment sent since the last receipt re-anchors
+    /// the idle deadline — an RTO loop into a blackhole cannot postpone
+    /// it indefinitely.
+    fn mark_sent_activity(&mut self, now: SimTime) {
+        if !self.sent_since_rx {
+            self.sent_since_rx = true;
+            self.idle_anchor = Some(now);
         }
     }
 
@@ -1036,6 +1167,67 @@ mod tests {
             .server_events
             .iter()
             .any(|e| matches!(e, TcpEvent::Delivered { tag: MsgTag(9), .. })));
+    }
+
+    #[test]
+    fn blackholed_syn_times_out_with_typed_event() {
+        // No peer: every SYN vanishes. The connection must give up at
+        // exactly connect + handshake_timeout instead of backing off
+        // forever.
+        let (mut client, _) = pair();
+        client.connect(SimTime::ZERO);
+        while client.poll_transmit(SimTime::ZERO).is_some() {}
+        let mut guard = 0;
+        while let Some(t) = client.next_timeout() {
+            client.on_timeout(t);
+            while client.poll_transmit(t).is_some() {}
+            guard += 1;
+            assert!(guard < 10_000, "timer loop must converge");
+        }
+        assert!(client.is_closed());
+        assert_eq!(
+            client.close_reason(),
+            Some(crate::CloseReason::HandshakeTimeout)
+        );
+        let deadline = SimTime::ZERO + TcpConfig::default().handshake_timeout;
+        let mut closed = None;
+        while let Some(ev) = client.poll_event() {
+            if let TcpEvent::Closed { at, reason } = ev {
+                closed = Some((at, reason));
+            }
+        }
+        assert_eq!(
+            closed,
+            Some((deadline, crate::CloseReason::HandshakeTimeout)),
+            "typed close event at the exact deadline"
+        );
+        assert_eq!(client.next_timeout(), None, "closed connections are inert");
+    }
+
+    #[test]
+    fn idle_connection_closes_after_idle_timeout() {
+        let mut h = Harness::new(vec![]);
+        h.client.connect(SimTime::ZERO);
+        h.client.write_message(500, MsgTag(1));
+        h.run();
+        let closed: Vec<_> = h
+            .client_events
+            .iter()
+            .filter_map(|e| match e {
+                TcpEvent::Closed { at, reason } => Some((*at, *reason)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(closed.len(), 1, "exactly one close event");
+        assert_eq!(closed[0].1, crate::CloseReason::IdleTimeout);
+        assert!(
+            closed[0].0 >= SimTime::ZERO + TcpConfig::default().idle_timeout,
+            "idle close cannot precede the idle window"
+        );
+        assert!(h
+            .server_events
+            .iter()
+            .any(|e| matches!(e, TcpEvent::Closed { .. })));
     }
 
     #[test]

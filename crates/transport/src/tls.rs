@@ -28,6 +28,7 @@ use h3cdn_sim_core::{SimDuration, SimTime};
 
 use crate::conn_id::{ConnId, MsgTag};
 use crate::tcp::{TcpConfig, TcpConnection, TcpEvent, TcpSegment};
+use crate::CloseReason;
 
 /// TLS protocol version negotiated for a TCP connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -192,6 +193,14 @@ pub enum TlsEvent {
         /// Receipt time.
         at: SimTime,
     },
+    /// The underlying TCP connection closed itself (handshake or idle
+    /// timeout); the TLS session is dead with it.
+    Closed {
+        /// Close time.
+        at: SimTime,
+        /// Why it closed.
+        reason: CloseReason,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -326,6 +335,16 @@ impl SecureTcp {
         self.used_early_data
     }
 
+    /// Whether the underlying TCP connection closed itself.
+    pub fn is_closed(&self) -> bool {
+        self.tcp.is_closed()
+    }
+
+    /// Why the connection closed, if it did.
+    pub fn close_reason(&self) -> Option<CloseReason> {
+        self.tcp.close_reason()
+    }
+
     /// The negotiated TLS version.
     pub fn version(&self) -> TlsVersion {
         self.version
@@ -359,6 +378,12 @@ impl SecureTcp {
         self.tcp.next_timeout()
     }
 
+    /// Earliest give-up deadline (handshake or idle timeout) of the
+    /// underlying TCP connection (see [`TcpConnection::close_deadline`]).
+    pub fn close_deadline(&self) -> Option<SimTime> {
+        self.tcp.close_deadline()
+    }
+
     /// Produces the next segment to send, or `None` when idle.
     pub fn poll_transmit(&mut self, now: SimTime) -> Option<TcpSegment> {
         self.process_tcp_events();
@@ -390,6 +415,9 @@ impl SecureTcp {
                     } else {
                         self.events.push_back(TlsEvent::Delivered { tag, at });
                     }
+                }
+                TcpEvent::Closed { at, reason } => {
+                    self.events.push_back(TlsEvent::Closed { at, reason });
                 }
             }
         }
@@ -525,6 +553,10 @@ impl crate::duplex::Driveable for SecureTcp {
 
     fn on_deadline(&mut self, now: SimTime) {
         self.on_timeout(now);
+    }
+
+    fn abandon_deadline(&self) -> Option<SimTime> {
+        self.close_deadline()
     }
 }
 
@@ -712,6 +744,41 @@ mod tests {
         let client_ev = drain(&mut pipe.a);
         assert!(handshake_at(&client_ev).is_some(), "handshake recovered");
         assert!(handshake_at(&client_ev).unwrap() > ms(2 * RTT_MS));
+    }
+
+    #[test]
+    fn blackholed_tcp_handshake_surfaces_typed_close() {
+        // Lone client, no peer: the TCP SYN timeout must bubble up as a
+        // TLS-level Closed event so the browser can fall back.
+        let id = ConnId::new(NodeId::from_raw(0), NodeId::from_raw(1), 1);
+        let tcp_cfg = TcpConfig {
+            initial_rtt: SimDuration::from_millis(RTT_MS),
+            ..TcpConfig::default()
+        };
+        let deadline = SimTime::ZERO + tcp_cfg.handshake_timeout;
+        let mut client = SecureTcp::client(id, tcp_cfg, TlsConfig::default());
+        client.connect(SimTime::ZERO);
+        while client.poll_transmit(SimTime::ZERO).is_some() {}
+        let mut guard = 0;
+        while let Some(t) = client.next_timeout() {
+            client.on_timeout(t);
+            while client.poll_transmit(t).is_some() {}
+            guard += 1;
+            assert!(guard < 10_000, "timer loop must converge");
+        }
+        assert!(client.is_closed());
+        assert_eq!(
+            client.close_reason(),
+            Some(crate::CloseReason::HandshakeTimeout)
+        );
+        let ev = drain(&mut client);
+        assert!(
+            ev.contains(&TlsEvent::Closed {
+                at: deadline,
+                reason: crate::CloseReason::HandshakeTimeout,
+            }),
+            "typed close surfaced through TLS: {ev:?}"
+        );
     }
 
     #[test]

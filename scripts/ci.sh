@@ -6,9 +6,10 @@
 #
 #   scripts/ci.sh
 #
-# Steps: release build, full test suite, clippy with warnings denied,
-# the h3cdn-lint determinism/sans-IO/panic-ratchet pass, and a
-# formatting check.
+# Steps: release build, full test suite, the fault-matrix smoke gate
+# (graceful-degradation invariants), clippy with warnings denied, the
+# h3cdn-lint determinism/sans-IO/panic-ratchet pass, and a formatting
+# check.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,6 +21,9 @@ cargo build --release --workspace
 
 echo "==> cargo test"
 cargo test -q --workspace
+
+echo "==> fault_matrix --smoke (graceful-degradation gate)"
+cargo run -q --release -p h3cdn-experiments --bin fault_matrix -- --smoke --jobs 4 > /dev/null
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --all-targets --workspace -- -D warnings
