@@ -91,6 +91,12 @@ pub struct VisitConfig {
     /// (and installs no fault state at all, preserving bit-identical
     /// loss draws).
     pub faults: Option<FaultSpec>,
+    /// Deterministic watchdog: cap on simulator events for the visit.
+    /// A visit that exhausts the budget aborts with the engine's
+    /// [`StallReport`](h3cdn_netsim::StallReport) diagnosis instead of
+    /// spinning — the crash-safe runner's per-job sim budget. `None`
+    /// (default) leaves only the simulated wall-clock deadline.
+    pub max_sim_events: Option<u64>,
 }
 
 /// Fault injection for a visit: a [`FaultPlan`] installed symmetrically
@@ -148,6 +154,7 @@ impl Default for VisitConfig {
             jitter_salt: 0x4A17_7E12,
             h3_fallback: false,
             faults: None,
+            max_sim_events: None,
         }
     }
 }
@@ -186,6 +193,13 @@ impl VisitConfig {
     /// Returns a copy with the given fault schedule installed.
     pub fn with_faults(mut self, faults: FaultSpec) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Returns a copy with the given sim-event watchdog budget
+    /// (`None` disables it).
+    pub fn with_max_sim_events(mut self, budget: Option<u64>) -> Self {
+        self.max_sim_events = budget;
         self
     }
 }

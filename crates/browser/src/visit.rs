@@ -308,6 +308,9 @@ fn run_visit(
 
     // 5. Run to quiescence.
     let mut engine = Engine::new(net, hosts);
+    if let Some(budget) = cfg.max_sim_events {
+        engine.set_event_budget(budget);
+    }
     if let Some(t) = tracer {
         engine.set_tracer(t);
     }
@@ -363,6 +366,29 @@ pub fn visit_consecutively(
         hars.push(outcome.har);
     }
     (hars, tickets)
+}
+
+/// As [`visit_consecutively`], but an aborted page is a typed outcome
+/// rather than a panic: the pass stops at the first [`AbortedVisit`],
+/// which reports *which* page in the sequence failed. The crash-safe
+/// runner's entry point for consecutive passes.
+///
+/// # Errors
+///
+/// The first page that wedges or strands aborts the pass.
+pub fn try_visit_consecutively(
+    pages: &[&Webpage],
+    domains: &DomainTable,
+    cfg: &VisitConfig,
+    mut tickets: TicketStore,
+) -> Result<(Vec<HarPage>, TicketStore), Box<AbortedVisit>> {
+    let mut hars = Vec::with_capacity(pages.len());
+    for page in pages {
+        let outcome = try_visit_page(page, domains, cfg, tickets, BrokenQuicCache::new())?;
+        tickets = outcome.tickets;
+        hars.push(outcome.har);
+    }
+    Ok((hars, tickets))
 }
 
 /// Chrome-style priority classes per resource kind: render-blocking

@@ -8,13 +8,25 @@
 //! pool, and merged in key order — so every campaign API returns
 //! bit-identical results for any worker count.
 
-use h3cdn_browser::{visit_consecutively, visit_page, ProtocolMode, VisitConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use h3cdn_browser::{
+    try_visit_consecutively, try_visit_page, AbortedVisit, BrokenQuicCache, ProtocolMode,
+    VisitConfig,
+};
 use h3cdn_cdn::Vantage;
 use h3cdn_har::{entry_reductions, plt_reduction_ms, HarPage, PageComparison};
 use h3cdn_transport::tls::TicketStore;
 use h3cdn_web::{generate, Corpus, Webpage, WorkloadSpec};
 
-use crate::runner::{run_keyed, run_keyed_values, RunnerConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::persist::fnv1a64;
+use crate::runner::durable::{
+    run_keyed_durable, DurableContext, DurableReport, JobFailure, JobMeta, STALLED_PREFIX,
+};
+use crate::runner::{run_keyed, RunnerConfig};
 
 /// Configuration of one campaign (corpus + probing setup).
 #[derive(Debug, Clone)]
@@ -28,6 +40,16 @@ pub struct CampaignConfig {
     /// Parallel execution settings for multi-visit APIs. Results are
     /// bit-identical for every worker count; this only changes speed.
     pub runner: RunnerConfig,
+    /// Crash-safe execution: panic isolation, deterministic retries,
+    /// and (when the context carries a checkpoint directory)
+    /// journal/resume. `None` (the default) runs on the plain
+    /// deterministic pool — a panicking visit then aborts the process,
+    /// exactly as before this layer existed.
+    pub durable: Option<DurableContext>,
+    /// Chaos hook: deliberately panic any visit of this site (set from
+    /// `H3CDN_PANIC_SITE` by the experiment binaries). Exists to prove
+    /// the quarantine path end-to-end; `None` in every real campaign.
+    pub inject_panic_site: Option<usize>,
 }
 
 impl Default for CampaignConfig {
@@ -38,6 +60,8 @@ impl Default for CampaignConfig {
             vantages: Vantage::ALL.to_vec(),
             visit: VisitConfig::default(),
             runner: RunnerConfig::from_env(),
+            durable: None,
+            inject_panic_site: None,
         }
     }
 }
@@ -51,12 +75,27 @@ impl CampaignConfig {
             vantages: vec![Vantage::Utah],
             visit: VisitConfig::default(),
             runner: RunnerConfig::from_env(),
+            durable: None,
+            inject_panic_site: None,
         }
     }
 
     /// Returns a copy using the given runner configuration.
     pub fn with_runner(mut self, runner: RunnerConfig) -> Self {
         self.runner = runner;
+        self
+    }
+
+    /// Returns a copy with crash-safe execution configured (`None`
+    /// reverts to the plain pool).
+    pub fn with_durable(mut self, durable: Option<DurableContext>) -> Self {
+        self.durable = durable;
+        self
+    }
+
+    /// Returns a copy with the chaos hook armed for `site`.
+    pub fn with_inject_panic_site(mut self, site: Option<usize>) -> Self {
+        self.inject_panic_site = site;
         self
     }
 }
@@ -70,13 +109,23 @@ impl CampaignConfig {
 pub struct MeasurementCampaign {
     config: CampaignConfig,
     corpus: Corpus,
+    /// Quarantined jobs accumulated across durable batches of this
+    /// campaign (empty unless `config.durable` is set and jobs failed).
+    quarantine: Mutex<Vec<JobFailure>>,
+    /// Jobs loaded from the checkpoint journal instead of executed.
+    resumed: AtomicUsize,
 }
 
 impl MeasurementCampaign {
     /// Generates the corpus and readies the campaign.
     pub fn new(config: CampaignConfig) -> Self {
         let corpus = generate(&config.workload);
-        MeasurementCampaign { config, corpus }
+        MeasurementCampaign {
+            config,
+            corpus,
+            quarantine: Mutex::new(Vec::new()),
+            resumed: AtomicUsize::new(0),
+        }
     }
 
     /// The generated corpus.
@@ -99,17 +148,165 @@ impl MeasurementCampaign {
         &self.config.runner
     }
 
+    /// Quarantined jobs accumulated so far, draining the sink. Callers
+    /// that run under a durable context should report these alongside
+    /// their results — the campaign completed *without* them.
+    pub fn take_quarantine(&self) -> Vec<JobFailure> {
+        std::mem::take(
+            &mut *self
+                .quarantine
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+
+    /// Number of jobs loaded from the checkpoint journal instead of
+    /// executed (0 unless resuming).
+    pub fn resumed_jobs(&self) -> usize {
+        self.resumed.load(Ordering::Relaxed)
+    }
+
     /// The single internal visit path every public entry point funnels
     /// through: one isolated page load (fresh ticket store) under an
     /// explicit config.
+    ///
+    /// Aborted visits surface as `String`-payload panics (stall-backed
+    /// ones carry [`STALLED_PREFIX`]); under a durable context the
+    /// runner's `catch_unwind` shell converts them into typed
+    /// [`JobFailure`]s, otherwise they abort the process exactly as the
+    /// pre-durable `visit_page` panic did.
     fn page_visit(&self, site: usize, cfg: &VisitConfig) -> HarPage {
-        visit_page(
+        if self.config.inject_panic_site == Some(site) {
+            std::panic::panic_any(format!(
+                "deliberately injected panic at site {site} (H3CDN_PANIC_SITE chaos hook)"
+            ));
+        }
+        match try_visit_page(
             &self.corpus.pages[site],
             &self.corpus.domains,
             cfg,
             TicketStore::new(),
-        )
-        .har
+            BrokenQuicCache::new(),
+        ) {
+            Ok(outcome) => outcome.har,
+            Err(aborted) => abort_to_panic(&aborted),
+        }
+    }
+
+    /// Per-visit job metadata: a stable human label plus the minimal
+    /// deterministic repro command line recorded on failure.
+    fn visit_meta(&self, site: usize, cfg: &VisitConfig) -> JobMeta {
+        let w = &self.config.workload;
+        let mode = cfg.mode.label();
+        let vantage = cfg.vantage.name().to_lowercase();
+        let cfg_hash = fnv1a64(format!("{cfg:?}").as_bytes());
+        let mut repro = format!(
+            "cargo run -q -p h3cdn-experiments --bin visit_one -- \
+             --pages {} --seed {} --site {site} --vantage {vantage} --mode {mode}",
+            w.num_pages, w.seed
+        );
+        if self.config.inject_panic_site == Some(site) {
+            repro = format!("H3CDN_PANIC_SITE={site} {repro}");
+        }
+        JobMeta {
+            label: format!("site {site} {mode} @ {vantage} cfg={cfg_hash:016x}"),
+            repro,
+        }
+    }
+
+    /// Metadata for one consecutive pass.
+    fn pass_meta(&self, vantage: Vantage, mode: ProtocolMode) -> JobMeta {
+        let w = &self.config.workload;
+        JobMeta {
+            label: format!(
+                "consecutive pass {} @ {}",
+                mode.label(),
+                vantage.name().to_lowercase()
+            ),
+            repro: format!(
+                "cargo run -q -p h3cdn-experiments --bin table3 -- --pages {} --seed {}",
+                w.num_pages, w.seed
+            ),
+        }
+    }
+
+    /// Executes a batch of keyed jobs on the configured execution
+    /// layer: the plain deterministic pool when `config.durable` is
+    /// `None` (every result `Some`, a panic aborts the process), the
+    /// crash-safe runner otherwise (quarantined jobs come back `None`
+    /// and land in the campaign's quarantine sink; journal hits are
+    /// counted in [`resumed_jobs`](Self::resumed_jobs)).
+    ///
+    /// The journal section is `prefix` plus a content hash over every
+    /// job's metadata, so distinct batches never share journal entries
+    /// even within one run.
+    pub(crate) fn run_durable<K, T, F>(
+        &self,
+        prefix: &str,
+        jobs: Vec<(K, JobMeta, F)>,
+    ) -> Vec<(K, Option<T>)>
+    where
+        K: Ord + Send,
+        T: Send + Serialize + Deserialize,
+        F: Fn() -> T + Send + Sync,
+    {
+        let Some(ctx) = &self.config.durable else {
+            let plain: Vec<(K, F)> = jobs.into_iter().map(|(k, _, f)| (k, f)).collect();
+            return run_keyed(&self.config.runner, plain)
+                .into_iter()
+                .map(|(k, v)| (k, Some(v)))
+                .collect();
+        };
+        let mut ident = String::new();
+        for (_, meta, _) in &jobs {
+            ident.push_str(&meta.label);
+            ident.push('\u{1f}');
+            ident.push_str(&meta.repro);
+            ident.push('\n');
+        }
+        let section = format!("{prefix}-{:016x}", fnv1a64(ident.as_bytes()));
+        let DurableReport {
+            results,
+            failures,
+            resumed,
+        } = run_keyed_durable(&self.config.runner, ctx, &section, jobs);
+        self.resumed.fetch_add(resumed, Ordering::Relaxed);
+        if !failures.is_empty() {
+            self.quarantine
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .extend(failures);
+        }
+        results
+    }
+
+    /// Single visits of every page from one vantage under one mode, in
+    /// corpus order, executed as keyed jobs on the configured execution
+    /// layer (parallel, order-stable, durable when configured). Under a
+    /// durable context a quarantined visit is dropped from the output
+    /// (reported via [`take_quarantine`](Self::take_quarantine)) — so
+    /// single-pass experiments degrade to "all pages but the poisoned
+    /// ones" instead of aborting.
+    pub fn visit_all(&self, vantage: Vantage, mode: ProtocolMode) -> Vec<(usize, HarPage)> {
+        let base = self
+            .config
+            .visit
+            .clone()
+            .with_vantage(vantage)
+            .with_mode(mode);
+        let jobs: Vec<_> = (0..self.corpus.pages.len())
+            .map(|site| {
+                let cfg = base.clone();
+                let meta = self.visit_meta(site, &cfg);
+                ((site as u32, 0u32, 0u32), meta, move || {
+                    self.page_visit(site, &cfg)
+                })
+            })
+            .collect();
+        self.run_durable("visits", jobs)
+            .into_iter()
+            .filter_map(|((site, _, _), har)| Some((site as usize, har?)))
+            .collect()
     }
 
     /// Visits one page once, isolated (no prior session state).
@@ -153,6 +350,11 @@ impl MeasurementCampaign {
     /// pairs the sides back up and reduces them with
     /// [`build_comparison`](Self::build_comparison). Output is
     /// bit-identical for every worker count.
+    ///
+    /// Under a durable context a page whose *either* side is
+    /// quarantined is dropped from the output (and reported via
+    /// [`take_quarantine`](Self::take_quarantine)); without one, a
+    /// failing visit panics as before.
     pub fn compare_batch<K>(&self, specs: Vec<(K, usize, VisitConfig)>) -> Vec<(K, PageComparison)>
     where
         K: Ord + Clone + Send,
@@ -164,20 +366,28 @@ impl MeasurementCampaign {
                 (1u32, ProtocolMode::H3Enabled),
             ] {
                 let cfg = base.clone().with_mode(mode);
+                let meta = self.visit_meta(site, &cfg);
                 let key = key.clone();
-                jobs.push(((key, site, variant), move || self.page_visit(site, &cfg)));
+                jobs.push(((key, site, variant), meta, move || {
+                    self.page_visit(site, &cfg)
+                }));
             }
         }
-        let sides = run_keyed(&self.config.runner, jobs);
+        let sides = self.run_durable("pairs", jobs);
         sides
             .chunks_exact(2)
-            .map(|pair| {
+            .filter_map(|pair| {
                 let ((key, site, _), h2) = &pair[0];
                 let (_, h3) = &pair[1];
-                (
-                    key.clone(),
-                    self.build_comparison(&self.corpus.pages[*site], h2, h3),
-                )
+                match (h2, h3) {
+                    (Some(h2), Some(h3)) => Some((
+                        key.clone(),
+                        self.build_comparison(&self.corpus.pages[*site], h2, h3),
+                    )),
+                    // A quarantined side drops the whole pair: a
+                    // half-measured page is not a comparison.
+                    _ => None,
+                }
             })
             .collect()
     }
@@ -213,48 +423,55 @@ impl MeasurementCampaign {
     }
 
     /// One consecutive pass (session state carried across pages) under
-    /// an explicit mode.
+    /// an explicit mode. An aborted page surfaces as a `String`-payload
+    /// panic, same contract as [`page_visit`](Self::page_visit).
     fn consecutive_visit(&self, vantage: Vantage, mode: ProtocolMode) -> Vec<HarPage> {
         let pages: Vec<&Webpage> = self.corpus.pages.iter().collect();
-        let (hars, _) = visit_consecutively(
-            &pages,
-            &self.corpus.domains,
-            &self
-                .config
-                .visit
-                .clone()
-                .with_vantage(vantage)
-                .with_mode(mode),
-            TicketStore::new(),
-        );
-        hars
+        let cfg = self
+            .config
+            .visit
+            .clone()
+            .with_vantage(vantage)
+            .with_mode(mode);
+        match try_visit_consecutively(&pages, &self.corpus.domains, &cfg, TicketStore::new()) {
+            Ok((hars, _)) => hars,
+            Err(aborted) => abort_to_panic(&aborted),
+        }
     }
 
     /// Consecutive visits (§VI-D): pages in corpus order, session state
     /// carried across pages, one pass per protocol mode. The two passes
     /// run as parallel jobs. Returns `(h2_pages, h3_pages)`
-    /// index-aligned with the corpus.
+    /// index-aligned with the corpus. Under a durable context a
+    /// quarantined pass comes back empty (and is reported via
+    /// [`take_quarantine`](Self::take_quarantine)).
     pub fn consecutive_pass(&self, vantage: Vantage) -> (Vec<HarPage>, Vec<HarPage>) {
-        let jobs = [
+        let jobs: Vec<_> = [
             (0u32, ProtocolMode::H2Only),
             (1u32, ProtocolMode::H3Enabled),
         ]
         .into_iter()
         .map(|(variant, mode)| {
-            ((0u32, 0u32, variant), move || {
-                self.consecutive_visit(vantage, mode)
-            })
+            (
+                (0u32, 0u32, variant),
+                self.pass_meta(vantage, mode),
+                move || self.consecutive_visit(vantage, mode),
+            )
         })
         .collect();
-        let mut out = run_keyed_values(&self.config.runner, jobs);
-        let h3 = out.pop().expect("H3 pass present");
-        let h2 = out.pop().expect("H2 pass present");
+        let mut out = self
+            .run_durable("consecutive", jobs)
+            .into_iter()
+            .map(|(_, pass)| pass.unwrap_or_default());
+        let h2 = out.next().unwrap_or_default();
+        let h3 = out.next().unwrap_or_default();
         (h2, h3)
     }
 
     /// [`consecutive_pass`](Self::consecutive_pass) from every
     /// configured vantage, all passes pooled as parallel jobs. Returns
-    /// `(vantage, h2_pages, h3_pages)` in configuration order.
+    /// `(vantage, h2_pages, h3_pages)` in configuration order
+    /// (quarantined passes empty, as in `consecutive_pass`).
     pub fn consecutive_all(&self) -> Vec<(Vantage, Vec<HarPage>, Vec<HarPage>)> {
         let mut jobs = Vec::with_capacity(self.config.vantages.len() * 2);
         for (vi, &v) in self.config.vantages.iter().enumerate() {
@@ -262,19 +479,21 @@ impl MeasurementCampaign {
                 (0u32, ProtocolMode::H2Only),
                 (1u32, ProtocolMode::H3Enabled),
             ] {
-                jobs.push(((vi as u32, 0u32, variant), move || {
-                    self.consecutive_visit(v, mode)
-                }));
+                jobs.push((
+                    (vi as u32, 0u32, variant),
+                    self.pass_meta(v, mode),
+                    move || self.consecutive_visit(v, mode),
+                ));
             }
         }
-        let out = run_keyed_values(&self.config.runner, jobs);
-        let mut passes = out.into_iter();
+        let out = self.run_durable("consecutive-all", jobs);
+        let mut passes = out.into_iter().map(|(_, pass)| pass.unwrap_or_default());
         self.config
             .vantages
             .iter()
             .map(|&v| {
-                let h2 = passes.next().expect("H2 pass present");
-                let h3 = passes.next().expect("H3 pass present");
+                let h2 = passes.next().unwrap_or_default();
+                let h3 = passes.next().unwrap_or_default();
                 (v, h2, h3)
             })
             .collect()
@@ -295,6 +514,21 @@ impl MeasurementCampaign {
             entries: entry_reductions(h2, h3),
         }
     }
+}
+
+/// Converts an [`AbortedVisit`] into the `String`-payload panic the
+/// durable runner classifies: stall-backed aborts (engine budget /
+/// wedged event loop) carry [`STALLED_PREFIX`], stranded-but-live
+/// aborts a plain `aborted visit:` message. Without a durable context
+/// the panic propagates and aborts the process, preserving the
+/// pre-durable `visit_page` behavior.
+fn abort_to_panic(aborted: &AbortedVisit) -> ! {
+    let msg = if aborted.stall.is_some() {
+        format!("{STALLED_PREFIX}{aborted}")
+    } else {
+        format!("aborted visit: {aborted}")
+    };
+    std::panic::panic_any(msg)
 }
 
 #[cfg(test)]

@@ -30,9 +30,9 @@ use h3cdn_netsim::FaultPlan;
 use h3cdn_sim_core::{SimDuration, SimTime};
 use h3cdn_transport::tls::TicketStore;
 use h3cdn_web::{DomainTable, Webpage};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
-use crate::runner::run_keyed;
+use crate::runner::durable::JobMeta;
 use crate::{MeasurementCampaign, ProtocolMode, VisitConfig};
 
 /// One impairment scenario: a fault plan installed symmetrically on a
@@ -174,7 +174,11 @@ impl FaultMatrix {
     }
 }
 
-/// One page load's contribution to a cell.
+/// One page load's contribution to a cell. Serialized into the
+/// checkpoint journal under a durable context; `NaN` PLTs round-trip
+/// through JSON `null` back to the canonical [`f64::NAN`] this module
+/// writes, so resumed matrices stay bit-identical.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Sample {
     /// `NaN` when the visit aborted.
     plt_ms: f64,
@@ -222,15 +226,19 @@ fn completed_median(samples: &[Sample]) -> f64 {
 }
 
 /// Runs the matrix: `scenarios × {h2, h3, h3+fallback} × sites` as one
-/// batch of keyed jobs on the campaign's parallel runner. The
-/// key-ordered merge makes the output bit-identical for every worker
-/// count.
+/// batch of keyed jobs on the campaign's execution layer (the plain
+/// deterministic pool, or the crash-safe runner when the campaign
+/// carries a durable context). The key-ordered merge makes the output
+/// bit-identical for every worker count. Quarantined loads are dropped
+/// from their cell (shrinking its `pages` count) and reported through
+/// the campaign's quarantine sink.
 pub fn run(
     campaign: &MeasurementCampaign,
     vantage: Vantage,
     scenarios: &[FaultScenario],
 ) -> FaultMatrix {
     let domains = &campaign.corpus().domains;
+    let w = &campaign.config().workload;
     let mut jobs = Vec::new();
     for (si, sc) in scenarios.iter().enumerate() {
         for (ai, arm) in Arm::ALL.iter().enumerate() {
@@ -245,16 +253,24 @@ pub fn run(
                 if let Some(f) = &sc.faults {
                     cfg = cfg.with_faults(f.clone());
                 }
-                jobs.push(((si as u32, ai as u32, site as u32), move || {
+                let meta = JobMeta {
+                    label: format!("fault '{}' {} site {site}", sc.name, arm.label()),
+                    repro: format!(
+                        "cargo run -q -p h3cdn-experiments --bin fault_matrix -- \
+                         --pages {} --seed {}",
+                        w.num_pages, w.seed
+                    ),
+                };
+                jobs.push(((si as u32, ai as u32, site as u32), meta, move || {
                     sample(page, domains, &cfg)
                 }));
             }
         }
     }
-    let keyed = run_keyed(&campaign.config().runner, jobs);
+    let keyed = campaign.run_durable("fault-matrix", jobs);
 
     let mut by_cell: BTreeMap<(u32, u32), Vec<Sample>> = BTreeMap::new();
-    for ((si, ai, _site), s) in keyed {
+    for ((si, ai, _site), s) in keyed.into_iter().filter_map(|(k, s)| Some((k, s?))) {
         by_cell.entry((si, ai)).or_default().push(s);
     }
     // H2 medians per scenario feed the delta column.

@@ -38,8 +38,7 @@ pub fn run(campaign: &MeasurementCampaign, vantage: Vantage) -> Fig2 {
     let mut h2: BTreeMap<String, usize> = BTreeMap::new();
     let mut cdn_total = 0usize;
     let mut h3_total = 0usize;
-    for site in 0..campaign.corpus().pages.len() {
-        let har = campaign.visit(site, vantage, ProtocolMode::H3Enabled);
+    for (_site, har) in campaign.visit_all(vantage, ProtocolMode::H3Enabled) {
         for e in &har.entries {
             let Some(provider) = &e.provider else {
                 continue;

@@ -64,8 +64,7 @@ impl Table2 {
 /// per-protocol request counts.
 pub fn run(campaign: &MeasurementCampaign, vantage: Vantage) -> Table2 {
     let mut t = Table2::default();
-    for site in 0..campaign.corpus().pages.len() {
-        let har = campaign.visit(site, vantage, ProtocolMode::H3Enabled);
+    for (_site, har) in campaign.visit_all(vantage, ProtocolMode::H3Enabled) {
         for e in &har.entries {
             let is_cdn = e.provider.is_some();
             let row = match e.protocol.as_str() {

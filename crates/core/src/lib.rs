@@ -40,13 +40,19 @@
 
 pub mod campaign;
 pub mod experiments;
+pub mod persist;
 pub mod report;
 pub mod runner;
 pub mod selector;
 pub mod sensitivity;
 
 pub use campaign::{CampaignConfig, MeasurementCampaign};
+pub use persist::{atomic_write, Fingerprint, Manifest, RunDir};
 pub use report::{generate_report, ReportOptions};
+pub use runner::durable::{
+    read_quarantine, run_keyed_durable, DurableContext, DurableReport, JobFailure, JobMeta,
+    RetryPolicy,
+};
 pub use runner::{run_keyed, run_keyed_values, JobKey, RunnerConfig};
 pub use sensitivity::{run_sensitivity, Knob};
 

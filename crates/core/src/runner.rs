@@ -20,6 +20,8 @@
 //! counters to stderr. Progress output never touches stdout, so
 //! rendered artifacts stay byte-stable either way.
 
+pub mod durable;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;

@@ -1,0 +1,634 @@
+//! Crash-safe execution on top of the deterministic runner:
+//! checkpoint/resume, per-job panic isolation with deterministic
+//! retries, quarantine, and watchdog budgets.
+//!
+//! [`run_keyed_durable`] has the same merge contract as
+//! [`run_keyed`](crate::runner::run_keyed) — jobs are stably sorted by
+//! key before execution and merged in key order, so output is
+//! bit-identical for every worker count — plus three durability
+//! layers:
+//!
+//! 1. **Checkpoint/resume.** With a [`RunDir`] attached, every
+//!    completed job is journaled immediately (write-temp-fsync-rename,
+//!    content-hashed) under a *section* derived from the job set. On a
+//!    resume, journal entries that deserialize and verify are loaded
+//!    instead of re-executed. Because jobs are identified by their
+//!    ordinal in the sorted order and the section hash covers every
+//!    job's identity, a journal entry can only ever be replayed into
+//!    the exact job that produced it.
+//! 2. **Panic isolation + quarantine.** Each attempt runs under
+//!    [`std::panic::catch_unwind`]; a panic becomes a typed
+//!    [`JobFailure`] instead of taking down the worker pool. Failed
+//!    jobs are retried with bounded exponential backoff whose delays
+//!    are *derived from the run seed* (recorded in the failure, so a
+//!    quarantined job documents its own retry schedule); after
+//!    `max_attempts` the failure lands in `quarantine.json` and the
+//!    merge reports it instead of aborting the campaign.
+//! 3. **Watchdog budgets.** The deterministic watchdog is the
+//!    sim-event budget (`VisitConfig::max_sim_events` → the engine's
+//!    `StallReport`), which reaches this layer as a stalled-visit
+//!    panic. The optional *wall-clock* budget is a second, inherently
+//!    nondeterministic net for genuinely wedged host code: a completed
+//!    attempt that overran the budget is demoted to a stalled
+//!    [`JobFailure`] (off by default; enabling it trades bit-stable
+//!    failure sets for liveness).
+//!
+//! The `AssertUnwindSafe` boundary is sound here because job closures
+//! are pure functions of captured immutable state: a panicking attempt
+//! abandons all of its partial state, and the retry re-runs from the
+//! same inputs.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::persist::{fnv1a64, RunDir};
+use crate::runner::{run_keyed, RunnerConfig};
+
+/// Prefix campaigns put on stalled-visit panic payloads so the durable
+/// layer can mark the resulting [`JobFailure`] as stall-backed.
+pub const STALLED_PREFIX: &str = "stalled visit: ";
+
+/// Retry schedule for panicking jobs. Delays are deterministic
+/// functions of `(run seed, section, seq, attempt)` — see
+/// [`backoff_ms`] — bounded by `cap_backoff_ms`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job (first try included); at least 1.
+    pub max_attempts: u32,
+    /// Base delay before the first retry, in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Upper bound on any single delay, in milliseconds.
+    pub cap_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 10 ms base, 250 ms cap — campaigns are pure, so
+    /// retries exist to survive *environmental* flukes (memory
+    /// pressure, a wedged allocator), not to wait out remote services.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 10,
+            cap_backoff_ms: 250,
+        }
+    }
+}
+
+/// One quarantined job: everything needed to understand and replay the
+/// failure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobFailure {
+    /// Journal section the job belonged to.
+    pub section: String,
+    /// Ordinal of the job in the section's sorted key order.
+    pub seq: u64,
+    /// Human-readable job identity (site, mode, vantage, config hash).
+    pub label: String,
+    /// The final panic message (or watchdog diagnosis).
+    pub error: String,
+    /// Whether the failure is stall-backed (sim-event budget exhausted
+    /// / all-stalled engine / wall-clock budget overrun) rather than a
+    /// plain panic.
+    pub stalled: bool,
+    /// Attempts consumed (= `max_attempts` unless the watchdog fired).
+    pub attempts: u32,
+    /// The run seed the retry schedule was derived from.
+    pub run_seed: u64,
+    /// The deterministic backoff delays that were applied, in order.
+    pub backoff_ms: Vec<u64>,
+    /// A minimal deterministic repro command line for this job.
+    pub repro: String,
+}
+
+/// Per-job metadata carried next to the closure: a human label and the
+/// deterministic repro command recorded on failure. Both feed the
+/// section hash, so they must uniquely identify the job's inputs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct JobMeta {
+    /// Human-readable job identity.
+    pub label: String,
+    /// Minimal repro command line.
+    pub repro: String,
+}
+
+/// Shared durability settings for a run.
+#[derive(Debug, Clone)]
+pub struct DurableContext {
+    /// Seed the retry backoff schedule derives from (conventionally
+    /// the campaign seed).
+    pub run_seed: u64,
+    /// Retry schedule for panicking jobs.
+    pub retry: RetryPolicy,
+    /// Optional wall-clock budget per attempt, in milliseconds.
+    /// **Nondeterministic** demotion — see the module docs. `None`
+    /// (default) disables it.
+    pub wall_budget_ms: Option<u64>,
+    /// Checkpoint directory; `None` keeps isolation + retries but
+    /// journals nothing.
+    pub checkpoint: Option<RunDir>,
+}
+
+impl DurableContext {
+    /// Isolation + deterministic retries, no checkpointing.
+    pub fn new(run_seed: u64) -> Self {
+        DurableContext {
+            run_seed,
+            retry: RetryPolicy::default(),
+            wall_budget_ms: None,
+            checkpoint: None,
+        }
+    }
+
+    /// Returns a copy with the given retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Returns a copy with the given wall-clock budget (milliseconds).
+    pub fn with_wall_budget_ms(mut self, budget: Option<u64>) -> Self {
+        self.wall_budget_ms = budget;
+        self
+    }
+
+    /// Returns a copy journaling to (and resuming from) `run`.
+    pub fn with_checkpoint(mut self, run: RunDir) -> Self {
+        self.checkpoint = Some(run);
+        self
+    }
+}
+
+/// The outcome of a durable batch.
+#[derive(Debug)]
+pub struct DurableReport<K, T> {
+    /// Every job in ascending key order; `None` marks a quarantined
+    /// job (its [`JobFailure`] is in `failures`).
+    pub results: Vec<(K, Option<T>)>,
+    /// Quarantined jobs, in ascending `seq` order.
+    pub failures: Vec<JobFailure>,
+    /// Jobs loaded from the checkpoint journal instead of executed.
+    pub resumed: usize,
+}
+
+/// The deterministic backoff delay (milliseconds) before retry
+/// `attempt` (1-based: the delay *after* the `attempt`-th failure).
+///
+/// Exponential with full jitter in `[cap/2, cap]`, where `cap` is
+/// `base · 2^(attempt-1)` bounded by the policy cap; the jitter draw is
+/// a pure function of `(run_seed, section_hash, seq, attempt)`, so a
+/// replay of the same run applies the same schedule.
+pub fn backoff_ms(
+    run_seed: u64,
+    section_hash: u64,
+    seq: u64,
+    attempt: u32,
+    retry: &RetryPolicy,
+) -> u64 {
+    let exp = attempt.saturating_sub(1).min(16);
+    let cap = retry
+        .base_backoff_ms
+        .max(1)
+        .saturating_mul(1u64 << exp)
+        .min(retry.cap_backoff_ms.max(1));
+    let draw = splitmix64(
+        run_seed ^ section_hash.rotate_left(17) ^ (seq << 8) ^ u64::from(attempt).rotate_left(48),
+    );
+    let half = cap / 2;
+    half + draw % (cap - half + 1)
+}
+
+/// SplitMix64 — the standalone mixing step used for jitter draws.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Runs keyed jobs crash-safely: stable key-sorted order, per-job
+/// panic isolation with deterministic retries, optional journaling and
+/// resume, quarantine on exhaustion. See the module docs for the
+/// guarantees.
+///
+/// `section` names the journal namespace; callers derive it from a
+/// content hash of the job set so distinct batches never share
+/// entries. Results come back in ascending key order with quarantined
+/// jobs as `None` — with no failures the `Some` sequence is
+/// bit-identical to [`run_keyed`](crate::runner::run_keyed) over the
+/// same jobs at any worker count.
+pub fn run_keyed_durable<K, T, F>(
+    config: &RunnerConfig,
+    ctx: &DurableContext,
+    section: &str,
+    mut jobs: Vec<(K, JobMeta, F)>,
+) -> DurableReport<K, T>
+where
+    K: Ord + Send,
+    T: Send + Serialize + Deserialize,
+    F: Fn() -> T + Send + Sync,
+{
+    // Same stable pre-sort as `run_keyed`: the sorted ordinal is the
+    // job's durable identity (`seq`).
+    jobs.sort_by(|a, b| a.0.cmp(&b.0));
+    let section_hash = fnv1a64(section.as_bytes());
+    let total = jobs.len();
+
+    let mut keys: Vec<K> = Vec::with_capacity(total);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(total);
+    let mut pending: Vec<(usize, (JobMeta, F))> = Vec::new();
+    let mut resumed = 0usize;
+
+    for (seq, (key, meta, job)) in jobs.into_iter().enumerate() {
+        keys.push(key);
+        let loaded = ctx
+            .checkpoint
+            .as_ref()
+            .and_then(|run| run.load_job(section, seq))
+            .and_then(|bytes| String::from_utf8(bytes).ok())
+            .and_then(|text| serde_json::from_str::<T>(&text).ok());
+        if loaded.is_some() {
+            resumed += 1;
+            slots.push(loaded);
+        } else {
+            slots.push(None);
+            pending.push((seq, (meta, job)));
+        }
+    }
+
+    // Execute the pending jobs on the plain deterministic pool, each
+    // wrapped in the isolation/retry/journal shell. Keys are the seqs,
+    // so the merge hands results back in seq order.
+    let wrapped: Vec<(usize, _)> = pending
+        .into_iter()
+        .map(|(seq, (meta, job))| {
+            (seq, move || {
+                let outcome = run_attempts(ctx, section, section_hash, seq, &meta, &job);
+                if let (Ok(value), Some(run)) = (&outcome, &ctx.checkpoint) {
+                    journal(run, section, seq, value);
+                }
+                outcome
+            })
+        })
+        .collect();
+    let executed = run_keyed(config, wrapped);
+
+    let mut failures: Vec<JobFailure> = Vec::new();
+    for (seq, outcome) in executed {
+        match outcome {
+            Ok(value) => {
+                if let Some(slot) = slots.get_mut(seq) {
+                    *slot = Some(value);
+                }
+            }
+            Err(failure) => failures.push(*failure),
+        }
+    }
+
+    if let Some(run) = &ctx.checkpoint {
+        merge_quarantine(run, section, &failures);
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "h3cdn runner: {} of {total} job(s) quarantined in section {section}:",
+            failures.len()
+        );
+        for f in &failures {
+            eprintln!("  - {}: {} (repro: {})", f.label, f.error, f.repro);
+        }
+    }
+
+    DurableReport {
+        results: keys.into_iter().zip(slots).collect(),
+        failures,
+        resumed,
+    }
+}
+
+/// One job's isolation/retry shell.
+fn run_attempts<T, F>(
+    ctx: &DurableContext,
+    section: &str,
+    section_hash: u64,
+    seq: usize,
+    meta: &JobMeta,
+    job: &F,
+) -> Result<T, Box<JobFailure>>
+where
+    F: Fn() -> T,
+{
+    let max_attempts = ctx.retry.max_attempts.max(1);
+    let mut backoffs: Vec<u64> = Vec::new();
+    let mut last_error = String::new();
+    // Boxed so the hot `Result` stays pointer-sized on the Ok path.
+    let failure = |error: String, stalled: bool, attempts: u32, backoffs: Vec<u64>| JobFailure {
+        section: section.to_owned(),
+        seq: seq as u64,
+        label: meta.label.clone(),
+        error,
+        stalled,
+        attempts,
+        run_seed: ctx.run_seed,
+        backoff_ms: backoffs,
+        repro: meta.repro.clone(),
+    };
+
+    for attempt in 1..=max_attempts {
+        // Watchdog only — never feeds simulated time or results.
+        // h3cdn-lint: allow(wall-clock)
+        let started = Instant::now();
+        match panic::catch_unwind(AssertUnwindSafe(job)) {
+            Ok(value) => {
+                if let Some(budget) = ctx.wall_budget_ms {
+                    let elapsed_ms = started.elapsed().as_millis();
+                    if elapsed_ms > u128::from(budget) {
+                        // A deterministic job that overran once will
+                        // overrun again: demote without retrying.
+                        return Err(Box::new(failure(
+                            format!(
+                                "{STALLED_PREFIX}wall-clock budget exceeded \
+                                 ({elapsed_ms} ms > {budget} ms)"
+                            ),
+                            true,
+                            attempt,
+                            backoffs,
+                        )));
+                    }
+                }
+                return Ok(value);
+            }
+            Err(payload) => {
+                last_error = panic_message(payload.as_ref());
+                if attempt < max_attempts {
+                    let delay =
+                        backoff_ms(ctx.run_seed, section_hash, seq as u64, attempt, &ctx.retry);
+                    backoffs.push(delay);
+                    std::thread::sleep(Duration::from_millis(delay));
+                }
+            }
+        }
+    }
+    let stalled = last_error.starts_with(STALLED_PREFIX);
+    Err(Box::new(failure(
+        last_error,
+        stalled,
+        max_attempts,
+        backoffs,
+    )))
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Journals one completed job; journal I/O errors are reported but
+/// never fail the job (the in-memory result is still returned).
+fn journal<T: Serialize>(run: &RunDir, section: &str, seq: usize, value: &T) {
+    match serde_json::to_string(value) {
+        Ok(json) => {
+            if let Err(e) = run.store_job(section, seq, json.as_bytes()) {
+                eprintln!("h3cdn runner: journal write failed for {section}/{seq}: {e}");
+            }
+        }
+        Err(e) => eprintln!("h3cdn runner: journal serialize failed for {section}/{seq}: {e}"),
+    }
+}
+
+/// The quarantine file shape.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct QuarantineFile {
+    /// All quarantined jobs of the run, sorted by `(section, seq)`.
+    failures: Vec<JobFailure>,
+}
+
+/// Rewrites `quarantine.json`: existing entries of *other* sections
+/// are kept, this section's entries are replaced with `fresh`.
+fn merge_quarantine(run: &RunDir, section: &str, fresh: &[JobFailure]) {
+    let mut all: Vec<JobFailure> = run
+        .read_quarantine()
+        .and_then(|text| serde_json::from_str::<QuarantineFile>(&text).ok())
+        .map(|q| q.failures)
+        .unwrap_or_default();
+    all.retain(|f| f.section != section);
+    all.extend(fresh.iter().cloned());
+    all.sort_by(|a, b| (&a.section, a.seq).cmp(&(&b.section, b.seq)));
+    let file = QuarantineFile { failures: all };
+    match serde_json::to_string_pretty(&file) {
+        Ok(json) => {
+            if let Err(e) = run.write_quarantine(&json) {
+                eprintln!("h3cdn runner: quarantine write failed: {e}");
+            }
+        }
+        Err(e) => eprintln!("h3cdn runner: quarantine serialize failed: {e}"),
+    }
+}
+
+/// Parses a run's `quarantine.json` into failures (empty when absent
+/// or unreadable).
+pub fn read_quarantine(run: &RunDir) -> Vec<JobFailure> {
+    run.read_quarantine()
+        .and_then(|text| serde_json::from_str::<QuarantineFile>(&text).ok())
+        .map(|q| q.failures)
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use crate::persist::{Fingerprint, Manifest, MANIFEST_VERSION};
+
+    fn tmp_run(tag: &str) -> RunDir {
+        let tmp = std::env::temp_dir(); // test scratch only; h3cdn-lint: allow(env-read)
+        let root: PathBuf = tmp.join(format!("h3cdn-durable-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let run = RunDir::at(root);
+        let manifest = Manifest {
+            version: MANIFEST_VERSION,
+            run_id: tag.to_owned(),
+            fingerprint: Fingerprint {
+                seed: 1,
+                scenario: tag.to_owned(),
+                git_hash: "t".to_owned(),
+                args: Vec::new(),
+            },
+            argv: Vec::new(),
+        };
+        run.prepare(&manifest, false).expect("prepare");
+        run
+    }
+
+    fn meta(i: u32) -> JobMeta {
+        JobMeta {
+            label: format!("job {i}"),
+            repro: format!("repro {i}"),
+        }
+    }
+
+    #[test]
+    fn clean_jobs_match_run_keyed_bitwise() {
+        let ctx = DurableContext::new(9);
+        for jobs in [1usize, 4] {
+            let cfg = RunnerConfig::default().with_jobs(jobs);
+            let batch: Vec<((u32, u32, u32), JobMeta, _)> = (0..10u32)
+                .map(|i| ((0, i, 0), meta(i), move || f64::from(i) * 1.5))
+                .collect();
+            let report = run_keyed_durable(&cfg, &ctx, "s", batch);
+            assert_eq!(report.failures.len(), 0);
+            assert_eq!(report.resumed, 0);
+            let values: Vec<f64> = report.results.into_iter().filter_map(|(_, v)| v).collect();
+            let want: Vec<f64> = (0..10u32).map(|i| f64::from(i) * 1.5).collect();
+            assert_eq!(values, want, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn panicking_job_is_retried_then_quarantined() {
+        let attempts = AtomicUsize::new(0);
+        let ctx = DurableContext::new(77).with_retry(RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 1,
+            cap_backoff_ms: 4,
+        });
+        let cfg = RunnerConfig::serial();
+        let batch = vec![((0u32, 0u32, 0u32), meta(0), {
+            let attempts = &attempts;
+            move || -> u32 {
+                attempts.fetch_add(1, Ordering::Relaxed);
+                panic!("boom at job 0");
+            }
+        })];
+        let report = run_keyed_durable(&cfg, &ctx, "panics", batch);
+        assert_eq!(attempts.load(Ordering::Relaxed), 3, "3 attempts made");
+        assert_eq!(report.failures.len(), 1);
+        let f = &report.failures[0];
+        assert_eq!(f.attempts, 3);
+        assert!(f.error.contains("boom at job 0"));
+        assert!(!f.stalled);
+        assert_eq!(f.run_seed, 77);
+        assert_eq!(f.backoff_ms.len(), 2, "two retries, two delays");
+        // The schedule is a pure function of the run identity.
+        let hash = fnv1a64(b"panics");
+        for (i, &b) in f.backoff_ms.iter().enumerate() {
+            assert_eq!(b, backoff_ms(77, hash, 0, i as u32 + 1, &ctx.retry));
+        }
+        assert_eq!(report.results.len(), 1);
+        assert!(report.results[0].1.is_none());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_growing() {
+        let retry = RetryPolicy::default();
+        for attempt in 1..=6u32 {
+            let a = backoff_ms(5, 11, 3, attempt, &retry);
+            let b = backoff_ms(5, 11, 3, attempt, &retry);
+            assert_eq!(a, b, "deterministic");
+            assert!(a <= retry.cap_backoff_ms, "bounded: {a}");
+            assert!(a >= retry.base_backoff_ms / 2, "not degenerate: {a}");
+        }
+        // Seed-dependence: the full schedule (all attempts) differs
+        // between run seeds even if single draws collide in the narrow
+        // [cap/2, cap] jitter window.
+        let schedule = |seed: u64| -> Vec<u64> {
+            (1..=6u32)
+                .map(|a| backoff_ms(seed, 11, 3, a, &retry))
+                .collect()
+        };
+        assert_ne!(schedule(5), schedule(6), "seed-dependent");
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_completed_jobs() {
+        let run = tmp_run("resume");
+        let ctx = DurableContext::new(3).with_checkpoint(run.clone());
+        let cfg = RunnerConfig::serial();
+        let calls = AtomicUsize::new(0);
+        #[allow(clippy::type_complexity)]
+        fn make_batch(
+            calls: &AtomicUsize,
+        ) -> Vec<(
+            (u32, u32, u32),
+            JobMeta,
+            impl Fn() -> u64 + Send + Sync + '_,
+        )> {
+            (0..6u32)
+                .map(move |i| {
+                    ((0, i, 0), meta(i), move || {
+                        calls.fetch_add(1, Ordering::Relaxed);
+                        u64::from(i) * 7
+                    })
+                })
+                .collect()
+        }
+        let first = run_keyed_durable(&cfg, &ctx, "sec", make_batch(&calls));
+        assert_eq!(calls.load(Ordering::Relaxed), 6);
+        assert_eq!(first.resumed, 0);
+
+        // Simulate an interruption after 2 of 6 jobs: drop the rest.
+        for seq in 2..6usize {
+            let _ = std::fs::remove_file(run.job_path("sec", seq));
+        }
+        calls.store(0, Ordering::Relaxed);
+        let second = run_keyed_durable(&cfg, &ctx, "sec", make_batch(&calls));
+        assert_eq!(second.resumed, 2, "two journal entries reused");
+        assert_eq!(calls.load(Ordering::Relaxed), 4, "four re-executed");
+        let a: Vec<u64> = first.results.into_iter().filter_map(|(_, v)| v).collect();
+        let b: Vec<u64> = second.results.into_iter().filter_map(|(_, v)| v).collect();
+        assert_eq!(a, b, "resumed output identical");
+        let _ = std::fs::remove_dir_all(run.root());
+    }
+
+    #[test]
+    fn quarantine_file_accumulates_across_sections() {
+        let run = tmp_run("quar");
+        let ctx = DurableContext::new(1).with_retry(RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ms: 1,
+            cap_backoff_ms: 1,
+        });
+        let ctx = ctx.with_checkpoint(run.clone());
+        let cfg = RunnerConfig::serial();
+        let bad = |name: &'static str| {
+            vec![((0u32, 0u32, 0u32), meta(0), move || -> u32 {
+                panic!("fail in {name}")
+            })]
+        };
+        let _ = run_keyed_durable(&cfg, &ctx, "alpha", bad("alpha"));
+        let _ = run_keyed_durable(&cfg, &ctx, "beta", bad("beta"));
+        let all = read_quarantine(&run);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].section, "alpha");
+        assert_eq!(all[1].section, "beta");
+        // Re-running a section with no failures clears its entries.
+        let good = vec![((0u32, 0u32, 0u32), meta(0), move || 5u32)];
+        let _ = run_keyed_durable(&cfg, &ctx, "alpha", good);
+        let all = read_quarantine(&run);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].section, "beta");
+        let _ = std::fs::remove_dir_all(run.root());
+    }
+
+    #[test]
+    fn wall_budget_demotes_overrunning_jobs() {
+        let ctx = DurableContext::new(1).with_wall_budget_ms(Some(0));
+        let cfg = RunnerConfig::serial();
+        let batch = vec![((0u32, 0u32, 0u32), meta(0), move || {
+            std::thread::sleep(Duration::from_millis(5));
+            1u32
+        })];
+        let report = run_keyed_durable(&cfg, &ctx, "wall", batch);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].stalled);
+        assert!(report.failures[0].error.contains("wall-clock budget"));
+    }
+}

@@ -7,29 +7,32 @@
 //! Emits one document containing the H2-only and H3-enabled visits of
 //! every page, from the selected vantage.
 
-use h3cdn::{har::to_har_json, run_keyed_values, ProtocolMode};
+use std::collections::BTreeMap;
+
+use h3cdn::{har::to_har_json, ProtocolMode};
 
 fn main() {
     let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
-    let campaign = h3cdn_experiments::campaign(&opts);
-    // Both sides of every page as keyed runner jobs; the key-ordered
-    // merge (site-major, H2 before H3) matches the serial loop exactly.
-    let campaign = &campaign;
-    let mut jobs = Vec::new();
-    for site in 0..campaign.corpus().pages.len() {
-        for (variant, mode) in [
-            (0u32, ProtocolMode::H2Only),
-            (1u32, ProtocolMode::H3Enabled),
-        ] {
-            jobs.push(((0u32, site as u32, variant), move || {
-                campaign.visit(site, opts.vantage, mode)
-            }));
+    let campaign = h3cdn_experiments::campaign_named(&opts, "export_har");
+    // Both passes run as keyed jobs on the crash-safe execution layer;
+    // the export interleaves them site-major, H2 before H3 — the same
+    // order as the serial double loop.
+    let h2 = campaign.visit_all(opts.vantage, ProtocolMode::H2Only);
+    let h3 = campaign.visit_all(opts.vantage, ProtocolMode::H3Enabled);
+    let mut h3_by_site: BTreeMap<usize, _> = h3.into_iter().collect();
+    let mut pages = Vec::new();
+    for (site, h2_page) in h2 {
+        pages.push(h2_page);
+        if let Some(h3_page) = h3_by_site.remove(&site) {
+            pages.push(h3_page);
         }
     }
-    let pages = run_keyed_values(campaign.runner(), jobs);
+    // Pages whose H2 side was quarantined still export their H3 side.
+    pages.extend(h3_by_site.into_values());
     let doc = to_har_json(&pages);
     println!(
         "{}",
         serde_json::to_string_pretty(&doc).expect("HAR serialises")
     );
+    h3cdn_experiments::report_quarantine(&campaign);
 }

@@ -21,7 +21,7 @@ fn main() {
     if smoke {
         opts.pages = opts.pages.min(6);
     }
-    let campaign = h3cdn_experiments::campaign(&opts);
+    let campaign = h3cdn_experiments::campaign_named(&opts, "fault_matrix");
     let scenarios = fault_matrix::default_scenarios();
     let matrix = fault_matrix::run(&campaign, opts.vantage, &scenarios);
     h3cdn_experiments::emit(&opts, &matrix);
@@ -29,6 +29,7 @@ fn main() {
         check_invariants(&matrix);
         eprintln!("fault_matrix smoke OK");
     }
+    h3cdn_experiments::report_quarantine(&campaign);
 }
 
 /// The acceptance invariants the CI smoke run enforces.

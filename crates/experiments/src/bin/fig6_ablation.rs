@@ -30,7 +30,7 @@ fn main() {
     if opts.pages == 325 {
         opts.pages = 80;
     }
-    let campaign = h3cdn_experiments::campaign(&opts);
+    let campaign = h3cdn_experiments::campaign_named(&opts, "fig6_ablation");
     let run = |alt_svc: bool| -> fig6::Fig6 {
         let mut base = VisitConfig::default().with_vantage(opts.vantage);
         base.alt_svc_discovery = alt_svc;
@@ -50,4 +50,5 @@ fn main() {
         cold_alt_svc: run(true),
     };
     h3cdn_experiments::emit(&opts, &ablation);
+    h3cdn_experiments::report_quarantine(&campaign);
 }

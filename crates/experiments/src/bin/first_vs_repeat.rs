@@ -44,7 +44,7 @@ fn main() {
     if opts.pages == 325 {
         opts.pages = 60; // four visits per page; keep the default run brisk
     }
-    let campaign = h3cdn_experiments::campaign(&opts);
+    let campaign = h3cdn_experiments::campaign_named(&opts, "first_vs_repeat");
     let corpus = campaign.corpus();
     let modes = [("First", true), ("Repeat", false)];
 
@@ -94,4 +94,5 @@ fn main() {
         })
         .collect();
     h3cdn_experiments::emit(&opts, &FirstVsRepeat { rows });
+    h3cdn_experiments::report_quarantine(campaign);
 }

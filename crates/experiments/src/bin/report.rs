@@ -10,7 +10,7 @@ use h3cdn::{generate_report, ReportOptions};
 
 fn main() {
     let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
-    let campaign = h3cdn_experiments::campaign(&opts);
+    let campaign = h3cdn_experiments::campaign_named(&opts, "report");
     let report_opts = ReportOptions {
         vantage: opts.vantage,
         ..ReportOptions::default()
@@ -20,8 +20,11 @@ fn main() {
         std::fs::create_dir_all(&dir).expect("CSV_DIR creatable");
         for (name, body) in h3cdn::report::figure_csvs(&campaign, &report_opts) {
             let path = std::path::Path::new(&dir).join(name);
-            std::fs::write(&path, body).expect("CSV writable");
+            // Crash-safe artifact write: temp + fsync + rename, so a
+            // killed report never leaves a torn CSV behind.
+            h3cdn::persist::atomic_write(&path, body.as_bytes()).expect("CSV writable");
             eprintln!("wrote {}", path.display());
         }
     }
+    h3cdn_experiments::report_quarantine(&campaign);
 }

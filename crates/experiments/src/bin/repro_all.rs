@@ -5,7 +5,7 @@ use h3cdn::experiments as ex;
 
 fn main() {
     let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
-    let campaign = h3cdn_experiments::campaign(&opts);
+    let campaign = h3cdn_experiments::campaign_named(&opts, "repro_all");
     let v = opts.vantage;
     let warmup = (campaign.corpus().pages.len() / 30).max(1);
 
@@ -33,4 +33,5 @@ fn main() {
         "{}",
         ex::fig9::run_with_repeats(&campaign, v, &[0.0, 0.5, 1.0], 6)
     );
+    h3cdn_experiments::report_quarantine(&campaign);
 }

@@ -8,7 +8,7 @@ fn main() {
     if opts.pages == 325 {
         opts.pages = 40; // 4 knobs × settings × paired visits: keep brisk
     }
-    let campaign = h3cdn_experiments::campaign(&opts);
+    let campaign = h3cdn_experiments::campaign_named(&opts, "sensitivity");
     for knob in [
         Knob::H3ExtraProcessingMs,
         Knob::BaselineLossPercent,
@@ -18,4 +18,5 @@ fn main() {
         let s = run_sensitivity(&campaign, opts.vantage, knob, &knob.default_sweep());
         h3cdn_experiments::emit(&opts, &s);
     }
+    h3cdn_experiments::report_quarantine(&campaign);
 }

@@ -45,7 +45,7 @@ fn main() {
     if opts.pages == 325 {
         opts.pages = 80;
     }
-    let campaign = h3cdn_experiments::campaign(&opts);
+    let campaign = h3cdn_experiments::campaign_named(&opts, "vantages");
     let rows = Vantage::ALL
         .into_iter()
         .map(|v| {
@@ -65,4 +65,5 @@ fn main() {
         })
         .collect();
     h3cdn_experiments::emit(&opts, &Vantages { rows });
+    h3cdn_experiments::report_quarantine(&campaign);
 }

@@ -14,8 +14,33 @@
 //!                bit-identical for every worker count)
 //! --progress     print jobs-done/throughput counters to stderr
 //!                (equivalent to H3CDN_PROGRESS=1)
+//! --run-id ID    checkpoint this run under results/.runs/ID (journal
+//!                every completed job via write-temp-fsync-rename)
+//! --resume       load journaled jobs of a matching previous run
+//!                instead of re-executing them (implies a default
+//!                --run-id derived from the experiment name, corpus
+//!                size and seed); output is bit-identical to an
+//!                uninterrupted run at any --jobs
+//! --results-dir D  root for results and checkpoints (default results)
+//! --max-retries N  attempts per job before quarantine (default 3)
+//! --wall-budget-ms MS  per-attempt wall-clock watchdog (off by
+//!                default; demotion is nondeterministic by nature)
+//! --max-sim-events N   deterministic per-visit sim-event watchdog
+//!                (changes results for budget-exceeding visits, so it
+//!                is part of the resume fingerprint)
 //! ```
+//!
+//! Every binary runs its campaign under the crash-safe execution layer
+//! (panic isolation + deterministic retries); checkpointing to disk
+//! only happens with `--run-id`/`--resume`. The `H3CDN_PANIC_SITE=N`
+//! environment variable arms a chaos hook that deliberately panics
+//! every visit of site `N` — the end-to-end proof of the quarantine
+//! path (see the `visit_one` binary for replaying quarantined jobs).
 
+use std::path::Path;
+
+use h3cdn::persist::{workspace_git_hash, Fingerprint, Manifest, RunDir, MANIFEST_VERSION};
+use h3cdn::runner::durable::{DurableContext, RetryPolicy};
 use h3cdn::{CampaignConfig, MeasurementCampaign, RunnerConfig, Vantage, WorkloadSpec};
 
 /// Parsed common flags.
@@ -33,6 +58,22 @@ pub struct Options {
     pub jobs: usize,
     /// Print progress/throughput counters to stderr.
     pub progress: bool,
+    /// Resume from a matching checkpoint instead of re-executing.
+    pub resume: bool,
+    /// Checkpoint run id (`None` = no checkpointing unless `--resume`
+    /// derives a default id).
+    pub run_id: Option<String>,
+    /// Root directory for results and checkpoints.
+    pub results_dir: String,
+    /// Attempts per job before quarantine.
+    pub max_retries: u32,
+    /// Optional per-attempt wall-clock watchdog, milliseconds.
+    pub wall_budget_ms: Option<u64>,
+    /// Optional deterministic per-visit sim-event watchdog.
+    pub max_sim_events: Option<u64>,
+    /// The full flag list as parsed (provenance; recorded in the
+    /// checkpoint manifest but *not* fingerprinted).
+    pub argv: Vec<String>,
 }
 
 impl Default for Options {
@@ -45,6 +86,13 @@ impl Default for Options {
             json: false,
             jobs: env.jobs,
             progress: !env.quiet,
+            resume: false,
+            run_id: None,
+            results_dir: "results".to_owned(),
+            max_retries: 3,
+            wall_budget_ms: None,
+            max_sim_events: None,
+            argv: Vec::new(),
         }
     }
 }
@@ -55,6 +103,39 @@ impl Options {
         RunnerConfig::from_env()
             .with_jobs(self.jobs)
             .with_quiet(!self.progress)
+    }
+
+    /// The run id checkpointing resolves to for `experiment`: the
+    /// explicit `--run-id`, else (under `--resume`) a deterministic
+    /// default derived from the experiment identity.
+    pub fn effective_run_id(&self, experiment: &str) -> Option<String> {
+        if let Some(id) = &self.run_id {
+            return Some(id.clone());
+        }
+        self.resume
+            .then(|| format!("{experiment}-p{}-s{}", self.pages, self.seed))
+    }
+
+    /// The canonical *semantic* argument list — every resolved setting
+    /// that can change results, rendered in a fixed order and spelling.
+    /// Scheduling and IO flags (`--jobs`, `--progress`, `--resume`,
+    /// `--run-id`, `--results-dir`, `--max-retries`,
+    /// `--wall-budget-ms`, `--json`) are deliberately excluded: a
+    /// checkpoint taken at one worker count must resume at any other.
+    pub fn fingerprint_args(&self) -> Vec<String> {
+        let mut a = vec![
+            "--pages".to_owned(),
+            self.pages.to_string(),
+            "--seed".to_owned(),
+            self.seed.to_string(),
+            "--vantage".to_owned(),
+            self.vantage.name().to_lowercase(),
+        ];
+        if let Some(budget) = self.max_sim_events {
+            a.push("--max-sim-events".to_owned());
+            a.push(budget.to_string());
+        }
+        a
     }
 }
 
@@ -67,22 +148,28 @@ impl Options {
 pub fn parse_args(args: impl Iterator<Item = String>) -> Options {
     let mut opts = Options::default();
     let mut args = args.peekable();
+    fn take(opts: &mut Options, args: &mut dyn Iterator<Item = String>) -> Option<String> {
+        let v = args.next();
+        if let Some(v) = &v {
+            opts.argv.push(v.clone());
+        }
+        v
+    }
     while let Some(arg) = args.next() {
+        opts.argv.push(arg.clone());
         match arg.as_str() {
             "--pages" => {
-                opts.pages = args
-                    .next()
+                opts.pages = take(&mut opts, &mut args)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| panic!("--pages expects a positive integer"));
             }
             "--seed" => {
-                opts.seed = args
-                    .next()
+                opts.seed = take(&mut opts, &mut args)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| panic!("--seed expects an integer"));
             }
             "--vantage" => {
-                let v = args.next().unwrap_or_default();
+                let v = take(&mut opts, &mut args).unwrap_or_default();
                 opts.vantage = match v.to_ascii_lowercase().as_str() {
                     "utah" => Vantage::Utah,
                     "wisconsin" => Vantage::Wisconsin,
@@ -92,16 +179,47 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Options {
             }
             "--json" => opts.json = true,
             "--jobs" => {
-                opts.jobs = args
-                    .next()
+                opts.jobs = take(&mut opts, &mut args)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| panic!("--jobs expects a non-negative integer"));
             }
             "--progress" => opts.progress = true,
+            "--resume" => opts.resume = true,
+            "--run-id" => {
+                opts.run_id = Some(
+                    take(&mut opts, &mut args)
+                        .unwrap_or_else(|| panic!("--run-id expects an identifier")),
+                );
+            }
+            "--results-dir" => {
+                opts.results_dir = take(&mut opts, &mut args)
+                    .unwrap_or_else(|| panic!("--results-dir expects a directory"));
+            }
+            "--max-retries" => {
+                opts.max_retries = take(&mut opts, &mut args)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--max-retries expects a positive integer"));
+            }
+            "--wall-budget-ms" => {
+                opts.wall_budget_ms = Some(
+                    take(&mut opts, &mut args)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--wall-budget-ms expects milliseconds")),
+                );
+            }
+            "--max-sim-events" => {
+                opts.max_sim_events = Some(
+                    take(&mut opts, &mut args)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--max-sim-events expects a positive integer")),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "flags: --pages N   --seed S   --vantage Utah|Wisconsin|Clemson   \
-                     --json   --jobs N   --progress"
+                     --json   --jobs N   --progress   --resume   --run-id ID   \
+                     --results-dir D   --max-retries N   --wall-budget-ms MS   \
+                     --max-sim-events N"
                 );
                 std::process::exit(0);
             }
@@ -112,16 +230,108 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Options {
 }
 
 /// Builds the campaign for the parsed options (corpus scale, seed and
-/// parallel-runner settings).
+/// parallel-runner settings) *without* the crash-safe layer — the
+/// plain pool the repro binaries use when a panic should stay a panic
+/// (see the `visit_one` quarantine-replay binary).
 pub fn campaign(opts: &Options) -> MeasurementCampaign {
-    let config = CampaignConfig {
+    MeasurementCampaign::new(base_config(opts).with_inject_panic_site(panic_site_from_env()))
+}
+
+/// Builds the campaign for an experiment binary, running under the
+/// crash-safe execution layer: per-visit panic isolation with
+/// deterministic retries always; checkpoint/resume journaling under
+/// `results_dir/.runs/<run-id>/` when `--run-id` or `--resume` is
+/// given. `experiment` names the binary — it feeds the resume
+/// fingerprint (so a `fig6` checkpoint can never leak into `fig9`) and
+/// the default run id.
+pub fn campaign_named(opts: &Options, experiment: &str) -> MeasurementCampaign {
+    let mut ctx = DurableContext::new(opts.seed)
+        .with_retry(RetryPolicy {
+            max_attempts: opts.max_retries.max(1),
+            ..RetryPolicy::default()
+        })
+        .with_wall_budget_ms(opts.wall_budget_ms);
+    if let Some(run_id) = opts.effective_run_id(experiment) {
+        let run = RunDir::open(Path::new(&opts.results_dir), &run_id);
+        let manifest = Manifest {
+            version: MANIFEST_VERSION,
+            run_id: run_id.clone(),
+            fingerprint: Fingerprint {
+                seed: opts.seed,
+                scenario: experiment.to_owned(),
+                git_hash: workspace_git_hash(),
+                args: opts.fingerprint_args(),
+            },
+            argv: opts.argv.clone(),
+        };
+        match run.prepare(&manifest, opts.resume) {
+            Ok(kept) => {
+                if opts.resume && !kept {
+                    eprintln!(
+                        "h3cdn: checkpoint '{run_id}' has a stale fingerprint; \
+                         journal cleared, running from scratch"
+                    );
+                } else if opts.resume {
+                    eprintln!("h3cdn: resuming run '{run_id}'");
+                }
+                ctx = ctx.with_checkpoint(run);
+            }
+            Err(e) => eprintln!(
+                "h3cdn: checkpoint dir for '{run_id}' unavailable ({e}); \
+                 running without journaling"
+            ),
+        }
+    }
+    let config = base_config(opts)
+        .with_durable(Some(ctx))
+        .with_inject_panic_site(panic_site_from_env());
+    MeasurementCampaign::new(config)
+}
+
+/// Prints the quarantine summary for a finished campaign (stderr) so
+/// binaries end with an explicit account of pages that did *not* make
+/// it into the tables, and how to replay them.
+pub fn report_quarantine(campaign: &MeasurementCampaign) {
+    let failures = campaign.take_quarantine();
+    if campaign.resumed_jobs() > 0 {
+        eprintln!(
+            "h3cdn: {} job(s) loaded from checkpoint journal",
+            campaign.resumed_jobs()
+        );
+    }
+    if failures.is_empty() {
+        return;
+    }
+    eprintln!(
+        "h3cdn: campaign finished with {} quarantined job(s):",
+        failures.len()
+    );
+    for f in &failures {
+        eprintln!(
+            "  - {} after {} attempt(s): {}\n    repro: {}",
+            f.label, f.attempts, f.error, f.repro
+        );
+    }
+}
+
+fn base_config(opts: &Options) -> CampaignConfig {
+    let mut config = CampaignConfig {
         workload: WorkloadSpec::default()
             .with_pages(opts.pages)
             .with_seed(opts.seed),
         runner: opts.runner(),
         ..CampaignConfig::default()
     };
-    MeasurementCampaign::new(config)
+    config.visit = config.visit.with_max_sim_events(opts.max_sim_events);
+    config
+}
+
+/// The chaos hook: `H3CDN_PANIC_SITE=N` makes every visit of site `N`
+/// panic deliberately, proving the quarantine path end-to-end.
+fn panic_site_from_env() -> Option<usize> {
+    std::env::var("H3CDN_PANIC_SITE")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
 }
 
 /// Prints a result either as its Display table or as JSON.

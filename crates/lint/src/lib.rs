@@ -20,6 +20,11 @@
 //! * **float hazards** — [`RULE_FLOAT_CMP`], [`RULE_NAN_SORT`]:
 //!   `==`/`!=` against float literals and NaN-unaware
 //!   `partial_cmp`-based sorts in `crates/analysis`.
+//! * **crash-safe artifacts** — [`RULE_RAW_RESULT_WRITE`]: result
+//!   artifacts in the campaign/experiment crates must go through
+//!   `h3cdn::persist::atomic_write` (write-temp-fsync-rename), never
+//!   raw `std::fs::write` / `File::create` — a killed process must not
+//!   leave torn results or journals behind.
 //!
 //! Individual lines can opt out with a pragma comment, either on the
 //! offending line or on the line directly above it:
@@ -59,6 +64,8 @@ pub const RULE_BASELINE_STALE: &str = "baseline-stale";
 pub const RULE_FLOAT_CMP: &str = "float-cmp";
 /// Rule id: NaN-unaware sort (`sort_by` + `partial_cmp`).
 pub const RULE_NAN_SORT: &str = "nan-sort";
+/// Rule id: raw (non-atomic) write of a result artifact.
+pub const RULE_RAW_RESULT_WRITE: &str = "raw-result-write";
 
 /// Crates (by `crates/<dir>` name) whose code affects simulation
 /// results and therefore must be free of nondeterminism sources.
@@ -96,15 +103,37 @@ pub const RATCHET_CRATES: &[&str] = &[
 /// Crates subject to the float-hazard rules.
 pub const FLOAT_CRATES: &[&str] = &["analysis"];
 
+/// Crates that produce result artifacts and therefore must write them
+/// through `h3cdn::persist::atomic_write` (the crash-safe path) rather
+/// than raw `std::fs::write` / `File::create`.
+pub const RESULT_WRITE_CRATES: &[&str] = &["core", "experiments"];
+
 /// Explicit allowlist: `(path suffix, rule id, reason)`. Findings of
 /// `rule` in files whose workspace-relative path ends with the suffix
 /// are suppressed. Keep this list short and justified — prefer a
 /// line-level pragma when only one site is affected.
-pub const ALLOWLIST: &[(&str, &str, &str)] = &[(
-    "crates/core/src/runner.rs",
-    RULE_SANS_IO,
-    "the deterministic campaign runner owns the std::thread::scope worker pool",
-)];
+pub const ALLOWLIST: &[(&str, &str, &str)] = &[
+    (
+        "crates/core/src/runner.rs",
+        RULE_SANS_IO,
+        "the deterministic campaign runner owns the std::thread::scope worker pool",
+    ),
+    (
+        "crates/core/src/runner/durable.rs",
+        RULE_SANS_IO,
+        "the crash-safe runner owns catch_unwind, retry sleeps and journal I/O plumbing",
+    ),
+    (
+        "crates/core/src/persist.rs",
+        RULE_SANS_IO,
+        "persist IS the sanctioned I/O module: write-temp-fsync-rename lives here",
+    ),
+    (
+        "crates/core/src/persist.rs",
+        RULE_RAW_RESULT_WRITE,
+        "the atomic_write implementation necessarily performs the raw write itself",
+    ),
+];
 
 /// One diagnostic produced by the analyzer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -254,6 +283,9 @@ fn rules_for_file(ctx: &scan::FileContext, out: &mut Vec<Finding>) {
     if FLOAT_CRATES.contains(&krate) {
         scan::rule_float_cmp(ctx, out);
         scan::rule_nan_sort(ctx, out);
+    }
+    if RESULT_WRITE_CRATES.contains(&krate) {
+        scan::rule_raw_result_write(ctx, out);
     }
 }
 

@@ -2,8 +2,8 @@
 //! and the individual rule implementations.
 
 use crate::{
-    Finding, RULE_AMBIENT_RNG, RULE_ENV_READ, RULE_FLOAT_CMP, RULE_NAN_SORT, RULE_SANS_IO,
-    RULE_UNORDERED_ITER, RULE_WALL_CLOCK,
+    Finding, RULE_AMBIENT_RNG, RULE_ENV_READ, RULE_FLOAT_CMP, RULE_NAN_SORT, RULE_RAW_RESULT_WRITE,
+    RULE_SANS_IO, RULE_UNORDERED_ITER, RULE_WALL_CLOCK,
 };
 
 /// Marker introducing a suppression pragma inside a comment.
@@ -674,6 +674,40 @@ pub fn rule_sans_io(ctx: &FileContext, out: &mut Vec<Finding>) {
                     line: idx + 1,
                     rule: RULE_SANS_IO,
                     message: format!("`{needle}` used in sans-IO crate `{}`", ctx.krate()),
+                    hint: HINT.to_owned(),
+                });
+            }
+        }
+    }
+}
+
+/// Flags raw (non-atomic) result-artifact writes in the campaign and
+/// experiment crates: `fs::write` / `File::create` can leave a torn
+/// file behind when the process dies mid-write, which breaks the
+/// crash-safe resume contract. Library source only (integration tests
+/// legitimately build scratch trees), test modules excluded.
+pub fn rule_raw_result_write(ctx: &FileContext, out: &mut Vec<Finding>) {
+    const HINT: &str = "route the write through h3cdn::persist::atomic_write \
+                        (write-temp-fsync-rename); for non-artifact scratch files add \
+                        `// h3cdn-lint: allow(raw-result-write)` with a justification";
+    if !ctx.in_library_src() {
+        return;
+    }
+    for (idx, line) in ctx.lines().iter().enumerate() {
+        if ctx.is_test_line(idx) {
+            continue;
+        }
+        for needle in ["fs::write(", "File::create("] {
+            if line.contains(needle) {
+                out.push(Finding {
+                    path: ctx.rel().to_owned(),
+                    line: idx + 1,
+                    rule: RULE_RAW_RESULT_WRITE,
+                    message: format!(
+                        "raw result write via `{}` in crate `{}`",
+                        needle.trim_end_matches('('),
+                        ctx.krate()
+                    ),
                     hint: HINT.to_owned(),
                 });
             }

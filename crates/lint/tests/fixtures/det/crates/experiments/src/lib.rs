@@ -1,0 +1,32 @@
+//! Fixture: raw result writes in an artifact-producing crate.
+//! This file is never compiled; it only feeds the scanner.
+
+fn raw_write_hit(path: &std::path::Path, body: &str) {
+    // HIT raw-result-write: torn on SIGKILL mid-write.
+    std::fs::write(path, body).unwrap();
+}
+
+fn file_create_hit(path: &std::path::Path) {
+    // HIT raw-result-write: File::create truncates before writing.
+    let _f = std::fs::File::create(path).unwrap();
+}
+
+fn atomic_is_clean(path: &std::path::Path, body: &[u8]) {
+    // CLEAN: the sanctioned crash-safe path.
+    h3cdn::persist::atomic_write(path, body).unwrap();
+}
+
+fn pragma_escape(path: &std::path::Path) {
+    // CLEAN via pragma: scratch file, not a result artifact.
+    // h3cdn-lint: allow(raw-result-write)
+    std::fs::write(path, "scratch").unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_excluded() {
+        // CLEAN: test modules may write scratch trees freely.
+        std::fs::write("/tmp/scratch", "x").unwrap();
+    }
+}

@@ -64,6 +64,7 @@ const NETSIM: &str = "crates/netsim/src/lib.rs";
 const TRANSPORT: &str = "crates/transport/src/lib.rs";
 const ANALYSIS: &str = "crates/analysis/src/lib.rs";
 const RUNNER: &str = "crates/core/src/runner.rs";
+const EXPERIMENTS: &str = "crates/experiments/src/lib.rs";
 
 #[test]
 fn unordered_iter_hit_clean_and_pragma() {
@@ -162,6 +163,29 @@ fn sans_io_hits_and_error_exception() {
 fn allowlist_suppresses_runner_thread_pool() {
     let f = rule_findings("det");
     assert_clean(&f, RUNNER, "std::thread::scope");
+}
+
+#[test]
+fn raw_result_write_hit_clean_pragma_and_tests() {
+    let f = rule_findings("det");
+    assert_hit(
+        &f,
+        "raw-result-write",
+        EXPERIMENTS,
+        "std::fs::write(path, body)",
+    );
+    assert_hit(
+        &f,
+        "raw-result-write",
+        EXPERIMENTS,
+        "std::fs::File::create(path)",
+    );
+    // The sanctioned atomic path is clean.
+    assert_clean(&f, EXPERIMENTS, "h3cdn::persist::atomic_write");
+    // Pragma escape hatch for scratch files.
+    assert_clean(&f, EXPERIMENTS, "std::fs::write(path, \"scratch\")");
+    // Test modules may write scratch trees freely.
+    assert_clean(&f, EXPERIMENTS, "std::fs::write(\"/tmp/scratch\"");
 }
 
 #[test]
