@@ -1,7 +1,7 @@
 //! The browser client host: resource scheduling, connection pooling,
 //! session resumption, and HAR emission.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use h3cdn_cdn::locedge;
 use h3cdn_har::{EntryTiming, HarEntry, HarPage};
@@ -78,6 +78,13 @@ pub struct PlannedRequest {
 struct ConnState {
     conn: ClientConn,
     domain: DomainId,
+    /// The deadline mirrored into [`ClientHost::timeouts`]; kept equal to
+    /// `conn.next_timeout()` whenever control returns to the engine.
+    armed: Option<SimTime>,
+    /// Pump round this connection was created in. A connection born
+    /// mid-round sits that round out, exactly like the full scan that
+    /// snapshotted the id list at round start.
+    born_round: u64,
 }
 
 #[derive(Debug, Default, Clone)]
@@ -132,6 +139,17 @@ pub struct ClientHost {
     h3_races: BTreeMap<ConnId, SimTime>,
     /// Per-domain re-dial attempts (drives the exponential backoff).
     retry_attempts: BTreeMap<DomainId, u32>,
+    /// Connections with potentially-pending output or events. Transports
+    /// only release packets in response to input (a packet, a fired
+    /// timer, a request), so the pump polls exactly these instead of
+    /// scanning every connection per event.
+    dirty: BTreeSet<ConnId>,
+    /// `(deadline, conn)` pairs mirroring each connection's
+    /// `next_timeout()`, so the per-event wakeup re-arm reads one key
+    /// instead of scanning every connection.
+    timeouts: BTreeSet<(SimTime, ConnId)>,
+    /// Current pump round (see [`ConnState::born_round`]).
+    pump_round: u64,
     /// Fallback/retry counters for the fault-matrix report.
     resilience: ResilienceStats,
 }
@@ -218,6 +236,9 @@ impl ClientHost {
             h3_races: BTreeMap::new(),
             retry_attempts: BTreeMap::new(),
             resilience: ResilienceStats::default(),
+            dirty: BTreeSet::new(),
+            timeouts: BTreeSet::new(),
+            pump_round: 0,
         }
     }
 
@@ -276,10 +297,21 @@ impl ClientHost {
             self.started = true;
             self.dispatch(0, now);
         } else {
-            for st in self.conns.values_mut() {
-                if st.conn.next_timeout().is_some_and(|t| t <= now) {
-                    st.conn.on_timeout(now);
+            // Fire due timers straight off the armed index (time-ordered,
+            // so the walk stops at the first future deadline). Each
+            // `on_timeout` only mutates its own connection, so index
+            // order is as good as the id order of the old full scan.
+            while let Some(&(t, id)) = self.timeouts.first() {
+                if t > now {
+                    break;
                 }
+                self.timeouts.remove(&(t, id));
+                let Some(st) = self.conns.get_mut(&id) else {
+                    continue;
+                };
+                st.armed = None;
+                st.conn.on_timeout(now);
+                self.dirty.insert(id);
             }
         }
         let due: Vec<SimTime> = self.parked.range(..=now).map(|(&t, _)| t).collect();
@@ -307,6 +339,7 @@ impl ClientHost {
         let now = ctx.now();
         if let Some(st) = self.conns.get_mut(&id) {
             st.conn.on_packet(pkt, now);
+            self.dirty.insert(id);
         }
         // Packets for dropped connections (late ACKs after teardown)
         // cannot occur in-visit; ignore defensively.
@@ -318,46 +351,84 @@ impl ClientHost {
         if !self.started {
             return Some(SimTime::ZERO);
         }
-        let conn_deadline = self
-            .conns
-            .values()
-            .filter_map(|st| st.conn.next_timeout())
-            .min();
+        let conn_deadline = self.timeouts.first().map(|&(t, _)| t);
         let parked = self.parked.keys().next().copied();
         let race = self.h3_races.values().min().copied();
         [conn_deadline, parked, race].into_iter().flatten().min()
     }
 
+    /// Polls every dirty connection until the set drains. The cursor walk
+    /// reproduces the order of the old every-connection fixpoint scan:
+    /// each round visits ids ascending, a mark behind the cursor waits
+    /// for the next round, and a connection born mid-round sits the
+    /// round out (the old scan snapshotted the id list at round start).
     fn pump(&mut self, ctx: &mut NodeCtx<'_, WirePacket>) {
         let now = ctx.now();
+        self.pump_round += 1;
+        let mut cursor: Option<ConnId> = None;
         loop {
-            let mut progressed = false;
-            let ids: Vec<ConnId> = self.conns.keys().copied().collect();
-            for id in ids {
-                // Transmit everything ready on this connection.
-                loop {
-                    let st = self.conns.get_mut(&id).expect("listed conn");
-                    let Some(pkt) = st.conn.poll_transmit(now) else {
-                        break;
-                    };
-                    progressed = true;
-                    let size = ByteCount::new(pkt.wire_bytes());
-                    ctx.send(id.server, pkt, size);
+            let Some(id) = self.next_dirty(cursor) else {
+                if self.dirty.is_empty() {
+                    break;
                 }
-                // Handle its events (may dispatch onto other conns).
-                loop {
-                    let st = self.conns.get_mut(&id).expect("listed conn");
-                    let Some(ev) = st.conn.poll_event() else {
-                        break;
-                    };
-                    progressed = true;
-                    self.on_http_event(id, ev, now);
-                }
+                // Round over: connections born this round become
+                // eligible, marks behind the cursor come back around.
+                self.pump_round += 1;
+                cursor = None;
+                continue;
+            };
+            self.dirty.remove(&id);
+            cursor = Some(id);
+            // Transmit everything ready on this connection.
+            while let Some(st) = self.conns.get_mut(&id) {
+                let Some(pkt) = st.conn.poll_transmit(now) else {
+                    break;
+                };
+                let size = ByteCount::new(pkt.wire_bytes());
+                ctx.send(id.server, pkt, size);
             }
-            if !progressed {
-                break;
+            // Handle its events (may dispatch onto other conns, marking
+            // them dirty).
+            while let Some(st) = self.conns.get_mut(&id) {
+                let Some(ev) = st.conn.poll_event() else {
+                    break;
+                };
+                self.on_http_event(id, ev, now);
             }
+            self.refresh_armed(id);
         }
+    }
+
+    /// Smallest dirty connection id after `cursor` that existed when the
+    /// current pump round began.
+    fn next_dirty(&self, cursor: Option<ConnId>) -> Option<ConnId> {
+        use std::ops::Bound;
+        let range = match cursor {
+            Some(c) => self.dirty.range((Bound::Excluded(c), Bound::Unbounded)),
+            None => self.dirty.range(..),
+        };
+        range
+            .copied()
+            .find(|id| self.conns[id].born_round < self.pump_round)
+    }
+
+    /// Re-mirrors `id`'s `next_timeout()` into the wakeup index after the
+    /// connection absorbed input or produced output.
+    fn refresh_armed(&mut self, id: ConnId) {
+        let Some(st) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let fresh = st.conn.next_timeout();
+        if fresh == st.armed {
+            return;
+        }
+        if let Some(old) = st.armed.take() {
+            self.timeouts.remove(&(old, id));
+        }
+        if let Some(t) = fresh {
+            self.timeouts.insert((t, id));
+        }
+        st.armed = fresh;
     }
 
     fn on_http_event(&mut self, conn_id: ConnId, ev: HttpEvent, now: SimTime) {
@@ -609,6 +680,7 @@ impl ClientHost {
                 id: resource.id,
                 header_bytes: resource.request_header_bytes,
             });
+        self.dirty.insert(conn_id);
     }
 
     fn open_conn(&mut self, domain: DomainId, version: HttpVersion, now: SimTime) -> ConnId {
@@ -666,7 +738,16 @@ impl ClientHost {
             self.h3_races.insert(id, now + delay);
         }
         self.pools.entry((domain, version)).or_default().push(id);
-        self.conns.insert(id, ConnState { conn, domain });
+        self.conns.insert(
+            id,
+            ConnState {
+                conn,
+                domain,
+                armed: None,
+                born_round: self.pump_round,
+            },
+        );
+        self.dirty.insert(id);
         id
     }
 

@@ -7,15 +7,15 @@ use h3cdn_transport::WirePacket;
 use crate::client::ClientHost;
 use crate::server::ServerHost;
 
-/// Either side of a visit, as one engine node type. The client carries
-/// far more state than a server, so it is boxed to keep the enum (and
-/// the engine's node vector) small.
+/// Either side of a visit, as one engine node type. Both sides carry
+/// substantial state, so both are boxed to keep the enum (and the
+/// engine's node vector) small.
 #[derive(Debug)]
 pub enum SimHost {
     /// The browser.
     Client(Box<ClientHost>),
     /// One domain's server.
-    Server(ServerHost),
+    Server(Box<ServerHost>),
 }
 
 impl SimHost {

@@ -1,7 +1,7 @@
 //! The server side of a visit: one node per domain, accepting TCP and
 //! QUIC connections and answering from its catalog.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use h3cdn_http::server::{accept, ServerConn};
@@ -23,6 +23,15 @@ pub struct ServerHost {
     /// Surcharge applied to QUIC-served (H3) requests.
     h3_extra_processing: SimDuration,
     conns: BTreeMap<ConnId, ServerConn>,
+    /// Connections with potentially-pending output (fed a packet or a
+    /// fired timer since last drained). The pump polls exactly these.
+    dirty: BTreeSet<ConnId>,
+    /// `(deadline, conn)` pairs mirroring each connection's
+    /// `next_timeout()` — the wakeup re-arm reads one key instead of
+    /// scanning every connection.
+    timeouts: BTreeSet<(SimTime, ConnId)>,
+    /// The deadline currently indexed per connection.
+    armed: BTreeMap<ConnId, SimTime>,
 }
 
 impl ServerHost {
@@ -39,6 +48,9 @@ impl ServerHost {
             quic_config,
             h3_extra_processing,
             conns: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            timeouts: BTreeSet::new(),
+            armed: BTreeMap::new(),
         }
     }
 
@@ -76,34 +88,65 @@ impl ServerHost {
             .get_mut(&id)
             .expect("connection just ensured")
             .on_packet(pkt, now);
+        self.dirty.insert(id);
         self.pump(ctx);
     }
 
     /// Fires due timers across connections.
     pub fn on_wakeup(&mut self, ctx: &mut NodeCtx<'_, WirePacket>) {
         let now = ctx.now();
-        for conn in self.conns.values_mut() {
-            if conn.next_timeout().is_some_and(|t| t <= now) {
-                conn.on_timeout(now);
+        // Walk the time-ordered index instead of scanning every conn;
+        // `on_timeout` only mutates its own connection, so index order is
+        // as good as the id order of the old scan.
+        while let Some(&(t, id)) = self.timeouts.first() {
+            if t > now {
+                break;
             }
+            self.timeouts.remove(&(t, id));
+            self.armed.remove(&id);
+            let Some(conn) = self.conns.get_mut(&id) else {
+                continue;
+            };
+            conn.on_timeout(now);
+            self.dirty.insert(id);
         }
         self.pump(ctx);
     }
 
     /// Earliest timer across connections.
     pub fn next_wakeup(&self) -> Option<SimTime> {
-        self.conns
-            .values()
-            .filter_map(ServerConn::next_timeout)
-            .min()
+        self.timeouts.first().map(|&(t, _)| t)
     }
 
     fn pump(&mut self, ctx: &mut NodeCtx<'_, WirePacket>) {
         let now = ctx.now();
-        for (id, conn) in self.conns.iter_mut() {
+        // A cooked response whose ready time has passed is released by
+        // `poll_transmit` regardless of which event woke the node, so
+        // every conn at-or-past its deadline must be polled too, not
+        // just the ones fed input by this event.
+        for &(t, id) in &self.timeouts {
+            if t > now {
+                break;
+            }
+            self.dirty.insert(id);
+        }
+        while let Some(id) = self.dirty.pop_first() {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                continue;
+            };
             while let Some(pkt) = conn.poll_transmit(now) {
                 let size = ByteCount::new(pkt.wire_bytes());
                 ctx.send(id.client, pkt, size);
+            }
+            let fresh = conn.next_timeout();
+            if fresh != self.armed.get(&id).copied() {
+                if let Some(old) = self.armed.remove(&id) {
+                    self.timeouts.remove(&(old, id));
+                }
+                if let Some(t) = fresh {
+                    self.timeouts.insert((t, id));
+                    self.armed.insert(id, t);
+                }
             }
         }
     }

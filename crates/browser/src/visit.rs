@@ -87,6 +87,10 @@ pub struct VisitStats {
     /// Packets consumed by injected faults (blackouts, UDP blackholes,
     /// loss bursts, collapsed-link overflows).
     pub packets_fault_dropped: u64,
+    /// Simulator events dispatched by the engine during the visit
+    /// (arrivals + wakeups) — the denominator of the `sim_throughput`
+    /// bench's events/sec metric.
+    pub sim_events: u64,
 }
 
 /// Wall-clock cap per visit; hitting it means the simulation wedged.
@@ -298,12 +302,12 @@ fn run_visit(
             cc: cfg.cc,
             ..QuicConfig::default()
         };
-        hosts.push(SimHost::Server(ServerHost::new(
+        hosts.push(SimHost::Server(Box::new(ServerHost::new(
             catalogs.remove(&d).unwrap_or_default().into_shared(),
             tcp,
             quic,
             cfg.h3_extra_processing,
-        )));
+        ))));
     }
 
     // 5. Run to quiescence.
@@ -315,11 +319,13 @@ fn run_visit(
         engine.set_tracer(t);
     }
     let run = engine.run_until_checked(SimTime::ZERO + VISIT_DEADLINE);
+    let sim_events = engine.events_dispatched();
     let (net, hosts) = engine.into_parts();
     let stats = VisitStats {
         packets_delivered: net.delivered(),
         packets_lost: net.lost(),
         packets_fault_dropped: net.fault_dropped(),
+        sim_events,
     };
     let client = hosts
         .into_iter()

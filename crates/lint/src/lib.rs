@@ -25,6 +25,11 @@
 //!   `h3cdn::persist::atomic_write` (write-temp-fsync-rename), never
 //!   raw `std::fs::write` / `File::create` — a killed process must not
 //!   leave torn results or journals behind.
+//! * **hot-path allocation** — [`RULE_HOT_PATH_ALLOC`]: the files on
+//!   the per-event dispatch path ([`HOT_PATH_FILES`]) must not
+//!   allocate in steady state (`Vec::new`, `vec![]`, `.clone()`,
+//!   `format!`, ...); buffers are pooled or swapped through scratch
+//!   space instead. Cold construction paths opt out with a pragma.
 //!
 //! Individual lines can opt out with a pragma comment, either on the
 //! offending line or on the line directly above it:
@@ -66,6 +71,8 @@ pub const RULE_FLOAT_CMP: &str = "float-cmp";
 pub const RULE_NAN_SORT: &str = "nan-sort";
 /// Rule id: raw (non-atomic) write of a result artifact.
 pub const RULE_RAW_RESULT_WRITE: &str = "raw-result-write";
+/// Rule id: heap allocation on the simulator per-event hot path.
+pub const RULE_HOT_PATH_ALLOC: &str = "hot-path-alloc";
 
 /// Crates (by `crates/<dir>` name) whose code affects simulation
 /// results and therefore must be free of nondeterminism sources.
@@ -107,6 +114,16 @@ pub const FLOAT_CRATES: &[&str] = &["analysis"];
 /// through `h3cdn::persist::atomic_write` (the crash-safe path) rather
 /// than raw `std::fs::write` / `File::create`.
 pub const RESULT_WRITE_CRATES: &[&str] = &["core", "experiments"];
+
+/// Files on the simulator's per-event hot path: every dispatched event
+/// runs through these, so one stray allocation multiplies into
+/// millions of allocator calls per campaign. Steady-state code here
+/// must reuse pooled/scratch buffers; only cold construction paths may
+/// allocate (with a pragma).
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/netsim/src/engine.rs",
+    "crates/sim-core/src/event.rs",
+];
 
 /// Explicit allowlist: `(path suffix, rule id, reason)`. Findings of
 /// `rule` in files whose workspace-relative path ends with the suffix
@@ -286,6 +303,9 @@ fn rules_for_file(ctx: &scan::FileContext, out: &mut Vec<Finding>) {
     }
     if RESULT_WRITE_CRATES.contains(&krate) {
         scan::rule_raw_result_write(ctx, out);
+    }
+    if HOT_PATH_FILES.contains(&ctx.rel()) {
+        scan::rule_hot_path_alloc(ctx, out);
     }
 }
 

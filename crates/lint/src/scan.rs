@@ -2,8 +2,8 @@
 //! and the individual rule implementations.
 
 use crate::{
-    Finding, RULE_AMBIENT_RNG, RULE_ENV_READ, RULE_FLOAT_CMP, RULE_NAN_SORT, RULE_RAW_RESULT_WRITE,
-    RULE_SANS_IO, RULE_UNORDERED_ITER, RULE_WALL_CLOCK,
+    Finding, RULE_AMBIENT_RNG, RULE_ENV_READ, RULE_FLOAT_CMP, RULE_HOT_PATH_ALLOC, RULE_NAN_SORT,
+    RULE_RAW_RESULT_WRITE, RULE_SANS_IO, RULE_UNORDERED_ITER, RULE_WALL_CLOCK,
 };
 
 /// Marker introducing a suppression pragma inside a comment.
@@ -709,6 +709,54 @@ pub fn rule_raw_result_write(ctx: &FileContext, out: &mut Vec<Finding>) {
                         ctx.krate()
                     ),
                     hint: HINT.to_owned(),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: hot-path-alloc
+// ---------------------------------------------------------------------------
+
+/// Allocation constructs banned on the per-event hot path. Needles are
+/// matched against stripped source, so occurrences in comments or
+/// string literals never fire.
+const ALLOC_NEEDLES: &[&str] = &[
+    "Vec::new(",
+    "vec![",
+    "Box::new(",
+    ".to_vec(",
+    ".clone()",
+    "String::new(",
+    ".to_owned(",
+    ".to_string(",
+    "format!(",
+];
+
+/// Flags heap allocation in the files on the simulator's per-event hot
+/// path (see [`crate::HOT_PATH_FILES`]). Steady-state dispatch code
+/// must recycle buffers through scratch space or pools; construction
+/// paths, which legitimately allocate once, opt out with a pragma.
+pub fn rule_hot_path_alloc(ctx: &FileContext, out: &mut Vec<Finding>) {
+    for (idx, line) in ctx.lines().iter().enumerate() {
+        if ctx.is_test_line(idx) {
+            continue;
+        }
+        for needle in ALLOC_NEEDLES {
+            if line.contains(needle) {
+                out.push(Finding {
+                    path: ctx.rel().to_owned(),
+                    line: idx + 1,
+                    rule: RULE_HOT_PATH_ALLOC,
+                    message: format!(
+                        "allocation via `{}` on the simulator hot path",
+                        needle.trim_end_matches('(')
+                    ),
+                    hint: "reuse a pooled/scratch buffer (swap-and-drain) instead of \
+                           allocating per event; for one-time construction paths add \
+                           `// h3cdn-lint: allow(hot-path-alloc)`"
+                        .to_owned(),
                 });
             }
         }

@@ -65,6 +65,7 @@ const TRANSPORT: &str = "crates/transport/src/lib.rs";
 const ANALYSIS: &str = "crates/analysis/src/lib.rs";
 const RUNNER: &str = "crates/core/src/runner.rs";
 const EXPERIMENTS: &str = "crates/experiments/src/lib.rs";
+const ENGINE: &str = "crates/netsim/src/engine.rs";
 
 #[test]
 fn unordered_iter_hit_clean_and_pragma() {
@@ -244,4 +245,29 @@ fn stale_baseline_demands_regeneration() {
     let f = &report.findings[0];
     assert_eq!(f.rule, "baseline-stale");
     assert!(f.hint.contains("--update-baseline"), "{}", f.hint);
+}
+
+#[test]
+fn hot_path_alloc_hit_clean_and_pragma() {
+    let f = rule_findings("det");
+    // Every allocation idiom on the hot path is flagged.
+    assert_hit(
+        &f,
+        "hot-path-alloc",
+        ENGINE,
+        "let buf: Vec<u8> = Vec::new();",
+    );
+    assert_hit(&f, "hot-path-alloc", ENGINE, "let tmp = vec![0u8; 16];");
+    assert_hit(&f, "hot-path-alloc", ENGINE, "frames.to_vec()");
+    assert_hit(&f, "hot-path-alloc", ENGINE, "Box::new(copied.len())");
+    assert_hit(&f, "hot-path-alloc", ENGINE, "tmp.clone()");
+    // Pragma exempts one-time construction.
+    assert_clean(&f, ENGINE, "scratch: Vec::new(),");
+    assert_clean(&f, ENGINE, "pool: vec![Vec::with_capacity(64)],");
+    // Swap-and-drain reuse is clean.
+    assert_clean(&f, ENGINE, "std::mem::take(&mut self.scratch)");
+    // Test modules may allocate freely.
+    assert_clean(&f, ENGINE, "let freely = vec![1, 2, 3];");
+    // Files off the hot-path allowlist are never flagged.
+    assert_clean(&f, NETSIM, "Vec::new()");
 }

@@ -1,7 +1,7 @@
 //! The deterministic event loop that drives [`Node`]s over a [`Network`].
 
 use h3cdn_sim_core::units::ByteCount;
-use h3cdn_sim_core::{EventQueue, SimTime};
+use h3cdn_sim_core::{EventQueue, QueueStats, SimTime};
 
 use crate::network::Network;
 use crate::node::{Node, NodeCtx, NodeId, Outgoing};
@@ -114,7 +114,14 @@ pub struct Engine<N: Node> {
     now: SimTime,
     timer_gen: Vec<u64>,
     last_armed: Vec<Option<SimTime>>,
+    /// Deadline of the live (non-stale, not yet fired) wakeup per node,
+    /// if one is in the queue. A re-arm that recomputes the same deadline
+    /// is a no-op instead of a schedule + stale-entry churn.
+    pending_wakeup: Vec<Option<SimTime>>,
     outbox: Vec<Outgoing<N::Packet>>,
+    /// Spare buffer swapped with `outbox` while draining it, so the
+    /// per-event flush allocates nothing in steady state.
+    outbox_scratch: Vec<Outgoing<N::Packet>>,
     events_dispatched: u64,
     event_budget: u64,
     tracer: Option<Tracer<N::Packet>>,
@@ -161,9 +168,17 @@ impl<N: Node> Engine<N> {
             nodes,
             queue: EventQueue::new(),
             now: SimTime::ZERO,
+            // One-time construction; steady state never reallocates.
+            // h3cdn-lint: allow(hot-path-alloc)
             timer_gen: vec![0; n],
+            // h3cdn-lint: allow(hot-path-alloc)
             last_armed: vec![None; n],
+            // h3cdn-lint: allow(hot-path-alloc)
+            pending_wakeup: vec![None; n],
+            // h3cdn-lint: allow(hot-path-alloc)
             outbox: Vec::new(),
+            // h3cdn-lint: allow(hot-path-alloc)
+            outbox_scratch: Vec::new(),
             events_dispatched: 0,
             event_budget: DEFAULT_EVENT_BUDGET,
             tracer: None,
@@ -286,13 +301,23 @@ impl<N: Node> Engine<N> {
     }
 
     fn run_inner(&mut self, deadline: SimTime, check_stalls: bool) -> Result<SimTime, StallReport> {
+        // Monomorphize the dispatch loop over "is a tracer installed", so
+        // the untraced hot path carries no per-packet branch or dynamic
+        // call for the (almost always absent) tracer.
+        if self.tracer.is_some() {
+            self.run_inner_impl::<true>(deadline, check_stalls)
+        } else {
+            self.run_inner_impl::<false>(deadline, check_stalls)
+        }
+    }
+
+    fn run_inner_impl<const TRACED: bool>(
+        &mut self,
+        deadline: SimTime,
+        check_stalls: bool,
+    ) -> Result<SimTime, StallReport> {
         self.arm_all();
-        while let Some(at) = self.queue.peek_time() {
-            if at > deadline {
-                self.now = deadline;
-                return Ok(self.now);
-            }
-            let (at, ev) = self.queue.pop().expect("peeked event present");
+        while let Some((at, ev)) = self.queue.pop_at_or_before(deadline) {
             self.now = at;
             self.events_dispatched += 1;
             if self.events_dispatched > self.event_budget {
@@ -304,19 +329,25 @@ impl<N: Node> Engine<N> {
                 Ev::Arrival { src, dst, packet } => {
                     let mut ctx = NodeCtx::new(self.now, dst, Some(src), &mut self.outbox);
                     self.nodes[dst.index()].handle_packet(packet, &mut ctx);
-                    self.flush_outbox(dst);
+                    self.flush_outbox_impl::<TRACED>(dst);
                     self.rearm(dst);
                 }
                 Ev::Wakeup { node, gen } => {
                     if gen != self.timer_gen[node.index()] {
                         continue; // stale timer superseded by a re-arm
                     }
+                    self.pending_wakeup[node.index()] = None;
                     let mut ctx = NodeCtx::new(self.now, node, None, &mut self.outbox);
                     self.nodes[node.index()].handle_wakeup(&mut ctx);
-                    self.flush_outbox(node);
+                    self.flush_outbox_impl::<TRACED>(node);
                     self.rearm(node);
                 }
             }
+        }
+        if !self.queue.is_empty() {
+            // The next event is beyond the deadline: a normal stop.
+            self.now = deadline;
+            return Ok(self.now);
         }
         if check_stalls {
             let report = self.stall_report(StallReason::AllStalled);
@@ -352,6 +383,12 @@ impl<N: Node> Engine<N> {
         self.events_dispatched
     }
 
+    /// Occupancy counters of the pending-event queue, for watchdog
+    /// diagnostics (tracked by the queue, not recomputed here).
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
     /// Consumes the engine, returning the network and nodes for
     /// post-run inspection.
     pub fn into_parts(self) -> (Network, Vec<N>) {
@@ -365,24 +402,37 @@ impl<N: Node> Engine<N> {
     }
 
     fn flush_outbox(&mut self, src: NodeId) {
-        // Take the buffer out first: routing borrows the network mutably
-        // and scheduling borrows the queue. Order must be preserved —
-        // delivering a burst in reverse would look like network
-        // reordering and trigger spurious fast retransmits.
-        let outgoing = std::mem::take(&mut self.outbox);
-        for out in outgoing {
+        if self.tracer.is_some() {
+            self.flush_outbox_impl::<true>(src);
+        } else {
+            self.flush_outbox_impl::<false>(src);
+        }
+    }
+
+    fn flush_outbox_impl<const TRACED: bool>(&mut self, src: NodeId) {
+        // Swap the outbox with a spare buffer first: routing borrows the
+        // network mutably and scheduling borrows the queue. The spare is
+        // swapped back after the drain, so steady-state flushes allocate
+        // nothing. Order must be preserved — delivering a burst in
+        // reverse would look like network reordering and trigger spurious
+        // fast retransmits.
+        let mut outgoing = std::mem::take(&mut self.outbox_scratch);
+        std::mem::swap(&mut self.outbox, &mut outgoing);
+        for out in outgoing.drain(..) {
             let class = N::classify(&out.packet);
             let delivery = self
                 .net
                 .route_classified(src, out.dst, out.wire_size, class, self.now);
-            if let Some(tracer) = self.tracer.as_mut() {
-                tracer(TraceRecord {
-                    src,
-                    dst: out.dst,
-                    sent_at: self.now,
-                    delivery,
-                    packet: &out.packet,
-                });
+            if TRACED {
+                if let Some(tracer) = self.tracer.as_mut() {
+                    tracer(TraceRecord {
+                        src,
+                        dst: out.dst,
+                        sent_at: self.now,
+                        delivery,
+                        packet: &out.packet,
+                    });
+                }
             }
             if let Some(at) = delivery {
                 self.queue.schedule(
@@ -395,17 +445,34 @@ impl<N: Node> Engine<N> {
                 );
             }
         }
+        self.outbox_scratch = outgoing;
     }
 
     fn rearm(&mut self, id: NodeId) {
-        self.timer_gen[id.index()] += 1;
-        if let Some(deadline) = self.nodes[id.index()].next_wakeup() {
-            let gen = self.timer_gen[id.index()];
-            if let Some(slot) = self.last_armed.get_mut(id.index()) {
-                *slot = Some(deadline.max(self.now));
-            }
-            self.queue
-                .schedule(deadline.max(self.now), Ev::Wakeup { node: id, gen });
+        let i = id.index();
+        let Some(deadline) = self.nodes[i].next_wakeup() else {
+            // No deadline: invalidate whatever wakeup may be pending.
+            self.timer_gen[i] += 1;
+            self.pending_wakeup[i] = None;
+            return;
+        };
+        let at = deadline.max(self.now);
+        if self.pending_wakeup[i] == Some(at) {
+            // The live wakeup already fires at this deadline; scheduling
+            // a fresh one would only add a stale entry to the queue.
+            return;
+        }
+        self.timer_gen[i] += 1;
+        let gen = self.timer_gen[i];
+        self.last_armed[i] = Some(at);
+        self.pending_wakeup[i] = Some(at);
+        let ev = Ev::Wakeup { node: id, gen };
+        if at == self.now {
+            // Immediate re-arms are the common case (a node with work
+            // pending right now); skip the wheel's level selection.
+            self.queue.schedule_now(at, ev);
+        } else {
+            self.queue.schedule(at, ev);
         }
     }
 }

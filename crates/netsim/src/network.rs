@@ -1,7 +1,5 @@
 //! The network fabric: nodes, access links, and directed paths.
 
-use std::collections::HashMap;
-
 use h3cdn_sim_core::units::{ByteCount, DataRate};
 use h3cdn_sim_core::{SimRng, SimTime};
 
@@ -20,12 +18,19 @@ const DEFAULT_QUEUE_CAPACITY: ByteCount = ByteCount::new(768 * 1500);
 ///
 /// Owns no protocol state — only delays, rates, queues and loss processes.
 /// The [`Engine`](crate::Engine) asks it where and when each packet lands.
+///
+/// Node ids are small sequential `u32`s, so the per-pair path and fault
+/// state lives in dense `src * node_count + dst` tables rather than hash
+/// maps — the per-packet route path does two array reads instead of two
+/// `(NodeId, NodeId)` hashes.
 #[derive(Debug)]
 pub struct Network {
     rng: SimRng,
     nodes: Vec<AccessLinks>,
-    paths: HashMap<(NodeId, NodeId), Path>,
-    faults: HashMap<(NodeId, NodeId), FaultState>,
+    /// Dense `src.index() * nodes.len() + dst.index()` table.
+    paths: Vec<Option<Path>>,
+    /// Dense table, same indexing as `paths`.
+    faults: Vec<Option<FaultState>>,
     default_spec: PathSpec,
     delivered: u64,
     lost: u64,
@@ -36,6 +41,21 @@ pub struct Network {
 struct AccessLinks {
     egress: Option<Serializer>,
     ingress: Option<Serializer>,
+}
+
+/// Grows a dense `old × old` pair table to `(old + 1) × (old + 1)`,
+/// keeping every existing `(src, dst)` entry at its new index.
+fn restride<T>(table: &mut Vec<Option<T>>, old: usize) {
+    let new = old + 1;
+    let mut wider = Vec::with_capacity(new * new);
+    if old > 0 {
+        for row in table.chunks_mut(old) {
+            wider.extend(row.iter_mut().map(Option::take));
+            wider.push(None);
+        }
+    }
+    wider.resize_with(new * new, || None);
+    *table = wider;
 }
 
 #[derive(Debug)]
@@ -52,8 +72,8 @@ impl Network {
         Network {
             rng: SimRng::seed_from(seed).fork(0x6e65_7477), // "netw"
             nodes: Vec::new(),
-            paths: HashMap::new(),
-            faults: HashMap::new(),
+            paths: Vec::new(),
+            faults: Vec::new(),
             default_spec: PathSpec::default(),
             delivered: 0,
             lost: 0,
@@ -64,8 +84,20 @@ impl Network {
     /// Adds a node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
+        let old = self.nodes.len();
         self.nodes.push(AccessLinks::default());
+        // Re-stride the dense pair tables from `old` to `old + 1` columns.
+        // Nodes are added up front (before any path is set) in every
+        // driver, so the moves below are almost always over empty tables.
+        restride(&mut self.paths, old);
+        restride(&mut self.faults, old);
         id
+    }
+
+    /// Index into the dense pair tables.
+    #[inline]
+    fn pair(&self, src: NodeId, dst: NodeId) -> usize {
+        src.index() * self.nodes.len() + dst.index()
     }
 
     /// Number of nodes.
@@ -97,15 +129,13 @@ impl Network {
         let jitter_rng = self
             .rng
             .fork(0x4A17 ^ (((src.index() as u64) << 32) | dst.index() as u64));
-        self.paths.insert(
-            (src, dst),
-            Path {
-                spec,
-                serializer,
-                loss,
-                jitter_rng,
-            },
-        );
+        let idx = self.pair(src, dst);
+        self.paths[idx] = Some(Path {
+            spec,
+            serializer,
+            loss,
+            jitter_rng,
+        });
     }
 
     /// Sets the same spec in both directions.
@@ -125,14 +155,15 @@ impl Network {
     /// network's seed keyed by `(src, dst)`, so equal seeds replay
     /// identically.
     pub fn set_fault_plan(&mut self, src: NodeId, dst: NodeId, plan: FaultPlan) {
+        let idx = self.pair(src, dst);
         if plan.is_empty() {
-            self.faults.remove(&(src, dst));
+            self.faults[idx] = None;
             return;
         }
         let rng = self
             .rng
             .fork(0xFA17 ^ (((src.index() as u64) << 32) | dst.index() as u64));
-        self.faults.insert((src, dst), FaultState::new(plan, &rng));
+        self.faults[idx] = Some(FaultState::new(plan, &rng));
     }
 
     /// Attaches the same fault plan in both directions.
@@ -148,8 +179,8 @@ impl Network {
 
     /// Returns the spec of the path `src → dst` (explicit or default).
     pub fn path_spec(&self, src: NodeId, dst: NodeId) -> PathSpec {
-        self.paths
-            .get(&(src, dst))
+        self.paths[self.pair(src, dst)]
+            .as_ref()
             .map_or(self.default_spec, |p| p.spec)
     }
 
@@ -223,7 +254,8 @@ impl Network {
             None => now,
         };
 
-        let depart = match self.faults.get_mut(&(src, dst)) {
+        let idx = self.pair(src, dst);
+        let depart = match self.faults[idx].as_mut() {
             Some(fault) => match fault.apply(class, depart, size) {
                 FaultOutcome::Deliver(t) => t,
                 FaultOutcome::Drop => {
@@ -236,11 +268,11 @@ impl Network {
         };
 
         // Lazily create the path so its loss process has a stable stream.
-        if !self.paths.contains_key(&(src, dst)) {
+        if self.paths[idx].is_none() {
             let spec = self.default_spec;
             self.set_path(src, dst, spec);
         }
-        let path = self.paths.get_mut(&(src, dst)).expect("path just ensured");
+        let path = self.paths[idx].as_mut().expect("path just ensured");
 
         if path.loss.should_drop() {
             self.lost += 1;

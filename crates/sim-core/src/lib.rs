@@ -32,6 +32,8 @@ pub mod rng;
 pub mod time;
 pub mod units;
 
-pub use event::EventQueue;
+#[cfg(feature = "legacy-queue")]
+pub use event::LegacyEventQueue;
+pub use event::{EventQueue, QueueStats};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,131 @@
+//! Differential test: the timer-wheel [`EventQueue`] against the legacy
+//! [`LegacyEventQueue`] `BinaryHeap` oracle.
+//!
+//! The oracle is the simplest possible embodiment of the `(time, seq)`
+//! stability contract. Any divergence in pop order — including among
+//! same-instant FIFO ties and far-future overflow times — is a
+//! determinism bug: experiment reruns would stop being bit-identical.
+
+use h3cdn_sim_core::{EventQueue, LegacyEventQueue, SimTime};
+use proptest::prelude::*;
+
+/// Time offsets chosen to land in every wheel region: the cursor slot,
+/// other level-0 slots, level-1 slots, past the ≈4.3 s level-1 window
+/// (overflow), and the `SimTime::MAX` sentinel.
+const OFFSETS: &[u64] = &[
+    0,               // exact tie with the current instant
+    1,               // same L0 slot
+    70_000,          // next L0 slot (slot width 2^16 ns)
+    1 << 20,         // a later L0 slot
+    20_000_000,      // next L1 slot (slot width 2^24 ns)
+    1 << 30,         // ~1 s: far L1 slot
+    5_000_000_000,   // past the L1 window: overflow
+    300_000_000_000, // visit-deadline scale: deep overflow
+    u64::MAX,        // SimTime::MAX sentinel
+];
+
+/// Replays one random interleaving on both queues: `(true, o)` schedules
+/// an event at `last_popped + OFFSETS[o]`, `(false, _)` pops from both
+/// and compares. Panics on any divergence.
+fn run_interleaving(steps: &[(bool, u8)]) {
+    let mut wheel = EventQueue::new();
+    let mut oracle = LegacyEventQueue::new();
+    let mut now = 0u64; // time of the last popped event
+    let mut id = 0u32;
+    for &(schedule, o) in steps {
+        if schedule {
+            let offset = OFFSETS[o as usize % OFFSETS.len()];
+            let at = SimTime::from_nanos(now.saturating_add(offset));
+            if offset == 0 {
+                // Exercise the dedicated fast path for "schedule at the
+                // instant being dispatched".
+                wheel.schedule_now(at, id);
+            } else {
+                wheel.schedule(at, id);
+            }
+            oracle.schedule(at, id);
+            id += 1;
+        } else {
+            prop_assert_eq!(wheel.peek_time(), oracle.peek_time());
+            let expected = oracle.pop();
+            let got = wheel.pop();
+            prop_assert_eq!(got, expected);
+            if let Some((t, _)) = got {
+                now = t.as_nanos();
+            }
+        }
+        prop_assert_eq!(wheel.len(), oracle.len());
+        prop_assert_eq!(wheel.is_empty(), oracle.is_empty());
+    }
+    // Drain both queues: the tails must agree event-for-event too.
+    loop {
+        let expected = oracle.pop();
+        prop_assert_eq!(wheel.pop(), expected);
+        if expected.is_none() {
+            break;
+        }
+    }
+}
+
+proptest! {
+    /// Random schedule/pop interleavings across every wheel region pop in
+    /// identical order on the wheel and the heap oracle.
+    #[test]
+    fn wheel_matches_heap_on_random_interleavings(
+        steps in prop::collection::vec((prop::bool::ANY, 0u8..255), 1..400),
+    ) {
+        run_interleaving(&steps);
+    }
+
+    /// Same-instant bursts (the engine's common case: a node emits several
+    /// packets while handling one event) stay FIFO.
+    #[test]
+    fn same_instant_bursts_stay_fifo(
+        burst_sizes in prop::collection::vec(1usize..20, 1..30),
+        gap_ns in 0u64..100_000_000,
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut oracle = LegacyEventQueue::new();
+        let mut id = 0u32;
+        let mut t = 0u64;
+        for &n in &burst_sizes {
+            for _ in 0..n {
+                wheel.schedule(SimTime::from_nanos(t), id);
+                oracle.schedule(SimTime::from_nanos(t), id);
+                id += 1;
+            }
+            t = t.saturating_add(gap_ns);
+        }
+        while let Some(expected) = oracle.pop() {
+            prop_assert_eq!(wheel.pop(), Some(expected));
+        }
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// `pop_at_or_before` agrees with the oracle's peek-then-pop protocol
+    /// for arbitrary deadlines.
+    #[test]
+    fn pop_at_or_before_matches_peek_then_pop(
+        times in prop::collection::vec(0u8..255, 1..100),
+        deadlines in prop::collection::vec(0u8..255, 1..150),
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut oracle = LegacyEventQueue::new();
+        for (i, &o) in times.iter().enumerate() {
+            let at = SimTime::from_nanos(OFFSETS[o as usize % OFFSETS.len()]);
+            wheel.schedule(at, i);
+            oracle.schedule(at, i);
+        }
+        for &d in &deadlines {
+            // Bias deadlines onto the same scale as the scheduled times.
+            let deadline = SimTime::from_nanos(
+                OFFSETS[d as usize % OFFSETS.len()].saturating_add(u64::from(d)),
+            );
+            let expected = match oracle.peek_time() {
+                Some(t) if t <= deadline => oracle.pop(),
+                _ => None,
+            };
+            prop_assert_eq!(wheel.pop_at_or_before(deadline), expected);
+        }
+    }
+}

@@ -156,6 +156,8 @@ struct SentPacket {
 const PACKET_THRESHOLD: u64 = 3;
 /// Maximum ACK ranges carried per ACK frame.
 const MAX_ACK_RANGES: usize = 32;
+/// Cap on recycled buffers kept per connection (frame and rtx pools).
+const POOL_CAP: usize = 32;
 
 /// A sans-IO QUIC connection endpoint (one side).
 #[derive(Debug)]
@@ -232,6 +234,17 @@ pub struct QuicConnection {
 
     events: VecDeque<QuicEvent>,
     retransmit_count: u64,
+
+    /// Recycled `QuicPacket::frames` buffers: consumed incoming packets
+    /// donate theirs, so steady-state sends allocate nothing.
+    frame_pool: Vec<Vec<Frame>>,
+    /// Recycled retransmission-info buffers (freed when a tracked packet
+    /// is acked, declared lost, or probed).
+    rtx_pool: Vec<Vec<RtxInfo>>,
+    /// Scratch for the round-robin stream ids in `poll_transmit`.
+    rr_scratch: Vec<u64>,
+    /// Scratch for acked / lost packet numbers.
+    pn_scratch: Vec<u64>,
 }
 
 impl QuicConnection {
@@ -309,6 +322,10 @@ impl QuicConnection {
             need_max_stream_data: std::collections::BTreeSet::new(),
             events: VecDeque::new(),
             retransmit_count: 0,
+            frame_pool: Vec::new(),
+            rtx_pool: Vec::new(),
+            rr_scratch: Vec::new(),
+            pn_scratch: Vec::new(),
         }
     }
 
@@ -524,7 +541,8 @@ impl QuicConnection {
                 self.ack_timer = Some(now + self.config.max_ack_delay);
             }
         }
-        for frame in pkt.frames {
+        let mut frames = pkt.frames;
+        for frame in frames.drain(..) {
             match frame {
                 Frame::Stream {
                     id,
@@ -545,6 +563,10 @@ impl QuicConnection {
                 }
             }
         }
+        // The consumed packet donates its frame buffer to the send path.
+        if self.frame_pool.len() < POOL_CAP {
+            self.frame_pool.push(frames);
+        }
     }
 
     /// Produces the next packet to send, or `None` when idle. Call
@@ -553,9 +575,9 @@ impl QuicConnection {
         if self.closed.is_some() {
             return None;
         }
-        let mut frames: Vec<Frame> = Vec::new();
+        let mut frames: Vec<Frame> = self.frame_pool.pop().unwrap_or_default();
         let mut budget = MAX_PAYLOAD;
-        let mut rtx_info: Vec<RtxInfo> = Vec::new();
+        let mut rtx_info: Vec<RtxInfo> = self.rtx_pool.pop().unwrap_or_default();
         let mut stream_payload = 0u64;
 
         if self.ack_pending {
@@ -626,32 +648,36 @@ impl QuicConnection {
         if self.ready_to_send {
             let fc_room = self.peer_max_data.saturating_sub(self.data_sent);
             let mut app_room = data_room.min(fc_room);
-            let pending: Vec<u64> = self
-                .send_streams
-                .iter()
-                .filter(|(&id, s)| id != CRYPTO_STREAM && s.has_pending())
-                .map(|(&id, _)| id)
-                .collect();
             // Strict priority across classes, round-robin within the
-            // top class.
-            let top = pending
-                .iter()
-                .map(|id| self.stream_priorities.get(id).copied().unwrap_or(1))
-                .min();
-            let ids: Vec<u64> = pending
-                .into_iter()
-                .filter(|id| {
-                    self.stream_priorities.get(id).copied().unwrap_or(1) == top.unwrap_or(1)
-                })
-                .collect();
+            // top class. First pass: the top (minimum) class among
+            // streams with pending data.
+            let mut top: Option<u8> = None;
+            for (&id, s) in &self.send_streams {
+                if id != CRYPTO_STREAM && s.has_pending() {
+                    let prio = self.stream_priorities.get(&id).copied().unwrap_or(1);
+                    top = Some(top.map_or(prio, |t| t.min(prio)));
+                }
+            }
+            // Second pass: the top class's stream ids (ascending, the
+            // map's order) and their total backlog, into a reused buffer.
+            let mut ids = std::mem::take(&mut self.rr_scratch);
+            ids.clear();
+            let mut total_pending = 0u64;
+            if let Some(top) = top {
+                for (&id, s) in &self.send_streams {
+                    if id != CRYPTO_STREAM
+                        && s.has_pending()
+                        && self.stream_priorities.get(&id).copied().unwrap_or(1) == top
+                    {
+                        ids.push(id);
+                        total_pending += s.pending_bytes();
+                    }
+                }
+            }
             // Anti-amplification of tiny packets (the TCP world's
             // silly-window avoidance): when congestion-limited, wait for
             // ACKs instead of emitting sliver packets — unless what is
             // left genuinely is a sliver.
-            let total_pending: u64 = ids
-                .iter()
-                .map(|id| self.send_streams[id].pending_bytes())
-                .sum();
             if !bypass && app_room < total_pending.min(MAX_PAYLOAD) {
                 app_room = 0;
             }
@@ -689,9 +715,13 @@ impl QuicConnection {
                     visited += 1;
                 }
             }
+            self.rr_scratch = ids;
         }
 
         if frames.is_empty() {
+            // Keep both (still empty) buffers for the next call.
+            self.frame_pool.push(frames);
+            self.rtx_pool.push(rtx_info);
             return None;
         }
         let pn = self.next_pn;
@@ -725,6 +755,8 @@ impl QuicConnection {
             if bypass {
                 self.rtx_credit -= 1;
             }
+        } else {
+            self.reclaim_rtx(rtx_info);
         }
         Some(pkt)
     }
@@ -981,30 +1013,35 @@ impl QuicConnection {
         };
         self.largest_acked = Some(self.largest_acked.map_or(largest, |l| l.max(largest)));
 
-        let acked: Vec<u64> = self
-            .sent
-            .keys()
-            .copied()
-            .filter(|pn| ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(pn)))
-            .collect();
+        let mut acked = std::mem::take(&mut self.pn_scratch);
+        acked.clear();
+        acked.extend(
+            self.sent
+                .keys()
+                .copied()
+                .filter(|pn| ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(pn))),
+        );
         if acked.is_empty() {
+            self.pn_scratch = acked;
             // Still re-evaluate time-threshold losses against the (possibly
             // new) largest acked.
             self.detect_lost(now);
             return;
         }
         let mut newly_acked_largest = 0;
-        for pn in &acked {
-            let info = self.sent.remove(pn).expect("acked packet tracked");
+        for &pn in &acked {
+            let info = self.sent.remove(&pn).expect("acked packet tracked");
             self.bytes_in_flight = self.bytes_in_flight.saturating_sub(info.size);
             self.cc.on_ack(info.size, now);
-            if *pn >= newly_acked_largest {
-                newly_acked_largest = *pn;
-                if *pn == largest {
+            if pn >= newly_acked_largest {
+                newly_acked_largest = pn;
+                if pn == largest {
                     self.rtt.on_sample(now - info.sent_at);
                 }
             }
+            self.reclaim_rtx(info.frames);
         }
+        self.pn_scratch = acked;
         self.pto_count = 0;
         self.detect_lost(now);
     }
@@ -1015,7 +1052,8 @@ impl QuicConnection {
             return;
         };
         let loss_delay = self.rtt.loss_delay();
-        let mut lost: Vec<u64> = Vec::new();
+        let mut lost = std::mem::take(&mut self.pn_scratch);
+        lost.clear();
         let mut next_loss_time: Option<SimTime> = None;
         for (&pn, info) in &self.sent {
             if pn >= largest_acked {
@@ -1031,10 +1069,11 @@ impl QuicConnection {
         }
         self.loss_time = next_loss_time;
         if lost.is_empty() {
+            self.pn_scratch = lost;
             return;
         }
         let mut newest_lost_sent = SimTime::ZERO;
-        for pn in lost {
+        for &pn in &lost {
             let info = self.sent.remove(&pn).expect("lost packet tracked");
             self.bytes_in_flight = self.bytes_in_flight.saturating_sub(info.size);
             newest_lost_sent = newest_lost_sent.max(info.sent_at);
@@ -1042,6 +1081,7 @@ impl QuicConnection {
             self.retransmit_count += 1;
             self.rtx_credit = self.rtx_credit.saturating_add(1);
         }
+        self.pn_scratch = lost;
         // RFC 9002 §7.3.1: one congestion event per recovery period —
         // only losses of packets sent after recovery started count as a
         // new event.
@@ -1070,8 +1110,8 @@ impl QuicConnection {
         }
     }
 
-    fn requeue(&mut self, frames: Vec<RtxInfo>) {
-        for f in frames {
+    fn requeue(&mut self, mut frames: Vec<RtxInfo>) {
+        for f in frames.drain(..) {
             match f {
                 RtxInfo::Stream { id, offset, len } => {
                     self.send_streams
@@ -1085,10 +1125,21 @@ impl QuicConnection {
                 }
             }
         }
+        self.reclaim_rtx(frames);
+    }
+
+    /// Returns a drained retransmission-info buffer to the pool.
+    fn reclaim_rtx(&mut self, mut v: Vec<RtxInfo>) {
+        if self.rtx_pool.len() < POOL_CAP {
+            v.clear();
+            self.rtx_pool.push(v);
+        }
     }
 
     fn pto_deadline(&self) -> Option<SimTime> {
-        let oldest = self.sent.values().map(|p| p.sent_at).min()?;
+        // Packet numbers are assigned in send order and `now` never goes
+        // backwards, so the first tracked packet is also the oldest.
+        let oldest = self.sent.values().next().map(|p| p.sent_at)?;
         let backoff = 1u64 << self.pto_count.min(10);
         Some(oldest + self.rtt.pto(self.config.max_ack_delay) * backoff)
     }

@@ -196,7 +196,9 @@ fn transports_tolerate_reordering_jitter() {
     use h3cdn_netsim::{Engine, Network, Node, NodeCtx, PathSpec};
     use h3cdn_sim_core::units::ByteCount;
 
-    // A thin Node wrapper that drives one connection end.
+    // A thin Node wrapper that drives one connection end. Test-local,
+    // so the enum's footprint is irrelevant.
+    #[allow(clippy::large_enum_variant)]
     enum End {
         Tcp(TcpConnection),
         Quic(QuicConnection),

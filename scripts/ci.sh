@@ -9,8 +9,11 @@
 # Steps: release build, full test suite, the fault-matrix smoke gate
 # (graceful-degradation invariants), the SIGKILL-and-resume smoke
 # (crash-safe checkpointing must reproduce a clean run byte-for-byte),
-# clippy with warnings denied, the h3cdn-lint determinism/sans-IO/
-# panic-ratchet pass, and a formatting check.
+# the simulator throughput ratchet (BENCH_sim.json; re-record with
+# `sim_throughput --smoke --update-baseline BENCH_sim.json --label L`
+# after an intentional perf change), clippy with warnings denied, the
+# h3cdn-lint determinism/sans-IO/panic-ratchet pass, and a formatting
+# check.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -46,6 +49,12 @@ wait "$SMOKE_PID" 2> /dev/null || true
     --resume --jobs 4 > "$SMOKE_DIR/resumed.txt" 2> /dev/null
 cmp "$SMOKE_DIR/clean.txt" "$SMOKE_DIR/resumed.txt"
 echo "    resumed output byte-identical to the clean run"
+
+echo "==> sim_throughput --smoke --check (perf ratchet)"
+# The timing tolerance absorbs shared-runner noise; the event count is
+# deterministic and gated tightly, so a semantic change cannot hide
+# behind a fast machine.
+target/release/sim_throughput --smoke --check BENCH_sim.json
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --all-targets --workspace -- -D warnings
