@@ -3,7 +3,6 @@
 //! kernels.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use h3cdn::analysis::{ccdf_points, kmeans};
 use h3cdn::browser::{visit_page, ProtocolMode, VisitConfig};
 use h3cdn::http::h2::{H2Client, TcpServer};
 use h3cdn::http::h3::{H3Client, QuicServer};
@@ -16,6 +15,7 @@ use h3cdn::transport::tcp::TcpConfig;
 use h3cdn::transport::tls::{TicketStore, TlsConfig};
 use h3cdn::transport::ConnId;
 use h3cdn::web::{generate, WorkloadSpec};
+use h3cdn_analysis::{ccdf_points, kmeans};
 use std::hint::black_box;
 
 fn transfer_catalog(n: u64, body: u64) -> std::sync::Arc<Catalog> {

@@ -3,9 +3,9 @@
 //! smoke test that the regenerator still runs end to end.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use h3cdn::experiments as ex;
 use h3cdn::Vantage;
 use h3cdn_bench::{bench_campaign, BENCH_PAGES};
+use h3cdn_experiments as ex;
 use std::hint::black_box;
 
 fn bench_tables_and_figures(c: &mut Criterion) {

@@ -47,9 +47,7 @@ const SEND_MS: f64 = 0.1;
 
 /// Everything the client needs to know about one domain it will talk to.
 #[derive(Debug, Clone)]
-pub struct DomainInfo {
-    /// The domain id from the corpus.
-    pub domain: DomainId,
+pub(crate) struct DomainInfo {
     /// Hostname (for HAR urls and LocEdge hostname rules).
     pub name: String,
     /// The server node for this domain.
@@ -67,7 +65,7 @@ pub struct DomainInfo {
 
 /// One planned fetch: the resource plus its place in the discovery DAG.
 #[derive(Debug, Clone)]
-pub struct PlannedRequest {
+pub(crate) struct PlannedRequest {
     /// The workload resource.
     pub resource: Resource,
     /// Indices of resources revealed when this one completes.
@@ -99,7 +97,7 @@ struct EntryState {
 
 /// The simulated browser for one page visit.
 #[derive(Debug)]
-pub struct ClientHost {
+pub(crate) struct ClientHost {
     me: NodeId,
     mode: ProtocolMode,
     /// Cold Alt-Svc cache: H3-capable domains must be discovered via an
@@ -155,26 +153,13 @@ pub struct ClientHost {
 }
 
 impl ClientHost {
-    /// Creates the browser for one visit.
+    /// Creates the browser for one visit, optionally starting with a
+    /// cold Alt-Svc cache (Chrome's discovery behaviour).
     ///
     /// # Panics
     ///
     /// Panics if `plan` is empty or references a domain missing from
     /// `domain_info`.
-    pub fn new(
-        me: NodeId,
-        mode: ProtocolMode,
-        cc: CcAlgorithm,
-        plan: Vec<PlannedRequest>,
-        domain_info: HashMap<DomainId, DomainInfo>,
-        tickets: TicketStore,
-        har_seed: u64,
-    ) -> Self {
-        Self::with_alt_svc(me, mode, cc, plan, domain_info, tickets, har_seed, false)
-    }
-
-    /// As [`ClientHost::new`], optionally starting with a cold Alt-Svc
-    /// cache (Chrome's discovery behaviour).
     #[allow(clippy::too_many_arguments)] // internal builder; the context IS the arguments
     pub fn with_alt_svc(
         me: NodeId,
@@ -283,11 +268,6 @@ impl ClientHost {
     /// Whether every resource has completed.
     pub fn is_done(&self) -> bool {
         self.remaining == 0
-    }
-
-    /// When the last resource completed (the onLoad instant).
-    pub fn page_done_at(&self) -> Option<SimTime> {
-        self.page_done_at
     }
 
     /// Called by the engine at t = 0 and for connection timers.

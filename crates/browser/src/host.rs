@@ -11,7 +11,7 @@ use crate::server::ServerHost;
 /// substantial state, so both are boxed to keep the enum (and the
 /// engine's node vector) small.
 #[derive(Debug)]
-pub enum SimHost {
+pub(crate) enum SimHost {
     /// The browser.
     Client(Box<ClientHost>),
     /// One domain's server.
@@ -19,14 +19,6 @@ pub enum SimHost {
 }
 
 impl SimHost {
-    /// The client, if this node is one.
-    pub fn as_client(&self) -> Option<&ClientHost> {
-        match self {
-            SimHost::Client(c) => Some(c),
-            SimHost::Server(_) => None,
-        }
-    }
-
     /// Consumes the node, returning the client when it is one.
     pub fn into_client(self) -> Option<ClientHost> {
         match self {

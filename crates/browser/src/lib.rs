@@ -34,8 +34,8 @@ pub mod visit;
 pub use config::{FaultSpec, ProtocolMode, VisitConfig};
 pub use resilience::{BrokenQuicCache, ResilienceStats};
 pub use visit::{
-    try_visit_consecutively, try_visit_page, visit_consecutively, visit_page, visit_page_traced,
-    AbortedVisit, VisitOutcome, VisitStats,
+    try_visit_consecutively, try_visit_page, visit_consecutively, visit_page, AbortedVisit,
+    VisitOutcome, VisitStats,
 };
 
 // The deterministic parallel runner in `h3cdn` moves visit inputs and

@@ -16,7 +16,7 @@ use h3cdn_transport::{ConnId, WirePacket};
 /// A domain's server: accepts connections on demand, one [`ServerConn`]
 /// per client connection, all sharing the domain's response catalog.
 #[derive(Debug)]
-pub struct ServerHost {
+pub(crate) struct ServerHost {
     catalog: Arc<Catalog>,
     tcp_config: TcpConfig,
     quic_config: QuicConfig,
@@ -52,16 +52,6 @@ impl ServerHost {
             timeouts: BTreeSet::new(),
             armed: BTreeMap::new(),
         }
-    }
-
-    /// Total requests served across all connections.
-    pub fn requests_served(&self) -> u64 {
-        self.conns.values().map(ServerConn::requests_served).sum()
-    }
-
-    /// Number of connections accepted.
-    pub fn connection_count(&self) -> usize {
-        self.conns.len()
     }
 
     /// Handles an incoming packet, accepting a new connection when the

@@ -20,7 +20,7 @@ use crate::server::ServerHost;
 
 /// A tracer over the wire-packet type, as accepted by
 /// [`visit_page_traced`].
-pub type VisitTracer = h3cdn_netsim::engine::Tracer<h3cdn_transport::WirePacket>;
+pub(crate) type VisitTracer = h3cdn_netsim::engine::Tracer<h3cdn_transport::WirePacket>;
 
 /// Result of one visit.
 #[derive(Debug)]
@@ -167,7 +167,7 @@ pub fn visit_page(
 /// As [`visit_page`], with an optional packet tracer installed on the
 /// engine (see [`h3cdn_netsim::engine::TraceRecord`]) — the tool for
 /// inspecting exactly what crossed the wire during a visit.
-pub fn visit_page_traced(
+pub(crate) fn visit_page_traced(
     page: &Webpage,
     domains: &DomainTable,
     cfg: &VisitConfig,
@@ -241,7 +241,6 @@ fn run_visit(
         info_of.insert(
             d,
             DomainInfo {
-                domain: d,
                 name: domains.name(d).to_string(),
                 node,
                 rtt,

@@ -10,6 +10,9 @@ use std::collections::HashMap;
 
 /// Per-edge cache of resource ids, with optional TTL eviction.
 #[derive(Debug, Clone, Default)]
+// Modeled CDN component exercised by its unit tests; kept exported
+// until the browser fetch path integrates per-edge caching.
+// h3cdn-lint: allow(dead-pub)
 pub struct EdgeCache {
     cached: HashMap<u64, SimTime>,
     ttl: Option<SimDuration>,

@@ -238,10 +238,8 @@ impl Default for ProviderRegistry {
 pub mod non_cdn {
     /// Probability a non-CDN resource is reachable over H3 (Table II:
     /// 2462 / 11904 ≈ 0.207).
-    pub const H3_ADOPTION: f64 = 0.207;
-    /// Probability a non-CDN domain only speaks HTTP/1.x (Table II
-    /// "Others": 2227 / 11904 ≈ 0.187).
-    pub const H1_ONLY: f64 = 0.187;
+    #[cfg(test)]
+    pub(crate) const H3_ADOPTION: f64 = 0.207;
     /// Probability a non-CDN TCP connection negotiates TLS 1.2.
     pub const TLS12_SHARE: f64 = 0.45;
 }

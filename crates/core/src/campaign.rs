@@ -240,7 +240,7 @@ impl MeasurementCampaign {
     /// The journal section is `prefix` plus a content hash over every
     /// job's metadata, so distinct batches never share journal entries
     /// even within one run.
-    pub(crate) fn run_durable<K, T, F>(
+    pub fn run_durable<K, T, F>(
         &self,
         prefix: &str,
         jobs: Vec<(K, JobMeta, F)>,

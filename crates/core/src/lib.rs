@@ -34,29 +34,22 @@
 //! | `h3cdn-har` | HAR records, reduction metrics |
 //! | `h3cdn-analysis` | CDF/CCDF, k-means, OLS |
 //!
-//! Every experiment of the paper has a regenerator in
-//! [`experiments`]; the `h3cdn-experiments` binaries print the same
-//! rows/series the paper's tables and figures report.
+//! Every experiment of the paper has a regenerator in the
+//! `h3cdn-experiments` crate (one module per table/figure, sitting
+//! above this crate and `h3cdn-analysis` in the layer map); its
+//! binaries print the same rows/series the paper's tables and figures
+//! report.
 
 pub mod campaign;
-pub mod experiments;
 pub mod persist;
-pub mod report;
 pub mod runner;
 pub mod selector;
-pub mod sensitivity;
 
 pub use campaign::{CampaignConfig, MeasurementCampaign};
 pub use persist::{atomic_write, Fingerprint, Manifest, RunDir};
-pub use report::{generate_report, ReportOptions};
-pub use runner::durable::{
-    read_quarantine, run_keyed_durable, DurableContext, DurableReport, JobFailure, JobMeta,
-    RetryPolicy,
-};
-pub use runner::{run_keyed, run_keyed_values, JobKey, RunnerConfig};
-pub use sensitivity::{run_sensitivity, Knob};
+pub use runner::durable::{DurableContext, JobFailure, JobMeta, RetryPolicy};
+pub use runner::{run_keyed, run_keyed_values, RunnerConfig};
 
-pub use h3cdn_analysis as analysis;
 pub use h3cdn_browser as browser;
 pub use h3cdn_cdn as cdn;
 pub use h3cdn_har as har;

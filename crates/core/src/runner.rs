@@ -3,7 +3,7 @@
 //! Every paired H2/H3 visit in this reproduction is a pure function of
 //! `(WorkloadSpec, seed, vantage, VisitConfig)`, which makes campaigns
 //! embarrassingly parallel. This module models campaign work as *keyed
-//! jobs* — a totally ordered [`JobKey`] plus a closure producing a
+//! jobs* — a totally ordered `JobKey` plus a closure producing a
 //! result — executes them on a [`std::thread::scope`] worker pool, and
 //! merges results **in key order**, so the output of every campaign API
 //! is bit-identical to the serial path regardless of worker count.
@@ -31,7 +31,8 @@ use std::time::Instant;
 /// `variant` distinguishes sub-measurements of the same page — the
 /// protocol side of a paired visit, a sweep setting, a repeat index.
 /// The lexicographic tuple `Ord` is the runner's merge order.
-pub type JobKey = (u32, u32, u32);
+#[cfg(test)]
+pub(crate) type JobKey = (u32, u32, u32);
 
 /// Configuration of the parallel runner.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -48,7 +48,7 @@ use crate::runner::{run_keyed, RunnerConfig};
 
 /// Prefix campaigns put on stalled-visit panic payloads so the durable
 /// layer can mark the resulting [`JobFailure`] as stall-backed.
-pub const STALLED_PREFIX: &str = "stalled visit: ";
+pub(crate) const STALLED_PREFIX: &str = "stalled visit: ";
 
 /// Retry schedule for panicking jobs. Delays are deterministic
 /// functions of `(run seed, section, seq, attempt)` — see
@@ -162,7 +162,7 @@ impl DurableContext {
 
 /// The outcome of a durable batch.
 #[derive(Debug)]
-pub struct DurableReport<K, T> {
+pub(crate) struct DurableReport<K, T> {
     /// Every job in ascending key order; `None` marks a quarantined
     /// job (its [`JobFailure`] is in `failures`).
     pub results: Vec<(K, Option<T>)>,
@@ -218,7 +218,7 @@ fn splitmix64(mut x: u64) -> u64 {
 /// jobs as `None` — with no failures the `Some` sequence is
 /// bit-identical to [`run_keyed`](crate::runner::run_keyed) over the
 /// same jobs at any worker count.
-pub fn run_keyed_durable<K, T, F>(
+pub(crate) fn run_keyed_durable<K, T, F>(
     config: &RunnerConfig,
     ctx: &DurableContext,
     section: &str,
@@ -433,7 +433,8 @@ fn merge_quarantine(run: &RunDir, section: &str, fresh: &[JobFailure]) {
 
 /// Parses a run's `quarantine.json` into failures (empty when absent
 /// or unreadable).
-pub fn read_quarantine(run: &RunDir) -> Vec<JobFailure> {
+#[cfg(test)]
+pub(crate) fn read_quarantine(run: &RunDir) -> Vec<JobFailure> {
     run.read_quarantine()
         .and_then(|text| serde_json::from_str::<QuarantineFile>(&text).ok())
         .map(|q| q.failures)

@@ -11,7 +11,7 @@
 //!           arm must strand.
 //! ```
 
-use h3cdn::experiments::fault_matrix;
+use h3cdn_experiments::fault_matrix;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();

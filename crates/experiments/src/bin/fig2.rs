@@ -3,7 +3,7 @@
 fn main() {
     let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
     let campaign = h3cdn_experiments::campaign_named(&opts, "fig2");
-    let fig = h3cdn::experiments::fig2::run(&campaign, opts.vantage);
+    let fig = h3cdn_experiments::fig2::run(&campaign, opts.vantage);
     h3cdn_experiments::emit(&opts, &fig);
     h3cdn_experiments::report_quarantine(&campaign);
 }

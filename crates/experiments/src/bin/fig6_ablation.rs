@@ -6,8 +6,8 @@
 //! the cost scales with the number of H3-enabled domains, which is what
 //! could bend the High group down in Fig. 6(a).
 
-use h3cdn::experiments::fig6;
 use h3cdn::{PageComparison, VisitConfig};
+use h3cdn_experiments::fig6;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]

@@ -5,7 +5,7 @@ fn main() {
     let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
     let campaign = h3cdn_experiments::campaign_named(&opts, "fig7");
     let comparisons = campaign.compare_all();
-    let fig = h3cdn::experiments::fig7::run(&comparisons);
+    let fig = h3cdn_experiments::fig7::run(&comparisons);
     h3cdn_experiments::emit(&opts, &fig);
     h3cdn_experiments::report_quarantine(&campaign);
 }

@@ -5,7 +5,7 @@ fn main() {
     let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
     let campaign = h3cdn_experiments::campaign_named(&opts, "fig8");
     let warmup = (campaign.corpus().pages.len() / 30).max(1);
-    let fig = h3cdn::experiments::fig8::run(&campaign, opts.vantage, warmup);
+    let fig = h3cdn_experiments::fig8::run(&campaign, opts.vantage, warmup);
     h3cdn_experiments::emit(&opts, &fig);
     h3cdn_experiments::report_quarantine(&campaign);
 }

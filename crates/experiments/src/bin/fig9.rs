@@ -5,7 +5,7 @@ fn main() {
     let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
     let campaign = h3cdn_experiments::campaign_named(&opts, "fig9");
     let fig =
-        h3cdn::experiments::fig9::run_with_repeats(&campaign, opts.vantage, &[0.0, 0.5, 1.0], 6);
+        h3cdn_experiments::fig9::run_with_repeats(&campaign, opts.vantage, &[0.0, 0.5, 1.0], 6);
     h3cdn_experiments::emit(&opts, &fig);
     h3cdn_experiments::report_quarantine(&campaign);
 }

@@ -6,7 +6,7 @@
 //! CSV_DIR=./csv cargo run --release -p h3cdn-experiments --bin report -- --pages 60
 //! ```
 
-use h3cdn::{generate_report, ReportOptions};
+use h3cdn_experiments::report::{generate_report, ReportOptions};
 
 fn main() {
     let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
@@ -18,7 +18,7 @@ fn main() {
     println!("{}", generate_report(&campaign, &report_opts));
     if let Ok(dir) = std::env::var("CSV_DIR") {
         std::fs::create_dir_all(&dir).expect("CSV_DIR creatable");
-        for (name, body) in h3cdn::report::figure_csvs(&campaign, &report_opts) {
+        for (name, body) in h3cdn_experiments::report::figure_csvs(&campaign, &report_opts) {
             let path = std::path::Path::new(&dir).join(name);
             // Crash-safe artifact write: temp + fsync + rename, so a
             // killed report never leaves a torn CSV behind.

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure in one run, printing each artifact
 //! in paper order. `--pages` scales the corpus (default 325).
 
-use h3cdn::experiments as ex;
+use h3cdn_experiments as ex;
 
 fn main() {
     let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));

@@ -1,7 +1,7 @@
 //! Sweeps each calibration knob and prints how the headline metric (mean
 //! PLT reduction) responds — the robustness companion to EXPERIMENTS.md.
 
-use h3cdn::sensitivity::{run_sensitivity, Knob};
+use h3cdn_experiments::sensitivity::{run_sensitivity, Knob};
 
 fn main() {
     let mut opts = h3cdn_experiments::parse_args(std::env::args().skip(1));

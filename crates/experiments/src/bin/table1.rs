@@ -2,6 +2,6 @@
 
 fn main() {
     let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
-    let table = h3cdn::experiments::table1::run();
+    let table = h3cdn_experiments::table1::run();
     h3cdn_experiments::emit(&opts, &table);
 }

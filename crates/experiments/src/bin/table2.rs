@@ -3,7 +3,7 @@
 fn main() {
     let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
     let campaign = h3cdn_experiments::campaign_named(&opts, "table2");
-    let table = h3cdn::experiments::table2::run(&campaign, opts.vantage);
+    let table = h3cdn_experiments::table2::run(&campaign, opts.vantage);
     h3cdn_experiments::emit(&opts, &table);
     h3cdn_experiments::report_quarantine(&campaign);
 }

@@ -4,7 +4,7 @@ fn main() {
     let opts = h3cdn_experiments::parse_args(std::env::args().skip(1));
     let campaign = h3cdn_experiments::campaign_named(&opts, "table3");
     let warmup = (campaign.corpus().pages.len() / 30).max(1);
-    let table = h3cdn::experiments::table3::run(&campaign, opts.vantage, warmup);
+    let table = h3cdn_experiments::table3::run(&campaign, opts.vantage, warmup);
     h3cdn_experiments::emit(&opts, &table);
     h3cdn_experiments::report_quarantine(&campaign);
 }

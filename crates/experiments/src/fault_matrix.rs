@@ -32,8 +32,8 @@ use h3cdn_transport::tls::TicketStore;
 use h3cdn_web::{DomainTable, Webpage};
 use serde::{Deserialize, Serialize};
 
-use crate::runner::durable::JobMeta;
-use crate::{MeasurementCampaign, ProtocolMode, VisitConfig};
+use h3cdn::runner::durable::JobMeta;
+use h3cdn::{MeasurementCampaign, ProtocolMode, VisitConfig};
 
 /// One impairment scenario: a fault plan installed symmetrically on a
 /// deterministic fraction of each page's client↔server paths.
@@ -366,8 +366,8 @@ impl fmt::Display for FaultMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::RunnerConfig;
-    use crate::{CampaignConfig, MeasurementCampaign};
+    use h3cdn::runner::RunnerConfig;
+    use h3cdn::{CampaignConfig, MeasurementCampaign};
 
     #[test]
     fn fault_free_rows_match_campaign_paths_bitwise() {

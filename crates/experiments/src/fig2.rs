@@ -8,7 +8,7 @@ use h3cdn_browser::ProtocolMode;
 use h3cdn_cdn::Vantage;
 use serde::Serialize;
 
-use crate::MeasurementCampaign;
+use h3cdn::MeasurementCampaign;
 
 /// Per-provider adoption row.
 #[derive(Debug, Clone, Serialize)]
@@ -113,7 +113,7 @@ impl fmt::Display for Fig2 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::CampaignConfig;
+    use h3cdn::CampaignConfig;
 
     #[test]
     fn google_and_cloudflare_dominate_h3() {

@@ -5,7 +5,7 @@ use std::fmt;
 use h3cdn_analysis::ccdf_points;
 use serde::Serialize;
 
-use crate::MeasurementCampaign;
+use h3cdn::MeasurementCampaign;
 
 /// The reproduced Fig. 3 curve.
 #[derive(Debug, Clone, Serialize)]
@@ -66,7 +66,7 @@ impl fmt::Display for Fig3 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CampaignConfig, MeasurementCampaign};
+    use h3cdn::{CampaignConfig, MeasurementCampaign};
 
     #[test]
     fn paper_scale_ccdf_at_half_is_75_percent() {

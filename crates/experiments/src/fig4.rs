@@ -7,7 +7,7 @@ use std::fmt;
 use h3cdn_cdn::Provider;
 use serde::Serialize;
 
-use crate::MeasurementCampaign;
+use h3cdn::MeasurementCampaign;
 
 /// The reproduced Fig. 4 dataset.
 #[derive(Debug, Clone, Serialize)]
@@ -75,11 +75,11 @@ impl fmt::Display for Fig4 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::CampaignConfig;
+    use h3cdn::CampaignConfig;
 
     #[test]
     fn paper_scale_shapes() {
-        let campaign = crate::MeasurementCampaign::new(CampaignConfig::default());
+        let campaign = h3cdn::MeasurementCampaign::new(CampaignConfig::default());
         let fig = run(&campaign);
         // Top four providers each exceed 50 % appearance.
         for (p, prob) in fig.appearance.iter().take(4) {

@@ -7,7 +7,7 @@ use h3cdn_analysis::ccdf_points;
 use h3cdn_cdn::Provider;
 use serde::Serialize;
 
-use crate::MeasurementCampaign;
+use h3cdn::MeasurementCampaign;
 
 /// One provider's CCDF curve.
 #[derive(Debug, Clone, Serialize)]
@@ -93,11 +93,11 @@ impl fmt::Display for Fig5 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::CampaignConfig;
+    use h3cdn::CampaignConfig;
 
     #[test]
     fn cloudflare_and_google_pages_often_exceed_ten() {
-        let campaign = crate::MeasurementCampaign::new(CampaignConfig::default());
+        let campaign = h3cdn::MeasurementCampaign::new(CampaignConfig::default());
         let fig = run(&campaign);
         assert_eq!(fig.series.len(), 4);
         for name in ["Cloudflare", "Google"] {

@@ -131,7 +131,7 @@ impl fmt::Display for Fig6 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CampaignConfig, MeasurementCampaign, Vantage};
+    use h3cdn::{CampaignConfig, MeasurementCampaign, Vantage};
 
     #[test]
     fn groups_are_equal_sized_and_positive() {

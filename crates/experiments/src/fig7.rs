@@ -143,7 +143,7 @@ impl fmt::Display for Fig7 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CampaignConfig, MeasurementCampaign, Vantage};
+    use h3cdn::{CampaignConfig, MeasurementCampaign, Vantage};
 
     #[test]
     fn reuse_grows_with_group_and_h2_exceeds_h3() {

@@ -10,7 +10,7 @@ use h3cdn_cdn::Vantage;
 use h3cdn_har::plt_reduction_ms;
 use serde::Serialize;
 
-use crate::MeasurementCampaign;
+use h3cdn::MeasurementCampaign;
 
 /// One row of Fig. 8, keyed by the page's provider count.
 #[derive(Debug, Clone, Serialize)]
@@ -99,7 +99,7 @@ impl fmt::Display for Fig8 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CampaignConfig, MeasurementCampaign};
+    use h3cdn::{CampaignConfig, MeasurementCampaign};
 
     #[test]
     fn more_providers_more_resumption() {

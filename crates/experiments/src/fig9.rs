@@ -8,7 +8,7 @@ use h3cdn_analysis::{bootstrap_slope_ci, linear_fit, median, LinearFit};
 use h3cdn_cdn::Vantage;
 use serde::Serialize;
 
-use crate::{MeasurementCampaign, VisitConfig};
+use h3cdn::{MeasurementCampaign, VisitConfig};
 
 /// One loss rate's scatter and fit.
 #[derive(Debug, Clone, Serialize)]
@@ -169,7 +169,7 @@ impl fmt::Display for Fig9 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CampaignConfig, MeasurementCampaign};
+    use h3cdn::{CampaignConfig, MeasurementCampaign};
 
     #[test]
     fn loss_amplifies_reduction() {

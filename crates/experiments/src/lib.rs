@@ -36,6 +36,32 @@
 //! environment variable arms a chaos hook that deliberately panics
 //! every visit of site `N` — the end-to-end proof of the quarantine
 //! path (see the `visit_one` binary for replaying quarantined jobs).
+//!
+//! The figure/table regenerators themselves live here too, one module
+//! per artifact of the paper's evaluation: each consumes a
+//! [`MeasurementCampaign`](h3cdn::MeasurementCampaign), runs exactly
+//! the analysis the paper describes, and returns a serialisable result
+//! whose `Display` prints the same rows/series the paper reports.
+//! EXPERIMENTS.md records paper-vs-measured for each. They sit in this
+//! crate — not `h3cdn` — because they are experiment-layer code: they
+//! consume `h3cdn-analysis`, which the layer map places above the
+//! campaign core (see DESIGN.md "Correctness policy & static
+//! analysis").
+
+pub mod fault_matrix;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod report;
+pub mod sensitivity;
+pub mod table1;
+pub mod table2;
+pub mod table3;
 
 use std::path::Path;
 
@@ -407,7 +433,7 @@ mod tests {
     fn emit_json_serialises_results() {
         // Any experiment result must survive the JSON path the --json
         // flag uses.
-        let t = h3cdn::experiments::table1::run();
+        let t = crate::table1::run();
         let json = serde_json::to_string_pretty(&t).expect("serialises");
         let back: serde_json::Value = serde_json::from_str(&json).expect("parses");
         assert_eq!(back["rows"].as_array().expect("rows").len(), 6);

@@ -6,8 +6,7 @@ use std::fmt::Write as _;
 
 use h3cdn_cdn::Vantage;
 
-use crate::experiments as ex;
-use crate::MeasurementCampaign;
+use h3cdn::MeasurementCampaign;
 
 /// Options for [`generate_report`].
 #[derive(Debug, Clone)]
@@ -36,10 +35,10 @@ impl Default for ReportOptions {
 /// Runs every experiment and renders one markdown report.
 ///
 /// This is the expensive all-in-one entry point (the `report` binary);
-/// for individual artifacts use the [`crate::experiments`] modules
+/// for individual artifacts use the individual figure/table modules of this crate
 /// directly. The shared Fig. 6/7 dataset is measured first (itself a
 /// parallel batch), then every section renders as a keyed job on the
-/// campaign's [runner](crate::runner) — the key-ordered merge keeps the
+/// campaign's [runner](h3cdn::runner) — the key-ordered merge keeps the
 /// document layout byte-identical for any worker count.
 pub fn generate_report(campaign: &MeasurementCampaign, opts: &ReportOptions) -> String {
     let mut out = String::new();
@@ -71,38 +70,47 @@ pub fn generate_report(campaign: &MeasurementCampaign, opts: &ReportOptions) -> 
 
     type Section<'a> = (&'static str, Box<dyn FnOnce() -> String + Send + 'a>);
     let sections: Vec<Section<'_>> = vec![
-        ("Table I", Box::new(|| ex::table1::run().to_string())),
+        ("Table I", Box::new(|| crate::table1::run().to_string())),
         (
             "Table II",
-            Box::new(|| ex::table2::run(campaign, opts.vantage).to_string()),
+            Box::new(|| crate::table2::run(campaign, opts.vantage).to_string()),
         ),
         (
             "Fig. 2",
-            Box::new(|| ex::fig2::run(campaign, opts.vantage).to_string()),
+            Box::new(|| crate::fig2::run(campaign, opts.vantage).to_string()),
         ),
-        ("Fig. 3", Box::new(|| ex::fig3::run(campaign).to_string())),
-        ("Fig. 4", Box::new(|| ex::fig4::run(campaign).to_string())),
-        ("Fig. 5", Box::new(|| ex::fig5::run(campaign).to_string())),
+        (
+            "Fig. 3",
+            Box::new(|| crate::fig3::run(campaign).to_string()),
+        ),
+        (
+            "Fig. 4",
+            Box::new(|| crate::fig4::run(campaign).to_string()),
+        ),
+        (
+            "Fig. 5",
+            Box::new(|| crate::fig5::run(campaign).to_string()),
+        ),
         (
             "Fig. 6",
-            Box::new(|| ex::fig6::run(&comparisons).to_string()),
+            Box::new(|| crate::fig6::run(&comparisons).to_string()),
         ),
         (
             "Fig. 7",
-            Box::new(|| ex::fig7::run(&comparisons).to_string()),
+            Box::new(|| crate::fig7::run(&comparisons).to_string()),
         ),
         (
             "Fig. 8",
-            Box::new(|| ex::fig8::run(campaign, opts.vantage, opts.warmup).to_string()),
+            Box::new(|| crate::fig8::run(campaign, opts.vantage, opts.warmup).to_string()),
         ),
         (
             "Table III",
-            Box::new(|| ex::table3::run(campaign, opts.vantage, opts.warmup).to_string()),
+            Box::new(|| crate::table3::run(campaign, opts.vantage, opts.warmup).to_string()),
         ),
         (
             "Fig. 9",
             Box::new(|| {
-                ex::fig9::run_with_repeats(
+                crate::fig9::run_with_repeats(
                     campaign,
                     opts.vantage,
                     &opts.loss_percents,
@@ -117,14 +125,14 @@ pub fn generate_report(campaign: &MeasurementCampaign, opts: &ReportOptions) -> 
         .enumerate()
         .map(|(i, (title, body))| ((i as u32, 0u32, 0u32), move || (title, body())))
         .collect();
-    for (title, body) in crate::runner::run_keyed_values(campaign.runner(), jobs) {
+    for (title, body) in h3cdn::runner::run_keyed_values(campaign.runner(), jobs) {
         let _ = writeln!(out, "## {title}\n\n```text\n{body}```\n");
     }
     out
 }
 
 /// Renders `(x, y)` series as a two-column CSV with a header row.
-pub fn series_csv(header: (&str, &str), points: &[(f64, f64)]) -> String {
+pub(crate) fn series_csv(header: (&str, &str), points: &[(f64, f64)]) -> String {
     let mut out = format!("{},{}\n", header.0, header.1);
     for (x, y) in points {
         let _ = writeln!(out, "{x},{y}");
@@ -137,12 +145,12 @@ pub fn series_csv(header: (&str, &str), points: &[(f64, f64)]) -> String {
 /// (three reduction CDFs), and Fig. 9 (per-loss scatter).
 pub fn figure_csvs(campaign: &MeasurementCampaign, opts: &ReportOptions) -> Vec<(String, String)> {
     let mut out = Vec::new();
-    let fig3 = ex::fig3::run(campaign);
+    let fig3 = crate::fig3::run(campaign);
     out.push((
         "fig3_ccdf.csv".to_string(),
         series_csv(("cdn_percent", "ccdf"), &fig3.points),
     ));
-    let fig5 = ex::fig5::run(campaign);
+    let fig5 = crate::fig5::run(campaign);
     for s in &fig5.series {
         out.push((
             format!("fig5_{}.csv", s.provider.to_lowercase().replace('.', "_")),
@@ -150,7 +158,7 @@ pub fn figure_csvs(campaign: &MeasurementCampaign, opts: &ReportOptions) -> Vec<
         ));
     }
     let comparisons = campaign.compare_all();
-    let fig6 = ex::fig6::run(&comparisons);
+    let fig6 = crate::fig6::run(&comparisons);
     out.push((
         "fig6b_connect_cdf.csv".to_string(),
         series_csv(("connect_reduction_ms", "cdf"), &fig6.connect_cdf),
@@ -163,7 +171,7 @@ pub fn figure_csvs(campaign: &MeasurementCampaign, opts: &ReportOptions) -> Vec<
         "fig6b_receive_cdf.csv".to_string(),
         series_csv(("receive_reduction_ms", "cdf"), &fig6.receive_cdf),
     ));
-    let fig9 = ex::fig9::run_with_repeats(
+    let fig9 = crate::fig9::run_with_repeats(
         campaign,
         opts.vantage,
         &opts.loss_percents,
@@ -181,7 +189,7 @@ pub fn figure_csvs(campaign: &MeasurementCampaign, opts: &ReportOptions) -> Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::CampaignConfig;
+    use h3cdn::CampaignConfig;
 
     fn small_opts() -> ReportOptions {
         ReportOptions {

@@ -16,7 +16,7 @@ use h3cdn_sim_core::SimDuration;
 use h3cdn_transport::CcAlgorithm;
 use serde::Serialize;
 
-use crate::{MeasurementCampaign, VisitConfig};
+use h3cdn::{MeasurementCampaign, VisitConfig};
 
 /// A calibration knob the sweep can vary.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -162,7 +162,7 @@ impl fmt::Display for Sensitivity {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::CampaignConfig;
+    use h3cdn::CampaignConfig;
 
     #[test]
     fn h3_surcharge_erodes_the_reduction_monotonically() {

@@ -9,7 +9,7 @@ use h3cdn_browser::ProtocolMode;
 use h3cdn_cdn::Vantage;
 use serde::Serialize;
 
-use crate::MeasurementCampaign;
+use h3cdn::MeasurementCampaign;
 
 /// Counts for one HTTP version row.
 #[derive(Debug, Clone, Copy, Default, Serialize)]
@@ -127,7 +127,7 @@ impl fmt::Display for Table2 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::CampaignConfig;
+    use h3cdn::CampaignConfig;
 
     #[test]
     fn shapes_match_paper_on_a_small_campaign() {

@@ -11,7 +11,7 @@ use h3cdn_har::plt_reduction_ms;
 use h3cdn_web::DomainId;
 use serde::Serialize;
 
-use crate::MeasurementCampaign;
+use h3cdn::MeasurementCampaign;
 
 /// One group's row of Table III.
 #[derive(Debug, Clone, Serialize)]
@@ -207,7 +207,7 @@ impl fmt::Display for Table3 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CampaignConfig, MeasurementCampaign};
+    use h3cdn::{CampaignConfig, MeasurementCampaign};
 
     #[test]
     fn kmeans_groups_separate_by_sharing_degree() {

@@ -13,7 +13,7 @@ use crate::entry::HarPage;
 
 /// The synthetic crawl date used for `startedDateTime` fields (the first
 /// day of the paper's measurement week).
-pub const CRAWL_EPOCH_DATE: &str = "2022-10-10";
+pub(crate) const CRAWL_EPOCH_DATE: &str = "2022-10-10";
 
 fn started_date_time(offset_ms: f64) -> String {
     // Offsets are per-visit (seconds scale), so a fixed date plus

@@ -143,7 +143,7 @@ pub enum HttpEvent {
 
 /// Per-message framing overhead added by HTTP/2 and HTTP/3 (frame header
 /// plus field-section framing).
-pub const FRAME_OVERHEAD: u64 = 9;
+pub(crate) const FRAME_OVERHEAD: u64 = 9;
 
 // Message-tag encoding: each request id owns four tags.
 const KIND_REQUEST: u64 = 0;
@@ -153,7 +153,7 @@ const KIND_RESP_CHUNK: u64 = 3;
 
 /// What a delivered message tag means at the HTTP layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TagKind {
+pub(crate) enum TagKind {
     /// A request's header block.
     Request(u64),
     /// A response's header block.
@@ -165,27 +165,27 @@ pub enum TagKind {
 }
 
 /// Encodes the request-headers tag for `id`.
-pub fn request_tag(id: u64) -> MsgTag {
+pub(crate) fn request_tag(id: u64) -> MsgTag {
     MsgTag(id * 4 + KIND_REQUEST)
 }
 
 /// Encodes the response-headers tag for `id`.
-pub fn response_headers_tag(id: u64) -> MsgTag {
+pub(crate) fn response_headers_tag(id: u64) -> MsgTag {
     MsgTag(id * 4 + KIND_RESP_HEADERS)
 }
 
 /// Encodes the final-body-chunk tag for `id`.
-pub fn response_done_tag(id: u64) -> MsgTag {
+pub(crate) fn response_done_tag(id: u64) -> MsgTag {
     MsgTag(id * 4 + KIND_RESP_DONE)
 }
 
 /// Encodes an intermediate-body-chunk tag for `id`.
-pub fn response_chunk_tag(id: u64) -> MsgTag {
+pub(crate) fn response_chunk_tag(id: u64) -> MsgTag {
     MsgTag(id * 4 + KIND_RESP_CHUNK)
 }
 
 /// Decodes a message tag back to its HTTP meaning.
-pub fn decode_tag(tag: MsgTag) -> TagKind {
+pub(crate) fn decode_tag(tag: MsgTag) -> TagKind {
     let id = tag.0 / 4;
     match tag.0 % 4 {
         KIND_REQUEST => TagKind::Request(id),

@@ -62,7 +62,7 @@ const CATEGORIES: &[(&str, CountGetter)] = &[
 /// All counted sites, so over-baseline findings can name a real
 /// `file:line`.
 #[derive(Debug, Default)]
-pub struct SiteMap {
+pub(crate) struct SiteMap {
     /// `crate -> category -> sorted (path, line) sites`.
     sites: BTreeMap<String, CategorySites>,
 }
@@ -97,7 +97,7 @@ impl SiteMap {
 }
 
 /// Counts the panic surface of one library-source file into `sites`.
-pub fn count_file(ctx: &FileContext, sites: &mut SiteMap) {
+pub(crate) fn count_file(ctx: &FileContext, sites: &mut SiteMap) {
     for (idx, line) in ctx.lines().iter().enumerate() {
         if ctx.is_test_line(idx) {
             continue;
@@ -137,7 +137,7 @@ fn count_indexing(line: &str) -> usize {
 }
 
 /// Compares a fresh count against the baseline, appending findings.
-pub fn check(base: &Baseline, fresh: &Baseline, sites: &SiteMap, out: &mut Vec<Finding>) {
+pub(crate) fn check(base: &Baseline, fresh: &Baseline, sites: &SiteMap, out: &mut Vec<Finding>) {
     let empty = Counts::default();
     let mut crates: Vec<&String> = base.keys().chain(fresh.keys()).collect();
     crates.sort();
@@ -167,6 +167,7 @@ pub fn check(base: &Baseline, fresh: &Baseline, sites: &SiteMap, out: &mut Vec<F
                         hint: "remove the new panic site (return a Result or use an \
                                invariant-documenting expect); the baseline only ratchets down"
                             .to_owned(),
+                        trace: None,
                     });
                 }
             } else if counted < allowed {
@@ -181,6 +182,7 @@ pub fn check(base: &Baseline, fresh: &Baseline, sites: &SiteMap, out: &mut Vec<F
                     hint: "lock in the improvement: run `h3cdn-lint --update-baseline` and \
                            commit the regenerated baseline"
                         .to_owned(),
+                    trace: None,
                 });
             }
         }

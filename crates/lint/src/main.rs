@@ -2,9 +2,14 @@
 //!
 //! ```text
 //! h3cdn-lint [--workspace-root PATH] [--update-baseline] [--quiet]
+//!            [--json] [--json-out PATH]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+//! `--json` prints the machine-readable report to stdout instead of
+//! the human-readable findings; `--json-out PATH` writes the same
+//! report to a file *in addition to* the human output (the CI
+//! artifact mode). Exit codes: `0` clean, `1` findings, `2` usage or
+//! I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -13,6 +18,8 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut update_baseline = false;
     let mut quiet = false;
+    let mut json = false;
+    let mut json_out: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -23,10 +30,17 @@ fn main() -> ExitCode {
             },
             "--update-baseline" => update_baseline = true,
             "--quiet" | "-q" => quiet = true,
+            "--json" => json = true,
+            "--json-out" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => return usage("--json-out needs a path"),
+            },
             "--help" | "-h" => {
                 println!(
-                    "h3cdn-lint: workspace determinism & sans-IO static analysis\n\n\
-                     usage: h3cdn-lint [--workspace-root PATH] [--update-baseline] [--quiet]"
+                    "h3cdn-lint: workspace determinism, sans-IO & symbol-graph static \
+                     analysis\n\n\
+                     usage: h3cdn-lint [--workspace-root PATH] [--update-baseline] \
+                     [--quiet] [--json] [--json-out PATH]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -46,14 +60,33 @@ fn main() -> ExitCode {
         }
     };
 
-    for finding in &report.findings {
-        println!("{finding}");
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, h3cdn_lint::render_json(&report)) {
+            eprintln!("h3cdn-lint: error: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if json {
+        print!("{}", h3cdn_lint::render_json(&report));
+    } else {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
     }
     if report.findings.is_empty() {
-        if !quiet {
+        if !quiet && !json {
+            let g = report.graph_stats;
             println!(
-                "h3cdn-lint: OK ({} files scanned, {} finding(s) suppressed by pragma/allowlist)",
-                report.files_scanned, report.suppressed
+                "h3cdn-lint: OK ({} files scanned, {} finding(s) suppressed by \
+                 pragma/allowlist; graph: {} fns, {} cross-crate edges, {} pub items, \
+                 {} fns / {} panic sites reachable from hot-path roots)",
+                report.files_scanned,
+                report.suppressed,
+                g.fns,
+                g.use_edges,
+                g.pub_items,
+                g.hot_path_reachable_fns,
+                g.hot_path_reachable_sites,
             );
         }
         ExitCode::SUCCESS
@@ -66,11 +99,13 @@ fn main() -> ExitCode {
     }
 }
 
-/// Recounts the panic surface and rewrites `crates/lint/baseline.json`.
+/// Recounts the panic surface (including the hot-path reachability
+/// budget) and rewrites `crates/lint/baseline.json`.
 fn run_update_baseline(root: &std::path::Path, quiet: bool) -> ExitCode {
     let opts = h3cdn_lint::LintOptions {
         check_rules: false,
         check_ratchet: false,
+        check_graph: true,
     };
     let report = match h3cdn_lint::lint_workspace_with(root, opts) {
         Ok(r) => r,
@@ -103,6 +138,9 @@ fn run_update_baseline(root: &std::path::Path, quiet: bool) -> ExitCode {
 }
 
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("h3cdn-lint: {msg}\nusage: h3cdn-lint [--workspace-root PATH] [--update-baseline] [--quiet]");
+    eprintln!(
+        "h3cdn-lint: {msg}\nusage: h3cdn-lint [--workspace-root PATH] [--update-baseline] \
+         [--quiet] [--json] [--json-out PATH]"
+    );
     ExitCode::from(2)
 }

@@ -7,11 +7,11 @@ use crate::{
 };
 
 /// Marker introducing a suppression pragma inside a comment.
-pub const PRAGMA: &str = "h3cdn-lint: allow(";
+pub(crate) const PRAGMA: &str = "h3cdn-lint: allow(";
 
 /// Per-file scanning context shared by all rules.
 #[derive(Debug)]
-pub struct FileContext {
+pub(crate) struct FileContext {
     rel: String,
     krate: String,
     /// Raw source lines (pragmas live in comments, so they are parsed
@@ -78,6 +78,23 @@ impl FileContext {
             || (idx > 0 && pragma_allows(self.raw.get(idx - 1), rule))
     }
 
+    /// The `(1-based line, comma-separated rule list)` of every pragma
+    /// comment in the file, for suppression checks that outlive this
+    /// context (the post-pass graph rules).
+    pub fn pragma_rule_lines(&self) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        for (idx, line) in self.raw.iter().enumerate() {
+            let Some(pos) = line.find(PRAGMA) else {
+                continue;
+            };
+            let rest = &line[pos + PRAGMA.len()..];
+            if let Some(end) = rest.find(')') {
+                out.push((idx + 1, rest[..end].to_owned()));
+            }
+        }
+        out
+    }
+
     /// The text starting at 0-based `idx` spanning `stmts` statements
     /// (lines up to and including the `stmts`-th one containing a
     /// `;`), capped at `max` lines. Used for "immediately
@@ -127,7 +144,7 @@ fn pragma_allows(raw_line: Option<&String>, rule: &str) -> bool {
 /// literals, preserving the line structure so `file:line` diagnostics
 /// stay accurate.
 #[allow(clippy::too_many_lines)]
-pub fn strip_source(source: &str) -> Vec<String> {
+pub(crate) fn strip_source(source: &str) -> Vec<String> {
     #[derive(Clone, Copy, PartialEq)]
     enum State {
         Code,
@@ -428,7 +445,7 @@ const ORDER_SAFE_MARKERS: &[&str] = &[
 
 /// Flags iteration over identifiers declared as `HashMap`/`HashSet`
 /// unless the statement immediately restores a deterministic order.
-pub fn rule_unordered_iter(ctx: &FileContext, out: &mut Vec<Finding>) {
+pub(crate) fn rule_unordered_iter(ctx: &FileContext, out: &mut Vec<Finding>) {
     let idents = collect_hash_idents(ctx.lines());
     if idents.is_empty() {
         return;
@@ -456,6 +473,7 @@ pub fn rule_unordered_iter(ctx: &FileContext, out: &mut Vec<Finding>) {
                     hint: "sort the collected items, switch to BTreeMap/BTreeSet, or add \
                            `// h3cdn-lint: allow(unordered-iter)` with a justification"
                         .to_owned(),
+                    trace: None,
                 });
             }
         }
@@ -578,13 +596,14 @@ fn needle_rule(
                 rule,
                 message: message.to_owned(),
                 hint: hint.to_owned(),
+                trace: None,
             });
         }
     }
 }
 
 /// Flags wall-clock reads: simulation time must come from `SimTime`.
-pub fn rule_wall_clock(ctx: &FileContext, out: &mut Vec<Finding>) {
+pub(crate) fn rule_wall_clock(ctx: &FileContext, out: &mut Vec<Finding>) {
     const HINT: &str = "use the simulated clock (SimTime); wall-clock reads make runs \
                         irreproducible. For log-only timing add \
                         `// h3cdn-lint: allow(wall-clock)`";
@@ -604,13 +623,14 @@ pub fn rule_wall_clock(ctx: &FileContext, out: &mut Vec<Finding>) {
                 rule: RULE_WALL_CLOCK,
                 message: "wall-clock dependency via `SystemTime`".to_owned(),
                 hint: HINT.to_owned(),
+                trace: None,
             });
         }
     }
 }
 
 /// Flags ambient (non-seeded) randomness sources.
-pub fn rule_ambient_rng(ctx: &FileContext, out: &mut Vec<Finding>) {
+pub(crate) fn rule_ambient_rng(ctx: &FileContext, out: &mut Vec<Finding>) {
     const HINT: &str = "derive randomness from the seeded sim-core RNG so runs replay \
                         bit-identically";
     for needle in [
@@ -632,7 +652,7 @@ pub fn rule_ambient_rng(ctx: &FileContext, out: &mut Vec<Finding>) {
 }
 
 /// Flags environment reads in sim-affecting crates.
-pub fn rule_env_read(ctx: &FileContext, out: &mut Vec<Finding>) {
+pub(crate) fn rule_env_read(ctx: &FileContext, out: &mut Vec<Finding>) {
     const HINT: &str = "thread configuration through explicit config structs; for \
                         runner-level knobs add `// h3cdn-lint: allow(env-read)`";
     for needle in ["std::env::", "env::var(", "env::args("] {
@@ -649,7 +669,7 @@ pub fn rule_env_read(ctx: &FileContext, out: &mut Vec<Finding>) {
 
 /// Flags real I/O and threading in sans-IO crates. `std::io::Error` /
 /// `std::io::ErrorKind` are tolerated (error plumbing, not I/O).
-pub fn rule_sans_io(ctx: &FileContext, out: &mut Vec<Finding>) {
+pub(crate) fn rule_sans_io(ctx: &FileContext, out: &mut Vec<Finding>) {
     const HINT: &str = "sans-IO crates are pure state machines: move I/O to the \
                         experiments/driver layer";
     for (idx, line) in ctx.lines().iter().enumerate() {
@@ -675,6 +695,7 @@ pub fn rule_sans_io(ctx: &FileContext, out: &mut Vec<Finding>) {
                     rule: RULE_SANS_IO,
                     message: format!("`{needle}` used in sans-IO crate `{}`", ctx.krate()),
                     hint: HINT.to_owned(),
+                    trace: None,
                 });
             }
         }
@@ -686,7 +707,7 @@ pub fn rule_sans_io(ctx: &FileContext, out: &mut Vec<Finding>) {
 /// file behind when the process dies mid-write, which breaks the
 /// crash-safe resume contract. Library source only (integration tests
 /// legitimately build scratch trees), test modules excluded.
-pub fn rule_raw_result_write(ctx: &FileContext, out: &mut Vec<Finding>) {
+pub(crate) fn rule_raw_result_write(ctx: &FileContext, out: &mut Vec<Finding>) {
     const HINT: &str = "route the write through h3cdn::persist::atomic_write \
                         (write-temp-fsync-rename); for non-artifact scratch files add \
                         `// h3cdn-lint: allow(raw-result-write)` with a justification";
@@ -709,6 +730,7 @@ pub fn rule_raw_result_write(ctx: &FileContext, out: &mut Vec<Finding>) {
                         ctx.krate()
                     ),
                     hint: HINT.to_owned(),
+                    trace: None,
                 });
             }
         }
@@ -738,7 +760,7 @@ const ALLOC_NEEDLES: &[&str] = &[
 /// path (see [`crate::HOT_PATH_FILES`]). Steady-state dispatch code
 /// must recycle buffers through scratch space or pools; construction
 /// paths, which legitimately allocate once, opt out with a pragma.
-pub fn rule_hot_path_alloc(ctx: &FileContext, out: &mut Vec<Finding>) {
+pub(crate) fn rule_hot_path_alloc(ctx: &FileContext, out: &mut Vec<Finding>) {
     for (idx, line) in ctx.lines().iter().enumerate() {
         if ctx.is_test_line(idx) {
             continue;
@@ -757,6 +779,7 @@ pub fn rule_hot_path_alloc(ctx: &FileContext, out: &mut Vec<Finding>) {
                            allocating per event; for one-time construction paths add \
                            `// h3cdn-lint: allow(hot-path-alloc)`"
                         .to_owned(),
+                    trace: None,
                 });
             }
         }
@@ -768,7 +791,7 @@ pub fn rule_hot_path_alloc(ctx: &FileContext, out: &mut Vec<Finding>) {
 // ---------------------------------------------------------------------------
 
 /// Flags `==` / `!=` where either operand is a float literal.
-pub fn rule_float_cmp(ctx: &FileContext, out: &mut Vec<Finding>) {
+pub(crate) fn rule_float_cmp(ctx: &FileContext, out: &mut Vec<Finding>) {
     for (idx, line) in ctx.lines().iter().enumerate() {
         for op in ["==", "!="] {
             let mut start = 0;
@@ -790,6 +813,7 @@ pub fn rule_float_cmp(ctx: &FileContext, out: &mut Vec<Finding>) {
                         hint: "compare with an epsilon (abs diff) or justify with \
                                `// h3cdn-lint: allow(float-cmp)`"
                             .to_owned(),
+                        trace: None,
                     });
                 }
             }
@@ -799,7 +823,7 @@ pub fn rule_float_cmp(ctx: &FileContext, out: &mut Vec<Finding>) {
 
 /// Flags NaN-unaware comparator sorts (`sort_by` family combined with
 /// `partial_cmp` in the same statement).
-pub fn rule_nan_sort(ctx: &FileContext, out: &mut Vec<Finding>) {
+pub(crate) fn rule_nan_sort(ctx: &FileContext, out: &mut Vec<Finding>) {
     const SORTS: &[&str] = &[
         "sort_by(",
         "sort_unstable_by(",
@@ -822,6 +846,7 @@ pub fn rule_nan_sort(ctx: &FileContext, out: &mut Vec<Finding>) {
                 hint: "use `f64::total_cmp` (total order, NaN-safe) instead of \
                        `partial_cmp(..).unwrap()/expect(..)`"
                     .to_owned(),
+                trace: None,
             });
         }
     }

@@ -21,6 +21,11 @@ fn bad_io() {
     let _ = std::io::stdin();
 }
 
+fn bad_pair() {
+    // HIT sans-io twice on one line: both findings must survive dedup.
+    let _ = std::thread::spawn(|| std::net::TcpStream::connect("h"));
+}
+
 fn good_error_plumbing(e: std::io::Error) -> std::io::ErrorKind {
     // CLEAN: std::io::Error / ErrorKind are tolerated.
     e.kind()

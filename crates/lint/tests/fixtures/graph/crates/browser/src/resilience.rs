@@ -1,0 +1,6 @@
+//! Fixture: the live ALLOWLIST suppresses dead-pub findings in this
+//! file (the path suffix matches the real resilience module).
+//! This file is never compiled; it only feeds the scanner.
+
+// ALLOWLISTED dead-pub: suppressed by the workspace allowlist entry.
+pub const BROKEN_QUIC_TTL: u64 = 300;

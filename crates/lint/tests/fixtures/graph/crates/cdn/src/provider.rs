@@ -1,0 +1,13 @@
+//! Fixture: dead public API surface.
+//! This file is never compiled; it only feeds the scanner.
+
+// CLEAN dead-pub: referenced from crates/core/src/scenario.rs.
+pub fn fetch_origin(a: u64, b: u64, c: u64, d: u64) -> u64 {
+    a + b + c + d
+}
+
+// HIT dead-pub: nothing outside cdn mentions this name.
+pub fn orphan_probe() {}
+
+// h3cdn-lint: allow(dead-pub)
+pub fn deliberate_api() {}

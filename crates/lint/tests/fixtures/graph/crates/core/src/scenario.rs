@@ -1,0 +1,21 @@
+//! Fixture: RNG seed plumbing.
+//! This file is never compiled; it only feeds the scanner.
+
+// CLEAN: core (layer 1) may depend on netsim (layer 0).
+use h3cdn_netsim::Engine;
+
+pub struct Scenario {
+    pub seed: u64,
+}
+
+pub fn streams(scenario: &Scenario, run_seed: u64) {
+    // CLEAN: flows from a parameter.
+    let a = SimRng::seed_from(run_seed);
+    // CLEAN: flows from a scenario field.
+    let b = SimRng::seed_from(scenario.seed ^ 0x9E37_79B9);
+    // HIT unseeded-rng: free-standing literal.
+    let c = SimRng::seed_from(0xDEAD_BEEF);
+    // h3cdn-lint: allow(unseeded-rng)
+    let d = SimRng::seed_from(0x5EED);
+    fetch_origin(a, b, c, d);
+}

@@ -1,0 +1,9 @@
+//! Fixture: workspace-root test code. References recorded here land in
+//! the `root` region, keeping the mentioned items off the dead-pub list.
+
+fn smoke() {
+    let engine: Engine = todo!();
+    let scenario: Scenario = todo!();
+    streams(&scenario, 7);
+    let _ = engine;
+}

@@ -19,6 +19,7 @@ fn rule_findings(fixture: &str) -> Vec<Finding> {
     let opts = LintOptions {
         check_rules: true,
         check_ratchet: false,
+        check_graph: false,
     };
     lint_workspace_with(&fixture_root(fixture), opts)
         .expect("fixture lints")
@@ -107,6 +108,7 @@ fn deleting_the_sort_reintroduces_the_finding() {
     let opts = LintOptions {
         check_rules: true,
         check_ratchet: false,
+        check_graph: false,
     };
     let report = lint_workspace_with(&dir, opts).expect("lints");
     std::fs::remove_dir_all(&dir).ok();
@@ -206,6 +208,7 @@ fn ratchet_flags_only_the_count_beyond_baseline() {
     let opts = LintOptions {
         check_rules: false,
         check_ratchet: true,
+        check_graph: false,
     };
     let report = lint_workspace_with(&fixture_root("ratchet"), opts).expect("fixture lints");
     // Baseline allows 1 unwrap; the fixture has 2 (and matches the
@@ -224,6 +227,7 @@ fn ratchet_counts_exclude_test_modules() {
     let opts = LintOptions {
         check_rules: false,
         check_ratchet: false,
+        check_graph: false,
     };
     let report = lint_workspace_with(&fixture_root("ratchet"), opts).expect("fixture lints");
     let counts = report.counts.get("netsim").expect("netsim counted");
@@ -239,6 +243,7 @@ fn stale_baseline_demands_regeneration() {
     let opts = LintOptions {
         check_rules: false,
         check_ratchet: true,
+        check_graph: false,
     };
     let report = lint_workspace_with(&fixture_root("stale"), opts).expect("fixture lints");
     assert_eq!(report.findings.len(), 1, "got {:#?}", report.findings);
@@ -270,4 +275,158 @@ fn hot_path_alloc_hit_clean_and_pragma() {
     assert_clean(&f, ENGINE, "let freely = vec![1, 2, 3];");
     // Files off the hot-path allowlist are never flagged.
     assert_clean(&f, NETSIM, "Vec::new()");
+}
+
+// ---------------------------------------------------------------------------
+// Graph rules (the `graph` fixture): layering, hot-path reachability,
+// seed plumbing, dead API surface.
+// ---------------------------------------------------------------------------
+
+/// Lints the `graph` fixture with only the symbol-graph rules enabled.
+fn graph_report() -> h3cdn_lint::Report {
+    let opts = LintOptions {
+        check_rules: false,
+        check_ratchet: false,
+        check_graph: true,
+    };
+    lint_workspace_with(&fixture_root("graph"), opts).expect("graph fixture lints")
+}
+
+fn graph_line(rel: &str, marker: &str) -> usize {
+    line_of("graph", rel, marker)
+}
+
+const G_ENGINE: &str = "crates/netsim/src/engine.rs";
+const G_SCENARIO: &str = "crates/core/src/scenario.rs";
+const G_PROVIDER: &str = "crates/cdn/src/provider.rs";
+
+#[test]
+fn layer_violation_hit_pragma_and_downward_edge() {
+    let report = graph_report();
+    let k = keys(&report.findings);
+    let hit = graph_line(G_ENGINE, "use h3cdn::campaign::Campaign;");
+    assert!(
+        k.contains(&("layer-violation".to_owned(), G_ENGINE.to_owned(), hit)),
+        "upward netsim -> core edge must be flagged; got {:#?}",
+        report.findings
+    );
+    // The pragma-covered upward edge and the same-layer edge are clean.
+    let pragma = graph_line(G_ENGINE, "use h3cdn::scenario::ScenarioSpec;");
+    let lateral = graph_line(G_ENGINE, "use h3cdn_sim_core::SimTime;");
+    assert!(!k.iter().any(|(r, p, l)| r == "layer-violation"
+        && p == G_ENGINE
+        && (*l == pragma || *l == lateral)));
+    // The downward core -> netsim edge is clean.
+    assert!(!k
+        .iter()
+        .any(|(r, p, _)| r == "layer-violation" && p == G_SCENARIO));
+}
+
+#[test]
+fn hot_path_panic_reports_trace_and_respects_pragma() {
+    let report = graph_report();
+    let hit = graph_line(G_ENGINE, "self.slots.first().unwrap()");
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "hot-path-panic" && f.path == G_ENGINE && f.line == hit)
+        .unwrap_or_else(|| {
+            panic!(
+                "expected reachable unwrap at {G_ENGINE}:{hit}: {:#?}",
+                report.findings
+            )
+        });
+    let trace = finding
+        .trace
+        .as_deref()
+        .expect("every hot-path finding carries a trace");
+    assert!(
+        trace.contains("Engine::run") && trace.contains("dispatch_one"),
+        "trace must show the dispatch chain; got {trace:?}"
+    );
+    // The pragma-covered site is out of both the findings and the budget.
+    let exempt = graph_line(G_ENGINE, "self.slots.last().unwrap()");
+    assert!(!report
+        .findings
+        .iter()
+        .any(|f| f.rule == "hot-path-panic" && f.line == exempt));
+    // The cold helper's unwrap is unreachable from the dispatch roots.
+    let cold = graph_line(G_ENGINE, "next_back().unwrap()");
+    assert!(!report
+        .findings
+        .iter()
+        .any(|f| f.rule == "hot-path-panic" && f.line == cold));
+    // Exactly the one live reachable site is counted.
+    assert_eq!(report.graph_stats.hot_path_reachable_sites, 1);
+    assert!(report.graph_stats.hot_path_reachable_fns >= 2);
+}
+
+#[test]
+fn unseeded_rng_hit_pragma_and_seed_flow() {
+    let report = graph_report();
+    let k = keys(&report.findings);
+    let hit = graph_line(G_SCENARIO, "SimRng::seed_from(0xDEAD_BEEF)");
+    assert!(
+        k.contains(&("unseeded-rng".to_owned(), G_SCENARIO.to_owned(), hit)),
+        "literal seed must be flagged; got {:#?}",
+        report.findings
+    );
+    for marker in [
+        "SimRng::seed_from(run_seed)",
+        "SimRng::seed_from(scenario.seed ^ 0x9E37_79B9)",
+        "SimRng::seed_from(0x5EED)",
+    ] {
+        let line = graph_line(G_SCENARIO, marker);
+        assert!(
+            !k.iter()
+                .any(|(r, p, l)| r == "unseeded-rng" && p == G_SCENARIO && *l == line),
+            "{marker} must not be flagged"
+        );
+    }
+}
+
+#[test]
+fn dead_pub_hit_pragma_allowlist_and_cross_crate_reference() {
+    let report = graph_report();
+    let k = keys(&report.findings);
+    let hit = graph_line(G_PROVIDER, "pub fn orphan_probe()");
+    assert!(
+        k.contains(&("dead-pub".to_owned(), G_PROVIDER.to_owned(), hit)),
+        "unreferenced pub fn must be flagged; got {:#?}",
+        report.findings
+    );
+    // Cross-crate reference (core calls fetch_origin) keeps an item alive.
+    let alive = graph_line(G_PROVIDER, "pub fn fetch_origin");
+    assert!(!k.iter().any(|(r, _, l)| r == "dead-pub" && *l == alive));
+    // Pragma-covered export is suppressed.
+    let pragma = graph_line(G_PROVIDER, "pub fn deliberate_api()");
+    assert!(!k.iter().any(|(r, _, l)| r == "dead-pub" && *l == pragma));
+    // The workspace allowlist suppresses the resilience constant.
+    assert!(!k
+        .iter()
+        .any(|(r, p, _)| r == "dead-pub" && p == "crates/browser/src/resilience.rs"));
+    // Suppressions were counted, not dropped on the floor.
+    assert!(report.suppressed >= 4, "suppressed = {}", report.suppressed);
+}
+
+#[test]
+fn two_findings_of_one_rule_on_one_line_both_survive_dedup() {
+    // Regression: the dedup key once excluded the message, so two
+    // distinct findings of one rule on one line collapsed into one.
+    let f = rule_findings("det");
+    let line = line_of(
+        "det",
+        TRANSPORT,
+        "std::thread::spawn(|| std::net::TcpStream",
+    );
+    let on_line: Vec<_> = f
+        .iter()
+        .filter(|x| x.path == TRANSPORT && x.line == line && x.rule == "sans-io")
+        .collect();
+    assert_eq!(
+        on_line.len(),
+        2,
+        "both the std::thread and std::net findings must survive: {on_line:#?}"
+    );
+    assert_ne!(on_line[0].message, on_line[1].message);
 }

@@ -32,7 +32,7 @@ pub type Tracer<P> = Box<dyn FnMut(TraceRecord<'_, P>)>;
 
 /// Why an [`Engine::run_checked`] call could not finish cleanly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StallReason {
+pub(crate) enum StallReason {
     /// The event budget was exhausted: some node is rescheduling itself
     /// unproductively (a runaway timer loop).
     BudgetExhausted {
@@ -48,7 +48,7 @@ pub enum StallReason {
 
 /// One stalled node inside a [`StallReport`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct NodeStall {
+pub(crate) struct NodeStall {
     /// The stuck node.
     pub node: NodeId,
     /// The node's own description of its open work (stuck connection,
@@ -67,9 +67,9 @@ pub struct StallReport {
     /// Virtual time at which the run gave up.
     pub at: SimTime,
     /// Why the run could not finish.
-    pub reason: StallReason,
+    pub(crate) reason: StallReason,
     /// Every node that still reports open work, in node-id order.
-    pub stalls: Vec<NodeStall>,
+    pub(crate) stalls: Vec<NodeStall>,
 }
 
 impl std::fmt::Display for StallReport {
@@ -328,17 +328,26 @@ impl<N: Node> Engine<N> {
             match ev {
                 Ev::Arrival { src, dst, packet } => {
                     let mut ctx = NodeCtx::new(self.now, dst, Some(src), &mut self.outbox);
-                    self.nodes[dst.index()].handle_packet(packet, &mut ctx);
+                    // An unknown destination (only possible for events
+                    // injected for a node that was never registered)
+                    // silently drops the packet.
+                    if let Some(target) = self.nodes.get_mut(dst.index()) {
+                        target.handle_packet(packet, &mut ctx);
+                    }
                     self.flush_outbox_impl::<TRACED>(dst);
                     self.rearm(dst);
                 }
                 Ev::Wakeup { node, gen } => {
-                    if gen != self.timer_gen[node.index()] {
+                    if self.timer_gen.get(node.index()).is_none_or(|&g| g != gen) {
                         continue; // stale timer superseded by a re-arm
                     }
-                    self.pending_wakeup[node.index()] = None;
+                    if let Some(pending) = self.pending_wakeup.get_mut(node.index()) {
+                        *pending = None;
+                    }
                     let mut ctx = NodeCtx::new(self.now, node, None, &mut self.outbox);
-                    self.nodes[node.index()].handle_wakeup(&mut ctx);
+                    if let Some(target) = self.nodes.get_mut(node.index()) {
+                        target.handle_wakeup(&mut ctx);
+                    }
                     self.flush_outbox_impl::<TRACED>(node);
                     self.rearm(node);
                 }
@@ -450,22 +459,36 @@ impl<N: Node> Engine<N> {
 
     fn rearm(&mut self, id: NodeId) {
         let i = id.index();
-        let Some(deadline) = self.nodes[i].next_wakeup() else {
-            // No deadline: invalidate whatever wakeup may be pending.
-            self.timer_gen[i] += 1;
-            self.pending_wakeup[i] = None;
+        let Some(deadline) = self.nodes.get(i).and_then(super::node::Node::next_wakeup) else {
+            // No deadline (or unknown node): invalidate whatever wakeup
+            // may be pending.
+            if let Some(g) = self.timer_gen.get_mut(i) {
+                *g += 1;
+            }
+            if let Some(pending) = self.pending_wakeup.get_mut(i) {
+                *pending = None;
+            }
             return;
         };
         let at = deadline.max(self.now);
-        if self.pending_wakeup[i] == Some(at) {
+        if self.pending_wakeup.get(i).is_some_and(|&p| p == Some(at)) {
             // The live wakeup already fires at this deadline; scheduling
             // a fresh one would only add a stale entry to the queue.
             return;
         }
-        self.timer_gen[i] += 1;
-        let gen = self.timer_gen[i];
-        self.last_armed[i] = Some(at);
-        self.pending_wakeup[i] = Some(at);
+        let gen = match self.timer_gen.get_mut(i) {
+            Some(g) => {
+                *g += 1;
+                *g
+            }
+            None => return,
+        };
+        if let Some(last) = self.last_armed.get_mut(i) {
+            *last = Some(at);
+        }
+        if let Some(pending) = self.pending_wakeup.get_mut(i) {
+            *pending = Some(at);
+        }
         let ev = Ev::Wakeup { node: id, gen };
         if at == self.now {
             // Immediate re-arms are the common case (a node with work

@@ -54,9 +54,9 @@ pub mod network;
 pub mod node;
 pub mod topology;
 
-pub use engine::{Engine, NodeStall, StallReason, StallReport};
-pub use fault::{FaultKind, FaultPlan, FaultWindow, TransportClass};
-pub use link::{PathSpec, Serializer};
+pub use engine::{Engine, StallReport};
+pub use fault::{FaultPlan, TransportClass};
+pub use link::PathSpec;
 pub use loss::LossModel;
 pub use network::Network;
 pub use node::{Node, NodeCtx, NodeId};

@@ -72,28 +72,13 @@ impl Default for PathSpec {
 /// A FIFO link serialiser with a bounded queue.
 ///
 /// Packets handed to [`Serializer::enqueue`] at time `t` finish
-/// transmitting at `max(t, link-free-time) + size/rate`. If accepting the
-/// packet would hold more than `capacity` bytes of backlog, the packet is
-/// tail-dropped.
-///
-/// # Example
-///
-/// ```
-/// use h3cdn_netsim::Serializer;
-/// use h3cdn_sim_core::units::{ByteCount, DataRate};
-/// use h3cdn_sim_core::{SimDuration, SimTime};
-///
-/// // 8 Mbps = 1 byte/µs.
-/// let mut s = Serializer::new(DataRate::from_mbps(8), ByteCount::from_kib(64));
-/// let t0 = SimTime::ZERO;
-/// let done1 = s.enqueue(t0, ByteCount::new(1000)).unwrap();
-/// assert_eq!(done1, t0 + SimDuration::from_micros(1000));
-/// // Second packet queues behind the first.
-/// let done2 = s.enqueue(t0, ByteCount::new(1000)).unwrap();
-/// assert_eq!(done2, t0 + SimDuration::from_micros(2000));
-/// ```
+/// transmitting at `max(t, link-free-time) + size/rate` — at 8 Mbps a
+/// 1000 B packet offered to an idle link at `t0` completes at
+/// `t0 + 1000 µs`, and a second packet offered at the same instant
+/// queues behind it and completes 1000 µs later. If accepting a packet
+/// would hold more than `capacity` bytes of backlog, it is tail-dropped.
 #[derive(Debug, Clone)]
-pub struct Serializer {
+pub(crate) struct Serializer {
     rate: DataRate,
     capacity: ByteCount,
     busy_until: SimTime,
@@ -117,17 +102,14 @@ impl Serializer {
         }
     }
 
-    /// The configured link rate.
-    pub fn rate(&self) -> DataRate {
-        self.rate
-    }
-
     /// Number of packets tail-dropped so far.
+    #[cfg(test)]
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
 
     /// Number of packets accepted so far.
+    #[cfg(test)]
     pub fn transmitted(&self) -> u64 {
         self.transmitted
     }
@@ -165,7 +147,8 @@ impl Serializer {
         }
     }
 
-    /// Resets queue state (used between independent page visits).
+    /// Resets queue state between independent runs.
+    #[cfg(test)]
     pub fn reset(&mut self) {
         self.busy_until = SimTime::ZERO;
         self.backlog = ByteCount::ZERO;

@@ -130,12 +130,14 @@ impl Network {
             .rng
             .fork(0x4A17 ^ (((src.index() as u64) << 32) | dst.index() as u64));
         let idx = self.pair(src, dst);
-        self.paths[idx] = Some(Path {
-            spec,
-            serializer,
-            loss,
-            jitter_rng,
-        });
+        if let Some(slot) = self.paths.get_mut(idx) {
+            *slot = Some(Path {
+                spec,
+                serializer,
+                loss,
+                jitter_rng,
+            });
+        }
     }
 
     /// Sets the same spec in both directions.
@@ -243,7 +245,11 @@ impl Network {
         assert!(src.index() < self.nodes.len(), "unknown src {src}");
         assert!(dst.index() < self.nodes.len(), "unknown dst {dst}");
 
-        let depart = match self.nodes[src.index()].egress.as_mut() {
+        let depart = match self
+            .nodes
+            .get_mut(src.index())
+            .and_then(|n| n.egress.as_mut())
+        {
             Some(s) => match s.enqueue(now, size) {
                 Some(t) => t,
                 None => {
@@ -255,7 +261,7 @@ impl Network {
         };
 
         let idx = self.pair(src, dst);
-        let depart = match self.faults[idx].as_mut() {
+        let depart = match self.faults.get_mut(idx).and_then(|f| f.as_mut()) {
             Some(fault) => match fault.apply(class, depart, size) {
                 FaultOutcome::Deliver(t) => t,
                 FaultOutcome::Drop => {
@@ -268,11 +274,15 @@ impl Network {
         };
 
         // Lazily create the path so its loss process has a stable stream.
-        if self.paths[idx].is_none() {
+        if self.paths.get(idx).is_some_and(Option::is_none) {
             let spec = self.default_spec;
             self.set_path(src, dst, spec);
         }
-        let path = self.paths[idx].as_mut().expect("path just ensured");
+        let Some(path) = self.paths.get_mut(idx).and_then(|p| p.as_mut()) else {
+            // Out-of-grid pair: unroutable, count it as lost.
+            self.lost += 1;
+            return None;
+        };
 
         if path.loss.should_drop() {
             self.lost += 1;
@@ -297,7 +307,11 @@ impl Network {
                 h3cdn_sim_core::SimDuration::from_nanos(path.jitter_rng.next_below(extra + 1));
         }
 
-        let delivered = match self.nodes[dst.index()].ingress.as_mut() {
+        let delivered = match self
+            .nodes
+            .get_mut(dst.index())
+            .and_then(|n| n.ingress.as_mut())
+        {
             Some(s) => match s.enqueue(propagated, size) {
                 Some(t) => t,
                 None => {

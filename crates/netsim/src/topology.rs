@@ -9,7 +9,8 @@ use crate::node::NodeId;
 
 /// A star: one hub node connected to `leaves` leaf nodes, every spoke
 /// using `spec` in both directions. Returns `(hub, leaf_ids)`.
-pub fn star(net: &mut Network, leaves: usize, spec: PathSpec) -> (NodeId, Vec<NodeId>) {
+#[cfg(test)]
+pub(crate) fn star(net: &mut Network, leaves: usize, spec: PathSpec) -> (NodeId, Vec<NodeId>) {
     let hub = net.add_node();
     let leaf_ids: Vec<NodeId> = (0..leaves)
         .map(|_| {
@@ -23,7 +24,8 @@ pub fn star(net: &mut Network, leaves: usize, spec: PathSpec) -> (NodeId, Vec<No
 
 /// A full mesh over `n` nodes, every pair using `spec` in both
 /// directions. Returns the node ids.
-pub fn full_mesh(net: &mut Network, n: usize, spec: PathSpec) -> Vec<NodeId> {
+#[cfg(test)]
+pub(crate) fn full_mesh(net: &mut Network, n: usize, spec: PathSpec) -> Vec<NodeId> {
     let ids: Vec<NodeId> = (0..n).map(|_| net.add_node()).collect();
     for (i, &a) in ids.iter().enumerate() {
         for &b in ids.iter().skip(i + 1) {

@@ -143,30 +143,40 @@ pub struct QueueStats {
 }
 
 fn occ_set(occ: &mut [u64; SLOTS / 64], slot: usize) {
-    occ[slot >> 6] |= 1 << (slot & 63);
+    if let Some(word) = occ.get_mut(slot >> 6) {
+        *word |= 1 << (slot & 63);
+    }
 }
 
 fn occ_clear(occ: &mut [u64; SLOTS / 64], slot: usize) {
-    occ[slot >> 6] &= !(1 << (slot & 63));
+    if let Some(word) = occ.get_mut(slot >> 6) {
+        *word &= !(1 << (slot & 63));
+    }
 }
 
 /// First occupied slot index ≥ `from`, without wrapping.
 fn occ_next(occ: &[u64; SLOTS / 64], from: usize) -> Option<usize> {
-    if from >= SLOTS {
-        return None;
-    }
     let mut word = from >> 6;
-    let mut bits = occ[word] & (!0u64 << (from & 63));
-    loop {
+    let mut mask = !0u64 << (from & 63);
+    while let Some(bits) = occ.get(word).map(|w| w & mask) {
         if bits != 0 {
             return Some((word << 6) + bits.trailing_zeros() as usize);
         }
         word += 1;
-        if word == SLOTS / 64 {
-            return None;
-        }
-        bits = occ[word];
+        mask = !0u64;
     }
+    None
+}
+
+/// Index of the entry with the minimal `(time, seq)` key, or `None` for
+/// an empty bucket. Keys are unique (the seq counter never repeats), so
+/// the minimum is unambiguous.
+fn min_key_index<E>(bucket: &[Entry<E>]) -> Option<usize> {
+    bucket
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, e)| e.key())
+        .map(|(i, _)| i)
 }
 
 /// Distance (1..SLOTS) from ring index `from` to the nearest occupied slot,
@@ -220,19 +230,20 @@ impl<E> EventQueue<E> {
     /// lets the queue skip level selection and push straight into the
     /// cursor slot. Falls back to [`EventQueue::schedule`] otherwise.
     pub fn schedule_now(&mut self, now: SimTime, event: E) {
-        if now.as_nanos() >> L0_SHIFT <= self.cursor >> L0_SHIFT {
-            let seq = self.next_seq;
-            self.next_seq += 1;
-            self.len += 1;
-            let idx = ((self.cursor >> L0_SHIFT) & SLOT_MASK) as usize;
-            self.l0[idx].push(Entry {
-                at: now,
-                seq,
-                event,
-            });
-            occ_set(&mut self.l0_occ, idx);
-        } else {
-            self.schedule(now, event);
+        let idx = ((self.cursor >> L0_SHIFT) & SLOT_MASK) as usize;
+        match self.l0.get_mut(idx) {
+            Some(bucket) if now.as_nanos() >> L0_SHIFT <= self.cursor >> L0_SHIFT => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.len += 1;
+                bucket.push(Entry {
+                    at: now,
+                    seq,
+                    event,
+                });
+                occ_set(&mut self.l0_occ, idx);
+            }
+            _ => self.schedule(now, event),
         }
     }
 
@@ -241,20 +252,37 @@ impl<E> EventQueue<E> {
     /// pending events, and within-slot selection is by full `(time, seq)`
     /// key, so ordering is preserved.
     fn place(&mut self, entry: Entry<E>) {
+        // The overflow heap is a correct (if slower) home for any entry,
+        // so the masked slot lookups degrade to it instead of panicking.
         let t = entry.at.as_nanos();
         let cur = self.cursor;
         if t <= cur {
             let idx = ((cur >> L0_SHIFT) & SLOT_MASK) as usize;
-            self.l0[idx].push(entry);
-            occ_set(&mut self.l0_occ, idx);
+            match self.l0.get_mut(idx) {
+                Some(bucket) => {
+                    bucket.push(entry);
+                    occ_set(&mut self.l0_occ, idx);
+                }
+                None => self.overflow.push(entry),
+            }
         } else if t >> L1_SHIFT == cur >> L1_SHIFT {
             let idx = ((t >> L0_SHIFT) & SLOT_MASK) as usize;
-            self.l0[idx].push(entry);
-            occ_set(&mut self.l0_occ, idx);
+            match self.l0.get_mut(idx) {
+                Some(bucket) => {
+                    bucket.push(entry);
+                    occ_set(&mut self.l0_occ, idx);
+                }
+                None => self.overflow.push(entry),
+            }
         } else if (t >> L1_SHIFT) - (cur >> L1_SHIFT) < SLOTS as u64 {
             let idx = ((t >> L1_SHIFT) & SLOT_MASK) as usize;
-            self.l1[idx].push(entry);
-            occ_set(&mut self.l1_occ, idx);
+            match self.l1.get_mut(idx) {
+                Some(bucket) => {
+                    bucket.push(entry);
+                    occ_set(&mut self.l1_occ, idx);
+                }
+                None => self.overflow.push(entry),
+            }
         } else {
             self.overflow.push(entry);
         }
@@ -293,9 +321,14 @@ impl<E> EventQueue<E> {
                 let idx = (abs & SLOT_MASK) as usize;
                 self.cursor = abs << L1_SHIFT;
                 occ_clear(&mut self.l1_occ, idx);
+                let Some(slot_bucket) = self.l1.get_mut(idx) else {
+                    // Unreachable (idx is masked); the bit is already
+                    // cleared, so rescanning makes progress.
+                    continue;
+                };
                 // Swap the slot out through the scratch buffer so slot
                 // capacities circulate instead of being reallocated.
-                std::mem::swap(&mut self.l1[idx], &mut self.drain_scratch);
+                std::mem::swap(slot_bucket, &mut self.drain_scratch);
                 self.promote_overflow();
                 while let Some(entry) = self.drain_scratch.pop() {
                     // Drain order within a slot is irrelevant: selection
@@ -313,19 +346,14 @@ impl<E> EventQueue<E> {
 
     /// Pops the minimum-key entry out of L0 slot `slot` (as returned by
     /// [`EventQueue::advance_to_l0`]).
-    fn pop_l0(&mut self, slot: usize) -> (SimTime, E) {
+    fn pop_l0(&mut self, slot: usize) -> Option<(SimTime, E)> {
         // Advance the cursor to the slot being drained (bit-or: the slot
         // lives in the cursor's L1 window, so this cannot overflow).
         self.cursor = self
             .cursor
             .max((self.cursor >> L1_SHIFT << L1_SHIFT) | ((slot as u64) << L0_SHIFT));
-        let bucket = &mut self.l0[slot];
-        let mut min = 0;
-        for i in 1..bucket.len() {
-            if bucket[i].key() < bucket[min].key() {
-                min = i;
-            }
-        }
+        let bucket = self.l0.get_mut(slot)?;
+        let min = min_key_index(bucket)?;
         // swap_remove is safe for FIFO: order within a bucket is
         // irrelevant because selection is by the total (time, seq) key.
         let entry = bucket.swap_remove(min);
@@ -333,14 +361,14 @@ impl<E> EventQueue<E> {
             occ_clear(&mut self.l0_occ, slot);
         }
         self.len -= 1;
-        (entry.at, entry.event)
+        Some((entry.at, entry.event))
     }
 
     /// Removes and returns the chronologically next event, or `None` when
     /// the queue is empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let slot = self.advance_to_l0()?;
-        Some(self.pop_l0(slot))
+        self.pop_l0(slot)
     }
 
     /// Removes and returns the next event if it is due at or before
@@ -355,18 +383,13 @@ impl<E> EventQueue<E> {
         if slot_start > deadline.as_nanos() {
             return None;
         }
-        let bucket = &mut self.l0[slot];
-        let mut min = 0;
-        for i in 1..bucket.len() {
-            if bucket[i].key() < bucket[min].key() {
-                min = i;
-            }
-        }
-        if bucket[min].at > deadline {
+        let bucket = self.l0.get_mut(slot)?;
+        let min = min_key_index(bucket)?;
+        if bucket.get(min).is_none_or(|e| e.at > deadline) {
             return None;
         }
         let entry = bucket.swap_remove(min);
-        if self.l0[slot].is_empty() {
+        if bucket.is_empty() {
             occ_clear(&mut self.l0_occ, slot);
         }
         self.len -= 1;
@@ -379,13 +402,17 @@ impl<E> EventQueue<E> {
         // Layering invariant: L0 events precede all L1 events, which
         // precede all overflow events, so peek the first non-empty level.
         let cur_idx = ((self.cursor >> L0_SHIFT) & SLOT_MASK) as usize;
-        if let Some(slot) = occ_next(&self.l0_occ, cur_idx) {
-            return self.l0[slot].iter().min_by_key(|e| e.key()).map(|e| e.at);
+        if let Some(bucket) = occ_next(&self.l0_occ, cur_idx).and_then(|slot| self.l0.get(slot)) {
+            return bucket.iter().min_by_key(|e| e.key()).map(|e| e.at);
         }
         let c1 = self.cursor >> L1_SHIFT;
         if let Some(dist) = occ_next_wrap(&self.l1_occ, (c1 & SLOT_MASK) as usize) {
             let idx = ((c1 + dist as u64) & SLOT_MASK) as usize;
-            return self.l1[idx].iter().min_by_key(|e| e.key()).map(|e| e.at);
+            return self
+                .l1
+                .get(idx)
+                .and_then(|bucket| bucket.iter().min_by_key(|e| e.key()))
+                .map(|e| e.at);
         }
         self.overflow.peek().map(|e| e.at)
     }

@@ -17,10 +17,10 @@ use h3cdn_sim_core::SimTime;
 
 /// Sender-side maximum segment/packet payload size in bytes. One value is
 /// shared by both stacks so windows are comparable.
-pub const MSS: u64 = 1460;
+pub(crate) const MSS: u64 = 1460;
 
 /// Initial congestion window: 10 segments (RFC 6928).
-pub const INITIAL_WINDOW: u64 = 10 * MSS;
+pub(crate) const INITIAL_WINDOW: u64 = 10 * MSS;
 
 /// Minimum congestion window after a collapse: 2 segments.
 pub const MIN_WINDOW: u64 = 2 * MSS;

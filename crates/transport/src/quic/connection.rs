@@ -117,17 +117,17 @@ const TAG_SF_PSK_REJ: MsgTag = MsgTag(Q_TAG_BASE + 107);
 /// Handshake message sizes in bytes.
 mod hs_sizes {
     /// Full ClientInitial (padded).
-    pub const CI_FULL: u64 = 1150;
+    pub(crate) const CI_FULL: u64 = 1150;
     /// PSK ClientInitial, leaving room for 0-RTT data in the datagram.
-    pub const CI_PSK: u64 = 650;
+    pub(crate) const CI_PSK: u64 = 650;
     /// Server flight with certificate chain.
-    pub const SF_FULL: u64 = 4500;
+    pub(crate) const SF_FULL: u64 = 4500;
     /// Server flight under PSK.
-    pub const SF_PSK: u64 = 400;
+    pub(crate) const SF_PSK: u64 = 400;
     /// Client Finished.
-    pub const CFIN: u64 = 80;
+    pub(crate) const CFIN: u64 = 80;
     /// NewSessionTicket.
-    pub const NST: u64 = 230;
+    pub(crate) const NST: u64 = 230;
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -604,10 +604,12 @@ impl QuicConnection {
                 break;
             };
             self.need_max_stream_data.remove(&id);
-            frames.push(Frame::MaxStreamData {
-                id,
-                max: self.local_stream_limits[&id],
-            });
+            let max = self
+                .local_stream_limits
+                .get(&id)
+                .copied()
+                .unwrap_or(self.config.max_stream_data);
+            frames.push(Frame::MaxStreamData { id, max });
             budget -= 13;
             rtx_info.push(RtxInfo::MaxStreamData { id });
         }
@@ -689,13 +691,20 @@ impl QuicConnection {
                 let mut i = start;
                 let mut visited = 0;
                 while visited < ids.len() && budget > 12 && app_room > 12 {
-                    let id = ids[i];
+                    let Some(&id) = ids.get(i) else { break };
                     let flow_limit = self
                         .peer_stream_limits
                         .get(&id)
                         .copied()
                         .unwrap_or(self.config.max_stream_data);
-                    let stream = self.send_streams.get_mut(&id).expect("listed stream");
+                    let Some(stream) = self.send_streams.get_mut(&id) else {
+                        // A listed id without a stream entry cannot occur
+                        // (rr_scratch is rebuilt from send_streams' keys);
+                        // skip it rather than panic.
+                        i = (i + 1) % ids.len().max(1);
+                        visited += 1;
+                        continue;
+                    };
                     if let Some((offset, len, markers)) =
                         stream.take_limited((budget - 12).min(app_room - 12), flow_limit)
                     {
@@ -840,7 +849,9 @@ impl QuicConnection {
                 self.local_max_data = self.data_received + self.config.max_data;
                 self.need_max_data = true;
             }
-            let delivered = self.recv_streams[&id].delivered_bytes();
+            // `before + advanced` IS the stream's delivered count — no
+            // second map lookup needed.
+            let delivered = before + advanced;
             let limit = self
                 .local_stream_limits
                 .entry(id)
@@ -966,28 +977,37 @@ impl QuicConnection {
         let largest_before = self.recv_ranges.last().map(|&(_, hi)| hi);
         // Find the first range that could contain or touch pn.
         let mut i = 0;
-        while i < self.recv_ranges.len() && self.recv_ranges[i].1 + 1 < pn {
+        while self.recv_ranges.get(i).is_some_and(|&(_, hi)| hi + 1 < pn) {
             i += 1;
         }
-        if i == self.recv_ranges.len() {
-            self.recv_ranges.push((pn, pn));
-        } else {
-            let (lo, hi) = self.recv_ranges[i];
-            if pn >= lo && pn <= hi {
+        match self.recv_ranges.get(i).copied() {
+            None => self.recv_ranges.push((pn, pn)),
+            Some((lo, hi)) if pn >= lo && pn <= hi => {
                 return true; // duplicate
             }
-            if pn == hi + 1 {
-                self.recv_ranges[i].1 = pn;
-                // Merge with the next range if now contiguous.
-                if i + 1 < self.recv_ranges.len() && self.recv_ranges[i + 1].0 == pn + 1 {
-                    self.recv_ranges[i].1 = self.recv_ranges[i + 1].1;
-                    self.recv_ranges.remove(i + 1);
+            Some((_, hi)) if pn == hi + 1 => {
+                if let Some(range) = self.recv_ranges.get_mut(i) {
+                    range.1 = pn;
                 }
-            } else if pn + 1 == lo {
-                self.recv_ranges[i].0 = pn;
-            } else {
-                self.recv_ranges.insert(i, (pn, pn));
+                // Merge with the next range if now contiguous.
+                if let Some((_, next_hi)) = self
+                    .recv_ranges
+                    .get(i + 1)
+                    .copied()
+                    .filter(|&(next_lo, _)| next_lo == pn + 1)
+                {
+                    self.recv_ranges.remove(i + 1);
+                    if let Some(range) = self.recv_ranges.get_mut(i) {
+                        range.1 = next_hi;
+                    }
+                }
             }
+            Some((lo, _)) if pn + 1 == lo => {
+                if let Some(range) = self.recv_ranges.get_mut(i) {
+                    range.0 = pn;
+                }
+            }
+            Some(_) => self.recv_ranges.insert(i, (pn, pn)),
         }
         if self.recv_ranges.len() > 64 {
             self.recv_ranges.remove(0);
@@ -1030,7 +1050,11 @@ impl QuicConnection {
         }
         let mut newly_acked_largest = 0;
         for &pn in &acked {
-            let info = self.sent.remove(&pn).expect("acked packet tracked");
+            // `acked` was collected from `sent`'s own keys; a miss means
+            // the entry is already gone, and there is nothing to account.
+            let Some(info) = self.sent.remove(&pn) else {
+                continue;
+            };
             self.bytes_in_flight = self.bytes_in_flight.saturating_sub(info.size);
             self.cc.on_ack(info.size, now);
             if pn >= newly_acked_largest {
@@ -1074,7 +1098,11 @@ impl QuicConnection {
         }
         let mut newest_lost_sent = SimTime::ZERO;
         for &pn in &lost {
-            let info = self.sent.remove(&pn).expect("lost packet tracked");
+            // `lost` came from `sent`'s own keys; tolerate a vanished
+            // entry the same way `on_ack` does.
+            let Some(info) = self.sent.remove(&pn) else {
+                continue;
+            };
             self.bytes_in_flight = self.bytes_in_flight.saturating_sub(info.size);
             newest_lost_sent = newest_lost_sent.max(info.sent_at);
             self.requeue(info.frames);
@@ -1101,8 +1129,7 @@ impl QuicConnection {
             self.cc.on_timeout(now);
         }
         // Probe by re-sending the oldest unacked packet's frames.
-        if let Some((&pn, _)) = self.sent.iter().next() {
-            let info = self.sent.remove(&pn).expect("oldest packet tracked");
+        if let Some((_, info)) = self.sent.pop_first() {
             self.bytes_in_flight = self.bytes_in_flight.saturating_sub(info.size);
             self.requeue(info.frames);
             self.retransmit_count += 1;

@@ -32,7 +32,7 @@ pub use connection::{QuicConfig, QuicConnection, QuicEvent};
 use crate::conn_id::{ConnId, MsgTag};
 
 /// IP + UDP + QUIC short-header overhead per packet, in bytes.
-pub const QUIC_PACKET_OVERHEAD: u64 = 42;
+pub(crate) const QUIC_PACKET_OVERHEAD: u64 = 42;
 
 /// Maximum payload (frame bytes) per packet after path-MTU discovery —
 /// production stacks (Chrome, quiche) settle near 1450-byte datagrams on
@@ -40,10 +40,10 @@ pub const QUIC_PACKET_OVERHEAD: u64 = 42;
 /// TCP's 1460-byte segments. Initial packets are padded to at least
 /// 1200 bytes per RFC 9000 §14.1 (the ClientInitial's crypto flight
 /// exceeds that on its own).
-pub const MAX_PAYLOAD: u64 = 1410;
+pub(crate) const MAX_PAYLOAD: u64 = 1410;
 
 /// The reserved stream id carrying handshake (CRYPTO) data.
-pub const CRYPTO_STREAM: u64 = u64::MAX;
+pub(crate) const CRYPTO_STREAM: u64 = u64::MAX;
 
 /// A QUIC packet on the wire.
 #[derive(Debug, Clone)]

@@ -44,7 +44,7 @@ impl Default for TcpConfig {
 
 /// Connection lifecycle state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TcpState {
+pub(crate) enum TcpState {
     /// No handshake activity yet (client before `connect`, server before
     /// the first SYN).
     Closed,
@@ -231,11 +231,6 @@ impl TcpConnection {
         self.is_client
     }
 
-    /// Current lifecycle state.
-    pub fn state(&self) -> TcpState {
-        self.state
-    }
-
     /// `true` once the handshake has completed on this side.
     pub fn is_established(&self) -> bool {
         self.state == TcpState::Established
@@ -390,19 +385,15 @@ impl TcpConnection {
         // Tail loss probe next: cheaper and non-destructive.
         if self.tlp_deadline.is_some_and(|d| d <= now) {
             self.tlp_deadline = None;
-            if self.state == TcpState::Established
-                && !self.tlp_used
-                && self.rtx_queue.is_empty()
-                && !self.in_flight.is_empty()
-            {
-                self.tlp_used = true;
-                let (&seq, seg) = self.in_flight.iter().next_back().expect("non-empty");
-                let len = seg.len;
-                self.bytes_in_flight = self.bytes_in_flight.saturating_sub(len);
-                self.in_flight.remove(&seq);
-                self.rtx_queue.insert(seq, len);
-                self.force_rtx_credit += 1;
-                self.retransmit_count += 1;
+            if self.state == TcpState::Established && !self.tlp_used && self.rtx_queue.is_empty() {
+                if let Some((seq, seg)) = self.in_flight.pop_last() {
+                    self.tlp_used = true;
+                    let len = seg.len;
+                    self.bytes_in_flight = self.bytes_in_flight.saturating_sub(len);
+                    self.rtx_queue.insert(seq, len);
+                    self.force_rtx_credit += 1;
+                    self.retransmit_count += 1;
+                }
             }
         }
         let deadline = match self.rto_deadline {

@@ -26,12 +26,12 @@
 
 mod connection;
 
-pub use connection::{TcpConfig, TcpConnection, TcpEvent, TcpState};
+pub use connection::{TcpConfig, TcpConnection, TcpEvent};
 
 use crate::conn_id::{ConnId, MsgTag};
 
 /// TCP/IPv4 header overhead per segment, in bytes.
-pub const TCP_HEADER_BYTES: u64 = 40;
+pub(crate) const TCP_HEADER_BYTES: u64 = 40;
 
 /// A TCP segment on the wire.
 #[derive(Debug, Clone)]

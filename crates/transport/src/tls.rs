@@ -40,31 +40,31 @@ pub enum TlsVersion {
 }
 
 /// Per-message TLS record overhead (5-byte header + AEAD tag + padding).
-pub const RECORD_OVERHEAD: u64 = 29;
+pub(crate) const RECORD_OVERHEAD: u64 = 29;
 
 /// Handshake message sizes in bytes, calibrated to typical production
 /// certificate chains.
 pub mod sizes {
     /// Full ClientHello.
-    pub const CH_FULL: u64 = 330;
+    pub(crate) const CH_FULL: u64 = 330;
     /// ClientHello carrying a PSK / session ticket.
-    pub const CH_PSK: u64 = 560;
+    pub(crate) const CH_PSK: u64 = 560;
     /// TLS 1.3 server flight with a certificate chain.
-    pub const SF13_FULL: u64 = 4300;
+    pub(crate) const SF13_FULL: u64 = 4300;
     /// TLS 1.3 server flight under PSK (no certificate).
-    pub const SF13_PSK: u64 = 350;
+    pub(crate) const SF13_PSK: u64 = 350;
     /// Client Finished.
-    pub const CLIENT_FIN: u64 = 74;
+    pub(crate) const CLIENT_FIN: u64 = 74;
     /// NewSessionTicket.
-    pub const NST: u64 = 230;
+    pub(crate) const NST: u64 = 230;
     /// TLS 1.2 ServerHello + Certificate + ServerHelloDone.
-    pub const SF12_FULL: u64 = 3900;
+    pub(crate) const SF12_FULL: u64 = 3900;
     /// TLS 1.2 ClientKeyExchange + ChangeCipherSpec + Finished.
-    pub const CF12: u64 = 340;
+    pub(crate) const CF12: u64 = 340;
     /// TLS 1.2 server ChangeCipherSpec + Finished.
-    pub const SFIN12: u64 = 110;
+    pub(crate) const SFIN12: u64 = 110;
     /// TLS 1.2 abbreviated ServerHello + CCS + Finished.
-    pub const SF12_RESUMED: u64 = 280;
+    pub(crate) const SF12_RESUMED: u64 = 280;
 }
 
 // TLS-internal message tags live far above any application tag.

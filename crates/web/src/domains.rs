@@ -23,7 +23,7 @@ impl std::fmt::Display for DomainId {
 
 /// What a domain is, for topology and classification purposes.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum DomainKind {
+pub(crate) enum DomainKind {
     /// A CDN domain reused across many pages.
     SharedCdn(Provider),
     /// A customer-specific CDN domain used by a single page.
@@ -209,7 +209,7 @@ impl DomainTable {
     /// # Panics
     ///
     /// Panics if `id` was not issued by this table.
-    pub fn kind(&self, id: DomainId) -> &DomainKind {
+    pub(crate) fn kind(&self, id: DomainId) -> &DomainKind {
         &self.kinds[id.0 as usize]
     }
 

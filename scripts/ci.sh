@@ -12,24 +12,51 @@
 # the simulator throughput ratchet (BENCH_sim.json; re-record with
 # `sim_throughput --smoke --update-baseline BENCH_sim.json --label L`
 # after an intentional perf change), clippy with warnings denied, the
-# h3cdn-lint determinism/sans-IO/panic-ratchet pass, and a formatting
-# check.
+# h3cdn-lint workspace analyzer (determinism / sans-IO / panic ratchet
+# / layering / hot-path reachability / seed plumbing / dead API), and
+# a formatting check.
+#
+# Every stage is wall-clock timed and a per-stage summary prints at
+# the end. The lint stage writes its machine-readable report to
+# target/ci/lint-report.json (the CI artifact) and is held to a
+# LINT_BUDGET_MS wall-time budget so the analyzer stays cheap enough
+# to run on every push.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-echo "==> cargo build --release"
+# Wall-time budget for the h3cdn-lint stage (analyzer only, prebuilt
+# binary — cargo compile time is charged to the build stage).
+LINT_BUDGET_MS="${LINT_BUDGET_MS:-5000}"
+
+STAGE_NAMES=()
+STAGE_MS=()
+_stage_t0=0
+now_ms() { date +%s%3N; }
+begin() {
+    echo "==> $1"
+    STAGE_NAMES+=("$1")
+    _stage_t0=$(now_ms)
+}
+finish() {
+    STAGE_MS+=($(($(now_ms) - _stage_t0)))
+}
+
+begin "cargo build --release"
 cargo build --release --workspace
+finish
 
-echo "==> cargo test"
+begin "cargo test"
 cargo test -q --workspace
+finish
 
-echo "==> fault_matrix --smoke (graceful-degradation gate)"
+begin "fault_matrix --smoke (graceful-degradation gate)"
 cargo run -q --release -p h3cdn-experiments --bin fault_matrix -- --smoke --jobs 4 > /dev/null
+finish
 
-echo "==> SIGKILL-and-resume smoke (crash-safe checkpointing)"
+begin "SIGKILL-and-resume smoke (crash-safe checkpointing)"
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 FIG6="target/release/fig6"
@@ -49,20 +76,38 @@ wait "$SMOKE_PID" 2> /dev/null || true
     --resume --jobs 4 > "$SMOKE_DIR/resumed.txt" 2> /dev/null
 cmp "$SMOKE_DIR/clean.txt" "$SMOKE_DIR/resumed.txt"
 echo "    resumed output byte-identical to the clean run"
+finish
 
-echo "==> sim_throughput --smoke --check (perf ratchet)"
+begin "sim_throughput --smoke --check (perf ratchet)"
 # The timing tolerance absorbs shared-runner noise; the event count is
 # deterministic and gated tightly, so a semantic change cannot hide
 # behind a fast machine.
 target/release/sim_throughput --smoke --check BENCH_sim.json
+finish
 
-echo "==> cargo clippy -D warnings"
+begin "cargo clippy -D warnings"
 cargo clippy --all-targets --workspace -- -D warnings
+finish
 
-echo "==> h3cdn-lint (determinism / sans-IO / panic ratchet)"
-cargo run -q -p h3cdn-lint -- --workspace-root .
+begin "h3cdn-lint (workspace analyzer + JSON artifact)"
+mkdir -p target/ci
+lint_t0=$(now_ms)
+target/release/h3cdn-lint --workspace-root . --json-out target/ci/lint-report.json
+lint_ms=$(($(now_ms) - lint_t0))
+echo "    lint report: target/ci/lint-report.json (${lint_ms} ms, budget ${LINT_BUDGET_MS} ms)"
+if [ "$lint_ms" -gt "$LINT_BUDGET_MS" ]; then
+    echo "FAIL: h3cdn-lint took ${lint_ms} ms, over the ${LINT_BUDGET_MS} ms budget" >&2
+    exit 1
+fi
+finish
 
-echo "==> cargo fmt --check"
+begin "cargo fmt --check"
 cargo fmt --all --check
+finish
 
+echo
+echo "stage timing:"
+for i in "${!STAGE_NAMES[@]}"; do
+    printf '    %6d ms  %s\n' "${STAGE_MS[$i]}" "${STAGE_NAMES[$i]}"
+done
 echo "CI OK"

@@ -129,8 +129,8 @@ fn timing_phases_are_sane_across_the_corpus() {
 fn experiment_pipeline_runs_on_shared_comparisons() {
     let c = campaign(8, 7);
     let cmps: Vec<_> = (0..8).map(|s| c.compare_page(s, Vantage::Utah)).collect();
-    let fig6 = h3cdn::experiments::fig6::run(&cmps);
-    let fig7 = h3cdn::experiments::fig7::run(&cmps);
+    let fig6 = h3cdn_experiments::fig6::run(&cmps);
+    let fig7 = h3cdn_experiments::fig7::run(&cmps);
     assert_eq!(fig6.groups.iter().map(|g| g.pages).sum::<usize>(), 8);
     assert_eq!(fig7.bins.iter().map(|b| b.pages).sum::<usize>(), 8);
     // Displays never panic and carry the headline labels.

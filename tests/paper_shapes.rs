@@ -22,7 +22,7 @@ fn takeaway_2_h3_reduces_plt_on_average() {
 fn fig6b_connection_phase_contributes_most() {
     let c = campaign(8, 42);
     let cmps: Vec<_> = (0..8).map(|s| c.compare_page(s, Vantage::Utah)).collect();
-    let fig = h3cdn::experiments::fig6::run(&cmps);
+    let fig = h3cdn_experiments::fig6::run(&cmps);
     // Handshaking entries save connect time on average; the receive
     // median is ~0 (small CDN resources) — §VI-B's findings.
     assert!(fig.connect_mean_nonzero > 0.0);
@@ -33,7 +33,7 @@ fn fig6b_connection_phase_contributes_most() {
 #[test]
 fn table_ii_h2_leads_h3_follows_h1_trails() {
     let c = campaign(12, 43);
-    let t = h3cdn::experiments::table2::run(&c, Vantage::Utah);
+    let t = h3cdn_experiments::table2::run(&c, Vantage::Utah);
     assert!(t.h2.total() > t.h3.total());
     assert!(t.h3.total() > t.others.total());
     assert!(
@@ -50,8 +50,8 @@ fn fig9_loss_amplifies_h3_advantage() {
     // checked at paper scale in EXPERIMENTS.md and at moderate scale in
     // the fig9 unit test.
     let c = campaign(16, 44);
-    let fig = h3cdn::experiments::fig9::run(&c, Vantage::Utah, &[0.0, 1.5]);
-    let mean = |s: &h3cdn::experiments::fig9::Fig9Series| {
+    let fig = h3cdn_experiments::fig9::run(&c, Vantage::Utah, &[0.0, 1.5]);
+    let mean = |s: &h3cdn_experiments::fig9::Fig9Series| {
         s.points.iter().map(|p| p.1).sum::<f64>() / s.points.len() as f64
     };
     let clean = mean(&fig.series[0]);
@@ -91,7 +91,7 @@ fn h3_enabled_share_emerges_from_provider_adoption() {
     // Table II's 25.8 %: the measured H3 share of CDN requests must land
     // near the calibrated provider adoption mix even on a subsample.
     let c = campaign(30, 46);
-    let t = h3cdn::experiments::table2::run(&c, Vantage::Utah);
+    let t = h3cdn_experiments::table2::run(&c, Vantage::Utah);
     let cdn_h3 = t.h3.cdn as f64 / t.cdn_total() as f64;
     assert!(
         (0.25..=0.55).contains(&cdn_h3),

@@ -7,8 +7,8 @@
 //! the Fig. 9 loss sweep, the full report) and on the runner's merge
 //! order itself via a property test.
 
-use h3cdn::experiments::fig9;
 use h3cdn::{run_keyed, CampaignConfig, MeasurementCampaign, RunnerConfig, Vantage};
+use h3cdn_experiments::fig9;
 use proptest::prelude::*;
 
 /// A small two-vantage campaign pinned to `jobs` workers.
@@ -44,14 +44,14 @@ fn fig9_sweep_json_is_byte_identical_across_worker_counts() {
 
 #[test]
 fn full_report_is_byte_identical_across_worker_counts() {
-    let opts = h3cdn::ReportOptions {
+    let opts = h3cdn_experiments::report::ReportOptions {
         loss_percents: vec![0.0],
         fig9_repeats: 1,
         warmup: 1,
-        ..h3cdn::ReportOptions::default()
+        ..h3cdn_experiments::report::ReportOptions::default()
     };
-    let serial = h3cdn::generate_report(&campaign(1), &opts);
-    let parallel = h3cdn::generate_report(&campaign(8), &opts);
+    let serial = h3cdn_experiments::report::generate_report(&campaign(1), &opts);
+    let parallel = h3cdn_experiments::report::generate_report(&campaign(8), &opts);
     assert_eq!(serial, parallel);
 }
 
