@@ -28,6 +28,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use h3cdn::netsim::DynamicsProfile;
 use h3cdn_browser::{visit_page, ProtocolMode, VisitConfig};
 use h3cdn_transport::tls::TicketStore;
 use h3cdn_web::{generate, Corpus, WorkloadSpec};
@@ -94,6 +95,7 @@ struct Args {
     update_baseline: Option<String>,
     tolerance: f64,
     label: Option<String>,
+    dynamics: bool,
 }
 
 fn parse_args() -> Args {
@@ -109,6 +111,7 @@ fn parse_args() -> Args {
             .and_then(|v| v.parse().ok())
             .unwrap_or(DEFAULT_TOLERANCE),
         label: None,
+        dynamics: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -127,11 +130,13 @@ fn parse_args() -> Args {
                 a.update_baseline = Some(expect_value(args.next(), "--update-baseline"));
             }
             "--label" => a.label = Some(expect_value(args.next(), "--label")),
+            "--dynamics" => a.dynamics = true,
             "--help" | "-h" => {
                 println!(
                     "sim_throughput: simulator hot-path benchmark + perf ratchet\n\
                      flags: --pages N  --seed S  --reps R  --smoke  --json PATH\n\
-                     \x20      --check PATH  --tolerance F  --update-baseline PATH  --label L"
+                     \x20      --check PATH  --tolerance F  --update-baseline PATH  --label L\n\
+                     \x20      --dynamics  (add a continuous-path-dynamics pass to the sweep)"
                 );
                 std::process::exit(0);
             }
@@ -160,7 +165,7 @@ fn expect_parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
 }
 
 /// One sweep over the fixed workload; returns `(visits, events)`.
-fn sweep(corpus: &Corpus) -> (u64, u64) {
+fn sweep(corpus: &Corpus, dynamics: bool) -> (u64, u64) {
     let mut visits = 0u64;
     let mut events = 0u64;
     // Isolated visits, both protocol modes.
@@ -181,6 +186,19 @@ fn sweep(corpus: &Corpus) -> (u64, u64) {
         visits += 1;
         events += outcome.stats.sim_events;
     }
+    // Optional continuous-dynamics pass: the oscillating bottleneck
+    // exercises the per-packet trace sampling, set_rate drains and
+    // queue-stat accounting. Off by default so the committed
+    // trajectory's event counts stay comparable.
+    if dynamics {
+        let cfg =
+            VisitConfig::default().with_path_dynamics(Some(DynamicsProfile::OscillatingBottleneck));
+        for page in &corpus.pages {
+            let outcome = visit_page(page, &corpus.domains, &cfg, TicketStore::new());
+            visits += 1;
+            events += outcome.stats.sim_events;
+        }
+    }
     (visits, events)
 }
 
@@ -191,12 +209,12 @@ fn measure(args: &Args) -> BenchEntry {
             .with_seed(args.seed),
     );
     // Warmup: one untimed sweep (page/cache/branch-predictor warm state).
-    let (warm_visits, warm_events) = sweep(&corpus);
+    let (warm_visits, warm_events) = sweep(&corpus, args.dynamics);
     let start = Instant::now();
     let mut visits = 0u64;
     let mut events = 0u64;
     for _ in 0..args.reps {
-        let (v, e) = sweep(&corpus);
+        let (v, e) = sweep(&corpus, args.dynamics);
         visits += v;
         events += e;
     }
@@ -296,6 +314,17 @@ fn check(fresh: &BenchEntry, baseline_path: &str, tolerance: f64) -> Result<Stri
 
 fn main() -> ExitCode {
     let args = parse_args();
+    // The dynamics pass changes the workload's event counts, so it can
+    // never be compared against (or recorded into) the committed
+    // static-workload trajectory.
+    if args.dynamics && (args.check.is_some() || args.update_baseline.is_some()) {
+        eprintln!(
+            "sim_throughput: --dynamics is a profiling mode; it cannot be \
+             combined with --check or --update-baseline (the committed \
+             trajectory measures the static workload)"
+        );
+        return ExitCode::from(2);
+    }
     let entry = measure(&args);
     println!(
         "sim_throughput: {} pages x {} reps: {} visits, {} events in {:.0} ms",

@@ -1,7 +1,7 @@
 //! Visit configuration.
 
 use h3cdn_cdn::Vantage;
-use h3cdn_netsim::FaultPlan;
+use h3cdn_netsim::{DynamicsProfile, FaultPlan, QueueDiscipline};
 use h3cdn_sim_core::units::DataRate;
 use h3cdn_sim_core::SimDuration;
 use h3cdn_transport::CcAlgorithm;
@@ -91,6 +91,16 @@ pub struct VisitConfig {
     /// (and installs no fault state at all, preserving bit-identical
     /// loss draws).
     pub faults: Option<FaultSpec>,
+    /// Queue discipline of the client's access-link serialisers (uplink
+    /// and downlink). The default deep tail-drop FIFO reproduces the
+    /// pre-discipline fabric bit-identically.
+    pub queue: QueueDiscipline,
+    /// Continuous path dynamics: a trace profile driven onto every
+    /// client↔edge path (same trace phase on each — the client's access
+    /// network is what degrades), with the dynamic bottleneck running
+    /// [`VisitConfig::queue`]. `None` installs no dynamics state at all,
+    /// preserving bit-identical loss draws.
+    pub path_dynamics: Option<DynamicsProfile>,
     /// Deterministic watchdog: cap on simulator events for the visit.
     /// A visit that exhausts the budget aborts with the engine's
     /// [`StallReport`](h3cdn_netsim::StallReport) diagnosis instead of
@@ -154,6 +164,8 @@ impl Default for VisitConfig {
             jitter_salt: 0x4A17_7E12,
             h3_fallback: false,
             faults: None,
+            queue: QueueDiscipline::DropTailDeep,
+            path_dynamics: None,
             max_sim_events: None,
         }
     }
@@ -196,6 +208,19 @@ impl VisitConfig {
         self
     }
 
+    /// Returns a copy with the given access-link queue discipline.
+    pub fn with_queue(mut self, queue: QueueDiscipline) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Returns a copy with the given continuous-dynamics profile driven
+    /// onto every client↔edge path (`None` clears it).
+    pub fn with_path_dynamics(mut self, profile: Option<DynamicsProfile>) -> Self {
+        self.path_dynamics = profile;
+        self
+    }
+
     /// Returns a copy with the given sim-event watchdog budget
     /// (`None` disables it).
     pub fn with_max_sim_events(mut self, budget: Option<u64>) -> Self {
@@ -229,5 +254,23 @@ mod tests {
     #[should_panic(expected = "loss percent")]
     fn loss_range_checked() {
         let _ = VisitConfig::default().with_loss_percent(101.0);
+    }
+
+    #[test]
+    fn dynamics_builders() {
+        let cfg = VisitConfig::default()
+            .with_queue(QueueDiscipline::CoDel)
+            .with_path_dynamics(Some(DynamicsProfile::OscillatingBottleneck));
+        assert_eq!(cfg.queue, QueueDiscipline::CoDel);
+        assert_eq!(
+            cfg.path_dynamics,
+            Some(DynamicsProfile::OscillatingBottleneck)
+        );
+        let cleared = cfg.with_path_dynamics(None);
+        assert_eq!(cleared.path_dynamics, None);
+        // The default must reproduce the pre-dynamics fabric.
+        let d = VisitConfig::default();
+        assert_eq!(d.queue, QueueDiscipline::DropTailDeep);
+        assert_eq!(d.path_dynamics, None);
     }
 }

@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use h3cdn_cdn::{edge, Vantage};
 use h3cdn_har::HarPage;
 use h3cdn_http::{Catalog, ResponseSpec};
-use h3cdn_netsim::{Engine, LossModel, Network, PathSpec};
+use h3cdn_netsim::{Engine, LossModel, Network, PathSpec, QueueStats};
 use h3cdn_sim_core::{SimDuration, SimRng, SimTime};
 use h3cdn_transport::quic::QuicConfig;
 use h3cdn_transport::tcp::TcpConfig;
@@ -87,6 +87,14 @@ pub struct VisitStats {
     /// Packets consumed by injected faults (blackouts, UDP blackholes,
     /// loss bursts, collapsed-link overflows).
     pub packets_fault_dropped: u64,
+    /// Packets dropped by continuous path dynamics (trace-driven loss or
+    /// dynamic-bottleneck queue overflow/AQM); zero when
+    /// [`VisitConfig::path_dynamics`] is `None`.
+    pub packets_dynamics_dropped: u64,
+    /// Aggregate queue statistics across every serialiser in the fabric
+    /// (access links, path bottlenecks, dynamic bottlenecks): transmit,
+    /// drop and sojourn-time counters for the bufferbloat analysis.
+    pub queue: QueueStats,
     /// Simulator events dispatched by the engine during the visit
     /// (arrivals + wakeups) — the denominator of the `sim_throughput`
     /// bench's events/sec metric.
@@ -217,8 +225,8 @@ fn run_visit(
         .wrapping_add(vantage_index(cfg.vantage) << 32);
     let mut net = Network::new(net_seed);
     let client_node = net.add_node();
-    net.set_ingress_rate(client_node, cfg.downlink);
-    net.set_egress_rate(client_node, cfg.uplink);
+    net.set_ingress_link(client_node, cfg.downlink, cfg.queue);
+    net.set_egress_link(client_node, cfg.uplink, cfg.queue);
     let total_loss = cfg.loss_percent + cfg.baseline_loss_percent;
     let loss = if cfg.bursty_loss {
         LossModel::bursty_percent(total_loss)
@@ -226,6 +234,10 @@ fn run_visit(
         LossModel::iid_percent(total_loss)
     };
 
+    // The same trace phase drives every client↔edge path: it is the
+    // client's access network that roams/oscillates, not each path
+    // independently.
+    let dynamics_trace = cfg.path_dynamics.map(|p| p.trace(net_seed));
     let mut node_of: HashMap<DomainId, h3cdn_netsim::NodeId> = HashMap::new();
     let mut info_of: HashMap<DomainId, DomainInfo> = HashMap::new();
     for &d in &used {
@@ -236,6 +248,9 @@ fn run_visit(
             if spec.selects(d.0, cfg.jitter_salt) {
                 net.set_fault_plan_symmetric(client_node, node, spec.plan.clone());
             }
+        }
+        if let Some(trace) = &dynamics_trace {
+            net.set_path_dynamics_symmetric(client_node, node, trace.clone(), cfg.queue);
         }
         node_of.insert(d, node);
         info_of.insert(
@@ -324,6 +339,8 @@ fn run_visit(
         packets_delivered: net.delivered(),
         packets_lost: net.lost(),
         packets_fault_dropped: net.fault_dropped(),
+        packets_dynamics_dropped: net.dynamics_dropped(),
+        queue: net.queue_stats(),
         sim_events,
     };
     let client = hosts
@@ -866,10 +883,12 @@ mod tests {
         // died while it lasted.
         let corpus = small_corpus();
         let page = h3_rich_page(&corpus);
-        let plan = FaultPlan::new().blackout(
-            SimTime::ZERO + SimDuration::from_millis(50),
-            SimTime::ZERO + SimDuration::from_millis(1500),
-        );
+        let plan = FaultPlan::new()
+            .blackout(
+                SimTime::ZERO + SimDuration::from_millis(50),
+                SimTime::ZERO + SimDuration::from_millis(1500),
+            )
+            .unwrap();
         let cfg = VisitConfig::default()
             .with_faults(FaultSpec::everywhere(plan))
             .with_h3_fallback(true);
@@ -953,5 +972,111 @@ mod tests {
         // responses can *reschedule* the page such that the final entry
         // lands earlier — max-completion is not monotone in per-request
         // delay.
+    }
+
+    #[test]
+    fn path_dynamics_visits_complete_and_are_deterministic() {
+        use h3cdn_netsim::DynamicsProfile;
+        let corpus = small_corpus();
+        let page = h3_rich_page(&corpus);
+        for profile in DynamicsProfile::ALL {
+            let cfg = VisitConfig::default().with_path_dynamics(Some(profile));
+            let a = visit_page(page, &corpus.domains, &cfg, TicketStore::new());
+            let b = visit_page(page, &corpus.domains, &cfg, TicketStore::new());
+            assert_eq!(
+                a.har.entries.len(),
+                page.request_count(),
+                "{profile}: the page must complete under dynamics"
+            );
+            assert_eq!(a.har.plt_ms, b.har.plt_ms, "{profile}");
+            assert_eq!(a.stats, b.stats, "{profile}: stats must replay bitwise");
+            assert!(
+                a.stats.queue.transmitted > 0,
+                "{profile}: dynamic bottlenecks must carry traffic"
+            );
+            // The dynamic bottleneck slows the page relative to the
+            // static gigabit fabric.
+            let static_plt = visit_page(
+                page,
+                &corpus.domains,
+                &VisitConfig::default(),
+                TicketStore::new(),
+            )
+            .har
+            .plt_ms;
+            assert!(
+                a.har.plt_ms > static_plt,
+                "{profile}: dynamics must cost time ({static_plt:.1}ms vs {:.1}ms)",
+                a.har.plt_ms
+            );
+        }
+    }
+
+    #[test]
+    fn no_dynamics_means_no_dynamics_drops() {
+        let corpus = small_corpus();
+        let stats = visit_page(
+            &corpus.pages[0],
+            &corpus.domains,
+            &VisitConfig::default(),
+            TicketStore::new(),
+        )
+        .stats;
+        assert_eq!(stats.packets_dynamics_dropped, 0);
+    }
+
+    /// A page heavy enough (≈2.1 MB over ~95 requests) that slow-start
+    /// overshoot builds a real standing queue in the oscillating
+    /// bottleneck's buffer — the light `small_corpus` pages finish
+    /// before any queue forms and every CC/discipline ties exactly.
+    fn heavy_corpus() -> h3cdn_web::Corpus {
+        generate(&WorkloadSpec::default().with_pages(8).with_seed(42))
+    }
+
+    #[test]
+    fn bbr_carries_less_standing_queue_than_cubic() {
+        use h3cdn_netsim::DynamicsProfile;
+        use h3cdn_transport::CcAlgorithm;
+        // Deep tail-drop buffers on an oscillating 40↔4 Mbps bottleneck:
+        // Cubic fills the buffer until loss, BBR models the pipe. The
+        // bufferbloat gap shows up as mean queue sojourn.
+        let corpus = heavy_corpus();
+        let page = &corpus.pages[6];
+        let base =
+            VisitConfig::default().with_path_dynamics(Some(DynamicsProfile::OscillatingBottleneck));
+        let cubic = visit_page(page, &corpus.domains, &base, TicketStore::new()).stats;
+        let bbr_cfg = VisitConfig {
+            cc: CcAlgorithm::Bbr,
+            ..base
+        };
+        let bbr = visit_page(page, &corpus.domains, &bbr_cfg, TicketStore::new()).stats;
+        assert!(
+            bbr.queue.mean_sojourn_ms() < cubic.queue.mean_sojourn_ms(),
+            "BBR must queue less than Cubic: {:.2}ms vs {:.2}ms",
+            bbr.queue.mean_sojourn_ms(),
+            cubic.queue.mean_sojourn_ms()
+        );
+    }
+
+    #[test]
+    fn codel_bounds_sojourn_below_deep_droptail() {
+        use h3cdn_netsim::{DynamicsProfile, QueueDiscipline};
+        let corpus = heavy_corpus();
+        let page = &corpus.pages[6];
+        let base =
+            VisitConfig::default().with_path_dynamics(Some(DynamicsProfile::OscillatingBottleneck));
+        let tail = visit_page(page, &corpus.domains, &base, TicketStore::new()).stats;
+        let codel_cfg = base.with_queue(QueueDiscipline::CoDel);
+        let codel = visit_page(page, &corpus.domains, &codel_cfg, TicketStore::new()).stats;
+        assert!(
+            codel.queue.mean_sojourn_ms() < tail.queue.mean_sojourn_ms(),
+            "CoDel must bound sojourn: {:.2}ms vs droptail {:.2}ms",
+            codel.queue.mean_sojourn_ms(),
+            tail.queue.mean_sojourn_ms()
+        );
+        assert!(
+            codel.queue.aqm_dropped > 0,
+            "CoDel must have engaged on the standing queue"
+        );
     }
 }

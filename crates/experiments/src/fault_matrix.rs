@@ -71,10 +71,12 @@ impl FaultScenario {
     /// A full bidirectional blackout over `[from_ms, until_ms)` on
     /// every path — both stacks lose packets and must recover.
     pub fn blackout_ms(from_ms: u64, until_ms: u64) -> Self {
-        let plan = FaultPlan::new().blackout(
-            SimTime::ZERO + SimDuration::from_millis(from_ms),
-            SimTime::ZERO + SimDuration::from_millis(until_ms),
-        );
+        let plan = FaultPlan::new()
+            .blackout(
+                SimTime::ZERO + SimDuration::from_millis(from_ms),
+                SimTime::ZERO + SimDuration::from_millis(until_ms),
+            )
+            .expect("blackout window is well-formed");
         FaultScenario {
             name: format!("blackout {from_ms}-{until_ms}ms"),
             faults: Some(FaultSpec::everywhere(plan)),

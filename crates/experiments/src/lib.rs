@@ -57,6 +57,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod path_dynamics;
 pub mod report;
 pub mod sensitivity;
 pub mod table1;

@@ -90,23 +90,67 @@ impl FaultWindow {
     }
 }
 
+/// Why a fault window is malformed.
+///
+/// Builder validation returns these instead of panicking so a malformed
+/// scenario config surfaces as a quarantinable job error rather than
+/// aborting a whole campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlanError {
+    /// The window's `until` precedes its `from`.
+    InvertedWindow {
+        /// Requested start of the window.
+        from: SimTime,
+        /// Requested end of the window.
+        until: SimTime,
+    },
+    /// A loss-burst probability is outside `[0, 1]` (or not finite).
+    LossProbabilityOutOfRange {
+        /// The rejected probability.
+        p: f64,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::InvertedWindow { from, until } => write!(
+                f,
+                "fault window ends before it starts ({} ns > {} ns)",
+                from.as_nanos(),
+                until.as_nanos()
+            ),
+            FaultPlanError::LossProbabilityOutOfRange { p } => {
+                write!(f, "loss-burst p out of range: {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// A schedule of impairments for one directed path. Attach with
 /// [`Network::set_fault_plan`](crate::Network::set_fault_plan).
 ///
 /// Windows may overlap; each active window is applied in insertion order
 /// (drops short-circuit, rate collapses compose by delaying the packet).
+/// Builders validate their windows and return [`FaultPlanError`] on
+/// malformed input instead of panicking.
 ///
 /// # Example
 ///
 /// ```
-/// use h3cdn_netsim::fault::FaultPlan;
+/// use h3cdn_netsim::fault::{FaultPlan, FaultPlanError};
 /// use h3cdn_sim_core::{SimDuration, SimTime};
 ///
+/// # fn main() -> Result<(), FaultPlanError> {
 /// let t = |s| SimTime::ZERO + SimDuration::from_secs(s);
 /// let plan = FaultPlan::new()
-///     .udp_blackhole(SimTime::ZERO, SimTime::MAX) // QUIC-hostile middlebox
-///     .blackout(t(2), t(3)); // plus a 1 s total outage
+///     .udp_blackhole(SimTime::ZERO, SimTime::MAX)? // QUIC-hostile middlebox
+///     .blackout(t(2), t(3))?; // plus a 1 s total outage
 /// assert!(plan != FaultPlan::new());
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultPlan {
@@ -119,47 +163,58 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// Adds an arbitrary window (builder style).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `from > until`, or if a [`FaultKind::LossBurst`]
-    /// probability is outside `[0, 1]`.
-    pub(crate) fn window(mut self, from: SimTime, until: SimTime, kind: FaultKind) -> Self {
-        assert!(from <= until, "fault window ends before it starts");
-        if let FaultKind::LossBurst { p } = kind {
-            assert!((0.0..=1.0).contains(&p), "loss-burst p out of range: {p}");
+    /// Validates and adds an arbitrary window (builder style).
+    pub(crate) fn window(
+        self,
+        from: SimTime,
+        until: SimTime,
+        kind: FaultKind,
+    ) -> Result<Self, FaultPlanError> {
+        if from > until {
+            return Err(FaultPlanError::InvertedWindow { from, until });
         }
+        if let FaultKind::LossBurst { p } = kind {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(FaultPlanError::LossProbabilityOutOfRange { p });
+            }
+        }
+        Ok(self.push_window(from, until, kind))
+    }
+
+    /// Appends a window known to be valid (internal use only).
+    fn push_window(mut self, from: SimTime, until: SimTime, kind: FaultKind) -> Self {
         self.windows.push(FaultWindow { from, until, kind });
         self
     }
 
     /// Adds a full blackout window (builder style).
-    pub fn blackout(self, from: SimTime, until: SimTime) -> Self {
+    pub fn blackout(self, from: SimTime, until: SimTime) -> Result<Self, FaultPlanError> {
         self.window(from, until, FaultKind::Blackout)
     }
 
     /// Adds a UDP-blackhole window (builder style).
-    pub fn udp_blackhole(self, from: SimTime, until: SimTime) -> Self {
+    pub fn udp_blackhole(self, from: SimTime, until: SimTime) -> Result<Self, FaultPlanError> {
         self.window(from, until, FaultKind::UdpBlackhole)
     }
 
     /// A permanent UDP blackhole: the canonical QUIC-hostile middlebox.
     pub fn udp_blackhole_always() -> Self {
-        FaultPlan::new().udp_blackhole(SimTime::ZERO, SimTime::MAX)
+        FaultPlan::new().push_window(SimTime::ZERO, SimTime::MAX, FaultKind::UdpBlackhole)
     }
 
-    /// Adds a loss-burst window (builder style).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `[0, 1]`.
-    pub fn loss_burst(self, from: SimTime, until: SimTime, p: f64) -> Self {
+    /// Adds a loss-burst window (builder style); `p` must lie in
+    /// `[0, 1]`.
+    pub fn loss_burst(self, from: SimTime, until: SimTime, p: f64) -> Result<Self, FaultPlanError> {
         self.window(from, until, FaultKind::LossBurst { p })
     }
 
     /// Adds a rate-collapse window (builder style).
-    pub fn rate_collapse(self, from: SimTime, until: SimTime, rate: DataRate) -> Self {
+    pub fn rate_collapse(
+        self,
+        from: SimTime,
+        until: SimTime,
+        rate: DataRate,
+    ) -> Result<Self, FaultPlanError> {
         self.window(from, until, FaultKind::RateCollapse { rate })
     }
 
@@ -277,7 +332,7 @@ mod tests {
 
     #[test]
     fn blackout_drops_everything_inside_window_only() {
-        let mut s = state(FaultPlan::new().blackout(t(10), t(20)));
+        let mut s = state(FaultPlan::new().blackout(t(10), t(20)).unwrap());
         for class in [
             TransportClass::Udp,
             TransportClass::Tcp,
@@ -319,7 +374,11 @@ mod tests {
     #[test]
     fn loss_burst_drops_at_configured_rate_and_is_deterministic() {
         let run = || {
-            let mut s = state(FaultPlan::new().loss_burst(t(0), SimTime::MAX, 0.3));
+            let mut s = state(
+                FaultPlan::new()
+                    .loss_burst(t(0), SimTime::MAX, 0.3)
+                    .unwrap(),
+            );
             (0..10_000)
                 .map(|i| s.apply(TransportClass::Tcp, t(i), ByteCount::new(100)))
                 .collect::<Vec<_>>()
@@ -334,8 +393,11 @@ mod tests {
     #[test]
     fn rate_collapse_delays_then_drops_on_overflow() {
         // 8 Mbps = 1 byte/µs.
-        let mut s =
-            state(FaultPlan::new().rate_collapse(t(0), SimTime::MAX, DataRate::from_mbps(8)));
+        let mut s = state(
+            FaultPlan::new()
+                .rate_collapse(t(0), SimTime::MAX, DataRate::from_mbps(8))
+                .unwrap(),
+        );
         let d1 = s.apply(TransportClass::Udp, t(0), ByteCount::new(1000));
         assert_eq!(
             d1,
@@ -358,7 +420,9 @@ mod tests {
         let mut s = state(
             FaultPlan::new()
                 .udp_blackhole(t(0), SimTime::MAX)
-                .rate_collapse(t(0), SimTime::MAX, DataRate::from_mbps(8)),
+                .unwrap()
+                .rate_collapse(t(0), SimTime::MAX, DataRate::from_mbps(8))
+                .unwrap(),
         );
         assert_eq!(
             s.apply(TransportClass::Udp, t(0), ByteCount::new(1000)),
@@ -371,14 +435,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ends before it starts")]
     fn inverted_window_rejected() {
-        let _ = FaultPlan::new().blackout(t(10), t(5));
+        assert_eq!(
+            FaultPlan::new().blackout(t(10), t(5)),
+            Err(FaultPlanError::InvertedWindow {
+                from: t(10),
+                until: t(5),
+            })
+        );
+        let msg = FaultPlanError::InvertedWindow {
+            from: t(10),
+            until: t(5),
+        }
+        .to_string();
+        assert!(msg.contains("ends before it starts"), "{msg}");
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
     fn loss_burst_probability_validated() {
-        let _ = FaultPlan::new().loss_burst(t(0), t(1), 1.5);
+        assert_eq!(
+            FaultPlan::new().loss_burst(t(0), t(1), 1.5),
+            Err(FaultPlanError::LossProbabilityOutOfRange { p: 1.5 })
+        );
+        assert!(FaultPlan::new().loss_burst(t(0), t(1), f64::NAN).is_err());
+        let msg = FaultPlanError::LossProbabilityOutOfRange { p: 1.5 }.to_string();
+        assert!(msg.contains("out of range"), "{msg}");
+    }
+
+    #[test]
+    fn valid_windows_build_and_errors_do_not_mutate() {
+        // A failed builder step returns Err and the original plan value
+        // was consumed; chaining with `?` therefore cannot half-build.
+        let plan = FaultPlan::new()
+            .blackout(t(1), t(2))
+            .and_then(|p| p.loss_burst(t(3), t(4), 0.5))
+            .unwrap();
+        assert!(!plan.is_empty());
     }
 }

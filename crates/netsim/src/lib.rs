@@ -46,6 +46,7 @@
 //! assert_eq!(end, SimTime::ZERO + SimDuration::from_millis(40));
 //! ```
 
+pub mod dynamics;
 pub mod engine;
 pub mod fault;
 pub mod link;
@@ -54,9 +55,10 @@ pub mod network;
 pub mod node;
 pub mod topology;
 
+pub use dynamics::{DynamicsProfile, PathTrace, TraceKey};
 pub use engine::{Engine, StallReport};
-pub use fault::{FaultPlan, TransportClass};
-pub use link::PathSpec;
+pub use fault::{FaultPlan, FaultPlanError, TransportClass};
+pub use link::{PathSpec, QueueDiscipline, QueueStats};
 pub use loss::LossModel;
 pub use network::Network;
 pub use node::{Node, NodeCtx, NodeId};

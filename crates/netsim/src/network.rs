@@ -3,8 +3,9 @@
 use h3cdn_sim_core::units::{ByteCount, DataRate};
 use h3cdn_sim_core::{SimRng, SimTime};
 
+use crate::dynamics::{DynamicsOutcome, DynamicsState, PathTrace};
 use crate::fault::{FaultOutcome, FaultPlan, FaultState, TransportClass};
-use crate::link::{PathSpec, Serializer};
+use crate::link::{PathSpec, QueueDiscipline, QueueStats, Serializer};
 use crate::loss::LossProcess;
 use crate::node::NodeId;
 
@@ -31,10 +32,13 @@ pub struct Network {
     paths: Vec<Option<Path>>,
     /// Dense table, same indexing as `paths`.
     faults: Vec<Option<FaultState>>,
+    /// Dense table, same indexing as `paths`: continuous path dynamics.
+    dynamics: Vec<Option<DynamicsState>>,
     default_spec: PathSpec,
     delivered: u64,
     lost: u64,
     fault_dropped: u64,
+    dynamics_dropped: u64,
 }
 
 #[derive(Debug, Default)]
@@ -74,10 +78,12 @@ impl Network {
             nodes: Vec::new(),
             paths: Vec::new(),
             faults: Vec::new(),
+            dynamics: Vec::new(),
             default_spec: PathSpec::default(),
             delivered: 0,
             lost: 0,
             fault_dropped: 0,
+            dynamics_dropped: 0,
         }
     }
 
@@ -91,6 +97,7 @@ impl Network {
         // driver, so the moves below are almost always over empty tables.
         restride(&mut self.paths, old);
         restride(&mut self.faults, old);
+        restride(&mut self.dynamics, old);
         id
     }
 
@@ -105,15 +112,29 @@ impl Network {
         self.nodes.len()
     }
 
-    /// Rate-limits everything `node` sends (e.g. a client's uplink).
+    /// Rate-limits everything `node` sends (e.g. a client's uplink) with
+    /// the default deep tail-drop queue.
     pub fn set_egress_rate(&mut self, node: NodeId, rate: DataRate) {
-        self.nodes[node.index()].egress = Some(Serializer::new(rate, DEFAULT_QUEUE_CAPACITY));
+        self.set_egress_link(node, rate, QueueDiscipline::DropTailDeep);
+    }
+
+    /// Rate-limits everything `node` sends, with an explicit queue
+    /// discipline on the egress serialiser.
+    pub fn set_egress_link(&mut self, node: NodeId, rate: DataRate, queue: QueueDiscipline) {
+        self.nodes[node.index()].egress = Some(Serializer::with_discipline(rate, queue));
     }
 
     /// Rate-limits everything `node` receives (e.g. a client's downlink —
-    /// the shared bottleneck when one page loads from many CDN edges).
+    /// the shared bottleneck when one page loads from many CDN edges)
+    /// with the default deep tail-drop queue.
     pub fn set_ingress_rate(&mut self, node: NodeId, rate: DataRate) {
-        self.nodes[node.index()].ingress = Some(Serializer::new(rate, DEFAULT_QUEUE_CAPACITY));
+        self.set_ingress_link(node, rate, QueueDiscipline::DropTailDeep);
+    }
+
+    /// Rate-limits everything `node` receives, with an explicit queue
+    /// discipline on the ingress serialiser.
+    pub fn set_ingress_link(&mut self, node: NodeId, rate: DataRate, queue: QueueDiscipline) {
+        self.nodes[node.index()].ingress = Some(Serializer::with_discipline(rate, queue));
     }
 
     /// Sets the spec for the directed path `src → dst`.
@@ -174,6 +195,46 @@ impl Network {
         self.set_fault_plan(b, a, plan);
     }
 
+    /// Attaches continuous [path dynamics](crate::dynamics) to the
+    /// directed path `src → dst`: per-packet extra delay, extra IID
+    /// loss, and a varying-rate bottleneck running `queue`, all driven
+    /// by `trace`.
+    ///
+    /// Dynamics are evaluated after the path's fault plan and before
+    /// its static loss process, and — like faults — consume no draws
+    /// from the path loss stream, so installing a trace never reshuffles
+    /// the baseline loss pattern. The extra-loss stream forks off this
+    /// network's seed keyed by `(src, dst)`, so equal seeds replay
+    /// identically.
+    pub fn set_path_dynamics(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        trace: PathTrace,
+        queue: QueueDiscipline,
+    ) {
+        let rng = self
+            .rng
+            .fork(0xD11A ^ (((src.index() as u64) << 32) | dst.index() as u64));
+        let idx = self.pair(src, dst);
+        if let Some(slot) = self.dynamics.get_mut(idx) {
+            *slot = Some(DynamicsState::new(trace, queue, rng));
+        }
+    }
+
+    /// Attaches the same dynamics trace in both directions (each
+    /// direction gets its own queue and loss stream).
+    pub fn set_path_dynamics_symmetric(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        trace: PathTrace,
+        queue: QueueDiscipline,
+    ) {
+        self.set_path_dynamics(a, b, trace.clone(), queue);
+        self.set_path_dynamics(b, a, trace, queue);
+    }
+
     /// Sets the spec used for node pairs without an explicit path.
     pub fn set_default_path(&mut self, spec: PathSpec) {
         self.default_spec = spec;
@@ -202,6 +263,38 @@ impl Network {
         self.fault_dropped
     }
 
+    /// Packets consumed by continuous path dynamics — trace-driven extra
+    /// loss or the dynamic bottleneck's queue (a subset of
+    /// [`Network::lost`]).
+    pub fn dynamics_dropped(&self) -> u64 {
+        self.dynamics_dropped
+    }
+
+    /// Aggregated queue counters over every serialiser in the fabric:
+    /// access links, static path bottlenecks, and dynamic bottlenecks.
+    /// (Rate-collapse fault windows keep their own transient queues and
+    /// are accounted via [`Network::fault_dropped`] instead.)
+    pub fn queue_stats(&self) -> QueueStats {
+        let mut total = QueueStats::default();
+        for links in &self.nodes {
+            if let Some(s) = &links.egress {
+                total.merge(&s.stats());
+            }
+            if let Some(s) = &links.ingress {
+                total.merge(&s.stats());
+            }
+        }
+        for path in self.paths.iter().flatten() {
+            if let Some(s) = &path.serializer {
+                total.merge(&s.stats());
+            }
+        }
+        for state in self.dynamics.iter().flatten() {
+            total.merge(&state.queue_stats());
+        }
+        total
+    }
+
     /// Routes one packet of `size` bytes from `src` to `dst` starting at
     /// `now`, returning its delivery time or `None` when it is lost.
     ///
@@ -227,9 +320,11 @@ impl Network {
     ///
     /// The packet passes, in order: the sender's egress serialiser, the
     /// path's [fault plan](Network::set_fault_plan) (if any, using
-    /// `class` for protocol-selective faults), the path's random-loss
-    /// process, the path's own bottleneck (if any), propagation delay,
-    /// and the receiver's ingress serialiser.
+    /// `class` for protocol-selective faults), the path's
+    /// [continuous dynamics](Network::set_path_dynamics) (if any: extra
+    /// loss, the varying bottleneck, extra delay), the path's
+    /// random-loss process, the path's own bottleneck (if any),
+    /// propagation delay, and the receiver's ingress serialiser.
     ///
     /// # Panics
     ///
@@ -267,6 +362,18 @@ impl Network {
                 FaultOutcome::Drop => {
                     self.lost += 1;
                     self.fault_dropped += 1;
+                    return None;
+                }
+            },
+            None => depart,
+        };
+
+        let depart = match self.dynamics.get_mut(idx).and_then(|d| d.as_mut()) {
+            Some(state) => match state.apply(depart, size) {
+                DynamicsOutcome::Deliver(t) => t,
+                DynamicsOutcome::DropLoss | DynamicsOutcome::DropQueue => {
+                    self.lost += 1;
+                    self.dynamics_dropped += 1;
                     return None;
                 }
             },
@@ -514,7 +621,13 @@ mod tests {
         let (mut net, a, b) = two_node_net(PathSpec::with_delay(SimDuration::from_millis(1)));
         let from = SimTime::ZERO + SimDuration::from_millis(10);
         let until = SimTime::ZERO + SimDuration::from_millis(20);
-        net.set_fault_plan(a, b, crate::fault::FaultPlan::new().blackout(from, until));
+        net.set_fault_plan(
+            a,
+            b,
+            crate::fault::FaultPlan::new()
+                .blackout(from, until)
+                .unwrap(),
+        );
         let route_at = |net: &mut Network, ms: u64| {
             net.route_classified(
                 a,
@@ -610,5 +723,124 @@ mod tests {
     fn path_spec_query() {
         let (net, a, b) = two_node_net(PathSpec::with_delay(SimDuration::from_millis(42)));
         assert_eq!(net.path_spec(a, b).delay, SimDuration::from_millis(42));
+    }
+
+    fn flat_trace(delay_ms: u64, rate: DataRate, loss: f64) -> crate::dynamics::PathTrace {
+        crate::dynamics::PathTrace::new(
+            vec![
+                crate::dynamics::TraceKey {
+                    at: SimDuration::ZERO,
+                    extra_delay: SimDuration::from_millis(delay_ms),
+                    rate,
+                    extra_loss: loss,
+                },
+                crate::dynamics::TraceKey {
+                    at: SimDuration::from_secs(1),
+                    extra_delay: SimDuration::from_millis(delay_ms),
+                    rate,
+                    extra_loss: loss,
+                },
+            ],
+            SimDuration::from_secs(2),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn path_dynamics_adds_delay_and_counts_drops() {
+        let (mut net, a, b) = two_node_net(PathSpec::with_delay(SimDuration::from_millis(1)));
+        // 8 Mbps + 10 ms extra delay, no extra loss: a 1000 B packet
+        // takes 1 ms serialisation + 10 ms extra + 1 ms propagation.
+        net.set_path_dynamics(
+            a,
+            b,
+            flat_trace(10, DataRate::from_mbps(8), 0.0),
+            QueueDiscipline::DropTailDeep,
+        );
+        let t = net
+            .route(a, b, ByteCount::new(1000), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(t, SimTime::ZERO + SimDuration::from_millis(12));
+        // The reverse direction is untouched.
+        let back = net
+            .route(b, a, ByteCount::new(1000), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(back, SimTime::ZERO + SimDuration::from_millis(1));
+        assert_eq!(net.dynamics_dropped(), 0);
+        assert!(net.queue_stats().transmitted >= 1);
+
+        // Certain extra loss: every packet dies and is accounted.
+        net.set_path_dynamics(
+            a,
+            b,
+            flat_trace(0, DataRate::from_mbps(8), 1.0),
+            QueueDiscipline::DropTailDeep,
+        );
+        let lost_before = net.lost();
+        for _ in 0..10 {
+            assert!(net
+                .route(a, b, ByteCount::new(100), SimTime::ZERO)
+                .is_none());
+        }
+        assert_eq!(net.dynamics_dropped(), 10);
+        assert_eq!(net.lost(), lost_before + 10);
+    }
+
+    #[test]
+    fn dynamics_do_not_perturb_path_loss_stream() {
+        // Same guarantee as faults: installing a zero-loss trace must
+        // not change which packets the static loss process drops.
+        let run = |with_dynamics: bool| {
+            let mut net = Network::new(9);
+            let a = net.add_node();
+            let b = net.add_node();
+            net.set_path_symmetric(
+                a,
+                b,
+                PathSpec::with_delay(SimDuration::from_millis(1))
+                    .loss(crate::LossModel::Iid { p: 0.3 }),
+            );
+            if with_dynamics {
+                net.set_path_dynamics(
+                    a,
+                    b,
+                    flat_trace(0, DataRate::from_gbps(10), 0.0),
+                    QueueDiscipline::DropTailDeep,
+                );
+            }
+            (0..200)
+                .map(|i| {
+                    net.route(
+                        a,
+                        b,
+                        ByteCount::new(100),
+                        SimTime::from_nanos(i * 1_000_000),
+                    )
+                    .is_some()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn dynamics_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut net = Network::new(seed);
+            let a = net.add_node();
+            let b = net.add_node();
+            net.set_path_symmetric(a, b, PathSpec::with_delay(SimDuration::from_millis(1)));
+            net.set_path_dynamics_symmetric(
+                a,
+                b,
+                flat_trace(2, DataRate::from_mbps(8), 0.2),
+                QueueDiscipline::CoDel,
+            );
+            (0..300)
+                .map(|i| net.route(a, b, ByteCount::new(1200), SimTime::from_nanos(i * 300_000)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
     }
 }

@@ -1,0 +1,401 @@
+//! BBR congestion control (model-based, simplified from BBR v1).
+//!
+//! Where NewReno and CUBIC infer capacity from loss — filling the
+//! bottleneck queue until it overflows — BBR builds an explicit model of
+//! the path: a windowed-maximum delivery-rate estimate (`btl_bw`) and a
+//! windowed-minimum RTT (`min_rtt`). The congestion window tracks the
+//! bandwidth-delay product of that model, so on a deep (buffer-bloated)
+//! queue BBR keeps the standing queue near empty while the loss-based
+//! controllers keep it full. This is the behavioural difference the
+//! `path_dynamics` bufferbloat sweep measures.
+//!
+//! Simplifications relative to production BBR: window-driven rather than
+//! pacing-driven (the simulated stacks are ACK-clocked and have no
+//! pacer), delivery rate is estimated per epoch (one `min_rtt`-long
+//! aggregation window) instead of per packet, and ProbeRTT collapses to
+//! a short fixed-length window clamp.
+
+use h3cdn_sim_core::{SimDuration, SimTime};
+
+use super::{CongestionController, INITIAL_WINDOW, MIN_WINDOW, MSS};
+
+/// Delivery-rate filter length, in epochs (~10 RTTs like BBR's bw
+/// filter).
+const BW_FILTER_LEN: usize = 10;
+
+/// Startup/Drain gains (2/ln 2, as in BBR v1).
+const STARTUP_GAIN: f64 = 2.885;
+
+/// ProbeBw gain cycle, advanced once per epoch.
+const PROBE_BW_GAINS: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+
+/// `min_rtt` samples expire after this long, forcing a ProbeRTT dip.
+const MIN_RTT_WINDOW: SimDuration = SimDuration::from_secs(10);
+
+/// Length of the ProbeRTT window clamp.
+const PROBE_RTT_DURATION: SimDuration = SimDuration::from_millis(200);
+
+/// Startup declares the pipe full after this many epochs without ~25 %
+/// bandwidth growth.
+const FULL_BW_EPOCHS: u32 = 3;
+
+/// Floor for the epoch length so the estimator works before any RTT
+/// sample exists.
+const MIN_EPOCH: SimDuration = SimDuration::from_millis(1);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Startup,
+    Drain,
+    ProbeBw,
+    ProbeRtt,
+}
+
+/// The BBR controller (see module docs for scope).
+#[derive(Debug, Clone)]
+pub struct Bbr {
+    cwnd: u64,
+    in_flight: u64,
+    mode: Mode,
+    /// Windowed-max delivery-rate samples, bits/sec, newest last.
+    bw_samples: Vec<u64>,
+    /// Bytes acked inside the current estimation epoch.
+    epoch_acked: u64,
+    /// When the current estimation epoch began.
+    epoch_start: SimTime,
+    /// Windowed-min RTT and when it was last refreshed.
+    min_rtt: Option<SimDuration>,
+    min_rtt_at: SimTime,
+    /// Best bandwidth seen when Startup last checked for growth, and how
+    /// many consecutive checks saw no ~25 % improvement.
+    full_bw: u64,
+    full_bw_count: u32,
+    /// Index into [`PROBE_BW_GAINS`], advanced once per epoch.
+    cycle_index: usize,
+    /// When the current ProbeRTT window clamp ends.
+    probe_rtt_until: SimTime,
+    /// Window to restore after ProbeRTT.
+    saved_cwnd: u64,
+}
+
+impl Bbr {
+    /// Creates a controller with the standard initial window.
+    pub fn new() -> Self {
+        Bbr {
+            cwnd: INITIAL_WINDOW,
+            in_flight: 0,
+            mode: Mode::Startup,
+            bw_samples: Vec::with_capacity(BW_FILTER_LEN),
+            epoch_acked: 0,
+            epoch_start: SimTime::ZERO,
+            min_rtt: None,
+            min_rtt_at: SimTime::ZERO,
+            full_bw: 0,
+            full_bw_count: 0,
+            cycle_index: 0,
+            probe_rtt_until: SimTime::ZERO,
+            saved_cwnd: INITIAL_WINDOW,
+        }
+    }
+
+    /// The filtered bottleneck bandwidth estimate, bits/sec.
+    fn btl_bw(&self) -> u64 {
+        self.bw_samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Bandwidth-delay product of the current model, in bytes (0 until
+    /// both filters have samples).
+    fn bdp(&self) -> u64 {
+        let Some(min_rtt) = self.min_rtt else {
+            return 0;
+        };
+        ((self.btl_bw() as f64 / 8.0) * min_rtt.as_secs_f64()) as u64
+    }
+
+    /// Target window for the current mode, floored at the minimum.
+    fn target_window(&self) -> u64 {
+        let bdp = self.bdp();
+        if bdp == 0 {
+            // No model yet: keep whatever we have.
+            return self.cwnd;
+        }
+        let gain = match self.mode {
+            Mode::Startup | Mode::Drain => STARTUP_GAIN,
+            Mode::ProbeBw => PROBE_BW_GAINS
+                .get(self.cycle_index % PROBE_BW_GAINS.len())
+                .copied()
+                .unwrap_or(1.0),
+            Mode::ProbeRtt => return (4 * MSS).max(MIN_WINDOW),
+        };
+        (((bdp as f64) * gain) as u64).max(MIN_WINDOW)
+    }
+
+    /// Epoch length: one `min_rtt`, floored so estimation starts before
+    /// the first RTT sample.
+    fn epoch_len(&self) -> SimDuration {
+        self.min_rtt.unwrap_or(MIN_EPOCH).max(MIN_EPOCH)
+    }
+
+    /// Closes the estimation epoch at `now` if it has run a full
+    /// `min_rtt`, pushing a delivery-rate sample and driving the mode
+    /// machine.
+    fn maybe_advance_epoch(&mut self, now: SimTime) {
+        let elapsed = now.saturating_duration_since(self.epoch_start);
+        if elapsed < self.epoch_len() {
+            return;
+        }
+        let secs = elapsed.as_secs_f64();
+        if secs > 0.0 {
+            let sample_bps = (self.epoch_acked as f64 * 8.0 / secs) as u64;
+            if self.bw_samples.len() >= BW_FILTER_LEN {
+                self.bw_samples.remove(0);
+            }
+            self.bw_samples.push(sample_bps);
+        }
+        self.epoch_acked = 0;
+        self.epoch_start = now;
+
+        match self.mode {
+            Mode::Startup => {
+                // Full-pipe detection: three epochs without 25 % growth.
+                let bw = self.btl_bw();
+                if bw > self.full_bw + self.full_bw / 4 {
+                    self.full_bw = bw;
+                    self.full_bw_count = 0;
+                } else {
+                    self.full_bw_count += 1;
+                    if self.full_bw_count >= FULL_BW_EPOCHS && self.bdp() > 0 {
+                        self.mode = Mode::Drain;
+                    }
+                }
+            }
+            Mode::Drain => {
+                // Drain is exited from on_ack when inflight ≤ BDP.
+            }
+            Mode::ProbeBw => {
+                self.cycle_index = (self.cycle_index + 1) % PROBE_BW_GAINS.len();
+            }
+            Mode::ProbeRtt => {
+                if now >= self.probe_rtt_until {
+                    self.min_rtt_at = now;
+                    self.mode = if self.bdp() > 0 {
+                        Mode::ProbeBw
+                    } else {
+                        Mode::Startup
+                    };
+                    self.cwnd = self.saved_cwnd.max(MIN_WINDOW);
+                }
+            }
+        }
+    }
+}
+
+impl Default for Bbr {
+    fn default() -> Self {
+        Bbr::new()
+    }
+}
+
+impl CongestionController for Bbr {
+    fn on_packet_sent(&mut self, bytes: u64, _now: SimTime) {
+        self.in_flight += bytes;
+    }
+
+    fn on_ack(&mut self, bytes: u64, now: SimTime) {
+        self.in_flight = self.in_flight.saturating_sub(bytes);
+        self.epoch_acked += bytes;
+        self.maybe_advance_epoch(now);
+
+        match self.mode {
+            Mode::Startup => {
+                // Exponential growth while searching for the pipe, like
+                // slow start but capped by the model once it exists.
+                self.cwnd += bytes;
+            }
+            Mode::Drain => {
+                let bdp = self.bdp();
+                self.cwnd = self.target_window().min(self.cwnd);
+                if bdp > 0 && self.in_flight <= bdp {
+                    self.mode = Mode::ProbeBw;
+                    self.cycle_index = 0;
+                    self.cwnd = bdp.max(MIN_WINDOW);
+                }
+            }
+            Mode::ProbeBw => {
+                self.cwnd = self.target_window();
+            }
+            Mode::ProbeRtt => {
+                self.cwnd = self.target_window();
+            }
+        }
+        self.cwnd = self.cwnd.max(MIN_WINDOW);
+    }
+
+    fn on_congestion_event(&mut self, now: SimTime) {
+        // BBR v1 does not react to isolated losses — the model, not the
+        // loss signal, sets the rate. We still leave ProbeBw's probing
+        // gain for the rest of the cycle to avoid hammering a shrinking
+        // bottleneck (trace-driven rate drops reach the model through
+        // delivery-rate epochs within ~10 RTTs).
+        let _ = now;
+        if self.mode == Mode::ProbeBw && self.cycle_index == 0 {
+            // Skip the 1.25 probing phase if it just caused loss.
+            self.cycle_index = 1;
+            self.cwnd = self.target_window();
+        }
+    }
+
+    fn on_timeout(&mut self, now: SimTime) {
+        // A retransmission timeout means the model is stale: collapse
+        // the window and rebuild from scratch, like BBR after loss
+        // recovery resets.
+        self.cwnd = MIN_WINDOW;
+        self.mode = Mode::Startup;
+        self.bw_samples.clear();
+        self.epoch_acked = 0;
+        self.epoch_start = now;
+        self.full_bw = 0;
+        self.full_bw_count = 0;
+        self.cycle_index = 0;
+    }
+
+    fn on_rtt_sample(&mut self, rtt: SimDuration, now: SimTime) {
+        if self.min_rtt.is_none_or(|m| rtt <= m) {
+            self.min_rtt = Some(rtt);
+            self.min_rtt_at = now;
+            return;
+        }
+        let expired = now.saturating_duration_since(self.min_rtt_at) > MIN_RTT_WINDOW;
+        if expired && self.mode != Mode::ProbeRtt {
+            // Stale floor: dip the window to drain the queue and
+            // re-measure. This sample becomes the provisional floor;
+            // lower ones taken during the dip replace it.
+            self.mode = Mode::ProbeRtt;
+            self.probe_rtt_until = now + PROBE_RTT_DURATION;
+            self.saved_cwnd = self.cwnd;
+            self.cwnd = (4 * MSS).max(MIN_WINDOW);
+            self.min_rtt = Some(rtt);
+            self.min_rtt_at = now;
+        }
+    }
+
+    fn window(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn bytes_in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.mode == Mode::Startup
+    }
+
+    fn name(&self) -> &'static str {
+        "bbr"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    /// ACK-clock the controller against an ideal link of `rate_bps` with
+    /// the given RTT for `rounds` round trips; returns the final time.
+    fn drive(cc: &mut Bbr, rate_bps: u64, rtt_ms: u64, rounds: u64, start_ms: u64) -> u64 {
+        let mut now_ms = start_ms;
+        for _ in 0..rounds {
+            // Send a window's worth, then receive the ACKs one RTT later
+            // (capped by what the link can deliver in one RTT).
+            let deliverable = rate_bps / 8 * rtt_ms / 1000;
+            let burst = cc.window().min(deliverable.max(MSS));
+            cc.on_packet_sent(burst, at(now_ms));
+            now_ms += rtt_ms;
+            cc.on_rtt_sample(SimDuration::from_millis(rtt_ms), at(now_ms));
+            cc.on_ack(burst, at(now_ms));
+        }
+        now_ms
+    }
+
+    #[test]
+    fn startup_grows_exponentially() {
+        let mut cc = Bbr::new();
+        assert_eq!(cc.window(), INITIAL_WINDOW);
+        assert!(cc.in_slow_start());
+        cc.on_packet_sent(INITIAL_WINDOW, at(0));
+        cc.on_ack(INITIAL_WINDOW, at(0));
+        assert_eq!(cc.window(), 2 * INITIAL_WINDOW);
+    }
+
+    #[test]
+    fn converges_to_the_bdp_and_exits_startup() {
+        let mut cc = Bbr::new();
+        // 16 Mbps, 50 ms RTT: BDP = 100 kB.
+        drive(&mut cc, 16_000_000, 50, 60, 0);
+        assert!(!cc.in_slow_start(), "must leave Startup: {cc:?}");
+        let bdp = 16_000_000 / 8 / 20; // 100_000 B
+                                       // The steady window must track the BDP within the gain cycle's
+                                       // swing, far below what a loss-based controller would pile into
+                                       // a deep buffer.
+        assert!(
+            cc.window() >= bdp / 2 && cc.window() <= bdp * 3,
+            "window {} vs bdp {bdp}",
+            cc.window()
+        );
+    }
+
+    #[test]
+    fn model_tracks_a_rate_drop() {
+        let mut cc = Bbr::new();
+        let end = drive(&mut cc, 16_000_000, 50, 60, 0);
+        let w_fast = cc.window();
+        // The link collapses 8x; within the bw filter length the model —
+        // and the window — must follow it down.
+        drive(&mut cc, 2_000_000, 50, 40, end);
+        let w_slow = cc.window();
+        assert!(
+            w_slow < w_fast / 2,
+            "window must follow the model down: {w_fast} -> {w_slow}"
+        );
+    }
+
+    #[test]
+    fn isolated_loss_does_not_collapse_the_window() {
+        let mut cc = Bbr::new();
+        drive(&mut cc, 16_000_000, 50, 60, 0);
+        let before = cc.window();
+        cc.on_congestion_event(at(10_000));
+        assert!(
+            cc.window() >= before / 2,
+            "BBR must not halve on one loss: {before} -> {}",
+            cc.window()
+        );
+        assert!(cc.window() >= MIN_WINDOW);
+    }
+
+    #[test]
+    fn timeout_collapses_and_restarts() {
+        let mut cc = Bbr::new();
+        drive(&mut cc, 16_000_000, 50, 60, 0);
+        cc.on_timeout(at(10_000));
+        assert_eq!(cc.window(), MIN_WINDOW);
+        assert!(cc.in_slow_start());
+        // And it can grow again immediately.
+        cc.on_packet_sent(MSS, at(10_000));
+        cc.on_ack(MSS, at(10_000));
+        assert!(cc.window() > MIN_WINDOW);
+    }
+
+    #[test]
+    fn in_flight_never_underflows() {
+        let mut cc = Bbr::new();
+        cc.on_packet_sent(100, at(0));
+        cc.on_ack(100, at(1));
+        cc.on_ack(100, at(2)); // spurious extra ACK
+        assert_eq!(cc.bytes_in_flight(), 0);
+    }
+}

@@ -5,15 +5,21 @@
 //! of our transports drive the same [`CongestionController`] trait. The
 //! Cubic-vs-NewReno ablation bench (`cc_ablation`) quantifies how much of
 //! an observed H3 gain could instead be explained by CC differences —
-//! mirroring Yu & Benson's warning cited in the paper.
+//! mirroring Yu & Benson's warning cited in the paper. [`Bbr`] joins them
+//! because production CDNs default QUIC to BBR: it is model-based (it
+//! paces to an estimated bandwidth-delay product instead of filling the
+//! queue until loss), which is exactly the regime the `path_dynamics`
+//! bufferbloat sweep separates from the loss-based controllers.
 
+mod bbr;
 mod cubic;
 mod new_reno;
 
+pub use bbr::Bbr;
 pub use cubic::Cubic;
 pub use new_reno::NewReno;
 
-use h3cdn_sim_core::SimTime;
+use h3cdn_sim_core::{SimDuration, SimTime};
 
 /// Sender-side maximum segment/packet payload size in bytes. One value is
 /// shared by both stacks so windows are comparable.
@@ -44,6 +50,14 @@ pub trait CongestionController: std::fmt::Debug + Send {
     /// Records a retransmission-timeout-class collapse.
     fn on_timeout(&mut self, now: SimTime);
 
+    /// Records a round-trip-time sample taken by the transport's RTT
+    /// estimator. Loss-based controllers ignore this (default no-op);
+    /// model-based controllers ([`Bbr`]) feed their min-RTT filter and
+    /// delivery-rate epochs from it.
+    fn on_rtt_sample(&mut self, rtt: SimDuration, now: SimTime) {
+        let _ = (rtt, now);
+    }
+
     /// Current congestion window in bytes.
     fn window(&self) -> u64;
 
@@ -65,6 +79,8 @@ pub enum CcAlgorithm {
     /// CUBIC (RFC 8312 spirit), the default in Linux and most QUIC stacks.
     #[default]
     Cubic,
+    /// BBR (model-based), the default for QUIC at the large CDNs.
+    Bbr,
 }
 
 impl CcAlgorithm {
@@ -73,6 +89,7 @@ impl CcAlgorithm {
         match self {
             CcAlgorithm::NewReno => Box::new(NewReno::new()),
             CcAlgorithm::Cubic => Box::new(Cubic::new()),
+            CcAlgorithm::Bbr => Box::new(Bbr::new()),
         }
     }
 }
@@ -82,6 +99,7 @@ impl std::fmt::Display for CcAlgorithm {
         match self {
             CcAlgorithm::NewReno => write!(f, "newreno"),
             CcAlgorithm::Cubic => write!(f, "cubic"),
+            CcAlgorithm::Bbr => write!(f, "bbr"),
         }
     }
 }
@@ -91,9 +109,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn factory_builds_both() {
+    fn factory_builds_all() {
         assert_eq!(CcAlgorithm::NewReno.build().name(), "newreno");
         assert_eq!(CcAlgorithm::Cubic.build().name(), "cubic");
+        assert_eq!(CcAlgorithm::Bbr.build().name(), "bbr");
         assert_eq!(CcAlgorithm::default(), CcAlgorithm::Cubic);
     }
 
@@ -101,9 +120,12 @@ mod tests {
     fn display_matches_name() {
         assert_eq!(CcAlgorithm::NewReno.to_string(), "newreno");
         assert_eq!(CcAlgorithm::Cubic.to_string(), "cubic");
+        assert_eq!(CcAlgorithm::Bbr.to_string(), "bbr");
     }
 
-    /// Shared behavioural contract both controllers must satisfy.
+    /// Shared behavioural contract the loss-based controllers satisfy.
+    /// (BBR's window is model-driven, so its invariants live in the
+    /// cross-controller conformance suite in `tests/cc_conformance.rs`.)
     fn check_contract(mut cc: Box<dyn CongestionController>) {
         let t0 = SimTime::ZERO;
         assert_eq!(cc.window(), INITIAL_WINDOW);

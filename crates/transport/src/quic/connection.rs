@@ -1060,7 +1060,9 @@ impl QuicConnection {
             if pn >= newly_acked_largest {
                 newly_acked_largest = pn;
                 if pn == largest {
-                    self.rtt.on_sample(now - info.sent_at);
+                    let sample = now - info.sent_at;
+                    self.rtt.on_sample(sample);
+                    self.cc.on_rtt_sample(sample, now);
                 }
             }
             self.reclaim_rtx(info.frames);

@@ -525,7 +525,9 @@ impl TcpConnection {
             TcpState::SynSent => {
                 if seg.syn && seg.ack_flag {
                     if let Some(sent) = self.syn_sent_at {
-                        self.rtt.on_sample(now - sent);
+                        let sample = now - sent;
+                        self.rtt.on_sample(sample);
+                        self.cc.on_rtt_sample(sample, now);
                     }
                     self.state = TcpState::Established;
                     self.rto_backoff = 0;
@@ -543,7 +545,9 @@ impl TcpConnection {
                 }
                 if seg.ack_flag {
                     if let Some(sent) = self.syn_ack_sent_at {
-                        self.rtt.on_sample(now - sent);
+                        let sample = now - sent;
+                        self.rtt.on_sample(sample);
+                        self.cc.on_rtt_sample(sample, now);
                     }
                     self.state = TcpState::Established;
                     self.rto_backoff = 0;
@@ -617,7 +621,9 @@ impl TcpConnection {
                 let seg = self.in_flight.remove(&seq).expect("covered segment");
                 self.bytes_in_flight = self.bytes_in_flight.saturating_sub(seg.len);
                 if !sampled && !seg.retransmitted {
-                    self.rtt.on_sample(now - seg.sent_at);
+                    let sample = now - seg.sent_at;
+                    self.rtt.on_sample(sample);
+                    self.cc.on_rtt_sample(sample, now);
                     sampled = true;
                 }
             }

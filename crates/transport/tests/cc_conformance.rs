@@ -1,0 +1,163 @@
+//! Cross-controller conformance suite.
+//!
+//! Every [`CongestionController`] — loss-based (NewReno, Cubic) and
+//! model-based (BBR) — must satisfy the same safety contract no matter
+//! what event sequence the transport feeds it: the window never sinks
+//! below `MIN_WINDOW`, bytes-in-flight never underflows (spurious ACKs
+//! saturate at zero), and after a timeout collapse the controller
+//! recovers monotonically while ACKs keep arriving cleanly.
+
+use h3cdn_sim_core::{SimDuration, SimTime};
+use h3cdn_transport::cc::{CcAlgorithm, MIN_WINDOW};
+use proptest::prelude::*;
+
+const ALL: [CcAlgorithm; 3] = [CcAlgorithm::NewReno, CcAlgorithm::Cubic, CcAlgorithm::Bbr];
+
+fn at(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+/// One abstract CC event, decoded from a pair of random words.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Send(u64),
+    Ack(u64),
+    Congestion,
+    Timeout,
+    Rtt(u64),
+}
+
+fn decode(kind: u8, arg: u64) -> Event {
+    match kind % 8 {
+        0..=2 => Event::Send(1 + arg % 3_000),
+        3..=5 => Event::Ack(1 + arg % 3_000),
+        6 => match arg % 4 {
+            0 => Event::Timeout,
+            _ => Event::Congestion,
+        },
+        _ => Event::Rtt(5 + arg % 200),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// Safety invariants hold for every controller under arbitrary
+    /// event soups: window ≥ MIN_WINDOW after the first collapse-class
+    /// event, in-flight accounting never underflows, and both stay
+    /// finite.
+    #[test]
+    fn window_and_inflight_invariants_hold(
+        events in prop::collection::vec((0u8..=u8::MAX, 0u64..=u64::MAX), 1..300),
+    ) {
+        for algo in ALL {
+            let mut cc = algo.build();
+            let mut now_ms = 0u64;
+            let mut sent_unacked = 0u64;
+            for (kind, arg) in &events {
+                now_ms += u64::from(*kind % 11);
+                match decode(*kind, *arg) {
+                    Event::Send(bytes) => {
+                        cc.on_packet_sent(bytes, at(now_ms));
+                        sent_unacked += bytes;
+                    }
+                    Event::Ack(bytes) => {
+                        // Deliberately allow over-acking: the controller
+                        // must saturate, not underflow.
+                        cc.on_ack(bytes, at(now_ms));
+                        sent_unacked = sent_unacked.saturating_sub(bytes);
+                    }
+                    Event::Congestion => cc.on_congestion_event(at(now_ms)),
+                    Event::Timeout => cc.on_timeout(at(now_ms)),
+                    Event::Rtt(ms) => {
+                        cc.on_rtt_sample(SimDuration::from_millis(ms), at(now_ms));
+                    }
+                }
+                prop_assert!(
+                    cc.window() >= MIN_WINDOW,
+                    "{}: window {} < MIN_WINDOW after event soup",
+                    cc.name(),
+                    cc.window()
+                );
+                prop_assert!(
+                    cc.bytes_in_flight() <= sent_unacked,
+                    "{}: in-flight {} exceeds bytes actually outstanding {}",
+                    cc.name(),
+                    cc.bytes_in_flight(),
+                    sent_unacked
+                );
+                prop_assert!(cc.window() < u64::MAX / 4, "{}: window ran away", cc.name());
+            }
+        }
+    }
+}
+
+/// Over-acking a controller that has nothing in flight must saturate at
+/// zero, never wrap.
+#[test]
+fn spurious_acks_saturate_in_flight_at_zero() {
+    for algo in ALL {
+        let mut cc = algo.build();
+        cc.on_ack(10_000, at(0));
+        assert_eq!(cc.bytes_in_flight(), 0, "{}", cc.name());
+        cc.on_packet_sent(500, at(1));
+        cc.on_ack(400, at(2));
+        cc.on_ack(400, at(3));
+        assert_eq!(cc.bytes_in_flight(), 0, "{}", cc.name());
+    }
+}
+
+/// After a timeout collapse, a clean run of ACKs must never shrink the
+/// window: recovery is monotone for all three controllers while no new
+/// congestion signal arrives (timestamps held constant so BBR stays in
+/// its post-timeout Startup growth regime).
+#[test]
+fn recovery_after_timeout_is_monotone() {
+    for algo in ALL {
+        let mut cc = algo.build();
+        // Establish some history, then collapse.
+        for i in 0..20 {
+            cc.on_packet_sent(1460, at(i * 10));
+            cc.on_ack(1460, at(i * 10 + 5));
+        }
+        cc.on_timeout(at(300));
+        assert_eq!(cc.window(), MIN_WINDOW, "{}", cc.name());
+
+        let mut last = cc.window();
+        for _ in 0..200 {
+            cc.on_packet_sent(1460, at(300));
+            cc.on_ack(1460, at(300));
+            assert!(
+                cc.window() >= last,
+                "{}: window shrank during clean recovery ({last} -> {})",
+                cc.name(),
+                cc.window()
+            );
+            last = cc.window();
+        }
+        assert!(
+            last > MIN_WINDOW,
+            "{}: window never grew after timeout",
+            cc.name()
+        );
+    }
+}
+
+/// Timeout always collapses to exactly MIN_WINDOW, for every controller.
+#[test]
+fn timeout_collapses_to_min_window() {
+    for algo in ALL {
+        let mut cc = algo.build();
+        for i in 0..50 {
+            cc.on_packet_sent(2920, at(i * 20));
+            cc.on_ack(2920, at(i * 20 + 10));
+            cc.on_rtt_sample(SimDuration::from_millis(10), at(i * 20 + 10));
+        }
+        cc.on_timeout(at(2000));
+        assert_eq!(cc.window(), MIN_WINDOW, "{}", cc.name());
+        assert!(cc.in_slow_start(), "{}", cc.name());
+    }
+}

@@ -56,6 +56,24 @@ begin "fault_matrix --smoke (graceful-degradation gate)"
 cargo run -q --release -p h3cdn-experiments --bin fault_matrix -- --smoke --jobs 4 > /dev/null
 finish
 
+begin "path_dynamics --smoke (continuous-dynamics resilience gate)"
+# The smoke seed's 4-page corpus is heavy enough that slow-start
+# overshoot builds a real standing queue in the oscillating
+# bottleneck, so the BBR-vs-Cubic bufferbloat invariant compares
+# unequal medians rather than pages that finished before any queue
+# formed. The bin asserts the resilience invariants itself; the cmp
+# asserts worker-count invariance of the full table, bit for bit.
+PD_DIR="$(mktemp -d)"
+PD_ARGS=(--smoke --seed 23)
+cargo run -q --release -p h3cdn-experiments --bin path_dynamics -- \
+    "${PD_ARGS[@]}" --jobs 1 > "$PD_DIR/jobs1.txt"
+cargo run -q --release -p h3cdn-experiments --bin path_dynamics -- \
+    "${PD_ARGS[@]}" --jobs 4 > "$PD_DIR/jobs4.txt"
+cmp "$PD_DIR/jobs1.txt" "$PD_DIR/jobs4.txt"
+echo "    sweep output identical at --jobs 1 and --jobs 4"
+rm -rf "$PD_DIR"
+finish
+
 begin "SIGKILL-and-resume smoke (crash-safe checkpointing)"
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
