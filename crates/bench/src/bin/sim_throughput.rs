@@ -28,8 +28,9 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use h3cdn::cdn::EdgeConfig;
 use h3cdn::netsim::DynamicsProfile;
-use h3cdn_browser::{visit_page, ProtocolMode, VisitConfig};
+use h3cdn_browser::{run_swarm, visit_page, ProtocolMode, SwarmConfig, VisitConfig};
 use h3cdn_transport::tls::TicketStore;
 use h3cdn_web::{generate, Corpus, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -96,6 +97,7 @@ struct Args {
     tolerance: f64,
     label: Option<String>,
     dynamics: bool,
+    edge: bool,
 }
 
 fn parse_args() -> Args {
@@ -112,6 +114,7 @@ fn parse_args() -> Args {
             .unwrap_or(DEFAULT_TOLERANCE),
         label: None,
         dynamics: false,
+        edge: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -131,12 +134,14 @@ fn parse_args() -> Args {
             }
             "--label" => a.label = Some(expect_value(args.next(), "--label")),
             "--dynamics" => a.dynamics = true,
+            "--edge" => a.edge = true,
             "--help" | "-h" => {
                 println!(
                     "sim_throughput: simulator hot-path benchmark + perf ratchet\n\
                      flags: --pages N  --seed S  --reps R  --smoke  --json PATH\n\
                      \x20      --check PATH  --tolerance F  --update-baseline PATH  --label L\n\
-                     \x20      --dynamics  (add a continuous-path-dynamics pass to the sweep)"
+                     \x20      --dynamics  (add a continuous-path-dynamics pass to the sweep)\n\
+                     \x20      --edge      (add an overloaded-edge swarm pass to the sweep)"
                 );
                 std::process::exit(0);
             }
@@ -165,7 +170,7 @@ fn expect_parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
 }
 
 /// One sweep over the fixed workload; returns `(visits, events)`.
-fn sweep(corpus: &Corpus, dynamics: bool) -> (u64, u64) {
+fn sweep(corpus: &Corpus, dynamics: bool, edge: bool) -> (u64, u64) {
     let mut visits = 0u64;
     let mut events = 0u64;
     // Isolated visits, both protocol modes.
@@ -199,6 +204,30 @@ fn sweep(corpus: &Corpus, dynamics: bool) -> (u64, u64) {
             events += outcome.stats.sim_events;
         }
     }
+    // Optional overloaded-edge swarm pass: a thundering herd against a
+    // handshake-CPU-starved admission controller exercises refusal
+    // wiring, fallback storms and the re-dial backoff. Off by default
+    // for the same reason as the dynamics pass.
+    if edge {
+        let cfg = VisitConfig::default().with_h3_fallback(true);
+        let shape = SwarmConfig {
+            clients: 6,
+            arrival_spacing: h3cdn::sim_core::SimDuration::ZERO,
+            edge: Some(EdgeConfig {
+                cpu_tokens_per_sec: 40,
+                cpu_token_burst: 80,
+                tcp_handshake_tokens: 1,
+                quic_handshake_tokens: 40,
+                ..EdgeConfig::default()
+            }),
+        };
+        for page in &corpus.pages {
+            let out = run_swarm(page, &corpus.domains, &cfg, &shape)
+                .expect("the starved-edge profiling budget validates");
+            visits += out.clients.len() as u64;
+            events += out.stats.sim_events;
+        }
+    }
     (visits, events)
 }
 
@@ -209,12 +238,12 @@ fn measure(args: &Args) -> BenchEntry {
             .with_seed(args.seed),
     );
     // Warmup: one untimed sweep (page/cache/branch-predictor warm state).
-    let (warm_visits, warm_events) = sweep(&corpus, args.dynamics);
+    let (warm_visits, warm_events) = sweep(&corpus, args.dynamics, args.edge);
     let start = Instant::now();
     let mut visits = 0u64;
     let mut events = 0u64;
     for _ in 0..args.reps {
-        let (v, e) = sweep(&corpus, args.dynamics);
+        let (v, e) = sweep(&corpus, args.dynamics, args.edge);
         visits += v;
         events += e;
     }
@@ -314,12 +343,17 @@ fn check(fresh: &BenchEntry, baseline_path: &str, tolerance: f64) -> Result<Stri
 
 fn main() -> ExitCode {
     let args = parse_args();
-    // The dynamics pass changes the workload's event counts, so it can
-    // never be compared against (or recorded into) the committed
-    // static-workload trajectory.
-    if args.dynamics && (args.check.is_some() || args.update_baseline.is_some()) {
+    // The dynamics and edge passes change the workload's event counts,
+    // so they can never be compared against (or recorded into) the
+    // committed static-workload trajectory.
+    if (args.dynamics || args.edge) && (args.check.is_some() || args.update_baseline.is_some()) {
+        let flag = if args.dynamics {
+            "--dynamics"
+        } else {
+            "--edge"
+        };
         eprintln!(
-            "sim_throughput: --dynamics is a profiling mode; it cannot be \
+            "sim_throughput: {flag} is a profiling mode; it cannot be \
              combined with --check or --update-baseline (the committed \
              trajectory measures the static workload)"
         );

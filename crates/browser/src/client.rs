@@ -38,6 +38,13 @@ const RETRY_BASE: SimDuration = SimDuration::from_millis(250);
 /// Cap on backoff doublings (250 ms × 2⁷ = 32 s between re-dials).
 const RETRY_MAX_EXPONENT: u32 = 7;
 
+/// The deterministic re-dial backoff schedule: `attempt` 0 waits 250 ms,
+/// each further attempt doubles, capped at 32 s. Repeated edge refusals
+/// walk exactly this sequence.
+pub(crate) fn redial_backoff(attempt: u32) -> SimDuration {
+    RETRY_BASE * (1u64 << attempt.min(RETRY_MAX_EXPONENT))
+}
+
 /// Session-ticket lifetime granted by our servers (a common production
 /// value; well beyond any consecutive-browsing session).
 const TICKET_LIFETIME: SimDuration = SimDuration::from_secs(7200);
@@ -118,6 +125,9 @@ pub(crate) struct ClientHost {
     index_of_request: HashMap<u64, usize>,
     next_port: u32,
     started: bool,
+    /// Instant the visit begins (first dispatch). `SimTime::ZERO` for a
+    /// solo visit; swarm drivers stagger client arrivals with it.
+    start_at: SimTime,
     remaining: usize,
     page_done_at: Option<SimTime>,
     har_rng: SimRng,
@@ -211,6 +221,7 @@ impl ClientHost {
             index_of_request,
             next_port: 1,
             started: false,
+            start_at: SimTime::ZERO,
             remaining: n,
             page_done_at: None,
             har_rng: SimRng::seed_from(har_seed),
@@ -274,6 +285,9 @@ impl ClientHost {
     pub fn on_wakeup(&mut self, ctx: &mut NodeCtx<'_, WirePacket>) {
         let now = ctx.now();
         if !self.started {
+            if now < self.start_at {
+                return; // spurious wakeup before this client's arrival
+            }
             self.started = true;
             self.dispatch(0, now);
         } else {
@@ -326,10 +340,17 @@ impl ClientHost {
         self.pump(ctx);
     }
 
-    /// Earliest pending deadline (or t = 0 before the visit starts).
+    /// Delays the first dispatch to `at` (client arrival staggering in
+    /// multi-client swarms; the default is an immediate start).
+    pub fn set_start_at(&mut self, at: SimTime) {
+        self.start_at = at;
+    }
+
+    /// Earliest pending deadline (or the arrival instant before the
+    /// visit starts).
     pub fn next_wakeup(&self) -> Option<SimTime> {
         if !self.started {
-            return Some(SimTime::ZERO);
+            return Some(self.start_at);
         }
         let conn_deadline = self.timeouts.first().map(|&(t, _)| t);
         let parked = self.parked.keys().next().copied();
@@ -493,6 +514,10 @@ impl ClientHost {
                 // A handshake that never completed, or an established
                 // connection dying mid-transfer: QUIC is broken here.
                 CloseReason::HandshakeTimeout => self.fail_over_from_h3(conn_id, at),
+                // The edge's admission controller shed this handshake
+                // (CONNECTION_REFUSED). Unlike a timeout the client
+                // learns within one RTT; fall back to TCP immediately.
+                CloseReason::Refused => self.fail_over_from_h3(conn_id, at),
                 CloseReason::IdleTimeout if !self.stranded_entries(conn_id).is_empty() => {
                     self.fail_over_from_h3(conn_id, at);
                 }
@@ -509,9 +534,8 @@ impl ClientHost {
                 // connection is already out of the pool, so the parked
                 // requests will open a fresh one when they resume.
                 let attempt = self.retry_attempts.entry(domain).or_insert(0);
-                let exponent = (*attempt).min(RETRY_MAX_EXPONENT);
+                let delay = redial_backoff(*attempt);
                 *attempt += 1;
-                let delay = RETRY_BASE * (1u64 << exponent);
                 self.resilience.conn_retries += 1;
                 self.parked.entry(at + delay).or_default().extend(stranded);
             }
@@ -809,5 +833,28 @@ impl ClientHost {
             entries,
         };
         (page, self.tickets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redial_backoff_sequence_is_deterministic_and_capped() {
+        // The exact schedule a client walks under repeated edge
+        // refusals: 250 ms doubling per attempt, capped at 32 s.
+        let expected_ms = [250, 500, 1000, 2000, 4000, 8000, 16000, 32000];
+        for (attempt, &ms) in expected_ms.iter().enumerate() {
+            assert_eq!(
+                redial_backoff(attempt as u32),
+                SimDuration::from_millis(ms),
+                "attempt {attempt}"
+            );
+        }
+        // Past the cap the schedule is flat — an edge that stays
+        // overloaded is probed every 32 s, never more aggressively.
+        assert_eq!(redial_backoff(8), SimDuration::from_millis(32000));
+        assert_eq!(redial_backoff(100), SimDuration::from_millis(32000));
     }
 }

@@ -29,10 +29,12 @@ pub mod config;
 pub mod host;
 pub mod resilience;
 pub mod server;
+pub mod swarm;
 pub mod visit;
 
 pub use config::{FaultSpec, ProtocolMode, VisitConfig};
 pub use resilience::{BrokenQuicCache, ResilienceStats};
+pub use swarm::{run_swarm, ClientOutcome, SwarmConfig, SwarmOutcome};
 pub use visit::{
     try_visit_consecutively, try_visit_page, visit_consecutively, visit_page, AbortedVisit,
     VisitOutcome, VisitStats,
@@ -51,4 +53,7 @@ const _: () = {
     assert_send_sync::<BrokenQuicCache>();
     assert_send_sync::<ResilienceStats>();
     assert_send_sync::<AbortedVisit>();
+    assert_send_sync::<SwarmConfig>();
+    assert_send_sync::<SwarmOutcome>();
+    assert_send_sync::<ClientOutcome>();
 };

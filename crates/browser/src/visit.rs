@@ -102,9 +102,9 @@ pub struct VisitStats {
 }
 
 /// Wall-clock cap per visit; hitting it means the simulation wedged.
-const VISIT_DEADLINE: SimDuration = SimDuration::from_secs(300);
+pub(crate) const VISIT_DEADLINE: SimDuration = SimDuration::from_secs(300);
 
-fn vantage_index(v: Vantage) -> u64 {
+pub(crate) fn vantage_index(v: Vantage) -> u64 {
     match v {
         Vantage::Utah => 1,
         Vantage::Wisconsin => 2,
@@ -115,7 +115,12 @@ fn vantage_index(v: Vantage) -> u64 {
 /// Stable per-domain RTT for this vantage: edge RTT with path jitter for
 /// CDN domains, a sampled origin distance otherwise. Equal salts give
 /// equal paths, so H2/H3 visits compare like-for-like.
-fn domain_rtt(domains: &DomainTable, domain: DomainId, vantage: Vantage, salt: u64) -> SimDuration {
+pub(crate) fn domain_rtt(
+    domains: &DomainTable,
+    domain: DomainId,
+    vantage: Vantage,
+    salt: u64,
+) -> SimDuration {
     let mut rng = SimRng::seed_from(salt)
         .fork(domain.0.wrapping_mul(0x9E37_79B9))
         .fork(vantage_index(vantage));
@@ -128,7 +133,7 @@ fn domain_rtt(domains: &DomainTable, domain: DomainId, vantage: Vantage, salt: u
 /// Stable per-domain DNS resolver round trip: popular shared domains sit
 /// in nearby resolver caches (fast), the long tail needs recursive
 /// resolution (slower).
-fn domain_dns_delay(domains: &DomainTable, domain: DomainId, salt: u64) -> SimDuration {
+pub(crate) fn domain_dns_delay(domains: &DomainTable, domain: DomainId, salt: u64) -> SimDuration {
     let mut rng = SimRng::seed_from(salt ^ 0x0D25_D25D).fork(domain.0);
     let (lo, hi) = if domains.is_shared(domain) {
         (4.0, 12.0)
@@ -140,7 +145,7 @@ fn domain_dns_delay(domains: &DomainTable, domain: DomainId, salt: u64) -> SimDu
 
 /// Stable per-domain TLS version (a property of the server deployment,
 /// so independent of vantage and protocol mode).
-fn domain_tls12(domains: &DomainTable, domain: DomainId, salt: u64) -> bool {
+pub(crate) fn domain_tls12(domains: &DomainTable, domain: DomainId, salt: u64) -> bool {
     let mut rng = SimRng::seed_from(salt ^ 0x7154_1243).fork(domain.0);
     let share = match domains.provider(domain) {
         Some(p) => {
@@ -415,7 +420,7 @@ pub fn try_visit_consecutively(
 
 /// Chrome-style priority classes per resource kind: render-blocking
 /// content first, late visual content last.
-fn priority_of(kind: h3cdn_web::ResourceKind) -> u8 {
+pub(crate) fn priority_of(kind: h3cdn_web::ResourceKind) -> u8 {
     use h3cdn_http::types::priority;
     use h3cdn_web::ResourceKind;
     match kind {
@@ -428,7 +433,7 @@ fn priority_of(kind: h3cdn_web::ResourceKind) -> u8 {
     }
 }
 
-fn build_plan(page: &Webpage) -> Vec<PlannedRequest> {
+pub(crate) fn build_plan(page: &Webpage) -> Vec<PlannedRequest> {
     let mut plan: Vec<PlannedRequest> = page
         .resources
         .iter()

@@ -5,19 +5,27 @@
 //! from the warm edge. [`EdgeCache`] reproduces that: a cold lookup costs
 //! an origin fetch (added to server processing time), a warm one is free.
 
+use crate::overload::EdgeConfigError;
 use h3cdn_sim_core::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
-/// Per-edge cache of resource ids, with optional TTL eviction.
+/// Per-edge cache of resource ids, with optional TTL eviction and an
+/// optional capacity bound (deterministic FIFO eviction by insertion
+/// order — `HashMap` iteration order must never leak into results).
 #[derive(Debug, Clone, Default)]
 // Modeled CDN component exercised by its unit tests; kept exported
 // until the browser fetch path integrates per-edge caching.
 // h3cdn-lint: allow(dead-pub)
 pub struct EdgeCache {
     cached: HashMap<u64, SimTime>,
+    /// Insertion order of live keys, oldest first; each live key appears
+    /// exactly once (pushed on first insert, removed on eviction/clear).
+    order: VecDeque<u64>,
     ttl: Option<SimDuration>,
+    capacity: Option<usize>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl EdgeCache {
@@ -35,6 +43,24 @@ impl EdgeCache {
         }
     }
 
+    /// Creates a cache bounded to `capacity` entries, evicting the
+    /// oldest-inserted entry to make room.
+    ///
+    /// # Errors
+    ///
+    /// [`EdgeConfigError::ZeroCacheCapacity`] when `capacity == 0` — a
+    /// cache that can hold nothing would turn every lookup into an
+    /// origin fetch and is a misconfiguration, not a model.
+    pub fn bounded(capacity: usize) -> Result<Self, EdgeConfigError> {
+        if capacity == 0 {
+            return Err(EdgeConfigError::ZeroCacheCapacity);
+        }
+        Ok(EdgeCache {
+            capacity: Some(capacity),
+            ..EdgeCache::default()
+        })
+    }
+
     /// Looks up `resource` at time `now`, inserting it on miss. Returns
     /// `true` on a warm hit.
     pub fn lookup_or_fill(&mut self, resource: u64, now: SimTime) -> bool {
@@ -49,14 +75,33 @@ impl EdgeCache {
             self.hits += 1;
         } else {
             self.misses += 1;
-            self.cached.insert(resource, now);
+            self.insert(resource, now);
         }
         fresh
     }
 
     /// Pre-warms the cache with `resource` (the paper's first visit).
     pub fn warm(&mut self, resource: u64, now: SimTime) {
-        self.cached.insert(resource, now);
+        self.insert(resource, now);
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the oldest-inserted
+    /// entries beyond the capacity bound.
+    fn insert(&mut self, resource: u64, now: SimTime) {
+        if self.cached.insert(resource, now).is_none() {
+            self.order.push_back(resource);
+        }
+        if let Some(capacity) = self.capacity {
+            while self.cached.len() > capacity {
+                // `order` tracks every live key, so this always yields
+                // while the map is over capacity.
+                let Some(oldest) = self.order.pop_front() else {
+                    break;
+                };
+                self.cached.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
     }
 
     /// Cache hits observed.
@@ -69,9 +114,15 @@ impl EdgeCache {
         self.misses
     }
 
-    /// Drops all entries (but keeps hit/miss counters).
+    /// Entries evicted by the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Drops all entries (but keeps hit/miss/eviction counters).
     pub fn clear(&mut self) {
         self.cached.clear();
+        self.order.clear();
     }
 }
 
@@ -122,6 +173,53 @@ mod tests {
         cache.warm(1, at(0));
         cache.clear();
         assert!(!cache.lookup_or_fill(1, at(1)));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_oldest_insertion_first() {
+        let mut cache = EdgeCache::bounded(2).expect("nonzero capacity");
+        assert!(!cache.lookup_or_fill(1, at(0)));
+        assert!(!cache.lookup_or_fill(2, at(1)));
+        assert!(!cache.lookup_or_fill(3, at(2)), "third entry evicts 1");
+        assert_eq!(cache.evictions(), 1);
+        assert!(!cache.lookup_or_fill(1, at(3)), "1 was evicted, re-fills");
+        assert!(cache.lookup_or_fill(3, at(4)), "3 survived");
+        assert_eq!(cache.evictions(), 2, "re-filling 1 evicted 2");
+    }
+
+    #[test]
+    fn bounded_cache_refresh_does_not_duplicate_order() {
+        let mut cache = EdgeCache::bounded(2).expect("nonzero capacity");
+        cache.warm(1, at(0));
+        cache.warm(1, at(1)); // refresh, not a second order entry
+        cache.warm(2, at(2));
+        cache.warm(3, at(3)); // evicts exactly one entry: 1
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.lookup_or_fill(2, at(4)));
+        assert!(cache.lookup_or_fill(3, at(4)));
+    }
+
+    #[test]
+    fn zero_capacity_is_a_typed_error() {
+        assert_eq!(
+            EdgeCache::bounded(0).unwrap_err(),
+            EdgeConfigError::ZeroCacheCapacity
+        );
+    }
+
+    #[test]
+    fn clear_resets_order_tracking() {
+        let mut cache = EdgeCache::bounded(2).expect("nonzero capacity");
+        cache.warm(1, at(0));
+        cache.warm(2, at(0));
+        cache.clear();
+        // After clear the bound applies to fresh insertions only; stale
+        // order entries must not cause phantom evictions.
+        cache.warm(3, at(1));
+        cache.warm(4, at(1));
+        assert_eq!(cache.evictions(), 0);
+        assert!(cache.lookup_or_fill(3, at(2)));
+        assert!(cache.lookup_or_fill(4, at(2)));
     }
 
     #[test]

@@ -9,11 +9,15 @@
 
 pub mod edge;
 pub mod locedge;
+pub mod overload;
 pub mod provider;
 pub mod topology;
 
 pub use edge::EdgeCache;
 pub use locedge::{classify, fingerprint_headers};
+pub use overload::{
+    Admission, EdgeConfig, EdgeConfigError, EdgeState, EdgeStats, HandshakeKind, RefusalCause,
+};
 pub use provider::{Provider, ProviderProfile, ProviderRegistry};
 pub use topology::Vantage;
 
@@ -22,6 +26,8 @@ pub use topology::Vantage;
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<EdgeCache>();
+    assert_send_sync::<EdgeState>();
+    assert_send_sync::<EdgeStats>();
     assert_send_sync::<Provider>();
     assert_send_sync::<ProviderProfile>();
     assert_send_sync::<ProviderRegistry>();

@@ -1,0 +1,565 @@
+//! The edge-overload sweep: finite-edge capacity × arrival pattern ×
+//! protocol/fallback arms × optional path faults.
+//!
+//! The paper's client-side experiments implicitly assume infinitely
+//! provisioned edges — every handshake is admitted, PLT differences
+//! come only from the path and the protocol. This sweep drops that
+//! assumption: each page is loaded by a *swarm* of concurrent browsers
+//! sharing one stateful [`EdgeState`](h3cdn_cdn::EdgeState) per
+//! domain, whose admission controller sheds load by protocol-aware
+//! policy (QUIC — the expensive handshake — first) when the
+//! handshake-CPU, memory, or connection budget runs out.
+//!
+//! Every scenario loads each page three ways over identical budgets:
+//!
+//! * **h2** — QUIC disabled; refusals are TCP RSTs.
+//! * **h3** — `enable-quic` without fallback machinery: a refused QUIC
+//!   handshake strands its requests.
+//! * **h3+fallback** — Chrome-style graceful degradation: a refusal
+//!   marks the domain QUIC-broken and stampedes the client onto TCP —
+//!   the fallback storm the edge must then absorb.
+//!
+//! Each cell reports stranded clients, median/worst PLT of completed
+//! loads (measured from each client's arrival), per-edge
+//! admission/refusal/shed/ticket counters, fallback storms, and
+//! re-dial retries. The control row — one client, no admission
+//! control — is bit-identical to the plain campaign visit paths for
+//! every worker count.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use h3cdn_analysis::median;
+use h3cdn_browser::{run_swarm, FaultSpec, SwarmConfig};
+use h3cdn_cdn::{EdgeConfig, EdgeStats, Vantage};
+use h3cdn_netsim::FaultPlan;
+use h3cdn_sim_core::SimDuration;
+use h3cdn_web::{DomainTable, Webpage};
+use serde::{Deserialize, Serialize};
+
+use h3cdn::runner::durable::JobMeta;
+use h3cdn::{MeasurementCampaign, ProtocolMode, VisitConfig};
+
+/// How many browsers a swarm scenario throws at the shared edges.
+const SWARM_CLIENTS: usize = 6;
+
+/// Arrival gap of the paced scenarios.
+const PACED_SPACING: SimDuration = SimDuration::from_millis(50);
+
+/// How the edge is provisioned relative to the swarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeCapacity {
+    /// The default budgets: a swarm never trips them.
+    Ample,
+    /// A handshake-CPU bucket sized so a thundering herd overruns it:
+    /// QUIC costs the whole refill of a second, TCP a fortieth.
+    Starved,
+}
+
+impl EdgeCapacity {
+    fn label(self) -> &'static str {
+        match self {
+            EdgeCapacity::Ample => "ample",
+            EdgeCapacity::Starved => "starved",
+        }
+    }
+
+    fn config(self) -> EdgeConfig {
+        match self {
+            EdgeCapacity::Ample => EdgeConfig::default(),
+            EdgeCapacity::Starved => EdgeConfig {
+                cpu_tokens_per_sec: 40,
+                cpu_token_burst: 80,
+                tcp_handshake_tokens: 1,
+                quic_handshake_tokens: 40,
+                ..EdgeConfig::default()
+            },
+        }
+    }
+}
+
+/// How the swarm's clients arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalRate {
+    /// Everyone at t = 0 — the thundering herd.
+    Herd,
+    /// One client every [`PACED_SPACING`] — the edge's refill keeps up
+    /// better.
+    Paced,
+}
+
+impl ArrivalRate {
+    fn label(self) -> &'static str {
+        match self {
+            ArrivalRate::Herd => "herd",
+            ArrivalRate::Paced => "paced",
+        }
+    }
+
+    fn spacing(self) -> SimDuration {
+        match self {
+            ArrivalRate::Herd => SimDuration::ZERO,
+            ArrivalRate::Paced => PACED_SPACING,
+        }
+    }
+}
+
+/// One point of the sweep: a swarm shape plus optional path faults.
+#[derive(Debug, Clone)]
+pub struct OverloadScenario {
+    /// Scenario label used in reports: `capacity/arrival[/blackhole]`,
+    /// or `control/solo`.
+    pub name: String,
+    /// Browsers per page.
+    pub clients: usize,
+    /// Gap between consecutive arrivals.
+    pub arrival_spacing: SimDuration,
+    /// Edge budgets; `None` models the infinitely provisioned edges of
+    /// the solo visit path.
+    pub edge: Option<EdgeConfig>,
+    /// Whether every path additionally drops all UDP (the PR 3 fault
+    /// plan): QUIC dies twice over, once on the path and once at
+    /// admission.
+    pub udp_blackhole: bool,
+}
+
+impl OverloadScenario {
+    /// The control: one client, no admission control — the exact solo
+    /// visit path. Its numbers must match the plain campaign visit
+    /// paths bit for bit.
+    pub fn control() -> Self {
+        OverloadScenario {
+            name: "control/solo".to_owned(),
+            clients: 1,
+            arrival_spacing: SimDuration::ZERO,
+            edge: None,
+            udp_blackhole: false,
+        }
+    }
+
+    /// A swarm scenario named `capacity/arrival[/blackhole]`.
+    pub fn swarm(capacity: EdgeCapacity, arrival: ArrivalRate, udp_blackhole: bool) -> Self {
+        let mut name = format!("{}/{}", capacity.label(), arrival.label());
+        if udp_blackhole {
+            name.push_str("/blackhole");
+        }
+        OverloadScenario {
+            name,
+            clients: SWARM_CLIENTS,
+            arrival_spacing: arrival.spacing(),
+            edge: Some(capacity.config()),
+            udp_blackhole,
+        }
+    }
+
+    fn shape(&self) -> SwarmConfig {
+        SwarmConfig {
+            clients: self.clients,
+            arrival_spacing: self.arrival_spacing,
+            edge: self.edge.clone(),
+        }
+    }
+}
+
+/// The full sweep: the control plus {ample, starved} × {herd, paced}
+/// plus the starved herd under a UDP blackhole (6 scenarios).
+pub fn default_scenarios() -> Vec<OverloadScenario> {
+    vec![
+        OverloadScenario::control(),
+        OverloadScenario::swarm(EdgeCapacity::Ample, ArrivalRate::Herd, false),
+        OverloadScenario::swarm(EdgeCapacity::Ample, ArrivalRate::Paced, false),
+        OverloadScenario::swarm(EdgeCapacity::Starved, ArrivalRate::Herd, false),
+        OverloadScenario::swarm(EdgeCapacity::Starved, ArrivalRate::Paced, false),
+        OverloadScenario::swarm(EdgeCapacity::Starved, ArrivalRate::Herd, true),
+    ]
+}
+
+/// The CI smoke subset: the control (bit-identity gate), the ample
+/// herd (no spurious refusals), the starved herd (the fallback-storm
+/// invariants), and the starved herd under a blackhole (refusals
+/// compose with path faults).
+pub fn smoke_scenarios() -> Vec<OverloadScenario> {
+    vec![
+        OverloadScenario::control(),
+        OverloadScenario::swarm(EdgeCapacity::Ample, ArrivalRate::Herd, false),
+        OverloadScenario::swarm(EdgeCapacity::Starved, ArrivalRate::Herd, false),
+        OverloadScenario::swarm(EdgeCapacity::Starved, ArrivalRate::Herd, true),
+    ]
+}
+
+/// The protocol/fallback arms of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Arm {
+    H2,
+    H3NoFallback,
+    H3WithFallback,
+}
+
+impl Arm {
+    const ALL: [Arm; 3] = [Arm::H2, Arm::H3NoFallback, Arm::H3WithFallback];
+
+    fn label(self) -> &'static str {
+        match self {
+            Arm::H2 => "h2",
+            Arm::H3NoFallback => "h3",
+            Arm::H3WithFallback => "h3+fallback",
+        }
+    }
+
+    fn mode(self) -> ProtocolMode {
+        match self {
+            Arm::H2 => ProtocolMode::H2Only,
+            Arm::H3NoFallback | Arm::H3WithFallback => ProtocolMode::H3Enabled,
+        }
+    }
+
+    fn fallback(self) -> bool {
+        matches!(self, Arm::H3WithFallback)
+    }
+}
+
+/// One `(scenario, arm)` cell of the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverloadCell {
+    /// Scenario label (`capacity/arrival[/blackhole]` or `control/solo`).
+    pub scenario: String,
+    /// Arm label (`h2` / `h3` / `h3+fallback`).
+    pub arm: String,
+    /// Pages measured.
+    pub pages: usize,
+    /// Browsers per page.
+    pub clients_per_page: usize,
+    /// Clients that never finished their page, across all pages — the
+    /// cost of refusals without fallback.
+    pub stranded_clients: usize,
+    /// Median PLT over completed clients, measured from each client's
+    /// arrival (`NaN` when none completed).
+    pub median_plt_ms: f64,
+    /// Worst completed-client PLT (`NaN` when none completed) — the
+    /// tail the backoff schedule and fallback races produce.
+    pub worst_plt_ms: f64,
+    /// Edge admission/refusal/shed/ticket counters summed over the
+    /// cell's pages (all zeroes for the control).
+    pub edge: EdgeStats,
+    /// Total H3→H2 fallbacks across all clients and pages.
+    pub h3_fallbacks: u64,
+    /// Total connection re-dial retries (the backoff walker).
+    pub conn_retries: u64,
+    /// Per-client PLTs, site-major then arrival order; `NaN` marks a
+    /// stranded client.
+    pub plts_ms: Vec<f64>,
+}
+
+/// The full sweep result, rows scenario-major in input order, arms
+/// `h2`, `h3`, `h3+fallback` within each scenario.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverloadSweep {
+    /// One row per `(scenario, arm)`.
+    pub rows: Vec<OverloadCell>,
+}
+
+impl OverloadSweep {
+    /// The cell for the given scenario and arm labels, if present.
+    pub fn cell(&self, scenario: &str, arm: &str) -> Option<&OverloadCell> {
+        self.rows
+            .iter()
+            .find(|r| r.scenario == scenario && r.arm == arm)
+    }
+}
+
+/// One page's swarm, reduced for the checkpoint journal. Stranded
+/// clients carry `NaN` PLTs, which round-trip through JSON `null` back
+/// to the canonical [`f64::NAN`] this module writes, so resumed sweeps
+/// stay bit-identical.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Sample {
+    /// Per-client PLTs from arrival, in arrival order; `NaN` = stranded.
+    plts_ms: Vec<f64>,
+    h3_fallbacks: u64,
+    conn_retries: u64,
+    edge: EdgeStats,
+}
+
+/// Runs one page's swarm under `cfg`/`shape`, reducing the outcome to
+/// a [`Sample`].
+fn sample(page: &Webpage, domains: &DomainTable, cfg: &VisitConfig, shape: &SwarmConfig) -> Sample {
+    let out = run_swarm(page, domains, cfg, shape).expect("scenario budgets validate");
+    Sample {
+        plts_ms: out
+            .clients
+            .iter()
+            .map(|c| c.plt_ms.unwrap_or(f64::NAN))
+            .collect(),
+        h3_fallbacks: out.clients.iter().map(|c| c.resilience.h3_fallbacks).sum(),
+        conn_retries: out.clients.iter().map(|c| c.resilience.conn_retries).sum(),
+        edge: out.edge_totals(),
+    }
+}
+
+/// Median over the finite entries of `plts`.
+fn completed_median(plts: &[f64]) -> f64 {
+    let done: Vec<f64> = plts.iter().copied().filter(|p| p.is_finite()).collect();
+    median(&done)
+}
+
+/// Worst finite entry of `plts`, `NaN` when none completed.
+fn completed_worst(plts: &[f64]) -> f64 {
+    plts.iter()
+        .copied()
+        .filter(|p| p.is_finite())
+        .fold(f64::NAN, f64::max)
+}
+
+/// Runs the sweep: `scenarios × {h2, h3, h3+fallback} × sites` as one
+/// batch of keyed jobs on the campaign's execution layer (the plain
+/// deterministic pool, or the crash-safe runner when the campaign
+/// carries a durable context). The key-ordered merge makes the output
+/// bit-identical for every worker count. Quarantined swarms are
+/// dropped from their cell (shrinking its `pages` count) and reported
+/// through the campaign's quarantine sink.
+///
+/// # Panics
+///
+/// Panics if a scenario carries an invalid edge budget — the presets
+/// in this module always validate.
+pub fn run(
+    campaign: &MeasurementCampaign,
+    vantage: Vantage,
+    scenarios: &[OverloadScenario],
+) -> OverloadSweep {
+    for sc in scenarios {
+        if let Some(edge) = &sc.edge {
+            edge.validate()
+                .unwrap_or_else(|e| panic!("scenario '{}': {e}", sc.name));
+        }
+    }
+    let domains = &campaign.corpus().domains;
+    let w = &campaign.config().workload;
+    let mut jobs = Vec::new();
+    for (si, sc) in scenarios.iter().enumerate() {
+        for (ai, arm) in Arm::ALL.iter().enumerate() {
+            for (site, page) in campaign.corpus().pages.iter().enumerate() {
+                let mut cfg = campaign
+                    .config()
+                    .visit
+                    .clone()
+                    .with_vantage(vantage)
+                    .with_mode(arm.mode())
+                    .with_h3_fallback(arm.fallback());
+                if sc.udp_blackhole {
+                    cfg = cfg.with_faults(FaultSpec::everywhere(FaultPlan::udp_blackhole_always()));
+                }
+                let shape = sc.shape();
+                let meta = JobMeta {
+                    label: format!("overload '{}' {} site {site}", sc.name, arm.label()),
+                    repro: format!(
+                        "cargo run -q -p h3cdn-experiments --bin edge_overload -- \
+                         --pages {} --seed {}",
+                        w.num_pages, w.seed
+                    ),
+                };
+                jobs.push(((si as u32, ai as u32, site as u32), meta, move || {
+                    sample(page, domains, &cfg, &shape)
+                }));
+            }
+        }
+    }
+    let keyed = campaign.run_durable("edge-overload", jobs);
+
+    let mut by_cell: BTreeMap<(u32, u32), Vec<Sample>> = BTreeMap::new();
+    for ((si, ai, _site), s) in keyed.into_iter().filter_map(|(k, s)| Some((k, s?))) {
+        by_cell.entry((si, ai)).or_default().push(s);
+    }
+    let mut rows = Vec::new();
+    for ((si, ai), samples) in &by_cell {
+        let scenario = scenarios
+            .get(*si as usize)
+            .map_or(String::new(), |s| s.name.clone());
+        let clients_per_page = scenarios.get(*si as usize).map_or(0, |s| s.clients);
+        let arm = Arm::ALL.get(*ai as usize).map_or("?", |a| a.label());
+        let plts: Vec<f64> = samples.iter().flat_map(|s| s.plts_ms.clone()).collect();
+        let mut edge = EdgeStats::default();
+        for s in samples {
+            edge.absorb(&s.edge);
+        }
+        rows.push(OverloadCell {
+            scenario,
+            arm: arm.to_owned(),
+            pages: samples.len(),
+            clients_per_page,
+            stranded_clients: plts.iter().filter(|p| !p.is_finite()).count(),
+            median_plt_ms: completed_median(&plts),
+            worst_plt_ms: completed_worst(&plts),
+            edge,
+            h3_fallbacks: samples.iter().map(|s| s.h3_fallbacks).sum(),
+            conn_retries: samples.iter().map(|s| s.conn_retries).sum(),
+            plts_ms: plts,
+        });
+    }
+    OverloadSweep { rows }
+}
+
+/// `"-"` for non-finite values (nothing completed).
+fn fmt_ms(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "-".to_owned()
+    }
+}
+
+impl fmt::Display for OverloadSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Edge overload: capacity x arrival x {{h2, h3, h3+fallback}} (per-cell aggregates)"
+        )?;
+        writeln!(
+            f,
+            "{:<24} {:<12} {:>5} {:>4} {:>8} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>7}",
+            "scenario",
+            "arm",
+            "pages",
+            "cli",
+            "stranded",
+            "med PLT ms",
+            "worst PLT",
+            "admit",
+            "refused",
+            "shed-cpu",
+            "tkt-hit",
+            "tkt-miss",
+            "fallbacks",
+            "retries"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<24} {:<12} {:>5} {:>4} {:>8} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>7}",
+                r.scenario,
+                r.arm,
+                r.pages,
+                r.clients_per_page,
+                r.stranded_clients,
+                fmt_ms(r.median_plt_ms),
+                fmt_ms(r.worst_plt_ms),
+                r.edge.admitted(),
+                r.edge.refused(),
+                r.edge.shed_cpu,
+                r.edge.ticket_hits,
+                r.edge.ticket_misses,
+                r.h3_fallbacks,
+                r.conn_retries
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h3cdn::runner::RunnerConfig;
+    use h3cdn::{CampaignConfig, MeasurementCampaign};
+
+    #[test]
+    fn control_rows_match_campaign_paths_bitwise() {
+        let cfg = CampaignConfig::small(3, 11);
+        let serial = MeasurementCampaign::new(cfg.clone().with_runner(RunnerConfig::serial()));
+        let parallel =
+            MeasurementCampaign::new(cfg.with_runner(RunnerConfig::default().with_jobs(8)));
+        let scenarios = vec![OverloadScenario::control()];
+        let a = run(&serial, Vantage::Utah, &scenarios);
+        let b = run(&parallel, Vantage::Utah, &scenarios);
+        assert_eq!(a.rows.len(), 3);
+        // Worker-count invariance, bit for bit.
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.median_plt_ms.to_bits(), rb.median_plt_ms.to_bits());
+            for (x, y) in ra.plts_ms.iter().zip(&rb.plts_ms) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // The control reproduces the plain campaign visit paths
+        // exactly: one client, no admission control, is the solo visit.
+        for (arm, mode) in [
+            ("h2", ProtocolMode::H2Only),
+            ("h3", ProtocolMode::H3Enabled),
+        ] {
+            let c = a.cell("control/solo", arm).expect("control row");
+            assert_eq!(c.stranded_clients, 0);
+            assert_eq!(c.edge, EdgeStats::default());
+            for site in 0..3usize {
+                let want = serial.visit(site, Vantage::Utah, mode).plt_ms;
+                assert_eq!(c.plts_ms[site].to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn starved_herd_strands_h3_and_fallback_rescues() {
+        let campaign = MeasurementCampaign::new(CampaignConfig::small(4, 42));
+        let scenarios = vec![OverloadScenario::swarm(
+            EdgeCapacity::Starved,
+            ArrivalRate::Herd,
+            false,
+        )];
+        let sweep = run(&campaign, Vantage::Utah, &scenarios);
+        assert_eq!(sweep.rows.len(), 3);
+        let rigid = sweep.cell("starved/herd", "h3").expect("h3 row");
+        assert!(
+            rigid.edge.refused_quic > 0,
+            "the starved edge must shed QUIC handshakes"
+        );
+        assert!(
+            rigid.stranded_clients > 0,
+            "refusals without fallback must strand clients"
+        );
+        let graceful = sweep
+            .cell("starved/herd", "h3+fallback")
+            .expect("fallback row");
+        assert_eq!(
+            graceful.stranded_clients, 0,
+            "fallback must rescue every client"
+        );
+        assert!(graceful.edge.refused_quic > 0);
+        assert!(
+            graceful.h3_fallbacks > 0,
+            "refusals must drive a visible fallback storm"
+        );
+    }
+
+    #[test]
+    fn display_and_json_render() {
+        let campaign = MeasurementCampaign::new(CampaignConfig::small(2, 5));
+        let scenarios = vec![
+            OverloadScenario::control(),
+            OverloadScenario::swarm(EdgeCapacity::Ample, ArrivalRate::Paced, false),
+        ];
+        let sweep = run(&campaign, Vantage::Utah, &scenarios);
+        let text = sweep.to_string();
+        assert!(text.contains("ample/paced"));
+        assert!(text.contains("h3+fallback"));
+        let json = serde_json::to_string(&sweep).expect("serialises");
+        assert!(json.contains("stranded_clients"));
+        assert!(json.contains("refused_quic"));
+    }
+
+    #[test]
+    fn scenario_sets_are_well_formed() {
+        let all = default_scenarios();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0].name, "control/solo");
+        let mut names: Vec<&str> = all.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "scenario names must be unique");
+        for sc in &all {
+            if let Some(edge) = &sc.edge {
+                edge.validate().expect("preset budgets validate");
+            }
+        }
+        let smoke = smoke_scenarios();
+        assert!(smoke.iter().any(|s| s.edge.is_none()));
+        assert!(smoke.iter().any(|s| s.name == "starved/herd/blackhole"));
+    }
+}

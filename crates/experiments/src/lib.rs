@@ -48,6 +48,7 @@
 //! campaign core (see DESIGN.md "Correctness policy & static
 //! analysis").
 
+pub mod edge_overload;
 pub mod fault_matrix;
 pub mod fig2;
 pub mod fig3;

@@ -180,6 +180,12 @@ impl TcpServer {
         self.requests_served
     }
 
+    /// Whether the underlying transport has closed (lets an edge return
+    /// this connection's resources to its admission budgets).
+    pub fn is_closed(&self) -> bool {
+        self.conn.is_closed()
+    }
+
     /// Feeds one received packet.
     pub fn on_packet(&mut self, pkt: WirePacket, now: SimTime) {
         match pkt {

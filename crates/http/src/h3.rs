@@ -175,6 +175,12 @@ impl QuicServer {
         self.conn.was_resumed()
     }
 
+    /// Whether the underlying transport has closed (lets an edge return
+    /// this connection's resources to its admission budgets).
+    pub fn is_closed(&self) -> bool {
+        self.conn.is_closed()
+    }
+
     /// Feeds one received packet.
     pub fn on_packet(&mut self, pkt: WirePacket, now: SimTime) {
         match pkt {

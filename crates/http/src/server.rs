@@ -56,6 +56,15 @@ impl ServerConn {
             ServerConn::Quic(s) => s.requests_served(),
         }
     }
+
+    /// Whether the underlying transport has closed (lets an edge return
+    /// this connection's resources to its admission budgets).
+    pub fn is_closed(&self) -> bool {
+        match self {
+            ServerConn::Tcp(s) => s.is_closed(),
+            ServerConn::Quic(s) => s.is_closed(),
+        }
+    }
 }
 
 /// Builds the right [`ServerConn`] for an incoming packet's transport.
@@ -103,6 +112,7 @@ mod tests {
             conn: conn_id(),
             from_client: true,
             syn: true,
+            rst: false,
             ack_flag: false,
             seq: 0,
             len: 0,

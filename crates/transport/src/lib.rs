@@ -52,6 +52,12 @@ pub enum CloseReason {
     /// (RFC 9000 §10.1 semantics: retransmitting into a dead path does
     /// not postpone the deadline).
     IdleTimeout,
+    /// The server explicitly refused the connection before accepting it
+    /// (QUIC CONNECTION_REFUSED / TCP RST from an overloaded edge's
+    /// admission controller). Unlike the timeouts, the failure is
+    /// *immediate* — the client learns within one RTT and can fall back
+    /// at once.
+    Refused,
 }
 
 impl std::fmt::Display for CloseReason {
@@ -59,6 +65,7 @@ impl std::fmt::Display for CloseReason {
         match self {
             CloseReason::HandshakeTimeout => write!(f, "handshake-timeout"),
             CloseReason::IdleTimeout => write!(f, "idle-timeout"),
+            CloseReason::Refused => write!(f, "refused"),
         }
     }
 }

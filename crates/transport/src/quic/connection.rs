@@ -561,6 +561,12 @@ impl QuicConnection {
                         .or_insert(self.config.max_stream_data);
                     *limit = (*limit).max(max);
                 }
+                Frame::ConnectionRefused => {
+                    // The server's admission controller shed this
+                    // connection; nothing after the refusal matters.
+                    self.close(now, CloseReason::Refused);
+                    break;
+                }
             }
         }
         // The consumed packet donates its frame buffer to the send path.
@@ -1647,5 +1653,39 @@ mod tests {
         assert_eq!(client.open_stream(), 0);
         assert_eq!(client.open_stream(), 4);
         assert_eq!(client.open_stream(), 8);
+    }
+
+    #[test]
+    fn connection_refused_closes_client_within_one_rtt() {
+        // An overloaded edge answers the ClientInitial with
+        // CONNECTION_REFUSED: the client closes at once — no handshake
+        // timer has to expire, no retransmissions into a closed door.
+        let id = ConnId::new(NodeId::from_raw(0), NodeId::from_raw(1), 1);
+        let cfg = QuicConfig {
+            initial_rtt: SimDuration::from_millis(RTT_MS),
+            ..QuicConfig::default()
+        };
+        let mut client = QuicConnection::client(id, cfg, None, false);
+        client.connect(SimTime::ZERO);
+        while client.poll_transmit(SimTime::ZERO).is_some() {}
+        let refusal = QuicPacket {
+            conn: id,
+            from_client: false,
+            pn: 0,
+            frames: vec![Frame::ConnectionRefused],
+        };
+        client.on_packet(refusal, ms(RTT_MS / 2));
+        assert!(client.is_closed());
+        assert_eq!(client.close_reason(), Some(CloseReason::Refused));
+        let ev = drain(&mut client);
+        assert!(ev.iter().any(|e| matches!(
+            e,
+            QuicEvent::Closed {
+                at,
+                reason: CloseReason::Refused
+            } if *at == ms(RTT_MS / 2)
+        )));
+        assert_eq!(client.next_timeout(), None, "all timers cleared");
+        assert!(client.poll_transmit(ms(RTT_MS)).is_none());
     }
 }

@@ -104,6 +104,11 @@ pub enum Frame {
         /// New per-stream receive limit in bytes.
         max: u64,
     },
+    /// The server refused the connection during admission (RFC 9000
+    /// §17.2.2's Retry/CLOSE with CONNECTION_REFUSED, collapsed to one
+    /// frame): sent in response to a ClientInitial by an edge that is
+    /// shedding load, closing the client side immediately.
+    ConnectionRefused,
 }
 
 impl Frame {
@@ -114,6 +119,8 @@ impl Frame {
             Frame::Ack { ranges } => 8 + 16 * ranges.len() as u64,
             Frame::MaxData { .. } => 9,
             Frame::MaxStreamData { .. } => 13,
+            // Frame type + error code + empty reason phrase.
+            Frame::ConnectionRefused => 11,
         }
     }
 }

@@ -508,6 +508,12 @@ impl TcpConnection {
         if self.closed.is_some() {
             return; // stray late segment on a dead connection
         }
+        if seg.rst {
+            // The server refused admission: abandon the connection at
+            // once (no timers, no retransmissions into a closed door).
+            self.close(now, CloseReason::Refused);
+            return;
+        }
         self.idle_anchor = Some(now);
         self.sent_since_rx = false;
         if self.handshake_started_at.is_none() {
@@ -852,6 +858,7 @@ impl TcpConnection {
             conn: self.id,
             from_client: self.is_client,
             syn,
+            rst: false,
             ack_flag,
             seq,
             len,
@@ -1326,5 +1333,44 @@ mod tests {
             })
             .unwrap();
         assert!(at.as_millis_f64() > 900.0, "rwnd pacing missing: {at}");
+    }
+
+    #[test]
+    fn rst_closes_client_within_one_rtt() {
+        // An overloaded edge answers the SYN with RST: the client
+        // abandons the connection at once instead of retransmitting the
+        // SYN into a closed door.
+        let (mut client, _) = pair();
+        client.connect(SimTime::ZERO);
+        while client.poll_transmit(SimTime::ZERO).is_some() {}
+        let rst = TcpSegment {
+            conn: conn_id(),
+            from_client: false,
+            syn: false,
+            rst: true,
+            ack_flag: false,
+            seq: 0,
+            len: 0,
+            ack: 0,
+            rwnd: 0,
+            markers: vec![],
+            sack: vec![],
+        };
+        let at = SimTime::ZERO + SimDuration::from_millis(20);
+        client.on_segment(rst, at);
+        assert!(client.is_closed());
+        assert_eq!(client.close_reason(), Some(CloseReason::Refused));
+        let closed = std::iter::from_fn(|| client.poll_event()).any(|e| {
+            matches!(
+                e,
+                TcpEvent::Closed {
+                    reason: CloseReason::Refused,
+                    ..
+                }
+            )
+        });
+        assert!(closed, "the close must surface as an event");
+        assert_eq!(client.next_timeout(), None, "all timers cleared");
+        assert!(client.poll_transmit(at).is_none());
     }
 }

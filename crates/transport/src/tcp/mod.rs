@@ -19,10 +19,12 @@
 //! arrives **in order** — exactly when a real kernel would hand those
 //! bytes to the process.
 //!
-//! Deliberate simplifications (documented per DESIGN.md): no FIN/RST
+//! Deliberate simplifications (documented per DESIGN.md): no FIN
 //! teardown (connections are dropped by their owners between page visits,
 //! as the paper's methodology clears state between visits), immediate
-//! ACKs (no 40 ms delayed-ACK timer), and no Nagle.
+//! ACKs (no 40 ms delayed-ACK timer), and no Nagle. RST exists in one
+//! form only: a server refusing a new connection at admission (the
+//! overloaded-edge path); established connections never RST each other.
 
 mod connection;
 
@@ -42,6 +44,9 @@ pub struct TcpSegment {
     pub from_client: bool,
     /// SYN flag (handshake).
     pub syn: bool,
+    /// RST flag: the receiver must abandon the connection (sent only by
+    /// a server refusing admission; carries no payload).
+    pub rst: bool,
     /// ACK flag; `ack` is valid when set.
     pub ack_flag: bool,
     /// First payload byte's offset in the sender's stream.
@@ -87,6 +92,7 @@ mod tests {
             conn: conn(),
             from_client: true,
             syn: false,
+            rst: false,
             ack_flag: true,
             seq: 0,
             len: 1000,
@@ -104,6 +110,7 @@ mod tests {
             conn: conn(),
             from_client: true,
             syn: true,
+            rst: false,
             ack_flag: false,
             seq: 0,
             len: 0,
@@ -117,5 +124,11 @@ mod tests {
         assert!(!seg.is_data_bearing(), "pure ACK");
         seg.len = 1;
         assert!(seg.is_data_bearing());
+        // A refusal RST is header-only: it must not occupy sequence
+        // space or elicit an ACK from the refused client.
+        seg.len = 0;
+        seg.rst = true;
+        assert!(!seg.is_data_bearing(), "RST elicits nothing");
+        assert_eq!(seg.wire_bytes(), TCP_HEADER_BYTES);
     }
 }

@@ -64,6 +64,7 @@ mod tests {
             conn,
             from_client: true,
             syn: false,
+            rst: false,
             ack_flag: true,
             seq: 0,
             len: 100,

@@ -7,7 +7,10 @@
 #   scripts/ci.sh
 #
 # Steps: release build, full test suite, the fault-matrix smoke gate
-# (graceful-degradation invariants), the SIGKILL-and-resume smoke
+# (graceful-degradation invariants), the path-dynamics smoke gate
+# (continuous-dynamics resilience invariants), the edge-overload smoke
+# gate (admission-control / fallback-storm invariants, worker-count
+# invariance of the table), the SIGKILL-and-resume smoke
 # (crash-safe checkpointing must reproduce a clean run byte-for-byte),
 # the simulator throughput ratchet (BENCH_sim.json; re-record with
 # `sim_throughput --smoke --update-baseline BENCH_sim.json --label L`
@@ -72,6 +75,23 @@ cargo run -q --release -p h3cdn-experiments --bin path_dynamics -- \
 cmp "$PD_DIR/jobs1.txt" "$PD_DIR/jobs4.txt"
 echo "    sweep output identical at --jobs 1 and --jobs 4"
 rm -rf "$PD_DIR"
+finish
+
+begin "edge_overload --smoke (overload / fallback-storm gate)"
+# The bin asserts the overload invariants itself: the starved herd
+# must refuse QUIC and strand the fallback-less h3 arm, the fallback
+# arm must complete every client with a visible H3→H2 storm, the
+# ample edge must refuse nobody, and the control row must reproduce
+# the plain campaign visit paths bit for bit. The cmp asserts
+# worker-count invariance of the full table.
+EO_DIR="$(mktemp -d)"
+cargo run -q --release -p h3cdn-experiments --bin edge_overload -- \
+    --smoke --jobs 1 > "$EO_DIR/jobs1.txt"
+cargo run -q --release -p h3cdn-experiments --bin edge_overload -- \
+    --smoke --jobs 4 > "$EO_DIR/jobs4.txt"
+cmp "$EO_DIR/jobs1.txt" "$EO_DIR/jobs4.txt"
+echo "    sweep output identical at --jobs 1 and --jobs 4"
+rm -rf "$EO_DIR"
 finish
 
 begin "SIGKILL-and-resume smoke (crash-safe checkpointing)"
