@@ -9,10 +9,15 @@ pub mod bootstrap;
 pub mod groups;
 pub mod kmeans;
 pub mod linfit;
+pub mod rolling;
 pub mod stats;
 
 pub use bootstrap::{bootstrap_slope_ci, ConfidenceInterval};
 pub use groups::{quartile_groups, QuartileGroup};
 pub use kmeans::kmeans;
 pub use linfit::{linear_fit, LinearFit};
-pub use stats::{ccdf_points, cdf_points, mean, median, pearson, quantile, spearman};
+pub use rolling::{QuantileSketch, Welford};
+pub use stats::{
+    ccdf_points, cdf_points, finite_mean, finite_median, finite_quantile, mean, median, pearson,
+    quantile, spearman,
+};

@@ -1,0 +1,420 @@
+//! Rolling (single-pass, constant-memory) aggregation for
+//! population-scale campaigns.
+//!
+//! At 10⁵–10⁶ pages the batch helpers in [`crate::stats`] — which sort a
+//! materialized `Vec<f64>` — stop being an option. This module provides
+//! the two streaming summaries the `population` experiment needs:
+//!
+//! * [`Welford`]: numerically stable running mean/variance with
+//!   NaN-partitioning (non-finite samples are counted, never mixed in),
+//!   mergeable via Chan's parallel update.
+//! * [`QuantileSketch`]: a fixed geometric-grid histogram over a
+//!   configurable `[2^lo, 2^hi)` range with `buckets_per_octave` buckets
+//!   per doubling. Quantiles are answered from bucket midpoints, so the
+//!   relative error is bounded by `2^(1/(2·bpo)) − 1` (≈ 9% at 4
+//!   buckets/octave) regardless of population size. Sketches over the
+//!   same grid merge exactly.
+//!
+//! Both are deterministic: the same pushes in the same order (or any
+//! order, for the sketch and for Welford's counts) produce the same
+//! summary, so campaign output stays bit-identical at any `--jobs`.
+
+/// Welford/Chan running mean and variance over the finite partition of
+/// a stream. Non-finite samples (stranded swarm clients report NaN) are
+/// tallied in `non_finite` and excluded from the moments.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    non_finite: u64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one sample in. Non-finite values only bump the stranded
+    /// counter.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of finite samples folded in.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of non-finite (stranded) samples seen.
+    #[must_use]
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite
+    }
+
+    /// Mean of the finite partition; `NaN` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance of the finite partition; `NaN` when empty.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation; `NaN` when empty.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another accumulator in (Chan et al.'s parallel update).
+    pub fn merge(&mut self, other: &Welford) {
+        self.non_finite += other.non_finite;
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.count = other.count;
+            self.mean = other.mean;
+            self.m2 = other.m2;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+    }
+}
+
+/// Fixed geometric-grid quantile sketch over `[2^min_exp, 2^max_exp)`.
+///
+/// Bucket `i` covers `[2^(min_exp + i/bpo), 2^(min_exp + (i+1)/bpo))`;
+/// values below the range clamp into bucket 0, values at or above it
+/// into the last bucket. A quantile query walks the cumulative counts
+/// and returns the geometric midpoint of the bucket holding the target
+/// rank, so the relative error is at most `2^(1/(2·bpo)) − 1` for
+/// in-range values. Memory is `(max_exp − min_exp) · bpo` u64s — fixed,
+/// never a function of how many samples were pushed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    min_exp: i32,
+    max_exp: i32,
+    buckets_per_octave: u32,
+    counts: Vec<u64>,
+    total: u64,
+    non_finite: u64,
+}
+
+impl QuantileSketch {
+    /// Creates a sketch over `[2^min_exp, 2^max_exp)` with
+    /// `buckets_per_octave` buckets per doubling.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `min_exp < max_exp` and `buckets_per_octave > 0`.
+    #[must_use]
+    pub fn new(min_exp: i32, max_exp: i32, buckets_per_octave: u32) -> Self {
+        assert!(min_exp < max_exp, "empty exponent range");
+        assert!(
+            buckets_per_octave > 0,
+            "need at least one bucket per octave"
+        );
+        let n = (max_exp - min_exp) as usize * buckets_per_octave as usize;
+        Self {
+            min_exp,
+            max_exp,
+            buckets_per_octave,
+            counts: vec![0; n],
+            total: 0,
+            non_finite: 0,
+        }
+    }
+
+    /// Number of grid buckets.
+    #[must_use]
+    pub fn num_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Grid bucket index for a value; non-positive and sub-range values
+    /// clamp to 0, values at or beyond `2^max_exp` clamp to the last
+    /// bucket. Returns `None` for non-finite input.
+    #[must_use]
+    pub fn bucket_index(&self, x: f64) -> Option<usize> {
+        if !x.is_finite() {
+            return None;
+        }
+        if x <= 0.0 {
+            return Some(0);
+        }
+        let pos = (x.log2() - f64::from(self.min_exp)) * f64::from(self.buckets_per_octave);
+        let idx = pos.floor();
+        if idx < 0.0 {
+            Some(0)
+        } else if idx >= self.counts.len() as f64 {
+            Some(self.counts.len() - 1)
+        } else {
+            Some(idx as usize)
+        }
+    }
+
+    /// Folds one sample in. Non-finite values only bump the stranded
+    /// counter.
+    pub fn push(&mut self, x: f64) {
+        match self.bucket_index(x) {
+            Some(i) => {
+                self.counts[i] += 1;
+                self.total += 1;
+            }
+            None => self.non_finite += 1,
+        }
+    }
+
+    /// Adds `count` pre-bucketed samples directly to grid bucket `idx`
+    /// (for merging externally-built histograms over the same grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn add_bucket(&mut self, idx: usize, count: u64) {
+        assert!(idx < self.counts.len(), "bucket {idx} out of range");
+        self.counts[idx] += count;
+        self.total += count;
+    }
+
+    /// Total finite samples folded in.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of non-finite samples seen.
+    #[must_use]
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite
+    }
+
+    /// Lower edge of grid bucket `i`.
+    #[must_use]
+    pub fn bucket_low(&self, i: usize) -> f64 {
+        let frac = i as f64 / f64::from(self.buckets_per_octave);
+        (f64::from(self.min_exp) + frac).exp2()
+    }
+
+    /// Geometric midpoint of grid bucket `i` — the sketch's point
+    /// estimate for samples that landed there.
+    #[must_use]
+    pub fn bucket_mid(&self, i: usize) -> f64 {
+        let frac = (i as f64 + 0.5) / f64::from(self.buckets_per_octave);
+        (f64::from(self.min_exp) + frac).exp2()
+    }
+
+    /// Quantile `q ∈ [0, 1]` from the grid (geometric midpoint of the
+    /// bucket holding the target rank); `NaN` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        // Rank of the order statistic the batch quantile would select.
+        let target = (q * (self.total - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen > target {
+                return self.bucket_mid(i);
+            }
+        }
+        // Counts sum to total > target, so the loop always returns;
+        // keep a defined value for the impossible fall-through.
+        self.bucket_mid(self.counts.len() - 1)
+    }
+
+    /// CCDF `P[X > bucket_low(i)]` sampled at every non-empty bucket
+    /// edge, as `(x, p)` pairs ascending in `x`. Suitable for log-log
+    /// tail fits.
+    #[must_use]
+    pub fn ccdf_points(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        if self.total == 0 {
+            return out;
+        }
+        let mut below = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                out.push((self.bucket_low(i), 1.0 - below as f64 / self.total as f64));
+            }
+            below += c;
+        }
+        out
+    }
+
+    /// Merges another sketch over the identical grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids differ.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            self.min_exp == other.min_exp
+                && self.max_exp == other.max_exp
+                && self.buckets_per_octave == other.buckets_per_octave,
+            "cannot merge sketches over different grids"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.non_finite += other.non_finite;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::quantile;
+
+    #[test]
+    fn welford_matches_batch_moments() {
+        let xs: Vec<f64> = (1..=100).map(|i| f64::from(i) * 0.37).collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((w.mean() - mean).abs() < 1e-9);
+        assert!((w.variance() - var).abs() < 1e-9);
+        assert_eq!(w.count(), 100);
+    }
+
+    #[test]
+    fn welford_partitions_non_finite() {
+        let mut w = Welford::new();
+        for x in [1.0, f64::NAN, 3.0, f64::INFINITY] {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 2);
+        assert_eq!(w.non_finite(), 2);
+        assert!((w.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_equals_single_pass() {
+        let xs: Vec<f64> = (0..57)
+            .map(|i| (f64::from(i) * 1.618).sin() * 40.0)
+            .collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let (a, b) = xs.split_at(20);
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in a {
+            left.push(x);
+        }
+        for &x in b {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.count(), whole.count());
+    }
+
+    #[test]
+    fn sketch_quantile_within_grid_error_bound() {
+        // 4 buckets/octave → relative error ≤ 2^(1/8) − 1 ≈ 9.05%.
+        let mut sk = QuantileSketch::new(0, 20, 4);
+        let xs: Vec<f64> = (1..=10_000).map(|i| f64::from(i) * 0.7 + 1.0).collect();
+        for &x in &xs {
+            sk.push(x);
+        }
+        let bound = (1.0f64 / 8.0).exp2() - 1.0 + 1e-9;
+        for q in [0.1, 0.5, 0.75, 0.9, 0.99] {
+            let exact = quantile(&xs, q);
+            let approx = sk.quantile(q);
+            let rel = (approx / exact - 1.0).abs();
+            assert!(rel <= bound, "q={q}: {approx} vs {exact} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn sketch_clamps_and_counts_non_finite() {
+        let mut sk = QuantileSketch::new(6, 23, 4);
+        sk.push(0.5); // below range → bucket 0
+        sk.push(-3.0); // non-positive → bucket 0
+        sk.push(1e12); // above range → last bucket
+        sk.push(f64::NAN);
+        assert_eq!(sk.total(), 3);
+        assert_eq!(sk.non_finite(), 1);
+        assert_eq!(sk.bucket_index(0.5), Some(0));
+        assert_eq!(sk.bucket_index(1e12), Some(sk.num_buckets() - 1));
+        assert_eq!(sk.bucket_index(f64::NAN), None);
+    }
+
+    #[test]
+    fn sketch_merge_and_add_bucket_match_push() {
+        let xs: Vec<f64> = (1..=500).map(|i| f64::from(i) * 3.3).collect();
+        let mut whole = QuantileSketch::new(0, 16, 4);
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = QuantileSketch::new(0, 16, 4);
+        let mut right = QuantileSketch::new(0, 16, 4);
+        for &x in &xs[..200] {
+            left.push(x);
+        }
+        // Rebuild the right half through the pre-bucketed path.
+        for &x in &xs[200..] {
+            let idx = right.bucket_index(x).unwrap();
+            right.add_bucket(idx, 1);
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn sketch_ccdf_is_monotone_nonincreasing() {
+        let mut sk = QuantileSketch::new(0, 16, 4);
+        for i in 1..=2000u32 {
+            sk.push(f64::from(i));
+        }
+        let pts = sk.ccdf_points();
+        assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            assert!(w[0].0 < w[1].0, "x ascending");
+            assert!(w[0].1 >= w[1].1, "ccdf nonincreasing");
+        }
+        assert!((pts[0].1 - 1.0).abs() < 1e-12);
+    }
+}

@@ -38,6 +38,33 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
     }
 }
 
+/// NaN-aware mean: averages the finite values and reports how many
+/// samples were stranded (non-finite). Returns `(NaN, stranded)` when
+/// no finite values remain.
+///
+/// Swarm and overload sweeps encode clients that never completed as
+/// `NaN` page-load times; feeding those vectors to [`mean`] silently
+/// poisons the aggregate. This variant partitions instead.
+pub fn finite_mean(values: &[f64]) -> (f64, usize) {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    (mean(&finite), values.len() - finite.len())
+}
+
+/// NaN-aware median over the finite partition; see [`finite_mean`].
+pub fn finite_median(values: &[f64]) -> (f64, usize) {
+    finite_quantile(values, 0.5)
+}
+
+/// NaN-aware quantile over the finite partition; see [`finite_mean`].
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn finite_quantile(values: &[f64], q: f64) -> (f64, usize) {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    (quantile(&finite, q), values.len() - finite.len())
+}
+
 /// Empirical CDF as `(x, P[X ≤ x])` points, one per distinct sample,
 /// ascending in `x`.
 pub fn cdf_points(values: &[f64]) -> Vec<(f64, f64)> {
@@ -146,6 +173,36 @@ mod tests {
     #[should_panic(expected = "quantile out of range")]
     fn quantile_rejects_out_of_range() {
         let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn finite_variants_partition_nans() {
+        // Regression: stranded swarm clients report NaN PLTs. The plain
+        // aggregates are poisoned; the finite_* variants must not be.
+        let plts = [120.0, f64::NAN, 80.0, f64::INFINITY, 100.0];
+        assert!(mean(&plts).is_nan(), "plain mean is NaN-poisoned");
+        let (m, stranded) = finite_mean(&plts);
+        assert!((m - 100.0).abs() < 1e-12);
+        assert_eq!(stranded, 2);
+        let (med, s2) = finite_median(&plts);
+        assert!((med - 100.0).abs() < 1e-12);
+        assert_eq!(s2, 2);
+        // The tail quantile previously picked up NaN (total_cmp sorts it
+        // last); the finite variant must return the finite worst case.
+        let (p100, s3) = finite_quantile(&plts, 1.0);
+        assert!((p100 - 120.0).abs() < 1e-12);
+        assert_eq!(s3, 2);
+    }
+
+    #[test]
+    fn finite_variants_on_all_nan_and_empty() {
+        let all_nan = [f64::NAN, f64::NAN];
+        let (m, stranded) = finite_mean(&all_nan);
+        assert!(m.is_nan());
+        assert_eq!(stranded, 2);
+        let (q, s) = finite_quantile(&[], 0.9);
+        assert!(q.is_nan());
+        assert_eq!(s, 0);
     }
 
     #[test]

@@ -24,6 +24,13 @@
 //! panic ratchet. Structural changes that legitimately alter the event
 //! count or the achievable rate are recorded with
 //! `--update-baseline BENCH_sim.json` and justified in review.
+//!
+//! `--population` swaps the workload for the population-scale
+//! page-record generator (`h3cdn_web::population`): visits count
+//! generated pages, events count generated requests. Its rows ratchet
+//! independently — `--check` matches baseline entries on
+//! `(pages, seed, reps)`, so the visit sweep and the population sweep
+//! coexist in one trajectory file.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -32,13 +39,17 @@ use h3cdn::cdn::EdgeConfig;
 use h3cdn::netsim::DynamicsProfile;
 use h3cdn_browser::{run_swarm, visit_page, ProtocolMode, SwarmConfig, VisitConfig};
 use h3cdn_transport::tls::TicketStore;
-use h3cdn_web::{generate, Corpus, WorkloadSpec};
+use h3cdn_web::{generate, page_record, Corpus, PopulationSpec, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 /// Default corpus size for a full run.
 const DEFAULT_PAGES: usize = 12;
 /// Corpus size in `--smoke` mode (the CI gate).
 const SMOKE_PAGES: usize = 5;
+/// Population size for a full `--population` run.
+const POPULATION_PAGES: usize = 100_000;
+/// Population size in `--population --smoke` mode (the CI gate).
+const POPULATION_SMOKE_PAGES: usize = 20_000;
 /// Fixed corpus seed: the workload must be identical across runs and
 /// machines for the events count to be comparable.
 const DEFAULT_SEED: u64 = 0xBE_AC4;
@@ -98,6 +109,7 @@ struct Args {
     label: Option<String>,
     dynamics: bool,
     edge: bool,
+    population: bool,
 }
 
 fn parse_args() -> Args {
@@ -115,15 +127,21 @@ fn parse_args() -> Args {
         label: None,
         dynamics: false,
         edge: false,
+        population: false,
     };
+    let mut smoke = false;
+    let mut pages_explicit = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--pages" => a.pages = expect_parse(args.next(), "--pages"),
+            "--pages" => {
+                a.pages = expect_parse(args.next(), "--pages");
+                pages_explicit = true;
+            }
             "--seed" => a.seed = expect_parse(args.next(), "--seed"),
             "--reps" => a.reps = expect_parse(args.next(), "--reps"),
             "--smoke" => {
-                a.pages = SMOKE_PAGES;
+                smoke = true;
                 a.reps = 2;
             }
             "--json" => a.json = Some(expect_value(args.next(), "--json")),
@@ -135,13 +153,16 @@ fn parse_args() -> Args {
             "--label" => a.label = Some(expect_value(args.next(), "--label")),
             "--dynamics" => a.dynamics = true,
             "--edge" => a.edge = true,
+            "--population" => a.population = true,
             "--help" | "-h" => {
                 println!(
                     "sim_throughput: simulator hot-path benchmark + perf ratchet\n\
                      flags: --pages N  --seed S  --reps R  --smoke  --json PATH\n\
                      \x20      --check PATH  --tolerance F  --update-baseline PATH  --label L\n\
-                     \x20      --dynamics  (add a continuous-path-dynamics pass to the sweep)\n\
-                     \x20      --edge      (add an overloaded-edge swarm pass to the sweep)"
+                     \x20      --dynamics    (add a continuous-path-dynamics pass to the sweep)\n\
+                     \x20      --edge        (add an overloaded-edge swarm pass to the sweep)\n\
+                     \x20      --population  (benchmark the population page-record generator\n\
+                     \x20                     instead of the visit sweep; its own baseline row)"
                 );
                 std::process::exit(0);
             }
@@ -150,6 +171,14 @@ fn parse_args() -> Args {
                 std::process::exit(2);
             }
         }
+    }
+    if !pages_explicit {
+        a.pages = match (a.population, smoke) {
+            (true, true) => POPULATION_SMOKE_PAGES,
+            (true, false) => POPULATION_PAGES,
+            (false, true) => SMOKE_PAGES,
+            (false, false) => DEFAULT_PAGES,
+        };
     }
     assert!(a.reps > 0, "--reps must be positive");
     a
@@ -231,19 +260,42 @@ fn sweep(corpus: &Corpus, dynamics: bool, edge: bool) -> (u64, u64) {
     (visits, events)
 }
 
+/// One sweep over the population workload: generates every page record
+/// of a fixed synthetic Internet. `visits` counts pages, `events`
+/// counts generated requests (both deterministic).
+fn population_sweep(spec: &PopulationSpec) -> (u64, u64) {
+    let mut visits = 0u64;
+    let mut events = 0u64;
+    for site in 0..spec.num_pages {
+        let r = page_record(spec, site);
+        visits += 1;
+        events += u64::from(r.requests);
+    }
+    (visits, events)
+}
+
 fn measure(args: &Args) -> BenchEntry {
-    let corpus = generate(
-        &WorkloadSpec::default()
-            .with_pages(args.pages)
-            .with_seed(args.seed),
-    );
+    let sweep_once: Box<dyn Fn() -> (u64, u64)> = if args.population {
+        let spec = PopulationSpec::default()
+            .with_pages(args.pages as u64)
+            .with_seed(args.seed);
+        Box::new(move || population_sweep(&spec))
+    } else {
+        let corpus = generate(
+            &WorkloadSpec::default()
+                .with_pages(args.pages)
+                .with_seed(args.seed),
+        );
+        let (dynamics, edge) = (args.dynamics, args.edge);
+        Box::new(move || sweep(&corpus, dynamics, edge))
+    };
     // Warmup: one untimed sweep (page/cache/branch-predictor warm state).
-    let (warm_visits, warm_events) = sweep(&corpus, args.dynamics, args.edge);
+    let (warm_visits, warm_events) = sweep_once();
     let start = Instant::now();
     let mut visits = 0u64;
     let mut events = 0u64;
     for _ in 0..args.reps {
-        let (v, e) = sweep(&corpus, args.dynamics, args.edge);
+        let (v, e) = sweep_once();
         visits += v;
         events += e;
     }
@@ -284,27 +336,39 @@ fn store_trajectory(path: &str, t: &Trajectory) -> Result<(), String> {
 }
 
 fn workload_name(args: &Args) -> String {
-    format!(
-        "campaign sweep: {} pages (seed {:#x}), h2 + h3 isolated visits + consecutive h3 pass",
-        args.pages, args.seed
-    )
+    if args.population {
+        format!(
+            "population sweep: {} page records (seed {:#x}), events = generated requests",
+            args.pages, args.seed
+        )
+    } else {
+        format!(
+            "campaign sweep: {} pages (seed {:#x}), h2 + h3 isolated visits + consecutive h3 pass",
+            args.pages, args.seed
+        )
+    }
 }
 
-/// Gates `fresh` against the last committed entry. Returns an error
-/// message when the ratchet trips.
+/// Gates `fresh` against the last committed entry *for the same
+/// workload* — entries are matched on `(pages, seed, reps)`, so the
+/// static visit sweep and the population sweep ratchet independently
+/// inside one trajectory file. Returns an error message when the
+/// ratchet trips.
 fn check(fresh: &BenchEntry, baseline_path: &str, tolerance: f64) -> Result<String, String> {
     let traj = load_trajectory(baseline_path)?;
-    let Some(base) = traj.entries.last() else {
-        return Err(format!("{baseline_path}: trajectory has no entries"));
-    };
-    if (base.pages, base.seed, base.reps) != (fresh.pages, fresh.seed, fresh.reps) {
+    let Some(base) = traj
+        .entries
+        .iter()
+        .rev()
+        .find(|e| (e.pages, e.seed, e.reps) == (fresh.pages, fresh.seed, fresh.reps))
+    else {
         return Err(format!(
-            "workload mismatch: baseline is {} pages / seed {:#x} / {} reps, \
-             this run is {} pages / seed {:#x} / {} reps — pass the same flags \
-             the baseline was recorded with",
-            base.pages, base.seed, base.reps, fresh.pages, fresh.seed, fresh.reps
+            "{baseline_path}: no trajectory entry matches this workload \
+             ({} pages / seed {:#x} / {} reps) — record one with \
+             `--update-baseline {baseline_path}`, passing the same flags",
+            fresh.pages, fresh.seed, fresh.reps
         ));
-    }
+    };
     // Deterministic structural gate: the event count of the fixed
     // workload only moves when the stack itself changes behaviour.
     let drift = (fresh.events as f64 - base.events as f64).abs() / base.events.max(1) as f64;
@@ -343,6 +407,15 @@ fn check(fresh: &BenchEntry, baseline_path: &str, tolerance: f64) -> Result<Stri
 
 fn main() -> ExitCode {
     let args = parse_args();
+    // The population sweep is a different workload entirely; the visit
+    // profiling passes cannot be mixed into it.
+    if args.population && (args.dynamics || args.edge) {
+        eprintln!(
+            "sim_throughput: --population benchmarks the page-record generator; \
+             it cannot be combined with --dynamics or --edge"
+        );
+        return ExitCode::from(2);
+    }
     // The dynamics and edge passes change the workload's event counts,
     // so they can never be compared against (or recorded into) the
     // committed static-workload trajectory.

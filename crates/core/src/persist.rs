@@ -33,6 +33,8 @@
 //! window before the rename) simply fails verification and the job
 //! re-executes.
 
+pub mod shard;
+
 use std::fs::{self, File};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -171,6 +173,7 @@ fn read_git_head(git: &Path) -> Option<String> {
 /// ```text
 /// manifest.json           version + fingerprint + argv
 /// jobs/<section>/NNNNNN.job   one content-hashed entry per job
+/// shards/shard-NNNNN.bin  compact binary journal (population runs)
 /// quarantine.json         jobs that exhausted their retries
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -215,6 +218,12 @@ impl RunDir {
         self.root.join("quarantine.json")
     }
 
+    /// Directory holding the sharded binary journal of a
+    /// population-scale run (see [`shard::ShardedJournal`]).
+    pub fn shards_dir(&self) -> PathBuf {
+        self.root.join("shards")
+    }
+
     /// Prepares the directory for a run described by `manifest`.
     ///
     /// With `resume` set and a stored manifest whose version and
@@ -238,6 +247,10 @@ impl RunDir {
             let jobs = self.root.join("jobs");
             if jobs.is_dir() {
                 fs::remove_dir_all(&jobs)?;
+            }
+            let shards = self.shards_dir();
+            if shards.is_dir() {
+                fs::remove_dir_all(&shards)?;
             }
             let quarantine = self.quarantine_path();
             if quarantine.is_file() {
@@ -390,6 +403,21 @@ mod tests {
         run.store_job("s", 0, b"b").expect("store");
         assert!(!run.prepare(&manifest(2), false).expect("fresh again"));
         assert!(run.load_job("s", 0).is_none());
+        let _ = fs::remove_dir_all(run.root());
+    }
+
+    #[test]
+    fn prepare_shard_wipe_semantics() {
+        let run = RunDir::at(tmp_root("ps"));
+        assert!(!run.prepare(&manifest(1), false).expect("fresh"));
+        let shard = run.shards_dir().join("shard-00000.bin");
+        fs::create_dir_all(run.shards_dir()).expect("mkdir");
+        fs::write(&shard, b"x").expect("seed shard");
+        // Matching resume keeps shards; any mismatch wipes them.
+        assert!(run.prepare(&manifest(1), true).expect("resume"));
+        assert!(shard.is_file(), "matching resume keeps shards");
+        assert!(!run.prepare(&manifest(2), true).expect("stale"));
+        assert!(!shard.exists(), "stale fingerprint wipes shards");
         let _ = fs::remove_dir_all(run.root());
     }
 

@@ -1,0 +1,404 @@
+//! Sharded append-only binary journal for population-scale campaigns.
+//!
+//! The per-job JSON journal ([`super::RunDir::store_job`]) costs one
+//! file + one `fsync`-rename per job — fine at 325 pages, untenable at
+//! 10⁶. This module replaces it for population runs with append-only
+//! shard files holding compact binary records:
+//!
+//! ```text
+//! shards/shard-00000.bin
+//! shards/shard-00001.bin        (rotated every `records_per_shard`)
+//! ```
+//!
+//! Record wire format (all integers little-endian):
+//!
+//! ```text
+//! [seq: u64] [len: u32] [fnv1a64(payload): u64] [payload: len bytes]
+//! ```
+//!
+//! Crash safety is *prefix* safety: records are appended and flushed in
+//! order, and the loader scans each shard front to back, stopping at
+//! the first torn or hash-mismatched record. A SIGKILL mid-append
+//! therefore loses at most the unflushed tail of the newest shard;
+//! every surviving record verifies, and lost jobs simply re-execute
+//! (deterministically, so resume stays bit-identical). A writer opened
+//! on an existing directory never reopens old shards — it starts a
+//! fresh shard after the highest existing index, so partially-written
+//! old tails are never appended to.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use super::fnv1a64;
+
+/// Default shard rotation threshold (records per shard file).
+pub(crate) const DEFAULT_RECORDS_PER_SHARD: u64 = 4096;
+
+/// Byte length of a record header: seq (8) + len (4) + hash (8).
+const HEADER_LEN: usize = 20;
+
+/// Sanity cap on a single record's payload; a length field above this
+/// is treated as corruption rather than an allocation request.
+const MAX_PAYLOAD_LEN: u32 = 64 * 1024 * 1024;
+
+/// Append-only writer over a shard directory. Thread-safe: workers
+/// append concurrently through an internal mutex; each append is
+/// written and flushed as one contiguous record.
+#[derive(Debug)]
+pub struct ShardedJournal {
+    dir: PathBuf,
+    records_per_shard: u64,
+    state: Mutex<WriterState>,
+}
+
+#[derive(Debug)]
+struct WriterState {
+    /// Open shard file; `None` until the first append (so read-only
+    /// users never create empty shards).
+    file: Option<BufWriter<File>>,
+    /// Index of the shard currently being written.
+    shard_idx: u64,
+    /// Records appended to the current shard so far.
+    records_in_shard: u64,
+}
+
+impl ShardedJournal {
+    /// Opens a journal writer over `dir` (created if missing) with the
+    /// default rotation threshold. Appends go to a fresh shard after
+    /// the highest existing index; existing shards are never modified.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn open(dir: &Path) -> io::Result<ShardedJournal> {
+        Self::with_records_per_shard(dir, DEFAULT_RECORDS_PER_SHARD)
+    }
+
+    /// As [`open`](Self::open) with an explicit rotation threshold.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors; rejects a zero threshold.
+    pub fn with_records_per_shard(
+        dir: &Path,
+        records_per_shard: u64,
+    ) -> io::Result<ShardedJournal> {
+        if records_per_shard == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "records_per_shard must be at least 1",
+            ));
+        }
+        fs::create_dir_all(dir)?;
+        let next_idx = max_shard_index(dir)?.map_or(0, |i| i + 1);
+        Ok(ShardedJournal {
+            dir: dir.to_path_buf(),
+            records_per_shard,
+            state: Mutex::new(WriterState {
+                file: None,
+                shard_idx: next_idx,
+                records_in_shard: 0,
+            }),
+        })
+    }
+
+    /// The shard directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one `(seq, payload)` record and flushes it to the OS.
+    /// The flush makes the record survive a process kill; the `fsync`
+    /// happens on rotation and in [`finish`](Self::finish).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    ///
+    /// # Panics
+    /// Panics if the internal mutex is poisoned (a prior append
+    /// panicked) or the payload exceeds the 64 MiB record cap.
+    pub fn append(&self, seq: u64, payload: &[u8]) -> io::Result<()> {
+        assert!(
+            payload.len() <= MAX_PAYLOAD_LEN as usize,
+            "payload of {} bytes exceeds the record cap",
+            payload.len()
+        );
+        let mut st = self.state.lock().expect("journal mutex");
+        if st.file.is_none() || st.records_in_shard >= self.records_per_shard {
+            self.rotate(&mut st)?;
+        }
+        let mut record = Vec::with_capacity(HEADER_LEN + payload.len());
+        record.extend_from_slice(&seq.to_le_bytes());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        record.extend_from_slice(payload);
+        let file = st.file.as_mut().expect("rotate opened a shard");
+        file.write_all(&record)?;
+        // Push the record into the kernel so a SIGKILL cannot lose it;
+        // only a machine crash can, and then the prefix scan recovers.
+        file.flush()?;
+        st.records_in_shard += 1;
+        Ok(())
+    }
+
+    /// Closes the current shard with a full `fsync`. Idempotent; the
+    /// next append after `finish` starts a new shard.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    ///
+    /// # Panics
+    /// Panics if the internal mutex is poisoned.
+    pub fn finish(&self) -> io::Result<()> {
+        let mut st = self.state.lock().expect("journal mutex");
+        if let Some(mut file) = st.file.take() {
+            file.flush()?;
+            file.get_ref().sync_all()?;
+            st.shard_idx += 1;
+            st.records_in_shard = 0;
+        }
+        Ok(())
+    }
+
+    /// Seals the current shard (fsync + close) and opens the next one.
+    fn rotate(&self, st: &mut WriterState) -> io::Result<()> {
+        if let Some(mut old) = st.file.take() {
+            old.flush()?;
+            old.get_ref().sync_all()?;
+            st.shard_idx += 1;
+        }
+        let path = shard_path(&self.dir, st.shard_idx);
+        // Appends only ever target a brand-new shard file (the writer
+        // starts past the highest existing index), so plain creation
+        // is safe here. h3cdn-lint: allow(raw-result-write)
+        let file = File::create(&path)?;
+        st.file = Some(BufWriter::new(file));
+        st.records_in_shard = 0;
+        Ok(())
+    }
+
+    /// Loads every verifiable record under `dir` into a `seq → payload`
+    /// map. Shards are scanned in index order; within a shard the scan
+    /// stops at the first torn or corrupt record (prefix recovery).
+    /// Later records for the same `seq` win, so a re-executed job
+    /// journaled into a newer shard supersedes an older entry.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors (a missing directory is an empty
+    /// journal, not an error).
+    pub fn load(dir: &Path) -> io::Result<BTreeMap<u64, Vec<u8>>> {
+        let mut out = BTreeMap::new();
+        let Ok(entries) = fs::read_dir(dir) else {
+            return Ok(out);
+        };
+        let mut shards: Vec<PathBuf> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| is_shard_name(p))
+            .collect();
+        shards.sort();
+        for path in shards {
+            let mut bytes = Vec::new();
+            File::open(&path)?.read_to_end(&mut bytes)?;
+            scan_shard(&bytes, &mut out);
+        }
+        Ok(out)
+    }
+}
+
+/// Parses verifiable records off the front of one shard's bytes,
+/// inserting them into `out`; stops at the first torn or corrupt
+/// record.
+fn scan_shard(bytes: &[u8], out: &mut BTreeMap<u64, Vec<u8>>) {
+    let mut off = 0usize;
+    while bytes.len() - off >= HEADER_LEN {
+        let Some(header) = bytes.get(off..off + HEADER_LEN) else {
+            return;
+        };
+        let seq = u64::from_le_bytes(header[0..8].try_into().expect("8 header bytes"));
+        let len = u32::from_le_bytes(header[8..12].try_into().expect("4 header bytes"));
+        let want = u64::from_le_bytes(header[12..20].try_into().expect("8 header bytes"));
+        if len > MAX_PAYLOAD_LEN {
+            return; // corrupt length field
+        }
+        let Some(payload) = bytes.get(off + HEADER_LEN..off + HEADER_LEN + len as usize) else {
+            return; // torn tail
+        };
+        if fnv1a64(payload) != want {
+            return; // corrupt payload: discard the rest of the shard
+        }
+        out.insert(seq, payload.to_vec());
+        off += HEADER_LEN + len as usize;
+    }
+}
+
+/// `shard-NNNNN.bin` path for index `idx` under `dir`.
+fn shard_path(dir: &Path, idx: u64) -> PathBuf {
+    dir.join(format!("shard-{idx:05}.bin"))
+}
+
+/// Whether a path looks like a shard file.
+fn is_shard_name(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".bin"))
+}
+
+/// The highest shard index present under `dir`, if any.
+fn max_shard_index(dir: &Path) -> io::Result<Option<u64>> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Ok(None);
+    };
+    let mut max = None;
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        if !is_shard_name(&path) {
+            continue;
+        }
+        let idx = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(|n| n.strip_prefix("shard-"))
+            .and_then(|n| n.strip_suffix(".bin"))
+            .and_then(|n| n.parse::<u64>().ok());
+        if let Some(i) = idx {
+            max = Some(max.map_or(i, |m: u64| m.max(i)));
+        }
+    }
+    Ok(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        // Test scratch space only; never feeds results.
+        // h3cdn-lint: allow(env-read)
+        let dir = std::env::temp_dir().join(format!(
+            "h3cdn-shard-{tag}-{}-{:x}",
+            std::process::id(),
+            fnv1a64(tag.as_bytes())
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_across_rotation() {
+        let dir = tmp_dir("rt");
+        let journal = ShardedJournal::with_records_per_shard(&dir, 10).expect("open");
+        for seq in 0..35u64 {
+            journal
+                .append(seq, format!("payload-{seq}").as_bytes())
+                .expect("append");
+        }
+        journal.finish().expect("finish");
+        // 35 records at 10/shard → 4 shard files.
+        let shards = fs::read_dir(&dir).expect("dir").count();
+        assert_eq!(shards, 4);
+        let loaded = ShardedJournal::load(&dir).expect("load");
+        assert_eq!(loaded.len(), 35);
+        for seq in 0..35u64 {
+            assert_eq!(loaded[&seq], format!("payload-{seq}").into_bytes());
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_appends_into_fresh_shard() {
+        let dir = tmp_dir("ro");
+        {
+            let j = ShardedJournal::with_records_per_shard(&dir, 100).expect("open");
+            j.append(0, b"first").expect("append");
+            // Dropped without finish — simulates a killed process.
+        }
+        let j = ShardedJournal::with_records_per_shard(&dir, 100).expect("reopen");
+        j.append(1, b"second").expect("append");
+        j.finish().expect("finish");
+        // Two shards: the writer never reopened the orphaned one.
+        assert!(shard_path(&dir, 0).is_file());
+        assert!(shard_path(&dir, 1).is_file());
+        let loaded = ShardedJournal::load(&dir).expect("load");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[&0], b"first".to_vec());
+        assert_eq!(loaded[&1], b"second".to_vec());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_prefix_survives() {
+        let dir = tmp_dir("torn");
+        let j = ShardedJournal::with_records_per_shard(&dir, 100).expect("open");
+        for seq in 0..5u64 {
+            j.append(seq, &[seq as u8; 32]).expect("append");
+        }
+        j.finish().expect("finish");
+        // Tear the shard mid-record: keep 3 full records plus half of
+        // the fourth.
+        let path = shard_path(&dir, 0);
+        let bytes = fs::read(&path).expect("read");
+        let record_len = HEADER_LEN + 32;
+        fs::write(&path, &bytes[..3 * record_len + 10]).expect("tear");
+        let loaded = ShardedJournal::load(&dir).expect("load");
+        assert_eq!(
+            loaded.keys().copied().collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "intact prefix survives, torn tail re-executes"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_record_stops_the_shard_scan() {
+        let dir = tmp_dir("corrupt");
+        let j = ShardedJournal::with_records_per_shard(&dir, 100).expect("open");
+        for seq in 0..4u64 {
+            j.append(seq, &[0xAB; 16]).expect("append");
+        }
+        j.finish().expect("finish");
+        let path = shard_path(&dir, 0);
+        let mut bytes = fs::read(&path).expect("read");
+        // Flip a payload byte of record 1; records 0 survives, 1..4 are
+        // dropped (no resync — determinism over salvage).
+        let record_len = HEADER_LEN + 16;
+        bytes[record_len + HEADER_LEN + 3] ^= 0xFF;
+        fs::write(&path, &bytes).expect("corrupt");
+        let loaded = ShardedJournal::load(&dir).expect("load");
+        assert_eq!(loaded.keys().copied().collect::<Vec<_>>(), vec![0]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn later_records_win_for_same_seq() {
+        let dir = tmp_dir("dup");
+        {
+            let j = ShardedJournal::with_records_per_shard(&dir, 100).expect("open");
+            j.append(7, b"old").expect("append");
+            j.finish().expect("finish");
+        }
+        {
+            let j = ShardedJournal::with_records_per_shard(&dir, 100).expect("reopen");
+            j.append(7, b"new").expect("append");
+            j.finish().expect("finish");
+        }
+        let loaded = ShardedJournal::load(&dir).expect("load");
+        assert_eq!(loaded[&7], b"new".to_vec());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_loads_empty() {
+        let dir = tmp_dir("missing");
+        let loaded = ShardedJournal::load(&dir).expect("load");
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn zero_rotation_threshold_is_rejected() {
+        let dir = tmp_dir("zero");
+        assert!(ShardedJournal::with_records_per_shard(&dir, 0).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -21,9 +21,10 @@
 //! rendered artifacts stay byte-stable either way.
 
 pub mod durable;
+pub mod streaming;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 use std::time::Instant;
 
 /// Key identifying one campaign job: `(vantage, site, variant)`.
@@ -79,12 +80,7 @@ impl RunnerConfig {
     /// Resolves `jobs`/`quiet` from the environment: `H3CDN_JOBS` for
     /// the worker count, `H3CDN_PROGRESS=1` to enable counters.
     pub fn from_env() -> Self {
-        // Worker count and progress logging change scheduling only, never
-        // results (the merge is key-ordered). h3cdn-lint: allow(env-read)
-        let jobs = std::env::var("H3CDN_JOBS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or(0);
+        let jobs = jobs_from_env();
         let quiet = !matches!(
             // h3cdn-lint: allow(env-read)
             std::env::var("H3CDN_PROGRESS").as_deref(),
@@ -98,16 +94,47 @@ impl RunnerConfig {
         if self.jobs > 0 {
             return self.jobs;
         }
-        // Scheduling knob only; results are worker-count independent.
-        // h3cdn-lint: allow(env-read)
-        if let Some(jobs) = std::env::var("H3CDN_JOBS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&j| j > 0)
-        {
+        let jobs = jobs_from_env();
+        if jobs > 0 {
             return jobs;
         }
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+}
+
+/// Parses an `H3CDN_JOBS` value: a non-negative integer worker count
+/// (`0` = auto-detect). Whitespace is trimmed; an empty string counts
+/// as unset. Anything else is an error naming the offending value.
+fn parse_jobs(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(0);
+    }
+    trimmed
+        .parse::<usize>()
+        .map_err(|_| format!("invalid H3CDN_JOBS value {raw:?} (expected a non-negative integer)"))
+}
+
+/// Reads `H3CDN_JOBS`, returning `0` (auto) when unset. A value that
+/// fails to parse — `H3CDN_JOBS=fuor` — used to degrade silently to
+/// auto-detect; now it warns on stderr (once per process) and then
+/// falls back, so a typo leaves a visible signal without aborting a
+/// long campaign.
+fn jobs_from_env() -> usize {
+    // Worker count changes scheduling only, never results (the merge is
+    // key-ordered). h3cdn-lint: allow(env-read)
+    let Ok(raw) = std::env::var("H3CDN_JOBS") else {
+        return 0;
+    };
+    match parse_jobs(&raw) {
+        Ok(jobs) => jobs,
+        Err(msg) => {
+            static WARN_ONCE: Once = Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!("h3cdn runner: {msg}; using auto-detect");
+            });
+            0
+        }
     }
 }
 
@@ -298,5 +325,20 @@ mod tests {
     #[test]
     fn auto_jobs_resolve_to_at_least_one() {
         assert!(RunnerConfig::default().effective_jobs() >= 1);
+    }
+
+    #[test]
+    fn parse_jobs_accepts_integers_and_rejects_garbage() {
+        // Tested via the pure parser rather than the env var to avoid
+        // process-global races with parallel tests.
+        assert_eq!(parse_jobs("4"), Ok(4));
+        assert_eq!(parse_jobs(" 2 "), Ok(2));
+        assert_eq!(parse_jobs("0"), Ok(0));
+        assert_eq!(parse_jobs(""), Ok(0));
+        assert_eq!(parse_jobs("   "), Ok(0));
+        let err = parse_jobs("fuor").unwrap_err();
+        assert!(err.contains("fuor"), "error names the value: {err}");
+        assert!(parse_jobs("-1").is_err());
+        assert!(parse_jobs("4.5").is_err());
     }
 }

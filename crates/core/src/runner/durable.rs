@@ -411,16 +411,29 @@ struct QuarantineFile {
 
 /// Rewrites `quarantine.json`: existing entries of *other* sections
 /// are kept, this section's entries are replaced with `fresh`.
+///
+/// Entries are keyed by `(section, seq)`, so a job that fails again on
+/// a resumed run *replaces* its previous record instead of appending a
+/// duplicate — the file stays bounded by the number of distinct failing
+/// jobs no matter how often a run is resumed (and a pre-existing file
+/// with duplicates is collapsed on the next merge).
 fn merge_quarantine(run: &RunDir, section: &str, fresh: &[JobFailure]) {
-    let mut all: Vec<JobFailure> = run
+    let mut by_key: std::collections::BTreeMap<(String, u64), JobFailure> = run
         .read_quarantine()
         .and_then(|text| serde_json::from_str::<QuarantineFile>(&text).ok())
         .map(|q| q.failures)
-        .unwrap_or_default();
-    all.retain(|f| f.section != section);
-    all.extend(fresh.iter().cloned());
-    all.sort_by(|a, b| (&a.section, a.seq).cmp(&(&b.section, b.seq)));
-    let file = QuarantineFile { failures: all };
+        .unwrap_or_default()
+        .into_iter()
+        .map(|f| ((f.section.clone(), f.seq), f))
+        .collect();
+    by_key.retain(|(s, _), _| s != section);
+    for f in fresh {
+        by_key.insert((f.section.clone(), f.seq), f.clone());
+    }
+    // BTreeMap iteration is already the (section, seq) sort order.
+    let file = QuarantineFile {
+        failures: by_key.into_values().collect(),
+    };
     match serde_json::to_string_pretty(&file) {
         Ok(json) => {
             if let Err(e) = run.write_quarantine(&json) {
@@ -610,12 +623,36 @@ mod tests {
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].section, "alpha");
         assert_eq!(all[1].section, "beta");
+        // Re-quarantining the same job on repeated resumes must not
+        // accumulate duplicates: (section, seq) keys the entry.
+        let _ = run_keyed_durable(&cfg, &ctx, "alpha", bad("alpha"));
+        let _ = run_keyed_durable(&cfg, &ctx, "alpha", bad("alpha"));
+        let all = read_quarantine(&run);
+        assert_eq!(all.len(), 2, "three alpha failures collapse to one");
+        assert_eq!(all[0].section, "alpha");
+        assert_eq!(all[1].section, "beta");
+        // A pre-existing file carrying duplicates (written before the
+        // dedupe landed) is collapsed by the next merge of any section.
+        let mut seeded = read_quarantine(&run);
+        let dup = seeded[1].clone();
+        seeded.push(dup);
+        let json =
+            serde_json::to_string_pretty(&QuarantineFile { failures: seeded }).expect("serialize");
+        run.write_quarantine(&json).expect("seed duplicates");
+        assert_eq!(read_quarantine(&run).len(), 3, "duplicate seeded");
+        let _ = run_keyed_durable(&cfg, &ctx, "gamma", bad("gamma"));
+        let all = read_quarantine(&run);
+        assert_eq!(all.len(), 3, "alpha, beta (deduped), gamma");
+        assert_eq!(all[0].section, "alpha");
+        assert_eq!(all[1].section, "beta");
+        assert_eq!(all[2].section, "gamma");
         // Re-running a section with no failures clears its entries.
         let good = vec![((0u32, 0u32, 0u32), meta(0), move || 5u32)];
         let _ = run_keyed_durable(&cfg, &ctx, "alpha", good);
         let all = read_quarantine(&run);
-        assert_eq!(all.len(), 1);
+        assert_eq!(all.len(), 2);
         assert_eq!(all[0].section, "beta");
+        assert_eq!(all[1].section, "gamma");
         let _ = std::fs::remove_dir_all(run.root());
     }
 

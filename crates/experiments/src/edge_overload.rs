@@ -29,7 +29,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use h3cdn_analysis::median;
+use h3cdn_analysis::{finite_mean, finite_median, finite_quantile};
 use h3cdn_browser::{run_swarm, FaultSpec, SwarmConfig};
 use h3cdn_cdn::{EdgeConfig, EdgeStats, Vantage};
 use h3cdn_netsim::FaultPlan;
@@ -232,6 +232,8 @@ pub struct OverloadCell {
     /// Clients that never finished their page, across all pages — the
     /// cost of refusals without fallback.
     pub stranded_clients: usize,
+    /// Mean PLT over completed clients (`NaN` when none completed).
+    pub mean_plt_ms: f64,
     /// Median PLT over completed clients, measured from each client's
     /// arrival (`NaN` when none completed).
     pub median_plt_ms: f64,
@@ -296,18 +298,17 @@ fn sample(page: &Webpage, domains: &DomainTable, cfg: &VisitConfig, shape: &Swar
     }
 }
 
-/// Median over the finite entries of `plts`.
-fn completed_median(plts: &[f64]) -> f64 {
-    let done: Vec<f64> = plts.iter().copied().filter(|p| p.is_finite()).collect();
-    median(&done)
+/// Median over the finite entries of `plts` paired with the stranded
+/// (NaN) count — `analysis::finite_median` keeps the swarm's
+/// NaN-for-stranded convention out of the aggregate.
+fn completed_median(plts: &[f64]) -> (f64, usize) {
+    finite_median(plts)
 }
 
-/// Worst finite entry of `plts`, `NaN` when none completed.
-fn completed_worst(plts: &[f64]) -> f64 {
-    plts.iter()
-        .copied()
-        .filter(|p| p.is_finite())
-        .fold(f64::NAN, f64::max)
+/// Worst finite entry of `plts` (`NaN` when none completed) plus the
+/// stranded count.
+fn completed_worst(plts: &[f64]) -> (f64, usize) {
+    finite_quantile(plts, 1.0)
 }
 
 /// Runs the sweep: `scenarios × {h2, h3, h3+fallback} × sites` as one
@@ -382,14 +383,18 @@ pub fn run(
         for s in samples {
             edge.absorb(&s.edge);
         }
+        let (mean_plt_ms, _) = finite_mean(&plts);
+        let (median_plt_ms, stranded_clients) = completed_median(&plts);
+        let (worst_plt_ms, _) = completed_worst(&plts);
         rows.push(OverloadCell {
             scenario,
             arm: arm.to_owned(),
             pages: samples.len(),
             clients_per_page,
-            stranded_clients: plts.iter().filter(|p| !p.is_finite()).count(),
-            median_plt_ms: completed_median(&plts),
-            worst_plt_ms: completed_worst(&plts),
+            stranded_clients,
+            mean_plt_ms,
+            median_plt_ms,
+            worst_plt_ms,
             edge,
             h3_fallbacks: samples.iter().map(|s| s.h3_fallbacks).sum(),
             conn_retries: samples.iter().map(|s| s.conn_retries).sum(),
@@ -416,12 +421,13 @@ impl fmt::Display for OverloadSweep {
         )?;
         writeln!(
             f,
-            "{:<24} {:<12} {:>5} {:>4} {:>8} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>7}",
+            "{:<24} {:<12} {:>5} {:>4} {:>8} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>7}",
             "scenario",
             "arm",
             "pages",
             "cli",
             "stranded",
+            "mean PLT ms",
             "med PLT ms",
             "worst PLT",
             "admit",
@@ -435,12 +441,13 @@ impl fmt::Display for OverloadSweep {
         for r in &self.rows {
             writeln!(
                 f,
-                "{:<24} {:<12} {:>5} {:>4} {:>8} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>7}",
+                "{:<24} {:<12} {:>5} {:>4} {:>8} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>7}",
                 r.scenario,
                 r.arm,
                 r.pages,
                 r.clients_per_page,
                 r.stranded_clients,
+                fmt_ms(r.mean_plt_ms),
                 fmt_ms(r.median_plt_ms),
                 fmt_ms(r.worst_plt_ms),
                 r.edge.admitted(),

@@ -59,6 +59,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod path_dynamics;
+pub mod population;
 pub mod report;
 pub mod sensitivity;
 pub mod table1;
@@ -279,41 +280,56 @@ pub fn campaign_named(opts: &Options, experiment: &str) -> MeasurementCampaign {
             ..RetryPolicy::default()
         })
         .with_wall_budget_ms(opts.wall_budget_ms);
-    if let Some(run_id) = opts.effective_run_id(experiment) {
-        let run = RunDir::open(Path::new(&opts.results_dir), &run_id);
-        let manifest = Manifest {
-            version: MANIFEST_VERSION,
-            run_id: run_id.clone(),
-            fingerprint: Fingerprint {
-                seed: opts.seed,
-                scenario: experiment.to_owned(),
-                git_hash: workspace_git_hash(),
-                args: opts.fingerprint_args(),
-            },
-            argv: opts.argv.clone(),
-        };
-        match run.prepare(&manifest, opts.resume) {
-            Ok(kept) => {
-                if opts.resume && !kept {
-                    eprintln!(
-                        "h3cdn: checkpoint '{run_id}' has a stale fingerprint; \
-                         journal cleared, running from scratch"
-                    );
-                } else if opts.resume {
-                    eprintln!("h3cdn: resuming run '{run_id}'");
-                }
-                ctx = ctx.with_checkpoint(run);
-            }
-            Err(e) => eprintln!(
-                "h3cdn: checkpoint dir for '{run_id}' unavailable ({e}); \
-                 running without journaling"
-            ),
-        }
+    if let Some(run) = prepare_run_dir(opts, experiment) {
+        ctx = ctx.with_checkpoint(run);
     }
     let config = base_config(opts)
         .with_durable(Some(ctx))
         .with_inject_panic_site(panic_site_from_env());
     MeasurementCampaign::new(config)
+}
+
+/// Resolves and prepares the checkpoint directory an experiment binary
+/// runs under — the same fingerprint/wipe/resume semantics
+/// [`campaign_named`] applies, exposed for binaries (the
+/// population-scale runner) that journal through their own layer
+/// instead of the per-visit durable context. `None` when the options
+/// request no checkpointing, or when the directory is unusable (the
+/// run proceeds without journaling either way).
+pub fn prepare_run_dir(opts: &Options, experiment: &str) -> Option<RunDir> {
+    let run_id = opts.effective_run_id(experiment)?;
+    let run = RunDir::open(Path::new(&opts.results_dir), &run_id);
+    let manifest = Manifest {
+        version: MANIFEST_VERSION,
+        run_id: run_id.clone(),
+        fingerprint: Fingerprint {
+            seed: opts.seed,
+            scenario: experiment.to_owned(),
+            git_hash: workspace_git_hash(),
+            args: opts.fingerprint_args(),
+        },
+        argv: opts.argv.clone(),
+    };
+    match run.prepare(&manifest, opts.resume) {
+        Ok(kept) => {
+            if opts.resume && !kept {
+                eprintln!(
+                    "h3cdn: checkpoint '{run_id}' has a stale fingerprint; \
+                     journal cleared, running from scratch"
+                );
+            } else if opts.resume {
+                eprintln!("h3cdn: resuming run '{run_id}'");
+            }
+            Some(run)
+        }
+        Err(e) => {
+            eprintln!(
+                "h3cdn: checkpoint dir for '{run_id}' unavailable ({e}); \
+                 running without journaling"
+            );
+            None
+        }
+    }
 }
 
 /// Prints the quarantine summary for a finished campaign (stderr) so

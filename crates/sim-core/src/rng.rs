@@ -173,6 +173,39 @@ impl SimRng {
         (mu + sigma * self.standard_normal()).exp()
     }
 
+    /// Samples a Pareto distribution with shape `alpha` and scale `xmin`
+    /// (the minimum value) via inverse-CDF transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` or `xmin` is not positive and finite.
+    pub fn pareto(&mut self, alpha: f64, xmin: f64) -> f64 {
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+        assert!(xmin.is_finite() && xmin > 0.0, "xmin must be positive");
+        let u = 1.0 - self.next_f64(); // in (0, 1]
+        xmin * u.powf(-1.0 / alpha)
+    }
+
+    /// Samples a bounded (truncated) Pareto distribution on `[lo, hi]` with
+    /// shape `alpha`, via the inverse CDF of the truncated law. `u = 0`
+    /// maps to `lo` and `u -> 1` approaches `hi`, so every sample lies in
+    /// the closed interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not positive and finite or `0 < lo < hi` does
+    /// not hold.
+    pub fn bounded_pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo > 0.0 && lo < hi,
+            "bounds must satisfy 0 < lo < hi"
+        );
+        let u = self.next_f64();
+        let ratio = (lo / hi).powf(alpha);
+        lo * (1.0 - u * (1.0 - ratio)).powf(-1.0 / alpha)
+    }
+
     /// Picks an index with probability proportional to `weights[i]`.
     ///
     /// # Panics
@@ -316,6 +349,36 @@ mod tests {
             (median / expect - 1.0).abs() < 0.05,
             "median {median} vs {expect}"
         );
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_tail() {
+        let mut rng = SimRng::seed_from(12);
+        let n = 100_000;
+        let alpha = 1.5;
+        let xmin = 2.0;
+        let samples: Vec<f64> = (0..n).map(|_| rng.pareto(alpha, xmin)).collect();
+        assert!(samples.iter().all(|&x| x >= xmin));
+        // P(X > t) = (xmin / t)^alpha; check at t = 2 * xmin.
+        let t = 2.0 * xmin;
+        let tail = samples.iter().filter(|&&x| x > t).count() as f64 / n as f64;
+        let expect = (xmin / t).powf(alpha);
+        assert!((tail - expect).abs() < 0.01, "tail {tail} vs {expect}");
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_range() {
+        let mut rng = SimRng::seed_from(13);
+        let (alpha, lo, hi) = (1.22, 30.0, 4000.0);
+        let n = 50_000;
+        let mut max_seen = 0.0f64;
+        for _ in 0..n {
+            let x = rng.bounded_pareto(alpha, lo, hi);
+            assert!((lo..=hi).contains(&x), "sample {x} out of range");
+            max_seen = max_seen.max(x);
+        }
+        // The upper bound is reachable: the top of the support gets hit.
+        assert!(max_seen > 0.5 * hi, "max {max_seen} never approached hi");
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::spec::WorkloadSpec;
 /// that — after the per-page richness factor below — the top four
 /// providers each exceed 50 % (Fig. 4a) and ≈ 95 % of pages use at
 /// least two providers (Fig. 4b: 94.8 %).
-fn appearance_prob(p: Provider) -> f64 {
+pub(crate) fn appearance_prob(p: Provider) -> f64 {
     match p {
         Provider::Google => 0.80,
         Provider::Cloudflare => 0.86,
@@ -33,7 +33,7 @@ fn appearance_prob(p: Provider) -> f64 {
 /// separates Table III's high- and low-sharing groups (the paper found
 /// 4.16 vs 2.58 average providers) and spreads Fig. 4(b)'s histogram.
 /// Log-normal with mean ≈ 1, clamped.
-fn richness(rng: &mut SimRng) -> f64 {
+pub(crate) fn richness(rng: &mut SimRng) -> f64 {
     rng.log_normal(-0.07, 0.38).clamp(0.55, 1.9)
 }
 

@@ -26,11 +26,13 @@
 
 pub mod corpus;
 pub mod domains;
+pub mod population;
 pub mod resource;
 pub mod spec;
 
 pub use corpus::{generate, Corpus};
 pub use domains::{DomainId, DomainTable};
+pub use population::{page_record, PageRecord, PopulationSpec};
 pub use resource::{Hosting, Resource, ResourceKind, Webpage};
 pub use spec::WorkloadSpec;
 

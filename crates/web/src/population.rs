@@ -1,0 +1,648 @@
+//! Population-scale synthetic Internet: compact per-page records at
+//! 10⁵–10⁶ sites.
+//!
+//! [`crate::corpus::generate`] materializes full [`crate::Webpage`]
+//! objects — every resource with domain, kind, sizes, discovery DAG —
+//! which is what packet-level visits need and what a million-page
+//! campaign cannot afford. This module generates the *distributional*
+//! layer only: one flat [`PageRecord`] per site carrying the counts the
+//! paper's population figures aggregate (requests, CDN share, provider
+//! presence and per-provider request/H3 splits, a fixed-grid size
+//! histogram). Records are ~365 bytes, independent of page size, and
+//! each is a pure function of `(spec, site)` — any subset of sites can
+//! be (re)generated in any order on any worker and the population is
+//! identical.
+//!
+//! Calibration targets (validated by property and smoke tests):
+//!
+//! * request counts: bounded Pareto, tail exponent ≈ 1.22 over
+//!   `[30, 4000]`, mean ≈ 110/page (the paper's 111);
+//! * resource sizes: bounded Pareto, shallow tail (α ≈ 0.22) over
+//!   `[120 B, 5 MB]` with ~75 % of CDN bytes-carrying resources below
+//!   20 KB (§VI-E);
+//! * CDN share per page: clamped Normal with `P(share > 0.5) ≈ 0.75`
+//!   (Fig. 3's CCDF);
+//! * provider presence: the same appearance/richness machinery as the
+//!   325-page corpus (Fig. 4a top-4 > 50 %, Fig. 4b ≈ 94.8 % of pages
+//!   on ≥ 2 providers);
+//! * per-request H3 availability from provider adoption rates, so
+//!   Google + Cloudflare dominate H3 CDN requests (Fig. 2).
+
+use h3cdn_cdn::{Provider, ProviderRegistry};
+use h3cdn_sim_core::SimRng;
+
+use crate::corpus::{appearance_prob, richness};
+
+/// Probability that a request to an H3-adopted provider is itself
+/// served over H3 (mirrors the corpus's within-domain straggler rate).
+const PER_REQUEST_H3: f64 = 0.95;
+
+/// Size-histogram grid: lowest octave (`2^6` = 64 B).
+pub const SIZE_HIST_MIN_EXP: i32 = 6;
+/// Size-histogram grid: one-past-highest octave (`2^23` = 8 MiB).
+pub const SIZE_HIST_MAX_EXP: i32 = 23;
+/// Size-histogram grid: buckets per doubling.
+pub const SIZE_HIST_BUCKETS_PER_OCTAVE: u32 = 4;
+/// Number of size-histogram buckets.
+pub const SIZE_HIST_BUCKETS: usize =
+    (SIZE_HIST_MAX_EXP - SIZE_HIST_MIN_EXP) as usize * SIZE_HIST_BUCKETS_PER_OCTAVE as usize;
+
+/// Parameters of a synthetic population. A pure value: two equal specs
+/// generate byte-identical populations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationSpec {
+    /// Master seed; every per-site stream forks from it.
+    pub seed: u64,
+    /// Number of sites (pages) in the population.
+    pub num_pages: u64,
+    /// Request-count tail exponent (bounded Pareto shape).
+    pub count_alpha: f64,
+    /// Minimum requests per page.
+    pub count_min: u32,
+    /// Maximum requests per page (truncation point).
+    pub count_max: u32,
+    /// Resource-size tail exponent (bounded Pareto shape).
+    pub size_alpha: f64,
+    /// Minimum resource size in bytes.
+    pub size_min_bytes: u64,
+    /// Maximum resource size in bytes (truncation point).
+    pub size_max_bytes: u64,
+    /// Mean of the per-page CDN share's clamped Normal.
+    pub cdn_fraction_mean: f64,
+    /// Standard deviation of the per-page CDN share.
+    pub cdn_fraction_sd: f64,
+}
+
+impl Default for PopulationSpec {
+    /// Paper-calibrated defaults at 100k pages.
+    fn default() -> Self {
+        PopulationSpec {
+            seed: 0x1CDC_2024,
+            num_pages: 100_000,
+            count_alpha: 1.22,
+            count_min: 30,
+            count_max: 4000,
+            size_alpha: 0.22,
+            size_min_bytes: 120,
+            size_max_bytes: 5_000_000,
+            cdn_fraction_mean: 0.69,
+            cdn_fraction_sd: 0.28,
+        }
+    }
+}
+
+impl PopulationSpec {
+    /// Returns a copy with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different population size.
+    #[must_use]
+    pub fn with_pages(mut self, num_pages: u64) -> Self {
+        self.num_pages = num_pages;
+        self
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Errors
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_pages == 0 {
+            return Err("num_pages must be positive".to_owned());
+        }
+        if !(self.count_alpha.is_finite() && self.count_alpha > 0.0) {
+            return Err("count_alpha must be positive".to_owned());
+        }
+        if self.count_min < 2 || self.count_min >= self.count_max {
+            return Err("need 2 <= count_min < count_max".to_owned());
+        }
+        if !(self.size_alpha.is_finite() && self.size_alpha > 0.0) {
+            return Err("size_alpha must be positive".to_owned());
+        }
+        if self.size_min_bytes == 0 || self.size_min_bytes >= self.size_max_bytes {
+            return Err("need 0 < size_min_bytes < size_max_bytes".to_owned());
+        }
+        if !(0.0..=1.0).contains(&self.cdn_fraction_mean) || self.cdn_fraction_sd < 0.0 {
+            return Err("cdn fraction parameters out of range".to_owned());
+        }
+        Ok(())
+    }
+}
+
+/// Flat per-page aggregate — everything the population figures need,
+/// nothing a packet-level visit would (no domains, no DAG). Encodes to
+/// a fixed [`PageRecord::ENCODED_LEN`]-byte wire record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageRecord {
+    /// Site index within the population.
+    pub site: u64,
+    /// Total requests on the page.
+    pub requests: u32,
+    /// Requests served by CDNs.
+    pub cdn_requests: u32,
+    /// CDN requests reachable over H3.
+    pub h3_cdn_requests: u32,
+    /// Bit `i` set ⇔ `Provider::ALL[i]` serves ≥ 1 request here.
+    pub provider_mask: u8,
+    /// CDN requests per provider, indexed like `Provider::ALL`.
+    pub cdn_by_provider: [u32; 8],
+    /// H3-reachable CDN requests per provider.
+    pub h3_by_provider: [u32; 8],
+    /// Total bytes across CDN requests.
+    pub cdn_bytes: u64,
+    /// CDN resource sizes on the fixed geometric grid
+    /// (4 buckets/octave over `[2^6, 2^23)`; see [`PageRecord::size_bucket`]).
+    pub size_hist: [u32; SIZE_HIST_BUCKETS],
+}
+
+impl PageRecord {
+    /// Exact wire length of an encoded record.
+    pub const ENCODED_LEN: usize = 8 + 4 + 4 + 4 + 1 + 32 + 32 + 8 + SIZE_HIST_BUCKETS * 4;
+
+    /// Grid bucket for a resource size, matching the
+    /// `analysis::QuantileSketch` grid `(min_exp 6, max_exp 23,
+    /// 4/octave)` bucket for bucket, so per-page histograms merge into
+    /// the population sketch without re-binning.
+    #[must_use]
+    pub fn size_bucket(bytes: u64) -> usize {
+        if bytes == 0 {
+            return 0;
+        }
+        let pos = ((bytes as f64).log2() - f64::from(SIZE_HIST_MIN_EXP))
+            * f64::from(SIZE_HIST_BUCKETS_PER_OCTAVE);
+        let idx = pos.floor();
+        if idx < 0.0 {
+            0
+        } else if idx >= SIZE_HIST_BUCKETS as f64 {
+            SIZE_HIST_BUCKETS - 1
+        } else {
+            idx as usize
+        }
+    }
+
+    /// CDN share of the page's requests.
+    #[must_use]
+    pub fn cdn_fraction(&self) -> f64 {
+        f64::from(self.cdn_requests) / f64::from(self.requests)
+    }
+
+    /// Number of distinct providers on the page (Fig. 4b's degree).
+    #[must_use]
+    pub fn provider_count(&self) -> u32 {
+        self.provider_mask.count_ones()
+    }
+
+    /// Serializes to the fixed little-endian wire format.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::ENCODED_LEN);
+        out.extend_from_slice(&self.site.to_le_bytes());
+        out.extend_from_slice(&self.requests.to_le_bytes());
+        out.extend_from_slice(&self.cdn_requests.to_le_bytes());
+        out.extend_from_slice(&self.h3_cdn_requests.to_le_bytes());
+        out.push(self.provider_mask);
+        for v in self.cdn_by_provider {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in self.h3_by_provider {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.cdn_bytes.to_le_bytes());
+        for v in self.size_hist {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a wire record; `None` on any length mismatch.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<PageRecord> {
+        if bytes.len() != Self::ENCODED_LEN {
+            return None;
+        }
+        let mut off = 0usize;
+        let mut take = |n: usize| {
+            let slice = bytes.get(off..off + n);
+            off += n;
+            slice
+        };
+        let u64_of = |b: &[u8]| u64::from_le_bytes(b.try_into().ok().unwrap_or([0; 8]));
+        let u32_of = |b: &[u8]| u32::from_le_bytes(b.try_into().ok().unwrap_or([0; 4]));
+        let site = u64_of(take(8)?);
+        let requests = u32_of(take(4)?);
+        let cdn_requests = u32_of(take(4)?);
+        let h3_cdn_requests = u32_of(take(4)?);
+        let provider_mask = *take(1)?.first()?;
+        let mut cdn_by_provider = [0u32; 8];
+        for v in &mut cdn_by_provider {
+            *v = u32_of(take(4)?);
+        }
+        let mut h3_by_provider = [0u32; 8];
+        for v in &mut h3_by_provider {
+            *v = u32_of(take(4)?);
+        }
+        let cdn_bytes = u64_of(take(8)?);
+        let mut size_hist = [0u32; SIZE_HIST_BUCKETS];
+        for v in &mut size_hist {
+            *v = u32_of(take(4)?);
+        }
+        Some(PageRecord {
+            site,
+            requests,
+            cdn_requests,
+            h3_cdn_requests,
+            provider_mask,
+            cdn_by_provider,
+            h3_by_provider,
+            cdn_bytes,
+            size_hist,
+        })
+    }
+}
+
+/// Generates site `site`'s record — a pure function of `(spec, site)`,
+/// independent of generation order or worker placement.
+///
+/// # Panics
+///
+/// Panics if `spec` fails [`PopulationSpec::validate`].
+pub fn page_record(spec: &PopulationSpec, site: u64) -> PageRecord {
+    if let Err(msg) = spec.validate() {
+        panic!("invalid population spec: {msg}");
+    }
+    let mut rng = SimRng::seed_from(spec.seed ^ 0x504f_5055).fork(site); // "POPU"
+    let registry = ProviderRegistry::paper_calibrated();
+
+    // Request count: bounded Pareto — the heavy tail Trevisan et al.
+    // observe at millions-of-domains scale, truncated so one page never
+    // dwarfs the population.
+    let requests = rng
+        .bounded_pareto(
+            spec.count_alpha,
+            f64::from(spec.count_min),
+            f64::from(spec.count_max),
+        )
+        .round() as u32;
+    let requests = requests.clamp(spec.count_min, spec.count_max);
+
+    // CDN share: clamped Normal, P(share > 0.5) ≈ 0.75 (Fig. 3).
+    let frac =
+        (spec.cdn_fraction_mean + spec.cdn_fraction_sd * rng.standard_normal()).clamp(0.05, 0.98);
+    let cdn_requests = ((f64::from(requests) * frac).round() as u32).min(requests - 1);
+
+    // Provider presence and selection weights: the same appearance ×
+    // richness machinery as the 325-page corpus, with importance-
+    // corrected weights and a dominant provider taking ~70 % of the
+    // page's CDN requests (Fig. 5's skew).
+    let rho = richness(&mut rng);
+    let mut present: Vec<(usize, Provider)> = Provider::ALL
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, p)| rng.bernoulli((appearance_prob(p) * rho).min(0.97)))
+        .collect();
+    if present.is_empty() {
+        present.push((1, Provider::Cloudflare));
+    }
+    let corrected: Vec<f64> = present
+        .iter()
+        .map(|&(_, p)| registry.profile(p).market_share / appearance_prob(p))
+        .collect();
+    let dominant = rng.weighted_index(&corrected);
+    let weights: Vec<f64> = corrected
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| if i == dominant { 0.7 } else { 0.3 * w })
+        .collect();
+
+    let mut provider_mask = 0u8;
+    for &(idx, _) in &present {
+        provider_mask |= 1 << idx;
+    }
+
+    let mut cdn_by_provider = [0u32; 8];
+    let mut h3_by_provider = [0u32; 8];
+    let mut size_hist = [0u32; SIZE_HIST_BUCKETS];
+    let mut h3_cdn_requests = 0u32;
+    let mut cdn_bytes = 0u64;
+    for _ in 0..cdn_requests {
+        let pi = rng.weighted_index(&weights);
+        let (idx, provider) = present[pi];
+        cdn_by_provider[idx] += 1;
+        let adoption = registry.profile(provider).h3_adoption;
+        if rng.bernoulli(adoption * PER_REQUEST_H3) {
+            h3_by_provider[idx] += 1;
+            h3_cdn_requests += 1;
+        }
+        let size = rng
+            .bounded_pareto(
+                spec.size_alpha,
+                spec.size_min_bytes as f64,
+                spec.size_max_bytes as f64,
+            )
+            .round() as u64;
+        cdn_bytes += size;
+        size_hist[PageRecord::size_bucket(size)] += 1;
+    }
+
+    PageRecord {
+        site,
+        requests,
+        cdn_requests,
+        h3_cdn_requests,
+        provider_mask,
+        cdn_by_provider,
+        h3_by_provider,
+        cdn_bytes,
+        size_hist,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_spec() -> PopulationSpec {
+        PopulationSpec::default().with_pages(4000)
+    }
+
+    /// Least-squares slope of `ln(ccdf)` against `ln(x)` — computed
+    /// inline because the layer map forbids `web → analysis`.
+    fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+        let n = points.len() as f64;
+        assert!(points.len() >= 2, "need at least two points for a fit");
+        let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+        for &(x, y) in points {
+            let (lx, ly) = (x.ln(), y.ln());
+            sx += lx;
+            sy += ly;
+            sxx += lx * lx;
+            sxy += lx * ly;
+        }
+        (n * sxy - sx * sy) / (n * sxx - sx * sx)
+    }
+
+    /// Empirical CCDF of `values` sampled at each distinct value.
+    fn ccdf(values: &mut [f64]) -> Vec<(f64, f64)> {
+        values.sort_by(f64::total_cmp);
+        let n = values.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &x) in values.iter().enumerate() {
+            let p = 1.0 - (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 >= x => last.1 = p,
+                _ => out.push((x, p)),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn request_count_tail_exponent_near_spec() {
+        let spec = small_spec();
+        let mut counts: Vec<f64> = (0..spec.num_pages)
+            .map(|s| f64::from(page_record(&spec, s).requests))
+            .collect();
+        let pts: Vec<(f64, f64)> = ccdf(&mut counts)
+            .into_iter()
+            .filter(|&(x, p)| (60.0..=500.0).contains(&x) && p > 0.0)
+            .collect();
+        let slope = loglog_slope(&pts);
+        // Truncation steepens the fit slightly; ±0.25 brackets it.
+        assert!(
+            (slope + spec.count_alpha).abs() < 0.25,
+            "request-count tail slope {slope}, want ≈ -{}",
+            spec.count_alpha
+        );
+    }
+
+    #[test]
+    fn size_tail_is_shallow_power_law() {
+        let spec = small_spec().with_pages(800);
+        let mut sizes: Vec<f64> = Vec::new();
+        for s in 0..spec.num_pages {
+            let r = page_record(&spec, s);
+            for (i, &c) in r.size_hist.iter().enumerate() {
+                let mid = (f64::from(SIZE_HIST_MIN_EXP)
+                    + (i as f64 + 0.5) / f64::from(SIZE_HIST_BUCKETS_PER_OCTAVE))
+                .exp2();
+                for _ in 0..c {
+                    sizes.push(mid);
+                }
+            }
+        }
+        let pts: Vec<(f64, f64)> = ccdf(&mut sizes)
+            .into_iter()
+            .filter(|&(x, p)| (1024.0..=500_000.0).contains(&x) && p > 0.0)
+            .collect();
+        let slope = loglog_slope(&pts);
+        // α = 0.22 truncated at 5 MB fits ≈ -0.30 over this window; the
+        // band asserts "shallow heavy tail", not the raw exponent.
+        assert!(
+            (-0.45..=-0.15).contains(&slope),
+            "size tail slope {slope} outside the shallow-tail band"
+        );
+    }
+
+    #[test]
+    fn mean_requests_near_paper() {
+        let spec = small_spec();
+        let total: u64 = (0..spec.num_pages)
+            .map(|s| u64::from(page_record(&spec, s).requests))
+            .sum();
+        let mean = total as f64 / spec.num_pages as f64;
+        assert!(
+            (mean - 110.0).abs() / 110.0 < 0.12,
+            "mean requests/page {mean}"
+        );
+    }
+
+    #[test]
+    fn fig3_ccdf_at_half_near_75_percent() {
+        let spec = small_spec();
+        let over_half = (0..spec.num_pages)
+            .filter(|&s| page_record(&spec, s).cdn_fraction() > 0.5)
+            .count() as f64
+            / spec.num_pages as f64;
+        assert!((over_half - 0.75).abs() < 0.04, "CCDF(0.5) = {over_half}");
+    }
+
+    #[test]
+    fn fig4_provider_degrees_match_corpus() {
+        let spec = small_spec();
+        let records: Vec<PageRecord> = (0..spec.num_pages).map(|s| page_record(&spec, s)).collect();
+        let multi = records.iter().filter(|r| r.provider_count() >= 2).count() as f64
+            / records.len() as f64;
+        assert!((multi - 0.948).abs() < 0.04, "≥2 providers on {multi}");
+        let mut page_share: Vec<f64> = (0..8)
+            .map(|i| {
+                records
+                    .iter()
+                    .filter(|r| r.provider_mask & (1 << i) != 0)
+                    .count() as f64
+                    / records.len() as f64
+            })
+            .collect();
+        page_share.sort_by(f64::total_cmp);
+        page_share.reverse();
+        for share in page_share.iter().take(4) {
+            assert!(*share > 0.5, "top-4 provider page share {share}");
+        }
+    }
+
+    #[test]
+    fn fig2_google_cloudflare_dominate_h3() {
+        let spec = small_spec();
+        let mut h3 = [0u64; 8];
+        let mut total = 0u64;
+        for s in 0..spec.num_pages {
+            let r = page_record(&spec, s);
+            for (i, &c) in r.h3_by_provider.iter().enumerate() {
+                h3[i] += u64::from(c);
+            }
+            total += u64::from(r.h3_cdn_requests);
+        }
+        let g = h3[0] as f64 / total as f64; // Provider::ALL[0] = Google
+        let cf = h3[1] as f64 / total as f64; // Provider::ALL[1] = Cloudflare
+        assert!((g - 0.50).abs() < 0.08, "Google share of H3 CDN {g}");
+        assert!((cf - 0.452).abs() < 0.08, "Cloudflare share of H3 CDN {cf}");
+    }
+
+    #[test]
+    fn size_p75_near_20kb() {
+        let spec = small_spec().with_pages(1000);
+        let mut hist = vec![0u64; SIZE_HIST_BUCKETS];
+        let mut total = 0u64;
+        for s in 0..spec.num_pages {
+            let r = page_record(&spec, s);
+            for (i, &c) in r.size_hist.iter().enumerate() {
+                hist[i] += u64::from(c);
+                total += u64::from(c);
+            }
+        }
+        let target = (0.75 * (total - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        let mut p75 = 0.0;
+        for (i, &c) in hist.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen > target {
+                p75 = (f64::from(SIZE_HIST_MIN_EXP)
+                    + (i as f64 + 0.5) / f64::from(SIZE_HIST_BUCKETS_PER_OCTAVE))
+                .exp2();
+                break;
+            }
+        }
+        assert!(
+            (12_000.0..=30_000.0).contains(&p75),
+            "P75 CDN size {p75} (grid midpoint)"
+        );
+    }
+
+    #[test]
+    fn record_internal_consistency() {
+        let spec = small_spec();
+        for s in 0..500 {
+            let r = page_record(&spec, s);
+            assert!(r.cdn_requests < r.requests);
+            assert_eq!(
+                r.cdn_by_provider.iter().map(|&c| u64::from(c)).sum::<u64>(),
+                u64::from(r.cdn_requests)
+            );
+            assert_eq!(
+                r.h3_by_provider.iter().map(|&c| u64::from(c)).sum::<u64>(),
+                u64::from(r.h3_cdn_requests)
+            );
+            assert!(r.h3_cdn_requests <= r.cdn_requests);
+            assert_eq!(
+                r.size_hist.iter().map(|&c| u64::from(c)).sum::<u64>(),
+                u64::from(r.cdn_requests)
+            );
+            for (i, &c) in r.cdn_by_provider.iter().enumerate() {
+                assert!(c == 0 || r.provider_mask & (1 << i) != 0);
+                assert!(r.h3_by_provider[i] <= c);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        assert!(PopulationSpec::default().validate().is_ok());
+        let bad = PopulationSpec {
+            num_pages: 0,
+            ..PopulationSpec::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = PopulationSpec {
+            count_min: 4000,
+            ..PopulationSpec::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = PopulationSpec {
+            size_alpha: f64::NAN,
+            ..PopulationSpec::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn regeneration_is_deterministic(seed in 0u64..1_000_000, site in 0u64..10_000) {
+            let spec = PopulationSpec::default().with_seed(seed);
+            let a = page_record(&spec, site);
+            let b = page_record(&spec, site);
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn different_seeds_differ(seed in 0u64..1_000_000) {
+            let a = PopulationSpec::default().with_seed(seed);
+            let b = PopulationSpec::default().with_seed(seed ^ 0x5EED);
+            // Across 16 sites at least one record must differ.
+            let differs = (0..16u64).any(|s| page_record(&a, s) != page_record(&b, s));
+            prop_assert!(differs);
+        }
+
+        #[test]
+        fn encode_decode_roundtrips(seed in 0u64..100_000, site in 0u64..1_000) {
+            let spec = PopulationSpec::default().with_seed(seed);
+            let r = page_record(&spec, site);
+            let bytes = r.encode();
+            prop_assert_eq!(bytes.len(), PageRecord::ENCODED_LEN);
+            let back = PageRecord::decode(&bytes).expect("roundtrip");
+            prop_assert_eq!(back, r);
+        }
+
+        #[test]
+        fn ccdf_of_cdn_share_is_monotone(seed in 0u64..50_000) {
+            let spec = PopulationSpec::default().with_seed(seed).with_pages(300);
+            // Grid CCDF over the share axis must be nonincreasing.
+            let shares: Vec<f64> = (0..spec.num_pages)
+                .map(|s| page_record(&spec, s).cdn_fraction())
+                .collect();
+            let grid: Vec<f64> = (0..=20)
+                .map(|k| {
+                    let thr = f64::from(k) / 20.0;
+                    shares.iter().filter(|&&f| f > thr).count() as f64 / shares.len() as f64
+                })
+                .collect();
+            for w in grid.windows(2) {
+                prop_assert!(w[0] >= w[1], "CCDF must be nonincreasing: {:?}", grid);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_lengths() {
+        let r = page_record(&PopulationSpec::default(), 3);
+        let bytes = r.encode();
+        assert!(PageRecord::decode(&bytes[..bytes.len() - 1]).is_none());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(PageRecord::decode(&long).is_none());
+        assert!(PageRecord::decode(&[]).is_none());
+    }
+}

@@ -12,8 +12,11 @@
 # gate (admission-control / fallback-storm invariants, worker-count
 # invariance of the table), the SIGKILL-and-resume smoke
 # (crash-safe checkpointing must reproduce a clean run byte-for-byte),
-# the simulator throughput ratchet (BENCH_sim.json; re-record with
-# `sim_throughput --smoke --update-baseline BENCH_sim.json --label L`
+# the population smoke gate (distribution-shape invariants at 10k
+# pages, worker-count invariance, shard-journal kill/resume), the
+# simulator throughput ratchets (BENCH_sim.json, one row per workload;
+# re-record with
+# `sim_throughput [--population] --smoke --update-baseline BENCH_sim.json --label L`
 # after an intentional perf change), clippy with warnings denied, the
 # h3cdn-lint workspace analyzer (determinism / sans-IO / panic ratchet
 # / layering / hot-path reachability / seed plumbing / dead API), and
@@ -116,11 +119,43 @@ cmp "$SMOKE_DIR/clean.txt" "$SMOKE_DIR/resumed.txt"
 echo "    resumed output byte-identical to the clean run"
 finish
 
+begin "population --smoke (distribution-shape + streaming gate)"
+# The bin asserts the Fig. 2-4 shape invariants itself (CCDF
+# monotonicity, provider dominance, tail exponents) over 10k generated
+# pages. The cmp asserts worker-count invariance; the kill/resume leg
+# asserts the sharded journal's merge-join reproduces a clean run byte
+# for byte.
+POP_DIR="$(mktemp -d)"
+POP="target/release/population"
+"$POP" --smoke --json --jobs 1 > "$POP_DIR/jobs1.json" 2> /dev/null
+"$POP" --smoke --json --jobs 4 > "$POP_DIR/jobs4.json" 2> /dev/null
+cmp "$POP_DIR/jobs1.json" "$POP_DIR/jobs4.json"
+echo "    summary identical at --jobs 1 and --jobs 4"
+"$POP" --smoke --json --jobs 1 --results-dir "$POP_DIR/results" \
+    --run-id ci-pop > /dev/null 2>&1 &
+POP_PID=$!
+sleep 0.05
+kill -9 "$POP_PID" 2> /dev/null || true
+wait "$POP_PID" 2> /dev/null || true
+"$POP" --smoke --json --jobs 4 --results-dir "$POP_DIR/results" \
+    --run-id ci-pop --resume > "$POP_DIR/resumed.json" 2> /dev/null
+cmp "$POP_DIR/jobs1.json" "$POP_DIR/resumed.json"
+echo "    resumed summary byte-identical to the clean run"
+rm -rf "$POP_DIR"
+finish
+
 begin "sim_throughput --smoke --check (perf ratchet)"
 # The timing tolerance absorbs shared-runner noise; the event count is
 # deterministic and gated tightly, so a semantic change cannot hide
 # behind a fast machine.
 target/release/sim_throughput --smoke --check BENCH_sim.json
+finish
+
+begin "sim_throughput --population --smoke --check (generator ratchet)"
+# The population generator has its own trajectory row (matched on
+# pages/seed/reps); events = generated requests, so structural drift
+# in the synthetic-web distributions trips the deterministic gate.
+target/release/sim_throughput --population --smoke --check BENCH_sim.json
 finish
 
 begin "cargo clippy -D warnings"
